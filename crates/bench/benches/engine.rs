@@ -1,0 +1,148 @@
+//! Substrate micro-benchmarks: SAT solving, parsing, assertion
+//! equivalence, and BMC/k-induction scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fv_core::{check_equivalence, prove, EquivConfig, ProveConfig, SignalTable};
+use fveval_bench::pigeonhole;
+use fveval_data::{generate_pipeline, testbenches, PipelineParams};
+use std::hint::black_box;
+use std::time::Duration;
+use sv_parser::{parse_assertion_str, parse_source};
+use sv_synth::elaborate;
+
+fn bench_sat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    for n in [5usize, 6, 7] {
+        g.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                black_box(s.solve())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parser");
+    g.sample_size(30);
+    let fifo = testbenches()
+        .into_iter()
+        .find(|t| t.name == "fifo_1r1w")
+        .unwrap();
+    g.bench_function("parse_fifo_testbench", |b| {
+        b.iter(|| black_box(parse_source(fifo.source).unwrap()))
+    });
+    let assertion = "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
+                     (a && b) |-> strong(##[0:$] (c || $onehot0({a, b, c}))));";
+    // Pre-extend the scope so parsing is the only cost measured.
+    g.bench_function("parse_assertion", |b| {
+        b.iter(|| black_box(parse_assertion_str(assertion).unwrap()))
+    });
+    g.bench_function("elaborate_fifo_testbench", |b| {
+        let file = parse_source(fifo.source).unwrap();
+        b.iter(|| black_box(elaborate(&file, fifo.top).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("equivalence");
+    g.sample_size(20);
+    let table: SignalTable = [
+        ("wr_push", 1u32),
+        ("rd_pop", 1),
+        ("tb_reset", 1),
+        ("sig_H", 4),
+        ("sig_F", 1),
+    ]
+    .into_iter()
+    .collect();
+    let cases = [
+        (
+            "bounded_pair",
+            "assert property (@(posedge clk) wr_push |-> ##2 rd_pop);",
+            "assert property (@(posedge clk) wr_push |=> ##1 rd_pop);",
+        ),
+        (
+            "unbounded_pair",
+            "assert property (@(posedge clk) disable iff (tb_reset) \
+             wr_push |-> strong(##[0:$] rd_pop));",
+            "assert property (@(posedge clk) disable iff (tb_reset) \
+             wr_push |-> ##[1:$] rd_pop);",
+        ),
+        (
+            "countones_pair",
+            "assert property (@(posedge clk) (^sig_H) && sig_F);",
+            "assert property (@(posedge clk) ($countones(sig_H) % 2 == 1) && sig_F);",
+        ),
+    ];
+    for (name, r, cand) in cases {
+        let reference = parse_assertion_str(r).unwrap();
+        let candidate = parse_assertion_str(cand).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    check_equivalence(&reference, &candidate, &table, EquivConfig::default())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_checking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_checking");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for depth in [2u32, 4, 6] {
+        let case = generate_pipeline(&PipelineParams {
+            n_units: 2,
+            unit_depths: vec![depth / 2, depth - depth / 2],
+            width: 16,
+            expr_ops: 3,
+            seed: 77,
+        });
+        let mut src = case.design_source.clone();
+        src.push('\n');
+        src.push_str(&case.tb_source);
+        let file = parse_source(&src).unwrap();
+        let design = file.module(&case.top).unwrap();
+        let conns: Vec<(String, sv_ast::Expr)> = design
+            .port_order
+            .iter()
+            .map(|p| (p.clone(), sv_ast::Expr::ident(p.clone())))
+            .collect();
+        let inst = sv_ast::ModuleItem::Instance(sv_ast::Instance {
+            module: case.top.clone(),
+            name: "dut".into(),
+            params: vec![],
+            conns,
+        });
+        let netlist =
+            sv_synth::elaborate_with_extras(&file, &case.tb_top, &[inst]).unwrap();
+        let assertion = parse_assertion_str(&case.golden[0]).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("prove_pipeline_depth", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        prove(&netlist, &assertion, &[], ProveConfig::default()).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sat,
+    bench_parser,
+    bench_equivalence,
+    bench_model_checking
+);
+criterion_main!(benches);

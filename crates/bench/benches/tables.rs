@@ -1,0 +1,66 @@
+//! One Criterion benchmark per paper table/figure: times the full
+//! regeneration (dataset assembly, simulated-model inference, formal
+//! scoring, table rendering) at reduced-but-representative scale.
+//!
+//! `cargo bench -p fveval-bench --bench tables` reports wall-clock per
+//! experiment; `fveval <tableN> --full` regenerates the paper-scale
+//! numbers themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fveval_harness::HarnessOptions;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick() -> HarnessOptions {
+    HarnessOptions {
+        full: false,
+        seed: 0xBE7C,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    g.bench_function("table1_nl2sva_human", |b| {
+        b.iter(|| black_box(fveval_harness::table1(&quick())))
+    });
+    g.bench_function("table2_passk_human", |b| {
+        b.iter(|| black_box(fveval_harness::table2(&quick())))
+    });
+    g.bench_function("table3_nl2sva_machine", |b| {
+        b.iter(|| black_box(fveval_harness::table3(&quick())))
+    });
+    g.bench_function("table4_passk_machine", |b| {
+        b.iter(|| black_box(fveval_harness::table4(&quick())))
+    });
+    g.bench_function("table5_design2sva", |b| {
+        b.iter(|| black_box(fveval_harness::table5(&quick())))
+    });
+    g.bench_function("table6_composition", |b| {
+        b.iter(|| black_box(fveval_harness::table6()))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    g.bench_function("figure2_human_lengths", |b| {
+        b.iter(|| black_box(fveval_harness::figure2()))
+    });
+    g.bench_function("figure3_machine_lengths", |b| {
+        b.iter(|| black_box(fveval_harness::figure3(&quick())))
+    });
+    g.bench_function("figure4_design_lengths", |b| {
+        b.iter(|| black_box(fveval_harness::figure4(&quick())))
+    });
+    g.bench_function("figure6_bleu_correlation", |b| {
+        b.iter(|| black_box(fveval_harness::figure6(&quick())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Shared helpers for the FVEval benchmark suite.
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! - `tables` — one benchmark per paper table/figure, timing the full
+//!   regeneration pipeline (dataset + inference + formal scoring).
+//! - `engine` — substrate micro-benchmarks (SAT, parser, equivalence,
+//!   BMC scaling).
+//! - `ablations` — design-choice studies: equivalence-horizon
+//!   sensitivity, k-induction depth, structural hashing, and the
+//!   formal-vs-simulation comparison motivating the paper's claim that
+//!   lexical/simulation metrics are insufficient.
+
+use fv_sat::{Lit, Solver, Var};
+
+/// Builds a pigeonhole instance (n+1 pigeons into n holes — UNSAT),
+/// the classic CDCL stress case.
+pub fn pigeonhole(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let mut p = vec![vec![Lit::pos(Var(0)); n]; n + 1];
+    for row in p.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell = Lit::pos(s.new_var());
+        }
+    }
+    for row in &p {
+        s.add_clause(row.iter().copied());
+    }
+    #[allow(clippy::needless_range_loop)] // index math over two pigeons
+    for j in 0..n {
+        for i1 in 0..=n {
+            for i2 in (i1 + 1)..=n {
+                s.add_clause([!p[i1][j], !p[i2][j]]);
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pigeonhole_is_unsat() {
+        assert!(pigeonhole(4).solve().is_unsat());
+    }
+}

@@ -1,0 +1,320 @@
+//! The and-inverter graph core.
+
+use std::collections::HashMap;
+
+/// Index of a node in an [`Aig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// Index of a latch in an [`Aig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatchId(pub(crate) u32);
+
+impl LatchId {
+    /// Dense index of the latch.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A (possibly inverted) reference to an AIG node.
+///
+/// Encoded as `node << 1 | inverted`, following the AIGER convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false.
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true.
+    pub const TRUE: AigLit = AigLit(1);
+
+    #[inline]
+    pub(crate) fn new(node: NodeId, inverted: bool) -> AigLit {
+        AigLit((node.0 << 1) | inverted as u32)
+    }
+
+    /// The node this literal points at.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// `true` if the edge is inverted.
+    #[inline]
+    pub fn is_inverted(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `true` if this is one of the two constants.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Builds a constant literal from a boolean.
+    #[inline]
+    pub fn constant(b: bool) -> AigLit {
+        if b {
+            AigLit::TRUE
+        } else {
+            AigLit::FALSE
+        }
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+    #[inline]
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Node {
+    /// Constant false (node 0 only).
+    False,
+    /// Primary input, by dense input index.
+    Input(u32),
+    /// Latch output, by dense latch index.
+    Latch(u32),
+    /// And gate over two literals.
+    And(AigLit, AigLit),
+}
+
+/// A state element of the sequential AIG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latch {
+    /// The node that reads the latch's current value.
+    pub output: NodeId,
+    /// Next-state function; defaults to constant false until set.
+    pub next: AigLit,
+    /// Initial (reset) value.
+    pub init: bool,
+}
+
+/// A sequential and-inverter graph with structural hashing.
+///
+/// Node 0 is the constant-false node. Combinational logic is built with
+/// [`Aig::and`] and friends (two-level constant folding plus structural
+/// hashing keep the graph reduced); state is added with [`Aig::add_latch`]
+/// and closed with [`Aig::set_latch_next`].
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    pub(crate) nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    latches: Vec<Latch>,
+    strash: HashMap<(AigLit, AigLit), NodeId>,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![Node::False],
+            inputs: Vec::new(),
+            latches: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes, including the constant.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Number of and gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::And(..)))
+            .count()
+    }
+
+    /// The latch table.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// The primary-input nodes, in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Creates a fresh primary input and returns its literal.
+    pub fn input(&mut self) -> AigLit {
+        let idx = self.inputs.len() as u32;
+        let id = self.push(Node::Input(idx));
+        self.inputs.push(id);
+        AigLit::new(id, false)
+    }
+
+    /// Creates a latch with the given initial value; its `next` function
+    /// must be provided later via [`Aig::set_latch_next`].
+    pub fn add_latch(&mut self, init: bool) -> (LatchId, AigLit) {
+        let idx = self.latches.len() as u32;
+        let id = self.push(Node::Latch(idx));
+        self.latches.push(Latch {
+            output: id,
+            next: AigLit::FALSE,
+            init,
+        });
+        (LatchId(idx), AigLit::new(id, false))
+    }
+
+    /// Sets the next-state function of a latch.
+    pub fn set_latch_next(&mut self, latch: LatchId, next: AigLit) {
+        self.latches[latch.index()].next = next;
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// And of two literals, with constant folding and structural hashing.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant folding and trivial cases.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        // Canonical operand order for hashing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&(a, b)) {
+            return AigLit::new(id, false);
+        }
+        let id = self.push(Node::And(a, b));
+        self.strash.insert((a, b), id);
+        AigLit::new(id, false)
+    }
+
+    /// Or of two literals.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// Exclusive or of two literals.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n1 = self.and(a, !b);
+        let n2 = self.and(!a, b);
+        self.or(n1, n2)
+    }
+
+    /// Logical equivalence (XNOR).
+    pub fn xnor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.xor(a, b)
+    }
+
+    /// Implication `a -> b`.
+    pub fn implies(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.or(!a, b)
+    }
+
+    /// Multiplexer: `if sel { t } else { e }`.
+    pub fn mux(&mut self, sel: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        let on_t = self.and(sel, t);
+        let on_e = self.and(!sel, e);
+        self.or(on_t, on_e)
+    }
+
+    /// Conjunction over an iterator of literals.
+    pub fn and_all<I: IntoIterator<Item = AigLit>>(&mut self, lits: I) -> AigLit {
+        lits.into_iter()
+            .fold(AigLit::TRUE, |acc, l| self.and(acc, l))
+    }
+
+    /// Disjunction over an iterator of literals.
+    pub fn or_all<I: IntoIterator<Item = AigLit>>(&mut self, lits: I) -> AigLit {
+        lits.into_iter()
+            .fold(AigLit::FALSE, |acc, l| self.or(acc, l))
+    }
+
+    pub(crate) fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Aig::new();
+        let a = g.input();
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(AigLit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigLit::FALSE);
+        assert_eq!(g.or(a, !a), AigLit::TRUE);
+    }
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut g = Aig::new();
+        let a = g.input();
+        let b = g.input();
+        let n1 = g.and(a, b);
+        let n2 = g.and(b, a);
+        assert_eq!(n1, n2, "commuted operands share a node");
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn xor_of_self_is_false() {
+        let mut g = Aig::new();
+        let a = g.input();
+        assert_eq!(g.xor(a, a), AigLit::FALSE);
+        assert_eq!(g.xnor(a, a), AigLit::TRUE);
+    }
+
+    #[test]
+    fn latch_round_trip() {
+        let mut g = Aig::new();
+        let (l, q) = g.add_latch(true);
+        let next = !q;
+        g.set_latch_next(l, next);
+        assert_eq!(g.num_latches(), 1);
+        assert!(g.latches()[0].init);
+        assert_eq!(g.latches()[0].next, next);
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        let mut g = Aig::new();
+        let xs: Vec<AigLit> = (0..4).map(|_| g.input()).collect();
+        let all = g.and_all(xs.iter().copied());
+        let any = g.or_all(xs.iter().copied());
+        assert_ne!(all, AigLit::FALSE);
+        assert_ne!(any, AigLit::TRUE);
+        assert_eq!(g.and_all(std::iter::empty()), AigLit::TRUE);
+        assert_eq!(g.or_all(std::iter::empty()), AigLit::FALSE);
+    }
+
+    #[test]
+    fn mux_folds_on_constant_select() {
+        let mut g = Aig::new();
+        let t = g.input();
+        let e = g.input();
+        assert_eq!(g.mux(AigLit::TRUE, t, e), t);
+        assert_eq!(g.mux(AigLit::FALSE, t, e), e);
+    }
+}

@@ -1,0 +1,220 @@
+//! Trace environments: where assertion signals get their per-cycle
+//! values from.
+
+use crate::error::EncodeError;
+use crate::table::SignalTable;
+use fv_aig::{Aig, BitVec};
+use std::collections::HashMap;
+use sv_synth::{FrameExpander, FrameValues};
+
+/// Supplies per-cycle signal values to the monitor encoder.
+pub trait TraceEnv {
+    /// Reads signal `name` at `cycle` (negative cycles are the sampled
+    /// pre-history used by `$past`/`$rose`).
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::UnknownSignal`] when the name is not in scope.
+    fn read(&mut self, g: &mut Aig, name: &str, cycle: i32) -> Result<BitVec, EncodeError>;
+
+    /// Constant binding (testbench parameters), if `name` is one.
+    fn constant(&self, name: &str) -> Option<(u32, u128)> {
+        let _ = name;
+        None
+    }
+}
+
+/// Free-trace environment: every `(signal, cycle)` pair is a fresh
+/// vector of AIG inputs. This is the assertion-equivalence setting —
+/// testbench signals are unconstrained.
+#[derive(Debug)]
+pub struct FreeTraceEnv<'a> {
+    table: &'a SignalTable,
+    slots: HashMap<(String, i32), BitVec>,
+    /// Allocation log for counterexample decoding.
+    log: Vec<(String, i32, BitVec)>,
+}
+
+impl<'a> FreeTraceEnv<'a> {
+    /// Creates an environment over the given signal table.
+    pub fn new(table: &'a SignalTable) -> FreeTraceEnv<'a> {
+        FreeTraceEnv {
+            table,
+            slots: HashMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The allocation log: `(signal, cycle, bits)` in creation order.
+    pub fn log(&self) -> &[(String, i32, BitVec)] {
+        &self.log
+    }
+}
+
+impl TraceEnv for FreeTraceEnv<'_> {
+    fn read(&mut self, g: &mut Aig, name: &str, cycle: i32) -> Result<BitVec, EncodeError> {
+        if let Some(bv) = self.slots.get(&(name.to_string(), cycle)) {
+            return Ok(bv.clone());
+        }
+        let width = self
+            .table
+            .width(name)
+            .ok_or_else(|| EncodeError::UnknownSignal(name.to_string()))?;
+        let bv = BitVec::input(g, width as usize);
+        self.slots.insert((name.to_string(), cycle), bv.clone());
+        self.log.push((name.to_string(), cycle, bv.clone()));
+        Ok(bv)
+    }
+
+    fn constant(&self, name: &str) -> Option<(u32, u128)> {
+        self.table.constant(name)
+    }
+}
+
+/// Design-trace environment: signals resolve against unrolled time
+/// frames of an elaborated netlist. Used by the Design2SVA prover.
+pub struct DesignTraceEnv<'a> {
+    expander: &'a FrameExpander<'a>,
+    frames: Vec<FrameValues>,
+    /// Extra constant bindings (testbench parameters such as `S0`).
+    consts: HashMap<String, (u32, u128)>,
+    /// Forced input values by atom name (e.g. `reset_` pinned to 1).
+    forced: HashMap<String, u128>,
+    /// Free initial state (k-induction) instead of reset constants.
+    free_initial: bool,
+    /// Input allocation log per frame, for counterexample decoding.
+    input_log: Vec<(String, u32, BitVec)>,
+}
+
+impl<'a> DesignTraceEnv<'a> {
+    /// Creates an environment over `expander`'s netlist.
+    pub fn new(expander: &'a FrameExpander<'a>) -> DesignTraceEnv<'a> {
+        let mut env = DesignTraceEnv {
+            expander,
+            frames: Vec::new(),
+            consts: HashMap::new(),
+            forced: HashMap::new(),
+            free_initial: false,
+            input_log: Vec::new(),
+        };
+        // Standard formal setup: reset deasserted throughout.
+        if let Some(rst) = expander.netlist().reset_name.clone() {
+            env.forced.insert(rst, u128::MAX);
+        }
+        env
+    }
+
+    /// Starts from a fully unconstrained state (k-induction step case).
+    pub fn with_free_initial_state(mut self) -> Self {
+        self.free_initial = true;
+        self
+    }
+
+    /// Adds a constant binding visible to assertions.
+    pub fn bind_const(&mut self, name: impl Into<String>, width: u32, value: u128) {
+        self.consts.insert(name.into(), (width, value));
+    }
+
+    /// Ensures frames `0..=cycle` exist.
+    pub fn ensure_frames(&mut self, g: &mut Aig, cycle: u32) {
+        while self.frames.len() <= cycle as usize {
+            let state = if let Some(prev) = self.frames.last() {
+                prev.reg_next.clone()
+            } else if self.free_initial {
+                self.expander
+                    .netlist()
+                    .regs()
+                    .map(|(id, def)| (id, BitVec::input(g, def.width as usize)))
+                    .collect()
+            } else {
+                self.expander.initial_state()
+            };
+            let frame_idx = self.frames.len() as u32;
+            let forced = self.forced.clone();
+            let mut log = Vec::new();
+            let frame = self.expander.expand(g, &state, &mut |g, id, w| {
+                let name = self.expander.netlist().atom(id).name.clone();
+                if let Some(&v) = forced.get(&name) {
+                    BitVec::constant(w as usize, v)
+                } else {
+                    let bv = BitVec::input(g, w as usize);
+                    log.push((name, frame_idx, bv.clone()));
+                    bv
+                }
+            });
+            self.input_log.extend(log);
+            self.frames.push(frame);
+        }
+    }
+
+    /// Number of frames expanded so far.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The input allocation log: `(signal, frame, bits)`.
+    pub fn input_log(&self) -> &[(String, u32, BitVec)] {
+        &self.input_log
+    }
+}
+
+impl TraceEnv for DesignTraceEnv<'_> {
+    fn read(&mut self, g: &mut Aig, name: &str, cycle: i32) -> Result<BitVec, EncodeError> {
+        if let Some(&(w, v)) = self.consts.get(name) {
+            return Ok(BitVec::constant(w as usize, v));
+        }
+        // Pre-history clamps to the reset state (documented).
+        let cycle = cycle.max(0) as u32;
+        let binding = self
+            .expander
+            .netlist()
+            .net(name)
+            .ok_or_else(|| EncodeError::UnknownSignal(name.to_string()))?
+            .clone();
+        self.ensure_frames(g, cycle);
+        Ok(self.frames[cycle as usize].read_net(&binding))
+    }
+
+    fn constant(&self, name: &str) -> Option<(u32, u128)> {
+        self.consts.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_env_is_stable_per_slot() {
+        let table: SignalTable = [("a", 4u32)].into_iter().collect();
+        let mut env = FreeTraceEnv::new(&table);
+        let mut g = Aig::new();
+        let x1 = env.read(&mut g, "a", 0).unwrap();
+        let x2 = env.read(&mut g, "a", 0).unwrap();
+        assert_eq!(x1, x2, "same slot reuses inputs");
+        let y = env.read(&mut g, "a", 1).unwrap();
+        assert_ne!(x1, y, "different cycles get fresh inputs");
+        assert_eq!(env.log().len(), 2);
+    }
+
+    #[test]
+    fn free_env_rejects_unknown() {
+        let table = SignalTable::new();
+        let mut env = FreeTraceEnv::new(&table);
+        let mut g = Aig::new();
+        assert_eq!(
+            env.read(&mut g, "ghost", 0),
+            Err(EncodeError::UnknownSignal("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn negative_cycles_allocate_prehistory() {
+        let table: SignalTable = [("a", 1u32)].into_iter().collect();
+        let mut env = FreeTraceEnv::new(&table);
+        let mut g = Aig::new();
+        let pre = env.read(&mut g, "a", -1).unwrap();
+        let now = env.read(&mut g, "a", 0).unwrap();
+        assert_ne!(pre, now);
+    }
+}

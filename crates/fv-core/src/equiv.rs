@@ -1,0 +1,344 @@
+//! Assertion-to-assertion formal equivalence — the reproduction of the
+//! paper's custom Jasper equivalence-checking function.
+
+use crate::env::FreeTraceEnv;
+use crate::error::EncodeError;
+use crate::monitor::{encode_assertion, horizon_for};
+use crate::table::SignalTable;
+use fv_aig::{Aig, CnfEmitter};
+use fv_sat::Solver;
+use sv_ast::Assertion;
+
+/// Configuration for the bounded equivalence check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivConfig {
+    /// Extra cycles granted beyond the assertions' bounded depth when
+    /// unbounded operators are present.
+    pub slack: u32,
+    /// Hard cap on the trace horizon.
+    pub max_horizon: u32,
+}
+
+impl Default for EquivConfig {
+    fn default() -> EquivConfig {
+        EquivConfig {
+            slack: 4,
+            max_horizon: 64,
+        }
+    }
+}
+
+/// The four-way verdict of the equivalence prover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Equivalence {
+    /// Logically equivalent on all traces (full functional match).
+    Equivalent,
+    /// The reference implies the candidate (candidate is weaker).
+    RefImpliesCand,
+    /// The candidate implies the reference (candidate is stronger).
+    CandImpliesRef,
+    /// Neither direction holds.
+    Inequivalent,
+}
+
+impl Equivalence {
+    /// The paper's strict *functional* metric.
+    pub fn is_equivalent(self) -> bool {
+        self == Equivalence::Equivalent
+    }
+
+    /// The paper's relaxed *partial functional* metric: full equivalence
+    /// or a one-way implication.
+    pub fn is_partial(self) -> bool {
+        !matches!(self, Equivalence::Inequivalent)
+    }
+}
+
+/// A distinguishing trace: per-cycle signal valuations where the two
+/// assertions disagree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCex {
+    /// `(signal, cycle, value)` triples, sorted by cycle then name.
+    pub values: Vec<(String, i32, u128)>,
+}
+
+impl std::fmt::Display for TraceCex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, cycle, v) in &self.values {
+            writeln!(f, "  cycle {cycle:>3}: {name} = {v:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of [`check_equivalence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivOutcome {
+    /// The verdict.
+    pub verdict: Equivalence,
+    /// Horizon (trace length in cycles) used for the check.
+    pub horizon: u32,
+    /// A distinguishing trace when the verdict is not `Equivalent`
+    /// (a trace where exactly one assertion holds).
+    pub cex: Option<TraceCex>,
+}
+
+/// Proves bounded-trace equivalence between a `reference` and a
+/// `candidate` assertion over free signals declared in `table`.
+///
+/// Mirrors the paper's evaluation exactly: two SAT queries decide
+/// `ref ∧ ¬cand` and `cand ∧ ¬ref`; both UNSAT means [`Equivalence::Equivalent`],
+/// one UNSAT means one-way implication (the *partial* metric), both SAT
+/// means [`Equivalence::Inequivalent`].
+///
+/// # Errors
+///
+/// [`EncodeError`] when either assertion references unknown signals or
+/// unsupported constructs — the harness scores these as tool/elaboration
+/// failures, like Jasper would.
+pub fn check_equivalence(
+    reference: &Assertion,
+    candidate: &Assertion,
+    table: &SignalTable,
+    cfg: EquivConfig,
+) -> Result<EquivOutcome, EncodeError> {
+    // Different clocking events cannot be reconciled by the bounded
+    // single-clock encoding; treat as inequivalent outright.
+    if reference.clock != candidate.clock {
+        return Ok(EquivOutcome {
+            verdict: Equivalence::Inequivalent,
+            horizon: 0,
+            cex: None,
+        });
+    }
+    let horizon = horizon_for(reference, Some(candidate), cfg.slack);
+    if horizon > cfg.max_horizon {
+        return Err(EncodeError::HorizonExceeded {
+            needed: horizon,
+            max: cfg.max_horizon,
+        });
+    }
+    let mut g = Aig::new();
+    let mut env = FreeTraceEnv::new(table);
+    let ref_holds = encode_assertion(&mut g, reference, horizon, &mut env)?;
+    let cand_holds = encode_assertion(&mut g, candidate, horizon, &mut env)?;
+
+    let mut solver = Solver::new();
+    let mut em = CnfEmitter::new();
+    let lr = em.emit(&g, ref_holds, &mut solver);
+    let lc = em.emit(&g, cand_holds, &mut solver);
+
+    // ref ∧ ¬cand : SAT means ref does NOT imply cand.
+    let ref_not_cand = solver.solve_with(&[lr, !lc]).is_sat();
+    let cex1 = if ref_not_cand {
+        Some(extract_cex(&env, &em, &solver))
+    } else {
+        None
+    };
+    let cand_not_ref = solver.solve_with(&[lc, !lr]).is_sat();
+    let cex2 = if cand_not_ref {
+        Some(extract_cex(&env, &em, &solver))
+    } else {
+        None
+    };
+
+    let verdict = match (ref_not_cand, cand_not_ref) {
+        (false, false) => Equivalence::Equivalent,
+        // UNSAT(ref ∧ ¬cand) proves ref ⇒ cand.
+        (false, true) => Equivalence::RefImpliesCand,
+        (true, false) => Equivalence::CandImpliesRef,
+        (true, true) => Equivalence::Inequivalent,
+    };
+    Ok(EquivOutcome {
+        verdict,
+        horizon,
+        cex: cex1.or(cex2),
+    })
+}
+
+fn extract_cex(env: &FreeTraceEnv, em: &CnfEmitter, solver: &Solver) -> TraceCex {
+    let mut values = Vec::new();
+    for (name, cycle, bv) in env.log() {
+        let mut v: u128 = 0;
+        for (i, &bit) in bv.bits().iter().enumerate() {
+            let val = em
+                .lookup(bit.node())
+                .and_then(|var| solver.value(var))
+                .map(|b| b ^ bit.is_inverted())
+                .unwrap_or(false);
+            if val {
+                v |= 1 << i;
+            }
+        }
+        values.push((name.clone(), *cycle, v));
+    }
+    values.sort_by_key(|a| (a.1, a.0.clone()));
+    TraceCex { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_parser::parse_assertion_str;
+
+    fn table() -> SignalTable {
+        let mut t: SignalTable = [
+            ("a", 1u32),
+            ("b", 1),
+            ("c", 1),
+            ("tb_reset", 1),
+            ("wr_push", 1),
+            ("rd_pop", 1),
+            ("busy", 1),
+            ("hold", 1),
+            ("cont_gnt", 1),
+            ("sig_D", 1),
+            ("sig_F", 1),
+            ("sig_G", 1),
+            ("sig_H", 4),
+            ("sig_J", 1),
+        ]
+        .into_iter()
+        .collect();
+        t.insert_const("S0", 2, 0);
+        t
+    }
+
+    fn check(reference: &str, candidate: &str) -> Equivalence {
+        let r = parse_assertion_str(reference).unwrap();
+        let c = parse_assertion_str(candidate).unwrap();
+        check_equivalence(&r, &c, &table(), EquivConfig::default())
+            .unwrap()
+            .verdict
+    }
+
+    #[test]
+    fn identical_assertions_are_equivalent() {
+        let src = "assert property (@(posedge clk) disable iff (tb_reset) \
+                   wr_push |-> strong(##[0:$] rd_pop));";
+        assert_eq!(check(src, src), Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn semantically_equal_spellings_are_equivalent() {
+        assert_eq!(
+            check(
+                "assert property (@(posedge clk) (a && b) !== 1'b1);",
+                "assert property (@(posedge clk) !(a && b));"
+            ),
+            Equivalence::Equivalent
+        );
+        assert_eq!(
+            check(
+                "assert property (@(posedge clk) a |=> b);",
+                "assert property (@(posedge clk) a |-> ##1 b);"
+            ),
+            Equivalence::Equivalent
+        );
+    }
+
+    #[test]
+    fn paper_fifo_partial_example() {
+        // Figure 7: reference strong(##[0:$]) vs candidate weak ##[1:$]:
+        // the reference implies the (weak, hence unfalsifiable) candidate.
+        let verdict = check(
+            "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
+             wr_push |-> strong(##[0:$] rd_pop));",
+            "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
+             wr_push |-> ##[1:$] rd_pop);",
+        );
+        assert_eq!(verdict, Equivalence::RefImpliesCand);
+        assert!(verdict.is_partial());
+        assert!(!verdict.is_equivalent());
+    }
+
+    #[test]
+    fn paper_arbiter_partial_example() {
+        // Figure 7: $onehot0 reference vs "not all three" candidate.
+        let verdict = check(
+            "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
+             !$onehot0({hold,busy,cont_gnt}) !== 1'b1);",
+            "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
+             !(busy && hold && cont_gnt));",
+        );
+        assert_eq!(verdict, Equivalence::RefImpliesCand);
+    }
+
+    #[test]
+    fn paper_machine_countones_example() {
+        // Figure 8: reference conjunction vs candidate implication form.
+        let verdict = check(
+            "assert property(@(posedge clk) ((sig_D || ^sig_H) && sig_F));",
+            "assert property (@(posedge clk) \
+             (sig_D || ($countones(sig_H) % 2 == 1)) |-> sig_F);",
+        );
+        assert_eq!(verdict, Equivalence::RefImpliesCand);
+        // And the exact rewrite is fully equivalent.
+        assert_eq!(
+            check(
+                "assert property(@(posedge clk) ((sig_D || ^sig_H) && sig_F));",
+                "assert property(@(posedge clk) \
+                 ((sig_D || ($countones(sig_H) % 2 == 1)) && sig_F));"
+            ),
+            Equivalence::Equivalent
+        );
+    }
+
+    #[test]
+    fn inequivalent_pair_with_cex() {
+        let r = parse_assertion_str("assert property (@(posedge clk) a |-> ##2 b);").unwrap();
+        let c = parse_assertion_str("assert property (@(posedge clk) a |-> ##1 b);").unwrap();
+        let out = check_equivalence(&r, &c, &table(), EquivConfig::default()).unwrap();
+        assert_eq!(out.verdict, Equivalence::Inequivalent);
+        assert!(out.cex.is_some(), "distinguishing trace expected");
+    }
+
+    #[test]
+    fn stronger_candidate_detected() {
+        // Candidate `a |-> b && c` is stronger than `a |-> b`.
+        assert_eq!(
+            check(
+                "assert property (@(posedge clk) a |-> b);",
+                "assert property (@(posedge clk) a |-> (b && c));"
+            ),
+            Equivalence::CandImpliesRef
+        );
+    }
+
+    #[test]
+    fn dropping_disable_iff_is_detected() {
+        // With free tb_reset, dropping the disable changes semantics:
+        // the undisabled assertion is stronger.
+        let verdict = check(
+            "assert property (@(posedge clk) disable iff (tb_reset) a |-> ##1 b);",
+            "assert property (@(posedge clk) a |-> ##1 b);",
+        );
+        assert_eq!(verdict, Equivalence::CandImpliesRef);
+    }
+
+    #[test]
+    fn unknown_signal_is_encode_error() {
+        let r = parse_assertion_str("assert property (@(posedge clk) a);").unwrap();
+        let c = parse_assertion_str("assert property (@(posedge clk) ghost);").unwrap();
+        let err = check_equivalence(&r, &c, &table(), EquivConfig::default()).unwrap_err();
+        assert_eq!(err, EncodeError::UnknownSignal("ghost".into()));
+    }
+
+    #[test]
+    fn different_clocks_are_inequivalent() {
+        let verdict = check(
+            "assert property (@(posedge clk) a);",
+            "assert property (@(negedge clk) a);",
+        );
+        assert_eq!(verdict, Equivalence::Inequivalent);
+    }
+
+    #[test]
+    fn symmetry_of_verdicts() {
+        // Swapping arguments mirrors the implication direction.
+        let r = "assert property (@(posedge clk) a |-> b);";
+        let c = "assert property (@(posedge clk) a |-> (b && c));";
+        assert_eq!(check(r, c), Equivalence::CandImpliesRef);
+        assert_eq!(check(c, r), Equivalence::RefImpliesCand);
+    }
+}

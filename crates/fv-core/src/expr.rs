@@ -1,0 +1,413 @@
+//! Compilation of assertion-level boolean expressions into AIG
+//! bit-vectors over a trace environment.
+//!
+//! This mirrors the RTL elaborator's width rules (unsigned, max-width
+//! binary operands, self-determined shift amounts) and adds the
+//! sampled-value functions (`$past`, `$rose`, `$fell`, `$stable`,
+//! `$changed`) by recursing at `cycle - 1`.
+
+use crate::env::TraceEnv;
+use crate::error::EncodeError;
+use fv_aig::{Aig, AigLit, BitVec};
+use sv_ast::{BinaryOp, Expr, Literal, SysFunc, UnaryOp};
+
+type Result<T> = std::result::Result<T, EncodeError>;
+
+/// Compiles `e` at `cycle` into a bit-vector.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] for unknown signals or unsupported
+/// constructs (the tool-elaboration-failure verdict).
+pub fn compile_expr(
+    g: &mut Aig,
+    e: &Expr,
+    cycle: i32,
+    env: &mut dyn TraceEnv,
+) -> Result<BitVec> {
+    compile(g, e, cycle, env, None)
+}
+
+/// Compiles `e` at `cycle` to its 1-bit truthiness.
+pub(crate) fn compile_bool(
+    g: &mut Aig,
+    e: &Expr,
+    cycle: i32,
+    env: &mut dyn TraceEnv,
+) -> Result<AigLit> {
+    let v = compile(g, e, cycle, env, None)?;
+    Ok(v.reduce_or(g))
+}
+
+fn unsized_width(value: u128) -> u32 {
+    let needed = 128 - value.leading_zeros();
+    needed.clamp(32, 128)
+}
+
+fn compile(
+    g: &mut Aig,
+    e: &Expr,
+    cycle: i32,
+    env: &mut dyn TraceEnv,
+    ctx: Option<u32>,
+) -> Result<BitVec> {
+    Ok(match e {
+        Expr::Ident(name) => {
+            if let Some((w, v)) = env.constant(name) {
+                BitVec::constant(w as usize, v)
+            } else {
+                env.read(g, name, cycle)?
+            }
+        }
+        Expr::Literal(Literal::Int { width, value, .. }) => {
+            let w = width.unwrap_or_else(|| unsized_width(*value));
+            BitVec::constant(w as usize, *value)
+        }
+        Expr::Literal(Literal::Fill(b)) => {
+            let w = ctx.ok_or_else(|| {
+                EncodeError::Unsupported("'0/'1 fill literal needs a width context".into())
+            })?;
+            BitVec::constant(w as usize, if *b { u128::MAX } else { 0 })
+        }
+        Expr::Unary(op, inner) => {
+            let v = compile(g, inner, cycle, env, None)?;
+            match op {
+                UnaryOp::LogNot => BitVec::from_lit(!v.reduce_or(g)),
+                UnaryOp::BitNot => v.not(),
+                UnaryOp::Neg => v.neg(g),
+                UnaryOp::Pos => v,
+                UnaryOp::RedAnd => BitVec::from_lit(v.reduce_and(g)),
+                UnaryOp::RedOr => BitVec::from_lit(v.reduce_or(g)),
+                UnaryOp::RedXor => BitVec::from_lit(v.reduce_xor(g)),
+                UnaryOp::RedNand => BitVec::from_lit(!v.reduce_and(g)),
+                UnaryOp::RedNor => BitVec::from_lit(!v.reduce_or(g)),
+                UnaryOp::RedXnor => BitVec::from_lit(!v.reduce_xor(g)),
+            }
+        }
+        Expr::Binary(op, a, b) => compile_binary(g, *op, a, b, cycle, env, ctx)?,
+        Expr::Ternary(c, t, f) => {
+            let sel = compile_bool(g, c, cycle, env)?;
+            let tv = compile(g, t, cycle, env, ctx)?;
+            let ev = compile(g, f, cycle, env, ctx)?;
+            let w = tv.width().max(ev.width());
+            let tv = tv.resize(w);
+            let ev = ev.resize(w);
+            BitVec::mux(g, sel, &tv, &ev)
+        }
+        Expr::Concat(parts) => {
+            // Source order is MSB-first.
+            let mut bits = Vec::new();
+            for p in parts.iter().rev() {
+                bits.extend_from_slice(compile(g, p, cycle, env, None)?.bits());
+            }
+            BitVec::from_bits(bits)
+        }
+        Expr::Replicate(n, inner) => {
+            let count = const_u32(n)?;
+            if count == 0 {
+                return Err(EncodeError::Unsupported("zero replication".into()));
+            }
+            let v = compile(g, inner, cycle, env, None)?;
+            v.replicate(count as usize)
+        }
+        Expr::Index(base, idx) => {
+            let v = compile(g, base, cycle, env, None)?;
+            match const_u32(idx) {
+                Ok(i) => {
+                    if i as usize >= v.width() {
+                        return Err(EncodeError::Unsupported(format!(
+                            "bit-select index {i} out of range"
+                        )));
+                    }
+                    v.slice(i as usize, i as usize)
+                }
+                Err(_) => {
+                    // Dynamic bit select: mux chain.
+                    let sel = compile(g, idx, cycle, env, None)?;
+                    let mut acc = BitVec::constant(1, 0);
+                    for i in 0..v.width() {
+                        let eq = sel.eq(g, &BitVec::constant(sel.width(), i as u128));
+                        let bit = BitVec::from_lit(v.bit(i));
+                        acc = BitVec::mux(g, eq, &bit, &acc);
+                    }
+                    acc
+                }
+            }
+        }
+        Expr::Slice(base, hi, lo) => {
+            let v = compile(g, base, cycle, env, None)?;
+            let hi = const_u32(hi)? as usize;
+            let lo = const_u32(lo)? as usize;
+            if lo > hi || hi >= v.width() {
+                return Err(EncodeError::Unsupported("part-select out of range".into()));
+            }
+            v.slice(hi, lo)
+        }
+        Expr::SysCall(f, args) => compile_syscall(g, *f, args, cycle, env)?,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_binary(
+    g: &mut Aig,
+    op: BinaryOp,
+    a: &Expr,
+    b: &Expr,
+    cycle: i32,
+    env: &mut dyn TraceEnv,
+    ctx: Option<u32>,
+) -> Result<BitVec> {
+    use BinaryOp as B;
+    if matches!(op, B::LogAnd | B::LogOr) {
+        let x = compile_bool(g, a, cycle, env)?;
+        let y = compile_bool(g, b, cycle, env)?;
+        let r = if op == B::LogAnd { g.and(x, y) } else { g.or(x, y) };
+        return Ok(BitVec::from_lit(r));
+    }
+    if matches!(op, B::Shl | B::Shr | B::AShl | B::AShr) {
+        let x = compile(g, a, cycle, env, ctx)?;
+        let y = compile(g, b, cycle, env, None)?;
+        // `<<<`/`>>>` on unsigned operands are logical shifts.
+        return Ok(match op {
+            B::Shl | B::AShl => x.shl(g, &y),
+            _ => x.lshr(g, &y),
+        });
+    }
+    // Fill literals adopt the opposite operand's width.
+    let (x, y) = if matches!(a, Expr::Literal(Literal::Fill(_))) {
+        let y = compile(g, b, cycle, env, None)?;
+        let w = y.width() as u32;
+        (compile(g, a, cycle, env, Some(w))?, y)
+    } else if matches!(b, Expr::Literal(Literal::Fill(_))) {
+        let x = compile(g, a, cycle, env, None)?;
+        let w = x.width() as u32;
+        let y = compile(g, b, cycle, env, Some(w))?;
+        (x, y)
+    } else {
+        (
+            compile(g, a, cycle, env, None)?,
+            compile(g, b, cycle, env, None)?,
+        )
+    };
+    let is_pred = matches!(
+        op,
+        B::Eq | B::Neq | B::CaseEq | B::CaseNeq | B::Lt | B::Le | B::Gt | B::Ge
+    );
+    let mut w = x.width().max(y.width());
+    if !is_pred {
+        w = w.max(ctx.unwrap_or(0) as usize);
+    }
+    let x = x.resize(w);
+    let y = y.resize(w);
+    Ok(match op {
+        B::Add => x.add(g, &y),
+        B::Sub => x.sub(g, &y),
+        B::Mul => x.mul(g, &y),
+        B::Div => x.udivrem(g, &y).0,
+        B::Mod => x.udivrem(g, &y).1,
+        B::BitAnd => x.and(g, &y),
+        B::BitOr => x.or(g, &y),
+        B::BitXor => x.xor(g, &y),
+        B::BitXnor => x.xor(g, &y).not(),
+        B::Eq | B::CaseEq => BitVec::from_lit(x.eq(g, &y)),
+        B::Neq | B::CaseNeq => BitVec::from_lit(x.ne(g, &y)),
+        B::Lt => BitVec::from_lit(x.ult(g, &y)),
+        B::Le => BitVec::from_lit(x.ule(g, &y)),
+        B::Gt => BitVec::from_lit(y.ult(g, &x)),
+        B::Ge => BitVec::from_lit(y.ule(g, &x)),
+        B::LogAnd | B::LogOr | B::Shl | B::Shr | B::AShl | B::AShr => unreachable!(),
+    })
+}
+
+fn compile_syscall(
+    g: &mut Aig,
+    f: SysFunc,
+    args: &[Expr],
+    cycle: i32,
+    env: &mut dyn TraceEnv,
+) -> Result<BitVec> {
+    let arg = |n: usize| -> Result<&Expr> {
+        args.get(n).ok_or_else(|| {
+            EncodeError::Unsupported(format!("${} missing argument {n}", f.name()))
+        })
+    };
+    Ok(match f {
+        SysFunc::Countones => {
+            let v = compile(g, arg(0)?, cycle, env, None)?;
+            v.countones(g)
+        }
+        SysFunc::Onehot => {
+            let v = compile(g, arg(0)?, cycle, env, None)?;
+            BitVec::from_lit(v.onehot(g))
+        }
+        SysFunc::Onehot0 => {
+            let v = compile(g, arg(0)?, cycle, env, None)?;
+            BitVec::from_lit(v.onehot0(g))
+        }
+        SysFunc::Bits => {
+            let v = compile(g, arg(0)?, cycle, env, None)?;
+            BitVec::constant(32, v.width() as u128)
+        }
+        SysFunc::Clog2 => {
+            let v = const_u32(arg(0)?)?;
+            let c = if v <= 1 { 0 } else { 32 - (v - 1).leading_zeros() };
+            BitVec::constant(32, u128::from(c))
+        }
+        SysFunc::Past => {
+            let depth = match args.get(1) {
+                Some(d) => const_u32(d)? as i32,
+                None => 1,
+            };
+            compile(g, arg(0)?, cycle - depth, env, None)?
+        }
+        SysFunc::Rose => {
+            let now = compile(g, arg(0)?, cycle, env, None)?;
+            let prev = compile(g, arg(0)?, cycle - 1, env, None)?;
+            // $rose samples the LSB.
+            BitVec::from_lit(g.and(now.bit(0), !prev.bit(0)))
+        }
+        SysFunc::Fell => {
+            let now = compile(g, arg(0)?, cycle, env, None)?;
+            let prev = compile(g, arg(0)?, cycle - 1, env, None)?;
+            BitVec::from_lit(g.and(!now.bit(0), prev.bit(0)))
+        }
+        SysFunc::Stable => {
+            let now = compile(g, arg(0)?, cycle, env, None)?;
+            let prev = compile(g, arg(0)?, cycle - 1, env, None)?;
+            BitVec::from_lit(now.eq(g, &prev))
+        }
+        SysFunc::Changed => {
+            let now = compile(g, arg(0)?, cycle, env, None)?;
+            let prev = compile(g, arg(0)?, cycle - 1, env, None)?;
+            BitVec::from_lit(now.ne(g, &prev))
+        }
+    })
+}
+
+/// Evaluates a constant expression (indices, repeat counts).
+fn const_u32(e: &Expr) -> Result<u32> {
+    fn eval(e: &Expr) -> Option<u128> {
+        match e {
+            Expr::Literal(Literal::Int { value, .. }) => Some(*value),
+            Expr::Binary(op, a, b) => {
+                let (x, y) = (eval(a)?, eval(b)?);
+                Some(match op {
+                    BinaryOp::Add => x.wrapping_add(y),
+                    BinaryOp::Sub => x.wrapping_sub(y),
+                    BinaryOp::Mul => x.wrapping_mul(y),
+                    _ => return None,
+                })
+            }
+            _ => None,
+        }
+    }
+    eval(e)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| EncodeError::Unsupported("expected a constant expression".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::FreeTraceEnv;
+    use crate::table::SignalTable;
+    use fv_sat::Solver;
+    use fv_aig::CnfEmitter;
+    use sv_parser::parse_expr_str;
+
+    fn prove_taut(src: &str, table: &SignalTable) {
+        // The expression must be true for all signal values.
+        let e = parse_expr_str(src).unwrap();
+        let mut g = Aig::new();
+        let mut env = FreeTraceEnv::new(table);
+        let lit = compile_bool(&mut g, &e, 0, &mut env).unwrap();
+        let mut s = Solver::new();
+        let mut em = CnfEmitter::new();
+        let l = em.emit(&g, !lit, &mut s);
+        assert!(s.solve_with(&[l]).is_unsat(), "not a tautology: {src}");
+    }
+
+    fn table() -> SignalTable {
+        [("a", 1u32), ("b", 1), ("x", 4), ("y", 4)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn boolean_tautologies() {
+        let t = table();
+        prove_taut("a || !a", &t);
+        prove_taut("!(a && b) == (!a || !b)", &t);
+        prove_taut("(x == y) || (x != y)", &t);
+        prove_taut("(x < y) || (x >= y)", &t);
+    }
+
+    #[test]
+    fn countones_parity_equals_reduction_xor() {
+        // ^x === ($countones(x) % 2 == 1) — the paper's Figure 8 rewrite.
+        prove_taut("(^x) == ($countones(x) % 2 == 1)", &table());
+    }
+
+    #[test]
+    fn onehot0_definition() {
+        prove_taut("$onehot0(x) == ($countones(x) <= 1)", &table());
+    }
+
+    #[test]
+    fn fill_literal_width_adopts() {
+        prove_taut("(x == '1) == (&x)", &table());
+        prove_taut("(x == '0) == (~|x)", &table());
+    }
+
+    #[test]
+    fn case_equality_is_two_state() {
+        prove_taut("(x === y) == (x == y)", &table());
+        prove_taut("(x !== y) == (x != y)", &table());
+    }
+
+    #[test]
+    fn rose_is_edge() {
+        // $rose(a) -> a (at the current cycle).
+        prove_taut("!$rose(a) || a", &table());
+    }
+
+    #[test]
+    fn past_differs_from_present() {
+        // $past(a) == a is NOT a tautology: must be satisfiable to violate.
+        let e = parse_expr_str("$past(a) != a").unwrap();
+        let t = table();
+        let mut g = Aig::new();
+        let mut env = FreeTraceEnv::new(&t);
+        let lit = compile_bool(&mut g, &e, 0, &mut env).unwrap();
+        let mut s = Solver::new();
+        let mut em = CnfEmitter::new();
+        let l = em.emit(&g, lit, &mut s);
+        assert!(s.solve_with(&[l]).is_sat());
+    }
+
+    #[test]
+    fn unknown_signal_errors() {
+        let e = parse_expr_str("ghost && a").unwrap();
+        let t = table();
+        let mut g = Aig::new();
+        let mut env = FreeTraceEnv::new(&t);
+        assert_eq!(
+            compile_bool(&mut g, &e, 0, &mut env),
+            Err(EncodeError::UnknownSignal("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        prove_taut("{x, y}[7:4] == x", &table());
+        prove_taut("{x, y}[3:0] == y", &table());
+        prove_taut("{2{a}} == {a, a}", &table());
+    }
+
+    #[test]
+    fn shifts_and_arith() {
+        prove_taut("(x << 1) == (x + x)", &table());
+        prove_taut("(x >> 4) == 4'd0", &table());
+        prove_taut("(x <<< 1) == (x << 1)", &table());
+    }
+}

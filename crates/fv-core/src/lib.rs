@@ -1,0 +1,37 @@
+//! The formal-verification engine of the FVEval reproduction.
+//!
+//! This crate stands in for the commercial tool backend (Cadence Jasper
+//! in the paper) in both roles the benchmark uses it for:
+//!
+//! - **Assertion-to-assertion equivalence** ([`check_equivalence`]):
+//!   the paper's custom Jasper function that proves whether a
+//!   model-generated SVA assertion is logically equivalent to the
+//!   reference, or one-way implied (the *partial equivalence* metric).
+//!   Implemented as H-bounded trace equivalence: both properties are
+//!   compiled over a shared symbolic trace of free signals and two SAT
+//!   queries decide `A∧¬B` / `B∧¬A`.
+//! - **Model checking** ([`prove`]): whether an assertion is *proven*
+//!   on a design (the Design2SVA functional metric), via BMC for
+//!   counterexamples and k-induction for proofs over the bit-blasted
+//!   netlist.
+//!
+//! Weak/strong finite-trace semantics follow LTLf conventions: weak
+//! operators treat obligations pending at the horizon as satisfied,
+//! strong ones as violated. For the bounded-delay properties that
+//! dominate the benchmark this coincides with exact SVA semantics.
+
+mod env;
+mod equiv;
+mod error;
+mod expr;
+mod monitor;
+mod prove;
+mod table;
+
+pub use env::{DesignTraceEnv, FreeTraceEnv, TraceEnv};
+pub use equiv::{check_equivalence, EquivConfig, EquivOutcome, Equivalence, TraceCex};
+pub use error::EncodeError;
+pub use expr::compile_expr;
+pub use monitor::{encode_assertion, encode_prop, encode_seq, SeqEnc};
+pub use prove::{check_vacuity, prove, DesignCex, ProveConfig, ProveResult};
+pub use table::SignalTable;

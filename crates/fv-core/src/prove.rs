@@ -1,0 +1,376 @@
+//! Model checking: is an assertion *proven* on a design?
+//!
+//! This is the Design2SVA functional metric. The engine runs bounded
+//! model checking (counterexample search) over unrolled time frames,
+//! then k-induction for a proof. Properties with unbounded temporal
+//! operators are reported [`ProveResult::Undetermined`] (the bounded
+//! engine cannot conclude liveness), matching how a tool timeout is
+//! scored.
+
+use crate::env::DesignTraceEnv;
+use crate::error::EncodeError;
+use crate::monitor::{encode_assertion_at, horizon_for};
+use fv_aig::{Aig, CnfEmitter};
+use fv_sat::Solver;
+use sv_ast::Assertion;
+use sv_synth::{FrameExpander, Netlist};
+
+/// Configuration for the prover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProveConfig {
+    /// Maximum BMC depth (number of anchor cycles checked).
+    pub max_bmc: u32,
+    /// Maximum k for k-induction.
+    pub max_induction: u32,
+    /// Horizon slack (see [`crate::EquivConfig::slack`]).
+    pub slack: u32,
+}
+
+impl Default for ProveConfig {
+    fn default() -> ProveConfig {
+        ProveConfig {
+            max_bmc: 12,
+            max_induction: 6,
+            slack: 4,
+        }
+    }
+}
+
+/// A concrete counterexample trace from BMC.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DesignCex {
+    /// Anchor cycle of the violated evaluation attempt.
+    pub anchor: u32,
+    /// `(input, frame, value)` triples.
+    pub inputs: Vec<(String, u32, u128)>,
+}
+
+impl std::fmt::Display for DesignCex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "violation of attempt anchored at cycle {}:", self.anchor)?;
+        for (name, frame, v) in &self.inputs {
+            writeln!(f, "  cycle {frame:>3}: {name} = {v:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of [`prove`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProveResult {
+    /// Proven by k-induction at the given k (with BMC base).
+    Proven {
+        /// Induction depth that closed the proof.
+        k: u32,
+    },
+    /// Falsified: a reachable violation exists.
+    Falsified {
+        /// The counterexample.
+        cex: DesignCex,
+    },
+    /// Bounds exhausted without a verdict (scored as not-proven).
+    Undetermined,
+}
+
+impl ProveResult {
+    /// The Design2SVA functional metric: the assertion was proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, ProveResult::Proven { .. })
+    }
+}
+
+/// Checks `assertion` against the elaborated design `netlist`.
+///
+/// The design starts from its reset state with the reset input held
+/// deasserted. `consts` provides testbench parameter bindings (state
+/// encodings such as `S0`) visible to the assertion.
+///
+/// # Errors
+///
+/// [`EncodeError`] when the assertion references signals absent from
+/// the testbench scope (including design-internal signals the prompt
+/// forbids) — scored as an elaboration failure.
+pub fn prove(
+    netlist: &Netlist,
+    assertion: &Assertion,
+    consts: &[(String, u32, u128)],
+    cfg: ProveConfig,
+) -> Result<ProveResult, EncodeError> {
+    if assertion.body.has_unbounded() {
+        return Ok(ProveResult::Undetermined);
+    }
+    let expander = FrameExpander::new(netlist)
+        .map_err(|n| EncodeError::Unsupported(format!("combinational cycle through '{n}'")))?;
+    let horizon = horizon_for(assertion, None, cfg.slack);
+
+    // ---- BMC: search for a violated attempt anchored at t. ----
+    {
+        let mut g = Aig::new();
+        let mut env = DesignTraceEnv::new(&expander);
+        for (n, w, v) in consts {
+            env.bind_const(n.clone(), *w, *v);
+        }
+        let mut solver = Solver::new();
+        let mut em = CnfEmitter::new();
+        for t in 0..cfg.max_bmc {
+            let total = t + horizon;
+            let holds = encode_assertion_at(&mut g, assertion, t, total, &mut env)?;
+            let l = em.emit(&g, !holds, &mut solver);
+            if solver.solve_with(&[l]).is_sat() {
+                let mut inputs = Vec::new();
+                for (name, frame, bv) in env.input_log() {
+                    let mut v: u128 = 0;
+                    for (i, &bit) in bv.bits().iter().enumerate() {
+                        let val = em
+                            .lookup(bit.node())
+                            .and_then(|var| solver.value(var))
+                            .map(|b| b ^ bit.is_inverted())
+                            .unwrap_or(false);
+                        if val {
+                            v |= 1 << i;
+                        }
+                    }
+                    inputs.push((name.clone(), *frame, v));
+                }
+                inputs.sort_by_key(|a| (a.1, a.0.clone()));
+                return Ok(ProveResult::Falsified {
+                    cex: DesignCex { anchor: t, inputs },
+                });
+            }
+        }
+    }
+
+    // ---- k-induction: arbitrary start state, k good attempts imply
+    //      the next one. ----
+    for k in 1..=cfg.max_induction {
+        let mut g = Aig::new();
+        let mut env = DesignTraceEnv::new(&expander).with_free_initial_state();
+        for (n, w, v) in consts {
+            env.bind_const(n.clone(), *w, *v);
+        }
+        let total = k + horizon;
+        let mut assumptions = Vec::new();
+        let mut solver = Solver::new();
+        let mut em = CnfEmitter::new();
+        for i in 0..k {
+            let holds = encode_assertion_at(&mut g, assertion, i, total, &mut env)?;
+            assumptions.push(holds);
+        }
+        let target = encode_assertion_at(&mut g, assertion, k, total, &mut env)?;
+        let mut lits = Vec::new();
+        for h in assumptions {
+            lits.push(em.emit(&g, h, &mut solver));
+        }
+        lits.push(em.emit(&g, !target, &mut solver));
+        if solver.solve_with(&lits).is_unsat() {
+            // Base case: BMC above covered anchors 0..max_bmc >= k.
+            if k <= cfg.max_bmc {
+                return Ok(ProveResult::Proven { k });
+            }
+        }
+    }
+    Ok(ProveResult::Undetermined)
+}
+
+/// Checks whether a proven implication is *vacuous*: its antecedent can
+/// never fire on any reachable trace within the BMC bound.
+///
+/// Commercial tools flag vacuously-proven assertions separately; the
+/// Design2SVA metric counts them as proven (as the paper does), but this
+/// extension lets a harness report them, e.g. to filter trivial model
+/// outputs.
+///
+/// Returns `Ok(None)` for non-implication properties (no antecedent to
+/// test), `Ok(Some(true))` when the antecedent cannot fire within the
+/// bound, and `Ok(Some(false))` when a firing trace exists.
+///
+/// # Errors
+///
+/// [`EncodeError`] as for [`prove`].
+pub fn check_vacuity(
+    netlist: &Netlist,
+    assertion: &Assertion,
+    consts: &[(String, u32, u128)],
+    cfg: ProveConfig,
+) -> Result<Option<bool>, EncodeError> {
+    use crate::monitor::encode_seq;
+    let ante = match &assertion.body {
+        sv_ast::PropExpr::Implication { ante, .. } => ante.clone(),
+        _ => return Ok(None),
+    };
+    let expander = FrameExpander::new(netlist)
+        .map_err(|n| EncodeError::Unsupported(format!("combinational cycle through '{n}'")))?;
+    let horizon = horizon_for(assertion, None, cfg.slack);
+    let mut g = Aig::new();
+    let mut env = DesignTraceEnv::new(&expander);
+    for (n, w, v) in consts {
+        env.bind_const(n.clone(), *w, *v);
+    }
+    let mut solver = Solver::new();
+    let mut em = CnfEmitter::new();
+    for t in 0..cfg.max_bmc {
+        let total = t + horizon;
+        let enc = encode_seq(&mut g, &ante, t, total, &mut env)?;
+        let fires = enc.any_match(&mut g);
+        let l = em.emit(&g, fires, &mut solver);
+        if solver.solve_with(&[l]).is_sat() {
+            return Ok(Some(false));
+        }
+    }
+    Ok(Some(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_parser::{parse_assertion_str, parse_source};
+    use sv_synth::elaborate;
+
+    fn counter() -> Netlist {
+        let src = "module m (clk, reset_, en, q, wrapped);\n\
+            input clk; input reset_; input en;\n\
+            output [1:0] q; output wrapped;\n\
+            reg [1:0] cnt;\n\
+            always @(posedge clk) begin\n\
+            if (!reset_) cnt <= 2'd0;\n\
+            else if (en) cnt <= cnt + 2'd1;\nend\n\
+            assign q = cnt;\n\
+            assign wrapped = (cnt == 2'd3);\nendmodule\n";
+        let f = parse_source(src).unwrap();
+        elaborate(&f, "m").unwrap()
+    }
+
+    fn prove_str(nl: &Netlist, a: &str) -> ProveResult {
+        let a = parse_assertion_str(a).unwrap();
+        prove(nl, &a, &[], ProveConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn tautology_is_proven() {
+        let nl = counter();
+        let r = prove_str(&nl, "assert property (@(posedge clk) en || !en);");
+        assert!(r.is_proven());
+    }
+
+    #[test]
+    fn true_invariant_is_proven() {
+        // Counter increments by exactly one when enabled.
+        let nl = counter();
+        let r = prove_str(
+            &nl,
+            "assert property (@(posedge clk) (en && q == 2'd1) |-> ##1 q == 2'd2);",
+        );
+        assert!(r.is_proven(), "got {r:?}");
+    }
+
+    #[test]
+    fn hold_behaviour_is_proven() {
+        let nl = counter();
+        let r = prove_str(
+            &nl,
+            "assert property (@(posedge clk) (!en && q == 2'd2) |-> ##1 q == 2'd2);",
+        );
+        assert!(r.is_proven(), "got {r:?}");
+    }
+
+    #[test]
+    fn false_property_is_falsified_with_cex() {
+        let nl = counter();
+        let r = prove_str(
+            &nl,
+            "assert property (@(posedge clk) q != 2'd3);",
+        );
+        match r {
+            ProveResult::Falsified { cex } => {
+                assert!(!cex.inputs.is_empty());
+            }
+            other => panic!("expected falsified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_transition_is_falsified() {
+        let nl = counter();
+        let r = prove_str(
+            &nl,
+            "assert property (@(posedge clk) (en && q == 2'd1) |-> ##1 q == 2'd3);",
+        );
+        assert!(matches!(r, ProveResult::Falsified { .. }), "got {r:?}");
+    }
+
+    #[test]
+    fn unknown_signal_is_error() {
+        let nl = counter();
+        let a = parse_assertion_str("assert property (@(posedge clk) hidden == 1'b0);").unwrap();
+        assert!(matches!(
+            prove(&nl, &a, &[], ProveConfig::default()),
+            Err(EncodeError::UnknownSignal(_))
+        ));
+    }
+
+    #[test]
+    fn unbounded_property_is_undetermined() {
+        let nl = counter();
+        let r = prove_str(
+            &nl,
+            "assert property (@(posedge clk) en |-> strong(##[0:$] wrapped));",
+        );
+        assert_eq!(r, ProveResult::Undetermined);
+    }
+
+    #[test]
+    fn consts_bind_state_names() {
+        let nl = counter();
+        let a = parse_assertion_str(
+            "assert property (@(posedge clk) (en && q == SONE) |-> ##1 q == STWO);",
+        )
+        .unwrap();
+        let consts = vec![("SONE".to_string(), 2, 1u128), ("STWO".to_string(), 2, 2)];
+        let r = prove(&nl, &a, &consts, ProveConfig::default()).unwrap();
+        assert!(r.is_proven(), "got {r:?}");
+    }
+
+    #[test]
+    fn vacuity_detection() {
+        let nl = counter();
+        // Antecedent `q == 1 && q == 2` can never fire: vacuously proven.
+        let vac = parse_assertion_str(
+            "assert property (@(posedge clk) (q == 2'd1 && q == 2'd2) |-> ##1 en);",
+        )
+        .unwrap();
+        let r = prove(&nl, &vac, &[], ProveConfig::default()).unwrap();
+        assert!(r.is_proven(), "vacuous truths are proven: {r:?}");
+        assert_eq!(
+            check_vacuity(&nl, &vac, &[], ProveConfig::default()).unwrap(),
+            Some(true)
+        );
+        // A real antecedent fires.
+        let live = parse_assertion_str(
+            "assert property (@(posedge clk) (en && q == 2'd1) |-> ##1 q == 2'd2);",
+        )
+        .unwrap();
+        assert_eq!(
+            check_vacuity(&nl, &live, &[], ProveConfig::default()).unwrap(),
+            Some(false)
+        );
+        // Non-implications have no vacuity notion.
+        let plain = parse_assertion_str("assert property (@(posedge clk) en || !en);").unwrap();
+        assert_eq!(
+            check_vacuity(&nl, &plain, &[], ProveConfig::default()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn reset_state_respected_by_bmc() {
+        // At cycle 0 the counter is 0: q == 0 initially can only be
+        // violated after stepping, so `q == 0 at anchor 0` means BMC
+        // must find the violation at a later anchor.
+        let nl = counter();
+        let r = prove_str(&nl, "assert property (@(posedge clk) q == 2'd0);");
+        match r {
+            ProveResult::Falsified { cex } => assert!(cex.anchor >= 1),
+            other => panic!("expected falsified, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Signal width tables for free-trace (testbench) contexts.
+
+use std::collections::HashMap;
+
+/// Declared signals of a verification context: name to bit width.
+///
+/// For NL2SVA-Human this is extracted from the testbench's elaborated
+/// netlist; for NL2SVA-Machine it is the generator's symbolic signal
+/// table (`sig_A..sig_J` with their drawn widths).
+///
+/// # Examples
+///
+/// ```
+/// use fv_core::SignalTable;
+/// let mut t = SignalTable::new();
+/// t.insert("rd_pop", 1);
+/// t.insert("fifo_out_data", 8);
+/// assert_eq!(t.width("rd_pop"), Some(1));
+/// assert_eq!(t.width("ghost"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SignalTable {
+    widths: HashMap<String, u32>,
+    /// Constant bindings (testbench parameters like FSM state encodings).
+    consts: HashMap<String, (u32, u128)>,
+}
+
+impl SignalTable {
+    /// Creates an empty table.
+    pub fn new() -> SignalTable {
+        SignalTable::default()
+    }
+
+    /// Declares a signal.
+    pub fn insert(&mut self, name: impl Into<String>, width: u32) {
+        self.widths.insert(name.into(), width);
+    }
+
+    /// Declares an elaboration-time constant (e.g. a state-encoding
+    /// parameter `S0 = 2'b00`), visible to assertions by name.
+    pub fn insert_const(&mut self, name: impl Into<String>, width: u32, value: u128) {
+        self.consts.insert(name.into(), (width, value));
+    }
+
+    /// Width of a declared signal.
+    pub fn width(&self, name: &str) -> Option<u32> {
+        self.widths.get(name).copied()
+    }
+
+    /// Constant binding, if `name` is one.
+    pub fn constant(&self, name: &str) -> Option<(u32, u128)> {
+        self.consts.get(name).copied()
+    }
+
+    /// Iterates over declared signal names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.widths.keys().map(String::as_str)
+    }
+
+    /// Number of declared signals.
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// `true` if no signals are declared.
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, u32)> for SignalTable {
+    fn from_iter<T: IntoIterator<Item = (S, u32)>>(iter: T) -> SignalTable {
+        let mut t = SignalTable::new();
+        for (name, w) in iter {
+            t.insert(name, w);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_iterator() {
+        let t: SignalTable = [("a", 1u32), ("b", 8)].into_iter().collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.width("b"), Some(8));
+    }
+
+    #[test]
+    fn constants_are_separate() {
+        let mut t = SignalTable::new();
+        t.insert_const("S0", 2, 0);
+        assert_eq!(t.constant("S0"), Some((2, 0)));
+        assert_eq!(t.width("S0"), None);
+    }
+}

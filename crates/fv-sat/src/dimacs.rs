@@ -1,0 +1,141 @@
+//! DIMACS CNF reading and writing, for test corpora and debugging dumps.
+
+use crate::{Lit, Solver, Var};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseDimacsError {
+    ParseDimacsError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses DIMACS CNF text into a list of clauses plus the variable count.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens,
+/// or variable indices exceeding the declared count.
+pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), ParseDimacsError> {
+    let mut n_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(err(ln, "expected 'p cnf <vars> <clauses>'"));
+            }
+            n_vars = Some(
+                parts[1]
+                    .parse()
+                    .map_err(|_| err(ln, "bad variable count"))?,
+            );
+            continue;
+        }
+        let nv = n_vars.ok_or_else(|| err(ln, "clause before 'p cnf' header"))?;
+        for tok in line.split_whitespace() {
+            let x: i64 = tok.parse().map_err(|_| err(ln, format!("bad token '{tok}'")))?;
+            if x == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let v = x.unsigned_abs() as usize;
+                if v > nv {
+                    return Err(err(ln, format!("variable {v} exceeds declared count {nv}")));
+                }
+                current.push(Lit::new(Var((v - 1) as u32), x < 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok((n_vars.unwrap_or(0), clauses))
+}
+
+/// Renders clauses as DIMACS CNF text.
+pub fn to_dimacs(n_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = format!("p cnf {} {}\n", n_vars, clauses.len());
+    for c in clauses {
+        for l in c {
+            let v = l.var().0 as i64 + 1;
+            let x = if l.is_neg() { -v } else { v };
+            out.push_str(&x.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Loads DIMACS clauses into a fresh solver.
+///
+/// # Errors
+///
+/// Propagates [`ParseDimacsError`] from [`parse_dimacs`].
+pub fn solver_from_dimacs(text: &str) -> Result<Solver, ParseDimacsError> {
+    let (n_vars, clauses) = parse_dimacs(text)?;
+    let mut s = Solver::new();
+    for _ in 0..n_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        s.add_clause(c);
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let (n, cs) = parse_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0], vec![Lit::pos(Var(0)), Lit::neg(Var(1))]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 2 2\n1 2 0\n-1 -2 0\n";
+        let (n, cs) = parse_dimacs(text).unwrap();
+        assert_eq!(to_dimacs(n, &cs), text);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse_dimacs("p cnf x 2\n").is_err());
+        assert!(parse_dimacs("1 2 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n5 0\n").is_err());
+    }
+
+    #[test]
+    fn solver_from_dimacs_solves() {
+        let mut s = solver_from_dimacs("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(Var(1)), Some(true));
+    }
+}

@@ -1,0 +1,143 @@
+//! Max-heap over variables ordered by VSIDS activity.
+//!
+//! The heap stores variable indices and keeps a reverse map so that
+//! `decrease`/`increase` of a key is O(log n). Activities are held by the
+//! solver and passed in by reference, keeping the heap free of floats.
+
+use crate::Var;
+
+/// Indexed binary max-heap of variables keyed by external activities.
+#[derive(Debug, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<Var>,
+    /// `pos[v] == usize::MAX` when v is not in the heap.
+    pos: Vec<usize>,
+}
+
+const NOT_IN_HEAP: usize = usize::MAX;
+
+impl VarHeap {
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    pub fn grow_to(&mut self, n_vars: usize) {
+        self.pos.resize(n_vars, NOT_IN_HEAP);
+    }
+
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != NOT_IN_HEAP
+    }
+
+    pub fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    pub fn pop_max(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, act: &[f64]) {
+        if let Some(&i) = self.pos.get(v.index()) {
+            if i != NOT_IN_HEAP {
+                self.sift_up(i, act);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    #[inline]
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i;
+        self.pos[self.heap[j].index()] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![1.0, 5.0, 3.0, 4.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(5);
+        for i in 0..5 {
+            h.insert(Var(i), &act);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.0).collect();
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow_to(3);
+        for i in 0..3 {
+            h.insert(Var(i), &act);
+        }
+        act[0] = 10.0;
+        h.update(Var(0), &act);
+        assert_eq!(h.pop_max(&act), Some(Var(0)));
+    }
+
+    #[test]
+    fn double_insert_is_idempotent() {
+        let act = vec![1.0];
+        let mut h = VarHeap::new();
+        h.grow_to(1);
+        h.insert(Var(0), &act);
+        h.insert(Var(0), &act);
+        assert_eq!(h.pop_max(&act), Some(Var(0)));
+        assert!(h.pop_max(&act).is_none());
+    }
+}

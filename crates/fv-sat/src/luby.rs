@@ -1,0 +1,40 @@
+//! The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...).
+
+/// Returns the `i`-th element (1-based) of the Luby sequence.
+///
+/// Used to schedule solver restarts as `base * luby(i)` conflicts.
+pub(crate) fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence that contains index i, then the index
+    // inside that subsequence (Knuth's loopless formulation).
+    let mut size: u64 = 1;
+    let mut seq: u32 = 0;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_terms_match_reference() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 0..200 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+}

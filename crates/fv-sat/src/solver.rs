@@ -1,0 +1,834 @@
+//! The CDCL search loop.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::luby::luby;
+use crate::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// `true` for [`SolveResult::Sat`].
+    #[inline]
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+
+    /// `true` for [`SolveResult::Unsat`].
+    #[inline]
+    pub fn is_unsat(self) -> bool {
+        self == SolveResult::Unsat
+    }
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently in the database.
+    pub learnt: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    /// The *other* watched literal (blocking literal optimization).
+    blocker: Lit,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VarData {
+    reason: ClauseRef,
+    level: u32,
+}
+
+/// A CDCL SAT solver over clauses added incrementally.
+///
+/// Variables are created with [`Solver::new_var`]; clauses with
+/// [`Solver::add_clause`]. [`Solver::solve_with`] supports assumption
+/// literals, which the BMC engine uses for incremental queries.
+///
+/// # Examples
+///
+/// ```
+/// use fv_sat::{Solver, Lit};
+/// let mut s = Solver::new();
+/// let (a, b) = (s.new_var(), s.new_var());
+/// s.add_clause([Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause([Lit::neg(a), Lit::pos(b)]);
+/// assert!(s.solve().is_sat());
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    /// Current assignment per variable.
+    assigns: Vec<LBool>,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    var_data: Vec<VarData>,
+    /// Watch lists indexed by literal index.
+    watches: Vec<Vec<Watcher>>,
+    /// Assignment trail.
+    trail: Vec<Lit>,
+    /// Indices into `trail` where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Head of the propagation queue (index into trail).
+    qhead: usize,
+    /// VSIDS activities.
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    cla_inc: f64,
+    /// Scratch: seen markers for conflict analysis.
+    seen: Vec<bool>,
+    /// `true` once an empty clause was added at level 0.
+    unsat_at_root: bool,
+    stats: SolverStats,
+    max_learnt: f64,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            db: ClauseDb::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            var_data: Vec::new(),
+            watches: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::new(),
+            cla_inc: 1.0,
+            seen: Vec::new(),
+            unsat_at_root: false,
+            stats: SolverStats::default(),
+            max_learnt: 1000.0,
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.var_data.push(VarData {
+            reason: ClauseRef::UNDEF,
+            level: 0,
+        });
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.db.live_count()
+    }
+
+    /// Work counters for the most recent solving activity.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause, or conflicting units at level 0).
+    ///
+    /// Duplicated literals are removed; tautological clauses (containing
+    /// both `l` and `!l`) are silently dropped.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if self.unsat_at_root {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / falsified-literal simplification at level 0.
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut i = 0;
+        while i < lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautology
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.unsat_at_root = true;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], ClauseRef::UNDEF);
+                if self.propagate().is_defined() {
+                    self.unsat_at_root = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let cref = self.db.alloc(simplified, false);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Solves the current formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// Assumptions are treated as temporary unit decisions: the result is
+    /// relative to them and they are undone afterwards, so the solver can
+    /// be reused incrementally.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat_at_root {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        let mut restarts: u64 = 0;
+        loop {
+            let budget = 100 * luby(restarts);
+            match self.search(budget, assumptions) {
+                Some(res) => {
+                    if res == SolveResult::Unsat {
+                        self.cancel_until(0);
+                    }
+                    return res;
+                }
+                None => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    /// The model value of `v` after a [`SolveResult::Sat`] answer.
+    ///
+    /// Returns `None` for variables the search left unconstrained (any
+    /// value satisfies the formula).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.assigns[v.index()].to_bool()
+    }
+
+    /// The model value of a literal after a SAT answer.
+    pub fn lit_value_model(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b ^ l.is_neg())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].xor(l.is_neg())
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        debug_assert!(c.len() >= 2);
+        let l0 = c.lits()[0];
+        let l1 = c.lits()[1];
+        self.watches[(!l0).index()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).index()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        let l0 = c.lits()[0];
+        let l1 = c.lits()[1];
+        self.watches[(!l0).index()].retain(|w| w.cref != cref);
+        self.watches[(!l1).index()].retain(|w| w.cref != cref);
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from(!l.is_neg());
+        self.var_data[v.index()] = VarData {
+            reason,
+            level: self.decision_level(),
+        };
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, or UNDEF.
+    fn propagate(&mut self) -> ClauseRef {
+        let mut conflict = ClauseRef::UNDEF;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                // Blocking-literal fast path.
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                {
+                    let c = self.db.get_mut(cref);
+                    // Normalize: the falsified watch is lits[1].
+                    let false_lit = !p;
+                    if c.lits()[0] == false_lit {
+                        c.lits_mut().swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits()[1], false_lit);
+                }
+                let first = self.db.get(cref).lits()[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.get(cref).len();
+                for k in 2..len {
+                    let lk = self.db.get(cref).lits()[k];
+                    if self.lit_value(lk) != LBool::False {
+                        let c = self.db.get_mut(cref);
+                        c.lits_mut().swap(1, k);
+                        self.watches[(!lk).index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watches;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[i] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                i += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = cref;
+                    self.qhead = self.trail.len();
+                    break;
+                } else {
+                    self.enqueue(first, cref);
+                }
+            }
+            let mut existing = std::mem::take(&mut self.watches[p.index()]);
+            ws.append(&mut existing);
+            self.watches[p.index()] = ws;
+            if conflict.is_defined() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    /// First-UIP conflict analysis. Returns (learned clause, backtrack level).
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder for asserting lit
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            debug_assert!(conflict.is_defined());
+            self.bump_clause(conflict);
+            let lits: Vec<Lit> = self.db.get(conflict).lits().to_vec();
+            let skip = usize::from(p.is_some());
+            for &q in lits.iter().skip(skip) {
+                let v = q.var();
+                if !self.seen[v.index()] && self.var_data[v.index()].level > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.var_data[v.index()].level >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            conflict = self.var_data[pl.var().index()].reason;
+        }
+
+        // Clause minimization: drop literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        // Clear seen markers.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // (Markers set during the loop for dropped literals were cleared in
+        // the trail walk; redundant() leaves `seen` as-is for learnt lits.)
+        let mut to_clear: Vec<usize> = Vec::new();
+        for (i, s) in self.seen.iter().enumerate() {
+            if *s {
+                to_clear.push(i);
+            }
+        }
+        for i in to_clear {
+            self.seen[i] = false;
+        }
+
+        // Backtrack level = second-highest level in the clause.
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level_of(learnt[i]) > self.level_of(learnt[max_i]) {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level_of(learnt[1])
+        };
+        (learnt, bt)
+    }
+
+    /// Local (non-recursive, depth-1) redundancy check: a literal is
+    /// redundant if its reason clause is entirely made of seen literals
+    /// or root-level assignments.
+    fn redundant(&self, l: Lit) -> bool {
+        let vd = self.var_data[l.var().index()];
+        if !vd.reason.is_defined() {
+            return false;
+        }
+        self.db.get(vd.reason).lits().iter().skip(1).all(|&q| {
+            let qd = self.var_data[q.var().index()];
+            self.seen[q.var().index()] || qd.level == 0
+        })
+    }
+
+    #[inline]
+    fn level_of(&self, l: Lit) -> u32 {
+        self.var_data[l.var().index()].level
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.phase[v.index()] = !l.is_neg();
+            self.assigns[v.index()] = LBool::Undef;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = self.db.get_mut(cref);
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE_LIMIT {
+            let refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
+            for r in refs {
+                self.db.get_mut(r).activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLA_DECAY;
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnts: Vec<(f64, ClauseRef)> = self
+            .db
+            .learnt_refs()
+            .map(|r| (self.db.get(r).activity, r))
+            .collect();
+        learnts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let target = learnts.len() / 2;
+        let mut removed = 0;
+        for &(_, cref) in learnts.iter() {
+            if removed >= target {
+                break;
+            }
+            if self.is_reason(cref) || self.db.get(cref).len() <= 2 {
+                continue;
+            }
+            self.detach(cref);
+            self.db.free(cref);
+            removed += 1;
+        }
+        self.stats.learnt = self.db.learnt_refs().count() as u64;
+    }
+
+    fn is_reason(&self, cref: ClauseRef) -> bool {
+        let c = self.db.get(cref);
+        if c.is_empty() {
+            return false;
+        }
+        let l0 = c.lits()[0];
+        self.lit_value(l0) == LBool::True && self.var_data[l0.var().index()].reason == cref
+    }
+
+    /// Runs CDCL until SAT, UNSAT, or `budget` conflicts (restart signal:
+    /// `None`).
+    fn search(&mut self, budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
+        let mut conflicts_here: u64 = 0;
+        loop {
+            let conflict = self.propagate();
+            if conflict.is_defined() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.unsat_at_root = true;
+                    return Some(SolveResult::Unsat);
+                }
+                // Conflict below the assumption levels means the
+                // assumptions themselves are inconsistent.
+                let (learnt, bt) = self.analyze(conflict);
+                let assumption_level = self
+                    .trail_lim
+                    .len()
+                    .min(assumptions.len());
+                if (bt as usize) < assumption_level
+                    && self.decision_level() as usize <= assumptions.len()
+                {
+                    return Some(SolveResult::Unsat);
+                }
+                self.cancel_until(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    if self.lit_value(asserting) == LBool::False {
+                        return Some(SolveResult::Unsat);
+                    }
+                    if self.lit_value(asserting) == LBool::Undef {
+                        self.enqueue(asserting, ClauseRef::UNDEF);
+                    }
+                } else {
+                    let cref = self.db.alloc(learnt, true);
+                    self.attach(cref);
+                    self.bump_clause(cref);
+                    self.enqueue(asserting, cref);
+                }
+                self.decay_activities();
+                if self.db.learnt_refs().count() as f64 > self.max_learnt {
+                    self.reduce_db();
+                    self.max_learnt *= 1.1;
+                }
+            } else {
+                if conflicts_here >= budget {
+                    return None; // restart
+                }
+                // Place assumptions as pseudo-decisions first.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty level so the
+                            // next assumption is considered.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => return Some(SolveResult::Unsat),
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, ClauseRef::UNDEF);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return Some(SolveResult::Sat),
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let l = Lit::new(v, !self.phase[v.index()]);
+                        self.enqueue(l, ClauseRef::UNDEF);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::pos(s.new_var())).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause([Lit::pos(v)]));
+        assert!(!s.add_clause([Lit::neg(v)]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_chain_propagates() {
+        // (a) (!a | b) (!b | c) => all true
+        let mut s = Solver::new();
+        let l = lits(&mut s, 3);
+        s.add_clause([l[0]]);
+        s.add_clause([!l[0], l[1]]);
+        s.add_clause([!l[1], l[2]]);
+        assert!(s.solve().is_sat());
+        for &x in &l {
+            assert_eq!(s.lit_value_model(x), Some(true));
+        }
+    }
+
+    #[test]
+    fn xor_three_vars() {
+        // a xor b xor c = 1 as CNF, plus a=1, b=1 => c=1.
+        let mut s = Solver::new();
+        let l = lits(&mut s, 3);
+        let (a, b, c) = (l[0], l[1], l[2]);
+        s.add_clause([a, b, c]);
+        s.add_clause([a, !b, !c]);
+        s.add_clause([!a, b, !c]);
+        s.add_clause([!a, !b, c]);
+        s.add_clause([a]);
+        s.add_clause([b]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.lit_value_model(c), Some(true));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let mut p = [[Lit::pos(Var(0)); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::pos(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause([row[0], row[1]]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_are_transient() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::neg(a), Lit::pos(b)]);
+        assert!(s.solve_with(&[Lit::pos(a)]).is_sat());
+        assert_eq!(s.value(b), Some(true));
+        // Contradictory assumptions: UNSAT, but the base stays SAT.
+        assert!(s.solve_with(&[Lit::pos(a), Lit::neg(b)]).is_unsat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([Lit::pos(a), Lit::neg(a)]));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn duplicate_literals_deduplicated() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([Lit::pos(a), Lit::pos(a)]));
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn php_4_into_3_unsat_exercises_learning() {
+        let n = 4;
+        let m = 3;
+        let mut s = Solver::new();
+        let mut p = vec![vec![Lit::pos(Var(0)); m]; n];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::pos(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random() {
+        // Deterministic pseudo-random 3-SAT near the easy region.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..20 {
+            let n = 20 + (round % 5);
+            let m = 2 * n;
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            let mut clauses = Vec::new();
+            for _ in 0..m {
+                let c: Vec<Lit> = (0..3)
+                    .map(|_| {
+                        let v = vars[(next() % n as u64) as usize];
+                        Lit::new(v, next() % 2 == 0)
+                    })
+                    .collect();
+                clauses.push(c.clone());
+                s.add_clause(c);
+            }
+            if s.solve().is_sat() {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.lit_value_model(l).unwrap_or(true)),
+                        "model must satisfy every clause"
+                    );
+                }
+            }
+        }
+    }
+}

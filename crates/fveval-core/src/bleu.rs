@@ -1,0 +1,106 @@
+//! BLEU score over code tokens (the paper's lexical-similarity metric).
+
+use crate::tokenize::code_tokens;
+use std::collections::HashMap;
+
+/// Computes smoothed BLEU-4 between a candidate and a single reference.
+///
+/// Uses +1 smoothing on n-gram precisions (Lin & Och) and the standard
+/// brevity penalty, over the lexical code tokens of both strings.
+///
+/// # Examples
+///
+/// ```
+/// use fveval_core::bleu;
+/// let reference = "assert property (@(posedge clk) a |-> b);";
+/// assert!((bleu(reference, reference) - 1.0).abs() < 1e-9);
+/// assert!(bleu(reference, "assert property (@(posedge clk) !a);") < 0.8);
+/// ```
+pub fn bleu(reference: &str, candidate: &str) -> f64 {
+    let r = code_tokens(reference);
+    let c = code_tokens(candidate);
+    if c.is_empty() || r.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for n in 1..=4usize {
+        let p = modified_precision(&r, &c, n);
+        log_sum += p.ln() * 0.25;
+    }
+    let bp = if c.len() >= r.len() {
+        1.0
+    } else {
+        (1.0 - r.len() as f64 / c.len() as f64).exp()
+    };
+    bp * log_sum.exp()
+}
+
+fn ngram_counts(tokens: &[String], n: usize) -> HashMap<&[String], usize> {
+    let mut m: HashMap<&[String], usize> = HashMap::new();
+    if tokens.len() >= n {
+        for w in tokens.windows(n) {
+            *m.entry(w).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+fn modified_precision(reference: &[String], candidate: &[String], n: usize) -> f64 {
+    let ref_counts = ngram_counts(reference, n);
+    let cand_counts = ngram_counts(candidate, n);
+    let total: usize = cand_counts.values().sum();
+    let clipped: usize = cand_counts
+        .iter()
+        .map(|(g, &c)| c.min(ref_counts.get(g).copied().unwrap_or(0)))
+        .sum();
+    // +1 smoothing keeps zero-overlap candidates comparable.
+    (clipped as f64 + 1.0) / (total as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_one() {
+        let s = "asrt: assert property (@(posedge clk) a |-> ##2 b);";
+        assert!((bleu(s, s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_candidate_is_zero() {
+        assert_eq!(bleu("a b c", ""), 0.0);
+        assert_eq!(bleu("", "a"), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between() {
+        let r = "assert property (@(posedge clk) (a && b) |-> c);";
+        let c = "assert property (@(posedge clk) (a || b) |-> c);";
+        let s = bleu(r, c);
+        assert!(s > 0.5 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn order_matters() {
+        let r = "a b c d e f g h";
+        let shuffled = "h g f e d c b a";
+        assert!(bleu(r, shuffled) < bleu(r, "a b c d e f g x"));
+    }
+
+    #[test]
+    fn brevity_penalty_applies() {
+        let r = "a b c d e f g h i j";
+        let short = "a b c";
+        let long = "a b c d e f g h i j";
+        assert!(bleu(r, short) < bleu(r, long));
+    }
+
+    #[test]
+    fn symmetric_in_range() {
+        let r = "assert property (x |-> y);";
+        let c = "property assert (y |-> x);";
+        let s = bleu(r, c);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

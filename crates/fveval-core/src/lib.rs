@@ -1,0 +1,34 @@
+//! The FVEval evaluation framework — the paper's primary contribution.
+//!
+//! Given a [`fveval_llm::Model`] and a dataset, the runners in this
+//! crate reproduce the paper's end-to-end flow:
+//!
+//! 1. assemble the prompt and collect the model's response(s),
+//! 2. score **syntax** with the real parser (tool syntax check),
+//! 3. score **functional** / **partial** correctness with the formal
+//!    assertion-equivalence prover (NL2SVA) or the model checker
+//!    (Design2SVA),
+//! 4. score **BLEU** against the reference, and
+//! 5. aggregate per-model means and unbiased **pass@k**.
+//!
+//! Every table and figure of the paper maps onto these runners; see
+//! `DESIGN.md` for the experiment index and the `fveval` CLI for the
+//! regeneration entry points.
+
+mod bleu;
+mod design2sva;
+mod metrics;
+mod nl2sva;
+mod passk;
+mod report;
+mod stats;
+mod tokenize;
+
+pub use bleu::bleu;
+pub use design2sva::{bind_design, Design2svaRunner, DesignEval};
+pub use metrics::{CaseEvals, MetricSummary, SampleEval};
+pub use nl2sva::{Nl2svaRunner, PromptInfo};
+pub use passk::pass_at_k;
+pub use report::{Table, TableCell};
+pub use stats::{histogram, pearson, Histogram};
+pub use tokenize::{code_tokens, token_count};

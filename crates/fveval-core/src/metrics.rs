@@ -1,0 +1,169 @@
+//! Per-sample, per-case, and aggregate metric containers.
+
+use crate::passk::pass_at_k;
+
+/// Scores of one model response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEval {
+    /// Passed the tool syntax/elaboration check.
+    pub syntax: bool,
+    /// Fully functionally correct (formal equivalence / proven).
+    pub func: bool,
+    /// At least partially correct (one-way implication or better).
+    pub partial: bool,
+    /// BLEU against the reference (0 when no reference applies).
+    pub bleu: f64,
+}
+
+impl SampleEval {
+    /// The all-fail sample (syntax error).
+    pub fn failed() -> SampleEval {
+        SampleEval {
+            syntax: false,
+            func: false,
+            partial: false,
+            bleu: 0.0,
+        }
+    }
+}
+
+/// All sampled responses for one benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseEvals {
+    /// Case id.
+    pub id: String,
+    /// One entry per sample (greedy runs have exactly one).
+    pub samples: Vec<SampleEval>,
+}
+
+impl CaseEvals {
+    fn count(&self, f: impl Fn(&SampleEval) -> bool) -> u32 {
+        self.samples.iter().filter(|s| f(s)).count() as u32
+    }
+
+    /// Unbiased pass@k for a predicate over samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the number of samples.
+    pub fn pass_at_k(&self, k: u32, f: impl Fn(&SampleEval) -> bool) -> f64 {
+        pass_at_k(self.samples.len() as u32, self.count(f), k)
+    }
+}
+
+/// Aggregate means over a run (the cells of Tables 1 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricSummary {
+    /// Mean syntax rate.
+    pub syntax: f64,
+    /// Mean full functional-equivalence rate.
+    pub func: f64,
+    /// Mean partial rate.
+    pub partial: f64,
+    /// Mean BLEU.
+    pub bleu: f64,
+}
+
+impl MetricSummary {
+    /// Summarizes the first sample of every case (greedy / pass@1).
+    pub fn from_first_samples(cases: &[CaseEvals]) -> MetricSummary {
+        let n = cases.len().max(1) as f64;
+        let mut s = MetricSummary::default();
+        for c in cases {
+            if let Some(first) = c.samples.first() {
+                s.syntax += f64::from(u8::from(first.syntax));
+                s.func += f64::from(u8::from(first.func));
+                s.partial += f64::from(u8::from(first.partial));
+                s.bleu += first.bleu;
+            }
+        }
+        MetricSummary {
+            syntax: s.syntax / n,
+            func: s.func / n,
+            partial: s.partial / n,
+            bleu: s.bleu / n,
+        }
+    }
+
+    /// Mean pass@k over cases for a metric selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any case has fewer than `k` samples.
+    pub fn mean_pass_at_k(
+        cases: &[CaseEvals],
+        k: u32,
+        f: impl Fn(&SampleEval) -> bool + Copy,
+    ) -> f64 {
+        if cases.is_empty() {
+            return 0.0;
+        }
+        cases.iter().map(|c| c.pass_at_k(k, f)).sum::<f64>() / cases.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(syntax: bool, func: bool, partial: bool) -> SampleEval {
+        SampleEval {
+            syntax,
+            func,
+            partial,
+            bleu: 0.5,
+        }
+    }
+
+    #[test]
+    fn summary_means() {
+        let cases = vec![
+            CaseEvals {
+                id: "a".into(),
+                samples: vec![sample(true, true, true)],
+            },
+            CaseEvals {
+                id: "b".into(),
+                samples: vec![sample(true, false, true)],
+            },
+            CaseEvals {
+                id: "c".into(),
+                samples: vec![sample(false, false, false)],
+            },
+        ];
+        let s = MetricSummary::from_first_samples(&cases);
+        assert!((s.syntax - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.func - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.partial - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case_pass_at_k() {
+        let c = CaseEvals {
+            id: "x".into(),
+            samples: vec![
+                sample(true, false, false),
+                sample(true, true, true),
+                sample(false, false, false),
+            ],
+        };
+        assert_eq!(c.pass_at_k(3, |s| s.func), 1.0);
+        assert!((c.pass_at_k(1, |s| s.func) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_pass_at_k_over_cases() {
+        let cases = vec![
+            CaseEvals {
+                id: "a".into(),
+                samples: vec![sample(true, true, true), sample(true, true, true)],
+            },
+            CaseEvals {
+                id: "b".into(),
+                samples: vec![sample(true, false, false), sample(true, false, false)],
+            },
+        ];
+        let m = MetricSummary::mean_pass_at_k(&cases, 2, |s| s.func);
+        assert!((m - 0.5).abs() < 1e-12);
+    }
+}

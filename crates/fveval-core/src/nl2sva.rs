@@ -1,0 +1,236 @@
+//! Runner for the NL2SVA-Human and NL2SVA-Machine sub-benchmarks.
+
+use crate::bleu::bleu;
+use crate::metrics::{CaseEvals, SampleEval};
+use fv_core::{check_equivalence, EquivConfig, SignalTable};
+use fveval_data::{HumanCase, MachineCase};
+use fveval_llm::{InferenceConfig, Model, Task};
+use sv_parser::parse_assertion_str;
+
+/// Prompt statistics for the length-distribution figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromptInfo {
+    /// Case id.
+    pub id: String,
+    /// The NL specification text.
+    pub question: String,
+    /// The reference solution text.
+    pub reference: String,
+}
+
+/// Evaluates models on NL-to-assertion tasks with the full pipeline:
+/// syntax via the parser, functional/partial via the formal
+/// equivalence prover, and BLEU against the reference.
+#[derive(Debug, Clone)]
+pub struct Nl2svaRunner {
+    equiv: EquivConfig,
+}
+
+impl Default for Nl2svaRunner {
+    fn default() -> Nl2svaRunner {
+        Nl2svaRunner::new()
+    }
+}
+
+impl Nl2svaRunner {
+    /// Runner with default equivalence configuration.
+    pub fn new() -> Nl2svaRunner {
+        Nl2svaRunner {
+            equiv: EquivConfig::default(),
+        }
+    }
+
+    /// Overrides the equivalence configuration (horizon studies).
+    pub fn with_equiv_config(mut self, cfg: EquivConfig) -> Nl2svaRunner {
+        self.equiv = cfg;
+        self
+    }
+
+    /// Scores one response against a reference in a signal scope.
+    ///
+    /// A parse failure, an unknown signal, or an engine limit all score
+    /// `syntax = false` — the tool-failure verdict in the paper.
+    pub fn evaluate_response(
+        &self,
+        reference_text: &str,
+        response: &str,
+        table: &SignalTable,
+    ) -> SampleEval {
+        let reference = match parse_assertion_str(reference_text) {
+            Ok(a) => a,
+            Err(_) => return SampleEval::failed(),
+        };
+        let candidate = match parse_assertion_str(response) {
+            Ok(a) => a,
+            Err(_) => {
+                return SampleEval {
+                    bleu: bleu(reference_text, response),
+                    ..SampleEval::failed()
+                }
+            }
+        };
+        let b = bleu(reference_text, response);
+        match check_equivalence(&reference, &candidate, table, self.equiv) {
+            Err(_) => SampleEval {
+                // Elaboration failure (unknown signal etc.).
+                syntax: false,
+                func: false,
+                partial: false,
+                bleu: b,
+            },
+            Ok(out) => SampleEval {
+                syntax: true,
+                func: out.verdict.is_equivalent(),
+                partial: out.verdict.is_partial(),
+                bleu: b,
+            },
+        }
+    }
+
+    /// Runs a model over the human dataset.
+    ///
+    /// `tables` maps testbench names to their signal scopes.
+    pub fn run_human(
+        &self,
+        model: &dyn Model,
+        cases: &[HumanCase],
+        tables: &std::collections::HashMap<&str, SignalTable>,
+        cfg: &InferenceConfig,
+        n_samples: u32,
+    ) -> Vec<CaseEvals> {
+        cases
+            .iter()
+            .map(|case| {
+                let table = &tables[case.testbench];
+                let task = Task::Nl2svaHuman { case, table };
+                let samples = (0..n_samples.max(1))
+                    .map(|i| {
+                        let resp = model.generate(&task, cfg, i);
+                        self.evaluate_response(&case.reference, &resp, table)
+                    })
+                    .collect();
+                CaseEvals {
+                    id: case.id.clone(),
+                    samples,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs a model over the machine dataset.
+    pub fn run_machine(
+        &self,
+        model: &dyn Model,
+        cases: &[MachineCase],
+        table: &SignalTable,
+        cfg: &InferenceConfig,
+        n_samples: u32,
+    ) -> Vec<CaseEvals> {
+        cases
+            .iter()
+            .map(|case| {
+                let task = Task::Nl2svaMachine { case, table };
+                let samples = (0..n_samples.max(1))
+                    .map(|i| {
+                        let resp = model.generate(&task, cfg, i);
+                        self.evaluate_response(&case.reference_text, &resp, table)
+                    })
+                    .collect();
+                CaseEvals {
+                    id: case.id.clone(),
+                    samples,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fveval_data::{generate_machine_cases, machine_signal_table, MachineGenConfig};
+    use fveval_llm::profiles;
+
+    fn table() -> SignalTable {
+        [("a", 1u32), ("b", 1), ("tb_reset", 1)].into_iter().collect()
+    }
+
+    #[test]
+    fn exact_response_scores_full() {
+        let r = Nl2svaRunner::new();
+        let reference = "assert property (@(posedge clk) a |-> ##1 b);";
+        let e = r.evaluate_response(reference, reference, &table());
+        assert!(e.syntax && e.func && e.partial);
+        assert!((e.bleu - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equivalent_rewrite_scores_func_with_lower_bleu() {
+        let r = Nl2svaRunner::new();
+        let e = r.evaluate_response(
+            "assert property (@(posedge clk) a |-> ##1 b);",
+            "assert property (@(posedge clk) a |=> b);",
+            &table(),
+        );
+        assert!(e.syntax && e.func && e.partial);
+        assert!(e.bleu < 1.0);
+    }
+
+    #[test]
+    fn weaker_response_scores_partial_only() {
+        let r = Nl2svaRunner::new();
+        let e = r.evaluate_response(
+            "assert property (@(posedge clk) a |-> strong(##[0:$] b));",
+            "assert property (@(posedge clk) a |-> ##[1:$] b);",
+            &table(),
+        );
+        assert!(e.syntax && !e.func && e.partial);
+    }
+
+    #[test]
+    fn hallucination_scores_syntax_fail() {
+        let r = Nl2svaRunner::new();
+        let e = r.evaluate_response(
+            "assert property (@(posedge clk) a |-> s_eventually (b));",
+            "assert property (@(posedge clk) a |-> eventually(b));",
+            &table(),
+        );
+        assert!(!e.syntax && !e.func && !e.partial);
+    }
+
+    #[test]
+    fn unknown_signal_scores_syntax_fail() {
+        let r = Nl2svaRunner::new();
+        let e = r.evaluate_response(
+            "assert property (@(posedge clk) a |-> b);",
+            "assert property (@(posedge clk) a |-> ghost);",
+            &table(),
+        );
+        assert!(!e.syntax);
+    }
+
+    #[test]
+    fn run_machine_end_to_end_smoke() {
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 12,
+            ..Default::default()
+        });
+        let table = machine_signal_table();
+        let models = profiles();
+        let model = models.iter().find(|m| m.name() == "gpt-4o").unwrap();
+        let runner = Nl2svaRunner::new();
+        let evals = runner.run_machine(
+            model,
+            &cases,
+            &table,
+            &InferenceConfig::greedy(),
+            1,
+        );
+        assert_eq!(evals.len(), 12);
+        // The top model should score reasonably on a small sample.
+        let summary = crate::MetricSummary::from_first_samples(&evals);
+        assert!(summary.syntax > 0.5, "syntax {summary:?}");
+        assert!(summary.partial >= summary.func);
+        assert!(summary.syntax >= summary.partial);
+    }
+}

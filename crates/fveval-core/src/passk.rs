@@ -1,0 +1,103 @@
+//! The unbiased pass@k estimator (Chen et al., 2021), as used by the
+//! paper's Tables 2, 4, and 5.
+
+/// Unbiased pass@k: the probability that at least one of `k` samples
+/// drawn (without replacement) from `n` attempts with `c` successes
+/// passes: `1 - C(n-c, k) / C(n, k)`.
+///
+/// Returns 1.0 when `n - c < k` (a success is guaranteed in any draw).
+///
+/// # Panics
+///
+/// Panics if `c > n` or `k == 0` or `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use fveval_core::pass_at_k;
+/// assert_eq!(pass_at_k(10, 0, 5), 0.0);
+/// assert_eq!(pass_at_k(10, 10, 1), 1.0);
+/// assert!((pass_at_k(2, 1, 1) - 0.5).abs() < 1e-12);
+/// ```
+pub fn pass_at_k(n: u32, c: u32, k: u32) -> f64 {
+    assert!(c <= n, "successes cannot exceed attempts");
+    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+    if n - c < k {
+        return 1.0;
+    }
+    // 1 - prod_{i=0}^{k-1} (n - c - i) / (n - i), numerically stable.
+    let mut prod = 1.0f64;
+    for i in 0..k {
+        prod *= f64::from(n - c - i) / f64::from(n - i);
+    }
+    1.0 - prod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_small_cases() {
+        // n=3, c=1, k=2: 1 - C(2,2)/C(3,2) = 1 - 1/3.
+        assert!((pass_at_k(3, 1, 2) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+        // n=5, c=2, k=3: 1 - C(3,3)/C(5,3) = 1 - 1/10.
+        assert!((pass_at_k(5, 2, 3) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_n_is_indicator() {
+        assert_eq!(pass_at_k(7, 0, 7), 0.0);
+        for c in 1..=7 {
+            assert_eq!(pass_at_k(7, c, 7), 1.0);
+        }
+    }
+
+    #[test]
+    fn monotone_in_k_and_c() {
+        for c in 0..=6u32 {
+            for k in 1..6u32 {
+                assert!(pass_at_k(6, c, k + 1) >= pass_at_k(6, c, k) - 1e-12);
+            }
+        }
+        for k in 1..=6u32 {
+            for c in 0..6u32 {
+                assert!(pass_at_k(6, c + 1, k) >= pass_at_k(6, c, k) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        // Compare against a brute-force enumeration for n=6, k=3.
+        let n = 6u32;
+        let k = 3u32;
+        for c in 0..=n {
+            // Enumerate all C(6,3) index triples; success if any index < c.
+            let mut hits = 0u32;
+            let mut total = 0u32;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    for l in (j + 1)..n {
+                        total += 1;
+                        if i < c || j < c || l < c {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+            let exact = f64::from(hits) / f64::from(total);
+            assert!(
+                (pass_at_k(n, c, k) - exact).abs() < 1e-12,
+                "c={c}: {} vs {exact}",
+                pass_at_k(n, c, k)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "successes cannot exceed attempts")]
+    fn rejects_bad_counts() {
+        pass_at_k(3, 4, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Paper-style result tables with markdown and CSV rendering.
+
+use std::fmt::Write as _;
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableCell {
+    /// Free text (model names, row labels).
+    Text(String),
+    /// A metric value rendered to three decimals; the per-column best
+    /// is bolded like the paper's tables.
+    Value(f64),
+}
+
+impl From<&str> for TableCell {
+    fn from(s: &str) -> TableCell {
+        TableCell::Text(s.to_string())
+    }
+}
+
+impl From<String> for TableCell {
+    fn from(s: String) -> TableCell {
+        TableCell::Text(s)
+    }
+}
+
+impl From<f64> for TableCell {
+    fn from(v: f64) -> TableCell {
+        TableCell::Value(v)
+    }
+}
+
+/// A result table (title, column headers, rows).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Table title (e.g. `Table 1: NL2SVA-Human`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<TableCell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row<I: IntoIterator<Item = TableCell>>(&mut self, row: I) {
+        self.rows.push(row.into_iter().collect());
+    }
+
+    /// Indices of the best (maximum) value per numeric column.
+    fn best_per_column(&self) -> Vec<Option<usize>> {
+        let ncols = self.headers.len();
+        (0..ncols)
+            .map(|c| {
+                let mut best: Option<(usize, f64)> = None;
+                for (r, row) in self.rows.iter().enumerate() {
+                    if let Some(TableCell::Value(v)) = row.get(c) {
+                        if best.is_none_or(|(_, bv)| *v > bv) {
+                            best = Some((r, *v));
+                        }
+                    }
+                }
+                best.map(|(r, _)| r)
+            })
+            .collect()
+    }
+
+    /// Renders GitHub-flavoured markdown with the per-column best bolded.
+    pub fn to_markdown(&self) -> String {
+        let best = self.best_per_column();
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for (r, row) in self.rows.iter().enumerate() {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| match cell {
+                    TableCell::Text(s) => s.clone(),
+                    TableCell::Value(v) => {
+                        if best.get(c).copied().flatten() == Some(r) {
+                            format!("**{v:.3}**")
+                        } else {
+                            format!("{v:.3}")
+                        }
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV (no highlighting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|cell| match cell {
+                    TableCell::Text(s) => s.clone(),
+                    TableCell::Value(v) => format!("{v:.4}"),
+                })
+                .collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Table X", &["Model", "Syntax", "Func."]);
+        t.push_row(["gpt-4o".into(), 0.911.into(), 0.456.into()]);
+        t.push_row(["llama-3-8b".into(), 0.747.into(), 0.063.into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_bolds_best() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("**0.911**"));
+        assert!(md.contains("**0.456**"));
+        assert!(md.contains("0.747"));
+        assert!(!md.contains("**0.747**"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample_table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "Model,Syntax,Func.");
+        assert!(lines[1].starts_with("gpt-4o,0.9110"));
+    }
+
+    #[test]
+    fn empty_numeric_column_is_fine() {
+        let mut t = Table::new("t", &["A"]);
+        t.push_row(["only-text".into()]);
+        assert!(t.to_markdown().contains("only-text"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Small statistics helpers for the figures: Pearson correlation
+//! (Figure 6) and histograms (Figures 2–4).
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0.0 for degenerate inputs (length < 2 or zero variance).
+///
+/// # Examples
+///
+/// ```
+/// use fveval_core::pearson;
+/// let xs = [1.0, 2.0, 3.0];
+/// assert!((pearson(&xs, &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+/// assert!((pearson(&xs, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "sample lengths must match");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// A binned histogram with an ASCII rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bin lower edges (uniform width).
+    pub edges: Vec<f64>,
+    /// Counts per bin.
+    pub counts: Vec<usize>,
+    /// Bin width.
+    pub width: f64,
+}
+
+impl Histogram {
+    /// Renders bars like the paper's distribution plots.
+    pub fn render(&self) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut out = String::new();
+        for (edge, &count) in self.edges.iter().zip(&self.counts) {
+            let bar = "#".repeat(count * 40 / max);
+            out.push_str(&format!(
+                "{:>8.1} - {:>8.1} | {:>4} | {bar}\n",
+                edge,
+                edge + self.width,
+                count
+            ));
+        }
+        out
+    }
+}
+
+/// Bins values into `bins` uniform buckets over their range.
+pub fn histogram(values: &[f64], bins: usize) -> Histogram {
+    assert!(bins > 0, "at least one bin");
+    if values.is_empty() {
+        return Histogram {
+            edges: vec![0.0; bins],
+            counts: vec![0; bins],
+            width: 1.0,
+        };
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = ((hi - lo) / bins as f64).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let idx = (((v - lo) / width) as usize).min(bins - 1);
+        counts[idx] += 1;
+    }
+    Histogram {
+        edges: (0..bins).map(|i| lo + width * i as f64).collect(),
+        counts,
+        width,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_uncorrelated_noise_is_small() {
+        // Deterministic "noise" with no linear relation.
+        let xs: Vec<f64> = (0..200).map(|i| f64::from(i % 17)).collect();
+        let ys: Vec<f64> = (0..200).map(|i| f64::from((i * 7 + 3) % 13)).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.2);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let vals = [1.0, 2.0, 2.5, 9.0, 10.0];
+        let h = histogram(&vals, 3);
+        assert_eq!(h.counts.iter().sum::<usize>(), vals.len());
+        assert_eq!(h.counts.len(), 3);
+        assert!(!h.render().is_empty());
+    }
+
+    #[test]
+    fn histogram_empty_input() {
+        let h = histogram(&[], 4);
+        assert_eq!(h.counts.iter().sum::<usize>(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! The three FVEval datasets.
+//!
+//! - [`human`] — NL2SVA-Human: 13 expert-style testbenches with 79
+//!   (NL specification, reference SVA) pairs, mirroring the paper's
+//!   Table 6 composition (FIFOs, arbiters, FSMs, counter, RAM).
+//! - [`machine`] — NL2SVA-Machine: the synthetic generation pipeline
+//!   (random SVA sampling → naturalization → critic with retry),
+//!   producing 300 cases by default.
+//! - [`design`] — Design2SVA: parameterized arithmetic-pipeline and FSM
+//!   RTL generators with accompanying testbench headers and a sweep of
+//!   96 instances per category.
+//!
+//! Everything is deterministic under a seed, and every generated
+//! artifact round-trips through the repository's own parser and
+//! elaborator (tested).
+
+pub mod design;
+pub mod human;
+pub mod machine;
+
+pub use design::{
+    fsm_sweep, generate_fsm, generate_pipeline, pipeline_sweep, DesignCase, DesignKind,
+    FsmParams, PipelineParams,
+};
+pub use human::{human_cases, signal_table_for, testbench, testbenches, HumanCase, Testbench};
+pub use machine::{
+    generate_machine_cases, machine_signal_table, MachineCase, MachineGenConfig,
+};

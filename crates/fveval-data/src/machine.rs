@@ -1,0 +1,674 @@
+//! NL2SVA-Machine: the synthetic benchmark generation pipeline.
+//!
+//! Reproduces the paper's four-stage flow: (1) random SVA assertion
+//! sampling over symbolic signals, (2) natural-language description
+//! generation (a seeded template naturalizer substitutes the paper's
+//! gpt-4o), (3) a critic validating the description against the formal
+//! logic with a regenerate-on-reject loop (substituting gpt-4-turbo),
+//! and (4) the resulting curated case list (300 by default).
+
+use fv_core::SignalTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sv_ast::{
+    print_assertion, Assertion, BinaryOp, ClockSpec, DelayBound, Expr, Literal, PropExpr,
+    SeqExpr, SysFunc, UnaryOp,
+};
+
+/// One generated (NL, SVA) test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineCase {
+    /// Unique id, e.g. `nl2sva_machine_0017`.
+    pub id: String,
+    /// Naturalized description of the assertion.
+    pub question: String,
+    /// The reference assertion (ground truth).
+    pub reference: Assertion,
+    /// The reference rendered as concrete SVA.
+    pub reference_text: String,
+    /// Number of critic-rejected description drafts before acceptance.
+    pub retries: u32,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineGenConfig {
+    /// Number of cases to produce (paper: 300).
+    pub count: usize,
+    /// RNG seed (all output is deterministic under it).
+    pub seed: u64,
+    /// Probability that a description draft is corrupted, exercising
+    /// the critic's reject/retry loop.
+    pub corruption_rate: f64,
+}
+
+impl Default for MachineGenConfig {
+    fn default() -> MachineGenConfig {
+        MachineGenConfig {
+            count: 300,
+            seed: 0xF5E7A1,
+            corruption_rate: 0.15,
+        }
+    }
+}
+
+/// The symbolic signal table shared by all machine cases
+/// (`sig_A ..= sig_J` with fixed widths).
+pub fn machine_signal_table() -> SignalTable {
+    signal_widths().iter().map(|&(n, w)| (n, w)).collect()
+}
+
+fn signal_widths() -> &'static [(&'static str, u32)] {
+    &[
+        ("sig_A", 1),
+        ("sig_B", 4),
+        ("sig_C", 4),
+        ("sig_D", 1),
+        ("sig_E", 8),
+        ("sig_F", 1),
+        ("sig_G", 4),
+        ("sig_H", 4),
+        ("sig_I", 1),
+        ("sig_J", 1),
+    ]
+}
+
+fn bool_signals() -> Vec<&'static str> {
+    signal_widths()
+        .iter()
+        .filter(|&&(_, w)| w == 1)
+        .map(|&(n, _)| n)
+        .collect()
+}
+
+fn vec_signals() -> Vec<(&'static str, u32)> {
+    signal_widths()
+        .iter()
+        .filter(|&&(_, w)| w > 1)
+        .copied()
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Stage 1: random assertion sampling
+// ---------------------------------------------------------------------
+
+/// A boolean atom with its canonical description, kept paired so the
+/// naturalizer and critic agree on phrasing.
+#[derive(Debug, Clone)]
+struct DescribedExpr {
+    expr: Expr,
+    /// Canonical description (used by the critic).
+    canon: String,
+    /// Varied description (what the "LLM naturalizer" writes).
+    varied: String,
+}
+
+fn gen_atom(rng: &mut StdRng) -> DescribedExpr {
+    let choice = rng.gen_range(0..8);
+    match choice {
+        0 => {
+            let s = pick(rng, &bool_signals());
+            DescribedExpr {
+                expr: Expr::ident(s),
+                canon: format!("{s} is high"),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("{s} is high"),
+                        format!("{s} is true"),
+                        format!("{s} is asserted"),
+                    ],
+                ),
+            }
+        }
+        1 => {
+            let s = pick(rng, &bool_signals());
+            DescribedExpr {
+                expr: Expr::ident(s).lnot(),
+                canon: format!("{s} is low"),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("{s} is low"),
+                        format!("{s} is not high"),
+                        format!("{s} is deasserted"),
+                    ],
+                ),
+            }
+        }
+        2 => {
+            let (s, _) = pick(rng, &vec_signals());
+            DescribedExpr {
+                expr: Expr::Unary(UnaryOp::RedAnd, Box::new(Expr::ident(s))),
+                canon: format!("all bits of {s} are 1"),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("all bits of {s} are 1"),
+                        format!("every bit of {s} is set"),
+                    ],
+                ),
+            }
+        }
+        3 => {
+            let (s, _) = pick(rng, &vec_signals());
+            DescribedExpr {
+                expr: Expr::Unary(UnaryOp::RedOr, Box::new(Expr::ident(s))),
+                canon: format!("{s} contains at least one 1 bit"),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("{s} contains at least one '1' bit"),
+                        format!("at least one bit of {s} is set"),
+                    ],
+                ),
+            }
+        }
+        4 => {
+            let (s, _) = pick(rng, &vec_signals());
+            DescribedExpr {
+                expr: Expr::Unary(UnaryOp::RedXor, Box::new(Expr::ident(s))),
+                canon: format!("{s} has an odd number of bits set to 1"),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("{s} has an odd number of bits set to '1'"),
+                        format!("{s} has odd parity"),
+                    ],
+                ),
+            }
+        }
+        5 => {
+            let (s, w) = pick(rng, &vec_signals());
+            let k = rng.gen_range(1..(1u128 << w.min(4)));
+            DescribedExpr {
+                expr: Expr::bin(
+                    BinaryOp::Lt,
+                    Expr::ident(s),
+                    Expr::Literal(Literal::tick_d(k)),
+                ),
+                canon: format!("{s} is less than {k}"),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("{s} is less than {k}"),
+                        format!("the value of {s} is below {k}"),
+                    ],
+                ),
+            }
+        }
+        6 => {
+            let (s1, _) = pick(rng, &vec_signals());
+            let mut s2 = pick(rng, &vec_signals()).0;
+            while s2 == s1 {
+                s2 = pick(rng, &vec_signals()).0;
+            }
+            let eq = rng.gen_bool(0.5);
+            DescribedExpr {
+                expr: Expr::bin(
+                    if eq { BinaryOp::Eq } else { BinaryOp::Neq },
+                    Expr::ident(s1),
+                    Expr::ident(s2),
+                ),
+                canon: format!(
+                    "{s1} is {}equal to {s2}",
+                    if eq { "" } else { "not " }
+                ),
+                varied: if eq {
+                    pick(
+                        rng,
+                        &[format!("{s1} equals {s2}"), format!("{s1} is equal to {s2}")],
+                    )
+                } else {
+                    pick(
+                        rng,
+                        &[
+                            format!("{s1} is not equal to {s2}"),
+                            format!("{s1} differs from {s2}"),
+                        ],
+                    )
+                },
+            }
+        }
+        _ => {
+            let (s, _) = pick(rng, &vec_signals());
+            let k = rng.gen_range(1..=3u128);
+            DescribedExpr {
+                expr: Expr::bin(
+                    BinaryOp::Eq,
+                    Expr::SysCall(SysFunc::Countones, vec![Expr::ident(s)]),
+                    Expr::Literal(Literal::tick_d(k)),
+                ),
+                canon: format!("{s} has exactly {k} bits set"),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("{s} has exactly {k} bits set"),
+                        format!("exactly {k} bits of {s} are 1"),
+                    ],
+                ),
+            }
+        }
+    }
+}
+
+fn gen_bool(rng: &mut StdRng, depth: u32) -> DescribedExpr {
+    if depth == 0 || rng.gen_bool(0.45) {
+        return gen_atom(rng);
+    }
+    let a = gen_bool(rng, depth - 1);
+    let b = gen_bool(rng, depth - 1);
+    if rng.gen_bool(0.5) {
+        DescribedExpr {
+            expr: a.expr.land(b.expr),
+            canon: format!("both {} and {}", a.canon, b.canon),
+            varied: pick(
+                rng,
+                &[
+                    format!("both {} and {}", a.varied, b.varied),
+                    format!("{} and {}", a.varied, b.varied),
+                ],
+            ),
+        }
+    } else {
+        DescribedExpr {
+            expr: a.expr.lor(b.expr),
+            canon: format!("either {} or {}", a.canon, b.canon),
+            varied: pick(
+                rng,
+                &[
+                    format!("either {} or {}", a.varied, b.varied),
+                    format!("{} or {}", a.varied, b.varied),
+                ],
+            ),
+        }
+    }
+}
+
+/// A sampled assertion plus its canonical/varied descriptions.
+#[derive(Debug, Clone)]
+struct DescribedAssertion {
+    assertion: Assertion,
+    canon: String,
+    varied: String,
+}
+
+fn gen_assertion(rng: &mut StdRng) -> DescribedAssertion {
+    let template = rng.gen_range(0..6);
+    let clock = ClockSpec::posedge("clk");
+    match template {
+        // Immediate boolean property.
+        0 => {
+            let e = gen_bool(rng, 2);
+            DescribedAssertion {
+                assertion: Assertion::new(clock, PropExpr::expr(e.expr)),
+                canon: format!("{} .", e.canon),
+                varied: format!("{}.", e.varied),
+            }
+        }
+        // Same-cycle implication.
+        1 => {
+            let a = gen_bool(rng, 1);
+            let b = gen_bool(rng, 1);
+            DescribedAssertion {
+                assertion: Assertion::new(
+                    clock,
+                    PropExpr::implies(SeqExpr::Expr(a.expr), PropExpr::expr(b.expr)),
+                ),
+                canon: format!("if {} , then {} in the same cycle .", a.canon, b.canon),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("If {}, then {} in the same cycle.", a.varied, b.varied),
+                        format!("Whenever {}, {} at that same cycle.", a.varied, b.varied),
+                    ],
+                ),
+            }
+        }
+        // Next-cycle implication (|=>).
+        2 => {
+            let a = gen_bool(rng, 1);
+            let b = gen_bool(rng, 1);
+            DescribedAssertion {
+                assertion: Assertion::new(
+                    clock,
+                    PropExpr::Implication {
+                        ante: SeqExpr::Expr(a.expr),
+                        non_overlap: true,
+                        cons: Box::new(PropExpr::expr(b.expr)),
+                    },
+                ),
+                canon: format!("if {} , then on the next cycle {} .", a.canon, b.canon),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("If {}, then on the next clock edge {}.", a.varied, b.varied),
+                        format!("When {}, {} must hold one cycle later.", a.varied, b.varied),
+                    ],
+                ),
+            }
+        }
+        // Fixed delay.
+        3 => {
+            let a = gen_bool(rng, 1);
+            let b = gen_bool(rng, 1);
+            let n = rng.gen_range(2..=5u32);
+            DescribedAssertion {
+                assertion: Assertion::new(
+                    clock,
+                    PropExpr::implies(
+                        SeqExpr::Expr(a.expr),
+                        PropExpr::Seq(SeqExpr::Delay {
+                            lhs: None,
+                            lo: n,
+                            hi: DelayBound::Finite(n),
+                            rhs: Box::new(SeqExpr::Expr(b.expr)),
+                        }),
+                    ),
+                ),
+                canon: format!("if {} , then {n} cycles later {} .", a.canon, b.canon),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("If {}, then {n} clock cycles later, {}.", a.varied, b.varied),
+                        format!("{} must hold {n} cycles after {}.", b.varied, a.varied),
+                    ],
+                ),
+            }
+        }
+        // Bounded window.
+        4 => {
+            let a = gen_bool(rng, 1);
+            let b = gen_bool(rng, 1);
+            let lo = rng.gen_range(1..=2u32);
+            let hi = lo + rng.gen_range(1..=3u32);
+            DescribedAssertion {
+                assertion: Assertion::new(
+                    clock,
+                    PropExpr::implies(
+                        SeqExpr::Expr(a.expr),
+                        PropExpr::Seq(SeqExpr::Delay {
+                            lhs: None,
+                            lo,
+                            hi: DelayBound::Finite(hi),
+                            rhs: Box::new(SeqExpr::Expr(b.expr)),
+                        }),
+                    ),
+                ),
+                canon: format!(
+                    "if {} , then within {lo} to {hi} cycles {} .",
+                    a.canon, b.canon
+                ),
+                varied: pick(
+                    rng,
+                    &[
+                        format!(
+                            "If {}, then {} must hold within {lo} to {hi} cycles.",
+                            a.varied, b.varied
+                        ),
+                        format!(
+                            "When {}, {} follows between {lo} and {hi} cycles later.",
+                            a.varied, b.varied
+                        ),
+                    ],
+                ),
+            }
+        }
+        // Strong eventuality.
+        _ => {
+            let a = gen_bool(rng, 1);
+            let b = gen_bool(rng, 1);
+            DescribedAssertion {
+                assertion: Assertion::new(
+                    clock,
+                    PropExpr::implies(
+                        SeqExpr::Expr(a.expr),
+                        PropExpr::SEventually(Box::new(PropExpr::expr(b.expr))),
+                    ),
+                ),
+                canon: format!("if {} , then eventually {} .", a.canon, b.canon),
+                varied: pick(
+                    rng,
+                    &[
+                        format!("If {}, then {} must eventually be true.", a.varied, b.varied),
+                        format!("Once {}, {} eventually holds.", a.varied, b.varied),
+                    ],
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 2/3: naturalization with a critic loop
+// ---------------------------------------------------------------------
+
+/// The critic compares the description's number tokens and keyword
+/// skeleton against the canonical rendering of the formal logic.
+fn critic_accepts(canon: &str, description: &str) -> bool {
+    let numbers = |s: &str| -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        for ch in s.chars() {
+            if ch.is_ascii_digit() {
+                cur.push(ch);
+            } else if !cur.is_empty() {
+                out.push(cur.parse().unwrap_or(0));
+                cur.clear();
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur.parse().unwrap_or(0));
+        }
+        out.sort_unstable();
+        out
+    };
+    if numbers(canon) != numbers(description) {
+        return false;
+    }
+    // Signal mentions must match exactly.
+    let signals = |s: &str| -> Vec<&str> {
+        let mut v: Vec<&str> = signal_widths()
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|n| s.contains(n))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    if signals(canon) != signals(description) {
+        return false;
+    }
+    // Negation and parity keywords must be preserved.
+    for kw in ["odd", "not ", "low", "less than"] {
+        if canon.contains(kw) != (description.to_lowercase().contains(kw)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Injects a description error (what a sloppy naturalizer might do).
+fn corrupt(rng: &mut StdRng, description: &str) -> String {
+    let mut s = description.to_string();
+    match rng.gen_range(0..3) {
+        0 => {
+            // Perturb the first number.
+            if let Some(pos) = s.find(|c: char| c.is_ascii_digit()) {
+                let d = s.as_bytes()[pos] - b'0';
+                let nd = (d + 1) % 10;
+                s.replace_range(pos..pos + 1, &nd.to_string());
+                return s;
+            }
+        }
+        1
+            if s.contains("odd") => {
+                return s.replace("odd", "even");
+            }
+        _ => {}
+    }
+    // Fallback corruption: drop the trailing clause.
+    match s.rfind(',') {
+        Some(p) => format!("{}.", &s[..p]),
+        None => format!("{s} always"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage 4: dataset assembly
+// ---------------------------------------------------------------------
+
+/// Runs the full generation pipeline.
+pub fn generate_machine_cases(cfg: MachineGenConfig) -> Vec<MachineCase> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut cases = Vec::with_capacity(cfg.count);
+    for i in 0..cfg.count {
+        let spec = gen_assertion(&mut rng);
+        // Naturalize with the critic loop: a corrupted draft is caught
+        // by the critic and regenerated (bounded retries).
+        let mut retries = 0;
+        let mut description = spec.varied.clone();
+        loop {
+            let draft = if rng.gen_bool(cfg.corruption_rate) {
+                corrupt(&mut rng, &description)
+            } else {
+                description.clone()
+            };
+            if critic_accepts(&spec.canon, &draft) {
+                description = draft;
+                break;
+            }
+            retries += 1;
+            if retries > 4 {
+                // Fall back to the canonical phrasing (always accepted).
+                description = spec.canon.clone();
+                break;
+            }
+        }
+        cases.push(MachineCase {
+            id: format!("nl2sva_machine_{i:04}"),
+            question: format!("Create a SVA assertion that checks: {description}"),
+            reference_text: print_assertion(&spec.assertion),
+            reference: spec.assertion,
+            retries,
+        });
+    }
+    cases
+}
+
+fn pick<T: Clone>(rng: &mut StdRng, options: &[T]) -> T {
+    options[rng.gen_range(0..options.len())].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_core::{check_equivalence, EquivConfig, Equivalence};
+    use sv_parser::parse_assertion_str;
+
+    #[test]
+    fn default_config_produces_300() {
+        let cases = generate_machine_cases(MachineGenConfig::default());
+        assert_eq!(cases.len(), 300);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_machine_cases(MachineGenConfig {
+            count: 25,
+            ..Default::default()
+        });
+        let b = generate_machine_cases(MachineGenConfig {
+            count: 25,
+            ..Default::default()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_machine_cases(MachineGenConfig {
+            count: 25,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate_machine_cases(MachineGenConfig {
+            count: 25,
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_references_reparse_and_self_equiv() {
+        let table = machine_signal_table();
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 60,
+            ..Default::default()
+        });
+        for c in cases {
+            let parsed = parse_assertion_str(&c.reference_text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", c.id, c.reference_text));
+            assert_eq!(parsed, c.reference, "{} round trip", c.id);
+            let out = check_equivalence(&parsed, &c.reference, &table, EquivConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", c.id));
+            assert_eq!(out.verdict, Equivalence::Equivalent, "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn critic_catches_number_corruption() {
+        assert!(critic_accepts(
+            "if sig_A is high , then 3 cycles later sig_F is high .",
+            "If sig_A is high, then 3 clock cycles later, sig_F is true."
+        ));
+        assert!(!critic_accepts(
+            "if sig_A is high , then 3 cycles later sig_F is high .",
+            "If sig_A is high, then 4 clock cycles later, sig_F is true."
+        ));
+        assert!(!critic_accepts(
+            "sig_G has an odd number of bits set to 1 .",
+            "sig_G has an even number of bits set to 1."
+        ));
+        assert!(!critic_accepts(
+            "sig_A is high .",
+            "sig_B is high."
+        ));
+    }
+
+    #[test]
+    fn corruption_rate_exercises_retries() {
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 200,
+            seed: 7,
+            corruption_rate: 0.5,
+        });
+        let retried = cases.iter().filter(|c| c.retries > 0).count();
+        assert!(retried > 20, "critic loop exercised, got {retried}");
+    }
+
+    #[test]
+    fn template_variety_present() {
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 120,
+            ..Default::default()
+        });
+        let with_delay = cases
+            .iter()
+            .filter(|c| c.reference_text.contains("##"))
+            .count();
+        let with_eventually = cases
+            .iter()
+            .filter(|c| c.reference_text.contains("s_eventually"))
+            .count();
+        let immediate = cases
+            .iter()
+            .filter(|c| !c.reference_text.contains("|->") && !c.reference_text.contains("|=>"))
+            .count();
+        assert!(with_delay > 10);
+        assert!(with_eventually > 5);
+        assert!(immediate > 5);
+    }
+}

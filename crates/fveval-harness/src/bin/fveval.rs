@@ -1,0 +1,170 @@
+//! The `fveval` command-line interface.
+//!
+//! ```text
+//! fveval <command> [--full] [--seed N] [--out DIR]
+//!
+//! Commands:
+//!   table1 table2 table3 table4 table5 table6
+//!   figure2 figure3 figure4 figure6
+//!   showcase        qualitative failure-mode examples (Figs. 7-9)
+//!   validate        end-to-end dataset self-check
+//!   run-all         everything above
+//! ```
+//!
+//! Results are printed to stdout and written under `--out`
+//! (default `results/`) as markdown and CSV.
+
+use fveval_harness::HarnessOptions;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    opts: HarnessOptions,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut opts = HarnessOptions::default();
+    let mut out_dir = PathBuf::from("results");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| "bad seed".to_string())?;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        opts,
+        out_dir,
+    })
+}
+
+fn usage() -> String {
+    "usage: fveval <table1|table2|table3|table4|table5|table6|validate|figure2|figure3|figure4|figure6|showcase|run-all> [--full] [--seed N] [--out DIR]".to_string()
+}
+
+fn write_out(dir: &Path, name: &str, markdown: &str, csv: Option<&str>) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let md_path = dir.join(format!("{name}.md"));
+    if let Err(e) = std::fs::write(&md_path, markdown) {
+        eprintln!("warning: cannot write {}: {e}", md_path.display());
+    }
+    if let Some(csv) = csv {
+        let csv_path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&csv_path, csv) {
+            eprintln!("warning: cannot write {}: {e}", csv_path.display());
+        }
+    }
+}
+
+fn run_one(cmd: &str, opts: &HarnessOptions, out_dir: &Path) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    match cmd {
+        "table1" => {
+            let t = fveval_harness::table1(opts);
+            println!("{}", t.to_markdown());
+            write_out(out_dir, "table1", &t.to_markdown(), Some(&t.to_csv()));
+        }
+        "table2" => {
+            let t = fveval_harness::table2(opts);
+            println!("{}", t.to_markdown());
+            write_out(out_dir, "table2", &t.to_markdown(), Some(&t.to_csv()));
+        }
+        "table3" => {
+            let t = fveval_harness::table3(opts);
+            println!("{}", t.to_markdown());
+            write_out(out_dir, "table3", &t.to_markdown(), Some(&t.to_csv()));
+        }
+        "table4" => {
+            let t = fveval_harness::table4(opts);
+            println!("{}", t.to_markdown());
+            write_out(out_dir, "table4", &t.to_markdown(), Some(&t.to_csv()));
+        }
+        "table5" => {
+            let t = fveval_harness::table5(opts);
+            println!("{}", t.to_markdown());
+            write_out(out_dir, "table5", &t.to_markdown(), Some(&t.to_csv()));
+        }
+        "table6" => {
+            let t = fveval_harness::table6();
+            println!("{}", t.to_markdown());
+            write_out(out_dir, "table6", &t.to_markdown(), Some(&t.to_csv()));
+        }
+        "figure2" => {
+            let s = fveval_harness::figure2();
+            println!("{s}");
+            write_out(out_dir, "figure2", &s, None);
+        }
+        "figure3" => {
+            let s = fveval_harness::figure3(opts);
+            println!("{s}");
+            write_out(out_dir, "figure3", &s, None);
+        }
+        "figure4" => {
+            let s = fveval_harness::figure4(opts);
+            println!("{s}");
+            write_out(out_dir, "figure4", &s, None);
+        }
+        "figure6" => {
+            let (t, notes) = fveval_harness::figure6(opts);
+            println!("{}", t.to_markdown());
+            println!("{notes}");
+            let md = format!("{}\n{notes}", t.to_markdown());
+            write_out(out_dir, "figure6", &md, Some(&t.to_csv()));
+        }
+        "showcase" => {
+            let s = fveval_harness::showcase(opts);
+            println!("{s}");
+            write_out(out_dir, "showcase", &s, None);
+        }
+        "validate" => {
+            let (report, errors) = fveval_harness::validate(opts);
+            println!("{report}");
+            write_out(out_dir, "validate", &report, None);
+            if errors > 0 {
+                return Err(format!("{errors} validation error(s)"));
+            }
+        }
+        other => return Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+    eprintln!("[{cmd} finished in {:.1?}]", started.elapsed());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let commands: Vec<&str> = if args.command == "run-all" {
+        vec![
+            "table1", "table2", "table3", "table4", "table5", "table6", "figure2",
+            "figure3", "figure4", "figure6", "showcase",
+        ]
+    } else {
+        vec![args.command.as_str()]
+    };
+    for cmd in commands {
+        if let Err(e) = run_one(cmd, &args.opts, &args.out_dir) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,641 @@
+//! Experiment harness: one function per paper table/figure.
+//!
+//! Each function runs the corresponding evaluation end to end — dataset
+//! assembly, simulated-model inference, and the real scoring pipeline —
+//! and renders a [`Table`] or a text figure. The `fveval` binary wraps
+//! these behind subcommands and writes `results/*.md` / `results/*.csv`.
+//!
+//! Scale: `HarnessOptions::full` reproduces the paper's set sizes
+//! (79 human / 300 machine / 96+96 designs); the default quick mode
+//! shrinks the expensive Design2SVA sweeps so the whole suite runs in
+//! seconds-to-minutes on a laptop. The *shape* of every table is
+//! preserved at either scale.
+
+use fv_core::SignalTable;
+use fveval_core::{
+    bind_design, histogram, pearson, token_count, Design2svaRunner, MetricSummary,
+    Nl2svaRunner, Table,
+};
+use fveval_data::{
+    fsm_sweep, human_cases, machine_signal_table, pipeline_sweep, signal_table_for,
+    testbenches, MachineGenConfig,
+};
+use fveval_llm::{profiles, InferenceConfig, Model, SimulatedModel, Task};
+use std::collections::HashMap;
+
+/// Knobs shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessOptions {
+    /// Paper-scale runs (96+96 designs, 10 samples) instead of quick.
+    pub full: bool,
+    /// Global seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> HarnessOptions {
+        HarnessOptions {
+            full: false,
+            seed: 0xFEED,
+        }
+    }
+}
+
+impl HarnessOptions {
+    fn machine_count(&self) -> usize {
+        if self.full {
+            300
+        } else {
+            120
+        }
+    }
+
+    fn design_count(&self) -> usize {
+        if self.full {
+            96
+        } else {
+            12
+        }
+    }
+
+    fn samples(&self) -> u32 {
+        if self.full {
+            10
+        } else {
+            6
+        }
+    }
+}
+
+fn human_tables() -> HashMap<&'static str, SignalTable> {
+    testbenches()
+        .into_iter()
+        .map(|tb| {
+            let table = signal_table_for(&tb).expect("shipped testbenches elaborate");
+            (tb.name, table)
+        })
+        .collect()
+}
+
+fn machine_cases(opts: &HarnessOptions) -> Vec<fveval_data::MachineCase> {
+    fveval_data::generate_machine_cases(MachineGenConfig {
+        count: opts.machine_count(),
+        seed: opts.seed,
+        ..Default::default()
+    })
+}
+
+/// Table 1 — NL2SVA-Human, zero-shot greedy decoding, all 8 models.
+pub fn table1(opts: &HarnessOptions) -> Table {
+    let _ = opts; // the human set is always full-size (79 cases)
+    let cases = human_cases();
+    let tables = human_tables();
+    let runner = Nl2svaRunner::new();
+    let cfg = InferenceConfig::greedy();
+    let mut t = Table::new(
+        "Table 1: NL2SVA-Human (zero-shot, greedy)",
+        &["Model", "Syntax", "Func.", "Partial Func.", "BLEU"],
+    );
+    for model in profiles() {
+        let evals = runner.run_human(&model, &cases, &tables, &cfg, 1);
+        let s = MetricSummary::from_first_samples(&evals);
+        t.push_row([
+            model.name().into(),
+            s.syntax.into(),
+            s.func.into(),
+            s.partial.into(),
+            s.bleu.into(),
+        ]);
+    }
+    t
+}
+
+/// Table 2 — NL2SVA-Human pass@k under sampling (top models).
+pub fn table2(opts: &HarnessOptions) -> Table {
+    let cases = human_cases();
+    let tables = human_tables();
+    let runner = Nl2svaRunner::new();
+    let n = opts.samples().max(5);
+    let cfg = InferenceConfig::sampling();
+    let mut t = Table::new(
+        format!("Table 2: NL2SVA-Human pass@k (n={n}, T=0.8)"),
+        &[
+            "Model",
+            "Syntax@5",
+            "Func.@3",
+            "Func.@5",
+            "Partial.@3",
+            "Partial.@5",
+        ],
+    );
+    for name in ["gpt-4o", "gemini-1.5-flash", "llama-3.1-70b"] {
+        let model = model_by_name(name);
+        let evals = runner.run_human(&model, &cases, &tables, &cfg, n);
+        t.push_row([
+            name.into(),
+            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(&evals, 3, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(&evals, 3, |s| s.partial).into(),
+            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.partial).into(),
+        ]);
+    }
+    t
+}
+
+/// Table 3 — NL2SVA-Machine, zero-shot and 3-shot, all 8 models.
+pub fn table3(opts: &HarnessOptions) -> Table {
+    let cases = machine_cases(opts);
+    let table = machine_signal_table();
+    let runner = Nl2svaRunner::new();
+    let mut t = Table::new(
+        format!("Table 3: NL2SVA-Machine ({} cases)", cases.len()),
+        &[
+            "Model",
+            "0-shot Syntax",
+            "0-shot Func.",
+            "0-shot Partial",
+            "0-shot BLEU",
+            "3-shot Syntax",
+            "3-shot Func.",
+            "3-shot Partial",
+            "3-shot BLEU",
+        ],
+    );
+    for model in profiles() {
+        let e0 = runner.run_machine(
+            &model,
+            &cases,
+            &table,
+            &InferenceConfig::greedy(),
+            1,
+        );
+        let e3 = runner.run_machine(
+            &model,
+            &cases,
+            &table,
+            &InferenceConfig::greedy().with_shots(3),
+            1,
+        );
+        let s0 = MetricSummary::from_first_samples(&e0);
+        let s3 = MetricSummary::from_first_samples(&e3);
+        t.push_row([
+            model.name().into(),
+            s0.syntax.into(),
+            s0.func.into(),
+            s0.partial.into(),
+            s0.bleu.into(),
+            s3.syntax.into(),
+            s3.func.into(),
+            s3.partial.into(),
+            s3.bleu.into(),
+        ]);
+    }
+    t
+}
+
+/// Table 4 — NL2SVA-Machine pass@k under sampling, 3-shot.
+pub fn table4(opts: &HarnessOptions) -> Table {
+    let cases = machine_cases(opts);
+    let table = machine_signal_table();
+    let runner = Nl2svaRunner::new();
+    let n = opts.samples().max(5);
+    let cfg = InferenceConfig::sampling().with_shots(3);
+    let mut t = Table::new(
+        format!("Table 4: NL2SVA-Machine pass@k (n={n}, 3-shot, top-p 0.95, T=0.8)"),
+        &[
+            "Model",
+            "Syntax@5",
+            "Func.@3",
+            "Func.@5",
+            "Partial.@3",
+            "Partial.@5",
+        ],
+    );
+    for name in ["gpt-4o", "gemini-1.5-flash", "llama-3.1-70b"] {
+        let model = model_by_name(name);
+        let evals = runner.run_machine(&model, &cases, &table, &cfg, n);
+        t.push_row([
+            name.into(),
+            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(&evals, 3, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(&evals, 3, |s| s.partial).into(),
+            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.partial).into(),
+        ]);
+    }
+    t
+}
+
+/// Table 5 — Design2SVA pass@1 / pass@5 per design category.
+pub fn table5(opts: &HarnessOptions) -> Table {
+    let count = opts.design_count();
+    let pipelines = pipeline_sweep(count, opts.seed);
+    let fsms = fsm_sweep(count, opts.seed.wrapping_add(1));
+    let runner = Design2svaRunner::new();
+    let n = opts.samples().max(5);
+    let cfg = InferenceConfig::sampling();
+    let mut t = Table::new(
+        format!("Table 5: Design2SVA ({count} designs per category, n={n})"),
+        &[
+            "Model",
+            "Pipe Syntax@1",
+            "Pipe Syntax@5",
+            "Pipe Func.@1",
+            "Pipe Func.@5",
+            "FSM Syntax@1",
+            "FSM Syntax@5",
+            "FSM Func.@1",
+            "FSM Func.@5",
+        ],
+    );
+    for model in profiles() {
+        if !model.profile().supports_design2sva {
+            continue;
+        }
+        let ep = runner.run(&model, &pipelines, &cfg, n);
+        let ef = runner.run(&model, &fsms, &cfg, n);
+        t.push_row([
+            model.name().into(),
+            MetricSummary::mean_pass_at_k(&ep, 1, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(&ep, 5, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(&ep, 1, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(&ep, 5, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(&ef, 1, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(&ef, 5, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(&ef, 1, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(&ef, 5, |s| s.func).into(),
+        ]);
+    }
+    t
+}
+
+/// Table 6 — NL2SVA-Human dataset composition.
+pub fn table6() -> Table {
+    let cases = human_cases();
+    let tbs = testbenches();
+    let mut t = Table::new(
+        "Table 6: NL2SVA-Human composition",
+        &["Name", "# Variations", "# Assertions"],
+    );
+    let mut classes: Vec<&str> = Vec::new();
+    for tb in &tbs {
+        if !classes.contains(&tb.class) {
+            classes.push(tb.class);
+        }
+    }
+    let mut total_vars = 0usize;
+    let mut total_asserts = 0usize;
+    for class in classes {
+        let names: Vec<&str> = tbs
+            .iter()
+            .filter(|t| t.class == class)
+            .map(|t| t.name)
+            .collect();
+        let n_assert = cases
+            .iter()
+            .filter(|c| names.contains(&c.testbench))
+            .count();
+        total_vars += names.len();
+        total_asserts += n_assert;
+        t.push_row([
+            class.into(),
+            (names.len() as f64).into(),
+            (n_assert as f64).into(),
+        ]);
+    }
+    t.push_row([
+        "Total".into(),
+        (total_vars as f64).into(),
+        (total_asserts as f64).into(),
+    ]);
+    t
+}
+
+/// Figure 2 (right) — NL/SVA token-length distributions, human set.
+pub fn figure2() -> String {
+    let cases = human_cases();
+    let nl: Vec<f64> = cases
+        .iter()
+        .map(|c| token_count(&c.question) as f64)
+        .collect();
+    let sva: Vec<f64> = cases
+        .iter()
+        .map(|c| token_count(&c.reference) as f64)
+        .collect();
+    format!(
+        "Figure 2 (right): NL2SVA-Human token-length distributions\n\n\
+         NL specifications ({} cases):\n{}\n\
+         Reference SVA solutions:\n{}",
+        cases.len(),
+        histogram(&nl, 8).render(),
+        histogram(&sva, 8).render()
+    )
+}
+
+/// Figure 3 (right) — NL/SVA token-length distributions, machine set.
+pub fn figure3(opts: &HarnessOptions) -> String {
+    let cases = machine_cases(opts);
+    let nl: Vec<f64> = cases
+        .iter()
+        .map(|c| token_count(&c.question) as f64)
+        .collect();
+    let sva: Vec<f64> = cases
+        .iter()
+        .map(|c| token_count(&c.reference_text) as f64)
+        .collect();
+    format!(
+        "Figure 3 (right): NL2SVA-Machine token-length distributions\n\n\
+         NL descriptions ({} cases):\n{}\n\
+         Reference SVA assertions:\n{}",
+        cases.len(),
+        histogram(&nl, 8).render(),
+        histogram(&sva, 8).render()
+    )
+}
+
+/// Figure 4 — generated-logic token lengths across the design sweeps.
+pub fn figure4(opts: &HarnessOptions) -> String {
+    let count = opts.design_count();
+    let pipelines = pipeline_sweep(count, opts.seed);
+    let fsms = fsm_sweep(count, opts.seed.wrapping_add(1));
+    let p: Vec<f64> = pipelines
+        .iter()
+        .map(|c| token_count(&c.logic_excerpt) as f64)
+        .collect();
+    let f: Vec<f64> = fsms
+        .iter()
+        .map(|c| token_count(&c.logic_excerpt) as f64)
+        .collect();
+    format!(
+        "Figure 4: Design2SVA generated-logic token-length distributions\n\n\
+         Arithmetic logic (pipelines, {count} designs):\n{}\n\
+         FSM transition logic ({count} designs):\n{}",
+        histogram(&p, 8).render(),
+        histogram(&f, 8).render()
+    )
+}
+
+/// Figure 6 — BLEU-vs-functional-equivalence correlation.
+pub fn figure6(opts: &HarnessOptions) -> (Table, String) {
+    let _ = opts;
+    let cases = human_cases();
+    let tables = human_tables();
+    let runner = Nl2svaRunner::new();
+    let cfg = InferenceConfig::greedy();
+    let mut t = Table::new(
+        "Figure 6: correlation between Func. and BLEU (NL2SVA-Human)",
+        &["Model", "Pearson r", "Mean BLEU | func", "Mean BLEU | !func"],
+    );
+    let mut notes = String::new();
+    for name in ["gpt-4o", "llama-3.1-70b"] {
+        let model = model_by_name(name);
+        let evals = runner.run_human(&model, &cases, &tables, &cfg, 1);
+        let bleus: Vec<f64> = evals.iter().map(|c| c.samples[0].bleu).collect();
+        let funcs: Vec<f64> = evals
+            .iter()
+            .map(|c| f64::from(u8::from(c.samples[0].func)))
+            .collect();
+        let r = pearson(&bleus, &funcs);
+        let mean = |pred: bool| {
+            let xs: Vec<f64> = evals
+                .iter()
+                .filter(|c| c.samples[0].func == pred)
+                .map(|c| c.samples[0].bleu)
+                .collect();
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        t.push_row([
+            name.into(),
+            r.into(),
+            mean(true).into(),
+            mean(false).into(),
+        ]);
+        notes.push_str(&format!(
+            "{name}: corr(BLEU, Func) = {r:.4} over {} cases\n",
+            evals.len()
+        ));
+    }
+    (t, notes)
+}
+
+/// Figures 7/8/9 — qualitative failure-mode showcase.
+pub fn showcase(opts: &HarnessOptions) -> String {
+    let mut out = String::new();
+    let tables = human_tables();
+    let runner = Nl2svaRunner::new();
+    // Figure 7 flavour: the FIFO eventuality case across models.
+    let cases = human_cases();
+    let case = cases
+        .iter()
+        .find(|c| c.id == "fifo_1r1w_bypass_4")
+        .expect("case exists");
+    out.push_str(&format!(
+        "== NL2SVA-Human showcase: {} ==\nQuestion: {}\nReference: {}\n\n",
+        case.id, case.question, case.reference
+    ));
+    for name in ["gpt-4o", "llama-3.1-70b", "llama-3-8b"] {
+        let model = model_by_name(name);
+        let table = &tables[case.testbench];
+        let task = Task::Nl2svaHuman { case, table };
+        let resp = model.generate(&task, &InferenceConfig::greedy(), 0);
+        let eval = runner.evaluate_response(&case.reference, &resp, table);
+        out.push_str(&format!(
+            "{name}:\n{resp}\nSyntax: {} | Functionality: {}\n\n",
+            pass_str(eval.syntax),
+            if eval.func {
+                "pass"
+            } else if eval.partial {
+                "partial pass"
+            } else {
+                "fail"
+            }
+        ));
+    }
+    // Figure 9 flavour: a Design2SVA FSM case with multiple attempts.
+    let fsm = fsm_sweep(1, opts.seed)[0].clone();
+    let bound = bind_design(&fsm).expect("designs bind");
+    let d2s = Design2svaRunner::new();
+    out.push_str(&format!(
+        "== Design2SVA showcase: {} ==\n(design RTL omitted; {} states)\n\n",
+        fsm.id,
+        match &fsm.kind {
+            fveval_data::DesignKind::Fsm { n_states, .. } => *n_states,
+            _ => 0,
+        }
+    ));
+    let model = model_by_name("gpt-4o");
+    for attempt in 0..2 {
+        let task = Task::Design2sva { case: &fsm };
+        let resp = model.generate(&task, &InferenceConfig::sampling(), attempt);
+        let eval = d2s.evaluate_response(&bound, &resp);
+        out.push_str(&format!(
+            "gpt-4o | Attempt {}:\n{resp}\nSyntax: {} | Functionality (is proven): {}\n\n",
+            attempt + 1,
+            pass_str(eval.syntax),
+            pass_str(eval.func)
+        ));
+    }
+    out
+}
+
+fn pass_str(b: bool) -> &'static str {
+    if b {
+        "pass"
+    } else {
+        "fail"
+    }
+}
+
+/// Validates all shipped and generated collateral end to end: every
+/// testbench elaborates, every reference assertion parses and is
+/// self-equivalent in its scope, every generated design's golden
+/// assertions are proven, and the machine generator round-trips.
+/// Returns a human-readable report; errors are collected, not fatal.
+pub fn validate(opts: &HarnessOptions) -> (String, usize) {
+    use fv_core::{check_equivalence, EquivConfig, Equivalence};
+    use sv_parser::parse_assertion_str;
+
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut check = |out: &mut String, errors: &mut usize, label: &str, ok: bool, detail: &str| {
+        if ok {
+            out.push_str(&format!("  ok    {label}\n"));
+        } else {
+            *errors += 1;
+            out.push_str(&format!("  FAIL  {label}: {detail}\n"));
+        }
+    };
+
+    out.push_str("== testbenches ==\n");
+    let mut tables = HashMap::new();
+    for tb in testbenches() {
+        match signal_table_for(&tb) {
+            Ok(t) => {
+                check(&mut out, &mut errors, tb.name, true, "");
+                tables.insert(tb.name, t);
+            }
+            Err(e) => check(&mut out, &mut errors, tb.name, false, &e),
+        }
+    }
+
+    out.push_str("== human references (79) ==\n");
+    let mut ok_refs = 0;
+    for case in human_cases() {
+        let verdict = parse_assertion_str(&case.reference)
+            .map_err(|e| e.to_string())
+            .and_then(|a| {
+                tables
+                    .get(case.testbench)
+                    .ok_or_else(|| "missing table".to_string())
+                    .and_then(|t| {
+                        check_equivalence(&a, &a, t, EquivConfig::default())
+                            .map_err(|e| e.to_string())
+                    })
+            });
+        match verdict {
+            Ok(o) if o.verdict == Equivalence::Equivalent => ok_refs += 1,
+            Ok(o) => check(
+                &mut out,
+                &mut errors,
+                &case.id,
+                false,
+                &format!("{:?}", o.verdict),
+            ),
+            Err(e) => check(&mut out, &mut errors, &case.id, false, &e),
+        }
+    }
+    out.push_str(&format!("  ok    {ok_refs} references self-equivalent\n"));
+
+    out.push_str("== machine generator ==\n");
+    let cases = machine_cases(opts);
+    let mut ok_machine = 0;
+    for case in &cases {
+        if parse_assertion_str(&case.reference_text).is_ok() {
+            ok_machine += 1;
+        } else {
+            check(&mut out, &mut errors, &case.id, false, "reference unparseable");
+        }
+    }
+    out.push_str(&format!("  ok    {ok_machine}/{} machine references parse\n", cases.len()));
+
+    out.push_str("== design sweeps (goldens prove) ==\n");
+    let n = if opts.full { 16 } else { 4 };
+    let runner = Design2svaRunner::new();
+    for case in pipeline_sweep(n, opts.seed).into_iter().chain(fsm_sweep(n, opts.seed + 1)) {
+        match bind_design(&case) {
+            Err(e) => check(&mut out, &mut errors, &case.id, false, &e),
+            Ok(bound) => {
+                let all_proven = case
+                    .golden
+                    .iter()
+                    .all(|g| runner.evaluate_response(&bound, g).func);
+                check(&mut out, &mut errors, &case.id, all_proven, "golden not proven");
+            }
+        }
+    }
+
+    out.push_str(&format!(
+        "\nvalidation {} with {errors} error(s)\n",
+        if errors == 0 { "PASSED" } else { "FAILED" }
+    ));
+    (out, errors)
+}
+
+/// Finds a profile by display name.
+///
+/// # Panics
+///
+/// Panics if the name is unknown.
+pub fn model_by_name(name: &str) -> SimulatedModel {
+    profiles()
+        .into_iter()
+        .find(|m| m.name() == name)
+        .unwrap_or_else(|| panic!("unknown model '{name}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> HarnessOptions {
+        HarnessOptions {
+            full: false,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn table6_matches_paper_counts() {
+        let t = table6();
+        let md = t.to_markdown();
+        assert!(md.contains("| Total | **13.000** | **79.000** |"), "{md}");
+    }
+
+    #[test]
+    fn table1_has_eight_rows_and_ordering_shape() {
+        let t = table1(&quick());
+        assert_eq!(t.rows.len(), 8);
+        let md = t.to_markdown();
+        assert!(md.contains("gpt-4o"));
+        assert!(md.contains("llama-3-8b"));
+    }
+
+    #[test]
+    fn figure2_renders_histograms() {
+        let s = figure2();
+        assert!(s.contains("NL specifications (79 cases)"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn showcase_contains_verdicts() {
+        let s = showcase(&quick());
+        assert!(s.contains("Syntax:"));
+        assert!(s.contains("Functionality"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Design2SVA response strategies: a simulated model "reads" the design
+//! RTL and proposes an assertion, with failure modes mirroring the
+//! paper's Figure 9 / Appendix C observations.
+
+use crate::transform::Style;
+use crate::DetRng;
+use fveval_data::{DesignCase, DesignKind};
+
+/// Strategy classes for a Design2SVA response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DesignOutcome {
+    /// A correct, provable assertion.
+    Provable,
+    /// Syntactically valid but not provable (mis-read transition,
+    /// off-by-one latency, or an over-strong claim).
+    Unprovable,
+    /// References design-internal signals, violating the prompt rule
+    /// (elaboration failure in the testbench scope).
+    InternalSignal,
+    /// Malformed SVA text.
+    Malformed,
+}
+
+/// Emits the response text (optional helper items + one assertion).
+pub(crate) fn generate_design_response(
+    case: &DesignCase,
+    outcome: DesignOutcome,
+    style: &Style,
+    rng: &mut DetRng,
+) -> String {
+    let _ = style;
+    match &case.kind {
+        DesignKind::Pipeline { total_depth } => {
+            pipeline_response(*total_depth, outcome, rng)
+        }
+        DesignKind::Fsm {
+            n_states,
+            transitions,
+            state_width,
+        } => fsm_response(*n_states, *state_width, transitions, outcome, rng),
+    }
+}
+
+fn pipeline_response(depth: u32, outcome: DesignOutcome, rng: &mut DetRng) -> String {
+    match outcome {
+        DesignOutcome::Provable => match rng.below(3) {
+            0 => format!(
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 in_vld |-> ##{depth} out_vld\n);"
+            ),
+            1 => format!(
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 $rose(in_vld) |-> ##{depth} out_vld\n);"
+            ),
+            _ => format!(
+                "logic vld_seen;\nassign vld_seen = in_vld;\n\
+                 assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 vld_seen |-> ##{depth} out_vld\n);"
+            ),
+        },
+        DesignOutcome::Unprovable => match rng.below(3) {
+            0 => {
+                // Off-by-one latency (the gpt-4-turbo Figure 22 mode).
+                let wrong = if depth > 1 { depth - 1 } else { depth + 1 };
+                format!(
+                    "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                     in_vld |-> ##{wrong} out_vld\n);"
+                )
+            }
+            1 => {
+                // Misread valid polarity: out_vld is asserted, not low,
+                // exactly `depth` cycles after a push.
+                format!(
+                    "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                     in_vld |-> ##{depth} (!out_vld)\n);"
+                )
+            }
+            _ => {
+                // Valid-pulse persistence that the design does not promise.
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 out_vld |-> ##1 out_vld\n);"
+                    .to_string()
+            }
+        },
+        DesignOutcome::InternalSignal => {
+            // `ready`/`data` are internal to the design modules.
+            format!(
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 in_vld |-> ##{depth} ready[{depth}]\n);"
+            )
+        }
+        DesignOutcome::Malformed => match rng.below(3) {
+            0 => "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 in_vld |-> eventually(out_vld)\n);".to_string(),
+            1 => format!(
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 in_vld |-> ##[{depth}:] out_vld\n);"
+            ),
+            _ => "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                  in_vld |-> ##1 (out_vld\n);"
+                .to_string(),
+        },
+    }
+}
+
+fn fsm_response(
+    n_states: u32,
+    state_width: u32,
+    transitions: &[Vec<u32>],
+    outcome: DesignOutcome,
+    rng: &mut DetRng,
+) -> String {
+    let s = rng.below(n_states as usize) as u32;
+    let succs = &transitions[s as usize];
+    let disj = |list: &[u32]| {
+        list.iter()
+            .map(|t| format!("(fsm_out == S{t})"))
+            .collect::<Vec<_>>()
+            .join(" || ")
+    };
+    match outcome {
+        DesignOutcome::Provable => match rng.below(3) {
+            0 => format!(
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 (fsm_out == S{s}) |-> ##1 ({})\n);",
+                disj(succs)
+            ),
+            1 => {
+                // The Figure 9 Attempt-2 shape: mirror the state register
+                // in the testbench, then assert over the mirror.
+                format!(
+                    "logic [FSM_WIDTH-1:0] state_tb;\nassign state_tb = fsm_out;\n\
+                     assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                     (state_tb == S{s}) |-> ##1 ({})\n);",
+                    disj(succs)
+                )
+            }
+            _ => {
+                // Successor-set claim over every state via per-state
+                // disjunction on the union (still provable: the union of
+                // all successor sets over-approximates each transition).
+                let all: Vec<u32> = {
+                    let mut v: Vec<u32> = transitions.iter().flatten().copied().collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                };
+                format!(
+                    "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                     (fsm_out == S{s}) |-> ##1 ({})\n);",
+                    disj(&all)
+                )
+            }
+        },
+        DesignOutcome::Unprovable => {
+            if succs.len() >= 2 {
+                // Drop one genuine successor: the model mis-read an edge.
+                let keep: Vec<u32> = succs[..succs.len() - 1].to_vec();
+                format!(
+                    "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                     (fsm_out == S{s}) |-> ##1 ({})\n);",
+                    disj(&keep)
+                )
+            } else {
+                // Claim a wrong successor.
+                let wrong = (succs[0] + 1) % n_states;
+                format!(
+                    "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                     (fsm_out == S{s}) |-> ##1 (fsm_out == S{wrong})\n);"
+                )
+            }
+        }
+        DesignOutcome::InternalSignal => {
+            // Using the design's `state`/`next_state` (Figure 27 mode).
+            format!(
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 (state == S{s}) |-> (next_state == S{})\n);",
+                succs[0]
+            )
+        }
+        DesignOutcome::Malformed => match rng.below(3) {
+            0 => format!(
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 (fsm_out == S{s}) |-> eventually(fsm_out == S{})\n);",
+                succs[0]
+            ),
+            1 => format!(
+                "logic [{}:0] next_state_tb\nassert property (@(posedge clk) \
+                 (fsm_out == S{s}) |-> ##1 (fsm_out == S{}));",
+                state_width.saturating_sub(1),
+                succs[0]
+            ),
+            _ => format!(
+                "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+                 fsm_out == S{s} |-> ##1 (fsm_out == S{}\n);",
+                succs[0]
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fveval_data::{generate_fsm, generate_pipeline, FsmParams, PipelineParams};
+
+    fn fsm_case() -> DesignCase {
+        generate_fsm(&FsmParams {
+            n_states: 4,
+            n_edges: 4,
+            width: 16,
+            guard_depth: 2,
+            seed: 11,
+        })
+    }
+
+    fn pipe_case() -> DesignCase {
+        generate_pipeline(&PipelineParams {
+            n_units: 2,
+            unit_depths: vec![1, 2],
+            width: 8,
+            expr_ops: 2,
+            seed: 12,
+        })
+    }
+
+    #[test]
+    fn provable_responses_parse_as_snippets() {
+        for case in [fsm_case(), pipe_case()] {
+            for i in 0..6 {
+                let mut rng = DetRng::from_parts(&["p", &case.id, &i.to_string()]);
+                let resp = generate_design_response(
+                    &case,
+                    DesignOutcome::Provable,
+                    &Style::plain(),
+                    &mut rng,
+                );
+                sv_parser::parse_snippet(&resp)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{resp}", case.id));
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_responses_fail_to_parse() {
+        for case in [fsm_case(), pipe_case()] {
+            for i in 0..6 {
+                let mut rng = DetRng::from_parts(&["m", &case.id, &i.to_string()]);
+                let resp = generate_design_response(
+                    &case,
+                    DesignOutcome::Malformed,
+                    &Style::plain(),
+                    &mut rng,
+                );
+                assert!(
+                    sv_parser::parse_snippet(&resp).is_err(),
+                    "{}: should fail\n{resp}",
+                    case.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn internal_signal_responses_parse_but_name_design_nets() {
+        let resp = generate_design_response(
+            &fsm_case(),
+            DesignOutcome::InternalSignal,
+            &Style::plain(),
+            &mut DetRng::from_parts(&["i"]),
+        );
+        assert!(sv_parser::parse_snippet(&resp).is_ok());
+        assert!(resp.contains("state"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Simulated language models for FVEval.
+//!
+//! The paper evaluates eight proprietary/open LLM endpoints. This
+//! reproduction replaces them with deterministic, seeded *simulated
+//! models*: each [`ModelProfile`] is a calibrated noisy channel that
+//! takes the task's hidden reference solution (or the design's
+//! transition structure) and emits a response drawn from a per-model
+//! outcome distribution — exact, semantically-equivalent rewrite,
+//! one-way-implication variant, plausible-but-wrong edit, or an SVA
+//! syntax hallucination (`eventually`, broken operators, unknown
+//! signals).
+//!
+//! The crucial property: responses are *text*, and the harness scores
+//! them with the real evaluation pipeline (parser, formal equivalence,
+//! model checker, BLEU), so every number in the reproduced tables is
+//! measured, not asserted. Profiles are calibrated so the measured
+//! tables reproduce the paper's *shape* (model ordering, the
+//! syntax≫functional gap, the partial>full gap, ICL gains and
+//! small-model ICL regressions, pass@k lift under sampling).
+
+mod d2s;
+mod profile;
+mod transform;
+
+pub use profile::{profiles, InferenceConfig, Model, ModelProfile, SimulatedModel, Task};
+
+/// Stable FNV-1a hash used for all deterministic pseudo-randomness.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A deterministic splittable RNG over the FNV hash.
+#[derive(Debug, Clone)]
+pub(crate) struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    pub fn from_parts(parts: &[&str]) -> DetRng {
+        let joined = parts.join("\u{1f}");
+        DetRng {
+            state: fnv1a(joined.as_bytes()).max(1),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64: full-avalanche mixing even for correlated seeds.
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, n).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b"fveval"), fnv1a(b"fveval"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn detrng_deterministic_and_uniform_ish() {
+        let mut a = DetRng::from_parts(&["model", "case"]);
+        let mut b = DetRng::from_parts(&["model", "case"]);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = DetRng::from_parts(&["model", "other"]);
+        assert_ne!(c.next_u64(), xs[0]);
+        // unit() stays in range.
+        for _ in 0..1000 {
+            let u = a.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! Model profiles and the outcome-sampling machinery.
+
+use crate::d2s::generate_design_response;
+use crate::transform::{render_with_style, transform, Outcome, Style};
+use crate::DetRng;
+use fv_core::SignalTable;
+use fveval_data::{DesignCase, HumanCase, MachineCase};
+
+/// Inference-time configuration (decoding strategy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceConfig {
+    /// Sampling temperature; 0.0 is greedy decoding.
+    pub temperature: f64,
+    /// Number of in-context examples (0 or 3 in the paper).
+    pub shots: u32,
+    /// Global seed mixed into every draw.
+    pub seed: u64,
+}
+
+impl InferenceConfig {
+    /// Greedy decoding, zero-shot.
+    pub fn greedy() -> InferenceConfig {
+        InferenceConfig {
+            temperature: 0.0,
+            shots: 0,
+            seed: 0,
+        }
+    }
+
+    /// The paper's sampling setup: top-p 0.95, temperature 0.8.
+    pub fn sampling() -> InferenceConfig {
+        InferenceConfig {
+            temperature: 0.8,
+            shots: 0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the shot count.
+    pub fn with_shots(mut self, shots: u32) -> InferenceConfig {
+        self.shots = shots;
+        self
+    }
+}
+
+/// A task instance handed to a model.
+#[derive(Debug, Clone, Copy)]
+pub enum Task<'a> {
+    /// NL2SVA-Human: testbench + NL spec (reference hidden inside the
+    /// case is the noisy channel's source).
+    Nl2svaHuman {
+        /// The dataset case.
+        case: &'a HumanCase,
+        /// Testbench signal scope.
+        table: &'a SignalTable,
+    },
+    /// NL2SVA-Machine.
+    Nl2svaMachine {
+        /// The dataset case.
+        case: &'a MachineCase,
+        /// Machine signal scope.
+        table: &'a SignalTable,
+    },
+    /// Design2SVA: generate an assertion from RTL alone.
+    Design2sva {
+        /// The generated design.
+        case: &'a DesignCase,
+    },
+}
+
+impl Task<'_> {
+    fn id(&self) -> &str {
+        match self {
+            Task::Nl2svaHuman { case, .. } => &case.id,
+            Task::Nl2svaMachine { case, .. } => &case.id,
+            Task::Design2sva { case } => &case.id,
+        }
+    }
+}
+
+/// Anything that can answer FVEval prompts.
+pub trait Model {
+    /// Display name (matches the paper's tables).
+    fn name(&self) -> &str;
+
+    /// Produces the `sample_idx`-th response for a task. Responses are
+    /// plain text in the benchmark's answer format (an SVA assertion,
+    /// optionally preceded by auxiliary testbench code for Design2SVA).
+    fn generate(&self, task: &Task<'_>, cfg: &InferenceConfig, sample_idx: u32) -> String;
+}
+
+/// Outcome probabilities for an NL2SVA-style task: must sum to <= 1;
+/// the remainder is the syntax/hallucination bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeDist {
+    /// Exact reproduction of the reference (modulo style).
+    pub exact: f64,
+    /// Semantics-preserving rewrite (still fully equivalent).
+    pub equivalent: f64,
+    /// One-way implication variant (partial credit).
+    pub partial: f64,
+    /// Plausible but inequivalent edit.
+    pub wrong: f64,
+}
+
+impl OutcomeDist {
+    /// Derives a distribution from published (syntax, func, partial)
+    /// rates, splitting func into exact/equivalent by `exact_ratio`.
+    pub fn from_metrics(syntax: f64, func: f64, partial: f64, exact_ratio: f64) -> OutcomeDist {
+        let exact = func * exact_ratio;
+        let equivalent = func - exact;
+        let partial_only = (partial - func).max(0.0);
+        let wrong = (syntax - partial).max(0.0);
+        OutcomeDist {
+            exact,
+            equivalent,
+            partial: partial_only,
+            wrong,
+        }
+    }
+
+    /// Redraws a syntax-error outcome into the non-functional zone
+    /// (partial/wrong): models that fix their syntax on a retry usually
+    /// still miss the semantics (paper Tables 2/4: syntax@5 ≈ 1.0 while
+    /// func@5 barely moves on NL2SVA).
+    fn recover(&self, x01: f64) -> Outcome {
+        let non_func = self.partial + self.wrong;
+        if non_func <= 0.0 {
+            return Outcome::Wrong;
+        }
+        if x01 * non_func < self.partial {
+            Outcome::Partial
+        } else {
+            Outcome::Wrong
+        }
+    }
+
+    /// Maps a unit draw to an outcome by cumulative range.
+    fn classify(&self, x: f64) -> Outcome {
+        let mut acc = self.exact;
+        if x < acc {
+            return Outcome::Exact;
+        }
+        acc += self.equivalent;
+        if x < acc {
+            return Outcome::Equivalent;
+        }
+        acc += self.partial;
+        if x < acc {
+            return Outcome::Partial;
+        }
+        acc += self.wrong;
+        if x < acc {
+            return Outcome::Wrong;
+        }
+        Outcome::SyntaxError
+    }
+}
+
+/// Design2SVA strategy distribution: remainder after the three listed
+/// buckets is the parse/elaboration failure bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignDist {
+    /// Correct, provable assertion (possibly with helper code).
+    pub provable: f64,
+    /// Syntactically fine, semantically unproven (BMC finds a cex or
+    /// bounds exhaust).
+    pub unprovable: f64,
+    /// References design-internal signals (elaboration failure).
+    pub internal_signal: f64,
+}
+
+impl DesignDist {
+    /// Redraws a failed sample over the well-formed zone; Design2SVA
+    /// retries do reach provable assertions (the paper's large
+    /// func@5/func@1 ratios).
+    fn recover(&self, x01: f64) -> crate::d2s::DesignOutcome {
+        use crate::d2s::DesignOutcome as O;
+        let ok = self.provable + self.unprovable;
+        if ok <= 0.0 {
+            return O::Unprovable;
+        }
+        if x01 * ok < self.provable {
+            O::Provable
+        } else {
+            O::Unprovable
+        }
+    }
+
+    fn classify(&self, x: f64) -> crate::d2s::DesignOutcome {
+        use crate::d2s::DesignOutcome as O;
+        let mut acc = self.provable;
+        if x < acc {
+            return O::Provable;
+        }
+        acc += self.unprovable;
+        if x < acc {
+            return O::Unprovable;
+        }
+        acc += self.internal_signal;
+        if x < acc {
+            return O::InternalSignal;
+        }
+        O::Malformed
+    }
+}
+
+/// A calibrated simulated model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// NL2SVA-Human zero-shot outcome distribution.
+    pub human: OutcomeDist,
+    /// NL2SVA-Machine zero-shot distribution.
+    pub machine_0shot: OutcomeDist,
+    /// NL2SVA-Machine three-shot distribution.
+    pub machine_3shot: OutcomeDist,
+    /// Design2SVA distribution for pipelines.
+    pub d2s_pipeline: DesignDist,
+    /// Design2SVA distribution for FSMs.
+    pub d2s_fsm: DesignDist,
+    /// Whether the model's context window fits Design2SVA prompts
+    /// (the paper drops Llama-3 models here).
+    pub supports_design2sva: bool,
+    /// Surface style of emitted code.
+    pub style: Style,
+    /// Sample-to-sample diversity under temperature (latent-difficulty
+    /// noise scale per unit temperature).
+    pub diversity: f64,
+}
+
+/// A profile bound into a usable [`Model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedModel {
+    profile: ModelProfile,
+}
+
+impl SimulatedModel {
+    /// Wraps a profile.
+    pub fn new(profile: ModelProfile) -> SimulatedModel {
+        SimulatedModel { profile }
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+}
+
+impl Model for SimulatedModel {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn generate(&self, task: &Task<'_>, cfg: &InferenceConfig, sample_idx: u32) -> String {
+        let p = &self.profile;
+        // Latent per-case difficulty: shared across samples so pass@k
+        // improves only modestly (the paper's Tables 2/4 behaviour).
+        let mut base = DetRng::from_parts(&[
+            p.name,
+            task.id(),
+            &format!("shots{}", cfg.shots),
+            &format!("seed{}", cfg.seed),
+        ]);
+        let u = base.unit();
+        let mut noise_rng = DetRng::from_parts(&[
+            p.name,
+            task.id(),
+            &format!("s{sample_idx}"),
+            &format!("seed{}", cfg.seed),
+        ]);
+        // Sample-to-sample diversity is task-dependent: near-stable on
+        // the human set, moderate on the machine set, high on
+        // Design2SVA — matching the pass@k lifts of Tables 2/4/5.
+        let task_factor = match task {
+            Task::Nl2svaHuman { .. } => 0.25,
+            Task::Nl2svaMachine { .. } => 1.0,
+            Task::Design2sva { .. } => 2.5,
+        };
+        let noise =
+            (noise_rng.unit() - 0.5) * 2.0 * p.diversity * cfg.temperature * task_factor;
+        let x = (u + noise).clamp(0.0, 1.0 - 1e-12);
+        // Under sampling, a syntax-level failure often clears on retry
+        // even when the semantics stay wrong.
+        let retry_escape =
+            cfg.temperature > 0.0 && sample_idx > 0 && noise_rng.unit() < 0.65;
+        let recovery_draw = noise_rng.unit();
+
+        match task {
+            Task::Nl2svaHuman { case, table } => {
+                let mut outcome = p.human.classify(x);
+                if outcome == Outcome::SyntaxError && retry_escape {
+                    outcome = p.human.recover(recovery_draw);
+                }
+                let reference = sv_parser::parse_assertion_str(&case.reference)
+                    .expect("dataset references parse");
+                let mutated = transform(&reference, outcome, table, &mut noise_rng);
+                render_with_style(&mutated, &p.style, &mut noise_rng)
+            }
+            Task::Nl2svaMachine { case, table } => {
+                let dist = if cfg.shots >= 3 {
+                    &p.machine_3shot
+                } else {
+                    &p.machine_0shot
+                };
+                let mut outcome = dist.classify(x);
+                if outcome == Outcome::SyntaxError && retry_escape {
+                    outcome = dist.recover(recovery_draw);
+                }
+                let mutated = transform(&case.reference, outcome, table, &mut noise_rng);
+                render_with_style(&mutated, &p.style, &mut noise_rng)
+            }
+            Task::Design2sva { case } => {
+                let dist = match case.kind {
+                    fveval_data::DesignKind::Pipeline { .. } => &p.d2s_pipeline,
+                    fveval_data::DesignKind::Fsm { .. } => &p.d2s_fsm,
+                };
+                let mut outcome = dist.classify(x);
+                if matches!(
+                    outcome,
+                    crate::d2s::DesignOutcome::Malformed
+                        | crate::d2s::DesignOutcome::InternalSignal
+                ) && retry_escape
+                {
+                    outcome = dist.recover(recovery_draw);
+                }
+                generate_design_response(case, outcome, &p.style, &mut noise_rng)
+            }
+        }
+    }
+}
+
+/// The paper's eight evaluated models, calibrated against Tables 1/3/5.
+pub fn profiles() -> Vec<SimulatedModel> {
+    let m = |name,
+             human: (f64, f64, f64),
+             m0: (f64, f64, f64),
+             m3: (f64, f64, f64),
+             d2s_pipe: (f64, f64),
+             d2s_fsm: (f64, f64),
+             supports_d2s: bool,
+             exact_ratio: f64,
+             style: Style,
+             diversity: f64| {
+        SimulatedModel::new(ModelProfile {
+            name,
+            human: OutcomeDist::from_metrics(human.0, human.1, human.2, exact_ratio),
+            machine_0shot: OutcomeDist::from_metrics(m0.0, m0.1, m0.2, exact_ratio),
+            machine_3shot: OutcomeDist::from_metrics(m3.0, m3.1, m3.2, exact_ratio + 0.1),
+            d2s_pipeline: DesignDist {
+                provable: d2s_pipe.1,
+                unprovable: (d2s_pipe.0 - d2s_pipe.1).max(0.0),
+                internal_signal: ((1.0 - d2s_pipe.0) * 0.5).max(0.0),
+            },
+            d2s_fsm: DesignDist {
+                provable: d2s_fsm.1,
+                unprovable: (d2s_fsm.0 - d2s_fsm.1).max(0.0),
+                internal_signal: ((1.0 - d2s_fsm.0) * 0.5).max(0.0),
+            },
+            supports_design2sva: supports_d2s,
+            style,
+            diversity,
+        })
+    };
+    vec![
+        // name, human(syn,func,part), machine 0-shot, machine 3-shot,
+        // d2s pipeline (syn@1, func@1), d2s fsm, supported, exact ratio.
+        m(
+            "gpt-4o",
+            (0.911, 0.456, 0.582),
+            (0.927, 0.430, 0.540),
+            (0.937, 0.467, 0.570),
+            (0.802, 0.104),
+            (0.993, 0.373),
+            true,
+            0.62,
+            Style::verbose_label(),
+            0.10,
+        ),
+        m(
+            "gemini-1.5-pro",
+            (0.810, 0.253, 0.380),
+            (0.467, 0.137, 0.203),
+            (0.880, 0.417, 0.517),
+            (0.665, 0.175),
+            (0.950, 0.427),
+            true,
+            0.55,
+            Style::plain(),
+            0.12,
+        ),
+        m(
+            "gemini-1.5-flash",
+            (0.949, 0.380, 0.557),
+            (0.783, 0.377, 0.470),
+            (0.837, 0.397, 0.480),
+            (0.969, 0.025),
+            (0.996, 0.079),
+            true,
+            0.55,
+            Style::plain(),
+            0.08,
+        ),
+        m(
+            "mixtral-8x22b",
+            (0.823, 0.190, 0.278),
+            (0.913, 0.327, 0.500),
+            (0.880, 0.430, 0.523),
+            (0.867, 0.119),
+            (0.974, 0.054),
+            true,
+            0.50,
+            Style::verbose_label(),
+            0.12,
+        ),
+        m(
+            "llama-3.1-70b",
+            (0.861, 0.291, 0.354),
+            (0.887, 0.303, 0.397),
+            (0.920, 0.457, 0.567),
+            (0.960, 0.167),
+            (0.940, 0.231),
+            true,
+            0.55,
+            Style::snake_label(),
+            0.15,
+        ),
+        m(
+            "llama-3-70b",
+            (0.899, 0.291, 0.506),
+            (0.863, 0.330, 0.430),
+            (0.860, 0.380, 0.503),
+            (0.0, 0.0),
+            (0.0, 0.0),
+            false,
+            0.50,
+            Style::snake_label(),
+            0.12,
+        ),
+        m(
+            "llama-3.1-8b",
+            (0.835, 0.203, 0.304),
+            (0.813, 0.320, 0.520),
+            (0.840, 0.267, 0.370),
+            (0.904, 0.150),
+            (0.906, 0.121),
+            true,
+            0.45,
+            Style::plain(),
+            0.16,
+        ),
+        m(
+            "llama-3-8b",
+            (0.747, 0.063, 0.215),
+            (0.673, 0.187, 0.320),
+            (0.827, 0.240, 0.397),
+            (0.0, 0.0),
+            (0.0, 0.0),
+            false,
+            0.40,
+            Style::plain(),
+            0.14,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fveval_data::{generate_machine_cases, machine_signal_table, MachineGenConfig};
+
+    #[test]
+    fn eight_profiles_with_unique_names() {
+        let ps = profiles();
+        assert_eq!(ps.len(), 8);
+        let mut names: Vec<&str> = ps.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+        assert_eq!(
+            ps.iter().filter(|p| p.profile().supports_design2sva).count(),
+            6,
+            "paper drops the two llama-3 models from Design2SVA"
+        );
+    }
+
+    #[test]
+    fn outcome_dist_from_metrics_sums() {
+        let d = OutcomeDist::from_metrics(0.9, 0.4, 0.55, 0.5);
+        let total = d.exact + d.equivalent + d.partial + d.wrong;
+        assert!((total - 0.9).abs() < 1e-9, "sums to the syntax rate");
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let table = machine_signal_table();
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 5,
+            ..Default::default()
+        });
+        let model = &profiles()[0];
+        for c in &cases {
+            let t = Task::Nl2svaMachine {
+                case: c,
+                table: &table,
+            };
+            let a = model.generate(&t, &InferenceConfig::greedy(), 0);
+            let b = model.generate(&t, &InferenceConfig::greedy(), 0);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn temperature_creates_sample_diversity() {
+        let table = machine_signal_table();
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 30,
+            ..Default::default()
+        });
+        let model = &profiles()[0];
+        let cfg = InferenceConfig::sampling();
+        let mut distinct = 0;
+        for c in &cases {
+            let t = Task::Nl2svaMachine {
+                case: c,
+                table: &table,
+            };
+            let s0 = model.generate(&t, &cfg, 0);
+            let s1 = model.generate(&t, &cfg, 1);
+            if s0 != s1 {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 2, "some cases vary across samples: {distinct}");
+    }
+
+    #[test]
+    fn better_models_emit_more_parseable_output() {
+        // gpt-4o should produce (many) more parseable responses than
+        // llama-3-8b over the machine set — the headline ordering.
+        let table = machine_signal_table();
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 150,
+            ..Default::default()
+        });
+        let ps = profiles();
+        let rate = |name: &str| {
+            let model = ps.iter().find(|p| p.name() == name).unwrap();
+            let ok = cases
+                .iter()
+                .filter(|c| {
+                    let t = Task::Nl2svaMachine {
+                        case: c,
+                        table: &table,
+                    };
+                    let resp = model.generate(&t, &InferenceConfig::greedy(), 0);
+                    sv_parser::parse_assertion_str(&resp).is_ok()
+                })
+                .count();
+            ok as f64 / cases.len() as f64
+        };
+        let good = rate("gpt-4o");
+        let bad = rate("llama-3-8b");
+        assert!(
+            good > bad + 0.1,
+            "gpt-4o {good:.2} should beat llama-3-8b {bad:.2}"
+        );
+    }
+}

@@ -1,0 +1,720 @@
+//! The noisy-channel transform toolbox: turns a reference assertion
+//! into exact / equivalent / partial / wrong / malformed responses.
+
+use crate::DetRng;
+use fv_core::SignalTable;
+use sv_ast::{
+    print_assertion, Assertion, BinaryOp, DelayBound, Expr, Literal, PropExpr, SeqExpr, SysFunc,
+    UnaryOp,
+};
+
+/// Draw result for a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    Exact,
+    Equivalent,
+    Partial,
+    Wrong,
+    SyntaxError,
+}
+
+/// Either a well-formed assertion or deliberately broken text.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Rendered {
+    Ast(Assertion),
+    Raw(String),
+}
+
+/// Surface style of a simulated model's code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Style {
+    /// Assertion label behaviour.
+    label: LabelStyle,
+    /// Prefers `$countones(x) % 2 == 1` over `^x` in rewrites.
+    prefer_countones: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LabelStyle {
+    /// No label.
+    None,
+    /// Keep/emit `asrt:`.
+    Asrt,
+    /// Emit a descriptive snake_case label.
+    Descriptive,
+}
+
+impl Style {
+    /// Unlabeled minimal output.
+    pub fn plain() -> Style {
+        Style {
+            label: LabelStyle::None,
+            prefer_countones: false,
+        }
+    }
+
+    /// Descriptive labels (`asrt_fifo_output_consistency:` flavour).
+    pub fn verbose_label() -> Style {
+        Style {
+            label: LabelStyle::Descriptive,
+            prefer_countones: true,
+        }
+    }
+
+    /// Short `asrt:` labels.
+    pub fn snake_label() -> Style {
+        Style {
+            label: LabelStyle::Asrt,
+            prefer_countones: false,
+        }
+    }
+}
+
+/// Applies the outcome's transform to the reference.
+pub(crate) fn transform(
+    reference: &Assertion,
+    outcome: Outcome,
+    table: &SignalTable,
+    rng: &mut DetRng,
+) -> Rendered {
+    match outcome {
+        // "Exact" reproductions still carry benign surface rewrites —
+        // real models rarely emit token-identical code. This keeps BLEU
+        // decorrelated from functional correctness (the Figure 6
+        // finding); bodies that match no rewrite pattern pass through
+        // verbatim.
+        Outcome::Exact => Rendered::Ast(equivalent_rewrite(reference, rng)),
+        Outcome::Equivalent => Rendered::Ast(equivalent_rewrite(reference, rng)),
+        Outcome::Partial => Rendered::Ast(partial_rewrite(reference, table, rng)),
+        Outcome::Wrong => Rendered::Ast(wrong_rewrite(reference, rng)),
+        Outcome::SyntaxError => Rendered::Raw(corrupt_text(reference, table, rng)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Equivalence-preserving rewrites
+// ---------------------------------------------------------------------
+
+fn equivalent_rewrite(a: &Assertion, rng: &mut DetRng) -> Assertion {
+    let mut out = a.clone();
+    let strategy = rng.below(4);
+    out.body = match strategy {
+        // `(X) !== 1'b1`  <->  `!(X)`
+        0 => rewrite_neq_form(&out.body),
+        // `a |=> b` <-> `a |-> ##1 b`
+        1 => rewrite_nonoverlap(&out.body),
+        // Commute a top-level && / ||.
+        2 => map_body_expr(&out.body, &commute_expr),
+        // `^x` <-> `$countones(x) % 2 == 1`
+        _ => map_body_expr(&out.body, &parity_rewrite),
+    };
+    out
+}
+
+fn rewrite_neq_form(p: &PropExpr) -> PropExpr {
+    match p {
+        PropExpr::Seq(SeqExpr::Expr(Expr::Binary(BinaryOp::CaseNeq, x, one)))
+            if is_one_bit_one(one) =>
+        {
+            PropExpr::expr((**x).clone().lnot())
+        }
+        PropExpr::Seq(SeqExpr::Expr(Expr::Unary(UnaryOp::LogNot, x))) => {
+            PropExpr::expr(Expr::bin(
+                BinaryOp::CaseNeq,
+                (**x).clone(),
+                Expr::Literal(Literal::sized_bin(1, 1)),
+            ))
+        }
+        other => other.clone(),
+    }
+}
+
+fn is_one_bit_one(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Literal(Literal::Int {
+            width: Some(1),
+            value: 1,
+            ..
+        })
+    )
+}
+
+fn rewrite_nonoverlap(p: &PropExpr) -> PropExpr {
+    match p {
+        PropExpr::Implication {
+            ante,
+            non_overlap: true,
+            cons,
+        } => PropExpr::Implication {
+            ante: ante.clone(),
+            non_overlap: false,
+            cons: Box::new(PropExpr::Seq(SeqExpr::Delay {
+                lhs: None,
+                lo: 1,
+                hi: DelayBound::Finite(1),
+                rhs: Box::new(match cons.as_ref() {
+                    PropExpr::Seq(s) => s.clone(),
+                    other => return PropExpr::Implication {
+                        ante: ante.clone(),
+                        non_overlap: true,
+                        cons: Box::new(other.clone()),
+                    },
+                }),
+            })),
+        },
+        PropExpr::Implication {
+            ante,
+            non_overlap: false,
+            cons,
+        } => match cons.as_ref() {
+            PropExpr::Seq(SeqExpr::Delay {
+                lhs: None,
+                lo: 1,
+                hi: DelayBound::Finite(1),
+                rhs,
+            }) => PropExpr::Implication {
+                ante: ante.clone(),
+                non_overlap: true,
+                cons: Box::new(PropExpr::Seq((**rhs).clone())),
+            },
+            _ => p.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
+fn commute_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::Binary(op @ (BinaryOp::LogAnd | BinaryOp::LogOr), a, b) => {
+            Expr::Binary(*op, b.clone(), a.clone())
+        }
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(commute_expr(a)),
+            Box::new(commute_expr(b)),
+        ),
+        Expr::Unary(op, i) => Expr::Unary(*op, Box::new(commute_expr(i))),
+        other => other.clone(),
+    }
+}
+
+fn parity_rewrite(e: &Expr) -> Expr {
+    match e {
+        Expr::Unary(UnaryOp::RedXor, x) => Expr::bin(
+            BinaryOp::Eq,
+            Expr::bin(
+                BinaryOp::Mod,
+                Expr::SysCall(SysFunc::Countones, vec![(**x).clone()]),
+                Expr::num(2),
+            ),
+            Expr::num(1),
+        ),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(parity_rewrite(a)),
+            Box::new(parity_rewrite(b)),
+        ),
+        Expr::Unary(op, i) => Expr::Unary(*op, Box::new(parity_rewrite(i))),
+        other => other.clone(),
+    }
+}
+
+fn map_body_expr(p: &PropExpr, f: &dyn Fn(&Expr) -> Expr) -> PropExpr {
+    fn map_seq(s: &SeqExpr, f: &dyn Fn(&Expr) -> Expr) -> SeqExpr {
+        match s {
+            SeqExpr::Expr(e) => SeqExpr::Expr(f(e)),
+            SeqExpr::Delay { lhs, lo, hi, rhs } => SeqExpr::Delay {
+                lhs: lhs.as_ref().map(|l| Box::new(map_seq(l, f))),
+                lo: *lo,
+                hi: *hi,
+                rhs: Box::new(map_seq(rhs, f)),
+            },
+            SeqExpr::Repeat { seq, lo, hi } => SeqExpr::Repeat {
+                seq: Box::new(map_seq(seq, f)),
+                lo: *lo,
+                hi: *hi,
+            },
+            SeqExpr::And(a, b) => {
+                SeqExpr::And(Box::new(map_seq(a, f)), Box::new(map_seq(b, f)))
+            }
+            SeqExpr::Or(a, b) => {
+                SeqExpr::Or(Box::new(map_seq(a, f)), Box::new(map_seq(b, f)))
+            }
+            SeqExpr::Throughout(e, s) => {
+                SeqExpr::Throughout(f(e), Box::new(map_seq(s, f)))
+            }
+        }
+    }
+    match p {
+        PropExpr::Seq(s) => PropExpr::Seq(map_seq(s, f)),
+        PropExpr::Strong(s) => PropExpr::Strong(map_seq(s, f)),
+        PropExpr::Weak(s) => PropExpr::Weak(map_seq(s, f)),
+        PropExpr::Not(i) => PropExpr::Not(Box::new(map_body_expr(i, f))),
+        PropExpr::And(a, b) => PropExpr::And(
+            Box::new(map_body_expr(a, f)),
+            Box::new(map_body_expr(b, f)),
+        ),
+        PropExpr::Or(a, b) => PropExpr::Or(
+            Box::new(map_body_expr(a, f)),
+            Box::new(map_body_expr(b, f)),
+        ),
+        PropExpr::Implication {
+            ante,
+            non_overlap,
+            cons,
+        } => PropExpr::Implication {
+            ante: map_seq(ante, f),
+            non_overlap: *non_overlap,
+            cons: Box::new(map_body_expr(cons, f)),
+        },
+        PropExpr::SEventually(i) => PropExpr::SEventually(Box::new(map_body_expr(i, f))),
+        PropExpr::Always(i) => PropExpr::Always(Box::new(map_body_expr(i, f))),
+        PropExpr::Nexttime(i) => PropExpr::Nexttime(Box::new(map_body_expr(i, f))),
+        PropExpr::Until { strong, lhs, rhs } => PropExpr::Until {
+            strong: *strong,
+            lhs: Box::new(map_body_expr(lhs, f)),
+            rhs: Box::new(map_body_expr(rhs, f)),
+        },
+        PropExpr::IfElse { cond, then, alt } => PropExpr::IfElse {
+            cond: f(cond),
+            then: Box::new(map_body_expr(then, f)),
+            alt: alt.as_ref().map(|a| Box::new(map_body_expr(a, f))),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partial (one-way implication) rewrites
+// ---------------------------------------------------------------------
+
+/// Picks a 1-bit "distractor" boolean over a signal not already used.
+fn extra_bool(reference: &Assertion, table: &SignalTable, rng: &mut DetRng) -> Expr {
+    let used: Vec<String> = collect_idents(&reference.body);
+    let mut candidates: Vec<&str> = table
+        .names()
+        .filter(|n| !used.iter().any(|u| u == n))
+        .collect();
+    candidates.sort_unstable();
+    let name = if candidates.is_empty() {
+        table.names().next().unwrap_or("clk").to_string()
+    } else {
+        (*rng.pick(&candidates)).to_string()
+    };
+    match table.width(&name) {
+        Some(1) | None => Expr::ident(name),
+        Some(_) => Expr::Unary(UnaryOp::RedOr, Box::new(Expr::ident(name))),
+    }
+}
+
+fn collect_idents(p: &PropExpr) -> Vec<String> {
+    let out = std::cell::RefCell::new(Vec::new());
+    let _ = map_body_expr(p, &|e| {
+        for id in e.idents() {
+            out.borrow_mut().push(id.to_string());
+        }
+        e.clone()
+    });
+    out.into_inner()
+}
+
+fn partial_rewrite(a: &Assertion, table: &SignalTable, rng: &mut DetRng) -> Assertion {
+    let mut out = a.clone();
+    // Preferred: the paper's weak/strong confusion on unbounded delays.
+    if let PropExpr::Implication {
+        ante,
+        non_overlap,
+        cons,
+    } = &out.body
+    {
+        if let PropExpr::Strong(s) = cons.as_ref() {
+            // Drop strong() -> weak consequent: reference implies candidate.
+            out.body = PropExpr::Implication {
+                ante: ante.clone(),
+                non_overlap: *non_overlap,
+                cons: Box::new(PropExpr::Seq(s.clone())),
+            };
+            return out;
+        }
+        // Strengthen the antecedent with a distractor: candidate weaker.
+        if let SeqExpr::Expr(e) = ante {
+            let extra = extra_bool(a, table, rng);
+            if rng.below(2) == 0 {
+                out.body = PropExpr::Implication {
+                    ante: SeqExpr::Expr(e.clone().land(extra)),
+                    non_overlap: *non_overlap,
+                    cons: cons.clone(),
+                };
+                return out;
+            }
+        }
+    }
+    // Generic: weaken (ref => cand) or strengthen (cand => ref) by a
+    // property-level connective with a distractor.
+    let extra = PropExpr::expr(extra_bool(a, table, rng));
+    out.body = if rng.below(2) == 0 {
+        PropExpr::Or(Box::new(a.body.clone()), Box::new(extra))
+    } else {
+        PropExpr::And(Box::new(a.body.clone()), Box::new(extra))
+    };
+    out
+}
+
+// ---------------------------------------------------------------------
+// Plausible-but-wrong rewrites
+// ---------------------------------------------------------------------
+
+fn wrong_rewrite(a: &Assertion, rng: &mut DetRng) -> Assertion {
+    let mut out = a.clone();
+    let strategy = rng.below(3);
+    if strategy == 0 {
+        // Off-by-one delay anywhere in the body.
+        let mut changed = false;
+        out.body = bump_first_delay(&out.body, &mut changed);
+        if changed {
+            return out;
+        }
+    }
+    if strategy <= 1 {
+        // Flip the timing operator without adjusting delay.
+        if let PropExpr::Implication {
+            ante,
+            non_overlap,
+            cons,
+        } = &out.body
+        {
+            if matches!(cons.as_ref(), PropExpr::Seq(SeqExpr::Expr(_))) {
+                out.body = PropExpr::Implication {
+                    ante: ante.clone(),
+                    non_overlap: !*non_overlap,
+                    cons: cons.clone(),
+                };
+                return out;
+            }
+        }
+    }
+    // Polarity flip of the first boolean atom.
+    let flipped = std::cell::Cell::new(false);
+    out.body = map_body_expr(&out.body, &|e| {
+        if flipped.get() {
+            return e.clone();
+        }
+        let mut local = false;
+        let mapped = flip_first_ident(e, &mut local);
+        if local {
+            flipped.set(true);
+        }
+        mapped
+    });
+    out
+}
+
+fn bump_first_delay(p: &PropExpr, changed: &mut bool) -> PropExpr {
+    map_seq_in_prop(p, &mut |s: &SeqExpr| match s {
+        SeqExpr::Delay { lhs, lo, hi, rhs } if !*changed => {
+            *changed = true;
+            let nlo = lo + 1;
+            let nhi = match hi {
+                DelayBound::Finite(h) => DelayBound::Finite(h + 1),
+                DelayBound::Unbounded => DelayBound::Unbounded,
+            };
+            SeqExpr::Delay {
+                lhs: lhs.clone(),
+                lo: nlo,
+                hi: nhi,
+                rhs: rhs.clone(),
+            }
+        }
+        other => other.clone(),
+    })
+}
+
+fn map_seq_in_prop(p: &PropExpr, f: &mut dyn FnMut(&SeqExpr) -> SeqExpr) -> PropExpr {
+    match p {
+        PropExpr::Seq(s) => PropExpr::Seq(f(s)),
+        PropExpr::Strong(s) => PropExpr::Strong(f(s)),
+        PropExpr::Weak(s) => PropExpr::Weak(f(s)),
+        PropExpr::Not(i) => PropExpr::Not(Box::new(map_seq_in_prop(i, f))),
+        PropExpr::And(a, b) => PropExpr::And(
+            Box::new(map_seq_in_prop(a, f)),
+            Box::new(map_seq_in_prop(b, f)),
+        ),
+        PropExpr::Or(a, b) => PropExpr::Or(
+            Box::new(map_seq_in_prop(a, f)),
+            Box::new(map_seq_in_prop(b, f)),
+        ),
+        PropExpr::Implication {
+            ante,
+            non_overlap,
+            cons,
+        } => PropExpr::Implication {
+            ante: f(ante),
+            non_overlap: *non_overlap,
+            cons: Box::new(map_seq_in_prop(cons, f)),
+        },
+        PropExpr::SEventually(i) => {
+            PropExpr::SEventually(Box::new(map_seq_in_prop(i, f)))
+        }
+        PropExpr::Always(i) => PropExpr::Always(Box::new(map_seq_in_prop(i, f))),
+        PropExpr::Nexttime(i) => PropExpr::Nexttime(Box::new(map_seq_in_prop(i, f))),
+        PropExpr::Until { strong, lhs, rhs } => PropExpr::Until {
+            strong: *strong,
+            lhs: Box::new(map_seq_in_prop(lhs, f)),
+            rhs: Box::new(map_seq_in_prop(rhs, f)),
+        },
+        PropExpr::IfElse { cond, then, alt } => PropExpr::IfElse {
+            cond: cond.clone(),
+            then: Box::new(map_seq_in_prop(then, f)),
+            alt: alt.as_ref().map(|a| Box::new(map_seq_in_prop(a, f))),
+        },
+    }
+}
+
+fn flip_first_ident(e: &Expr, flipped: &mut bool) -> Expr {
+    if *flipped {
+        return e.clone();
+    }
+    match e {
+        Expr::Ident(_) => {
+            *flipped = true;
+            e.clone().lnot()
+        }
+        Expr::Unary(op, i) => Expr::Unary(*op, Box::new(flip_first_ident(i, flipped))),
+        Expr::Binary(op, a, b) => {
+            let na = flip_first_ident(a, flipped);
+            Expr::Binary(*op, Box::new(na), b.clone())
+        }
+        other => other.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Syntax hallucinations
+// ---------------------------------------------------------------------
+
+fn corrupt_text(a: &Assertion, table: &SignalTable, rng: &mut DetRng) -> String {
+    let text = print_assertion(a);
+    match rng.below(5) {
+        0 if text.contains("s_eventually") => {
+            // The paper's flagship hallucination (Figure 7).
+            text.replace("s_eventually", "eventually")
+        }
+        0 | 1 if text.contains("strong(") => {
+            text.replace("strong(", "eventually(")
+        }
+        1 | 2 => {
+            // Unbalanced parentheses.
+            match text.rfind(')') {
+                Some(p) => format!("{}{}", &text[..p], &text[p + 1..]),
+                None => format!("{text})"),
+            }
+        }
+        3 => text.replace("|->", "|- >").replace("|=>", "|= >"),
+        _ => {
+            // Reference an undeclared signal (elaboration failure):
+            // rename the first body identifier as a whole word.
+            let used = collect_idents(&a.body);
+            let target = used
+                .iter()
+                .find(|n| table.width(n).is_some())
+                .or_else(|| used.first());
+            match target {
+                Some(n) => replace_whole_word(&text, n, &format!("{n}_q")),
+                None => format!("{text} ##"),
+            }
+        }
+    }
+}
+
+/// Replaces the first whole-identifier occurrence of `word`.
+fn replace_whole_word(text: &str, word: &str, with: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = text[start..].find(word) {
+        let i = start + pos;
+        let before_ok = i == 0
+            || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        let j = i + word.len();
+        let after_ok =
+            j >= bytes.len() || !(bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_');
+        if before_ok && after_ok {
+            return format!("{}{}{}", &text[..i], with, &text[j..]);
+        }
+        start = i + 1;
+    }
+    format!("{text} ##")
+}
+
+// ---------------------------------------------------------------------
+// Rendering with style
+// ---------------------------------------------------------------------
+
+/// Renders a transform result as response text in the model's style.
+pub(crate) fn render_with_style(r: &Rendered, style: &Style, rng: &mut DetRng) -> String {
+    match r {
+        Rendered::Raw(s) => s.clone(),
+        Rendered::Ast(a) => {
+            let mut a = a.clone();
+            a.label = match style.label {
+                LabelStyle::None => None,
+                LabelStyle::Asrt => Some("asrt".to_string()),
+                LabelStyle::Descriptive => Some(descriptive_label(&a, rng)),
+            };
+            print_assertion(&a)
+        }
+    }
+}
+
+fn descriptive_label(a: &Assertion, rng: &mut DetRng) -> String {
+    let idents = collect_idents(&a.body);
+    let stem = idents
+        .first()
+        .map(|s| s.replace(|c: char| !c.is_ascii_alphanumeric(), "_"))
+        .unwrap_or_else(|| "prop".to_string());
+    let suffixes = ["check", "holds", "valid", "ok"];
+    format!("asrt_{stem}_{}", suffixes[rng.below(suffixes.len())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fv_core::{check_equivalence, EquivConfig, Equivalence};
+    use sv_parser::parse_assertion_str;
+
+    fn table() -> SignalTable {
+        [
+            ("a", 1u32),
+            ("b", 1),
+            ("c", 1),
+            ("wr_push", 1),
+            ("rd_pop", 1),
+            ("tb_reset", 1),
+            ("sig_H", 4),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn rng() -> DetRng {
+        DetRng::from_parts(&["test"])
+    }
+
+    fn verdict(reference: &str, candidate: &Assertion) -> Equivalence {
+        let r = parse_assertion_str(reference).unwrap();
+        check_equivalence(&r, candidate, &table(), EquivConfig::default())
+            .unwrap()
+            .verdict
+    }
+
+    #[test]
+    fn equivalent_rewrites_stay_equivalent() {
+        let srcs = [
+            "assert property (@(posedge clk) (a && b) !== 1'b1);",
+            "assert property (@(posedge clk) a |=> b);",
+            "assert property (@(posedge clk) (^sig_H) == 1'b1);",
+            "assert property (@(posedge clk) a |-> ##2 (b || c));",
+        ];
+        for src in srcs {
+            let reference = parse_assertion_str(src).unwrap();
+            for i in 0..8 {
+                let mut r = DetRng::from_parts(&["eq", src, &i.to_string()]);
+                let out = equivalent_rewrite(&reference, &mut r);
+                assert_eq!(
+                    verdict(src, &out),
+                    Equivalence::Equivalent,
+                    "{src} -> {}",
+                    print_assertion(&out)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_rewrites_are_partial_not_equivalent() {
+        let srcs = [
+            "assert property (@(posedge clk) disable iff (tb_reset) wr_push |-> strong(##[0:$] rd_pop));",
+            "assert property (@(posedge clk) a |-> ##2 b);",
+            "assert property (@(posedge clk) (a && b) !== 1'b1);",
+        ];
+        for src in srcs {
+            let reference = parse_assertion_str(src).unwrap();
+            for i in 0..6 {
+                let mut r = DetRng::from_parts(&["pa", src, &i.to_string()]);
+                let out = partial_rewrite(&reference, &table(), &mut r);
+                let v = verdict(src, &out);
+                assert!(
+                    v.is_partial() && !v.is_equivalent(),
+                    "{src} -> {} gave {v:?}",
+                    print_assertion(&out)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_rewrites_change_semantics() {
+        let srcs = [
+            "assert property (@(posedge clk) a |-> ##2 b);",
+            "assert property (@(posedge clk) (a && b) |-> c);",
+        ];
+        for src in srcs {
+            let reference = parse_assertion_str(src).unwrap();
+            for i in 0..6 {
+                let mut r = DetRng::from_parts(&["wr", src, &i.to_string()]);
+                let out = wrong_rewrite(&reference, &mut r);
+                let v = verdict(src, &out);
+                assert_ne!(
+                    v,
+                    Equivalence::Equivalent,
+                    "{src} -> {}",
+                    print_assertion(&out)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_text_fails_syntax_or_elaboration() {
+        let srcs = [
+            "assert property (@(posedge clk) a |-> s_eventually (b));",
+            "assert property (@(posedge clk) wr_push |-> strong(##[0:$] rd_pop));",
+            "assert property (@(posedge clk) (a && b) |-> c);",
+        ];
+        let t = table();
+        for src in srcs {
+            let reference = parse_assertion_str(src).unwrap();
+            for i in 0..10 {
+                let mut r = DetRng::from_parts(&["sx", src, &i.to_string()]);
+                let broken = corrupt_text(&reference, &t, &mut r);
+                // Either it fails to parse, or it parses but fails to
+                // resolve (unknown signal) — both are tool failures.
+                match parse_assertion_str(&broken) {
+                    Err(_) => {}
+                    Ok(parsed) => {
+                        let res =
+                            check_equivalence(&reference, &parsed, &t, EquivConfig::default());
+                        assert!(
+                            res.is_err(),
+                            "corruption survived: {broken}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn style_labels_render() {
+        let a = parse_assertion_str("assert property (@(posedge clk) wr_push |-> rd_pop);")
+            .unwrap();
+        let mut r = rng();
+        let plain = render_with_style(&Rendered::Ast(a.clone()), &Style::plain(), &mut r);
+        assert!(plain.starts_with("assert property"));
+        let labeled =
+            render_with_style(&Rendered::Ast(a.clone()), &Style::snake_label(), &mut r);
+        assert!(labeled.starts_with("asrt:"));
+        let descriptive =
+            render_with_style(&Rendered::Ast(a), &Style::verbose_label(), &mut r);
+        assert!(descriptive.starts_with("asrt_wr_push_"));
+    }
+}

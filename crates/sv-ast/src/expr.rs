@@ -1,0 +1,402 @@
+//! Expression-level AST shared by RTL and assertion contexts.
+
+/// A SystemVerilog integer literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// A (possibly sized, possibly based) integer literal such as
+    /// `32`, `'d0`, `2'b10`, `8'hFF`. `width == None` means unsized.
+    Int {
+        /// Explicit bit width, if written (`2'b10` → `Some(2)`).
+        width: Option<u32>,
+        /// The numeric value (2-state; x/z digits are not supported).
+        value: u128,
+        /// The base character as written (`b`, `o`, `d`, `h`), if based.
+        base: Option<char>,
+    },
+    /// Unbased unsized literal `'0` or `'1` (fills the context width).
+    Fill(bool),
+}
+
+impl Literal {
+    /// Convenience constructor for plain decimal literals.
+    pub fn dec(value: u128) -> Literal {
+        Literal::Int {
+            width: None,
+            value,
+            base: None,
+        }
+    }
+
+    /// Convenience constructor for `'d<value>` literals.
+    pub fn tick_d(value: u128) -> Literal {
+        Literal::Int {
+            width: None,
+            value,
+            base: Some('d'),
+        }
+    }
+
+    /// Convenience constructor for sized binary literals.
+    pub fn sized_bin(width: u32, value: u128) -> Literal {
+        Literal::Int {
+            width: Some(width),
+            value,
+            base: Some('b'),
+        }
+    }
+
+    /// The numeric value, with `Fill` mapped to 0/all-ones at `width`.
+    pub fn value_at_width(&self, width: u32) -> u128 {
+        match *self {
+            Literal::Int { value, .. } => value,
+            Literal::Fill(false) => 0,
+            Literal::Fill(true) => {
+                if width >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << width) - 1
+                }
+            }
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical negation `!`.
+    LogNot,
+    /// Bitwise complement `~`.
+    BitNot,
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Unary plus `+` (identity).
+    Pos,
+    /// Reduction and `&`.
+    RedAnd,
+    /// Reduction or `|`.
+    RedOr,
+    /// Reduction xor `^`.
+    RedXor,
+    /// Reduction nand `~&`.
+    RedNand,
+    /// Reduction nor `~|`.
+    RedNor,
+    /// Reduction xnor `~^`.
+    RedXnor,
+}
+
+/// Binary operators, in SystemVerilog notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `~^` / `^~`
+    BitXnor,
+    /// `==`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `===` (2-state: same as `==`)
+    CaseEq,
+    /// `!==` (2-state: same as `!=`)
+    CaseNeq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<<<`
+    AShl,
+    /// `>>>`
+    AShr,
+}
+
+impl BinaryOp {
+    /// `true` for operators whose result is a single bit.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::CaseEq
+                | BinaryOp::CaseNeq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::LogAnd
+                | BinaryOp::LogOr
+        )
+    }
+}
+
+/// System functions accepted in assertion and RTL expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SysFunc {
+    /// `$countones(x)` — population count.
+    Countones,
+    /// `$onehot(x)` — exactly one bit set.
+    Onehot,
+    /// `$onehot0(x)` — at most one bit set.
+    Onehot0,
+    /// `$bits(x)` — elaboration-time width of the operand.
+    Bits,
+    /// `$clog2(x)` — ceiling log2 (elaboration-time).
+    Clog2,
+    /// `$past(x)` (sampled-value; assertion contexts only).
+    Past,
+    /// `$rose(x)`.
+    Rose,
+    /// `$fell(x)`.
+    Fell,
+    /// `$stable(x)`.
+    Stable,
+    /// `$changed(x)`.
+    Changed,
+}
+
+impl SysFunc {
+    /// Parses a `$name`, returning `None` for unknown functions
+    /// (which the caller reports as a syntax/elaboration error —
+    /// the paper's "hallucinated operator" failure mode).
+    pub fn from_name(name: &str) -> Option<SysFunc> {
+        Some(match name {
+            "countones" => SysFunc::Countones,
+            "onehot" => SysFunc::Onehot,
+            "onehot0" => SysFunc::Onehot0,
+            "bits" => SysFunc::Bits,
+            "clog2" => SysFunc::Clog2,
+            "past" => SysFunc::Past,
+            "rose" => SysFunc::Rose,
+            "fell" => SysFunc::Fell,
+            "stable" => SysFunc::Stable,
+            "changed" => SysFunc::Changed,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name, without the `$`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SysFunc::Countones => "countones",
+            SysFunc::Onehot => "onehot",
+            SysFunc::Onehot0 => "onehot0",
+            SysFunc::Bits => "bits",
+            SysFunc::Clog2 => "clog2",
+            SysFunc::Past => "past",
+            SysFunc::Rose => "rose",
+            SysFunc::Fell => "fell",
+            SysFunc::Stable => "stable",
+            SysFunc::Changed => "changed",
+        }
+    }
+
+    /// `true` if the function samples previous-cycle values.
+    pub fn is_sampled(self) -> bool {
+        matches!(
+            self,
+            SysFunc::Past | SysFunc::Rose | SysFunc::Fell | SysFunc::Stable | SysFunc::Changed
+        )
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Identifier reference.
+    Ident(String),
+    /// Integer literal.
+    Literal(Literal),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Conditional `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Concatenation `{a, b, ...}` (first element is most significant).
+    Concat(Vec<Expr>),
+    /// Replication `{n{x}}`.
+    Replicate(Box<Expr>, Box<Expr>),
+    /// Bit select `x[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Part select `x[hi:lo]`.
+    Slice(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// System function call.
+    SysCall(SysFunc, Vec<Expr>),
+}
+
+impl Expr {
+    /// Identifier expression.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+
+    /// Decimal literal expression.
+    pub fn num(value: u128) -> Expr {
+        Expr::Literal(Literal::dec(value))
+    }
+
+    /// `a && b`.
+    pub fn land(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinaryOp::LogAnd, Box::new(self), Box::new(rhs))
+    }
+
+    /// `a || b`.
+    pub fn lor(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinaryOp::LogOr, Box::new(self), Box::new(rhs))
+    }
+
+    /// `!a`.
+    pub fn lnot(self) -> Expr {
+        Expr::Unary(UnaryOp::LogNot, Box::new(self))
+    }
+
+    /// Generic binary helper.
+    pub fn bin(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Collects every identifier referenced in the expression.
+    pub fn idents(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit_idents(&mut |s| out.push(s));
+        out
+    }
+
+    fn visit_idents<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Expr::Ident(s) => f(s),
+            Expr::Literal(_) => {}
+            Expr::Unary(_, e) => e.visit_idents(f),
+            Expr::Binary(_, a, b) => {
+                a.visit_idents(f);
+                b.visit_idents(f);
+            }
+            Expr::Ternary(c, t, e) => {
+                c.visit_idents(f);
+                t.visit_idents(f);
+                e.visit_idents(f);
+            }
+            Expr::Concat(es) | Expr::SysCall(_, es) => {
+                for e in es {
+                    e.visit_idents(f);
+                }
+            }
+            Expr::Replicate(n, e) => {
+                n.visit_idents(f);
+                e.visit_idents(f);
+            }
+            Expr::Index(b, i) => {
+                b.visit_idents(f);
+                i.visit_idents(f);
+            }
+            Expr::Slice(b, h, l) => {
+                b.visit_idents(f);
+                h.visit_idents(f);
+                l.visit_idents(f);
+            }
+        }
+    }
+
+    /// Maximum `$past`-style temporal look-back used by the expression
+    /// (0 for purely combinational expressions).
+    pub fn sampled_depth(&self) -> u32 {
+        match self {
+            Expr::SysCall(f, args) => {
+                let inner = args.iter().map(|a| a.sampled_depth()).max().unwrap_or(0);
+                if f.is_sampled() {
+                    inner + 1
+                } else {
+                    inner
+                }
+            }
+            Expr::Ident(_) | Expr::Literal(_) => 0,
+            Expr::Unary(_, e) => e.sampled_depth(),
+            Expr::Binary(_, a, b) => a.sampled_depth().max(b.sampled_depth()),
+            Expr::Ternary(c, t, e) => c
+                .sampled_depth()
+                .max(t.sampled_depth())
+                .max(e.sampled_depth()),
+            Expr::Concat(es) => es.iter().map(|e| e.sampled_depth()).max().unwrap_or(0),
+            Expr::Replicate(n, e) => n.sampled_depth().max(e.sampled_depth()),
+            Expr::Index(b, i) => b.sampled_depth().max(i.sampled_depth()),
+            Expr::Slice(b, h, l) => b
+                .sampled_depth()
+                .max(h.sampled_depth())
+                .max(l.sampled_depth()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::ident("a").land(Expr::ident("b").lnot());
+        assert_eq!(e.idents(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn fill_literal_value() {
+        assert_eq!(Literal::Fill(true).value_at_width(4), 0xF);
+        assert_eq!(Literal::Fill(false).value_at_width(4), 0);
+        assert_eq!(Literal::dec(42).value_at_width(8), 42);
+    }
+
+    #[test]
+    fn sysfunc_names_round_trip() {
+        for f in [
+            SysFunc::Countones,
+            SysFunc::Onehot,
+            SysFunc::Onehot0,
+            SysFunc::Bits,
+            SysFunc::Clog2,
+            SysFunc::Past,
+            SysFunc::Rose,
+            SysFunc::Fell,
+            SysFunc::Stable,
+            SysFunc::Changed,
+        ] {
+            assert_eq!(SysFunc::from_name(f.name()), Some(f));
+        }
+        assert_eq!(SysFunc::from_name("eventually"), None, "hallucinated op");
+    }
+
+    #[test]
+    fn sampled_depth_counts_nesting() {
+        let e = Expr::SysCall(
+            SysFunc::Rose,
+            vec![Expr::SysCall(SysFunc::Past, vec![Expr::ident("x")])],
+        );
+        assert_eq!(e.sampled_depth(), 2);
+        assert_eq!(Expr::ident("x").sampled_depth(), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Module-level AST: declarations, processes, instances, generate blocks.
+
+use crate::expr::Expr;
+use crate::property::Assertion;
+
+/// A parsed source file (one or more modules plus `\`define` text handled
+/// by the preprocessor before parsing).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceFile {
+    /// Modules in source order.
+    pub modules: Vec<Module>,
+}
+
+impl SourceFile {
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortDir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+    /// `inout` (parsed, not synthesized)
+    Inout,
+}
+
+/// A packed range `[msb:lsb]` (expressions resolved at elaboration).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Range {
+    /// MSB expression.
+    pub msb: Expr,
+    /// LSB expression.
+    pub lsb: Expr,
+}
+
+impl Range {
+    /// Builds `[msb:lsb]`.
+    pub fn new(msb: Expr, lsb: Expr) -> Range {
+        Range { msb, lsb }
+    }
+
+    /// `[width-1:0]` with a literal width.
+    pub fn width(w: u32) -> Range {
+        Range {
+            msb: Expr::num(u128::from(w) - 1),
+            lsb: Expr::num(0),
+        }
+    }
+}
+
+/// A port declaration (either header-style or in-body `input [W-1:0] x;`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDecl {
+    /// Direction.
+    pub dir: PortDir,
+    /// Optional packed range.
+    pub range: Option<Range>,
+    /// Declared `reg` (affects nothing in our 2-state model).
+    pub is_reg: bool,
+    /// Port name.
+    pub name: String,
+}
+
+/// `parameter` / `localparam` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// `true` for `localparam`.
+    pub local: bool,
+    /// Name.
+    pub name: String,
+    /// Default / value expression.
+    pub value: Expr,
+}
+
+/// Net kinds in declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+    /// `logic`
+    Logic,
+    /// `genvar`
+    Genvar,
+}
+
+/// A net/variable declaration, possibly with packed and unpacked dims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetDecl {
+    /// Kind keyword.
+    pub kind: NetKind,
+    /// Packed range(s); multiple packed dims are flattened MSB-first.
+    pub packed: Vec<Range>,
+    /// Name.
+    pub name: String,
+    /// Unpacked (array) dimensions, e.g. memories.
+    pub unpacked: Vec<Range>,
+    /// Optional initializer (`wire x = expr;` form becomes an assign).
+    pub init: Option<Expr>,
+}
+
+/// A continuous assignment (`assign lhs = rhs;`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Left-hand side.
+    pub lhs: LValue,
+    /// Right-hand side expression.
+    pub rhs: Expr,
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LValue {
+    /// Whole identifier.
+    Ident(String),
+    /// Single element `x[i]`.
+    Index(String, Expr),
+    /// Part select `x[hi:lo]`.
+    Slice(String, Expr, Expr),
+    /// Concatenation target `{a, b}`.
+    Concat(Vec<LValue>),
+}
+
+impl LValue {
+    /// Base identifiers written by this lvalue.
+    pub fn idents(&self) -> Vec<&str> {
+        match self {
+            LValue::Ident(s) | LValue::Index(s, _) | LValue::Slice(s, _, _) => vec![s],
+            LValue::Concat(ls) => ls.iter().flat_map(|l| l.idents()).collect(),
+        }
+    }
+}
+
+/// Sensitivity-list entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EventExpr {
+    /// Edge kind.
+    pub edge: EdgeKind,
+    /// Signal name.
+    pub signal: String,
+}
+
+/// Edge of an event control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `posedge`
+    Pos,
+    /// `negedge`
+    Neg,
+}
+
+/// A procedural statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `begin ... end`, possibly labeled.
+    Block(Vec<Stmt>),
+    /// `if (c) s [else s]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Box<Stmt>,
+        /// Optional else-branch.
+        alt: Option<Box<Stmt>>,
+    },
+    /// `case (subject) ... endcase`.
+    Case {
+        /// Case subject expression.
+        subject: Expr,
+        /// Arms: label expressions and body.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// Optional `default:` arm.
+        default: Option<Box<Stmt>>,
+    },
+    /// Non-blocking assignment `lhs <= rhs;`.
+    NonBlocking(LValue, Expr),
+    /// Blocking assignment `lhs = rhs;`.
+    Blocking(LValue, Expr),
+    /// Empty statement `;`.
+    Empty,
+}
+
+/// Module instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instantiated module name.
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// Parameter overrides `#(.P(expr), ...)`.
+    pub params: Vec<(String, Expr)>,
+    /// Port connections `.port(expr)`.
+    pub conns: Vec<(String, Expr)>,
+}
+
+/// Items inside a module body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModuleItem {
+    /// Parameter or localparam.
+    Param(ParamDecl),
+    /// In-body port declaration.
+    Port(PortDecl),
+    /// Net/variable declaration.
+    Net(NetDecl),
+    /// Continuous assignment.
+    ContAssign(Assign),
+    /// `always_ff @(...)` process.
+    AlwaysFf {
+        /// Sensitivity edges.
+        events: Vec<EventExpr>,
+        /// Body.
+        body: Stmt,
+    },
+    /// `always_comb` process.
+    AlwaysComb(Stmt),
+    /// Classic `always @(...)` (treated as FF when edge-sensitive).
+    AlwaysAt {
+        /// Sensitivity edges.
+        events: Vec<EventExpr>,
+        /// Body.
+        body: Stmt,
+    },
+    /// Module instance.
+    Instance(Instance),
+    /// `for (genvar i = ...; ...; ...) begin : label ... end`
+    /// (either `generate`-wrapped or bare).
+    GenerateFor {
+        /// Loop genvar name.
+        var: String,
+        /// Initializer value expression.
+        init: Expr,
+        /// Loop condition.
+        cond: Expr,
+        /// Step expression (new value of the genvar).
+        step: Expr,
+        /// Optional block label.
+        label: Option<String>,
+        /// Replicated items.
+        body: Vec<ModuleItem>,
+    },
+    /// A concurrent assertion.
+    Assertion(Assertion),
+}
+
+/// A module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Header parameter declarations (`#(parameter ...)`) plus body params.
+    pub params: Vec<ParamDecl>,
+    /// Header port name order.
+    pub port_order: Vec<String>,
+    /// Port declarations (from header or body).
+    pub ports: Vec<PortDecl>,
+    /// Body items in source order.
+    pub items: Vec<ModuleItem>,
+}
+
+impl Module {
+    /// Finds a port declaration by name.
+    pub fn port(&self, name: &str) -> Option<&PortDecl> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// All assertions declared in the module body (not inside generates).
+    pub fn assertions(&self) -> impl Iterator<Item = &Assertion> {
+        self.items.iter().filter_map(|i| match i {
+            ModuleItem::Assertion(a) => Some(a),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lvalue_idents() {
+        let lv = LValue::Concat(vec![
+            LValue::Ident("a".into()),
+            LValue::Index("b".into(), Expr::num(0)),
+        ]);
+        assert_eq!(lv.idents(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn range_width_helper() {
+        let r = Range::width(8);
+        assert_eq!(r.msb, Expr::num(7));
+        assert_eq!(r.lsb, Expr::num(0));
+    }
+
+    #[test]
+    fn module_port_lookup() {
+        let m = Module {
+            name: "m".into(),
+            params: vec![],
+            port_order: vec!["clk".into()],
+            ports: vec![PortDecl {
+                dir: PortDir::Input,
+                range: None,
+                is_reg: false,
+                name: "clk".into(),
+            }],
+            items: vec![],
+        };
+        assert!(m.port("clk").is_some());
+        assert!(m.port("nope").is_none());
+    }
+}

@@ -1,0 +1,737 @@
+//! Pretty-printer: renders ASTs back to concrete SystemVerilog syntax.
+//!
+//! The printer inserts parentheses from the same precedence table the
+//! parser uses, so `print → parse → print` is a fixpoint (covered by
+//! property tests in `sv-parser`).
+
+use crate::expr::{BinaryOp, Expr, Literal, UnaryOp};
+use crate::module::{
+    EdgeKind, LValue, Module, ModuleItem, NetKind, PortDir, Range, Stmt,
+};
+use crate::property::{Assertion, DelayBound, PropExpr, SeqExpr};
+use std::fmt::Write as _;
+
+fn unary_str(op: UnaryOp) -> &'static str {
+    match op {
+        UnaryOp::LogNot => "!",
+        UnaryOp::BitNot => "~",
+        UnaryOp::Neg => "-",
+        UnaryOp::Pos => "+",
+        UnaryOp::RedAnd => "&",
+        UnaryOp::RedOr => "|",
+        UnaryOp::RedXor => "^",
+        UnaryOp::RedNand => "~&",
+        UnaryOp::RedNor => "~|",
+        UnaryOp::RedXnor => "~^",
+    }
+}
+
+fn binary_str(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::LogAnd => "&&",
+        BinaryOp::LogOr => "||",
+        BinaryOp::BitAnd => "&",
+        BinaryOp::BitOr => "|",
+        BinaryOp::BitXor => "^",
+        BinaryOp::BitXnor => "~^",
+        BinaryOp::Eq => "==",
+        BinaryOp::Neq => "!=",
+        BinaryOp::CaseEq => "===",
+        BinaryOp::CaseNeq => "!==",
+        BinaryOp::Lt => "<",
+        BinaryOp::Le => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::Ge => ">=",
+        BinaryOp::Add => "+",
+        BinaryOp::Sub => "-",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+        BinaryOp::Mod => "%",
+        BinaryOp::Shl => "<<",
+        BinaryOp::Shr => ">>",
+        BinaryOp::AShl => "<<<",
+        BinaryOp::AShr => ">>>",
+    }
+}
+
+/// Binding strength of a binary operator; higher binds tighter.
+/// Mirrored by the Pratt parser in `sv-parser`.
+pub(crate) fn precedence(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 11,
+        BinaryOp::Add | BinaryOp::Sub => 10,
+        BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShl | BinaryOp::AShr => 9,
+        BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 8,
+        BinaryOp::Eq | BinaryOp::Neq | BinaryOp::CaseEq | BinaryOp::CaseNeq => 7,
+        BinaryOp::BitAnd => 6,
+        BinaryOp::BitXor | BinaryOp::BitXnor => 5,
+        BinaryOp::BitOr => 4,
+        BinaryOp::LogAnd => 3,
+        BinaryOp::LogOr => 2,
+    }
+}
+
+fn print_literal(lit: &Literal) -> String {
+    match lit {
+        Literal::Int { width, value, base } => {
+            let mut s = String::new();
+            if let Some(w) = width {
+                let _ = write!(s, "{w}");
+            }
+            match base {
+                Some(b) => {
+                    let _ = match b {
+                        'b' => write!(s, "'b{value:b}"),
+                        'o' => write!(s, "'o{value:o}"),
+                        'h' => write!(s, "'h{value:x}"),
+                        _ => write!(s, "'d{value}"),
+                    };
+                }
+                None => {
+                    let _ = write!(s, "{value}");
+                }
+            }
+            s
+        }
+        Literal::Fill(true) => "'1".to_string(),
+        Literal::Fill(false) => "'0".to_string(),
+    }
+}
+
+fn print_expr_prec(e: &Expr, parent: u8, out: &mut String) {
+    match e {
+        Expr::Ident(s) => out.push_str(s),
+        Expr::Literal(l) => out.push_str(&print_literal(l)),
+        Expr::Unary(op, inner) => {
+            out.push_str(unary_str(*op));
+            // Unary binds tighter than all binaries; parenthesize any
+            // non-primary operand.
+            match inner.as_ref() {
+                Expr::Ident(_) | Expr::Literal(_) | Expr::Concat(_) | Expr::Replicate(..)
+                | Expr::SysCall(..) | Expr::Index(..) | Expr::Slice(..) => {
+                    print_expr_prec(inner, 12, out)
+                }
+                _ => {
+                    out.push('(');
+                    print_expr_prec(inner, 0, out);
+                    out.push(')');
+                }
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let p = precedence(*op);
+            let need = p <= parent;
+            // Left-associative: the left child may share our level.
+            if p < parent {
+                out.push('(');
+            }
+            print_expr_prec(a, p, out);
+            out.push(' ');
+            out.push_str(binary_str(*op));
+            out.push(' ');
+            // Right child needs a strictly higher level.
+            let _ = need;
+            print_expr_prec(b, p + 1, out);
+            if p < parent {
+                out.push(')');
+            }
+        }
+        Expr::Ternary(c, t, f) => {
+            let p = 1;
+            if p < parent {
+                out.push('(');
+            }
+            print_expr_prec(c, p + 1, out);
+            out.push_str(" ? ");
+            print_expr_prec(t, p, out);
+            out.push_str(" : ");
+            print_expr_prec(f, p, out);
+            if p < parent {
+                out.push(')');
+            }
+        }
+        Expr::Concat(es) => {
+            out.push('{');
+            for (i, x) in es.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr_prec(x, 0, out);
+            }
+            out.push('}');
+        }
+        Expr::Replicate(n, x) => {
+            out.push('{');
+            print_expr_prec(n, 12, out);
+            out.push('{');
+            print_expr_prec(x, 0, out);
+            out.push_str("}}");
+        }
+        Expr::Index(b, i) => {
+            print_expr_prec(b, 12, out);
+            out.push('[');
+            print_expr_prec(i, 0, out);
+            out.push(']');
+        }
+        Expr::Slice(b, h, l) => {
+            print_expr_prec(b, 12, out);
+            out.push('[');
+            print_expr_prec(h, 0, out);
+            out.push(':');
+            print_expr_prec(l, 0, out);
+            out.push(']');
+        }
+        Expr::SysCall(f, args) => {
+            out.push('$');
+            out.push_str(f.name());
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr_prec(a, 0, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Renders an expression to SystemVerilog concrete syntax.
+///
+/// # Examples
+///
+/// ```
+/// use sv_ast::{print_expr, Expr};
+/// let e = Expr::ident("a").land(Expr::ident("b"));
+/// assert_eq!(print_expr(&e), "a && b");
+/// ```
+pub fn print_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    print_expr_prec(e, 0, &mut s);
+    s
+}
+
+fn delay_str(lo: u32, hi: DelayBound) -> String {
+    match hi {
+        DelayBound::Finite(h) if h == lo => format!("##{lo}"),
+        DelayBound::Finite(h) => format!("##[{lo}:{h}]"),
+        DelayBound::Unbounded => format!("##[{lo}:$]"),
+    }
+}
+
+fn print_seq_inner(s: &SeqExpr, out: &mut String) {
+    match s {
+        SeqExpr::Expr(e) => {
+            // Boolean operands of sequence operators print as-is; the
+            // parser treats sequence operators at lower precedence.
+            out.push_str(&print_expr(e));
+        }
+        SeqExpr::Delay { lhs, lo, hi, rhs } => {
+            if let Some(l) = lhs {
+                print_seq_atom(l, out);
+                out.push(' ');
+            }
+            out.push_str(&delay_str(*lo, *hi));
+            out.push(' ');
+            print_seq_atom(rhs, out);
+        }
+        SeqExpr::Repeat { seq, lo, hi } => {
+            print_seq_atom(seq, out);
+            match hi {
+                DelayBound::Finite(h) if h == lo => {
+                    let _ = write!(out, "[*{lo}]");
+                }
+                DelayBound::Finite(h) => {
+                    let _ = write!(out, "[*{lo}:{h}]");
+                }
+                DelayBound::Unbounded => {
+                    let _ = write!(out, "[*{lo}:$]");
+                }
+            }
+        }
+        SeqExpr::And(a, b) => {
+            print_seq_atom(a, out);
+            out.push_str(" and ");
+            print_seq_atom(b, out);
+        }
+        SeqExpr::Or(a, b) => {
+            print_seq_atom(a, out);
+            out.push_str(" or ");
+            print_seq_atom(b, out);
+        }
+        SeqExpr::Throughout(e, seq) => {
+            out.push_str(&print_expr(e));
+            out.push_str(" throughout ");
+            print_seq_atom(seq, out);
+        }
+    }
+}
+
+fn print_seq_atom(s: &SeqExpr, out: &mut String) {
+    match s {
+        SeqExpr::Expr(_) => print_seq_inner(s, out),
+        _ => {
+            out.push('(');
+            print_seq_inner(s, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a sequence expression.
+pub fn print_seq(s: &SeqExpr) -> String {
+    let mut out = String::new();
+    print_seq_inner(s, &mut out);
+    out
+}
+
+fn print_prop_inner(p: &PropExpr, out: &mut String) {
+    match p {
+        PropExpr::Seq(s) => print_seq_inner(s, out),
+        PropExpr::Strong(s) => {
+            out.push_str("strong(");
+            print_seq_inner(s, out);
+            out.push(')');
+        }
+        PropExpr::Weak(s) => {
+            out.push_str("weak(");
+            print_seq_inner(s, out);
+            out.push(')');
+        }
+        PropExpr::Not(inner) => {
+            out.push_str("not (");
+            print_prop_inner(inner, out);
+            out.push(')');
+        }
+        PropExpr::And(a, b) => {
+            print_prop_atom(a, out);
+            out.push_str(" and ");
+            print_prop_atom(b, out);
+        }
+        PropExpr::Or(a, b) => {
+            print_prop_atom(a, out);
+            out.push_str(" or ");
+            print_prop_atom(b, out);
+        }
+        PropExpr::Implication {
+            ante,
+            non_overlap,
+            cons,
+        } => {
+            print_seq_atom(ante, out);
+            out.push_str(if *non_overlap { " |=> " } else { " |-> " });
+            print_prop_atom(cons, out);
+        }
+        PropExpr::SEventually(inner) => {
+            out.push_str("s_eventually (");
+            print_prop_inner(inner, out);
+            out.push(')');
+        }
+        PropExpr::Always(inner) => {
+            out.push_str("always (");
+            print_prop_inner(inner, out);
+            out.push(')');
+        }
+        PropExpr::Nexttime(inner) => {
+            out.push_str("nexttime (");
+            print_prop_inner(inner, out);
+            out.push(')');
+        }
+        PropExpr::Until { strong, lhs, rhs } => {
+            print_prop_atom(lhs, out);
+            out.push_str(if *strong { " s_until " } else { " until " });
+            print_prop_atom(rhs, out);
+        }
+        PropExpr::IfElse { cond, then, alt } => {
+            out.push_str("if (");
+            out.push_str(&print_expr(cond));
+            out.push_str(") ");
+            print_prop_atom(then, out);
+            if let Some(a) = alt {
+                out.push_str(" else ");
+                print_prop_atom(a, out);
+            }
+        }
+    }
+}
+
+fn print_prop_atom(p: &PropExpr, out: &mut String) {
+    match p {
+        PropExpr::Seq(SeqExpr::Expr(_)) | PropExpr::Strong(_) | PropExpr::Weak(_) => {
+            print_prop_inner(p, out)
+        }
+        _ => {
+            out.push('(');
+            print_prop_inner(p, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a property expression.
+pub fn print_property(p: &PropExpr) -> String {
+    let mut out = String::new();
+    print_prop_inner(p, &mut out);
+    out
+}
+
+/// Renders a full `assert property (...)` statement.
+///
+/// # Examples
+///
+/// ```
+/// use sv_ast::{print_assertion, Assertion, ClockSpec, Expr, PropExpr};
+/// let a = Assertion::new(ClockSpec::posedge("clk"), PropExpr::expr(Expr::ident("ok")))
+///     .with_label("asrt");
+/// assert!(print_assertion(&a).starts_with("asrt: assert property"));
+/// ```
+pub fn print_assertion(a: &Assertion) -> String {
+    let mut out = String::new();
+    if let Some(l) = &a.label {
+        let _ = write!(out, "{l}: ");
+    }
+    out.push_str("assert property (@(");
+    out.push_str(if a.clock.posedge { "posedge " } else { "negedge " });
+    out.push_str(&a.clock.signal);
+    out.push(')');
+    if let Some(d) = &a.disable {
+        out.push_str(" disable iff (");
+        out.push_str(&print_expr(d));
+        out.push(')');
+    }
+    out.push(' ');
+    out.push_str(&print_property(&a.body));
+    out.push_str(");");
+    out
+}
+
+fn print_range(r: &Range) -> String {
+    format!("[{}:{}]", print_expr(&r.msb), print_expr(&r.lsb))
+}
+
+fn indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Ident(s) => s.clone(),
+        LValue::Index(s, i) => format!("{s}[{}]", print_expr(i)),
+        LValue::Slice(s, h, l) => format!("{s}[{}:{}]", print_expr(h), print_expr(l)),
+        LValue::Concat(ls) => {
+            let inner: Vec<String> = ls.iter().map(print_lvalue).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    match s {
+        Stmt::Block(stmts) => {
+            indent(out, level);
+            out.push_str("begin\n");
+            for st in stmts {
+                print_stmt(st, level + 1, out);
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        Stmt::If { cond, then, alt } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) ", print_expr(cond));
+            print_stmt(then, level + 1, out);
+            if let Some(a) = alt {
+                indent(out, level);
+                out.push_str("else\n");
+                print_stmt(a, level + 1, out);
+            }
+        }
+        Stmt::Case {
+            subject,
+            arms,
+            default,
+        } => {
+            indent(out, level);
+            let _ = writeln!(out, "case ({})", print_expr(subject));
+            for (labels, body) in arms {
+                indent(out, level + 1);
+                let ls: Vec<String> = labels.iter().map(print_expr).collect();
+                let _ = writeln!(out, "{}:", ls.join(", "));
+                print_stmt(body, level + 2, out);
+            }
+            if let Some(d) = default {
+                indent(out, level + 1);
+                out.push_str("default:\n");
+                print_stmt(d, level + 2, out);
+            }
+            indent(out, level);
+            out.push_str("endcase\n");
+        }
+        Stmt::NonBlocking(lv, e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{} <= {};", print_lvalue(lv), print_expr(e));
+        }
+        Stmt::Blocking(lv, e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{} = {};", print_lvalue(lv), print_expr(e));
+        }
+        Stmt::Empty => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn print_item(item: &ModuleItem, level: usize, out: &mut String) {
+    match item {
+        ModuleItem::Param(p) => {
+            indent(out, level);
+            let kw = if p.local { "localparam" } else { "parameter" };
+            let _ = writeln!(out, "{kw} {} = {};", p.name, print_expr(&p.value));
+        }
+        ModuleItem::Port(p) => {
+            indent(out, level);
+            let dir = match p.dir {
+                PortDir::Input => "input",
+                PortDir::Output => "output",
+                PortDir::Inout => "inout",
+            };
+            let reg = if p.is_reg { " reg" } else { "" };
+            let rng = p.range.as_ref().map(print_range).unwrap_or_default();
+            let sep = if rng.is_empty() { "" } else { " " };
+            let _ = writeln!(out, "{dir}{reg}{sep}{rng} {};", p.name);
+        }
+        ModuleItem::Net(n) => {
+            indent(out, level);
+            let kw = match n.kind {
+                NetKind::Wire => "wire",
+                NetKind::Reg => "reg",
+                NetKind::Logic => "logic",
+                NetKind::Genvar => "genvar",
+            };
+            out.push_str(kw);
+            for r in &n.packed {
+                out.push(' ');
+                out.push_str(&print_range(r));
+            }
+            out.push(' ');
+            out.push_str(&n.name);
+            for r in &n.unpacked {
+                out.push(' ');
+                out.push_str(&print_range(r));
+            }
+            if let Some(init) = &n.init {
+                let _ = write!(out, " = {}", print_expr(init));
+            }
+            out.push_str(";\n");
+        }
+        ModuleItem::ContAssign(a) => {
+            indent(out, level);
+            let _ = writeln!(out, "assign {} = {};", print_lvalue(&a.lhs), print_expr(&a.rhs));
+        }
+        ModuleItem::AlwaysFf { events, body } | ModuleItem::AlwaysAt { events, body } => {
+            indent(out, level);
+            let kw = if matches!(item, ModuleItem::AlwaysFf { .. }) {
+                "always_ff"
+            } else {
+                "always"
+            };
+            let evs: Vec<String> = events
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} {}",
+                        match e.edge {
+                            EdgeKind::Pos => "posedge",
+                            EdgeKind::Neg => "negedge",
+                        },
+                        e.signal
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "{kw} @({})", evs.join(" or "));
+            print_stmt(body, level + 1, out);
+        }
+        ModuleItem::AlwaysComb(body) => {
+            indent(out, level);
+            out.push_str("always_comb\n");
+            print_stmt(body, level + 1, out);
+        }
+        ModuleItem::Instance(inst) => {
+            indent(out, level);
+            out.push_str(&inst.module);
+            if !inst.params.is_empty() {
+                let ps: Vec<String> = inst
+                    .params
+                    .iter()
+                    .map(|(n, e)| format!(".{n}({})", print_expr(e)))
+                    .collect();
+                let _ = write!(out, " #({})", ps.join(", "));
+            }
+            let _ = writeln!(out, " {} (", inst.name);
+            for (i, (n, e)) in inst.conns.iter().enumerate() {
+                indent(out, level + 1);
+                let comma = if i + 1 < inst.conns.len() { "," } else { "" };
+                let _ = writeln!(out, ".{n}({}){comma}", print_expr(e));
+            }
+            indent(out, level);
+            out.push_str(");\n");
+        }
+        ModuleItem::GenerateFor {
+            var,
+            init,
+            cond,
+            step,
+            label,
+            body,
+        } => {
+            indent(out, level);
+            let _ = writeln!(
+                out,
+                "for (genvar {var} = {}; {}; {var} = {}) begin : {}",
+                print_expr(init),
+                print_expr(cond),
+                print_expr(step),
+                label.as_deref().unwrap_or("gen")
+            );
+            for it in body {
+                print_item(it, level + 1, out);
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        ModuleItem::Assertion(a) => {
+            indent(out, level);
+            out.push_str(&print_assertion(a));
+            out.push('\n');
+        }
+    }
+}
+
+/// Renders a full module definition.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "module {} (", m.name);
+    for (i, p) in m.port_order.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(p);
+    }
+    out.push_str("\n);\n");
+    for p in &m.params {
+        let kw = if p.local { "localparam" } else { "parameter" };
+        let _ = writeln!(out, "{kw} {} = {};", p.name, print_expr(&p.value));
+    }
+    for p in &m.ports {
+        print_item(
+            &ModuleItem::Port(p.clone()),
+            0,
+            &mut out,
+        );
+    }
+    for item in &m.items {
+        print_item(item, 0, &mut out);
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::SysFunc;
+    use crate::property::ClockSpec;
+
+    #[test]
+    fn expr_precedence_parens() {
+        // (a | b) & c must keep parens; a & b | c must not add them around a & b.
+        let e = Expr::bin(
+            BinaryOp::BitAnd,
+            Expr::bin(BinaryOp::BitOr, Expr::ident("a"), Expr::ident("b")),
+            Expr::ident("c"),
+        );
+        assert_eq!(print_expr(&e), "(a | b) & c");
+        let e2 = Expr::bin(
+            BinaryOp::BitOr,
+            Expr::bin(BinaryOp::BitAnd, Expr::ident("a"), Expr::ident("b")),
+            Expr::ident("c"),
+        );
+        assert_eq!(print_expr(&e2), "a & b | c");
+    }
+
+    #[test]
+    fn unary_of_binary_parenthesizes() {
+        let e = Expr::ident("a").land(Expr::ident("b")).lnot();
+        assert_eq!(print_expr(&e), "!(a && b)");
+        let red = Expr::Unary(UnaryOp::RedOr, Box::new(Expr::ident("req")));
+        assert_eq!(print_expr(&red), "|req");
+    }
+
+    #[test]
+    fn literal_forms() {
+        assert_eq!(print_expr(&Expr::num(5)), "5");
+        assert_eq!(
+            print_expr(&Expr::Literal(Literal::sized_bin(2, 0b10))),
+            "2'b10"
+        );
+        assert_eq!(print_expr(&Expr::Literal(Literal::tick_d(0))), "'d0");
+        assert_eq!(print_expr(&Expr::Literal(Literal::Fill(true))), "'1");
+    }
+
+    #[test]
+    fn syscall_and_concat() {
+        let e = Expr::SysCall(
+            SysFunc::Onehot0,
+            vec![Expr::Concat(vec![
+                Expr::ident("a"),
+                Expr::ident("b"),
+                Expr::ident("c"),
+            ])],
+        );
+        assert_eq!(print_expr(&e), "$onehot0({a, b, c})");
+    }
+
+    #[test]
+    fn assertion_rendering_matches_paper_style() {
+        // wr_push |-> strong(##[0:$] rd_pop)
+        let body = PropExpr::Implication {
+            ante: SeqExpr::Expr(Expr::ident("wr_push")),
+            non_overlap: false,
+            cons: Box::new(PropExpr::Strong(SeqExpr::Delay {
+                lhs: None,
+                lo: 0,
+                hi: DelayBound::Unbounded,
+                rhs: Box::new(SeqExpr::Expr(Expr::ident("rd_pop"))),
+            })),
+        };
+        let a = Assertion::new(ClockSpec::posedge("clk"), body)
+            .with_disable(Expr::ident("tb_reset"))
+            .with_label("asrt");
+        assert_eq!(
+            print_assertion(&a),
+            "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
+             wr_push |-> strong(##[0:$] rd_pop));"
+        );
+    }
+
+    #[test]
+    fn ternary_rendering() {
+        let e = Expr::Ternary(
+            Box::new(Expr::ident("sel")),
+            Box::new(Expr::ident("a")),
+            Box::new(Expr::ident("b")),
+        );
+        assert_eq!(print_expr(&e), "sel ? a : b");
+    }
+
+    #[test]
+    fn delay_forms() {
+        assert_eq!(delay_str(2, DelayBound::Finite(2)), "##2");
+        assert_eq!(delay_str(1, DelayBound::Finite(4)), "##[1:4]");
+        assert_eq!(delay_str(0, DelayBound::Unbounded), "##[0:$]");
+    }
+}

@@ -1,0 +1,421 @@
+//! The SVA property / sequence layer.
+
+use crate::expr::Expr;
+
+/// Clocking event of a concurrent assertion (`@(posedge clk)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClockSpec {
+    /// Clock signal name.
+    pub signal: String,
+    /// `true` for `posedge` (the only edge used by the benchmarks,
+    /// but `negedge` parses too).
+    pub posedge: bool,
+}
+
+impl ClockSpec {
+    /// `@(posedge clk)`.
+    pub fn posedge(signal: impl Into<String>) -> ClockSpec {
+        ClockSpec {
+            signal: signal.into(),
+            posedge: true,
+        }
+    }
+}
+
+/// Upper bound of a `##[lo:hi]` delay or `[*lo:hi]` repetition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DelayBound {
+    /// A finite bound.
+    Finite(u32),
+    /// `$` — unbounded.
+    Unbounded,
+}
+
+impl DelayBound {
+    /// The finite value, if any.
+    pub fn finite(self) -> Option<u32> {
+        match self {
+            DelayBound::Finite(n) => Some(n),
+            DelayBound::Unbounded => None,
+        }
+    }
+}
+
+/// A sequence expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SeqExpr {
+    /// A boolean expression evaluated in a single cycle.
+    Expr(Expr),
+    /// `lhs ##[lo:hi] rhs`; `lhs == None` encodes a leading delay
+    /// (`##2 e`).
+    Delay {
+        /// Left operand, absent for a leading delay.
+        lhs: Option<Box<SeqExpr>>,
+        /// Minimum delay.
+        lo: u32,
+        /// Maximum delay (`$` allowed).
+        hi: DelayBound,
+        /// Right operand.
+        rhs: Box<SeqExpr>,
+    },
+    /// Consecutive repetition `seq[*lo:hi]`.
+    Repeat {
+        /// The repeated sequence.
+        seq: Box<SeqExpr>,
+        /// Minimum repetition count.
+        lo: u32,
+        /// Maximum repetition count (`$` allowed).
+        hi: DelayBound,
+    },
+    /// Sequence conjunction `a and b` (both match, same start; ends may
+    /// differ — we use the "both hold" reading over the joint window).
+    And(Box<SeqExpr>, Box<SeqExpr>),
+    /// Sequence disjunction `a or b`.
+    Or(Box<SeqExpr>, Box<SeqExpr>),
+    /// `expr throughout seq`.
+    Throughout(Expr, Box<SeqExpr>),
+}
+
+impl SeqExpr {
+    /// Wraps a boolean expression.
+    pub fn expr(e: Expr) -> SeqExpr {
+        SeqExpr::Expr(e)
+    }
+
+    /// `lhs ##n rhs` with an exact delay.
+    pub fn then(self, n: u32, rhs: SeqExpr) -> SeqExpr {
+        SeqExpr::Delay {
+            lhs: Some(Box::new(self)),
+            lo: n,
+            hi: DelayBound::Finite(n),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Minimum number of cycles a match can span (0 = single cycle).
+    pub fn min_length(&self) -> u32 {
+        match self {
+            SeqExpr::Expr(_) => 0,
+            SeqExpr::Delay { lhs, lo, rhs, .. } => {
+                lhs.as_ref().map_or(0, |l| l.min_length()) + lo + rhs.min_length()
+            }
+            SeqExpr::Repeat { seq, lo, .. } => {
+                if *lo == 0 {
+                    0
+                } else {
+                    (seq.min_length() + 1) * lo - 1
+                }
+            }
+            SeqExpr::And(a, b) => a.min_length().max(b.min_length()),
+            SeqExpr::Or(a, b) => a.min_length().min(b.min_length()),
+            SeqExpr::Throughout(_, s) => s.min_length(),
+        }
+    }
+
+    /// Maximum span of a match in cycles, `None` if unbounded.
+    pub fn max_length(&self) -> Option<u32> {
+        match self {
+            SeqExpr::Expr(_) => Some(0),
+            SeqExpr::Delay { lhs, hi, rhs, .. } => {
+                let l = lhs.as_ref().map_or(Some(0), |l| l.max_length())?;
+                let h = hi.finite()?;
+                let r = rhs.max_length()?;
+                Some(l + h + r)
+            }
+            SeqExpr::Repeat { seq, hi, .. } => {
+                let h = hi.finite()?;
+                let s = seq.max_length()?;
+                if h == 0 {
+                    Some(0)
+                } else {
+                    Some((s + 1) * h - 1)
+                }
+            }
+            SeqExpr::And(a, b) => Some(a.max_length()?.max(b.max_length()?)),
+            SeqExpr::Or(a, b) => Some(a.max_length()?.max(b.max_length()?)),
+            SeqExpr::Throughout(_, s) => s.max_length(),
+        }
+    }
+
+    /// Maximum sampled-value look-back within the sequence's booleans.
+    pub fn sampled_depth(&self) -> u32 {
+        match self {
+            SeqExpr::Expr(e) => e.sampled_depth(),
+            SeqExpr::Delay { lhs, rhs, .. } => lhs
+                .as_ref()
+                .map_or(0, |l| l.sampled_depth())
+                .max(rhs.sampled_depth()),
+            SeqExpr::Repeat { seq, .. } => seq.sampled_depth(),
+            SeqExpr::And(a, b) | SeqExpr::Or(a, b) => a.sampled_depth().max(b.sampled_depth()),
+            SeqExpr::Throughout(e, s) => e.sampled_depth().max(s.sampled_depth()),
+        }
+    }
+}
+
+/// A property expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PropExpr {
+    /// A sequence used as a property (weak by default in assert context).
+    Seq(SeqExpr),
+    /// `strong(seq)` — pending matches at trace end count as failures.
+    Strong(SeqExpr),
+    /// `weak(seq)` — explicit weak marker.
+    Weak(SeqExpr),
+    /// Property negation `not p`.
+    Not(Box<PropExpr>),
+    /// Property conjunction `p and q`.
+    And(Box<PropExpr>, Box<PropExpr>),
+    /// Property disjunction `p or q`.
+    Or(Box<PropExpr>, Box<PropExpr>),
+    /// Suffix implication `seq |-> p` (overlapping) or `seq |=> p`
+    /// (non-overlapping).
+    Implication {
+        /// Antecedent sequence.
+        ante: SeqExpr,
+        /// `true` for `|=>`.
+        non_overlap: bool,
+        /// Consequent property.
+        cons: Box<PropExpr>,
+    },
+    /// `s_eventually p`.
+    SEventually(Box<PropExpr>),
+    /// `always p`.
+    Always(Box<PropExpr>),
+    /// `nexttime p`.
+    Nexttime(Box<PropExpr>),
+    /// `p until q` (weak) / `p s_until q` (strong).
+    Until {
+        /// `true` for `s_until`.
+        strong: bool,
+        /// Left property (must hold until...).
+        lhs: Box<PropExpr>,
+        /// Right property (...this one holds).
+        rhs: Box<PropExpr>,
+    },
+    /// `if (cond) p else q` property conditional.
+    IfElse {
+        /// Condition expression.
+        cond: Expr,
+        /// Then-branch.
+        then: Box<PropExpr>,
+        /// Optional else-branch.
+        alt: Option<Box<PropExpr>>,
+    },
+}
+
+impl PropExpr {
+    /// Boolean expression as a property.
+    pub fn expr(e: Expr) -> PropExpr {
+        PropExpr::Seq(SeqExpr::Expr(e))
+    }
+
+    /// `ante |-> cons`.
+    pub fn implies(ante: SeqExpr, cons: PropExpr) -> PropExpr {
+        PropExpr::Implication {
+            ante,
+            non_overlap: false,
+            cons: Box::new(cons),
+        }
+    }
+
+    /// A safe horizon (in cycles) after which bounded evaluation of this
+    /// property is exact for its bounded part; unbounded operators add
+    /// the caller-provided slack on top.
+    pub fn temporal_depth(&self) -> u32 {
+        match self {
+            PropExpr::Seq(s) | PropExpr::Strong(s) | PropExpr::Weak(s) => {
+                s.max_length().unwrap_or(s.min_length())
+            }
+            PropExpr::Not(p) | PropExpr::SEventually(p) | PropExpr::Always(p) => {
+                p.temporal_depth()
+            }
+            PropExpr::Nexttime(p) => 1 + p.temporal_depth(),
+            PropExpr::And(a, b) | PropExpr::Or(a, b) => {
+                a.temporal_depth().max(b.temporal_depth())
+            }
+            PropExpr::Implication {
+                ante,
+                non_overlap,
+                cons,
+            } => {
+                let a = ante.max_length().unwrap_or(ante.min_length());
+                a + u32::from(*non_overlap) + cons.temporal_depth()
+            }
+            PropExpr::Until { lhs, rhs, .. } => lhs.temporal_depth().max(rhs.temporal_depth()),
+            PropExpr::IfElse { then, alt, .. } => then
+                .temporal_depth()
+                .max(alt.as_ref().map_or(0, |p| p.temporal_depth())),
+        }
+    }
+
+    /// `true` if the property contains an unbounded operator
+    /// (`##[m:$]`, `[*m:$]`, `s_eventually`, `until`, `always`).
+    pub fn has_unbounded(&self) -> bool {
+        fn seq_unbounded(s: &SeqExpr) -> bool {
+            match s {
+                SeqExpr::Expr(_) => false,
+                SeqExpr::Delay { lhs, hi, rhs, .. } => {
+                    hi.finite().is_none()
+                        || lhs.as_ref().is_some_and(|l| seq_unbounded(l))
+                        || seq_unbounded(rhs)
+                }
+                SeqExpr::Repeat { seq, hi, .. } => {
+                    hi.finite().is_none() || seq_unbounded(seq)
+                }
+                SeqExpr::And(a, b) | SeqExpr::Or(a, b) => seq_unbounded(a) || seq_unbounded(b),
+                SeqExpr::Throughout(_, s) => seq_unbounded(s),
+            }
+        }
+        match self {
+            PropExpr::Seq(s) | PropExpr::Strong(s) | PropExpr::Weak(s) => seq_unbounded(s),
+            PropExpr::Not(p) | PropExpr::Nexttime(p) => p.has_unbounded(),
+            PropExpr::SEventually(_) | PropExpr::Always(_) | PropExpr::Until { .. } => true,
+            PropExpr::And(a, b) | PropExpr::Or(a, b) => a.has_unbounded() || b.has_unbounded(),
+            PropExpr::Implication { ante, cons, .. } => {
+                seq_unbounded(ante) || cons.has_unbounded()
+            }
+            PropExpr::IfElse { then, alt, .. } => {
+                then.has_unbounded() || alt.as_ref().is_some_and(|p| p.has_unbounded())
+            }
+        }
+    }
+
+    /// Maximum sampled-value look-back in the property's booleans.
+    pub fn sampled_depth(&self) -> u32 {
+        match self {
+            PropExpr::Seq(s) | PropExpr::Strong(s) | PropExpr::Weak(s) => s.sampled_depth(),
+            PropExpr::Not(p)
+            | PropExpr::SEventually(p)
+            | PropExpr::Always(p)
+            | PropExpr::Nexttime(p) => p.sampled_depth(),
+            PropExpr::And(a, b) | PropExpr::Or(a, b) => a.sampled_depth().max(b.sampled_depth()),
+            PropExpr::Implication { ante, cons, .. } => {
+                ante.sampled_depth().max(cons.sampled_depth())
+            }
+            PropExpr::Until { lhs, rhs, .. } => lhs.sampled_depth().max(rhs.sampled_depth()),
+            PropExpr::IfElse { cond, then, alt } => cond
+                .sampled_depth()
+                .max(then.sampled_depth())
+                .max(alt.as_ref().map_or(0, |p| p.sampled_depth())),
+        }
+    }
+}
+
+/// A complete concurrent assertion
+/// (`label: assert property (@(posedge clk) disable iff (d) body);`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Assertion {
+    /// Optional label.
+    pub label: Option<String>,
+    /// Clocking event.
+    pub clock: ClockSpec,
+    /// Optional `disable iff` expression.
+    pub disable: Option<Expr>,
+    /// The property body.
+    pub body: PropExpr,
+}
+
+impl Assertion {
+    /// Builds an unlabeled assertion on `posedge clk` with no disable.
+    pub fn new(clock: ClockSpec, body: PropExpr) -> Assertion {
+        Assertion {
+            label: None,
+            clock,
+            disable: None,
+            body,
+        }
+    }
+
+    /// Sets the `disable iff` expression.
+    pub fn with_disable(mut self, e: Expr) -> Assertion {
+        self.disable = Some(e);
+        self
+    }
+
+    /// Sets the label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Assertion {
+        self.label = Some(label.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn e(name: &str) -> SeqExpr {
+        SeqExpr::Expr(Expr::ident(name))
+    }
+
+    #[test]
+    fn lengths_of_delays() {
+        // a ##2 b
+        let s = e("a").then(2, e("b"));
+        assert_eq!(s.min_length(), 2);
+        assert_eq!(s.max_length(), Some(2));
+        // a ##[1:$] b
+        let s = SeqExpr::Delay {
+            lhs: Some(Box::new(e("a"))),
+            lo: 1,
+            hi: DelayBound::Unbounded,
+            rhs: Box::new(e("b")),
+        };
+        assert_eq!(s.min_length(), 1);
+        assert_eq!(s.max_length(), None);
+    }
+
+    #[test]
+    fn temporal_depth_of_implication() {
+        // a |=> ##3 b : depth 4
+        let p = PropExpr::Implication {
+            ante: e("a"),
+            non_overlap: true,
+            cons: Box::new(PropExpr::Seq(SeqExpr::Delay {
+                lhs: None,
+                lo: 3,
+                hi: DelayBound::Finite(3),
+                rhs: Box::new(e("b")),
+            })),
+        };
+        assert_eq!(p.temporal_depth(), 4);
+        assert!(!p.has_unbounded());
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        let p = PropExpr::Implication {
+            ante: e("a"),
+            non_overlap: false,
+            cons: Box::new(PropExpr::Strong(SeqExpr::Delay {
+                lhs: None,
+                lo: 0,
+                hi: DelayBound::Unbounded,
+                rhs: Box::new(e("b")),
+            })),
+        };
+        assert!(p.has_unbounded());
+        assert!(PropExpr::SEventually(Box::new(PropExpr::expr(Expr::ident("x")))).has_unbounded());
+    }
+
+    #[test]
+    fn repeat_lengths() {
+        // a[*3]: spans 2 cycles (3 consecutive matches of a 1-cycle seq)
+        let s = SeqExpr::Repeat {
+            seq: Box::new(e("a")),
+            lo: 3,
+            hi: DelayBound::Finite(3),
+        };
+        assert_eq!(s.min_length(), 2);
+        assert_eq!(s.max_length(), Some(2));
+    }
+
+    #[test]
+    fn assertion_builder() {
+        let a = Assertion::new(ClockSpec::posedge("clk"), PropExpr::expr(Expr::ident("x")))
+            .with_disable(Expr::ident("tb_reset"))
+            .with_label("asrt");
+        assert_eq!(a.label.as_deref(), Some("asrt"));
+        assert!(a.disable.is_some());
+    }
+}

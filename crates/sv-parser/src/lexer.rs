@@ -1,0 +1,625 @@
+//! Tokenizer for the SystemVerilog subset.
+
+use crate::ParseError;
+
+/// Keywords recognized by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Module,
+    Endmodule,
+    Input,
+    Output,
+    Inout,
+    Wire,
+    Reg,
+    Logic,
+    Genvar,
+    Parameter,
+    Localparam,
+    Assign,
+    Always,
+    AlwaysFf,
+    AlwaysComb,
+    Begin,
+    End,
+    If,
+    Else,
+    Case,
+    Endcase,
+    Default,
+    For,
+    Generate,
+    Endgenerate,
+    Posedge,
+    Negedge,
+    Assert,
+    Assume,
+    Cover,
+    Property,
+    Disable,
+    Iff,
+    Strong,
+    Weak,
+    SEventually,
+    SUntil,
+    Until,
+    Nexttime,
+    Throughout,
+    Not,
+    And,
+    Or,
+    Initial,
+    Int,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "module" => Kw::Module,
+        "endmodule" => Kw::Endmodule,
+        "input" => Kw::Input,
+        "output" => Kw::Output,
+        "inout" => Kw::Inout,
+        "wire" => Kw::Wire,
+        "reg" => Kw::Reg,
+        "logic" => Kw::Logic,
+        "genvar" => Kw::Genvar,
+        "parameter" => Kw::Parameter,
+        "localparam" => Kw::Localparam,
+        "assign" => Kw::Assign,
+        "always" => Kw::Always,
+        "always_ff" => Kw::AlwaysFf,
+        "always_comb" => Kw::AlwaysComb,
+        "begin" => Kw::Begin,
+        "end" => Kw::End,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "case" => Kw::Case,
+        "endcase" => Kw::Endcase,
+        "default" => Kw::Default,
+        "for" => Kw::For,
+        "generate" => Kw::Generate,
+        "endgenerate" => Kw::Endgenerate,
+        "posedge" => Kw::Posedge,
+        "negedge" => Kw::Negedge,
+        "assert" => Kw::Assert,
+        "assume" => Kw::Assume,
+        "cover" => Kw::Cover,
+        "property" => Kw::Property,
+        "disable" => Kw::Disable,
+        "iff" => Kw::Iff,
+        "strong" => Kw::Strong,
+        "weak" => Kw::Weak,
+        "s_eventually" => Kw::SEventually,
+        "s_until" => Kw::SUntil,
+        "until" => Kw::Until,
+        "nexttime" => Kw::Nexttime,
+        "throughout" => Kw::Throughout,
+        "not" => Kw::Not,
+        "and" => Kw::And,
+        "or" => Kw::Or,
+        "initial" => Kw::Initial,
+        "int" => Kw::Int,
+        _ => return None,
+    })
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    Hash,
+    DoubleHash,
+    At,
+    Question,
+    Dollar,
+    // Operators
+    Bang,
+    Tilde,
+    Amp,
+    Pipe,
+    Caret,
+    TildeAmp,
+    TildePipe,
+    TildeCaret,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    AShl,
+    AShr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    CaseEq,
+    CaseNeq,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    OverlapImpl,
+    NonOverlapImpl,
+    PlusPlus,
+    MinusMinus,
+}
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// `$name` system identifier (name excludes the `$`).
+    SysIdent(String),
+    /// Integer literal, possibly sized and based.
+    Number {
+        /// Bit width if written.
+        width: Option<u32>,
+        /// Base char (`b`/`o`/`d`/`h`) if based.
+        base: Option<char>,
+        /// Value (2-state).
+        value: u128,
+    },
+    /// `'0` / `'1` fill literal.
+    Fill(bool),
+    /// Keyword.
+    Keyword(Kw),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Line (1-based).
+    pub line: usize,
+    /// Column (1-based).
+    pub col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.pos + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.col, msg)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let (l, c) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(ParseError::new(l, c, "unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number_body(&mut self, radix: u32) -> Result<u128, ParseError> {
+        let mut value: u128 = 0;
+        let mut any = false;
+        loop {
+            let c = self.peek();
+            if c == b'_' {
+                self.bump();
+                continue;
+            }
+            let d = (c as char).to_digit(radix.clamp(10, 16));
+            let d = match d {
+                Some(d) if (c as char).is_ascii_hexdigit() || c.is_ascii_digit() => {
+                    if d >= radix {
+                        if any {
+                            break;
+                        }
+                        return Err(self.err(format!("digit '{}' invalid for base {radix}", c as char)));
+                    }
+                    d
+                }
+                _ => break,
+            };
+            any = true;
+            self.bump();
+            value = value
+                .checked_mul(u128::from(radix))
+                .and_then(|v| v.checked_add(u128::from(d)))
+                .ok_or_else(|| self.err("integer literal overflows 128 bits"))?;
+        }
+        if !any {
+            return Err(self.err("expected digits"));
+        }
+        Ok(value)
+    }
+
+    /// Lexes the `'<base><digits>` or `'0`/`'1` part; `width` was already
+    /// consumed by the caller (or None).
+    fn lex_based(&mut self, width: Option<u32>) -> Result<Tok, ParseError> {
+        debug_assert_eq!(self.peek(), b'\'');
+        self.bump(); // '
+        let c = self.peek().to_ascii_lowercase();
+        match c {
+            b'b' | b'o' | b'd' | b'h' => {
+                self.bump();
+                let radix = match c {
+                    b'b' => 2,
+                    b'o' => 8,
+                    b'd' => 10,
+                    _ => 16,
+                };
+                let value = self.lex_number_body(radix)?;
+                Ok(Tok::Number {
+                    width,
+                    base: Some(c as char),
+                    value,
+                })
+            }
+            b'0' | b'1' if width.is_none() && !self.peek2().is_ascii_alphanumeric() => {
+                let v = self.bump() == b'1';
+                Ok(Tok::Fill(v))
+            }
+            _ => Err(self.err("malformed based literal")),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Spanned, ParseError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let mk = |tok| Spanned { tok, line, col };
+        if self.pos >= self.src.len() {
+            return Ok(mk(Tok::Eof));
+        }
+        let c = self.peek();
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                self.bump();
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| self.err("non-utf8 identifier"))?;
+            return Ok(mk(match keyword(s) {
+                Some(k) => Tok::Keyword(k),
+                None => Tok::Ident(s.to_string()),
+            }));
+        }
+        // System identifiers: `$name`, or a bare `$` (unbounded marker).
+        if c == b'$' {
+            self.bump();
+            if self.peek().is_ascii_alphabetic() || self.peek() == b'_' {
+                let start = self.pos;
+                while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                    self.bump();
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-utf8 identifier"))?;
+                return Ok(mk(Tok::SysIdent(s.to_string())));
+            }
+            return Ok(mk(Tok::Punct(Punct::Dollar)));
+        }
+        // Numbers: `123`, `8'hFF`, `123_456`.
+        if c.is_ascii_digit() {
+            let value = self.lex_number_body(10)?;
+            if self.peek() == b'\'' && matches!(self.peek2().to_ascii_lowercase(), b'b' | b'o' | b'd' | b'h')
+            {
+                let width = u32::try_from(value)
+                    .map_err(|_| self.err("literal width too large"))?;
+                return Ok(mk(self.lex_based(Some(width))?));
+            }
+            return Ok(mk(Tok::Number {
+                width: None,
+                base: None,
+                value,
+            }));
+        }
+        // `'...` literals.
+        if c == b'\'' {
+            return Ok(mk(self.lex_based(None)?));
+        }
+        // Operators — longest match first.
+        let tok = {
+            let (a, b, d) = (c, self.peek2(), self.peek3());
+            macro_rules! take {
+                ($n:expr, $p:expr) => {{
+                    for _ in 0..$n {
+                        self.bump();
+                    }
+                    Tok::Punct($p)
+                }};
+            }
+            match (a, b, d) {
+                (b'<', b'<', b'<') => take!(3, Punct::AShl),
+                (b'>', b'>', b'>') => take!(3, Punct::AShr),
+                (b'=', b'=', b'=') => take!(3, Punct::CaseEq),
+                (b'!', b'=', b'=') => take!(3, Punct::CaseNeq),
+                (b'|', b'-', b'>') => take!(3, Punct::OverlapImpl),
+                (b'|', b'=', b'>') => take!(3, Punct::NonOverlapImpl),
+                (b'<', b'<', _) => take!(2, Punct::Shl),
+                (b'>', b'>', _) => take!(2, Punct::Shr),
+                (b'=', b'=', _) => take!(2, Punct::EqEq),
+                (b'!', b'=', _) => take!(2, Punct::NotEq),
+                (b'<', b'=', _) => take!(2, Punct::Le),
+                (b'>', b'=', _) => take!(2, Punct::Ge),
+                (b'&', b'&', _) => take!(2, Punct::AmpAmp),
+                (b'|', b'|', _) => take!(2, Punct::PipePipe),
+                (b'~', b'&', _) => take!(2, Punct::TildeAmp),
+                (b'~', b'|', _) => take!(2, Punct::TildePipe),
+                (b'~', b'^', _) => take!(2, Punct::TildeCaret),
+                (b'^', b'~', _) => take!(2, Punct::TildeCaret),
+                (b'#', b'#', _) => take!(2, Punct::DoubleHash),
+                (b'+', b'+', _) => take!(2, Punct::PlusPlus),
+                (b'-', b'-', _) => take!(2, Punct::MinusMinus),
+                (b'(', ..) => take!(1, Punct::LParen),
+                (b')', ..) => take!(1, Punct::RParen),
+                (b'[', ..) => take!(1, Punct::LBracket),
+                (b']', ..) => take!(1, Punct::RBracket),
+                (b'{', ..) => take!(1, Punct::LBrace),
+                (b'}', ..) => take!(1, Punct::RBrace),
+                (b';', ..) => take!(1, Punct::Semi),
+                (b':', ..) => take!(1, Punct::Colon),
+                (b',', ..) => take!(1, Punct::Comma),
+                (b'.', ..) => take!(1, Punct::Dot),
+                (b'#', ..) => take!(1, Punct::Hash),
+                (b'@', ..) => take!(1, Punct::At),
+                (b'?', ..) => take!(1, Punct::Question),
+                (b'!', ..) => take!(1, Punct::Bang),
+                (b'~', ..) => take!(1, Punct::Tilde),
+                (b'&', ..) => take!(1, Punct::Amp),
+                (b'|', ..) => take!(1, Punct::Pipe),
+                (b'^', ..) => take!(1, Punct::Caret),
+                (b'+', ..) => take!(1, Punct::Plus),
+                (b'-', ..) => take!(1, Punct::Minus),
+                (b'*', ..) => take!(1, Punct::Star),
+                (b'/', ..) => take!(1, Punct::Slash),
+                (b'%', ..) => take!(1, Punct::Percent),
+                (b'<', ..) => take!(1, Punct::Lt),
+                (b'>', ..) => take!(1, Punct::Gt),
+                (b'=', ..) => take!(1, Punct::Assign),
+                _ => {
+                    return Err(self.err(format!("unexpected character '{}'", c as char)));
+                }
+            }
+        };
+        Ok(mk(tok))
+    }
+}
+
+/// Tokenizes preprocessed source text.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unknown characters, malformed literals, or
+/// unterminated comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let eof = t.tok == Tok::Eof;
+        out.push(t);
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks("123"),
+            vec![
+                Tok::Number {
+                    width: None,
+                    base: None,
+                    value: 123
+                },
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("8'hFF"),
+            vec![
+                Tok::Number {
+                    width: Some(8),
+                    base: Some('h'),
+                    value: 255
+                },
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("'d0"),
+            vec![
+                Tok::Number {
+                    width: None,
+                    base: Some('d'),
+                    value: 0
+                },
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("'1"), vec![Tok::Fill(true), Tok::Eof]);
+        assert_eq!(toks("'0"), vec![Tok::Fill(false), Tok::Eof]);
+        assert_eq!(
+            toks("2'b1_0"),
+            vec![
+                Tok::Number {
+                    width: Some(2),
+                    base: Some('b'),
+                    value: 2
+                },
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_operators() {
+        assert_eq!(
+            toks("<<< << < <= === == = |-> |=> || |"),
+            vec![
+                Tok::Punct(Punct::AShl),
+                Tok::Punct(Punct::Shl),
+                Tok::Punct(Punct::Lt),
+                Tok::Punct(Punct::Le),
+                Tok::Punct(Punct::CaseEq),
+                Tok::Punct(Punct::EqEq),
+                Tok::Punct(Punct::Assign),
+                Tok::Punct(Punct::OverlapImpl),
+                Tok::Punct(Punct::NonOverlapImpl),
+                Tok::Punct(Punct::PipePipe),
+                Tok::Punct(Punct::Pipe),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n /* block\n comment */ b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn sys_idents_and_dollar() {
+        assert_eq!(
+            toks("$countones(x) ##[0:$]"),
+            vec![
+                Tok::SysIdent("countones".into()),
+                Tok::Punct(Punct::LParen),
+                Tok::Ident("x".into()),
+                Tok::Punct(Punct::RParen),
+                Tok::Punct(Punct::DoubleHash),
+                Tok::Punct(Punct::LBracket),
+                Tok::Number {
+                    width: None,
+                    base: None,
+                    value: 0
+                },
+                Tok::Punct(Punct::Colon),
+                Tok::Punct(Punct::Dollar),
+                Tok::Punct(Punct::RBracket),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            toks("module mymodule"),
+            vec![
+                Tok::Keyword(Kw::Module),
+                Tok::Ident("mymodule".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn xnor_both_spellings() {
+        assert_eq!(
+            toks("~^ ^~"),
+            vec![
+                Tok::Punct(Punct::TildeCaret),
+                Tok::Punct(Punct::TildeCaret),
+                Tok::Eof
+            ]
+        );
+    }
+}

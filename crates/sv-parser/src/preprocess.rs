@@ -1,0 +1,111 @@
+//! A minimal `` `define `` preprocessor.
+//!
+//! Handles object-like macros (`` `define WIDTH 32 ``) and their uses
+//! (`` `WIDTH ``), which is all the FVEval corpora require. Directives
+//! such as `` `timescale `` are dropped; unknown macro uses are errors
+//! (mirroring the elaboration failure a real tool reports).
+
+use crate::ParseError;
+use std::collections::HashMap;
+
+/// Expands `` `define `` macros and strips directives.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for uses of undefined macros.
+pub fn preprocess(src: &str) -> Result<String, ParseError> {
+    let mut defines: HashMap<String, String> = HashMap::new();
+    let mut out = String::with_capacity(src.len());
+    for (ln, line) in src.lines().enumerate() {
+        let ln = ln + 1;
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("`define") {
+            let rest = rest.trim_start();
+            let name_end = rest
+                .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                .unwrap_or(rest.len());
+            let name = &rest[..name_end];
+            if name.is_empty() {
+                return Err(ParseError::new(ln, 1, "`define without a name"));
+            }
+            let body = rest[name_end..].trim().to_string();
+            defines.insert(name.to_string(), body);
+            out.push('\n'); // keep line numbering stable
+            continue;
+        }
+        if trimmed.starts_with("`timescale")
+            || trimmed.starts_with("`default_nettype")
+            || trimmed.starts_with("`resetall")
+        {
+            out.push('\n');
+            continue;
+        }
+        // Expand macro uses in the line.
+        let mut rest = line;
+        loop {
+            match rest.find('`') {
+                None => {
+                    out.push_str(rest);
+                    break;
+                }
+                Some(i) => {
+                    out.push_str(&rest[..i]);
+                    let after = &rest[i + 1..];
+                    let name_end = after
+                        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+                        .unwrap_or(after.len());
+                    let name = &after[..name_end];
+                    match defines.get(name) {
+                        Some(body) => out.push_str(body),
+                        None => {
+                            return Err(ParseError::new(
+                                ln,
+                                i + 1,
+                                format!("use of undefined macro `{name}"),
+                            ))
+                        }
+                    }
+                    rest = &after[name_end..];
+                }
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_expand() {
+        let s = preprocess("`define WIDTH 32\nparameter W = `WIDTH;\n").unwrap();
+        assert!(s.contains("parameter W = 32;"));
+    }
+
+    #[test]
+    fn undefined_macro_is_error() {
+        assert!(preprocess("x = `NOPE;").is_err());
+    }
+
+    #[test]
+    fn line_numbers_preserved() {
+        let s = preprocess("`define A 1\n\nx\n").unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2], "x");
+    }
+
+    #[test]
+    fn timescale_dropped() {
+        let s = preprocess("`timescale 1ns/1ps\nmodule m;\n").unwrap();
+        assert!(!s.contains("timescale"));
+        assert!(s.contains("module m;"));
+    }
+
+    #[test]
+    fn redefinition_uses_latest() {
+        let s = preprocess("`define W 8\n`define W 16\np = `W;\n").unwrap();
+        assert!(s.contains("p = 16;"));
+    }
+}

@@ -1,0 +1,1695 @@
+//! Elaboration: AST modules to a flat word-level [`Netlist`].
+//!
+//! The pipeline is:
+//!
+//! 1. **Flatten** — resolve parameters and genvars to constants, unroll
+//!    generate loops, inline module instances with hierarchical names,
+//!    desugar `case` into `if` chains, and resolve every assignment
+//!    target to a `(net, bit-range)` pair.
+//! 2. **Pass A** — discover every driven range of every net and create
+//!    one *atom* per driver (input / combinational / register).
+//!    Undriven ranges become free inputs (cut points).
+//! 3. **Pass B** — elaborate expressions to [`Nx`] and symbolically
+//!    execute processes (if/else merging via muxes) to produce each
+//!    atom's definition; extract register reset values by partial
+//!    evaluation under the asserted reset.
+
+use crate::netexpr::{mask, Nx, NxBin, NxRed};
+use crate::netlist::{AtomDef, AtomId, AtomKind, NetBinding, Netlist, Seg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use sv_ast::{
+    BinaryOp, EdgeKind, Expr, LValue, Literal, Module, ModuleItem, PortDir, SourceFile, Stmt,
+    SysFunc, UnaryOp,
+};
+
+/// Elaboration failure (semantic error after a successful parse).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ElabError {
+    fn new(message: impl Into<String>) -> ElabError {
+        ElabError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.message)
+    }
+}
+
+impl Error for ElabError {}
+
+type Result<T> = std::result::Result<T, ElabError>;
+
+const MAX_WIDTH: u32 = 128;
+const MAX_GENERATE_ITERS: u32 = 10_000;
+
+// ---------------------------------------------------------------------
+// Flattening
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct DeclInfo {
+    flat: String,
+    width: u32,
+    elem_width: u32,
+    lsb: u32,
+    /// Unpacked element count (arrays), if any.
+    elems: Option<u32>,
+    is_top_input: bool,
+}
+
+#[derive(Debug, Clone)]
+enum ScopeEntry {
+    Const(u128),
+    Net(DeclInfo),
+}
+
+#[derive(Debug, Clone)]
+struct FlatTarget {
+    net: String,
+    lo: u32,
+    width: u32,
+}
+
+#[derive(Debug, Clone)]
+enum FlatStmt {
+    Block(Vec<FlatStmt>),
+    If {
+        cond: Expr,
+        then: Box<FlatStmt>,
+        alt: Option<Box<FlatStmt>>,
+    },
+    Assign {
+        target: FlatTarget,
+        rhs: Expr,
+    },
+    Empty,
+}
+
+#[derive(Debug, Clone)]
+enum FlatItem {
+    Decl(DeclInfo),
+    Assign { target: FlatTarget, rhs: Expr },
+    Proc { clocked: bool, body: FlatStmt },
+}
+
+#[derive(Debug, Default)]
+struct Flattener {
+    items: Vec<FlatItem>,
+    clock_name: Option<String>,
+    reset_name: Option<String>,
+    warnings: Vec<String>,
+    /// Parameter values of the top module (prefix empty), in order.
+    top_params: Vec<(String, u128)>,
+}
+
+impl Flattener {
+    fn flatten_module(
+        &mut self,
+        file: &SourceFile,
+        module: &Module,
+        prefix: &str,
+        param_overrides: &HashMap<String, u128>,
+        extra_items: &[ModuleItem],
+    ) -> Result<HashMap<String, ScopeEntry>> {
+        let mut scope: HashMap<String, ScopeEntry> = HashMap::new();
+        // Parameters (defaults overridden by instance bindings).
+        for p in &module.params {
+            let v = match param_overrides.get(&p.name) {
+                Some(&v) if !p.local => v,
+                _ => const_eval_scoped(&p.value, &scope)?,
+            };
+            if prefix.is_empty() {
+                self.top_params.push((p.name.clone(), v));
+            }
+            scope.insert(p.name.clone(), ScopeEntry::Const(v));
+        }
+        // Port declarations.
+        for port in &module.ports {
+            let (width, lsb) = match &port.range {
+                Some(r) => range_width(r, &scope)?,
+                None => (1, 0),
+            };
+            let info = DeclInfo {
+                flat: format!("{prefix}{}", port.name),
+                width,
+                elem_width: 1,
+                lsb,
+                elems: None,
+                is_top_input: prefix.is_empty() && port.dir == PortDir::Input,
+            };
+            scope.insert(port.name.clone(), ScopeEntry::Net(info.clone()));
+            self.items.push(FlatItem::Decl(info));
+        }
+        let items: Vec<&ModuleItem> = module.items.iter().chain(extra_items.iter()).collect();
+        self.flatten_items(file, &items, prefix, &mut scope)?;
+        Ok(scope)
+    }
+
+    fn flatten_items(
+        &mut self,
+        file: &SourceFile,
+        items: &[&ModuleItem],
+        prefix: &str,
+        scope: &mut HashMap<String, ScopeEntry>,
+    ) -> Result<()> {
+        for item in items {
+            self.flatten_item(file, item, prefix, scope)?;
+        }
+        Ok(())
+    }
+
+    fn flatten_item(
+        &mut self,
+        file: &SourceFile,
+        item: &ModuleItem,
+        prefix: &str,
+        scope: &mut HashMap<String, ScopeEntry>,
+    ) -> Result<()> {
+        match item {
+            ModuleItem::Param(p) => {
+                let v = const_eval_scoped(&p.value, scope)?;
+                if prefix.is_empty() {
+                    self.top_params.push((p.name.clone(), v));
+                }
+                scope.insert(p.name.clone(), ScopeEntry::Const(v));
+            }
+            ModuleItem::Port(p) => {
+                // In-body port decl inside an instantiated module.
+                let (width, lsb) = match &p.range {
+                    Some(r) => range_width(r, scope)?,
+                    None => (1, 0),
+                };
+                let info = DeclInfo {
+                    flat: format!("{prefix}{}", p.name),
+                    width,
+                    elem_width: 1,
+                    lsb,
+                    elems: None,
+                    is_top_input: prefix.is_empty() && p.dir == PortDir::Input,
+                };
+                scope.insert(p.name.clone(), ScopeEntry::Net(info.clone()));
+                self.items.push(FlatItem::Decl(info));
+            }
+            ModuleItem::Net(n) => {
+                if n.kind == sv_ast::NetKind::Genvar {
+                    // Bare genvar declaration; value assigned by loops.
+                    return Ok(());
+                }
+                let mut width = 1u32;
+                let mut elem_width = 1u32;
+                let mut lsb = 0u32;
+                if !n.packed.is_empty() {
+                    let (w0, l0) = range_width(&n.packed[0], scope)?;
+                    lsb = l0;
+                    let mut inner = 1u32;
+                    for r in &n.packed[1..] {
+                        let (w, _) = range_width(r, scope)?;
+                        inner = inner
+                            .checked_mul(w)
+                            .ok_or_else(|| ElabError::new("packed dimensions overflow"))?;
+                    }
+                    elem_width = inner;
+                    width = w0
+                        .checked_mul(inner)
+                        .ok_or_else(|| ElabError::new("packed dimensions overflow"))?;
+                }
+                if width > MAX_WIDTH && n.packed.len() == 1 {
+                    return Err(ElabError::new(format!(
+                        "net '{}' wider than {MAX_WIDTH} bits",
+                        n.name
+                    )));
+                }
+                let elems = if n.unpacked.is_empty() {
+                    None
+                } else {
+                    let mut count = 1u32;
+                    for r in &n.unpacked {
+                        let (w, _) = range_width(r, scope)?;
+                        count = count
+                            .checked_mul(w)
+                            .ok_or_else(|| ElabError::new("unpacked dimensions overflow"))?;
+                    }
+                    Some(count)
+                };
+                let info = DeclInfo {
+                    flat: format!("{prefix}{}", n.name),
+                    width,
+                    elem_width,
+                    lsb,
+                    elems,
+                    is_top_input: false,
+                };
+                scope.insert(n.name.clone(), ScopeEntry::Net(info.clone()));
+                self.items.push(FlatItem::Decl(info.clone()));
+                if let Some(init) = &n.init {
+                    let rhs = subst_expr(init, scope);
+                    self.items.push(FlatItem::Assign {
+                        target: FlatTarget {
+                            net: info.flat,
+                            lo: 0,
+                            width: info.width,
+                        },
+                        rhs,
+                    });
+                }
+            }
+            ModuleItem::ContAssign(a) => {
+                let target = self.resolve_lvalue(&a.lhs, scope)?;
+                let rhs = subst_expr(&a.rhs, scope);
+                self.items.push(FlatItem::Assign { target, rhs });
+            }
+            ModuleItem::AlwaysComb(body) => {
+                let fb = self.flatten_stmt(body, scope)?;
+                self.items.push(FlatItem::Proc {
+                    clocked: false,
+                    body: fb,
+                });
+            }
+            ModuleItem::AlwaysFf { events, body } | ModuleItem::AlwaysAt { events, body } => {
+                let mut clocked = false;
+                for ev in events {
+                    match ev.edge {
+                        EdgeKind::Pos => {
+                            clocked = true;
+                            if self.clock_name.is_none() {
+                                self.clock_name = Some(ev.signal.clone());
+                            }
+                        }
+                        EdgeKind::Neg => {
+                            // Async active-low reset by convention.
+                            if self.reset_name.is_none() {
+                                self.reset_name = Some(ev.signal.clone());
+                            }
+                        }
+                    }
+                }
+                if !clocked {
+                    return Err(ElabError::new(
+                        "always block without a posedge clock is not supported",
+                    ));
+                }
+                let fb = self.flatten_stmt(body, scope)?;
+                self.items.push(FlatItem::Proc { clocked: true, body: fb });
+            }
+            ModuleItem::GenerateFor {
+                var,
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                let mut value = const_eval_scoped(init, scope)?;
+                let mut iters = 0u32;
+                loop {
+                    let mut inner = scope.clone();
+                    inner.insert(var.clone(), ScopeEntry::Const(value));
+                    if const_eval_scoped(cond, &inner)? == 0 {
+                        break;
+                    }
+                    let body_refs: Vec<&ModuleItem> = body.iter().collect();
+                    self.flatten_items(file, &body_refs, prefix, &mut inner)?;
+                    // Copy back any nets declared at outer scope? Generate
+                    // bodies declare per-iteration nets which stay local;
+                    // drivers of outer nets were already recorded.
+                    value = const_eval_scoped(step, &inner)?;
+                    iters += 1;
+                    if iters > MAX_GENERATE_ITERS {
+                        return Err(ElabError::new("generate loop exceeds iteration limit"));
+                    }
+                }
+            }
+            ModuleItem::Instance(inst) => {
+                let child = file.module(&inst.module).ok_or_else(|| {
+                    ElabError::new(format!("unknown module '{}'", inst.module))
+                })?;
+                let mut overrides = HashMap::new();
+                for (name, e) in &inst.params {
+                    overrides.insert(name.clone(), const_eval_scoped(&subst_expr(e, scope), &HashMap::new())?);
+                }
+                let child_prefix = format!("{prefix}{}.", inst.name);
+                let child_scope =
+                    self.flatten_module(file, child, &child_prefix, &overrides, &[])?;
+                // Port connections become assigns in the right direction.
+                for (pname, conn) in &inst.conns {
+                    let port = child.port(pname).ok_or_else(|| {
+                        ElabError::new(format!(
+                            "module '{}' has no port '{pname}'",
+                            inst.module
+                        ))
+                    })?;
+                    let child_info = match child_scope.get(pname) {
+                        Some(ScopeEntry::Net(i)) => i.clone(),
+                        _ => {
+                            return Err(ElabError::new(format!(
+                                "port '{pname}' did not elaborate to a net"
+                            )))
+                        }
+                    };
+                    match port.dir {
+                        PortDir::Input => {
+                            let rhs = subst_expr(conn, scope);
+                            self.items.push(FlatItem::Assign {
+                                target: FlatTarget {
+                                    net: child_info.flat,
+                                    lo: 0,
+                                    width: child_info.width,
+                                },
+                                rhs,
+                            });
+                        }
+                        PortDir::Output => {
+                            let lv = expr_as_lvalue(conn).ok_or_else(|| {
+                                ElabError::new(format!(
+                                    "output port '{pname}' must connect to an assignable \
+                                     expression"
+                                ))
+                            })?;
+                            let target = self.resolve_lvalue(&lv, scope)?;
+                            self.items.push(FlatItem::Assign {
+                                target,
+                                rhs: Expr::Ident(child_info.flat),
+                            });
+                        }
+                        PortDir::Inout => {
+                            return Err(ElabError::new("inout ports are not supported"))
+                        }
+                    }
+                }
+            }
+            ModuleItem::Assertion(_) => {
+                // Assertions are collected by the caller (fv-core); they do
+                // not contribute netlist logic.
+            }
+        }
+        Ok(())
+    }
+
+    fn flatten_stmt(
+        &mut self,
+        stmt: &Stmt,
+        scope: &HashMap<String, ScopeEntry>,
+    ) -> Result<FlatStmt> {
+        Ok(match stmt {
+            Stmt::Block(stmts) => FlatStmt::Block(
+                stmts
+                    .iter()
+                    .map(|s| self.flatten_stmt(s, scope))
+                    .collect::<Result<_>>()?,
+            ),
+            Stmt::If { cond, then, alt } => FlatStmt::If {
+                cond: subst_expr(cond, scope),
+                then: Box::new(self.flatten_stmt(then, scope)?),
+                alt: match alt {
+                    Some(a) => Some(Box::new(self.flatten_stmt(a, scope)?)),
+                    None => None,
+                },
+            },
+            Stmt::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                // Desugar to an if/else chain.
+                let mut acc = match default {
+                    Some(d) => self.flatten_stmt(d, scope)?,
+                    None => FlatStmt::Empty,
+                };
+                for (labels, body) in arms.iter().rev() {
+                    let mut cond: Option<Expr> = None;
+                    for l in labels {
+                        let eq = Expr::bin(BinaryOp::Eq, subject.clone(), l.clone());
+                        cond = Some(match cond {
+                            None => eq,
+                            Some(c) => c.lor(eq),
+                        });
+                    }
+                    let cond = subst_expr(
+                        &cond.ok_or_else(|| ElabError::new("case arm without labels"))?,
+                        scope,
+                    );
+                    acc = FlatStmt::If {
+                        cond,
+                        then: Box::new(self.flatten_stmt(body, scope)?),
+                        alt: Some(Box::new(acc)),
+                    };
+                }
+                acc
+            }
+            Stmt::NonBlocking(lv, rhs) | Stmt::Blocking(lv, rhs) => FlatStmt::Assign {
+                target: self.resolve_lvalue(lv, scope)?,
+                rhs: subst_expr(rhs, scope),
+            },
+            Stmt::Empty => FlatStmt::Empty,
+        })
+    }
+
+    fn resolve_lvalue(
+        &mut self,
+        lv: &LValue,
+        scope: &HashMap<String, ScopeEntry>,
+    ) -> Result<FlatTarget> {
+        match lv {
+            LValue::Ident(name) => {
+                let info = lookup_net(scope, name)?;
+                Ok(FlatTarget {
+                    net: info.flat.clone(),
+                    lo: 0,
+                    width: info.width,
+                })
+            }
+            LValue::Index(name, idx) => {
+                let info = lookup_net(scope, name)?;
+                let i = const_eval_scoped(&subst_expr(idx, scope), &HashMap::new())
+                    .map_err(|_| {
+                        ElabError::new(format!(
+                            "assignment index into '{name}' must be an elaboration-time constant"
+                        ))
+                    })?;
+                if info.elems.is_some() {
+                    // Array element: its own net.
+                    Ok(FlatTarget {
+                        net: format!("{}[{i}]", info.flat),
+                        lo: 0,
+                        width: info.width,
+                    })
+                } else {
+                    let i = u32::try_from(i)
+                        .map_err(|_| ElabError::new("index too large"))?
+                        .checked_sub(info.lsb)
+                        .ok_or_else(|| ElabError::new(format!("index below lsb of '{name}'")))?;
+                    let lo = i * info.elem_width;
+                    if lo + info.elem_width > info.width {
+                        return Err(ElabError::new(format!("index out of range for '{name}'")));
+                    }
+                    Ok(FlatTarget {
+                        net: info.flat.clone(),
+                        lo,
+                        width: info.elem_width,
+                    })
+                }
+            }
+            LValue::Slice(name, hi, lo) => {
+                let info = lookup_net(scope, name)?;
+                let hi = const_eval_scoped(&subst_expr(hi, scope), &HashMap::new())?;
+                let lo = const_eval_scoped(&subst_expr(lo, scope), &HashMap::new())?;
+                let (hi, lo) = (
+                    u32::try_from(hi).map_err(|_| ElabError::new("slice bound too large"))?,
+                    u32::try_from(lo).map_err(|_| ElabError::new("slice bound too large"))?,
+                );
+                if lo > hi || hi - info.lsb >= info.width {
+                    return Err(ElabError::new(format!("slice out of range for '{name}'")));
+                }
+                Ok(FlatTarget {
+                    net: info.flat.clone(),
+                    lo: lo - info.lsb,
+                    width: hi - lo + 1,
+                })
+            }
+            LValue::Concat(_) => Err(ElabError::new(
+                "concatenation assignment targets are not supported",
+            )),
+        }
+    }
+}
+
+fn lookup_net<'a>(
+    scope: &'a HashMap<String, ScopeEntry>,
+    name: &str,
+) -> Result<&'a DeclInfo> {
+    match scope.get(name) {
+        Some(ScopeEntry::Net(info)) => Ok(info),
+        Some(ScopeEntry::Const(_)) => Err(ElabError::new(format!(
+            "'{name}' is a parameter, not an assignable net"
+        ))),
+        None => Err(ElabError::new(format!("assignment to undeclared net '{name}'"))),
+    }
+}
+
+fn expr_as_lvalue(e: &Expr) -> Option<LValue> {
+    match e {
+        Expr::Ident(n) => Some(LValue::Ident(n.clone())),
+        Expr::Index(b, i) => match b.as_ref() {
+            Expr::Ident(n) => Some(LValue::Index(n.clone(), (**i).clone())),
+            _ => None,
+        },
+        Expr::Slice(b, h, l) => match b.as_ref() {
+            Expr::Ident(n) => Some(LValue::Slice(n.clone(), (**h).clone(), (**l).clone())),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Substitutes parameters/genvars with literal values and nets with their
+/// flat names. Unknown identifiers pass through (reported later).
+fn subst_expr(e: &Expr, scope: &HashMap<String, ScopeEntry>) -> Expr {
+    match e {
+        Expr::Ident(name) => match scope.get(name) {
+            Some(ScopeEntry::Const(v)) => Expr::Literal(Literal::dec(*v)),
+            Some(ScopeEntry::Net(info)) => Expr::Ident(info.flat.clone()),
+            None => e.clone(),
+        },
+        Expr::Literal(_) => e.clone(),
+        Expr::Unary(op, i) => Expr::Unary(*op, Box::new(subst_expr(i, scope))),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(subst_expr(a, scope)),
+            Box::new(subst_expr(b, scope)),
+        ),
+        Expr::Ternary(c, t, f) => Expr::Ternary(
+            Box::new(subst_expr(c, scope)),
+            Box::new(subst_expr(t, scope)),
+            Box::new(subst_expr(f, scope)),
+        ),
+        Expr::Concat(es) => Expr::Concat(es.iter().map(|x| subst_expr(x, scope)).collect()),
+        Expr::Replicate(n, x) => Expr::Replicate(
+            Box::new(subst_expr(n, scope)),
+            Box::new(subst_expr(x, scope)),
+        ),
+        Expr::Index(b, i) => Expr::Index(
+            Box::new(subst_expr(b, scope)),
+            Box::new(subst_expr(i, scope)),
+        ),
+        Expr::Slice(b, h, l) => Expr::Slice(
+            Box::new(subst_expr(b, scope)),
+            Box::new(subst_expr(h, scope)),
+            Box::new(subst_expr(l, scope)),
+        ),
+        Expr::SysCall(f, args) => {
+            Expr::SysCall(*f, args.iter().map(|x| subst_expr(x, scope)).collect())
+        }
+    }
+}
+
+fn range_width(r: &sv_ast::Range, scope: &HashMap<String, ScopeEntry>) -> Result<(u32, u32)> {
+    let msb = const_eval_scoped(&r.msb, scope)?;
+    let lsb = const_eval_scoped(&r.lsb, scope)?;
+    if lsb > msb {
+        return Err(ElabError::new("descending ranges must have msb >= lsb"));
+    }
+    let w = u32::try_from(msb - lsb + 1).map_err(|_| ElabError::new("range too wide"))?;
+    if w > MAX_WIDTH {
+        return Err(ElabError::new(format!("range wider than {MAX_WIDTH} bits")));
+    }
+    Ok((w, u32::try_from(lsb).map_err(|_| ElabError::new("lsb too large"))?))
+}
+
+/// Elaboration-time constant evaluation (parameters, genvar bounds,
+/// indices). Identifiers must resolve to constants in `scope`.
+fn const_eval_scoped(
+    e: &Expr,
+    scope: &HashMap<String, ScopeEntry>,
+) -> Result<u128> {
+    Ok(match e {
+        Expr::Ident(name) => match scope.get(name) {
+            Some(ScopeEntry::Const(v)) => *v,
+            _ => {
+                return Err(ElabError::new(format!(
+                    "'{name}' is not an elaboration-time constant"
+                )))
+            }
+        },
+        Expr::Literal(Literal::Int { value, .. }) => *value,
+        Expr::Literal(Literal::Fill(_)) => {
+            return Err(ElabError::new("fill literal in constant context"))
+        }
+        Expr::Unary(op, i) => {
+            let v = const_eval_scoped(i, scope)?;
+            match op {
+                UnaryOp::LogNot => u128::from(v == 0),
+                UnaryOp::BitNot => !v,
+                UnaryOp::Neg => v.wrapping_neg(),
+                UnaryOp::Pos => v,
+                UnaryOp::RedOr => u128::from(v != 0),
+                UnaryOp::RedAnd => {
+                    return Err(ElabError::new(
+                        "reduction-and needs a width; not allowed in constants",
+                    ))
+                }
+                UnaryOp::RedXor => u128::from(v.count_ones() % 2 == 1),
+                _ => return Err(ElabError::new("unsupported unary op in constant")),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let x = const_eval_scoped(a, scope)?;
+            let y = const_eval_scoped(b, scope)?;
+            match op {
+                BinaryOp::Add => x.wrapping_add(y),
+                BinaryOp::Sub => x.wrapping_sub(y),
+                BinaryOp::Mul => x.wrapping_mul(y),
+                BinaryOp::Div => {
+                    if y == 0 {
+                        return Err(ElabError::new("division by zero in constant"));
+                    }
+                    x / y
+                }
+                BinaryOp::Mod => {
+                    if y == 0 {
+                        return Err(ElabError::new("modulo by zero in constant"));
+                    }
+                    x % y
+                }
+                BinaryOp::Shl | BinaryOp::AShl => x.checked_shl(y as u32).unwrap_or(0),
+                BinaryOp::Shr | BinaryOp::AShr => x.checked_shr(y as u32).unwrap_or(0),
+                BinaryOp::BitAnd => x & y,
+                BinaryOp::BitOr => x | y,
+                BinaryOp::BitXor => x ^ y,
+                BinaryOp::BitXnor => !(x ^ y),
+                BinaryOp::Eq | BinaryOp::CaseEq => u128::from(x == y),
+                BinaryOp::Neq | BinaryOp::CaseNeq => u128::from(x != y),
+                BinaryOp::Lt => u128::from(x < y),
+                BinaryOp::Le => u128::from(x <= y),
+                BinaryOp::Gt => u128::from(x > y),
+                BinaryOp::Ge => u128::from(x >= y),
+                BinaryOp::LogAnd => u128::from(x != 0 && y != 0),
+                BinaryOp::LogOr => u128::from(x != 0 || y != 0),
+            }
+        }
+        Expr::Ternary(c, t, f) => {
+            if const_eval_scoped(c, scope)? != 0 {
+                const_eval_scoped(t, scope)?
+            } else {
+                const_eval_scoped(f, scope)?
+            }
+        }
+        Expr::SysCall(SysFunc::Clog2, args) if args.len() == 1 => {
+            let v = const_eval_scoped(&args[0], scope)?;
+            u128::from(clog2(v))
+        }
+        _ => {
+            return Err(ElabError::new(
+                "expression is not an elaboration-time constant",
+            ))
+        }
+    })
+}
+
+fn clog2(v: u128) -> u32 {
+    if v <= 1 {
+        0
+    } else {
+        128 - (v - 1).leading_zeros()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Netlist construction (passes A and B)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriverKind {
+    Comb,
+    Reg,
+}
+
+#[derive(Debug)]
+struct Builder {
+    netlist: Netlist,
+    /// (net, lo, width) -> atom
+    atom_of_range: HashMap<(String, u32, u32), AtomId>,
+    /// Declared nets pending binding construction.
+    decls: HashMap<String, DeclInfo>,
+    decl_order: Vec<String>,
+    drivers: HashMap<String, Vec<(u32, u32, DriverKind, usize)>>,
+}
+
+/// Elaborates `top` from `file` into a flat netlist.
+///
+/// # Errors
+///
+/// Returns [`ElabError`] on semantic violations: unknown modules or
+/// signals, non-constant indices, multiple drivers, width overflows,
+/// combinational cycles, and unsupported constructs.
+pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist> {
+    elaborate_with_extras(file, top, &[])
+}
+
+/// Elaborates `top` with extra module items appended to its body —
+/// the Design2SVA evaluation flow, where the model's response snippet
+/// (wires, assigns, processes) is grafted onto the testbench module.
+///
+/// # Errors
+///
+/// See [`elaborate`]; additionally errors if the extra items reference
+/// signals that are neither testbench ports nor their own declarations
+/// (the benchmark's "do not use design-internal signals" rule).
+pub fn elaborate_with_extras(
+    file: &SourceFile,
+    top: &str,
+    extras: &[ModuleItem],
+) -> Result<Netlist> {
+    let module = file
+        .module(top)
+        .ok_or_else(|| ElabError::new(format!("unknown top module '{top}'")))?;
+    let mut fl = Flattener::default();
+    fl.flatten_module(file, module, "", &HashMap::new(), extras)?;
+
+    let mut b = Builder {
+        netlist: Netlist::default(),
+        atom_of_range: HashMap::new(),
+        decls: HashMap::new(),
+        decl_order: Vec::new(),
+        drivers: HashMap::new(),
+    };
+    b.netlist.clock_name = fl.clock_name.clone();
+    b.netlist.reset_name = fl.reset_name.clone();
+    b.netlist.warnings = fl.warnings.clone();
+    b.netlist.params = fl.top_params.clone();
+
+    // Pass A: declarations.
+    for item in &fl.items {
+        if let FlatItem::Decl(info) = item {
+            match info.elems {
+                None => b.declare(info.flat.clone(), info.clone()),
+                Some(n) => {
+                    b.netlist.arrays.insert(info.flat.clone(), n);
+                    for i in 0..n {
+                        let mut e = info.clone();
+                        e.flat = format!("{}[{i}]", info.flat);
+                        e.elems = None;
+                        b.declare(e.flat.clone(), e);
+                    }
+                }
+            }
+        }
+    }
+    // Pass A: drivers.
+    for (tag, item) in fl.items.iter().enumerate() {
+        match item {
+            FlatItem::Decl(_) => {}
+            FlatItem::Assign { target, .. } => {
+                b.add_driver(target, DriverKind::Comb, tag)?;
+            }
+            FlatItem::Proc { clocked, body } => {
+                let kind = if *clocked { DriverKind::Reg } else { DriverKind::Comb };
+                let mut targets = Vec::new();
+                collect_targets(body, &mut targets);
+                targets.sort_by_key(|a| (a.net.clone(), a.lo));
+                targets.dedup_by(|a, b| a.net == b.net && a.lo == b.lo && a.width == b.width);
+                for t in &targets {
+                    b.add_driver(t, kind, tag)?;
+                }
+            }
+        }
+    }
+    b.finalize_bindings()?;
+
+    // Detect the reset atom (by sensitivity-list convention or name).
+    let reset_name = b.netlist.reset_name.clone().or_else(|| {
+        ["reset_", "rst_n", "resetn", "reset_n"]
+            .iter()
+            .find(|n| b.netlist.nets.contains_key(**n))
+            .map(|n| n.to_string())
+    });
+    b.netlist.reset_name = reset_name.clone();
+    let reset_atom: Option<AtomId> = reset_name.as_deref().and_then(|n| {
+        b.netlist.net(n).and_then(|bind| {
+            if bind.segs.len() == 1 && bind.segs[0].lo == 0 {
+                Some(bind.segs[0].atom)
+            } else {
+                None
+            }
+        })
+    });
+
+    // Pass B: expressions.
+    for item in &fl.items {
+        match item {
+            FlatItem::Decl(_) => {}
+            FlatItem::Assign { target, rhs } => {
+                let atom = b.atom_of(target)?;
+                let width = b.netlist.atom_width(atom);
+                let nx = b.elab_expr(rhs, Some(width))?;
+                let nx = resize(nx, width, &b.netlist);
+                match &mut b.netlist.atoms[atom.index()].kind {
+                    k @ AtomKind::Comb(_) => *k = AtomKind::Comb(nx),
+                    _ => unreachable!("assign drives a comb atom"),
+                }
+            }
+            FlatItem::Proc { clocked, body } => {
+                let mut env: HashMap<AtomId, Nx> = HashMap::new();
+                b.exec(body, &mut env)?;
+                for (atom, nx) in env {
+                    let width = b.netlist.atom_width(atom);
+                    let nx = resize(nx, width, &b.netlist);
+                    if *clocked {
+                        let init = init_eval(&nx, reset_atom, &b.netlist).unwrap_or(0);
+                        b.netlist.atoms[atom.index()].kind = AtomKind::Reg {
+                            next: nx,
+                            init: mask(init, width),
+                        };
+                    } else {
+                        b.netlist.atoms[atom.index()].kind = AtomKind::Comb(nx);
+                    }
+                }
+            }
+        }
+    }
+
+    // Validate: no combinational cycles.
+    b.netlist
+        .comb_topo_order()
+        .map_err(|n| ElabError::new(format!("combinational cycle through '{n}'")))?;
+    Ok(b.netlist)
+}
+
+fn collect_targets(s: &FlatStmt, out: &mut Vec<FlatTarget>) {
+    match s {
+        FlatStmt::Block(ss) => {
+            for x in ss {
+                collect_targets(x, out);
+            }
+        }
+        FlatStmt::If { then, alt, .. } => {
+            collect_targets(then, out);
+            if let Some(a) = alt {
+                collect_targets(a, out);
+            }
+        }
+        FlatStmt::Assign { target, .. } => out.push(target.clone()),
+        FlatStmt::Empty => {}
+    }
+}
+
+impl Builder {
+    fn declare(&mut self, name: String, info: DeclInfo) {
+        if self.decls.contains_key(&name) {
+            // Re-declaration: keep the first (ports declared in both the
+            // header and body).
+            return;
+        }
+        self.decl_order.push(name.clone());
+        self.decls.insert(name, info);
+    }
+
+    fn add_driver(&mut self, t: &FlatTarget, kind: DriverKind, tag: usize) -> Result<()> {
+        if !self.decls.contains_key(&t.net) {
+            return Err(ElabError::new(format!(
+                "assignment to undeclared net '{}'",
+                t.net
+            )));
+        }
+        let entry = self.drivers.entry(t.net.clone()).or_default();
+        for &(lo, w, k, existing_tag) in entry.iter() {
+            let overlap = t.lo < lo + w && lo < t.lo + t.width;
+            if overlap {
+                // The same range driven again from the same item (one
+                // process assigning on several paths) shares one atom;
+                // anything else is a multiple-driver conflict.
+                if lo == t.lo && w == t.width && k == kind && existing_tag == tag {
+                    return Ok(());
+                }
+                return Err(ElabError::new(format!(
+                    "conflicting drivers for '{}' bits [{}, {})",
+                    t.net,
+                    t.lo,
+                    t.lo + t.width
+                )));
+            }
+        }
+        entry.push((t.lo, t.width, kind, tag));
+        Ok(())
+    }
+
+    fn finalize_bindings(&mut self) -> Result<()> {
+        for name in self.decl_order.clone() {
+            let info = self.decls[&name].clone();
+            let mut drivers = self.drivers.remove(&name).unwrap_or_default();
+            drivers.sort_by_key(|d| d.0);
+            let drivers: Vec<(u32, u32, DriverKind)> =
+                drivers.into_iter().map(|(lo, w, k, _)| (lo, w, k)).collect();
+            let mut segs = Vec::new();
+            let mut cursor = 0u32;
+            let add_atom = |b: &mut Builder, lo: u32, w: u32, kind: AtomKind| -> AtomId {
+                let id = AtomId(b.netlist.atoms.len() as u32);
+                let suffix = if lo == 0 && w == info.width {
+                    String::new()
+                } else {
+                    format!("[{}:{}]", lo + w - 1, lo)
+                };
+                b.netlist.atoms.push(AtomDef {
+                    name: format!("{name}{suffix}"),
+                    width: w,
+                    kind,
+                });
+                b.atom_of_range.insert((name.clone(), lo, w), id);
+                id
+            };
+            for (lo, w, kind) in drivers {
+                if lo > cursor {
+                    // Undriven gap -> free input.
+                    let gap_atom = add_atom(self, cursor, lo - cursor, AtomKind::Input);
+                    if !info.is_top_input {
+                        self.netlist
+                            .warnings
+                            .push(format!("undriven bits of '{name}' become free inputs"));
+                    }
+                    segs.push(Seg {
+                        atom: gap_atom,
+                        lo: 0,
+                        width: lo - cursor,
+                    });
+                }
+                let placeholder = match kind {
+                    DriverKind::Comb => AtomKind::Comb(Nx::constant(w, 0)),
+                    DriverKind::Reg => AtomKind::Reg {
+                        next: Nx::constant(w, 0),
+                        init: 0,
+                    },
+                };
+                let id = add_atom(self, lo, w, placeholder);
+                segs.push(Seg {
+                    atom: id,
+                    lo: 0,
+                    width: w,
+                });
+                cursor = lo + w;
+            }
+            if cursor < info.width {
+                let gap_atom = add_atom(self, cursor, info.width - cursor, AtomKind::Input);
+                if !info.is_top_input && cursor != 0 {
+                    self.netlist
+                        .warnings
+                        .push(format!("undriven bits of '{name}' become free inputs"));
+                }
+                segs.push(Seg {
+                    atom: gap_atom,
+                    lo: 0,
+                    width: info.width - cursor,
+                });
+            }
+            self.netlist.nets.insert(
+                name.clone(),
+                NetBinding {
+                    width: info.width,
+                    elem_width: info.elem_width,
+                    segs,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    fn atom_of(&self, t: &FlatTarget) -> Result<AtomId> {
+        self.atom_of_range
+            .get(&(t.net.clone(), t.lo, t.width))
+            .copied()
+            .ok_or_else(|| {
+                ElabError::new(format!(
+                    "internal: no atom for '{}' [{}, {})",
+                    t.net,
+                    t.lo,
+                    t.lo + t.width
+                ))
+            })
+    }
+
+    fn exec(&mut self, s: &FlatStmt, env: &mut HashMap<AtomId, Nx>) -> Result<()> {
+        match s {
+            FlatStmt::Block(ss) => {
+                for x in ss {
+                    self.exec(x, env)?;
+                }
+            }
+            FlatStmt::If { cond, then, alt } => {
+                let sel = self.elab_bool(cond)?;
+                let mut env_t = env.clone();
+                self.exec(then, &mut env_t)?;
+                let mut env_e = env.clone();
+                if let Some(a) = alt {
+                    self.exec(a, &mut env_e)?;
+                }
+                let mut keys: Vec<AtomId> = env_t.keys().chain(env_e.keys()).copied().collect();
+                keys.sort();
+                keys.dedup();
+                for k in keys {
+                    let orig = || self.orig_value(k);
+                    let vt = env_t.get(&k).cloned().unwrap_or_else(orig);
+                    let ve = env_e.get(&k).cloned().unwrap_or_else(orig);
+                    if vt == ve {
+                        env.insert(k, vt);
+                    } else {
+                        let w = self.netlist.atom_width(k);
+                        env.insert(
+                            k,
+                            Nx::Mux {
+                                sel: Box::new(sel.clone()),
+                                t: Box::new(resize(vt, w, &self.netlist)),
+                                e: Box::new(resize(ve, w, &self.netlist)),
+                            },
+                        );
+                    }
+                }
+            }
+            FlatStmt::Assign { target, rhs } => {
+                let atom = self.atom_of(target)?;
+                let w = self.netlist.atom_width(atom);
+                let nx = self.elab_expr(rhs, Some(w))?;
+                env.insert(atom, resize(nx, w, &self.netlist));
+            }
+            FlatStmt::Empty => {}
+        }
+        Ok(())
+    }
+
+    /// The value an atom holds if a process path does not assign it:
+    /// registers keep their state; combinational defaults to zero
+    /// (documented deviation for incomplete combinational assignment).
+    fn orig_value(&self, a: AtomId) -> Nx {
+        match self.netlist.atoms[a.index()].kind {
+            AtomKind::Reg { .. } => Nx::Atom(a),
+            _ => Nx::constant(self.netlist.atom_width(a), 0),
+        }
+    }
+
+    fn elab_bool(&mut self, e: &Expr) -> Result<Nx> {
+        let nx = self.elab_expr(e, None)?;
+        Ok(to_bool(nx, &self.netlist))
+    }
+
+    fn width_of(&self, nx: &Nx) -> u32 {
+        let nl = &self.netlist;
+        nx.width(&|a| nl.atom_width(a))
+    }
+
+    fn elab_expr(&mut self, e: &Expr, ctx: Option<u32>) -> Result<Nx> {
+        Ok(match e {
+            Expr::Ident(name) => {
+                let binding = self.netlist.net(name).ok_or_else(|| {
+                    ElabError::new(format!("unknown signal '{name}'"))
+                })?;
+                binding.read()
+            }
+            Expr::Literal(Literal::Int { width, value, .. }) => {
+                let w = width.unwrap_or_else(|| {
+                    let needed = 128 - value.leading_zeros();
+                    32u32.max(needed).min(MAX_WIDTH)
+                });
+                Nx::constant(w, *value)
+            }
+            Expr::Literal(Literal::Fill(b)) => {
+                let w = ctx.ok_or_else(|| {
+                    ElabError::new("cannot determine width of '0/'1 fill literal here")
+                })?;
+                Nx::constant(w, if *b { u128::MAX } else { 0 })
+            }
+            Expr::Unary(op, inner) => {
+                let i = self.elab_expr(inner, None)?;
+                match op {
+                    UnaryOp::LogNot => Nx::Not(Box::new(to_bool(i, &self.netlist))),
+                    UnaryOp::BitNot => Nx::Not(Box::new(i)),
+                    UnaryOp::Neg => Nx::Neg(Box::new(i)),
+                    UnaryOp::Pos => i,
+                    UnaryOp::RedAnd => Nx::Reduce {
+                        op: NxRed::And,
+                        inner: Box::new(i),
+                    },
+                    UnaryOp::RedOr => Nx::Reduce {
+                        op: NxRed::Or,
+                        inner: Box::new(i),
+                    },
+                    UnaryOp::RedXor => Nx::Reduce {
+                        op: NxRed::Xor,
+                        inner: Box::new(i),
+                    },
+                    UnaryOp::RedNand => Nx::Not(Box::new(Nx::Reduce {
+                        op: NxRed::And,
+                        inner: Box::new(i),
+                    })),
+                    UnaryOp::RedNor => Nx::Not(Box::new(Nx::Reduce {
+                        op: NxRed::Or,
+                        inner: Box::new(i),
+                    })),
+                    UnaryOp::RedXnor => Nx::Not(Box::new(Nx::Reduce {
+                        op: NxRed::Xor,
+                        inner: Box::new(i),
+                    })),
+                }
+            }
+            Expr::Binary(op, a, b) => self.elab_binary(*op, a, b, ctx)?,
+            Expr::Ternary(c, t, f) => {
+                let sel = self.elab_bool(c)?;
+                let tv = self.elab_expr(t, ctx)?;
+                let ev = self.elab_expr(f, ctx)?;
+                let w = self.width_of(&tv).max(self.width_of(&ev)).max(ctx.unwrap_or(0));
+                Nx::Mux {
+                    sel: Box::new(sel),
+                    t: Box::new(resize(tv, w, &self.netlist)),
+                    e: Box::new(resize(ev, w, &self.netlist)),
+                }
+            }
+            Expr::Concat(parts) => {
+                // Source order is MSB-first; Nx concat is LSB-first.
+                let mut vec = Vec::with_capacity(parts.len());
+                for p in parts.iter().rev() {
+                    vec.push(self.elab_expr(p, None)?);
+                }
+                Nx::Concat(vec)
+            }
+            Expr::Replicate(n, inner) => {
+                let count = const_eval_scoped(n, &HashMap::new())?;
+                let count = u32::try_from(count)
+                    .map_err(|_| ElabError::new("replication count too large"))?;
+                if count == 0 {
+                    return Err(ElabError::new("zero replication"));
+                }
+                let v = self.elab_expr(inner, None)?;
+                if self.width_of(&v) * count > MAX_WIDTH {
+                    return Err(ElabError::new("replication exceeds width limit"));
+                }
+                Nx::Concat(vec![v; count as usize])
+            }
+            Expr::Index(base, idx) => self.elab_index(base, idx)?,
+            Expr::Slice(base, hi, lo) => {
+                let name = match base.as_ref() {
+                    Expr::Ident(n) => n.clone(),
+                    _ => return Err(ElabError::new("part-select base must be a signal")),
+                };
+                let binding = self
+                    .netlist
+                    .net(&name)
+                    .ok_or_else(|| ElabError::new(format!("unknown signal '{name}'")))?
+                    .clone();
+                let hi = const_eval_scoped(hi, &HashMap::new())?;
+                let lo = const_eval_scoped(lo, &HashMap::new())?;
+                let (hi, lo) = (
+                    u32::try_from(hi).map_err(|_| ElabError::new("slice bound too large"))?,
+                    u32::try_from(lo).map_err(|_| ElabError::new("slice bound too large"))?,
+                );
+                if lo > hi || hi >= binding.width {
+                    return Err(ElabError::new(format!("slice out of range on '{name}'")));
+                }
+                binding.read_range(lo, hi - lo + 1)
+            }
+            Expr::SysCall(f, args) => self.elab_syscall(*f, args)?,
+        })
+    }
+
+    fn elab_binary(&mut self, op: BinaryOp, a: &Expr, b: &Expr, ctx: Option<u32>) -> Result<Nx> {
+        use BinaryOp as B;
+        // Logical connectives work on booleans.
+        if matches!(op, B::LogAnd | B::LogOr) {
+            let x = self.elab_bool(a)?;
+            let y = self.elab_bool(b)?;
+            return Ok(Nx::Bin {
+                op: if op == B::LogAnd { NxBin::And } else { NxBin::Or },
+                a: Box::new(x),
+                b: Box::new(y),
+            });
+        }
+        // Shifts: rhs is self-determined.
+        if matches!(op, B::Shl | B::Shr | B::AShl | B::AShr) {
+            let x = self.elab_expr(a, ctx)?;
+            let y = self.elab_expr(b, None)?;
+            let w = self.width_of(&x).max(ctx.unwrap_or(0));
+            let x = resize(x, w, &self.netlist);
+            // `>>>`/`<<<` on unsigned operands behave as logical shifts
+            // (all nets are unsigned in this subset).
+            let nxop = match op {
+                B::Shl | B::AShl => NxBin::Shl,
+                _ => NxBin::LShr,
+            };
+            return Ok(Nx::Bin {
+                op: nxop,
+                a: Box::new(x),
+                b: Box::new(y),
+            });
+        }
+        // Fill literals take the width of the opposite operand.
+        let (x, y) = if matches!(a, Expr::Literal(Literal::Fill(_))) {
+            let y = self.elab_expr(b, None)?;
+            let w = self.width_of(&y);
+            (self.elab_expr(a, Some(w))?, y)
+        } else if matches!(b, Expr::Literal(Literal::Fill(_))) {
+            let x = self.elab_expr(a, None)?;
+            let w = self.width_of(&x);
+            let y = self.elab_expr(b, Some(w))?;
+            (x, y)
+        } else {
+            (self.elab_expr(a, None)?, self.elab_expr(b, None)?)
+        };
+        let mut w = self.width_of(&x).max(self.width_of(&y));
+        let is_pred = matches!(
+            op,
+            B::Eq | B::Neq | B::CaseEq | B::CaseNeq | B::Lt | B::Le | B::Gt | B::Ge
+        );
+        if !is_pred {
+            w = w.max(ctx.unwrap_or(0));
+        }
+        let x = resize(x, w, &self.netlist);
+        let y = resize(y, w, &self.netlist);
+        let bin = |op, a: Nx, b: Nx| Nx::Bin {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+        };
+        Ok(match op {
+            B::Add => bin(NxBin::Add, x, y),
+            B::Sub => bin(NxBin::Sub, x, y),
+            B::Mul => bin(NxBin::Mul, x, y),
+            B::Div => bin(NxBin::Div, x, y),
+            B::Mod => bin(NxBin::Mod, x, y),
+            B::BitAnd => bin(NxBin::And, x, y),
+            B::BitOr => bin(NxBin::Or, x, y),
+            B::BitXor => bin(NxBin::Xor, x, y),
+            B::BitXnor => Nx::Not(Box::new(bin(NxBin::Xor, x, y))),
+            B::Eq | B::CaseEq => bin(NxBin::Eq, x, y),
+            B::Neq | B::CaseNeq => Nx::Not(Box::new(bin(NxBin::Eq, x, y))),
+            B::Lt => bin(NxBin::Ult, x, y),
+            B::Le => bin(NxBin::Ule, x, y),
+            B::Gt => bin(NxBin::Ult, y, x),
+            B::Ge => bin(NxBin::Ule, y, x),
+            B::LogAnd | B::LogOr | B::Shl | B::Shr | B::AShl | B::AShr => unreachable!(),
+        })
+    }
+
+    fn elab_index(&mut self, base: &Expr, idx: &Expr) -> Result<Nx> {
+        let name = match base {
+            Expr::Ident(n) => n.clone(),
+            _ => return Err(ElabError::new("bit-select base must be a signal")),
+        };
+        // Unpacked array element?
+        if let Some(&count) = self.netlist.arrays.get(&name) {
+            if let Ok(i) = const_eval_scoped(idx, &HashMap::new()) {
+                if i >= u128::from(count) {
+                    return Err(ElabError::new(format!("array index out of range on '{name}'")));
+                }
+                let elem = format!("{name}[{i}]");
+                return Ok(self
+                    .netlist
+                    .net(&elem)
+                    .ok_or_else(|| ElabError::new(format!("unknown array element '{elem}'")))?
+                    .read());
+            }
+            // Dynamic array read: mux chain over elements.
+            let sel = self.elab_expr(idx, None)?;
+            let mut acc: Option<Nx> = None;
+            for i in 0..count {
+                let elem = self
+                    .netlist
+                    .net(&format!("{name}[{i}]"))
+                    .ok_or_else(|| ElabError::new(format!("unknown array element '{name}[{i}]'")))?
+                    .read();
+                acc = Some(match acc {
+                    None => elem,
+                    Some(prev) => {
+                        let sw = self.width_of(&sel);
+                        Nx::Mux {
+                            sel: Box::new(Nx::Bin {
+                                op: NxBin::Eq,
+                                a: Box::new(sel.clone()),
+                                b: Box::new(Nx::constant(sw, u128::from(i))),
+                            }),
+                            t: Box::new(elem),
+                            e: Box::new(prev),
+                        }
+                    }
+                });
+            }
+            return acc.ok_or_else(|| ElabError::new(format!("empty array '{name}'")));
+        }
+        let binding = self
+            .netlist
+            .net(&name)
+            .ok_or_else(|| ElabError::new(format!("unknown signal '{name}'")))?
+            .clone();
+        let ew = binding.elem_width;
+        match const_eval_scoped(idx, &HashMap::new()) {
+            Ok(i) => {
+                let i = u32::try_from(i).map_err(|_| ElabError::new("index too large"))?;
+                let lo = i * ew;
+                if lo + ew > binding.width {
+                    return Err(ElabError::new(format!("index out of range on '{name}'")));
+                }
+                Ok(binding.read_range(lo, ew))
+            }
+            Err(_) => {
+                let index = self.elab_expr(idx, None)?;
+                Ok(Nx::DynSlice {
+                    inner: Box::new(binding.read()),
+                    index: Box::new(index),
+                    elem_width: ew,
+                })
+            }
+        }
+    }
+
+    fn elab_syscall(&mut self, f: SysFunc, args: &[Expr]) -> Result<Nx> {
+        let one_arg = || -> Result<&Expr> {
+            if args.len() == 1 {
+                Ok(&args[0])
+            } else {
+                Err(ElabError::new(format!(
+                    "${} takes exactly one argument",
+                    f.name()
+                )))
+            }
+        };
+        Ok(match f {
+            SysFunc::Countones => {
+                let v = self.elab_expr(one_arg()?, None)?;
+                Nx::Countones {
+                    inner: Box::new(v),
+                    width: 8,
+                }
+            }
+            SysFunc::Onehot => Nx::Onehot(Box::new(self.elab_expr(one_arg()?, None)?)),
+            SysFunc::Onehot0 => Nx::Onehot0(Box::new(self.elab_expr(one_arg()?, None)?)),
+            SysFunc::Bits => {
+                let v = self.elab_expr(one_arg()?, None)?;
+                Nx::constant(32, u128::from(self.width_of(&v)))
+            }
+            SysFunc::Clog2 => {
+                let v = const_eval_scoped(one_arg()?, &HashMap::new())?;
+                Nx::constant(32, u128::from(clog2(v)))
+            }
+            SysFunc::Past
+            | SysFunc::Rose
+            | SysFunc::Fell
+            | SysFunc::Stable
+            | SysFunc::Changed => {
+                return Err(ElabError::new(format!(
+                    "${} is only valid inside assertions, not RTL",
+                    f.name()
+                )))
+            }
+        })
+    }
+}
+
+/// Zero-extends or truncates to `width`.
+pub(crate) fn resize(nx: Nx, width: u32, nl: &Netlist) -> Nx {
+    if nx.width(&|a| nl.atom_width(a)) == width {
+        nx
+    } else {
+        Nx::Resize {
+            inner: Box::new(nx),
+            width,
+        }
+    }
+}
+
+/// Verilog truthiness: any bit set.
+pub(crate) fn to_bool(nx: Nx, nl: &Netlist) -> Nx {
+    if nx.width(&|a| nl.atom_width(a)) == 1 {
+        nx
+    } else {
+        Nx::Reduce {
+            op: NxRed::Or,
+            inner: Box::new(nx),
+        }
+    }
+}
+
+/// Partial constant evaluation of a next-state expression with the reset
+/// atom pinned to 0 (asserted active-low reset). Returns the register's
+/// reset value when it is a constant.
+fn init_eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist) -> Option<u128> {
+    fn eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist) -> Option<u128> {
+        match nx {
+            Nx::Const { value, .. } => Some(*value),
+            Nx::Atom(a) => {
+                if Some(*a) == reset {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            Nx::Slice { inner, lo, width } => {
+                let v = eval(inner, reset, nl)?;
+                Some(mask(v >> lo, *width))
+            }
+            Nx::Not(i) => {
+                let w = i.width(&|a| nl.atom_width(a));
+                Some(mask(!eval(i, reset, nl)?, w))
+            }
+            Nx::Neg(i) => {
+                let w = i.width(&|a| nl.atom_width(a));
+                Some(mask(eval(i, reset, nl)?.wrapping_neg(), w))
+            }
+            Nx::Reduce { op, inner } => {
+                let v = eval(inner, reset, nl)?;
+                let w = inner.width(&|a| nl.atom_width(a));
+                Some(match op {
+                    NxRed::Or => u128::from(v != 0),
+                    NxRed::And => u128::from(v == mask(u128::MAX, w)),
+                    NxRed::Xor => u128::from(v.count_ones() % 2 == 1),
+                })
+            }
+            Nx::Mux { sel, t, e } => match eval(sel, reset, nl) {
+                Some(s) => {
+                    if s != 0 {
+                        eval(t, reset, nl)
+                    } else {
+                        eval(e, reset, nl)
+                    }
+                }
+                None => {
+                    // Both branches agreeing is still constant.
+                    let vt = eval(t, reset, nl)?;
+                    let ve = eval(e, reset, nl)?;
+                    if vt == ve {
+                        Some(vt)
+                    } else {
+                        None
+                    }
+                }
+            },
+            Nx::Resize { inner, width } => Some(mask(eval(inner, reset, nl)?, *width)),
+            Nx::Concat(parts) => {
+                let mut acc: u128 = 0;
+                let mut off = 0u32;
+                for p in parts {
+                    let v = eval(p, reset, nl)?;
+                    acc |= v << off;
+                    off += p.width(&|a| nl.atom_width(a));
+                }
+                Some(acc)
+            }
+            Nx::Bin { op, a, b } => {
+                let w = a.width(&|x| nl.atom_width(x));
+                let x = eval(a, reset, nl)?;
+                let y = eval(b, reset, nl)?;
+                Some(match op {
+                    NxBin::Add => mask(x.wrapping_add(y), w),
+                    NxBin::Sub => mask(x.wrapping_sub(y), w),
+                    NxBin::And => x & y,
+                    NxBin::Or => x | y,
+                    NxBin::Xor => x ^ y,
+                    NxBin::Eq => u128::from(x == y),
+                    NxBin::Ult => u128::from(x < y),
+                    NxBin::Ule => u128::from(x <= y),
+                    _ => return None,
+                })
+            }
+            _ => None,
+        }
+    }
+    eval(nx, reset, nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_parser::parse_source;
+
+    fn elab(src: &str, top: &str) -> Netlist {
+        let f = parse_source(src).unwrap();
+        elaborate(&f, top).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn simple_comb_module() {
+        let nl = elab(
+            "module m (a, b, y);\ninput a; input b; output y;\nassign y = a & b;\nendmodule\n",
+            "m",
+        );
+        assert_eq!(nl.inputs().count(), 2);
+        let y = nl.net("y").unwrap();
+        assert_eq!(y.width, 1);
+        match &nl.atom(y.segs[0].atom).kind {
+            AtomKind::Comb(_) => {}
+            other => panic!("expected comb, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_with_async_reset_extracts_init() {
+        let nl = elab(
+            "module m (clk, reset_, q);\ninput clk; input reset_; output reg [3:0] q;\n\
+             always_ff @(posedge clk or negedge reset_) begin\n\
+             if (!reset_) q <= 4'd5; else q <= q + 4'd1;\nend\nendmodule\n",
+            "m",
+        );
+        let q = nl.net("q").unwrap();
+        match &nl.atom(q.segs[0].atom).kind {
+            AtomKind::Reg { init, .. } => assert_eq!(*init, 5),
+            other => panic!("expected reg, got {other:?}"),
+        }
+        assert_eq!(nl.reset_name.as_deref(), Some("reset_"));
+        assert_eq!(nl.clock_name.as_deref(), Some("clk"));
+    }
+
+    #[test]
+    fn sync_reset_by_name_convention() {
+        let nl = elab(
+            "module m (clk, reset_, q);\ninput clk; input reset_; output reg q;\n\
+             always @(posedge clk) begin\nif (!reset_) q <= 1'b1; else q <= !q;\nend\nendmodule\n",
+            "m",
+        );
+        let q = nl.net("q").unwrap();
+        match &nl.atom(q.segs[0].atom).kind {
+            AtomKind::Reg { init, .. } => assert_eq!(*init, 1),
+            other => panic!("expected reg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_desugars_and_merges() {
+        let nl = elab(
+            "module m (clk, s, n);\ninput clk; input [1:0] s; output [1:0] n;\n\
+             reg [1:0] nr;\nassign n = nr;\n\
+             always_comb begin\ncase (s)\n2'b00: nr = 2'b10;\n2'b01: nr = 2'b11;\n\
+             default: nr = 2'b00;\nendcase\nend\nendmodule\n",
+            "m",
+        );
+        let nr = nl.net("nr").unwrap();
+        assert!(matches!(nl.atom(nr.segs[0].atom).kind, AtomKind::Comb(_)));
+    }
+
+    #[test]
+    fn generate_for_unrolls() {
+        let nl = elab(
+            "module m (clk, d, q);\ninput clk; input d; output q;\n\
+             parameter DEPTH = 3;\nreg [DEPTH:0] pipe;\n\
+             always @(posedge clk) pipe[0] <= d;\n\
+             for (genvar i = 1; i <= DEPTH; i++) begin : g\n\
+             always @(posedge clk) pipe[i] <= pipe[i-1];\nend\n\
+             assign q = pipe[DEPTH];\nendmodule\n",
+            "m",
+        );
+        // pipe has 4 register atoms (one per bit range).
+        let pipe = nl.net("pipe").unwrap();
+        assert_eq!(pipe.segs.len(), 4);
+        assert_eq!(nl.regs().count(), 4);
+    }
+
+    #[test]
+    fn hierarchy_flattens_with_prefixes() {
+        let src = "module child (i, o);\ninput [3:0] i; output [3:0] o;\n\
+                   assign o = i + 4'd1;\nendmodule\n\
+                   module top (a, y);\ninput [3:0] a; output [3:0] y;\n\
+                   child u0 (.i(a), .o(y));\nendmodule\n";
+        let nl = elab(src, "top");
+        assert!(nl.net("u0.i").is_some());
+        assert!(nl.net("u0.o").is_some());
+        assert!(nl.net("y").is_some());
+    }
+
+    #[test]
+    fn parameter_overrides_apply() {
+        let src = "module child (o);\nparameter W = 2;\noutput [W-1:0] o;\n\
+                   assign o = 'd0;\nendmodule\n\
+                   module top (y);\noutput [7:0] y;\nchild #(.W(8)) u0 (.o(y));\nendmodule\n";
+        let nl = elab(src, "top");
+        assert_eq!(nl.net("u0.o").unwrap().width, 8);
+    }
+
+    #[test]
+    fn unpacked_array_elements() {
+        let nl = elab(
+            "module m (clk, we, d, q);\ninput clk; input we; input [7:0] d; output [7:0] q;\n\
+             reg [7:0] mem [3:0];\n\
+             always @(posedge clk) begin\nif (we) mem[0] <= d;\nmem[1] <= mem[0];\nend\n\
+             assign q = mem[1];\nendmodule\n",
+            "m",
+        );
+        assert!(nl.net("mem[0]").is_some());
+        assert!(nl.net("mem[3]").is_some());
+        assert_eq!(nl.arrays.get("mem"), Some(&4));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let f = parse_source(
+            "module m (a, y);\ninput a; output y;\nassign y = a;\nassign y = !a;\nendmodule\n",
+        )
+        .unwrap();
+        let err = elaborate(&f, "m").unwrap_err();
+        assert!(err.message.contains("conflicting drivers"), "{err}");
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let f = parse_source("module m (y);\noutput y;\nassign y = ghost;\nendmodule\n").unwrap();
+        assert!(elaborate(&f, "m").is_err());
+    }
+
+    #[test]
+    fn comb_cycle_rejected() {
+        let f = parse_source(
+            "module m (y);\noutput y;\nwire a; wire b;\nassign a = b;\nassign b = a;\n\
+             assign y = a;\nendmodule\n",
+        )
+        .unwrap();
+        let err = elaborate(&f, "m").unwrap_err();
+        assert!(err.message.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn mixed_comb_and_reg_bits_in_one_vector() {
+        // The pipeline pattern: ready[0] is combinational, the rest are regs.
+        let nl = elab(
+            "module m (clk, reset_, in_vld, out_vld);\n\
+             input clk; input reset_; input in_vld; output out_vld;\n\
+             parameter DEPTH = 2;\nlogic [DEPTH:0] ready;\n\
+             assign ready[0] = in_vld;\n\
+             for (genvar i = 0; i < DEPTH; i = i + 1) begin : gen\n\
+             always @(posedge clk) begin\n\
+             if (!reset_) ready[i+1] <= 'd0; else ready[i+1] <= ready[i];\nend\nend\n\
+             assign out_vld = ready[DEPTH];\nendmodule\n",
+            "m",
+        );
+        let ready = nl.net("ready").unwrap();
+        assert_eq!(ready.segs.len(), 3);
+        assert!(matches!(
+            nl.atom(ready.segs[0].atom).kind,
+            AtomKind::Comb(_)
+        ));
+        assert!(matches!(
+            nl.atom(ready.segs[1].atom).kind,
+            AtomKind::Reg { .. }
+        ));
+    }
+
+    #[test]
+    fn extras_reject_design_internal_signals() {
+        let src = "module tb (clk, out);\ninput clk; input out;\nendmodule\n";
+        let f = parse_source(src).unwrap();
+        let extras = sv_parser::parse_snippet("assign foo = hidden_state;\n").unwrap();
+        // `foo` undeclared -> error either way.
+        assert!(elaborate_with_extras(&f, "tb", &extras).is_err());
+    }
+
+    #[test]
+    fn clog2_in_localparam() {
+        let nl = elab(
+            "module m (q);\nparameter FIFO_DEPTH = 4;\n\
+             localparam L = $clog2(FIFO_DEPTH);\noutput [L-1:0] q;\n\
+             assign q = 'd0;\nendmodule\n",
+            "m",
+        );
+        assert_eq!(nl.net("q").unwrap().width, 2);
+    }
+}

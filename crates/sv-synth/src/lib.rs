@@ -1,0 +1,35 @@
+//! Elaboration of the SystemVerilog subset into a flat word-level
+//! netlist, plus bit-blasting into AIG time frames and a cycle-accurate
+//! reference simulator.
+//!
+//! This crate is the "synthesis front-end" substitute for the commercial
+//! formal tool's elaboration step:
+//!
+//! 1. [`elaborate`] flattens a parsed design (parameters, generate
+//!    loops, hierarchy) into a [`Netlist`] of *atoms* — inputs,
+//!    registers, and combinational definitions at word level.
+//! 2. [`FrameExpander`] instantiates the netlist's combinational logic
+//!    into an [`fv_aig::Aig`] once per clock cycle; `fv-core` builds BMC
+//!    and k-induction queries on top.
+//! 3. [`Simulator`] interprets the same netlist directly; property tests
+//!    check it against the bit-blasted form bit-for-bit.
+//!
+//! # 2-state semantics
+//!
+//! Everything is 0/1 (no X/Z): `===` behaves as `==`, undriven bits
+//! become free inputs (cut points), and registers start from their reset
+//! values with the reset input held deasserted (the standard formal
+//! setup after a reset sequence). See `DESIGN.md` for the full deviation
+//! list.
+
+mod elaborate;
+mod frame;
+mod netexpr;
+mod netlist;
+mod sim;
+
+pub use elaborate::{elaborate, elaborate_with_extras, ElabError};
+pub use frame::{FrameExpander, FrameValues};
+pub use netexpr::{Nx, NxBin, NxRed};
+pub use netlist::{AtomDef, AtomId, AtomKind, NetBinding, Netlist, Seg};
+pub use sim::{SimError, Simulator};

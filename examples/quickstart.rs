@@ -1,0 +1,57 @@
+//! Quickstart: parse two SVA assertions and formally compare them.
+//!
+//! Reproduces the paper's core measurement in a few lines: the custom
+//! assertion-to-assertion equivalence check with full / partial
+//! verdicts, including a distinguishing trace for mismatches.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fveval_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 7 FIFO example: reference uses a strong
+    // eventuality; the candidate forgot `strong` and shifted the window.
+    let reference = parse_assertion_str(
+        "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
+         wr_push |-> strong(##[0:$] rd_pop));",
+    )?;
+    let candidate = parse_assertion_str(
+        "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
+         wr_push |-> ##[1:$] rd_pop);",
+    )?;
+
+    // The testbench scope: signal names and widths.
+    let table: SignalTable = [("wr_push", 1u32), ("rd_pop", 1), ("tb_reset", 1)]
+        .into_iter()
+        .collect();
+
+    let out = check_equivalence(&reference, &candidate, &table, EquivConfig::default())?;
+    println!("verdict  : {:?}", out.verdict);
+    println!("horizon  : {} cycles", out.horizon);
+    println!("func pass: {}", out.verdict.is_equivalent());
+    println!("partial  : {}", out.verdict.is_partial());
+    if let Some(cex) = &out.cex {
+        println!("\na trace where exactly one assertion holds:\n{cex}");
+    }
+
+    // A genuinely equivalent rewrite scores a full functional pass.
+    let rewrite = parse_assertion_str(
+        "assert property (@(posedge clk) disable iff (tb_reset) \
+         (wr_push) |-> strong(##[0:$] (rd_pop)));",
+    )?;
+    let out2 = check_equivalence(&reference, &rewrite, &table, EquivConfig::default())?;
+    println!("\nrewritten candidate verdict: {:?}", out2.verdict);
+    assert_eq!(out2.verdict, Equivalence::Equivalent);
+
+    // And a hallucinated operator fails the tool syntax check outright.
+    let hallucinated = parse_assertion_str(
+        "assert property (@(posedge clk) wr_push |-> eventually(rd_pop));",
+    );
+    println!(
+        "hallucinated `eventually`: {:?}",
+        hallucinated.err().map(|e| e.to_string())
+    );
+    Ok(())
+}
