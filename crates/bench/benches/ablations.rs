@@ -59,13 +59,11 @@ fn bench_induction_depth(c: &mut Criterion) {
     });
     let bound = fveval_core::bind_design(&case).unwrap();
     for k in [2u32, 4, 8] {
-        let runner = fveval_core::Design2svaRunner::new().with_prove_config(
-            fv_core::ProveConfig {
-                max_bmc: 12,
-                max_induction: k,
-                slack: 4,
-            },
-        );
+        let runner = fveval_core::Design2svaRunner::new().with_prove_config(fv_core::ProveConfig {
+            max_bmc: 12,
+            max_induction: k,
+            slack: 4,
+        });
         let golden = case.golden[0].clone();
         g.bench_with_input(BenchmarkId::new("max_k", k), &k, |b, _| {
             b.iter(|| black_box(runner.evaluate_response(&bound, &golden)))
@@ -135,9 +133,7 @@ fn bench_formal_vs_simulation(c: &mut Criterion) {
         "formal analysis distinguishes the pair"
     );
     g.bench_function("formal_equivalence", |b| {
-        b.iter(|| {
-            black_box(check_equivalence(&r, &cd, &t, EquivConfig::default()).unwrap())
-        })
+        b.iter(|| black_box(check_equivalence(&r, &cd, &t, EquivConfig::default()).unwrap()))
     });
     for traces in [64usize, 256] {
         g.bench_with_input(

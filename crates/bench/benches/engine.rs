@@ -1,10 +1,16 @@
 //! Substrate micro-benchmarks: SAT solving, parsing, assertion
-//! equivalence, and BMC/k-induction scaling.
+//! equivalence, BMC/k-induction scaling, and the evaluation engine's
+//! parallel speed-up and verdict-cache behaviour.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fv_core::{check_equivalence, prove, EquivConfig, ProveConfig, SignalTable};
 use fveval_bench::pigeonhole;
-use fveval_data::{generate_pipeline, testbenches, PipelineParams};
+use fveval_core::{design_task_specs, machine_task_specs, EvalEngine};
+use fveval_data::{
+    fsm_sweep, generate_machine_cases, generate_pipeline, machine_signal_table, testbenches,
+    MachineGenConfig, PipelineParams,
+};
+use fveval_llm::{profiles, Backend, InferenceConfig};
 use std::hint::black_box;
 use std::time::Duration;
 use sv_parser::{parse_assertion_str, parse_source};
@@ -120,21 +126,86 @@ fn bench_model_checking(c: &mut Criterion) {
             params: vec![],
             conns,
         });
-        let netlist =
-            sv_synth::elaborate_with_extras(&file, &case.tb_top, &[inst]).unwrap();
+        let netlist = sv_synth::elaborate_with_extras(&file, &case.tb_top, &[inst]).unwrap();
         let assertion = parse_assertion_str(&case.golden[0]).unwrap();
         g.bench_with_input(
             BenchmarkId::new("prove_pipeline_depth", depth),
             &depth,
             |b, _| {
                 b.iter(|| {
-                    black_box(
-                        prove(&netlist, &assertion, &[], ProveConfig::default()).unwrap(),
-                    )
+                    black_box(prove(&netlist, &assertion, &[], ProveConfig::default()).unwrap())
                 })
             },
         );
     }
+    g.finish();
+}
+
+/// The `EvalEngine` worker pool at Table 4/5-scale workloads: on
+/// multi-core hosts the parallel engine beats the sequential baseline
+/// (work units are embarrassingly parallel); on any host a cached
+/// re-run beats both by orders of magnitude. The parallel arm always
+/// uses at least 4 workers so single-core CI still exercises the pool
+/// (and shows its overhead is negligible).
+fn bench_eval_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval_engine");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    let cpus = std::thread::available_parallelism().map_or(4, |n| n.get().max(4));
+
+    // Table 4 scale (quick mode): 3 models x 60 machine cases x 5
+    // samples through inference + parse + formal equivalence + BLEU.
+    let cases = generate_machine_cases(MachineGenConfig {
+        count: 60,
+        seed: 0xBE7C,
+        ..Default::default()
+    });
+    let tasks = machine_task_specs(&cases, &machine_signal_table());
+    let models = profiles();
+    let backends: Vec<&dyn Backend> = models[..3].iter().map(|m| m as &dyn Backend).collect();
+    let cfg = InferenceConfig::sampling().with_shots(3);
+    for jobs in [1usize, cpus] {
+        g.bench_with_input(
+            BenchmarkId::new("table4_scale_jobs", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    let engine = EvalEngine::with_jobs(jobs);
+                    black_box(engine.run_matrix(&backends, &tasks, &cfg, 5))
+                })
+            },
+        );
+    }
+
+    // Table 5 scale (quick mode): 6 models x 8 FSM designs x 5 samples
+    // through the model checker.
+    let designs = fsm_sweep(8, 0xBE7D);
+    let design_tasks = design_task_specs(&designs);
+    let d2s_backends: Vec<&dyn Backend> = models
+        .iter()
+        .filter(|m| m.profile().supports_design2sva)
+        .map(|m| m as &dyn Backend)
+        .collect();
+    let d2s_cfg = InferenceConfig::sampling();
+    for jobs in [1usize, cpus] {
+        g.bench_with_input(
+            BenchmarkId::new("table5_scale_jobs", jobs),
+            &jobs,
+            |b, &jobs| {
+                b.iter(|| {
+                    let engine = EvalEngine::with_jobs(jobs);
+                    black_box(engine.run_matrix(&d2s_backends, &design_tasks, &d2s_cfg, 5))
+                })
+            },
+        );
+    }
+
+    // Verdict-cache hit path: the engine is warmed once, every
+    // iteration replays the whole Table 4-scale work-list from cache.
+    let warmed = EvalEngine::with_jobs(cpus);
+    warmed.run_matrix(&backends, &tasks, &cfg, 5);
+    g.bench_function("table4_scale_cached_rerun", |b| {
+        b.iter(|| black_box(warmed.run_matrix(&backends, &tasks, &cfg, 5)))
+    });
     g.finish();
 }
 
@@ -143,6 +214,7 @@ criterion_group!(
     bench_sat,
     bench_parser,
     bench_equivalence,
-    bench_model_checking
+    bench_model_checking,
+    bench_eval_engine
 );
 criterion_main!(benches);

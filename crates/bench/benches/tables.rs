@@ -7,6 +7,7 @@
 //! numbers themselves.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fveval_core::EvalEngine;
 use fveval_harness::HarnessOptions;
 use std::hint::black_box;
 use std::time::Duration;
@@ -18,24 +19,26 @@ fn quick() -> HarnessOptions {
     }
 }
 
+// A fresh engine per iteration so the verdict cache never skews the
+// numbers; use the `engine` bench to measure caching itself.
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
 
     g.bench_function("table1_nl2sva_human", |b| {
-        b.iter(|| black_box(fveval_harness::table1(&quick())))
+        b.iter(|| black_box(fveval_harness::table1(&EvalEngine::new(), &quick())))
     });
     g.bench_function("table2_passk_human", |b| {
-        b.iter(|| black_box(fveval_harness::table2(&quick())))
+        b.iter(|| black_box(fveval_harness::table2(&EvalEngine::new(), &quick())))
     });
     g.bench_function("table3_nl2sva_machine", |b| {
-        b.iter(|| black_box(fveval_harness::table3(&quick())))
+        b.iter(|| black_box(fveval_harness::table3(&EvalEngine::new(), &quick())))
     });
     g.bench_function("table4_passk_machine", |b| {
-        b.iter(|| black_box(fveval_harness::table4(&quick())))
+        b.iter(|| black_box(fveval_harness::table4(&EvalEngine::new(), &quick())))
     });
     g.bench_function("table5_design2sva", |b| {
-        b.iter(|| black_box(fveval_harness::table5(&quick())))
+        b.iter(|| black_box(fveval_harness::table5(&EvalEngine::new(), &quick())))
     });
     g.bench_function("table6_composition", |b| {
         b.iter(|| black_box(fveval_harness::table6()))
@@ -57,7 +60,7 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| black_box(fveval_harness::figure4(&quick())))
     });
     g.bench_function("figure6_bleu_correlation", |b| {
-        b.iter(|| black_box(fveval_harness::figure6(&quick())))
+        b.iter(|| black_box(fveval_harness::figure6(&EvalEngine::new(), &quick())))
     });
     g.finish();
 }

@@ -123,7 +123,12 @@ impl BitVec {
         BitVec::from_bits(self.bits.iter().map(|&b| !b).collect())
     }
 
-    fn zip_with(&self, g: &mut Aig, rhs: &BitVec, f: impl Fn(&mut Aig, AigLit, AigLit) -> AigLit) -> BitVec {
+    fn zip_with(
+        &self,
+        g: &mut Aig,
+        rhs: &BitVec,
+        f: impl Fn(&mut Aig, AigLit, AigLit) -> AigLit,
+    ) -> BitVec {
         assert_eq!(self.width(), rhs.width(), "width mismatch");
         BitVec::from_bits(
             self.bits
@@ -188,7 +193,11 @@ impl BitVec {
         for i in 0..w {
             let shifted = self.shl_const(i);
             let gated = BitVec::from_bits(
-                shifted.bits.iter().map(|&b| g.and(b, rhs.bits[i])).collect(),
+                shifted
+                    .bits
+                    .iter()
+                    .map(|&b| g.and(b, rhs.bits[i]))
+                    .collect(),
             );
             acc = acc.add(g, &gated);
         }
@@ -427,7 +436,11 @@ mod tests {
         let a = BitVec::input(&mut g, w);
         let b = BitVec::input(&mut g, w);
         let out = f(&mut g, &a, &b);
-        let mask = if w == 128 { u128::MAX } else { (1u128 << w) - 1 };
+        let mask = if w == 128 {
+            u128::MAX
+        } else {
+            (1u128 << w) - 1
+        };
         let samples: &[(u128, u128)] = &[
             (0, 0),
             (1, 1),
@@ -503,14 +516,18 @@ mod tests {
     fn shifts_match() {
         check2(8, |_g, a, _b| a.shl_const(3), |x, _| x << 3);
         check2(8, |_g, a, _b| a.lshr_const(3), |x, _| (x & 0xff) >> 3);
-        check2(8, |g, a, b| a.shl(g, &b.resize(4)), |x, y| {
-            let sh = y & 0xf;
-            if sh >= 8 {
-                0
-            } else {
-                x << sh
-            }
-        });
+        check2(
+            8,
+            |g, a, b| a.shl(g, &b.resize(4)),
+            |x, y| {
+                let sh = y & 0xf;
+                if sh >= 8 {
+                    0
+                } else {
+                    x << sh
+                }
+            },
+        );
     }
 
     #[test]

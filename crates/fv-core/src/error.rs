@@ -31,7 +31,10 @@ impl fmt::Display for EncodeError {
             EncodeError::UnknownSignal(s) => write!(f, "unknown signal '{s}'"),
             EncodeError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
             EncodeError::HorizonExceeded { needed, max } => {
-                write!(f, "property needs horizon {needed}, engine maximum is {max}")
+                write!(
+                    f,
+                    "property needs horizon {needed}, engine maximum is {max}"
+                )
             }
         }
     }
@@ -49,8 +52,11 @@ mod tests {
             EncodeError::UnknownSignal("ghost".into()).to_string(),
             "unknown signal 'ghost'"
         );
-        assert!(EncodeError::HorizonExceeded { needed: 99, max: 64 }
-            .to_string()
-            .contains("99"));
+        assert!(EncodeError::HorizonExceeded {
+            needed: 99,
+            max: 64
+        }
+        .to_string()
+        .contains("99"));
     }
 }

@@ -19,12 +19,7 @@ type Result<T> = std::result::Result<T, EncodeError>;
 ///
 /// Returns [`EncodeError`] for unknown signals or unsupported
 /// constructs (the tool-elaboration-failure verdict).
-pub fn compile_expr(
-    g: &mut Aig,
-    e: &Expr,
-    cycle: i32,
-    env: &mut dyn TraceEnv,
-) -> Result<BitVec> {
+pub fn compile_expr(g: &mut Aig, e: &Expr, cycle: i32, env: &mut dyn TraceEnv) -> Result<BitVec> {
     compile(g, e, cycle, env, None)
 }
 
@@ -161,7 +156,11 @@ fn compile_binary(
     if matches!(op, B::LogAnd | B::LogOr) {
         let x = compile_bool(g, a, cycle, env)?;
         let y = compile_bool(g, b, cycle, env)?;
-        let r = if op == B::LogAnd { g.and(x, y) } else { g.or(x, y) };
+        let r = if op == B::LogAnd {
+            g.and(x, y)
+        } else {
+            g.or(x, y)
+        };
         return Ok(BitVec::from_lit(r));
     }
     if matches!(op, B::Shl | B::Shr | B::AShl | B::AShr) {
@@ -227,9 +226,8 @@ fn compile_syscall(
     env: &mut dyn TraceEnv,
 ) -> Result<BitVec> {
     let arg = |n: usize| -> Result<&Expr> {
-        args.get(n).ok_or_else(|| {
-            EncodeError::Unsupported(format!("${} missing argument {n}", f.name()))
-        })
+        args.get(n)
+            .ok_or_else(|| EncodeError::Unsupported(format!("${} missing argument {n}", f.name())))
     };
     Ok(match f {
         SysFunc::Countones => {
@@ -250,7 +248,11 @@ fn compile_syscall(
         }
         SysFunc::Clog2 => {
             let v = const_u32(arg(0)?)?;
-            let c = if v <= 1 { 0 } else { 32 - (v - 1).leading_zeros() };
+            let c = if v <= 1 {
+                0
+            } else {
+                32 - (v - 1).leading_zeros()
+            };
             BitVec::constant(32, u128::from(c))
         }
         SysFunc::Past => {
@@ -311,8 +313,8 @@ mod tests {
     use super::*;
     use crate::env::FreeTraceEnv;
     use crate::table::SignalTable;
-    use fv_sat::Solver;
     use fv_aig::CnfEmitter;
+    use fv_sat::Solver;
     use sv_parser::parse_expr_str;
 
     fn prove_taut(src: &str, table: &SignalTable) {

@@ -380,8 +380,7 @@ pub fn encode_assertion_at(
 pub(crate) fn horizon_for(a: &Assertion, b: Option<&Assertion>, slack: u32) -> u32 {
     let d1 = a.body.temporal_depth() + a.body.sampled_depth();
     let d2 = b.map_or(0, |b| b.body.temporal_depth() + b.body.sampled_depth());
-    let unbounded =
-        a.body.has_unbounded() || b.is_some_and(|b| b.body.has_unbounded());
+    let unbounded = a.body.has_unbounded() || b.is_some_and(|b| b.body.has_unbounded());
     d1.max(d2) + if unbounded { slack.max(1) } else { 1 } + 1
 }
 
@@ -427,7 +426,10 @@ mod tests {
     fn implication_with_exact_delay() {
         // a |-> ##1 a is violable; a |-> ##0 a is not.
         assert!(violable("assert property (@(posedge clk) a |-> ##1 a);", 4));
-        assert!(!violable("assert property (@(posedge clk) a |-> ##[0:0] a);", 4));
+        assert!(!violable(
+            "assert property (@(posedge clk) a |-> ##[0:0] a);",
+            4
+        ));
     }
 
     #[test]
@@ -470,10 +472,8 @@ mod tests {
         ));
         // With the disable expression constant-true it can never fail.
         let t: SignalTable = [("a", 1u32)].into_iter().collect();
-        let a = parse_assertion_str(
-            "assert property (@(posedge clk) disable iff (1'b1) a);",
-        )
-        .unwrap();
+        let a =
+            parse_assertion_str("assert property (@(posedge clk) disable iff (1'b1) a);").unwrap();
         let mut g = Aig::new();
         let mut env = FreeTraceEnv::new(&t);
         let holds = encode_assertion(&mut g, &a, 3, &mut env).unwrap();
@@ -485,8 +485,7 @@ mod tests {
         // a |=> b vs a |-> ##1 b must be equi-violable per trace.
         let t = table();
         let a1 = parse_assertion_str("assert property (@(posedge clk) a |=> b);").unwrap();
-        let a2 =
-            parse_assertion_str("assert property (@(posedge clk) a |-> ##1 b);").unwrap();
+        let a2 = parse_assertion_str("assert property (@(posedge clk) a |-> ##1 b);").unwrap();
         let mut g = Aig::new();
         let mut env = FreeTraceEnv::new(&t);
         let h1 = encode_assertion(&mut g, &a1, 4, &mut env).unwrap();
@@ -501,10 +500,7 @@ mod tests {
     #[test]
     fn repeat_three_means_three_cycles() {
         // a[*3] |-> b : violable; needs a,a,a then !b.
-        assert!(violable(
-            "assert property (@(posedge clk) a[*3] |-> b);",
-            6
-        ));
+        assert!(violable("assert property (@(posedge clk) a[*3] |-> b);", 6));
         // a[*3] |-> a : not violable (last repetition overlaps b's cycle).
         assert!(!violable(
             "assert property (@(posedge clk) a[*3] |-> a);",
@@ -528,16 +524,11 @@ mod tests {
 
     #[test]
     fn horizon_for_depths() {
-        let a = parse_assertion_str(
-            "assert property (@(posedge clk) a |-> ##3 b);",
-        )
-        .unwrap();
+        let a = parse_assertion_str("assert property (@(posedge clk) a |-> ##3 b);").unwrap();
         let h = horizon_for(&a, None, 4);
         assert!(h >= 5, "needs at least antecedent + 3 + check, got {h}");
-        let unb = parse_assertion_str(
-            "assert property (@(posedge clk) a |-> strong(##[0:$] b));",
-        )
-        .unwrap();
+        let unb = parse_assertion_str("assert property (@(posedge clk) a |-> strong(##[0:$] b));")
+            .unwrap();
         assert!(horizon_for(&unb, None, 4) >= 5);
     }
 

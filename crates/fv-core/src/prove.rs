@@ -276,10 +276,7 @@ mod tests {
     #[test]
     fn false_property_is_falsified_with_cex() {
         let nl = counter();
-        let r = prove_str(
-            &nl,
-            "assert property (@(posedge clk) q != 2'd3);",
-        );
+        let r = prove_str(&nl, "assert property (@(posedge clk) q != 2'd3);");
         match r {
             ProveResult::Falsified { cex } => {
                 assert!(!cex.inputs.is_empty());

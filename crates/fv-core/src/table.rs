@@ -62,6 +62,39 @@ impl SignalTable {
         self.widths.len()
     }
 
+    /// Stable, order-independent content hash: two tables digest
+    /// equally iff they declare the same signals, widths, and
+    /// constants. Usable as a cache-key component.
+    pub fn digest(&self) -> u64 {
+        let entry = |parts: &[&[u8]]| -> u64 {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for part in parts {
+                for &b in *part {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                h ^= 0x1f;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h
+        };
+        // XOR-fold per-entry hashes so HashMap iteration order is
+        // irrelevant.
+        let mut acc = 0x9E3779B97F4A7C15u64 ^ (self.widths.len() as u64).rotate_left(32);
+        for (name, w) in &self.widths {
+            acc ^= entry(&[b"sig", name.as_bytes(), &w.to_le_bytes()]);
+        }
+        for (name, (w, v)) in &self.consts {
+            acc ^= entry(&[
+                b"const",
+                name.as_bytes(),
+                &w.to_le_bytes(),
+                &v.to_le_bytes(),
+            ]);
+        }
+        acc
+    }
+
     /// `true` if no signals are declared.
     pub fn is_empty(&self) -> bool {
         self.widths.is_empty()

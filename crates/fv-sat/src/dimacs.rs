@@ -13,7 +13,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -56,7 +60,9 @@ pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), ParseDimacsErr
         }
         let nv = n_vars.ok_or_else(|| err(ln, "clause before 'p cnf' header"))?;
         for tok in line.split_whitespace() {
-            let x: i64 = tok.parse().map_err(|_| err(ln, format!("bad token '{tok}'")))?;
+            let x: i64 = tok
+                .parse()
+                .map_err(|_| err(ln, format!("bad token '{tok}'")))?;
             if x == 0 {
                 clauses.push(std::mem::take(&mut current));
             } else {

@@ -113,7 +113,9 @@ mod tests {
         for i in 0..5 {
             h.insert(Var(i), &act);
         }
-        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act)).map(|v| v.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act))
+            .map(|v| v.0)
+            .collect();
         assert_eq!(order, vec![1, 3, 2, 4, 0]);
     }
 

@@ -589,10 +589,7 @@ impl Solver {
                 // Conflict below the assumption levels means the
                 // assumptions themselves are inconsistent.
                 let (learnt, bt) = self.analyze(conflict);
-                let assumption_level = self
-                    .trail_lim
-                    .len()
-                    .min(assumptions.len());
+                let assumption_level = self.trail_lim.len().min(assumptions.len());
                 if (bt as usize) < assumption_level
                     && self.decision_level() as usize <= assumptions.len()
                 {

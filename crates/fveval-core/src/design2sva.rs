@@ -2,10 +2,11 @@
 //! the testbench, elaborated with the design bound in, and checked with
 //! the model-checking engine (BMC + k-induction).
 
+use crate::engine::{design_task_specs, EvalEngine};
 use crate::metrics::{CaseEvals, SampleEval};
 use fv_core::{prove, ProveConfig, ProveResult};
 use fveval_data::DesignCase;
-use fveval_llm::{InferenceConfig, Model, Task};
+use fveval_llm::{Backend, InferenceConfig};
 use sv_ast::{Expr, Instance, ModuleItem, SourceFile};
 use sv_parser::{parse_snippet, parse_source};
 use sv_synth::{elaborate_with_extras, Netlist};
@@ -146,33 +147,22 @@ impl Design2svaRunner {
         }
     }
 
-    /// Runs a model over a set of design cases with `n_samples` each.
+    /// Runs a model over a set of design cases with `n_samples` each
+    /// (sequential convenience wrapper over [`EvalEngine`]; build an
+    /// engine directly for parallelism and cross-run caching).
     pub fn run(
         &self,
-        model: &dyn Model,
+        model: &dyn Backend,
         cases: &[DesignCase],
         cfg: &InferenceConfig,
         n_samples: u32,
     ) -> Vec<CaseEvals> {
-        cases
-            .iter()
-            .map(|case| {
-                let samples = match bind_design(case) {
-                    Err(_) => vec![SampleEval::failed(); n_samples.max(1) as usize],
-                    Ok(bound) => (0..n_samples.max(1))
-                        .map(|i| {
-                            let task = Task::Design2sva { case };
-                            let resp = model.generate(&task, cfg, i);
-                            self.evaluate_response(&bound, &resp)
-                        })
-                        .collect(),
-                };
-                CaseEvals {
-                    id: case.id.clone(),
-                    samples,
-                }
-            })
-            .collect()
+        EvalEngine::with_jobs(1).with_d2s_runner(self.clone()).run(
+            model,
+            &design_task_specs(cases),
+            cfg,
+            n_samples,
+        )
     }
 }
 
@@ -253,7 +243,9 @@ mod tests {
             } => (*n_states, transitions[0].clone()),
             _ => unreachable!(),
         };
-        let wrong = (0..n).find(|t| !succs.contains(t)).expect("wrong successor");
+        let wrong = (0..n)
+            .find(|t| !succs.contains(t))
+            .expect("wrong successor");
         let runner = Design2svaRunner::new();
         let resp = format!(
             "assert property (@(posedge clk) disable iff (tb_reset) \

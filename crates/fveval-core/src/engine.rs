@@ -1,0 +1,600 @@
+//! The unified evaluation engine: batched inference, a scoped-thread
+//! worker pool, and verdict caching over one enumerable work-list.
+//!
+//! [`EvalEngine`] executes the `model × case × sample` product behind a
+//! single API. Work is flattened into `(backend, case)` units (each
+//! unit batches its samples through [`Backend::generate_batch`]) and
+//! drained by `jobs` scoped worker threads. Because every [`Request`]
+//! is answered independently and deterministically, and every unit
+//! writes to its own pre-assigned output slot, a parallel run produces
+//! byte-identical results to a sequential one.
+//!
+//! Two caches amortize repeated work across tables:
+//!
+//! - the **verdict cache**, keyed by `(model, task-id, content digest,
+//!   cfg, sample)`, skips inference *and* formal scoring for cases
+//!   shared between experiments (Tables 1/2 and Figure 6 all reuse
+//!   the human set);
+//! - the **bind cache** reuses each Design2SVA case's parsed +
+//!   elaborated [`DesignEval`] across all backends and samples.
+
+use crate::design2sva::{bind_design, Design2svaRunner, DesignEval};
+use crate::metrics::{CaseEvals, SampleEval};
+use crate::nl2sva::Nl2svaRunner;
+use fv_core::SignalTable;
+use fveval_data::{DesignCase, HumanCase, MachineCase};
+use fveval_llm::{Backend, InferenceConfig, Request, TaskSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Verdict-cache counters (monotonic over the engine's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Samples answered from the verdict cache.
+    pub hits: u64,
+    /// Samples that required inference + scoring.
+    pub misses: u64,
+    /// Verdicts currently stored.
+    pub entries: usize,
+}
+
+/// Cache key: `(model, task-id, content digest, cfg fingerprint,
+/// sample)`. The digest guards against id collisions between
+/// differently-seeded dataset generations (machine case ids are always
+/// `nl2sva_machine_0000..` regardless of the generator seed).
+type VerdictKey = (String, String, u64, String, u32);
+
+/// Bind-cache key and value: `(design id, source digest)` to the
+/// shared parse+elaboration outcome.
+type BindKey = (String, u64);
+type SharedBind = Arc<Result<DesignEval, String>>;
+
+#[derive(Debug, Default)]
+struct VerdictCache {
+    map: Mutex<HashMap<VerdictKey, SampleEval>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerdictCache {
+    fn get(&self, key: &VerdictKey) -> Option<SampleEval> {
+        let found = self
+            .map
+            .lock()
+            .expect("verdict cache poisoned")
+            .get(key)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: VerdictKey, eval: SampleEval) {
+        self.map
+            .lock()
+            .expect("verdict cache poisoned")
+            .insert(key, eval);
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("verdict cache poisoned").len(),
+        }
+    }
+}
+
+/// The unified evaluation engine.
+///
+/// Construct one per experiment run (or share one across experiments to
+/// pool the caches), hand it any [`Backend`] plus a task list built
+/// with [`human_task_specs`] / [`machine_task_specs`] /
+/// [`design_task_specs`], and collect per-case metrics.
+///
+/// # Examples
+///
+/// ```
+/// use fveval_core::{machine_task_specs, EvalEngine, MetricSummary};
+/// use fveval_data::{generate_machine_cases, machine_signal_table, MachineGenConfig};
+/// use fveval_llm::{profiles, InferenceConfig};
+///
+/// let cases = generate_machine_cases(MachineGenConfig {
+///     count: 10,
+///     ..Default::default()
+/// });
+/// let tasks = machine_task_specs(&cases, &machine_signal_table());
+/// let engine = EvalEngine::with_jobs(2);
+/// let models = profiles();
+/// let evals = engine.run(&models[0], &tasks, &InferenceConfig::greedy(), 1);
+/// assert_eq!(evals.len(), 10);
+/// let summary = MetricSummary::from_first_samples(&evals);
+/// assert!(summary.syntax > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct EvalEngine {
+    jobs: usize,
+    nl2sva: Nl2svaRunner,
+    d2s: Design2svaRunner,
+    verdicts: VerdictCache,
+    binds: Mutex<HashMap<BindKey, SharedBind>>,
+}
+
+impl Default for EvalEngine {
+    fn default() -> EvalEngine {
+        EvalEngine::new()
+    }
+}
+
+impl EvalEngine {
+    /// Engine with one worker per available CPU.
+    pub fn new() -> EvalEngine {
+        EvalEngine::with_jobs(0)
+    }
+
+    /// Engine with a fixed worker count; `0` means "available
+    /// parallelism" and `1` runs fully sequentially (no threads).
+    pub fn with_jobs(jobs: usize) -> EvalEngine {
+        EvalEngine {
+            jobs: if jobs == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                jobs
+            },
+            nl2sva: Nl2svaRunner::new(),
+            d2s: Design2svaRunner::new(),
+            verdicts: VerdictCache::default(),
+            binds: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the NL2SVA scoring runner (equivalence horizons).
+    pub fn with_nl2sva_runner(mut self, runner: Nl2svaRunner) -> EvalEngine {
+        self.nl2sva = runner;
+        self
+    }
+
+    /// Overrides the Design2SVA scoring runner (prover bounds).
+    pub fn with_d2s_runner(mut self, runner: Design2svaRunner) -> EvalEngine {
+        self.d2s = runner;
+        self
+    }
+
+    /// The effective worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Verdict-cache counters so callers can report hit rates.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.verdicts.stats()
+    }
+
+    /// Runs one backend over a task list with `n_samples` responses per
+    /// case. Results are in task order, one [`CaseEvals`] per task, and
+    /// are identical for any `jobs` setting.
+    pub fn run(
+        &self,
+        backend: &dyn Backend,
+        tasks: &[Arc<TaskSpec>],
+        cfg: &InferenceConfig,
+        n_samples: u32,
+    ) -> Vec<CaseEvals> {
+        self.run_matrix(&[backend], tasks, cfg, n_samples)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Runs the full `backends × tasks × samples` work-list through the
+    /// worker pool. Returns one `Vec<CaseEvals>` per backend, in input
+    /// order; `result[b][t]` holds backend `b`'s samples for task `t`.
+    pub fn run_matrix(
+        &self,
+        backends: &[&dyn Backend],
+        tasks: &[Arc<TaskSpec>],
+        cfg: &InferenceConfig,
+        n_samples: u32,
+    ) -> Vec<Vec<CaseEvals>> {
+        let n_samples = n_samples.max(1);
+        let total = backends.len() * tasks.len();
+        if total == 0 {
+            return backends.iter().map(|_| Vec::new()).collect();
+        }
+        let slots: Vec<OnceLock<CaseEvals>> = (0..total).map(|_| OnceLock::new()).collect();
+        let run_unit = |unit: usize| {
+            let backend = backends[unit / tasks.len()];
+            let task = &tasks[unit % tasks.len()];
+            let evals = self.eval_unit(backend, task, cfg, n_samples);
+            slots[unit]
+                .set(evals)
+                .expect("each work unit is claimed exactly once");
+        };
+        let workers = self.jobs.min(total);
+        if workers <= 1 {
+            (0..total).for_each(run_unit);
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let unit = next.fetch_add(1, Ordering::Relaxed);
+                        if unit >= total {
+                            break;
+                        }
+                        run_unit(unit);
+                    });
+                }
+            });
+        }
+        let mut slots = slots.into_iter();
+        backends
+            .iter()
+            .map(|_| {
+                (&mut slots)
+                    .take(tasks.len())
+                    .map(|s| s.into_inner().expect("all units completed"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Evaluates one `(backend, task)` unit: consult the verdict cache
+    /// per sample, batch the misses through the backend, score, and
+    /// fill the cache.
+    fn eval_unit(
+        &self,
+        backend: &dyn Backend,
+        task: &Arc<TaskSpec>,
+        cfg: &InferenceConfig,
+        n_samples: u32,
+    ) -> CaseEvals {
+        let fingerprint = cfg.fingerprint();
+        let digest = task.content_digest();
+        let key = |sample_idx: u32| -> VerdictKey {
+            (
+                backend.name().to_string(),
+                task.id().to_string(),
+                digest,
+                fingerprint.clone(),
+                sample_idx,
+            )
+        };
+        let mut samples: Vec<Option<SampleEval>> =
+            (0..n_samples).map(|i| self.verdicts.get(&key(i))).collect();
+        let missing: Vec<u32> = (0..n_samples)
+            .filter(|&i| samples[i as usize].is_none())
+            .collect();
+        if !missing.is_empty() {
+            // A design that fails to parse/elaborate scores every
+            // sample as failed — resolve that before inference so no
+            // (potentially paid, rate-limited) backend calls are spent
+            // on responses that cannot be evaluated.
+            if let TaskSpec::Design2sva { case } = task.as_ref() {
+                if self.bound_design(case, digest).is_err() {
+                    for &sample_idx in &missing {
+                        let eval = SampleEval::failed();
+                        self.verdicts.insert(key(sample_idx), eval);
+                        samples[sample_idx as usize] = Some(eval);
+                    }
+                    return CaseEvals {
+                        id: task.id().to_string(),
+                        samples: samples
+                            .into_iter()
+                            .map(|s| s.expect("every sample resolved"))
+                            .collect(),
+                    };
+                }
+            }
+            let reqs: Vec<Request> = missing
+                .iter()
+                .map(|&sample_idx| Request {
+                    task: Arc::clone(task),
+                    cfg: *cfg,
+                    sample_idx,
+                })
+                .collect();
+            let responses = backend.generate_batch(&reqs);
+            assert_eq!(
+                responses.len(),
+                reqs.len(),
+                "backend '{}' returned {} responses for {} requests",
+                backend.name(),
+                responses.len(),
+                reqs.len()
+            );
+            for (&sample_idx, response) in missing.iter().zip(&responses) {
+                let eval = self.score_with_digest(task, response, digest);
+                self.verdicts.insert(key(sample_idx), eval);
+                samples[sample_idx as usize] = Some(eval);
+            }
+        }
+        CaseEvals {
+            id: task.id().to_string(),
+            samples: samples
+                .into_iter()
+                .map(|s| s.expect("every sample resolved"))
+                .collect(),
+        }
+    }
+
+    /// Scores one response with the real evaluation pipeline.
+    pub fn score(&self, task: &TaskSpec, response: &str) -> SampleEval {
+        self.score_with_digest(task, response, task.content_digest())
+    }
+
+    /// [`EvalEngine::score`] with the content digest precomputed (the
+    /// per-unit hot path hashes each task once, not once per sample).
+    fn score_with_digest(&self, task: &TaskSpec, response: &str, digest: u64) -> SampleEval {
+        match task {
+            TaskSpec::Nl2svaHuman { case, table } => {
+                self.nl2sva
+                    .evaluate_response(&case.reference, response, table)
+            }
+            TaskSpec::Nl2svaMachine { case, table } => {
+                self.nl2sva
+                    .evaluate_response(&case.reference_text, response, table)
+            }
+            TaskSpec::Design2sva { case } => match self.bound_design(case, digest).as_ref() {
+                Ok(bound) => self.d2s.evaluate_response(bound, response),
+                Err(_) => SampleEval::failed(),
+            },
+        }
+    }
+
+    /// Parses + elaborates a design once and shares it across every
+    /// backend and sample that scores against it. Keyed by `(id,
+    /// source digest)` so same-id cases with different RTL never share
+    /// a binding.
+    fn bound_design(&self, case: &DesignCase, digest: u64) -> SharedBind {
+        let key = (case.id.clone(), digest);
+        if let Some(bound) = self.binds.lock().expect("bind cache poisoned").get(&key) {
+            return Arc::clone(bound);
+        }
+        // Bind outside the lock: elaboration is the expensive part. A
+        // racing worker may duplicate the work, but both produce the
+        // same value and the first insert wins.
+        let bound = Arc::new(bind_design(case));
+        Arc::clone(
+            self.binds
+                .lock()
+                .expect("bind cache poisoned")
+                .entry(key)
+                .or_insert(bound),
+        )
+    }
+}
+
+/// Builds the owned task list for the human set. `tables` maps
+/// testbench names to signal scopes; each scope is `Arc`ed once and
+/// shared by all of its cases.
+pub fn human_task_specs(
+    cases: &[HumanCase],
+    tables: &HashMap<&str, SignalTable>,
+) -> Vec<Arc<TaskSpec>> {
+    let shared: HashMap<&str, Arc<SignalTable>> = tables
+        .iter()
+        .map(|(&name, table)| (name, Arc::new(table.clone())))
+        .collect();
+    cases
+        .iter()
+        .map(|case| {
+            Arc::new(TaskSpec::Nl2svaHuman {
+                case: case.clone(),
+                table: Arc::clone(&shared[case.testbench]),
+            })
+        })
+        .collect()
+}
+
+/// Builds the owned task list for the machine set (one shared scope).
+pub fn machine_task_specs(cases: &[MachineCase], table: &SignalTable) -> Vec<Arc<TaskSpec>> {
+    let table = Arc::new(table.clone());
+    cases
+        .iter()
+        .map(|case| {
+            Arc::new(TaskSpec::Nl2svaMachine {
+                case: case.clone(),
+                table: Arc::clone(&table),
+            })
+        })
+        .collect()
+}
+
+/// Builds the owned task list for a Design2SVA sweep.
+pub fn design_task_specs(cases: &[DesignCase]) -> Vec<Arc<TaskSpec>> {
+    cases
+        .iter()
+        .map(|case| Arc::new(TaskSpec::Design2sva { case: case.clone() }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fveval_data::{fsm_sweep, generate_machine_cases, machine_signal_table, MachineGenConfig};
+    use fveval_llm::profiles;
+
+    fn machine_tasks(count: usize) -> Vec<Arc<TaskSpec>> {
+        let cases = generate_machine_cases(MachineGenConfig {
+            count,
+            ..Default::default()
+        });
+        machine_task_specs(&cases, &machine_signal_table())
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let tasks = machine_tasks(24);
+        let models = profiles();
+        let backends: Vec<&dyn Backend> = models[..3].iter().map(|m| m as &dyn Backend).collect();
+        let cfg = InferenceConfig::sampling();
+        let seq = EvalEngine::with_jobs(1).run_matrix(&backends, &tasks, &cfg, 3);
+        let par = EvalEngine::with_jobs(4).run_matrix(&backends, &tasks, &cfg, 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn verdict_cache_hits_on_repeat() {
+        let tasks = machine_tasks(10);
+        let models = profiles();
+        let engine = EvalEngine::with_jobs(2);
+        let cfg = InferenceConfig::greedy();
+        let first = engine.run(&models[0], &tasks, &cfg, 1);
+        let after_first = engine.cache_stats();
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.misses, 10);
+        assert_eq!(after_first.entries, 10);
+        let second = engine.run(&models[0], &tasks, &cfg, 1);
+        let after_second = engine.cache_stats();
+        assert_eq!(after_second.hits, 10, "repeat run is fully cached");
+        assert_eq!(after_second.misses, 10);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cache_distinguishes_same_id_cases_from_different_generations() {
+        // Machine case ids are nl2sva_machine_0000.. for *every*
+        // generator seed; the content digest must keep their verdicts
+        // apart when one engine is shared across datasets.
+        let gen = |seed| {
+            generate_machine_cases(MachineGenConfig {
+                count: 8,
+                seed,
+                ..Default::default()
+            })
+        };
+        let (a, b) = (gen(1), gen(2));
+        assert_eq!(a[0].id, b[0].id, "ids collide by construction");
+        assert_ne!(a[0].reference_text, b[0].reference_text);
+        let table = machine_signal_table();
+        let engine = EvalEngine::with_jobs(1);
+        let models = profiles();
+        let cfg = InferenceConfig::greedy();
+        let ea = engine.run(&models[0], &machine_task_specs(&a, &table), &cfg, 1);
+        let eb = engine.run(&models[0], &machine_task_specs(&b, &table), &cfg, 1);
+        assert_eq!(engine.cache_stats().hits, 0, "no cross-dataset hits");
+        // And each run matches a fresh, uncontaminated engine.
+        let fresh =
+            EvalEngine::with_jobs(1).run(&models[0], &machine_task_specs(&b, &table), &cfg, 1);
+        assert_eq!(eb, fresh);
+        assert_eq!(ea.len(), 8);
+    }
+
+    #[test]
+    fn cache_distinguishes_configs_and_models() {
+        let tasks = machine_tasks(5);
+        let models = profiles();
+        let engine = EvalEngine::with_jobs(1);
+        engine.run(&models[0], &tasks, &InferenceConfig::greedy(), 1);
+        engine.run(
+            &models[0],
+            &tasks,
+            &InferenceConfig::greedy().with_shots(3),
+            1,
+        );
+        engine.run(&models[1], &tasks, &InferenceConfig::greedy(), 1);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 0, "different (model, cfg) keys never collide");
+        assert_eq!(stats.entries, 15);
+    }
+
+    #[test]
+    fn cache_distinguishes_same_cases_under_different_tables() {
+        // The scope affects generation and scoring; a widened table
+        // must not be served verdicts computed under the old one.
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 4,
+            ..Default::default()
+        });
+        let table_a = machine_signal_table();
+        let mut table_b = machine_signal_table();
+        table_b.insert("extra_probe", 1);
+        let engine = EvalEngine::with_jobs(1);
+        let models = profiles();
+        let cfg = InferenceConfig::greedy();
+        engine.run(&models[0], &machine_task_specs(&cases, &table_a), &cfg, 1);
+        engine.run(&models[0], &machine_task_specs(&cases, &table_b), &cfg, 1);
+        assert_eq!(
+            engine.cache_stats().hits,
+            0,
+            "table change misses the cache"
+        );
+        assert_eq!(engine.cache_stats().entries, 8);
+    }
+
+    #[test]
+    fn unbindable_design_skips_inference() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct Counting(AtomicU32);
+        impl Backend for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn generate(&self, _req: &Request) -> String {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                "assert property (@(posedge clk) 1'b1);".into()
+            }
+        }
+        let mut broken = fsm_sweep(1, 9)[0].clone();
+        broken.design_source = "module garbage (syntax error".into();
+        let tasks = design_task_specs(&[broken]);
+        let backend = Counting(AtomicU32::new(0));
+        let engine = EvalEngine::with_jobs(1);
+        let evals = engine.run(&backend, &tasks, &InferenceConfig::sampling(), 4);
+        assert_eq!(
+            backend.0.load(Ordering::Relaxed),
+            0,
+            "no wasted model calls"
+        );
+        assert!(evals[0].samples.iter().all(|s| !s.syntax));
+        // The failure verdicts are cached like any other.
+        engine.run(&backend, &tasks, &InferenceConfig::sampling(), 4);
+        assert_eq!(engine.cache_stats().hits, 4);
+    }
+
+    #[test]
+    fn design_bind_cache_is_shared_across_backends() {
+        let cases = fsm_sweep(2, 5);
+        let tasks = design_task_specs(&cases);
+        let models = profiles();
+        let backends: Vec<&dyn Backend> = models
+            .iter()
+            .filter(|m| m.profile().supports_design2sva)
+            .take(2)
+            .map(|m| m as &dyn Backend)
+            .collect();
+        let engine = EvalEngine::with_jobs(3);
+        let out = engine.run_matrix(&backends, &tasks, &InferenceConfig::sampling(), 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 2);
+        // One bind per case, reused by both backends.
+        assert_eq!(engine.binds.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn matrix_rows_match_single_runs() {
+        let tasks = machine_tasks(12);
+        let models = profiles();
+        let backends: Vec<&dyn Backend> = models[..2].iter().map(|m| m as &dyn Backend).collect();
+        let cfg = InferenceConfig::greedy();
+        let matrix = EvalEngine::with_jobs(4).run_matrix(&backends, &tasks, &cfg, 1);
+        for (backend, row) in backends.iter().zip(&matrix) {
+            let single = EvalEngine::with_jobs(1).run(*backend, &tasks, &cfg, 1);
+            assert_eq!(row, &single);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let engine = EvalEngine::new();
+        let models = profiles();
+        let out = engine.run(&models[0], &[], &InferenceConfig::greedy(), 1);
+        assert!(out.is_empty());
+        let none: Vec<Vec<CaseEvals>> =
+            engine.run_matrix(&[], &machine_tasks(2), &InferenceConfig::greedy(), 1);
+        assert!(none.is_empty());
+    }
+}

@@ -17,6 +17,7 @@
 
 mod bleu;
 mod design2sva;
+mod engine;
 mod metrics;
 mod nl2sva;
 mod passk;
@@ -26,6 +27,7 @@ mod tokenize;
 
 pub use bleu::bleu;
 pub use design2sva::{bind_design, Design2svaRunner, DesignEval};
+pub use engine::{design_task_specs, human_task_specs, machine_task_specs, CacheStats, EvalEngine};
 pub use metrics::{CaseEvals, MetricSummary, SampleEval};
 pub use nl2sva::{Nl2svaRunner, PromptInfo};
 pub use passk::pass_at_k;

@@ -1,10 +1,11 @@
 //! Runner for the NL2SVA-Human and NL2SVA-Machine sub-benchmarks.
 
 use crate::bleu::bleu;
+use crate::engine::{human_task_specs, machine_task_specs, EvalEngine};
 use crate::metrics::{CaseEvals, SampleEval};
 use fv_core::{check_equivalence, EquivConfig, SignalTable};
 use fveval_data::{HumanCase, MachineCase};
-use fveval_llm::{InferenceConfig, Model, Task};
+use fveval_llm::{Backend, InferenceConfig};
 use sv_parser::parse_assertion_str;
 
 /// Prompt statistics for the length-distribution figures.
@@ -87,61 +88,37 @@ impl Nl2svaRunner {
         }
     }
 
-    /// Runs a model over the human dataset.
+    /// Runs a model over the human dataset (sequential convenience
+    /// wrapper over [`EvalEngine`]; build an engine directly for
+    /// parallelism and cross-run caching).
     ///
     /// `tables` maps testbench names to their signal scopes.
     pub fn run_human(
         &self,
-        model: &dyn Model,
+        model: &dyn Backend,
         cases: &[HumanCase],
         tables: &std::collections::HashMap<&str, SignalTable>,
         cfg: &InferenceConfig,
         n_samples: u32,
     ) -> Vec<CaseEvals> {
-        cases
-            .iter()
-            .map(|case| {
-                let table = &tables[case.testbench];
-                let task = Task::Nl2svaHuman { case, table };
-                let samples = (0..n_samples.max(1))
-                    .map(|i| {
-                        let resp = model.generate(&task, cfg, i);
-                        self.evaluate_response(&case.reference, &resp, table)
-                    })
-                    .collect();
-                CaseEvals {
-                    id: case.id.clone(),
-                    samples,
-                }
-            })
-            .collect()
+        EvalEngine::with_jobs(1)
+            .with_nl2sva_runner(self.clone())
+            .run(model, &human_task_specs(cases, tables), cfg, n_samples)
     }
 
-    /// Runs a model over the machine dataset.
+    /// Runs a model over the machine dataset (sequential convenience
+    /// wrapper over [`EvalEngine`]).
     pub fn run_machine(
         &self,
-        model: &dyn Model,
+        model: &dyn Backend,
         cases: &[MachineCase],
         table: &SignalTable,
         cfg: &InferenceConfig,
         n_samples: u32,
     ) -> Vec<CaseEvals> {
-        cases
-            .iter()
-            .map(|case| {
-                let task = Task::Nl2svaMachine { case, table };
-                let samples = (0..n_samples.max(1))
-                    .map(|i| {
-                        let resp = model.generate(&task, cfg, i);
-                        self.evaluate_response(&case.reference_text, &resp, table)
-                    })
-                    .collect();
-                CaseEvals {
-                    id: case.id.clone(),
-                    samples,
-                }
-            })
-            .collect()
+        EvalEngine::with_jobs(1)
+            .with_nl2sva_runner(self.clone())
+            .run(model, &machine_task_specs(cases, table), cfg, n_samples)
     }
 }
 
@@ -152,7 +129,9 @@ mod tests {
     use fveval_llm::profiles;
 
     fn table() -> SignalTable {
-        [("a", 1u32), ("b", 1), ("tb_reset", 1)].into_iter().collect()
+        [("a", 1u32), ("b", 1), ("tb_reset", 1)]
+            .into_iter()
+            .collect()
     }
 
     #[test]
@@ -219,13 +198,7 @@ mod tests {
         let models = profiles();
         let model = models.iter().find(|m| m.name() == "gpt-4o").unwrap();
         let runner = Nl2svaRunner::new();
-        let evals = runner.run_machine(
-            model,
-            &cases,
-            &table,
-            &InferenceConfig::greedy(),
-            1,
-        );
+        let evals = runner.run_machine(model, &cases, &table, &InferenceConfig::greedy(), 1);
         assert_eq!(evals.len(), 12);
         // The top model should score reasonably on a small sample.
         let summary = crate::MetricSummary::from_first_samples(&evals);

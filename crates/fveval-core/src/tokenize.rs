@@ -71,9 +71,8 @@ mod tests {
     #[test]
     fn token_count_scales_with_length() {
         let short = token_count("wr_push |-> rd_pop");
-        let long = token_count(
-            "wr_push |-> strong(##[0:$] rd_pop) && another_long_signal_name == 4'hF",
-        );
+        let long =
+            token_count("wr_push |-> strong(##[0:$] rd_pop) && another_long_signal_name == 4'hF");
         assert!(long > short);
         assert!(short > 3);
     }

@@ -12,8 +12,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sv_ast::{
-    print_module, Assign, BinaryOp, EdgeKind, EventExpr, Expr, Instance, LValue, Literal,
-    Module, ModuleItem, NetDecl, NetKind, ParamDecl, PortDecl, PortDir, Range, Stmt,
+    print_module, Assign, BinaryOp, EdgeKind, EventExpr, Expr, Instance, LValue, Literal, Module,
+    ModuleItem, NetDecl, NetKind, ParamDecl, PortDecl, PortDir, Range, Stmt,
 };
 
 /// Category of a generated design.
@@ -150,9 +150,7 @@ fn subst_x(e: &Expr, with: &Expr) -> Expr {
         Expr::Replicate(n, i) => {
             Expr::Replicate(Box::new(subst_x(n, with)), Box::new(subst_x(i, with)))
         }
-        Expr::Index(b, i) => {
-            Expr::Index(Box::new(subst_x(b, with)), Box::new(subst_x(i, with)))
-        }
+        Expr::Index(b, i) => Expr::Index(Box::new(subst_x(b, with)), Box::new(subst_x(i, with))),
         Expr::Slice(b, h, l) => Expr::Slice(
             Box::new(subst_x(b, with)),
             Box::new(subst_x(h, with)),
@@ -183,33 +181,21 @@ fn exec_unit_module(index: u32, depth: u32, update: &Expr) -> Module {
         cond: ident("reset_").lnot(),
         then: Box::new(Stmt::Block(vec![
             Stmt::NonBlocking(
-                LValue::Index(
-                    "ready".into(),
-                    Expr::bin(BinaryOp::Add, ident("i"), num(1)),
-                ),
+                LValue::Index("ready".into(), Expr::bin(BinaryOp::Add, ident("i"), num(1))),
                 Expr::Literal(Literal::tick_d(0)),
             ),
             Stmt::NonBlocking(
-                LValue::Index(
-                    "data".into(),
-                    Expr::bin(BinaryOp::Add, ident("i"), num(1)),
-                ),
+                LValue::Index("data".into(), Expr::bin(BinaryOp::Add, ident("i"), num(1))),
                 Expr::Literal(Literal::tick_d(0)),
             ),
         ])),
         alt: Some(Box::new(Stmt::Block(vec![
             Stmt::NonBlocking(
-                LValue::Index(
-                    "ready".into(),
-                    Expr::bin(BinaryOp::Add, ident("i"), num(1)),
-                ),
+                LValue::Index("ready".into(), Expr::bin(BinaryOp::Add, ident("i"), num(1))),
                 Expr::Index(Box::new(ident("ready")), Box::new(ident("i"))),
             ),
             Stmt::NonBlocking(
-                LValue::Index(
-                    "data".into(),
-                    Expr::bin(BinaryOp::Add, ident("i"), num(1)),
-                ),
+                LValue::Index("data".into(), Expr::bin(BinaryOp::Add, ident("i"), num(1))),
                 data_update,
             ),
         ]))),
@@ -473,7 +459,11 @@ pub fn generate_pipeline(params: &PipelineParams) -> DesignCase {
             }),
             ModuleItem::ContAssign(Assign {
                 lhs: LValue::Ident("tb_reset".into()),
-                rhs: Expr::bin(BinaryOp::Eq, ident("reset_"), Expr::Literal(Literal::sized_bin(1, 0))),
+                rhs: Expr::bin(
+                    BinaryOp::Eq,
+                    ident("reset_"),
+                    Expr::Literal(Literal::sized_bin(1, 0)),
+                ),
             }),
         ],
     };
@@ -486,7 +476,10 @@ pub fn generate_pipeline(params: &PipelineParams) -> DesignCase {
         ),
         "asrt: assert property (@(posedge clk) disable iff (tb_reset) \
          (!in_vld) |-> ##DEPTHX 1'b1);"
-            .replace("##DEPTHX 1'b1", &format!("##{total_depth} (out_vld || !out_vld)")),
+            .replace(
+                "##DEPTHX 1'b1",
+                &format!("##{total_depth} (out_vld || !out_vld)"),
+            ),
     ];
 
     let logic_excerpt = updates
@@ -785,8 +778,7 @@ pub fn pipeline_sweep(count: usize, seed: u64) -> Vec<DesignCase> {
                     if i >= count {
                         break 'outer;
                     }
-                    let depths: Vec<u32> =
-                        (0..nu).map(|_| rng.gen_range(1..=3u32)).collect();
+                    let depths: Vec<u32> = (0..nu).map(|_| rng.gen_range(1..=3u32)).collect();
                     out.push(generate_pipeline(&PipelineParams {
                         n_units: nu,
                         unit_depths: depths,
@@ -916,8 +908,8 @@ mod tests {
     #[test]
     fn sweep_designs_all_elaborate() {
         for case in pipeline_sweep(8, 3).into_iter().chain(fsm_sweep(8, 4)) {
-            let f = parse_source(&case.design_source)
-                .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+            let f =
+                parse_source(&case.design_source).unwrap_or_else(|e| panic!("{}: {e}", case.id));
             elaborate(&f, &case.top).unwrap_or_else(|e| panic!("{}: {e}", case.id));
         }
     }

@@ -145,12 +145,7 @@ pub fn signal_table_for(tb: &Testbench) -> Result<SignalTable, String> {
     Ok(table)
 }
 
-fn case(
-    id: &str,
-    testbench: &'static str,
-    question: &str,
-    reference: &str,
-) -> HumanCase {
+fn case(id: &str, testbench: &'static str, question: &str, reference: &str) -> HumanCase {
     HumanCase {
         id: id.to_string(),
         testbench,
@@ -695,8 +690,7 @@ mod tests {
     #[test]
     fn all_references_parse() {
         for c in human_cases() {
-            parse_assertion_str(&c.reference)
-                .unwrap_or_else(|e| panic!("{}: {e}", c.id));
+            parse_assertion_str(&c.reference).unwrap_or_else(|e| panic!("{}: {e}", c.id));
         }
     }
 

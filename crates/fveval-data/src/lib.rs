@@ -19,10 +19,8 @@ pub mod human;
 pub mod machine;
 
 pub use design::{
-    fsm_sweep, generate_fsm, generate_pipeline, pipeline_sweep, DesignCase, DesignKind,
-    FsmParams, PipelineParams,
+    fsm_sweep, generate_fsm, generate_pipeline, pipeline_sweep, DesignCase, DesignKind, FsmParams,
+    PipelineParams,
 };
 pub use human::{human_cases, signal_table_for, testbench, testbenches, HumanCase, Testbench};
-pub use machine::{
-    generate_machine_cases, machine_signal_table, MachineCase, MachineGenConfig,
-};
+pub use machine::{generate_machine_cases, machine_signal_table, MachineCase, MachineGenConfig};

@@ -11,8 +11,8 @@ use fv_core::SignalTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sv_ast::{
-    print_assertion, Assertion, BinaryOp, ClockSpec, DelayBound, Expr, Literal, PropExpr,
-    SeqExpr, SysFunc, UnaryOp,
+    print_assertion, Assertion, BinaryOp, ClockSpec, DelayBound, Expr, Literal, PropExpr, SeqExpr,
+    SysFunc, UnaryOp,
 };
 
 /// One generated (NL, SVA) test case.
@@ -211,14 +211,14 @@ fn gen_atom(rng: &mut StdRng) -> DescribedExpr {
                     Expr::ident(s1),
                     Expr::ident(s2),
                 ),
-                canon: format!(
-                    "{s1} is {}equal to {s2}",
-                    if eq { "" } else { "not " }
-                ),
+                canon: format!("{s1} is {}equal to {s2}", if eq { "" } else { "not " }),
                 varied: if eq {
                     pick(
                         rng,
-                        &[format!("{s1} equals {s2}"), format!("{s1} is equal to {s2}")],
+                        &[
+                            format!("{s1} equals {s2}"),
+                            format!("{s1} is equal to {s2}"),
+                        ],
                     )
                 } else {
                     pick(
@@ -371,7 +371,10 @@ fn gen_assertion(rng: &mut StdRng) -> DescribedAssertion {
                 varied: pick(
                     rng,
                     &[
-                        format!("If {}, then {n} clock cycles later, {}.", a.varied, b.varied),
+                        format!(
+                            "If {}, then {n} clock cycles later, {}.",
+                            a.varied, b.varied
+                        ),
                         format!("{} must hold {n} cycles after {}.", b.varied, a.varied),
                     ],
                 ),
@@ -431,7 +434,10 @@ fn gen_assertion(rng: &mut StdRng) -> DescribedAssertion {
                 varied: pick(
                     rng,
                     &[
-                        format!("If {}, then {} must eventually be true.", a.varied, b.varied),
+                        format!(
+                            "If {}, then {} must eventually be true.",
+                            a.varied, b.varied
+                        ),
                         format!("Once {}, {} eventually holds.", a.varied, b.varied),
                     ],
                 ),
@@ -502,10 +508,9 @@ fn corrupt(rng: &mut StdRng, description: &str) -> String {
                 return s;
             }
         }
-        1
-            if s.contains("odd") => {
-                return s.replace("odd", "even");
-            }
+        1 if s.contains("odd") => {
+            return s.replace("odd", "even");
+        }
         _ => {}
     }
     // Fallback corruption: drop the trailing clause.
@@ -632,10 +637,7 @@ mod tests {
             "sig_G has an odd number of bits set to 1 .",
             "sig_G has an even number of bits set to 1."
         ));
-        assert!(!critic_accepts(
-            "sig_A is high .",
-            "sig_B is high."
-        ));
+        assert!(!critic_accepts("sig_A is high .", "sig_B is high."));
     }
 
     #[test]

@@ -1,0 +1,27 @@
+// NL2SVA-Human collateral: 4-client fixed-priority arbiter (index 0
+// is highest priority). expected_gnt is the combinational priority
+// model the dataset's assertions compare against.
+module arbiter_fixed_tb (
+    input clk,
+    input reset_,
+    input [3:0] tb_req,
+    input busy
+);
+  parameter N_CLIENTS = 4;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  wire any_req;
+  assign any_req = |tb_req;
+
+  wire [3:0] expected_gnt;
+  assign expected_gnt = tb_req[0] ? 4'b0001
+                      : tb_req[1] ? 4'b0010
+                      : tb_req[2] ? 4'b0100
+                      : tb_req[3] ? 4'b1000
+                      : 4'b0000;
+
+  wire [3:0] tb_gnt;
+  assign tb_gnt = busy ? 4'b0000 : expected_gnt;
+endmodule

@@ -1,0 +1,38 @@
+// NL2SVA-Human collateral: 4-client reverse-priority arbiter (the
+// highest index wins). Includes the hold/continued-grant machinery of
+// the round-robin variant.
+module arbiter_reverse_priority_tb (
+    input clk,
+    input reset_,
+    input [3:0] tb_req,
+    input busy,
+    input hold
+);
+  parameter N_CLIENTS = 4;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  reg [3:0] gnt_q;
+
+  wire cont_gnt;
+  assign cont_gnt = hold && (gnt_q != 4'd0) && !busy;
+
+  wire [3:0] expected_gnt;
+  assign expected_gnt = tb_req[3] ? 4'b1000
+                      : tb_req[2] ? 4'b0100
+                      : tb_req[1] ? 4'b0010
+                      : tb_req[0] ? 4'b0001
+                      : 4'b0000;
+
+  wire [3:0] tb_gnt;
+  assign tb_gnt = busy ? 4'b0000 : (cont_gnt ? gnt_q : expected_gnt);
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      gnt_q <= 4'd0;
+    end else begin
+      gnt_q <= tb_gnt;
+    end
+  end
+endmodule

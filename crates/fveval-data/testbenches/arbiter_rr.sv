@@ -1,0 +1,74 @@
+// NL2SVA-Human collateral: 4-client round-robin arbiter.
+//
+// A rotating pointer gives each client a turn at top priority. hold
+// freezes the previous grant (continued grant); busy suppresses all
+// grants.
+module arbiter_rr_tb (
+    input clk,
+    input reset_,
+    input [3:0] tb_req,
+    input busy,
+    input hold
+);
+  parameter N_CLIENTS = 4;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  reg [1:0] rr_ptr;
+  reg [3:0] gnt_q;
+
+  // Continued grant: hold re-issues last cycle's (non-zero) grant.
+  wire cont_gnt;
+  assign cont_gnt = hold && (gnt_q != 4'd0) && !busy;
+
+  // Fixed-priority pick for each of the four pointer positions.
+  wire [3:0] pri0;
+  wire [3:0] pri1;
+  wire [3:0] pri2;
+  wire [3:0] pri3;
+  assign pri0 = tb_req[0] ? 4'b0001
+              : tb_req[1] ? 4'b0010
+              : tb_req[2] ? 4'b0100
+              : tb_req[3] ? 4'b1000
+              : 4'b0000;
+  assign pri1 = tb_req[1] ? 4'b0010
+              : tb_req[2] ? 4'b0100
+              : tb_req[3] ? 4'b1000
+              : tb_req[0] ? 4'b0001
+              : 4'b0000;
+  assign pri2 = tb_req[2] ? 4'b0100
+              : tb_req[3] ? 4'b1000
+              : tb_req[0] ? 4'b0001
+              : tb_req[1] ? 4'b0010
+              : 4'b0000;
+  assign pri3 = tb_req[3] ? 4'b1000
+              : tb_req[0] ? 4'b0001
+              : tb_req[1] ? 4'b0010
+              : tb_req[2] ? 4'b0100
+              : 4'b0000;
+
+  wire [3:0] rr_pick;
+  assign rr_pick = (rr_ptr == 2'd0) ? pri0
+                 : (rr_ptr == 2'd1) ? pri1
+                 : (rr_ptr == 2'd2) ? pri2
+                 : pri3;
+
+  wire [3:0] tb_gnt;
+  assign tb_gnt = busy ? 4'b0000 : (cont_gnt ? gnt_q : rr_pick);
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      rr_ptr <= 2'd0;
+      gnt_q <= 4'd0;
+    end else begin
+      gnt_q <= tb_gnt;
+      if (!cont_gnt) begin
+        if (tb_gnt[0]) rr_ptr <= 2'd1;
+        if (tb_gnt[1]) rr_ptr <= 2'd2;
+        if (tb_gnt[2]) rr_ptr <= 2'd3;
+        if (tb_gnt[3]) rr_ptr <= 2'd0;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,44 @@
+// NL2SVA-Human collateral: 2-client credit-weighted arbiter.
+//
+// Each client owns a 2-bit credit counter (cap 3). A grant with
+// remaining credit spends one credit; an idle client below the cap
+// refills one per cycle. A client with zero credit is starved and
+// cannot be granted.
+module arbiter_weighted_tb (
+    input clk,
+    input reset_,
+    input [1:0] tb_req,
+    input busy
+);
+  parameter N_CLIENTS = 2;
+  parameter CREDIT_CAP = 3;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  reg [1:0] credit0;
+  reg [1:0] credit1;
+
+  wire starved0;
+  wire starved1;
+  assign starved0 = (credit0 == 2'd0);
+  assign starved1 = (credit1 == 2'd0);
+
+  wire [1:0] tb_gnt;
+  assign tb_gnt = busy ? 2'b00
+                : (tb_req[0] && !starved0) ? 2'b01
+                : (tb_req[1] && !starved1) ? 2'b10
+                : 2'b00;
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      credit0 <= 2'd3;
+      credit1 <= 2'd3;
+    end else begin
+      if (tb_gnt[0] && (credit0 != 2'd0)) credit0 <= credit0 - 2'd1;
+      if (!tb_gnt[0] && (credit0 != 2'd3)) credit0 <= credit0 + 2'd1;
+      if (tb_gnt[1] && (credit1 != 2'd0)) credit1 <= credit1 - 2'd1;
+      if (!tb_gnt[1] && (credit1 != 2'd3)) credit1 <= credit1 + 2'd1;
+    end
+  end
+endmodule

@@ -1,0 +1,38 @@
+// NL2SVA-Human collateral: 8-bit loadable up/down counter.
+//
+// load has priority; otherwise en counts up (up_down = 1) or
+// down. at_max/at_min flag the saturation endpoints.
+module counter_tb (
+    input clk,
+    input reset_,
+    input en,
+    input up_down,
+    input load,
+    input [7:0] load_val
+);
+  parameter WIDTH = 8;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  reg [7:0] cnt;
+
+  wire at_max;
+  wire at_min;
+  assign at_max = (cnt == 8'd255);
+  assign at_min = (cnt == 8'd0);
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      cnt <= 8'd0;
+    end else begin
+      if (load) begin
+        cnt <= load_val;
+      end else if (en && up_down) begin
+        cnt <= cnt + 8'd1;
+      end else if (en && !up_down) begin
+        cnt <= cnt - 8'd1;
+      end
+    end
+  end
+endmodule

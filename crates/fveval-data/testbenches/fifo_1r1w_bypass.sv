@@ -1,0 +1,73 @@
+// NL2SVA-Human collateral: 1R1W FIFO with empty bypass (depth 4).
+//
+// When the FIFO is empty and a push and pop coincide, the write data
+// bypasses the storage and is presented directly on the read side.
+module fifo_1r1w_bypass_tb (
+    input clk,
+    input reset_,
+    input wr_vld,
+    input wr_ready,
+    input [3:0] wr_data,
+    input rd_vld,
+    input rd_ready,
+    input [3:0] rd_data
+);
+  parameter FIFO_DEPTH = 4;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  wire wr_push;
+  wire rd_pop;
+  assign wr_push = wr_vld && wr_ready;
+  assign rd_pop = rd_vld && rd_ready;
+
+  reg [1:0] fifo_wr_ptr;
+  reg [1:0] fifo_rd_ptr;
+  reg [2:0] fifo_count;
+  reg [3:0] mem0;
+  reg [3:0] mem1;
+  reg [3:0] mem2;
+  reg [3:0] mem3;
+
+  wire fifo_empty;
+  wire fifo_full;
+  assign fifo_empty = (fifo_count == 3'd0);
+  assign fifo_full = (fifo_count == 3'd4);
+
+  // A bypass is a coincident push+pop while empty: data skips storage.
+  wire bypass;
+  assign bypass = wr_push && rd_pop && fifo_empty;
+
+  wire [3:0] fifo_out_data;
+  assign fifo_out_data = bypass ? wr_data
+                       : (fifo_rd_ptr == 2'd0) ? mem0
+                       : (fifo_rd_ptr == 2'd1) ? mem1
+                       : (fifo_rd_ptr == 2'd2) ? mem2
+                       : mem3;
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      fifo_wr_ptr <= 2'd0;
+      fifo_rd_ptr <= 2'd0;
+      fifo_count <= 3'd0;
+      mem0 <= 4'd0;
+      mem1 <= 4'd0;
+      mem2 <= 4'd0;
+      mem3 <= 4'd0;
+    end else begin
+      if (wr_push && !bypass) begin
+        if (fifo_wr_ptr == 2'd0) mem0 <= wr_data;
+        if (fifo_wr_ptr == 2'd1) mem1 <= wr_data;
+        if (fifo_wr_ptr == 2'd2) mem2 <= wr_data;
+        if (fifo_wr_ptr == 2'd3) mem3 <= wr_data;
+        fifo_wr_ptr <= fifo_wr_ptr + 2'd1;
+      end
+      if (rd_pop && !bypass) begin
+        fifo_rd_ptr <= fifo_rd_ptr + 2'd1;
+      end
+      if (wr_push && !rd_pop) fifo_count <= fifo_count + 3'd1;
+      if (!wr_push && rd_pop && !bypass) fifo_count <= fifo_count - 3'd1;
+    end
+  end
+endmodule

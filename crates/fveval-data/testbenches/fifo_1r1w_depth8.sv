@@ -1,0 +1,45 @@
+// NL2SVA-Human collateral: 1R1W FIFO occupancy model (depth 8).
+//
+// Control-path-only variant: the dataset's assertions for this
+// testbench reason about pointers and occupancy, so no data storage is
+// modeled.
+module fifo_1r1w_depth8_tb (
+    input clk,
+    input reset_,
+    input wr_vld,
+    input wr_ready,
+    input rd_vld,
+    input rd_ready
+);
+  parameter FIFO_DEPTH = 8;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  wire wr_push;
+  wire rd_pop;
+  assign wr_push = wr_vld && wr_ready;
+  assign rd_pop = rd_vld && rd_ready;
+
+  reg [2:0] fifo_wr_ptr;
+  reg [2:0] fifo_rd_ptr;
+  reg [3:0] fifo_count;
+
+  wire fifo_empty;
+  wire fifo_full;
+  assign fifo_empty = (fifo_count == 4'd0);
+  assign fifo_full = (fifo_count == 4'd8);
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      fifo_wr_ptr <= 3'd0;
+      fifo_rd_ptr <= 3'd0;
+      fifo_count <= 4'd0;
+    end else begin
+      if (wr_push) fifo_wr_ptr <= fifo_wr_ptr + 3'd1;
+      if (rd_pop) fifo_rd_ptr <= fifo_rd_ptr + 3'd1;
+      if (wr_push && !rd_pop) fifo_count <= fifo_count + 4'd1;
+      if (!wr_push && rd_pop) fifo_count <= fifo_count - 4'd1;
+    end
+  end
+endmodule

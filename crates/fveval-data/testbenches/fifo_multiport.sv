@@ -1,0 +1,49 @@
+// NL2SVA-Human collateral: dual-write-port FIFO occupancy model
+// (depth 8). Two producers can push in the same cycle; one consumer
+// pops. push_count is the number of pushes this cycle.
+module fifo_multiport_tb (
+    input clk,
+    input reset_,
+    input wr_vld0,
+    input wr_ready0,
+    input wr_vld1,
+    input wr_ready1,
+    input rd_vld,
+    input rd_ready
+);
+  parameter FIFO_DEPTH = 8;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  wire wr_push0;
+  wire wr_push1;
+  wire rd_pop;
+  assign wr_push0 = wr_vld0 && wr_ready0;
+  assign wr_push1 = wr_vld1 && wr_ready1;
+  assign rd_pop = rd_vld && rd_ready;
+
+  wire [1:0] push_count;
+  assign push_count = {1'b0, wr_push0} + {1'b0, wr_push1};
+
+  reg [3:0] fifo_count;
+
+  wire fifo_empty;
+  wire fifo_full;
+  wire fifo_almost_full;
+  assign fifo_empty = (fifo_count == 4'd0);
+  assign fifo_full = (fifo_count >= 4'd8);
+  assign fifo_almost_full = (fifo_count >= 4'd7);
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      fifo_count <= 4'd0;
+    end else begin
+      if (rd_pop) begin
+        fifo_count <= fifo_count + {2'b00, push_count} - 4'd1;
+      end else begin
+        fifo_count <= fifo_count + {2'b00, push_count};
+      end
+    end
+  end
+endmodule

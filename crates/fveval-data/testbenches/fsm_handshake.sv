@@ -1,0 +1,34 @@
+// NL2SVA-Human collateral: request/acknowledge handshake FSM.
+//
+// IDLE -> BUSY on a request, BUSY -> DONE on the acknowledge, and DONE
+// always returns to IDLE after one cycle. State encodings are exported
+// as parameters so assertions can name them.
+module fsm_handshake_tb (
+    input clk,
+    input reset_,
+    input req_in,
+    input ack_in
+);
+  parameter IDLE = 0;
+  parameter BUSY = 1;
+  parameter DONE = 2;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  reg [1:0] state;
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      state <= 2'd0;
+    end else begin
+      if (state == 2'd0) begin
+        if (req_in) state <= 2'd1;
+      end else if (state == 2'd1) begin
+        if (ack_in) state <= 2'd2;
+      end else begin
+        state <= 2'd0;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,35 @@
+// NL2SVA-Human collateral: "two consecutive ones" sequence detector.
+//
+// S_ZERO tracks a low input, S_ONE one high bit, S_TWO (detected) two
+// in a row. Any low bit returns the detector to S_ZERO.
+module fsm_sequence_tb (
+    input clk,
+    input reset_,
+    input bit_in
+);
+  parameter S_ZERO = 0;
+  parameter S_ONE = 1;
+  parameter S_TWO = 2;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  reg [1:0] state;
+
+  wire detected;
+  assign detected = (state == 2'd2);
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      state <= 2'd0;
+    end else begin
+      if (!bit_in) begin
+        state <= 2'd0;
+      end else if (state == 2'd0) begin
+        state <= 2'd1;
+      end else begin
+        state <= 2'd2;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,50 @@
+// NL2SVA-Human collateral: 4-entry 1R1W RAM with collision detect.
+//
+// Entries are exposed as individual nets (mem0..mem3) so the
+// dataset's assertions can reference them directly; mem_rd_value is
+// the combinational read-port model.
+module ram_1r1w_tb (
+    input clk,
+    input reset_,
+    input wr_en,
+    input [1:0] wr_addr,
+    input [3:0] wr_data,
+    input rd_en,
+    input [1:0] rd_addr,
+    input [3:0] rd_data
+);
+  parameter N_ENTRIES = 4;
+
+  wire tb_reset;
+  assign tb_reset = (reset_ == 1'b0);
+
+  reg [3:0] mem0;
+  reg [3:0] mem1;
+  reg [3:0] mem2;
+  reg [3:0] mem3;
+
+  wire [3:0] mem_rd_value;
+  assign mem_rd_value = (rd_addr == 2'd0) ? mem0
+                      : (rd_addr == 2'd1) ? mem1
+                      : (rd_addr == 2'd2) ? mem2
+                      : mem3;
+
+  wire collision;
+  assign collision = wr_en && rd_en && (wr_addr == rd_addr);
+
+  always_ff @(posedge clk or negedge reset_) begin
+    if (!reset_) begin
+      mem0 <= 4'd0;
+      mem1 <= 4'd0;
+      mem2 <= 4'd0;
+      mem3 <= 4'd0;
+    end else begin
+      if (wr_en) begin
+        if (wr_addr == 2'd0) mem0 <= wr_data;
+        if (wr_addr == 2'd1) mem1 <= wr_data;
+        if (wr_addr == 2'd2) mem2 <= wr_data;
+        if (wr_addr == 2'd3) mem3 <= wr_data;
+      end
+    end
+  end
+endmodule

@@ -1,19 +1,32 @@
 //! The `fveval` command-line interface.
 //!
 //! ```text
-//! fveval <command> [--full] [--seed N] [--out DIR]
+//! fveval <command> [--full] [--seed N] [--jobs N] [--out DIR]
 //!
 //! Commands:
 //!   table1 table2 table3 table4 table5 table6
 //!   figure2 figure3 figure4 figure6
 //!   showcase        qualitative failure-mode examples (Figs. 7-9)
 //!   validate        end-to-end dataset self-check
-//!   run-all         everything above
+//!   list            available tables/figures with descriptions
+//!   run-all         every table and figure above
+//!
+//! Flags:
+//!   --full          paper-scale datasets (quick mode is the default)
+//!   --seed N        dataset-generation seed (machine set and design
+//!                   sweeps; the fixed human set and the models'
+//!                   deterministic draws are unaffected)
+//!   --jobs N        evaluation worker threads (default: all CPUs;
+//!                   results are byte-identical for any value)
+//!   --out DIR       output directory (default: results/)
 //! ```
 //!
-//! Results are printed to stdout and written under `--out`
-//! (default `results/`) as markdown and CSV.
+//! Results are printed to stdout and written under `--out` as markdown
+//! and CSV. All commands of one invocation share a single `EvalEngine`,
+//! so `run-all` scores the overlap between experiments (e.g. the human
+//! set in Tables 1/2 and Figure 6) only once.
 
+use fveval_core::EvalEngine;
 use fveval_harness::HarnessOptions;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -21,13 +34,35 @@ use std::process::ExitCode;
 struct Args {
     command: String,
     opts: HarnessOptions,
+    jobs: usize,
     out_dir: PathBuf,
 }
+
+const COMMANDS: &[(&str, &str)] = &[
+    ("table1", "NL2SVA-Human, zero-shot greedy, all 8 models"),
+    ("table2", "NL2SVA-Human pass@k under sampling (top models)"),
+    (
+        "table3",
+        "NL2SVA-Machine, zero-shot and 3-shot, all 8 models",
+    ),
+    ("table4", "NL2SVA-Machine pass@k under sampling, 3-shot"),
+    ("table5", "Design2SVA pass@1/pass@5 per design category"),
+    ("table6", "NL2SVA-Human dataset composition"),
+    ("figure2", "human-set NL/SVA token-length distributions"),
+    ("figure3", "machine-set NL/SVA token-length distributions"),
+    ("figure4", "design-sweep generated-logic token lengths"),
+    ("figure6", "BLEU vs functional-equivalence correlation"),
+    ("showcase", "qualitative failure-mode examples (Figs. 7-9)"),
+    ("validate", "end-to-end dataset self-check"),
+    ("list", "this command list"),
+    ("run-all", "every table and figure above"),
+];
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or_else(usage)?;
     let mut opts = HarnessOptions::default();
+    let mut jobs = 0usize;
     let mut out_dir = PathBuf::from("results");
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -35,6 +70,10 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| "bad seed".to_string())?;
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| "bad job count".to_string())?;
             }
             "--out" => {
                 out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
@@ -45,12 +84,25 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         command,
         opts,
+        jobs,
         out_dir,
     })
 }
 
 fn usage() -> String {
-    "usage: fveval <table1|table2|table3|table4|table5|table6|validate|figure2|figure3|figure4|figure6|showcase|run-all> [--full] [--seed N] [--out DIR]".to_string()
+    let names: Vec<&str> = COMMANDS.iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: fveval <{}> [--full] [--seed N] [--jobs N] [--out DIR]",
+        names.join("|")
+    )
+}
+
+fn list_commands() -> String {
+    let mut out = String::from("Available commands:\n");
+    for (name, description) in COMMANDS {
+        out.push_str(&format!("  {name:<10} {description}\n"));
+    }
+    out
 }
 
 fn write_out(dir: &Path, name: &str, markdown: &str, csv: Option<&str>) {
@@ -70,31 +122,36 @@ fn write_out(dir: &Path, name: &str, markdown: &str, csv: Option<&str>) {
     }
 }
 
-fn run_one(cmd: &str, opts: &HarnessOptions, out_dir: &Path) -> Result<(), String> {
+fn run_one(
+    cmd: &str,
+    engine: &EvalEngine,
+    opts: &HarnessOptions,
+    out_dir: &Path,
+) -> Result<(), String> {
     let started = std::time::Instant::now();
     match cmd {
         "table1" => {
-            let t = fveval_harness::table1(opts);
+            let t = fveval_harness::table1(engine, opts);
             println!("{}", t.to_markdown());
             write_out(out_dir, "table1", &t.to_markdown(), Some(&t.to_csv()));
         }
         "table2" => {
-            let t = fveval_harness::table2(opts);
+            let t = fveval_harness::table2(engine, opts);
             println!("{}", t.to_markdown());
             write_out(out_dir, "table2", &t.to_markdown(), Some(&t.to_csv()));
         }
         "table3" => {
-            let t = fveval_harness::table3(opts);
+            let t = fveval_harness::table3(engine, opts);
             println!("{}", t.to_markdown());
             write_out(out_dir, "table3", &t.to_markdown(), Some(&t.to_csv()));
         }
         "table4" => {
-            let t = fveval_harness::table4(opts);
+            let t = fveval_harness::table4(engine, opts);
             println!("{}", t.to_markdown());
             write_out(out_dir, "table4", &t.to_markdown(), Some(&t.to_csv()));
         }
         "table5" => {
-            let t = fveval_harness::table5(opts);
+            let t = fveval_harness::table5(engine, opts);
             println!("{}", t.to_markdown());
             write_out(out_dir, "table5", &t.to_markdown(), Some(&t.to_csv()));
         }
@@ -119,14 +176,14 @@ fn run_one(cmd: &str, opts: &HarnessOptions, out_dir: &Path) -> Result<(), Strin
             write_out(out_dir, "figure4", &s, None);
         }
         "figure6" => {
-            let (t, notes) = fveval_harness::figure6(opts);
+            let (t, notes) = fveval_harness::figure6(engine, opts);
             println!("{}", t.to_markdown());
             println!("{notes}");
             let md = format!("{}\n{notes}", t.to_markdown());
             write_out(out_dir, "figure6", &md, Some(&t.to_csv()));
         }
         "showcase" => {
-            let s = fveval_harness::showcase(opts);
+            let s = fveval_harness::showcase(engine, opts);
             println!("{s}");
             write_out(out_dir, "showcase", &s, None);
         }
@@ -137,6 +194,10 @@ fn run_one(cmd: &str, opts: &HarnessOptions, out_dir: &Path) -> Result<(), Strin
             if errors > 0 {
                 return Err(format!("{errors} validation error(s)"));
             }
+        }
+        "list" => {
+            println!("{}", list_commands());
+            return Ok(());
         }
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -152,19 +213,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let engine = EvalEngine::with_jobs(args.jobs);
     let commands: Vec<&str> = if args.command == "run-all" {
         vec![
-            "table1", "table2", "table3", "table4", "table5", "table6", "figure2",
-            "figure3", "figure4", "figure6", "showcase",
+            "table1", "table2", "table3", "table4", "table5", "table6", "figure2", "figure3",
+            "figure4", "figure6", "showcase",
         ]
     } else {
         vec![args.command.as_str()]
     };
     for cmd in commands {
-        if let Err(e) = run_one(cmd, &args.opts, &args.out_dir) {
+        if let Err(e) = run_one(cmd, &engine, &args.opts, &args.out_dir) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+    }
+    let stats = engine.cache_stats();
+    if stats.hits + stats.misses > 0 {
+        eprintln!(
+            "[engine: {} jobs | verdict cache: {} hits, {} misses, {} entries]",
+            engine.jobs(),
+            stats.hits,
+            stats.misses,
+            stats.entries
+        );
     }
     ExitCode::SUCCESS
 }

@@ -5,6 +5,14 @@
 //! and renders a [`Table`] or a text figure. The `fveval` binary wraps
 //! these behind subcommands and writes `results/*.md` / `results/*.csv`.
 //!
+//! All inference-bearing experiments execute on a shared
+//! [`EvalEngine`]: its worker pool (`--jobs N`) parallelizes the
+//! `model × case × sample` work-list, and its verdict cache scores
+//! repeated `(model, case, cfg, sample)` units only once — Tables 1/2
+//! and Figure 6 all reuse the human set, so a `run-all` pass gets the
+//! repeats for free. Results are byte-identical for every `jobs`
+//! setting.
+//!
 //! Scale: `HarnessOptions::full` reproduces the paper's set sizes
 //! (79 human / 300 machine / 96+96 designs); the default quick mode
 //! shrinks the expensive Design2SVA sweeps so the whole suite runs in
@@ -13,15 +21,16 @@
 
 use fv_core::SignalTable;
 use fveval_core::{
-    bind_design, histogram, pearson, token_count, Design2svaRunner, MetricSummary,
-    Nl2svaRunner, Table,
+    bind_design, design_task_specs, histogram, human_task_specs, machine_task_specs, pearson,
+    token_count, Design2svaRunner, EvalEngine, MetricSummary, Table,
 };
 use fveval_data::{
-    fsm_sweep, human_cases, machine_signal_table, pipeline_sweep, signal_table_for,
-    testbenches, MachineGenConfig,
+    fsm_sweep, human_cases, machine_signal_table, pipeline_sweep, signal_table_for, testbenches,
+    MachineGenConfig,
 };
-use fveval_llm::{profiles, InferenceConfig, Model, SimulatedModel, Task};
+use fveval_llm::{profiles, Backend, InferenceConfig, Request, SimulatedModel, TaskSpec};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Knobs shared by all experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +86,11 @@ fn human_tables() -> HashMap<&'static str, SignalTable> {
         .collect()
 }
 
+/// The human set as an engine work-list (cases + elaborated scopes).
+fn human_tasks() -> Vec<Arc<TaskSpec>> {
+    human_task_specs(&human_cases(), &human_tables())
+}
+
 fn machine_cases(opts: &HarnessOptions) -> Vec<fveval_data::MachineCase> {
     fveval_data::generate_machine_cases(MachineGenConfig {
         count: opts.machine_count(),
@@ -85,20 +99,31 @@ fn machine_cases(opts: &HarnessOptions) -> Vec<fveval_data::MachineCase> {
     })
 }
 
+/// The machine set as an engine work-list.
+fn machine_tasks(opts: &HarnessOptions) -> Vec<Arc<TaskSpec>> {
+    machine_task_specs(&machine_cases(opts), &machine_signal_table())
+}
+
+fn as_backends(models: &[SimulatedModel]) -> Vec<&dyn Backend> {
+    models.iter().map(|m| m as &dyn Backend).collect()
+}
+
+fn models_by_name(names: &[&str]) -> Vec<SimulatedModel> {
+    names.iter().map(|n| model_by_name(n)).collect()
+}
+
 /// Table 1 — NL2SVA-Human, zero-shot greedy decoding, all 8 models.
-pub fn table1(opts: &HarnessOptions) -> Table {
+pub fn table1(engine: &EvalEngine, opts: &HarnessOptions) -> Table {
     let _ = opts; // the human set is always full-size (79 cases)
-    let cases = human_cases();
-    let tables = human_tables();
-    let runner = Nl2svaRunner::new();
-    let cfg = InferenceConfig::greedy();
+    let tasks = human_tasks();
+    let models = profiles();
     let mut t = Table::new(
         "Table 1: NL2SVA-Human (zero-shot, greedy)",
         &["Model", "Syntax", "Func.", "Partial Func.", "BLEU"],
     );
-    for model in profiles() {
-        let evals = runner.run_human(&model, &cases, &tables, &cfg, 1);
-        let s = MetricSummary::from_first_samples(&evals);
+    let rows = engine.run_matrix(&as_backends(&models), &tasks, &InferenceConfig::greedy(), 1);
+    for (model, evals) in models.iter().zip(&rows) {
+        let s = MetricSummary::from_first_samples(evals);
         t.push_row([
             model.name().into(),
             s.syntax.into(),
@@ -111,12 +136,10 @@ pub fn table1(opts: &HarnessOptions) -> Table {
 }
 
 /// Table 2 — NL2SVA-Human pass@k under sampling (top models).
-pub fn table2(opts: &HarnessOptions) -> Table {
-    let cases = human_cases();
-    let tables = human_tables();
-    let runner = Nl2svaRunner::new();
+pub fn table2(engine: &EvalEngine, opts: &HarnessOptions) -> Table {
+    let tasks = human_tasks();
     let n = opts.samples().max(5);
-    let cfg = InferenceConfig::sampling();
+    let models = models_by_name(&["gpt-4o", "gemini-1.5-flash", "llama-3.1-70b"]);
     let mut t = Table::new(
         format!("Table 2: NL2SVA-Human pass@k (n={n}, T=0.8)"),
         &[
@@ -128,28 +151,32 @@ pub fn table2(opts: &HarnessOptions) -> Table {
             "Partial.@5",
         ],
     );
-    for name in ["gpt-4o", "gemini-1.5-flash", "llama-3.1-70b"] {
-        let model = model_by_name(name);
-        let evals = runner.run_human(&model, &cases, &tables, &cfg, n);
+    let rows = engine.run_matrix(
+        &as_backends(&models),
+        &tasks,
+        &InferenceConfig::sampling(),
+        n,
+    );
+    for (model, evals) in models.iter().zip(&rows) {
         t.push_row([
-            name.into(),
-            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.syntax).into(),
-            MetricSummary::mean_pass_at_k(&evals, 3, |s| s.func).into(),
-            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.func).into(),
-            MetricSummary::mean_pass_at_k(&evals, 3, |s| s.partial).into(),
-            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.partial).into(),
+            model.name().into(),
+            MetricSummary::mean_pass_at_k(evals, 5, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(evals, 3, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(evals, 5, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(evals, 3, |s| s.partial).into(),
+            MetricSummary::mean_pass_at_k(evals, 5, |s| s.partial).into(),
         ]);
     }
     t
 }
 
 /// Table 3 — NL2SVA-Machine, zero-shot and 3-shot, all 8 models.
-pub fn table3(opts: &HarnessOptions) -> Table {
-    let cases = machine_cases(opts);
-    let table = machine_signal_table();
-    let runner = Nl2svaRunner::new();
+pub fn table3(engine: &EvalEngine, opts: &HarnessOptions) -> Table {
+    let tasks = machine_tasks(opts);
+    let models = profiles();
+    let backends = as_backends(&models);
     let mut t = Table::new(
-        format!("Table 3: NL2SVA-Machine ({} cases)", cases.len()),
+        format!("Table 3: NL2SVA-Machine ({} cases)", tasks.len()),
         &[
             "Model",
             "0-shot Syntax",
@@ -162,23 +189,16 @@ pub fn table3(opts: &HarnessOptions) -> Table {
             "3-shot BLEU",
         ],
     );
-    for model in profiles() {
-        let e0 = runner.run_machine(
-            &model,
-            &cases,
-            &table,
-            &InferenceConfig::greedy(),
-            1,
-        );
-        let e3 = runner.run_machine(
-            &model,
-            &cases,
-            &table,
-            &InferenceConfig::greedy().with_shots(3),
-            1,
-        );
-        let s0 = MetricSummary::from_first_samples(&e0);
-        let s3 = MetricSummary::from_first_samples(&e3);
+    let r0 = engine.run_matrix(&backends, &tasks, &InferenceConfig::greedy(), 1);
+    let r3 = engine.run_matrix(
+        &backends,
+        &tasks,
+        &InferenceConfig::greedy().with_shots(3),
+        1,
+    );
+    for ((model, e0), e3) in models.iter().zip(&r0).zip(&r3) {
+        let s0 = MetricSummary::from_first_samples(e0);
+        let s3 = MetricSummary::from_first_samples(e3);
         t.push_row([
             model.name().into(),
             s0.syntax.into(),
@@ -195,12 +215,11 @@ pub fn table3(opts: &HarnessOptions) -> Table {
 }
 
 /// Table 4 — NL2SVA-Machine pass@k under sampling, 3-shot.
-pub fn table4(opts: &HarnessOptions) -> Table {
-    let cases = machine_cases(opts);
-    let table = machine_signal_table();
-    let runner = Nl2svaRunner::new();
+pub fn table4(engine: &EvalEngine, opts: &HarnessOptions) -> Table {
+    let tasks = machine_tasks(opts);
     let n = opts.samples().max(5);
     let cfg = InferenceConfig::sampling().with_shots(3);
+    let models = models_by_name(&["gpt-4o", "gemini-1.5-flash", "llama-3.1-70b"]);
     let mut t = Table::new(
         format!("Table 4: NL2SVA-Machine pass@k (n={n}, 3-shot, top-p 0.95, T=0.8)"),
         &[
@@ -212,29 +231,32 @@ pub fn table4(opts: &HarnessOptions) -> Table {
             "Partial.@5",
         ],
     );
-    for name in ["gpt-4o", "gemini-1.5-flash", "llama-3.1-70b"] {
-        let model = model_by_name(name);
-        let evals = runner.run_machine(&model, &cases, &table, &cfg, n);
+    let rows = engine.run_matrix(&as_backends(&models), &tasks, &cfg, n);
+    for (model, evals) in models.iter().zip(&rows) {
         t.push_row([
-            name.into(),
-            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.syntax).into(),
-            MetricSummary::mean_pass_at_k(&evals, 3, |s| s.func).into(),
-            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.func).into(),
-            MetricSummary::mean_pass_at_k(&evals, 3, |s| s.partial).into(),
-            MetricSummary::mean_pass_at_k(&evals, 5, |s| s.partial).into(),
+            model.name().into(),
+            MetricSummary::mean_pass_at_k(evals, 5, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(evals, 3, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(evals, 5, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(evals, 3, |s| s.partial).into(),
+            MetricSummary::mean_pass_at_k(evals, 5, |s| s.partial).into(),
         ]);
     }
     t
 }
 
 /// Table 5 — Design2SVA pass@1 / pass@5 per design category.
-pub fn table5(opts: &HarnessOptions) -> Table {
+pub fn table5(engine: &EvalEngine, opts: &HarnessOptions) -> Table {
     let count = opts.design_count();
-    let pipelines = pipeline_sweep(count, opts.seed);
-    let fsms = fsm_sweep(count, opts.seed.wrapping_add(1));
-    let runner = Design2svaRunner::new();
+    let pipeline_tasks = design_task_specs(&pipeline_sweep(count, opts.seed));
+    let fsm_tasks = design_task_specs(&fsm_sweep(count, opts.seed.wrapping_add(1)));
     let n = opts.samples().max(5);
     let cfg = InferenceConfig::sampling();
+    let models: Vec<SimulatedModel> = profiles()
+        .into_iter()
+        .filter(|m| m.profile().supports_design2sva)
+        .collect();
+    let backends = as_backends(&models);
     let mut t = Table::new(
         format!("Table 5: Design2SVA ({count} designs per category, n={n})"),
         &[
@@ -249,22 +271,19 @@ pub fn table5(opts: &HarnessOptions) -> Table {
             "FSM Func.@5",
         ],
     );
-    for model in profiles() {
-        if !model.profile().supports_design2sva {
-            continue;
-        }
-        let ep = runner.run(&model, &pipelines, &cfg, n);
-        let ef = runner.run(&model, &fsms, &cfg, n);
+    let rp = engine.run_matrix(&backends, &pipeline_tasks, &cfg, n);
+    let rf = engine.run_matrix(&backends, &fsm_tasks, &cfg, n);
+    for ((model, ep), ef) in models.iter().zip(&rp).zip(&rf) {
         t.push_row([
             model.name().into(),
-            MetricSummary::mean_pass_at_k(&ep, 1, |s| s.syntax).into(),
-            MetricSummary::mean_pass_at_k(&ep, 5, |s| s.syntax).into(),
-            MetricSummary::mean_pass_at_k(&ep, 1, |s| s.func).into(),
-            MetricSummary::mean_pass_at_k(&ep, 5, |s| s.func).into(),
-            MetricSummary::mean_pass_at_k(&ef, 1, |s| s.syntax).into(),
-            MetricSummary::mean_pass_at_k(&ef, 5, |s| s.syntax).into(),
-            MetricSummary::mean_pass_at_k(&ef, 1, |s| s.func).into(),
-            MetricSummary::mean_pass_at_k(&ef, 5, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(ep, 1, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(ep, 5, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(ep, 1, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(ep, 5, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(ef, 1, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(ef, 5, |s| s.syntax).into(),
+            MetricSummary::mean_pass_at_k(ef, 1, |s| s.func).into(),
+            MetricSummary::mean_pass_at_k(ef, 5, |s| s.func).into(),
         ]);
     }
     t
@@ -377,20 +396,23 @@ pub fn figure4(opts: &HarnessOptions) -> String {
 }
 
 /// Figure 6 — BLEU-vs-functional-equivalence correlation.
-pub fn figure6(opts: &HarnessOptions) -> (Table, String) {
+pub fn figure6(engine: &EvalEngine, opts: &HarnessOptions) -> (Table, String) {
     let _ = opts;
-    let cases = human_cases();
-    let tables = human_tables();
-    let runner = Nl2svaRunner::new();
-    let cfg = InferenceConfig::greedy();
+    let tasks = human_tasks();
+    let models = models_by_name(&["gpt-4o", "llama-3.1-70b"]);
     let mut t = Table::new(
         "Figure 6: correlation between Func. and BLEU (NL2SVA-Human)",
-        &["Model", "Pearson r", "Mean BLEU | func", "Mean BLEU | !func"],
+        &[
+            "Model",
+            "Pearson r",
+            "Mean BLEU | func",
+            "Mean BLEU | !func",
+        ],
     );
     let mut notes = String::new();
-    for name in ["gpt-4o", "llama-3.1-70b"] {
-        let model = model_by_name(name);
-        let evals = runner.run_human(&model, &cases, &tables, &cfg, 1);
+    let rows = engine.run_matrix(&as_backends(&models), &tasks, &InferenceConfig::greedy(), 1);
+    for (model, evals) in models.iter().zip(&rows) {
+        let name = model.name();
         let bleus: Vec<f64> = evals.iter().map(|c| c.samples[0].bleu).collect();
         let funcs: Vec<f64> = evals
             .iter()
@@ -409,12 +431,7 @@ pub fn figure6(opts: &HarnessOptions) -> (Table, String) {
                 xs.iter().sum::<f64>() / xs.len() as f64
             }
         };
-        t.push_row([
-            name.into(),
-            r.into(),
-            mean(true).into(),
-            mean(false).into(),
-        ]);
+        t.push_row([name.into(), r.into(), mean(true).into(), mean(false).into()]);
         notes.push_str(&format!(
             "{name}: corr(BLEU, Func) = {r:.4} over {} cases\n",
             evals.len()
@@ -424,10 +441,9 @@ pub fn figure6(opts: &HarnessOptions) -> (Table, String) {
 }
 
 /// Figures 7/8/9 — qualitative failure-mode showcase.
-pub fn showcase(opts: &HarnessOptions) -> String {
+pub fn showcase(engine: &EvalEngine, opts: &HarnessOptions) -> String {
     let mut out = String::new();
     let tables = human_tables();
-    let runner = Nl2svaRunner::new();
     // Figure 7 flavour: the FIFO eventuality case across models.
     let cases = human_cases();
     let case = cases
@@ -438,12 +454,18 @@ pub fn showcase(opts: &HarnessOptions) -> String {
         "== NL2SVA-Human showcase: {} ==\nQuestion: {}\nReference: {}\n\n",
         case.id, case.question, case.reference
     ));
+    let task = Arc::new(TaskSpec::Nl2svaHuman {
+        case: case.clone(),
+        table: Arc::new(tables[case.testbench].clone()),
+    });
     for name in ["gpt-4o", "llama-3.1-70b", "llama-3-8b"] {
         let model = model_by_name(name);
-        let table = &tables[case.testbench];
-        let task = Task::Nl2svaHuman { case, table };
-        let resp = model.generate(&task, &InferenceConfig::greedy(), 0);
-        let eval = runner.evaluate_response(&case.reference, &resp, table);
+        let resp = model.generate(&Request {
+            task: Arc::clone(&task),
+            cfg: InferenceConfig::greedy(),
+            sample_idx: 0,
+        });
+        let eval = engine.score(&task, &resp);
         out.push_str(&format!(
             "{name}:\n{resp}\nSyntax: {} | Functionality: {}\n\n",
             pass_str(eval.syntax),
@@ -458,8 +480,6 @@ pub fn showcase(opts: &HarnessOptions) -> String {
     }
     // Figure 9 flavour: a Design2SVA FSM case with multiple attempts.
     let fsm = fsm_sweep(1, opts.seed)[0].clone();
-    let bound = bind_design(&fsm).expect("designs bind");
-    let d2s = Design2svaRunner::new();
     out.push_str(&format!(
         "== Design2SVA showcase: {} ==\n(design RTL omitted; {} states)\n\n",
         fsm.id,
@@ -468,11 +488,15 @@ pub fn showcase(opts: &HarnessOptions) -> String {
             _ => 0,
         }
     ));
+    let task = Arc::new(TaskSpec::Design2sva { case: fsm });
     let model = model_by_name("gpt-4o");
     for attempt in 0..2 {
-        let task = Task::Design2sva { case: &fsm };
-        let resp = model.generate(&task, &InferenceConfig::sampling(), attempt);
-        let eval = d2s.evaluate_response(&bound, &resp);
+        let resp = model.generate(&Request {
+            task: Arc::clone(&task),
+            cfg: InferenceConfig::sampling(),
+            sample_idx: attempt,
+        });
+        let eval = engine.score(&task, &resp);
         out.push_str(&format!(
             "gpt-4o | Attempt {}:\n{resp}\nSyntax: {} | Functionality (is proven): {}\n\n",
             attempt + 1,
@@ -502,7 +526,7 @@ pub fn validate(opts: &HarnessOptions) -> (String, usize) {
 
     let mut out = String::new();
     let mut errors = 0usize;
-    let mut check = |out: &mut String, errors: &mut usize, label: &str, ok: bool, detail: &str| {
+    let check = |out: &mut String, errors: &mut usize, label: &str, ok: bool, detail: &str| {
         if ok {
             out.push_str(&format!("  ok    {label}\n"));
         } else {
@@ -558,15 +582,27 @@ pub fn validate(opts: &HarnessOptions) -> (String, usize) {
         if parse_assertion_str(&case.reference_text).is_ok() {
             ok_machine += 1;
         } else {
-            check(&mut out, &mut errors, &case.id, false, "reference unparseable");
+            check(
+                &mut out,
+                &mut errors,
+                &case.id,
+                false,
+                "reference unparseable",
+            );
         }
     }
-    out.push_str(&format!("  ok    {ok_machine}/{} machine references parse\n", cases.len()));
+    out.push_str(&format!(
+        "  ok    {ok_machine}/{} machine references parse\n",
+        cases.len()
+    ));
 
     out.push_str("== design sweeps (goldens prove) ==\n");
     let n = if opts.full { 16 } else { 4 };
     let runner = Design2svaRunner::new();
-    for case in pipeline_sweep(n, opts.seed).into_iter().chain(fsm_sweep(n, opts.seed + 1)) {
+    for case in pipeline_sweep(n, opts.seed)
+        .into_iter()
+        .chain(fsm_sweep(n, opts.seed + 1))
+    {
         match bind_design(&case) {
             Err(e) => check(&mut out, &mut errors, &case.id, false, &e),
             Ok(bound) => {
@@ -574,7 +610,13 @@ pub fn validate(opts: &HarnessOptions) -> (String, usize) {
                     .golden
                     .iter()
                     .all(|g| runner.evaluate_response(&bound, g).func);
-                check(&mut out, &mut errors, &case.id, all_proven, "golden not proven");
+                check(
+                    &mut out,
+                    &mut errors,
+                    &case.id,
+                    all_proven,
+                    "golden not proven",
+                );
             }
         }
     }
@@ -618,11 +660,29 @@ mod tests {
 
     #[test]
     fn table1_has_eight_rows_and_ordering_shape() {
-        let t = table1(&quick());
+        let t = table1(&EvalEngine::new(), &quick());
         assert_eq!(t.rows.len(), 8);
         let md = t.to_markdown();
         assert!(md.contains("gpt-4o"));
         assert!(md.contains("llama-3-8b"));
+    }
+
+    #[test]
+    fn table1_is_jobs_invariant_and_cache_hits_on_rerun() {
+        let sequential = EvalEngine::with_jobs(1);
+        let parallel = EvalEngine::with_jobs(4);
+        let a = table1(&sequential, &quick()).to_markdown();
+        let b = table1(&parallel, &quick()).to_markdown();
+        assert_eq!(a, b, "parallel table1 must be byte-identical");
+        let before = parallel.cache_stats();
+        let c = table1(&parallel, &quick()).to_markdown();
+        let after = parallel.cache_stats();
+        assert_eq!(b, c);
+        assert_eq!(
+            after.hits - before.hits,
+            8 * 79,
+            "second run is answered entirely from the verdict cache"
+        );
     }
 
     #[test]
@@ -634,7 +694,7 @@ mod tests {
 
     #[test]
     fn showcase_contains_verdicts() {
-        let s = showcase(&quick());
+        let s = showcase(&EvalEngine::new(), &quick());
         assert!(s.contains("Syntax:"));
         assert!(s.contains("Functionality"));
     }

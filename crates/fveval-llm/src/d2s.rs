@@ -30,9 +30,7 @@ pub(crate) fn generate_design_response(
 ) -> String {
     let _ = style;
     match &case.kind {
-        DesignKind::Pipeline { total_depth } => {
-            pipeline_response(*total_depth, outcome, rng)
-        }
+        DesignKind::Pipeline { total_depth } => pipeline_response(*total_depth, outcome, rng),
         DesignKind::Fsm {
             n_states,
             transitions,
@@ -91,7 +89,8 @@ fn pipeline_response(depth: u32, outcome: DesignOutcome, rng: &mut DetRng) -> St
         }
         DesignOutcome::Malformed => match rng.below(3) {
             0 => "assert property (@(posedge clk) disable iff (tb_reset)\n  \
-                 in_vld |-> eventually(out_vld)\n);".to_string(),
+                 in_vld |-> eventually(out_vld)\n);"
+                .to_string(),
             1 => format!(
                 "assert property (@(posedge clk) disable iff (tb_reset)\n  \
                  in_vld |-> ##[{depth}:] out_vld\n);"

@@ -22,7 +22,10 @@ mod d2s;
 mod profile;
 mod transform;
 
-pub use profile::{profiles, InferenceConfig, Model, ModelProfile, SimulatedModel, Task};
+pub use profile::{
+    profiles, Backend, DesignDist, InferenceConfig, ModelProfile, OutcomeDist, Request,
+    SimulatedModel, TaskSpec,
+};
 
 /// Stable FNV-1a hash used for all deterministic pseudo-randomness.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {

@@ -1,10 +1,13 @@
-//! Model profiles and the outcome-sampling machinery.
+//! Model profiles, the outcome-sampling machinery, and the inference
+//! API: owned [`TaskSpec`]/[`Request`] descriptors and the object-safe
+//! [`Backend`] trait every model implements.
 
 use crate::d2s::generate_design_response;
 use crate::transform::{render_with_style, transform, Outcome, Style};
 use crate::DetRng;
 use fv_core::SignalTable;
 use fveval_data::{DesignCase, HumanCase, MachineCase};
+use std::sync::Arc;
 
 /// Inference-time configuration (decoding strategy).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,52 +44,155 @@ impl InferenceConfig {
         self.shots = shots;
         self
     }
+
+    /// Stable textual fingerprint for cache keys: two configurations
+    /// fingerprint equally iff every field is bit-identical.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "t{:016x}_n{}_s{}",
+            self.temperature.to_bits(),
+            self.shots,
+            self.seed
+        )
+    }
 }
 
-/// A task instance handed to a model.
-#[derive(Debug, Clone, Copy)]
-pub enum Task<'a> {
-    /// NL2SVA-Human: testbench + NL spec (reference hidden inside the
-    /// case is the noisy channel's source).
+/// One benchmark task, fully owned: the unit the [`Request`] work-list
+/// is enumerated over. Shared scope data (signal tables) is `Arc`ed so
+/// the `model × case × sample` product stays cheap to materialize.
+#[derive(Debug, Clone)]
+pub enum TaskSpec {
+    /// NL2SVA-Human: testbench + NL spec (the reference hidden inside
+    /// the case is the noisy channel's source).
     Nl2svaHuman {
         /// The dataset case.
-        case: &'a HumanCase,
-        /// Testbench signal scope.
-        table: &'a SignalTable,
+        case: HumanCase,
+        /// Testbench signal scope (shared across the testbench's cases).
+        table: Arc<SignalTable>,
     },
     /// NL2SVA-Machine.
     Nl2svaMachine {
         /// The dataset case.
-        case: &'a MachineCase,
-        /// Machine signal scope.
-        table: &'a SignalTable,
+        case: MachineCase,
+        /// Machine signal scope (shared across the whole set).
+        table: Arc<SignalTable>,
     },
     /// Design2SVA: generate an assertion from RTL alone.
     Design2sva {
         /// The generated design.
-        case: &'a DesignCase,
+        case: DesignCase,
     },
 }
 
-impl Task<'_> {
-    fn id(&self) -> &str {
+impl TaskSpec {
+    /// Stable case id (the seed of all deterministic draws).
+    pub fn id(&self) -> &str {
         match self {
-            Task::Nl2svaHuman { case, .. } => &case.id,
-            Task::Nl2svaMachine { case, .. } => &case.id,
-            Task::Design2sva { case } => &case.id,
+            TaskSpec::Nl2svaHuman { case, .. } => &case.id,
+            TaskSpec::Nl2svaMachine { case, .. } => &case.id,
+            TaskSpec::Design2sva { case } => &case.id,
         }
+    }
+
+    /// The reference solution text (`None` for Design2SVA, which is
+    /// scored by model checking rather than equivalence).
+    pub fn reference_text(&self) -> Option<&str> {
+        match self {
+            TaskSpec::Nl2svaHuman { case, .. } => Some(&case.reference),
+            TaskSpec::Nl2svaMachine { case, .. } => Some(&case.reference_text),
+            TaskSpec::Design2sva { .. } => None,
+        }
+    }
+
+    /// The signal scope the response is evaluated in, if any.
+    pub fn table(&self) -> Option<&SignalTable> {
+        match self {
+            TaskSpec::Nl2svaHuman { table, .. } | TaskSpec::Nl2svaMachine { table, .. } => {
+                Some(table)
+            }
+            TaskSpec::Design2sva { .. } => None,
+        }
+    }
+
+    /// Stable hash of the task's *content* (question, reference,
+    /// signal scope, design sources). Ids alone are not collision-free
+    /// across differently-seeded dataset generations — e.g. machine
+    /// cases are always numbered `nl2sva_machine_0000..` — and the
+    /// scope affects both generation and scoring, so caches must key
+    /// on `(id, content_digest)` rather than the id alone.
+    pub fn content_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            // Field separator so ("ab", "c") != ("a", "bc").
+            h ^= 0x1f;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        match self {
+            TaskSpec::Nl2svaHuman { case, table } => {
+                eat(b"human");
+                eat(case.question.as_bytes());
+                eat(case.reference.as_bytes());
+                eat(&table.digest().to_le_bytes());
+            }
+            TaskSpec::Nl2svaMachine { case, table } => {
+                eat(b"machine");
+                eat(case.question.as_bytes());
+                eat(case.reference_text.as_bytes());
+                eat(&table.digest().to_le_bytes());
+            }
+            TaskSpec::Design2sva { case } => {
+                eat(b"design");
+                eat(case.design_source.as_bytes());
+                eat(case.tb_source.as_bytes());
+            }
+        }
+        h
     }
 }
 
+/// One unit of inference work: the `sample_idx`-th response to `task`
+/// under `cfg`. Requests are self-contained and order-independent, so
+/// an engine may execute them in any order, in parallel, or batched.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The task to answer.
+    pub task: Arc<TaskSpec>,
+    /// Decoding configuration.
+    pub cfg: InferenceConfig,
+    /// Sample index (0 for greedy single-shot runs).
+    pub sample_idx: u32,
+}
+
 /// Anything that can answer FVEval prompts.
-pub trait Model {
+///
+/// The trait is object-safe and thread-safe: evaluation engines hold
+/// `&dyn Backend` and may call it from worker threads. Implementations
+/// must answer each [`Request`] independently of any other request —
+/// the same request must always produce the same response, regardless
+/// of ordering or batching (the engine's parallel == sequential
+/// guarantee is built on this).
+///
+/// `generate_batch` has a default per-request implementation so local
+/// / simulated models stay trivial; backends that talk to real
+/// endpoints can override it with one batched round trip.
+pub trait Backend: Send + Sync {
     /// Display name (matches the paper's tables).
     fn name(&self) -> &str;
 
-    /// Produces the `sample_idx`-th response for a task. Responses are
-    /// plain text in the benchmark's answer format (an SVA assertion,
-    /// optionally preceded by auxiliary testbench code for Design2SVA).
-    fn generate(&self, task: &Task<'_>, cfg: &InferenceConfig, sample_idx: u32) -> String;
+    /// Produces the response for one request: plain text in the
+    /// benchmark's answer format (an SVA assertion, optionally preceded
+    /// by auxiliary testbench code for Design2SVA).
+    fn generate(&self, req: &Request) -> String;
+
+    /// Produces responses for a batch of requests, in order. The
+    /// default delegates to [`Backend::generate`] per request.
+    fn generate_batch(&self, reqs: &[Request]) -> Vec<String> {
+        reqs.iter().map(|r| self.generate(r)).collect()
+    }
 }
 
 /// Outcome probabilities for an NL2SVA-style task: must sum to <= 1;
@@ -248,12 +354,13 @@ impl SimulatedModel {
     }
 }
 
-impl Model for SimulatedModel {
+impl Backend for SimulatedModel {
     fn name(&self) -> &str {
         self.profile.name
     }
 
-    fn generate(&self, task: &Task<'_>, cfg: &InferenceConfig, sample_idx: u32) -> String {
+    fn generate(&self, req: &Request) -> String {
+        let (task, cfg, sample_idx) = (req.task.as_ref(), &req.cfg, req.sample_idx);
         let p = &self.profile;
         // Latent per-case difficulty: shared across samples so pass@k
         // improves only modestly (the paper's Tables 2/4 behaviour).
@@ -274,21 +381,19 @@ impl Model for SimulatedModel {
         // the human set, moderate on the machine set, high on
         // Design2SVA — matching the pass@k lifts of Tables 2/4/5.
         let task_factor = match task {
-            Task::Nl2svaHuman { .. } => 0.25,
-            Task::Nl2svaMachine { .. } => 1.0,
-            Task::Design2sva { .. } => 2.5,
+            TaskSpec::Nl2svaHuman { .. } => 0.25,
+            TaskSpec::Nl2svaMachine { .. } => 1.0,
+            TaskSpec::Design2sva { .. } => 2.5,
         };
-        let noise =
-            (noise_rng.unit() - 0.5) * 2.0 * p.diversity * cfg.temperature * task_factor;
+        let noise = (noise_rng.unit() - 0.5) * 2.0 * p.diversity * cfg.temperature * task_factor;
         let x = (u + noise).clamp(0.0, 1.0 - 1e-12);
         // Under sampling, a syntax-level failure often clears on retry
         // even when the semantics stay wrong.
-        let retry_escape =
-            cfg.temperature > 0.0 && sample_idx > 0 && noise_rng.unit() < 0.65;
+        let retry_escape = cfg.temperature > 0.0 && sample_idx > 0 && noise_rng.unit() < 0.65;
         let recovery_draw = noise_rng.unit();
 
         match task {
-            Task::Nl2svaHuman { case, table } => {
+            TaskSpec::Nl2svaHuman { case, table } => {
                 let mut outcome = p.human.classify(x);
                 if outcome == Outcome::SyntaxError && retry_escape {
                     outcome = p.human.recover(recovery_draw);
@@ -298,7 +403,7 @@ impl Model for SimulatedModel {
                 let mutated = transform(&reference, outcome, table, &mut noise_rng);
                 render_with_style(&mutated, &p.style, &mut noise_rng)
             }
-            Task::Nl2svaMachine { case, table } => {
+            TaskSpec::Nl2svaMachine { case, table } => {
                 let dist = if cfg.shots >= 3 {
                     &p.machine_3shot
                 } else {
@@ -311,7 +416,7 @@ impl Model for SimulatedModel {
                 let mutated = transform(&case.reference, outcome, table, &mut noise_rng);
                 render_with_style(&mutated, &p.style, &mut noise_rng)
             }
-            Task::Design2sva { case } => {
+            TaskSpec::Design2sva { case } => {
                 let dist = match case.kind {
                     fveval_data::DesignKind::Pipeline { .. } => &p.d2s_pipeline,
                     fveval_data::DesignKind::Fsm { .. } => &p.d2s_fsm,
@@ -479,7 +584,9 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), 8);
         assert_eq!(
-            ps.iter().filter(|p| p.profile().supports_design2sva).count(),
+            ps.iter()
+                .filter(|p| p.profile().supports_design2sva)
+                .count(),
             6,
             "paper drops the two llama-3 models from Design2SVA"
         );
@@ -492,28 +599,58 @@ mod tests {
         assert!((total - 0.9).abs() < 1e-9, "sums to the syntax rate");
     }
 
+    fn machine_request(
+        case: &fveval_data::MachineCase,
+        table: &Arc<SignalTable>,
+        cfg: InferenceConfig,
+        sample_idx: u32,
+    ) -> Request {
+        Request {
+            task: Arc::new(TaskSpec::Nl2svaMachine {
+                case: case.clone(),
+                table: Arc::clone(table),
+            }),
+            cfg,
+            sample_idx,
+        }
+    }
+
     #[test]
     fn greedy_generation_is_deterministic() {
-        let table = machine_signal_table();
+        let table = Arc::new(machine_signal_table());
         let cases = generate_machine_cases(MachineGenConfig {
             count: 5,
             ..Default::default()
         });
         let model = &profiles()[0];
         for c in &cases {
-            let t = Task::Nl2svaMachine {
-                case: c,
-                table: &table,
-            };
-            let a = model.generate(&t, &InferenceConfig::greedy(), 0);
-            let b = model.generate(&t, &InferenceConfig::greedy(), 0);
+            let r = machine_request(c, &table, InferenceConfig::greedy(), 0);
+            let a = model.generate(&r);
+            let b = model.generate(&r);
             assert_eq!(a, b);
         }
     }
 
     #[test]
+    fn batch_matches_per_request_generation() {
+        let table = Arc::new(machine_signal_table());
+        let cases = generate_machine_cases(MachineGenConfig {
+            count: 8,
+            ..Default::default()
+        });
+        let model = &profiles()[0];
+        let reqs: Vec<Request> = cases
+            .iter()
+            .map(|c| machine_request(c, &table, InferenceConfig::sampling(), 2))
+            .collect();
+        let batched = model.generate_batch(&reqs);
+        let single: Vec<String> = reqs.iter().map(|r| model.generate(r)).collect();
+        assert_eq!(batched, single);
+    }
+
+    #[test]
     fn temperature_creates_sample_diversity() {
-        let table = machine_signal_table();
+        let table = Arc::new(machine_signal_table());
         let cases = generate_machine_cases(MachineGenConfig {
             count: 30,
             ..Default::default()
@@ -522,12 +659,8 @@ mod tests {
         let cfg = InferenceConfig::sampling();
         let mut distinct = 0;
         for c in &cases {
-            let t = Task::Nl2svaMachine {
-                case: c,
-                table: &table,
-            };
-            let s0 = model.generate(&t, &cfg, 0);
-            let s1 = model.generate(&t, &cfg, 1);
+            let s0 = model.generate(&machine_request(c, &table, cfg, 0));
+            let s1 = model.generate(&machine_request(c, &table, cfg, 1));
             if s0 != s1 {
                 distinct += 1;
             }
@@ -539,7 +672,7 @@ mod tests {
     fn better_models_emit_more_parseable_output() {
         // gpt-4o should produce (many) more parseable responses than
         // llama-3-8b over the machine set — the headline ordering.
-        let table = machine_signal_table();
+        let table = Arc::new(machine_signal_table());
         let cases = generate_machine_cases(MachineGenConfig {
             count: 150,
             ..Default::default()
@@ -550,11 +683,8 @@ mod tests {
             let ok = cases
                 .iter()
                 .filter(|c| {
-                    let t = Task::Nl2svaMachine {
-                        case: c,
-                        table: &table,
-                    };
-                    let resp = model.generate(&t, &InferenceConfig::greedy(), 0);
+                    let r = machine_request(c, &table, InferenceConfig::greedy(), 0);
+                    let resp = model.generate(&r);
                     sv_parser::parse_assertion_str(&resp).is_ok()
                 })
                 .count();
@@ -566,5 +696,15 @@ mod tests {
             good > bad + 0.1,
             "gpt-4o {good:.2} should beat llama-3-8b {bad:.2}"
         );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = InferenceConfig::greedy();
+        let b = InferenceConfig::sampling();
+        let c = InferenceConfig::greedy().with_shots(3);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), InferenceConfig::greedy().fingerprint());
     }
 }

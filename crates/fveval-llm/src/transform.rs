@@ -118,13 +118,11 @@ fn rewrite_neq_form(p: &PropExpr) -> PropExpr {
         {
             PropExpr::expr((**x).clone().lnot())
         }
-        PropExpr::Seq(SeqExpr::Expr(Expr::Unary(UnaryOp::LogNot, x))) => {
-            PropExpr::expr(Expr::bin(
-                BinaryOp::CaseNeq,
-                (**x).clone(),
-                Expr::Literal(Literal::sized_bin(1, 1)),
-            ))
-        }
+        PropExpr::Seq(SeqExpr::Expr(Expr::Unary(UnaryOp::LogNot, x))) => PropExpr::expr(Expr::bin(
+            BinaryOp::CaseNeq,
+            (**x).clone(),
+            Expr::Literal(Literal::sized_bin(1, 1)),
+        )),
         other => other.clone(),
     }
 }
@@ -155,11 +153,13 @@ fn rewrite_nonoverlap(p: &PropExpr) -> PropExpr {
                 hi: DelayBound::Finite(1),
                 rhs: Box::new(match cons.as_ref() {
                     PropExpr::Seq(s) => s.clone(),
-                    other => return PropExpr::Implication {
-                        ante: ante.clone(),
-                        non_overlap: true,
-                        cons: Box::new(other.clone()),
-                    },
+                    other => {
+                        return PropExpr::Implication {
+                            ante: ante.clone(),
+                            non_overlap: true,
+                            cons: Box::new(other.clone()),
+                        }
+                    }
                 }),
             })),
         },
@@ -189,11 +189,9 @@ fn commute_expr(e: &Expr) -> Expr {
         Expr::Binary(op @ (BinaryOp::LogAnd | BinaryOp::LogOr), a, b) => {
             Expr::Binary(*op, b.clone(), a.clone())
         }
-        Expr::Binary(op, a, b) => Expr::Binary(
-            *op,
-            Box::new(commute_expr(a)),
-            Box::new(commute_expr(b)),
-        ),
+        Expr::Binary(op, a, b) => {
+            Expr::Binary(*op, Box::new(commute_expr(a)), Box::new(commute_expr(b)))
+        }
         Expr::Unary(op, i) => Expr::Unary(*op, Box::new(commute_expr(i))),
         other => other.clone(),
     }
@@ -235,15 +233,9 @@ fn map_body_expr(p: &PropExpr, f: &dyn Fn(&Expr) -> Expr) -> PropExpr {
                 lo: *lo,
                 hi: *hi,
             },
-            SeqExpr::And(a, b) => {
-                SeqExpr::And(Box::new(map_seq(a, f)), Box::new(map_seq(b, f)))
-            }
-            SeqExpr::Or(a, b) => {
-                SeqExpr::Or(Box::new(map_seq(a, f)), Box::new(map_seq(b, f)))
-            }
-            SeqExpr::Throughout(e, s) => {
-                SeqExpr::Throughout(f(e), Box::new(map_seq(s, f)))
-            }
+            SeqExpr::And(a, b) => SeqExpr::And(Box::new(map_seq(a, f)), Box::new(map_seq(b, f))),
+            SeqExpr::Or(a, b) => SeqExpr::Or(Box::new(map_seq(a, f)), Box::new(map_seq(b, f))),
+            SeqExpr::Throughout(e, s) => SeqExpr::Throughout(f(e), Box::new(map_seq(s, f))),
         }
     }
     match p {
@@ -251,14 +243,12 @@ fn map_body_expr(p: &PropExpr, f: &dyn Fn(&Expr) -> Expr) -> PropExpr {
         PropExpr::Strong(s) => PropExpr::Strong(map_seq(s, f)),
         PropExpr::Weak(s) => PropExpr::Weak(map_seq(s, f)),
         PropExpr::Not(i) => PropExpr::Not(Box::new(map_body_expr(i, f))),
-        PropExpr::And(a, b) => PropExpr::And(
-            Box::new(map_body_expr(a, f)),
-            Box::new(map_body_expr(b, f)),
-        ),
-        PropExpr::Or(a, b) => PropExpr::Or(
-            Box::new(map_body_expr(a, f)),
-            Box::new(map_body_expr(b, f)),
-        ),
+        PropExpr::And(a, b) => {
+            PropExpr::And(Box::new(map_body_expr(a, f)), Box::new(map_body_expr(b, f)))
+        }
+        PropExpr::Or(a, b) => {
+            PropExpr::Or(Box::new(map_body_expr(a, f)), Box::new(map_body_expr(b, f)))
+        }
         PropExpr::Implication {
             ante,
             non_overlap,
@@ -452,9 +442,7 @@ fn map_seq_in_prop(p: &PropExpr, f: &mut dyn FnMut(&SeqExpr) -> SeqExpr) -> Prop
             non_overlap: *non_overlap,
             cons: Box::new(map_seq_in_prop(cons, f)),
         },
-        PropExpr::SEventually(i) => {
-            PropExpr::SEventually(Box::new(map_seq_in_prop(i, f)))
-        }
+        PropExpr::SEventually(i) => PropExpr::SEventually(Box::new(map_seq_in_prop(i, f))),
         PropExpr::Always(i) => PropExpr::Always(Box::new(map_seq_in_prop(i, f))),
         PropExpr::Nexttime(i) => PropExpr::Nexttime(Box::new(map_seq_in_prop(i, f))),
         PropExpr::Until { strong, lhs, rhs } => PropExpr::Until {
@@ -499,9 +487,7 @@ fn corrupt_text(a: &Assertion, table: &SignalTable, rng: &mut DetRng) -> String 
             // The paper's flagship hallucination (Figure 7).
             text.replace("s_eventually", "eventually")
         }
-        0 | 1 if text.contains("strong(") => {
-            text.replace("strong(", "eventually(")
-        }
+        0 | 1 if text.contains("strong(") => text.replace("strong(", "eventually("),
         1 | 2 => {
             // Unbalanced parentheses.
             match text.rfind(')') {
@@ -532,11 +518,9 @@ fn replace_whole_word(text: &str, word: &str, with: &str) -> String {
     let mut start = 0;
     while let Some(pos) = text[start..].find(word) {
         let i = start + pos;
-        let before_ok = i == 0
-            || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        let before_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
         let j = i + word.len();
-        let after_ok =
-            j >= bytes.len() || !(bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_');
+        let after_ok = j >= bytes.len() || !(bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_');
         if before_ok && after_ok {
             return format!("{}{}{}", &text[..i], with, &text[j..]);
         }
@@ -693,10 +677,7 @@ mod tests {
                     Ok(parsed) => {
                         let res =
                             check_equivalence(&reference, &parsed, &t, EquivConfig::default());
-                        assert!(
-                            res.is_err(),
-                            "corruption survived: {broken}"
-                        );
+                        assert!(res.is_err(), "corruption survived: {broken}");
                     }
                 }
             }
@@ -705,16 +686,14 @@ mod tests {
 
     #[test]
     fn style_labels_render() {
-        let a = parse_assertion_str("assert property (@(posedge clk) wr_push |-> rd_pop);")
-            .unwrap();
+        let a =
+            parse_assertion_str("assert property (@(posedge clk) wr_push |-> rd_pop);").unwrap();
         let mut r = rng();
         let plain = render_with_style(&Rendered::Ast(a.clone()), &Style::plain(), &mut r);
         assert!(plain.starts_with("assert property"));
-        let labeled =
-            render_with_style(&Rendered::Ast(a.clone()), &Style::snake_label(), &mut r);
+        let labeled = render_with_style(&Rendered::Ast(a.clone()), &Style::snake_label(), &mut r);
         assert!(labeled.starts_with("asrt:"));
-        let descriptive =
-            render_with_style(&Rendered::Ast(a), &Style::verbose_label(), &mut r);
+        let descriptive = render_with_style(&Rendered::Ast(a), &Style::verbose_label(), &mut r);
         assert!(descriptive.starts_with("asrt_wr_push_"));
     }
 }

@@ -15,8 +15,8 @@ mod property;
 
 pub use expr::{BinaryOp, Expr, Literal, SysFunc, UnaryOp};
 pub use module::{
-    Assign, EdgeKind, EventExpr, Instance, LValue, Module, ModuleItem, NetDecl, NetKind,
-    ParamDecl, PortDecl, PortDir, Range, SourceFile, Stmt,
+    Assign, EdgeKind, EventExpr, Instance, LValue, Module, ModuleItem, NetDecl, NetKind, ParamDecl,
+    PortDecl, PortDir, Range, SourceFile, Stmt,
 };
 pub use printer::{print_assertion, print_expr, print_module, print_property, print_seq};
 pub use property::{Assertion, ClockSpec, DelayBound, PropExpr, SeqExpr};

@@ -5,9 +5,7 @@
 //! property tests in `sv-parser`).
 
 use crate::expr::{BinaryOp, Expr, Literal, UnaryOp};
-use crate::module::{
-    EdgeKind, LValue, Module, ModuleItem, NetKind, PortDir, Range, Stmt,
-};
+use crate::module::{EdgeKind, LValue, Module, ModuleItem, NetKind, PortDir, Range, Stmt};
 use crate::property::{Assertion, DelayBound, PropExpr, SeqExpr};
 use std::fmt::Write as _;
 
@@ -107,10 +105,13 @@ fn print_expr_prec(e: &Expr, parent: u8, out: &mut String) {
             // Unary binds tighter than all binaries; parenthesize any
             // non-primary operand.
             match inner.as_ref() {
-                Expr::Ident(_) | Expr::Literal(_) | Expr::Concat(_) | Expr::Replicate(..)
-                | Expr::SysCall(..) | Expr::Index(..) | Expr::Slice(..) => {
-                    print_expr_prec(inner, 12, out)
-                }
+                Expr::Ident(_)
+                | Expr::Literal(_)
+                | Expr::Concat(_)
+                | Expr::Replicate(..)
+                | Expr::SysCall(..)
+                | Expr::Index(..)
+                | Expr::Slice(..) => print_expr_prec(inner, 12, out),
                 _ => {
                     out.push('(');
                     print_expr_prec(inner, 0, out);
@@ -391,7 +392,11 @@ pub fn print_assertion(a: &Assertion) -> String {
         let _ = write!(out, "{l}: ");
     }
     out.push_str("assert property (@(");
-    out.push_str(if a.clock.posedge { "posedge " } else { "negedge " });
+    out.push_str(if a.clock.posedge {
+        "posedge "
+    } else {
+        "negedge "
+    });
     out.push_str(&a.clock.signal);
     out.push(')');
     if let Some(d) = &a.disable {
@@ -529,7 +534,12 @@ fn print_item(item: &ModuleItem, level: usize, out: &mut String) {
         }
         ModuleItem::ContAssign(a) => {
             indent(out, level);
-            let _ = writeln!(out, "assign {} = {};", print_lvalue(&a.lhs), print_expr(&a.rhs));
+            let _ = writeln!(
+                out,
+                "assign {} = {};",
+                print_lvalue(&a.lhs),
+                print_expr(&a.rhs)
+            );
         }
         ModuleItem::AlwaysFf { events, body } | ModuleItem::AlwaysAt { events, body } => {
             indent(out, level);
@@ -627,11 +637,7 @@ pub fn print_module(m: &Module) -> String {
         let _ = writeln!(out, "{kw} {} = {};", p.name, print_expr(&p.value));
     }
     for p in &m.ports {
-        print_item(
-            &ModuleItem::Port(p.clone()),
-            0,
-            &mut out,
-        );
+        print_item(&ModuleItem::Port(p.clone()), 0, &mut out);
     }
     for item in &m.items {
         print_item(item, 0, &mut out);

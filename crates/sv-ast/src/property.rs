@@ -226,13 +226,9 @@ impl PropExpr {
             PropExpr::Seq(s) | PropExpr::Strong(s) | PropExpr::Weak(s) => {
                 s.max_length().unwrap_or(s.min_length())
             }
-            PropExpr::Not(p) | PropExpr::SEventually(p) | PropExpr::Always(p) => {
-                p.temporal_depth()
-            }
+            PropExpr::Not(p) | PropExpr::SEventually(p) | PropExpr::Always(p) => p.temporal_depth(),
             PropExpr::Nexttime(p) => 1 + p.temporal_depth(),
-            PropExpr::And(a, b) | PropExpr::Or(a, b) => {
-                a.temporal_depth().max(b.temporal_depth())
-            }
+            PropExpr::And(a, b) | PropExpr::Or(a, b) => a.temporal_depth().max(b.temporal_depth()),
             PropExpr::Implication {
                 ante,
                 non_overlap,
@@ -259,9 +255,7 @@ impl PropExpr {
                         || lhs.as_ref().is_some_and(|l| seq_unbounded(l))
                         || seq_unbounded(rhs)
                 }
-                SeqExpr::Repeat { seq, hi, .. } => {
-                    hi.finite().is_none() || seq_unbounded(seq)
-                }
+                SeqExpr::Repeat { seq, hi, .. } => hi.finite().is_none() || seq_unbounded(seq),
                 SeqExpr::And(a, b) | SeqExpr::Or(a, b) => seq_unbounded(a) || seq_unbounded(b),
                 SeqExpr::Throughout(_, s) => seq_unbounded(s),
             }
@@ -271,9 +265,7 @@ impl PropExpr {
             PropExpr::Not(p) | PropExpr::Nexttime(p) => p.has_unbounded(),
             PropExpr::SEventually(_) | PropExpr::Always(_) | PropExpr::Until { .. } => true,
             PropExpr::And(a, b) | PropExpr::Or(a, b) => a.has_unbounded() || b.has_unbounded(),
-            PropExpr::Implication { ante, cons, .. } => {
-                seq_unbounded(ante) || cons.has_unbounded()
-            }
+            PropExpr::Implication { ante, cons, .. } => seq_unbounded(ante) || cons.has_unbounded(),
             PropExpr::IfElse { then, alt, .. } => {
                 then.has_unbounded() || alt.as_ref().is_some_and(|p| p.has_unbounded())
             }

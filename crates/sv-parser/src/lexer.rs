@@ -277,7 +277,9 @@ impl<'a> Lexer<'a> {
                         if any {
                             break;
                         }
-                        return Err(self.err(format!("digit '{}' invalid for base {radix}", c as char)));
+                        return Err(
+                            self.err(format!("digit '{}' invalid for base {radix}", c as char))
+                        );
                     }
                     d
                 }
@@ -364,10 +366,11 @@ impl<'a> Lexer<'a> {
         // Numbers: `123`, `8'hFF`, `123_456`.
         if c.is_ascii_digit() {
             let value = self.lex_number_body(10)?;
-            if self.peek() == b'\'' && matches!(self.peek2().to_ascii_lowercase(), b'b' | b'o' | b'd' | b'h')
+            if self.peek() == b'\''
+                && matches!(self.peek2().to_ascii_lowercase(), b'b' | b'o' | b'd' | b'h')
             {
-                let width = u32::try_from(value)
-                    .map_err(|_| self.err("literal width too large"))?;
+                let width =
+                    u32::try_from(value).map_err(|_| self.err("literal width too large"))?;
                 return Ok(mk(self.lex_based(Some(width))?));
             }
             return Ok(mk(Tok::Number {
@@ -555,11 +558,7 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             toks("a // line\n /* block\n comment */ b"),
-            vec![
-                Tok::Ident("a".into()),
-                Tok::Ident("b".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
         );
     }
 

@@ -29,9 +29,9 @@ mod parser;
 mod preprocess;
 mod prop;
 
-use sv_ast::{Assertion, Expr, ModuleItem, SourceFile};
 use std::error::Error;
 use std::fmt;
+use sv_ast::{Assertion, Expr, ModuleItem, SourceFile};
 
 pub use preprocess::preprocess;
 
@@ -140,9 +140,7 @@ mod tests {
 
     #[test]
     fn s_eventually_is_accepted() {
-        let r = parse_assertion_str(
-            "assert property (@(posedge clk) a |-> s_eventually (b));",
-        );
+        let r = parse_assertion_str("assert property (@(posedge clk) a |-> s_eventually (b));");
         assert!(r.is_ok());
     }
 

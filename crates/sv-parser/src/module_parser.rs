@@ -53,7 +53,8 @@ fn parse_module(cur: &mut Cursor) -> Result<Module, ParseError> {
                 if cur.at_kw(Kw::Input) || cur.at_kw(Kw::Output) || cur.at_kw(Kw::Inout) {
                     // ANSI style.
                     let dir = parse_dir(cur)?;
-                    let is_reg = cur.eat_kw(Kw::Reg) || cur.eat_kw(Kw::Logic) || cur.eat_kw(Kw::Wire);
+                    let is_reg =
+                        cur.eat_kw(Kw::Reg) || cur.eat_kw(Kw::Logic) || cur.eat_kw(Kw::Wire);
                     let range = parse_opt_range(cur)?;
                     let pname = cur.expect_ident("port name")?;
                     port_order.push(pname.clone());
@@ -504,7 +505,8 @@ mod tests {
 
     #[test]
     fn minimal_module() {
-        let src = "module m (a, b);\ninput a;\noutput [3:0] b;\nwire w;\nassign w = a;\nendmodule\n";
+        let src =
+            "module m (a, b);\ninput a;\noutput [3:0] b;\nwire w;\nassign w = a;\nendmodule\n";
         let f = parse_source(src).unwrap();
         let m = f.module("m").unwrap();
         assert_eq!(m.ports.len(), 2);
@@ -579,7 +581,9 @@ mod tests {
         let f = parse_source(src).unwrap();
         let m = f.module("m").unwrap();
         match &m.items[1] {
-            ModuleItem::GenerateFor { var, label, body, .. } => {
+            ModuleItem::GenerateFor {
+                var, label, body, ..
+            } => {
                 assert_eq!(var, "i");
                 assert_eq!(label.as_deref(), Some("loop_id"));
                 assert_eq!(body.len(), 1);

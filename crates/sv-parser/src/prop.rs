@@ -400,7 +400,12 @@ mod tests {
                 cons,
                 ..
             } => match *cons {
-                PropExpr::Seq(SeqExpr::Delay { lhs: None, lo: 2, hi, .. }) => {
+                PropExpr::Seq(SeqExpr::Delay {
+                    lhs: None,
+                    lo: 2,
+                    hi,
+                    ..
+                }) => {
                     assert_eq!(hi, DelayBound::Finite(2));
                 }
                 other => panic!("bad consequent {other:?}"),

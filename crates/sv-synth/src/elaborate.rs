@@ -299,7 +299,10 @@ impl Flattener {
                     ));
                 }
                 let fb = self.flatten_stmt(body, scope)?;
-                self.items.push(FlatItem::Proc { clocked: true, body: fb });
+                self.items.push(FlatItem::Proc {
+                    clocked: true,
+                    body: fb,
+                });
             }
             ModuleItem::GenerateFor {
                 var,
@@ -330,12 +333,15 @@ impl Flattener {
                 }
             }
             ModuleItem::Instance(inst) => {
-                let child = file.module(&inst.module).ok_or_else(|| {
-                    ElabError::new(format!("unknown module '{}'", inst.module))
-                })?;
+                let child = file
+                    .module(&inst.module)
+                    .ok_or_else(|| ElabError::new(format!("unknown module '{}'", inst.module)))?;
                 let mut overrides = HashMap::new();
                 for (name, e) in &inst.params {
-                    overrides.insert(name.clone(), const_eval_scoped(&subst_expr(e, scope), &HashMap::new())?);
+                    overrides.insert(
+                        name.clone(),
+                        const_eval_scoped(&subst_expr(e, scope), &HashMap::new())?,
+                    );
                 }
                 let child_prefix = format!("{prefix}{}.", inst.name);
                 let child_scope =
@@ -343,10 +349,7 @@ impl Flattener {
                 // Port connections become assigns in the right direction.
                 for (pname, conn) in &inst.conns {
                     let port = child.port(pname).ok_or_else(|| {
-                        ElabError::new(format!(
-                            "module '{}' has no port '{pname}'",
-                            inst.module
-                        ))
+                        ElabError::new(format!("module '{}' has no port '{pname}'", inst.module))
                     })?;
                     let child_info = match child_scope.get(pname) {
                         Some(ScopeEntry::Net(i)) => i.clone(),
@@ -470,8 +473,8 @@ impl Flattener {
             }
             LValue::Index(name, idx) => {
                 let info = lookup_net(scope, name)?;
-                let i = const_eval_scoped(&subst_expr(idx, scope), &HashMap::new())
-                    .map_err(|_| {
+                let i =
+                    const_eval_scoped(&subst_expr(idx, scope), &HashMap::new()).map_err(|_| {
                         ElabError::new(format!(
                             "assignment index into '{name}' must be an elaboration-time constant"
                         ))
@@ -523,16 +526,15 @@ impl Flattener {
     }
 }
 
-fn lookup_net<'a>(
-    scope: &'a HashMap<String, ScopeEntry>,
-    name: &str,
-) -> Result<&'a DeclInfo> {
+fn lookup_net<'a>(scope: &'a HashMap<String, ScopeEntry>, name: &str) -> Result<&'a DeclInfo> {
     match scope.get(name) {
         Some(ScopeEntry::Net(info)) => Ok(info),
         Some(ScopeEntry::Const(_)) => Err(ElabError::new(format!(
             "'{name}' is a parameter, not an assignable net"
         ))),
-        None => Err(ElabError::new(format!("assignment to undeclared net '{name}'"))),
+        None => Err(ElabError::new(format!(
+            "assignment to undeclared net '{name}'"
+        ))),
     }
 }
 
@@ -602,15 +604,15 @@ fn range_width(r: &sv_ast::Range, scope: &HashMap<String, ScopeEntry>) -> Result
     if w > MAX_WIDTH {
         return Err(ElabError::new(format!("range wider than {MAX_WIDTH} bits")));
     }
-    Ok((w, u32::try_from(lsb).map_err(|_| ElabError::new("lsb too large"))?))
+    Ok((
+        w,
+        u32::try_from(lsb).map_err(|_| ElabError::new("lsb too large"))?,
+    ))
 }
 
 /// Elaboration-time constant evaluation (parameters, genvar bounds,
 /// indices). Identifiers must resolve to constants in `scope`.
-fn const_eval_scoped(
-    e: &Expr,
-    scope: &HashMap<String, ScopeEntry>,
-) -> Result<u128> {
+fn const_eval_scoped(e: &Expr, scope: &HashMap<String, ScopeEntry>) -> Result<u128> {
     Ok(match e {
         Expr::Ident(name) => match scope.get(name) {
             Some(ScopeEntry::Const(v)) => *v,
@@ -792,7 +794,11 @@ pub fn elaborate_with_extras(
                 b.add_driver(target, DriverKind::Comb, tag)?;
             }
             FlatItem::Proc { clocked, body } => {
-                let kind = if *clocked { DriverKind::Reg } else { DriverKind::Comb };
+                let kind = if *clocked {
+                    DriverKind::Reg
+                } else {
+                    DriverKind::Comb
+                };
                 let mut targets = Vec::new();
                 collect_targets(body, &mut targets);
                 targets.sort_by_key(|a| (a.net.clone(), a.lo));
@@ -927,8 +933,10 @@ impl Builder {
             let info = self.decls[&name].clone();
             let mut drivers = self.drivers.remove(&name).unwrap_or_default();
             drivers.sort_by_key(|d| d.0);
-            let drivers: Vec<(u32, u32, DriverKind)> =
-                drivers.into_iter().map(|(lo, w, k, _)| (lo, w, k)).collect();
+            let drivers: Vec<(u32, u32, DriverKind)> = drivers
+                .into_iter()
+                .map(|(lo, w, k, _)| (lo, w, k))
+                .collect();
             let mut segs = Vec::new();
             let mut cursor = 0u32;
             let add_atom = |b: &mut Builder, lo: u32, w: u32, kind: AtomKind| -> AtomId {
@@ -1086,9 +1094,10 @@ impl Builder {
     fn elab_expr(&mut self, e: &Expr, ctx: Option<u32>) -> Result<Nx> {
         Ok(match e {
             Expr::Ident(name) => {
-                let binding = self.netlist.net(name).ok_or_else(|| {
-                    ElabError::new(format!("unknown signal '{name}'"))
-                })?;
+                let binding = self
+                    .netlist
+                    .net(name)
+                    .ok_or_else(|| ElabError::new(format!("unknown signal '{name}'")))?;
                 binding.read()
             }
             Expr::Literal(Literal::Int { width, value, .. }) => {
@@ -1142,7 +1151,10 @@ impl Builder {
                 let sel = self.elab_bool(c)?;
                 let tv = self.elab_expr(t, ctx)?;
                 let ev = self.elab_expr(f, ctx)?;
-                let w = self.width_of(&tv).max(self.width_of(&ev)).max(ctx.unwrap_or(0));
+                let w = self
+                    .width_of(&tv)
+                    .max(self.width_of(&ev))
+                    .max(ctx.unwrap_or(0));
                 Nx::Mux {
                     sel: Box::new(sel),
                     t: Box::new(resize(tv, w, &self.netlist)),
@@ -1203,7 +1215,11 @@ impl Builder {
             let x = self.elab_bool(a)?;
             let y = self.elab_bool(b)?;
             return Ok(Nx::Bin {
-                op: if op == B::LogAnd { NxBin::And } else { NxBin::Or },
+                op: if op == B::LogAnd {
+                    NxBin::And
+                } else {
+                    NxBin::Or
+                },
                 a: Box::new(x),
                 b: Box::new(y),
             });
@@ -1283,7 +1299,9 @@ impl Builder {
         if let Some(&count) = self.netlist.arrays.get(&name) {
             if let Ok(i) = const_eval_scoped(idx, &HashMap::new()) {
                 if i >= u128::from(count) {
-                    return Err(ElabError::new(format!("array index out of range on '{name}'")));
+                    return Err(ElabError::new(format!(
+                        "array index out of range on '{name}'"
+                    )));
                 }
                 let elem = format!("{name}[{i}]");
                 return Ok(self
@@ -1374,11 +1392,7 @@ impl Builder {
                 let v = const_eval_scoped(one_arg()?, &HashMap::new())?;
                 Nx::constant(32, u128::from(clog2(v)))
             }
-            SysFunc::Past
-            | SysFunc::Rose
-            | SysFunc::Fell
-            | SysFunc::Stable
-            | SysFunc::Changed => {
+            SysFunc::Past | SysFunc::Rose | SysFunc::Fell | SysFunc::Stable | SysFunc::Changed => {
                 return Err(ElabError::new(format!(
                     "${} is only valid inside assertions, not RTL",
                     f.name()

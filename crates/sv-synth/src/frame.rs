@@ -206,9 +206,7 @@ impl<'a> FrameExpander<'a> {
                 let v = self.blast(g, i, atoms);
                 BitVec::from_lit(v.onehot0(g))
             }
-            Nx::Resize { inner, width } => {
-                self.blast(g, inner, atoms).resize(*width as usize)
-            }
+            Nx::Resize { inner, width } => self.blast(g, inner, atoms).resize(*width as usize),
         }
     }
 }

@@ -274,7 +274,9 @@ mod tests {
         }
         // A read inside one segment is a single slice.
         match b.read_range(1, 2) {
-            Nx::Slice { lo: 1, width: 2, .. } => {}
+            Nx::Slice {
+                lo: 1, width: 2, ..
+            } => {}
             other => panic!("expected slice, got {other:?}"),
         }
         // A straddling read has two parts.

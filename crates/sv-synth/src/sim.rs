@@ -215,7 +215,7 @@ impl<'a> Simulator<'a> {
                     NxBin::AShr => {
                         // Arithmetic on the w-bit value.
                         let sign = (x >> (w - 1)) & 1 == 1;
-                        
+
                         if y >= u128::from(w) {
                             if sign {
                                 mask(u128::MAX, w)
@@ -354,11 +354,7 @@ mod tests {
                     .enumerate()
                     .map(|(i, &b)| (ev.lit(b) as u128) << i)
                     .sum();
-                assert_eq!(
-                    Some(aig_val),
-                    sim.read_net(name),
-                    "mismatch on {name}"
-                );
+                assert_eq!(Some(aig_val), sim.read_net(name), "mismatch on {name}");
             }
             // Advance AIG state with evaluated next values (constants).
             let mut new_state = HashMap::new();

@@ -1,9 +1,12 @@
-//! Benchmark your own model: implement [`Model`] and run it through the
-//! same pipeline as the paper's eight LLMs.
+//! Benchmark your own model: implement [`Backend`] and run it through
+//! the same engine as the paper's eight LLMs.
 //!
 //! This example builds a tiny *retrieval heuristic* model that answers
 //! NL2SVA tasks by keyword-matching the question against a pattern
 //! library — the kind of non-LLM baseline FVEval makes easy to compare.
+//! Only `Backend::name` and `Backend::generate` are required;
+//! `generate_batch` comes for free (override it when your backend can
+//! answer a whole batch in one round trip).
 //!
 //! ```text
 //! cargo run --example custom_model
@@ -36,16 +39,16 @@ impl KeywordBaseline {
     }
 }
 
-impl Model for KeywordBaseline {
+impl Backend for KeywordBaseline {
     fn name(&self) -> &str {
         "keyword-baseline"
     }
 
-    fn generate(&self, task: &Task<'_>, _cfg: &InferenceConfig, _sample: u32) -> String {
-        let question = match task {
-            Task::Nl2svaHuman { case, .. } => case.question.clone(),
-            Task::Nl2svaMachine { case, .. } => case.question.clone(),
-            Task::Design2sva { .. } => {
+    fn generate(&self, req: &Request) -> String {
+        let question = match req.task.as_ref() {
+            TaskSpec::Nl2svaHuman { case, .. } => case.question.clone(),
+            TaskSpec::Nl2svaMachine { case, .. } => case.question.clone(),
+            TaskSpec::Design2sva { .. } => {
                 return "assert property (@(posedge clk) 1'b1);".to_string()
             }
         };
@@ -66,9 +69,7 @@ impl Model for KeywordBaseline {
             // Fall back to a conjunction check over the named signals.
             format!("({} && {}) !== 1'b1", s(0), s(1))
         };
-        format!(
-            "asrt: assert property (@(posedge clk) disable iff (tb_reset) {body});"
-        )
+        format!("asrt: assert property (@(posedge clk) disable iff (tb_reset) {body});")
     }
 }
 
@@ -78,11 +79,12 @@ fn main() {
         .into_iter()
         .map(|t| (t.name, signal_table_for(&t).expect("testbenches elaborate")))
         .collect();
-    let runner = Nl2svaRunner::new();
+    let tasks = human_task_specs(&cases, &tables);
+    let engine = EvalEngine::new();
     let cfg = InferenceConfig::greedy();
 
     let baseline = KeywordBaseline;
-    let evals = runner.run_human(&baseline, &cases, &tables, &cfg, 1);
+    let evals = engine.run(&baseline, &tasks, &cfg, 1);
     let s = MetricSummary::from_first_samples(&evals);
     println!(
         "{:<18} syntax={:.3} func={:.3} partial={:.3} bleu={:.3}",
@@ -93,9 +95,14 @@ fn main() {
         s.bleu
     );
 
-    // Compare against the calibrated simulated LLMs.
-    for model in profiles() {
-        let evals = runner.run_human(&model, &cases, &tables, &cfg, 1);
+    // Compare against the calibrated simulated LLMs: the whole
+    // model × case product goes through the worker pool in one call.
+    let models = profiles();
+    let backends: Vec<&dyn Backend> = models.iter().map(|m| m as &dyn Backend).collect();
+    for (model, evals) in models
+        .iter()
+        .zip(engine.run_matrix(&backends, &tasks, &cfg, 1))
+    {
         let s = MetricSummary::from_first_samples(&evals);
         println!(
             "{:<18} syntax={:.3} func={:.3} partial={:.3} bleu={:.3}",

@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bound = bind_design(&case).map_err(std::io::Error::other)?;
     let runner = Design2svaRunner::new();
     let cfg = InferenceConfig::sampling();
+    let task = std::sync::Arc::new(TaskSpec::Design2sva { case: case.clone() });
 
     for model in profiles() {
         if !model.profile().supports_design2sva {
@@ -32,8 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut successes = 0u32;
         let n = 5;
         for attempt in 0..n {
-            let task = Task::Design2sva { case: &case };
-            let response = model.generate(&task, &cfg, attempt);
+            let response = model.generate(&Request {
+                task: std::sync::Arc::clone(&task),
+                cfg,
+                sample_idx: attempt,
+            });
             let eval = runner.evaluate_response(&bound, &response);
             if attempt == 0 {
                 println!("first attempt:\n{response}");

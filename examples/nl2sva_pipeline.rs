@@ -21,7 +21,10 @@ fn main() {
         cases.len(),
         retried
     );
-    println!("\nsample case:\n  Q: {}\n  A: {}\n", cases[0].question, cases[0].reference_text);
+    println!(
+        "\nsample case:\n  Q: {}\n  A: {}\n",
+        cases[0].question, cases[0].reference_text
+    );
 
     let table = machine_signal_table();
     let runner = Nl2svaRunner::new();
@@ -47,11 +50,14 @@ fn main() {
 
     // Show one scored response in detail.
     let case = &cases[1];
-    let task = Task::Nl2svaMachine {
-        case,
-        table: &table,
-    };
-    let response = model.generate(&task, &InferenceConfig::greedy(), 0);
+    let response = model.generate(&Request {
+        task: std::sync::Arc::new(TaskSpec::Nl2svaMachine {
+            case: case.clone(),
+            table: std::sync::Arc::new(table.clone()),
+        }),
+        cfg: InferenceConfig::greedy(),
+        sample_idx: 0,
+    });
     let eval = runner.evaluate_response(&case.reference_text, &response, &table);
     println!("\nworked example:\n  Q: {}", case.question);
     println!("  reference: {}", case.reference_text);

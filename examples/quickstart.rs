@@ -46,9 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(out2.verdict, Equivalence::Equivalent);
 
     // And a hallucinated operator fails the tool syntax check outright.
-    let hallucinated = parse_assertion_str(
-        "assert property (@(posedge clk) wr_push |-> eventually(rd_pop));",
-    );
+    let hallucinated =
+        parse_assertion_str("assert property (@(posedge clk) wr_push |-> eventually(rd_pop));");
     println!(
         "hallucinated `eventually`: {:?}",
         hallucinated.err().map(|e| e.to_string())

@@ -44,19 +44,18 @@ pub use sv_synth;
 /// The most common imports in one place.
 pub mod prelude {
     pub use fv_core::{
-        check_equivalence, prove, EquivConfig, Equivalence, ProveConfig, ProveResult,
-        SignalTable,
+        check_equivalence, prove, EquivConfig, Equivalence, ProveConfig, ProveResult, SignalTable,
     };
     pub use fveval_core::{
-        bind_design, bleu, pass_at_k, Design2svaRunner, MetricSummary, Nl2svaRunner,
-        SampleEval,
+        bind_design, bleu, design_task_specs, human_task_specs, machine_task_specs, pass_at_k,
+        CacheStats, Design2svaRunner, EvalEngine, MetricSummary, Nl2svaRunner, SampleEval,
     };
     pub use fveval_data::{
         fsm_sweep, generate_fsm, generate_machine_cases, generate_pipeline, human_cases,
         machine_signal_table, pipeline_sweep, signal_table_for, testbenches, FsmParams,
         MachineGenConfig, PipelineParams,
     };
-    pub use fveval_llm::{profiles, InferenceConfig, Model, Task};
+    pub use fveval_llm::{profiles, Backend, InferenceConfig, Request, TaskSpec};
     pub use sv_parser::{parse_assertion_str, parse_snippet, parse_source};
     pub use sv_synth::{elaborate, elaborate_with_extras, Simulator};
 }

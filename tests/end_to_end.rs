@@ -107,7 +107,10 @@ fn three_shot_helps_weak_zero_shot_models() {
     let table = machine_signal_table();
     let runner = Nl2svaRunner::new();
     let models = profiles();
-    let m = models.iter().find(|m| m.name() == "gemini-1.5-pro").unwrap();
+    let m = models
+        .iter()
+        .find(|m| m.name() == "gemini-1.5-pro")
+        .unwrap();
     let s0 = MetricSummary::from_first_samples(&runner.run_machine(
         m,
         &cases,

@@ -12,13 +12,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop()).prop_map(|(l, r, op)| {
-                Expr::bin(op, l, r)
-            }),
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(l, r, op)| { Expr::bin(op, l, r) }),
             (inner.clone(), arb_unop()).prop_map(|(e, op)| Expr::Unary(op, Box::new(e))),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| {
-                Expr::Ternary(Box::new(c), Box::new(t), Box::new(e))
-            }),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| { Expr::Ternary(Box::new(c), Box::new(t), Box::new(e)) }),
         ]
     })
 }
@@ -203,9 +201,9 @@ fn eval_oracle(e: &Expr, a: u128, b: u128, x: u128, y: u128, out_width: u32) -> 
                 "a" | "b" => 1,
                 _ => 4,
             },
-            Expr::Literal(sv_ast::Literal::Int { width, value, .. }) => width.unwrap_or_else(|| {
-                (128 - value.leading_zeros()).clamp(32, 128)
-            }),
+            Expr::Literal(sv_ast::Literal::Int { width, value, .. }) => {
+                width.unwrap_or_else(|| (128 - value.leading_zeros()).clamp(32, 128))
+            }
             Expr::Literal(_) => 32,
             Expr::Unary(op, i) => match op {
                 UnaryOp::LogNot
