@@ -7,8 +7,8 @@ use fv_core::{check_equivalence, prove, EquivConfig, ProveConfig, SignalTable};
 use fveval_bench::pigeonhole;
 use fveval_core::{design_task_specs, machine_task_specs, EvalEngine};
 use fveval_data::{
-    fsm_sweep, generate_machine_cases, generate_pipeline, machine_signal_table, testbenches,
-    MachineGenConfig, PipelineParams,
+    fsm_sweep, generate_machine_cases, generate_pipeline, human_cases, machine_signal_table,
+    signal_table_for, testbenches, MachineGenConfig, PipelineParams,
 };
 use fveval_llm::{profiles, Backend, InferenceConfig};
 use std::hint::black_box;
@@ -141,6 +141,133 @@ fn bench_model_checking(c: &mut Criterion) {
     g.finish();
 }
 
+/// The formal core at benchmark scale, isolated from inference: the
+/// equivalence prover over Table-2-scale assertion suites (every query
+/// an LLM answer would trigger, minus the LLM) and the BMC/k-induction
+/// prover over a Design2SVA FSM golden suite. These are the groups the
+/// incremental-core work is measured against.
+fn bench_formal_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("formal_core");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+
+    // Table-2 scale: the 79 human references, each checked against
+    // itself (the UNSAT-proof path) and against a neighbour from the
+    // same testbench scope (the falsification path) — the same query
+    // mix a pass@k sampling run produces.
+    let tables: std::collections::HashMap<&str, SignalTable> = testbenches()
+        .into_iter()
+        .map(|tb| {
+            let t = signal_table_for(&tb).expect("testbench elaborates");
+            (tb.name, t)
+        })
+        .collect();
+    let human = human_cases();
+    let parsed: Vec<(sv_ast::Assertion, &str)> = human
+        .iter()
+        .map(|c| (parse_assertion_str(&c.reference).unwrap(), c.testbench))
+        .collect();
+    let mut pairs: Vec<(usize, usize)> = (0..parsed.len()).map(|i| (i, i)).collect();
+    for i in 0..parsed.len() {
+        let j = (i + 1) % parsed.len();
+        if parsed[i].1 == parsed[j].1 {
+            pairs.push((i, j));
+        }
+    }
+    g.bench_function("equiv_human_table2_scale", |b| {
+        b.iter(|| {
+            for &(i, j) in &pairs {
+                let table = &tables[parsed[i].1];
+                let _ = black_box(check_equivalence(
+                    &parsed[i].0,
+                    &parsed[j].0,
+                    table,
+                    EquivConfig::default(),
+                ));
+            }
+        })
+    });
+
+    // The machine set at quick-mode scale (120 cases): identity plus
+    // cross pairs in the shared symbolic scope.
+    let machine = generate_machine_cases(MachineGenConfig {
+        count: 120,
+        seed: 0xF0CA,
+        ..Default::default()
+    });
+    let machine_table = machine_signal_table();
+    g.bench_function("equiv_machine_pairs", |b| {
+        b.iter(|| {
+            for (i, case) in machine.iter().enumerate() {
+                let other = &machine[(i + 1) % machine.len()];
+                let _ = black_box(check_equivalence(
+                    &case.reference,
+                    &case.reference,
+                    &machine_table,
+                    EquivConfig::default(),
+                ));
+                let _ = black_box(check_equivalence(
+                    &case.reference,
+                    &other.reference,
+                    &machine_table,
+                    EquivConfig::default(),
+                ));
+            }
+        })
+    });
+
+    // Design2SVA FSM goldens through the model checker: each golden is
+    // proven (BMC sweep + k-induction), the dominant cost of Table 5.
+    let mut proven_suite = Vec::new();
+    for case in fsm_sweep(6, 0xF0CB) {
+        let mut src = case.design_source.clone();
+        src.push('\n');
+        src.push_str(&case.tb_source);
+        let file = parse_source(&src).unwrap();
+        let design = file.module(&case.top).unwrap();
+        let conns: Vec<(String, sv_ast::Expr)> = design
+            .port_order
+            .iter()
+            .map(|p| (p.clone(), sv_ast::Expr::ident(p.clone())))
+            .collect();
+        let inst = sv_ast::ModuleItem::Instance(sv_ast::Instance {
+            module: case.top.clone(),
+            name: "dut".into(),
+            params: vec![],
+            conns,
+        });
+        let netlist = sv_synth::elaborate_with_extras(&file, &case.tb_top, &[inst]).unwrap();
+        let consts: Vec<(String, u32, u128)> = netlist
+            .params
+            .iter()
+            .map(|(n, v)| (n.clone(), 32u32, *v))
+            .collect();
+        let assertions: Vec<sv_ast::Assertion> = case
+            .golden
+            .iter()
+            .filter_map(|snippet| {
+                sv_parser::parse_snippet(snippet)
+                    .ok()?
+                    .into_iter()
+                    .find_map(|item| match item {
+                        sv_ast::ModuleItem::Assertion(a) => Some(a),
+                        _ => None,
+                    })
+            })
+            .collect();
+        proven_suite.push((netlist, assertions, consts));
+    }
+    g.bench_function("prove_fsm_goldens", |b| {
+        b.iter(|| {
+            for (netlist, assertions, consts) in &proven_suite {
+                for a in assertions {
+                    let _ = black_box(prove(netlist, a, consts, ProveConfig::default()));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
 /// The `EvalEngine` worker pool at Table 4/5-scale workloads: on
 /// multi-core hosts the parallel engine beats the sequential baseline
 /// (work units are embarrassingly parallel); on any host a cached
@@ -215,6 +342,7 @@ criterion_group!(
     bench_parser,
     bench_equivalence,
     bench_model_checking,
+    bench_formal_core,
     bench_eval_engine
 );
 criterion_main!(benches);

@@ -6,6 +6,13 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) u32);
 
+impl NodeId {
+    /// Dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Index of a latch in an [`Aig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LatchId(pub(crate) u32);
@@ -150,6 +157,14 @@ impl Aig {
     /// The primary-input nodes, in creation order.
     pub fn inputs(&self) -> &[NodeId] {
         &self.inputs
+    }
+
+    /// Dense input index of a node, if it is a primary input.
+    pub fn input_index(&self, id: NodeId) -> Option<u32> {
+        match self.node(id) {
+            Node::Input(k) => Some(k),
+            _ => None,
+        }
     }
 
     /// Creates a fresh primary input and returns its literal.

@@ -18,12 +18,16 @@
 //! assert_eq!(sum.width(), 4);
 //! ```
 
+#![deny(missing_docs)]
+
 mod aig;
 mod bitvec;
 mod cnf;
 mod eval;
+mod sim;
 
 pub use aig::{Aig, AigLit, Latch, LatchId, NodeId};
 pub use bitvec::BitVec;
 pub use cnf::CnfEmitter;
 pub use eval::AigEvaluator;
+pub use sim::{BitSim, SimSlot, Ternary, TernarySim};

@@ -1,0 +1,173 @@
+//! Counterexample trace values and their width-aware rendering.
+
+use fv_aig::{AigLit, BitVec, CnfEmitter};
+use fv_sat::Solver;
+use std::fmt;
+
+/// One signal observation in a counterexample trace.
+///
+/// Values carry the signal's declared bit width so traces render in
+/// SystemVerilog sized-literal notation instead of raw integers:
+/// widths up to 4 bits print in binary (`4'b0101`), wider signals in
+/// zero-padded hexadecimal (`12'h0a5`). See [`CexValue::render_value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CexValue {
+    /// Signal (testbench net or input) name.
+    pub signal: String,
+    /// Trace cycle. Negative cycles are the sampled pre-history that
+    /// `$past`/`$rose` reference before the anchor.
+    pub cycle: i32,
+    /// Declared width of the signal in bits.
+    pub width: u32,
+    /// The observed value (LSB-aligned, masked to `width`).
+    pub value: u128,
+}
+
+impl CexValue {
+    /// Renders the value as a SystemVerilog sized literal at the
+    /// signal's declared width: `1'b0`, `4'b0101`, `12'h0a5`, ...
+    pub fn render_value(&self) -> String {
+        let w = self.width.max(1);
+        if w <= 4 {
+            format!("{w}'b{:0width$b}", self.value, width = w as usize)
+        } else {
+            let digits = w.div_ceil(4) as usize;
+            format!("{w}'h{:0width$x}", self.value, width = digits)
+        }
+    }
+}
+
+impl fmt::Display for CexValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "  cycle {:>3}: {} = {}",
+            self.cycle,
+            self.signal,
+            self.render_value()
+        )
+    }
+}
+
+/// Renders a trace as one line per observation, sorted by `(cycle,
+/// signal)` — the canonical counterexample format shared by
+/// [`crate::TraceCex`] and [`crate::DesignCex`]:
+///
+/// ```text
+///   cycle   0: wr_push = 1'b1
+///   cycle   2: fifo_cnt = 8'h03
+/// ```
+pub(crate) fn fmt_trace(values: &[CexValue], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for v in values {
+        writeln!(f, "{v}")?;
+    }
+    Ok(())
+}
+
+/// Sorts observations into the canonical `(cycle, signal)` order.
+pub(crate) fn sort_trace(values: &mut [CexValue]) {
+    values.sort_by(|a, b| (a.cycle, &a.signal).cmp(&(b.cycle, &b.signal)));
+}
+
+/// Decodes an environment allocation log into a sorted trace, reading
+/// each allocated bit through `read_bit` — the one place both provers'
+/// simulation- and solver-model decodings share.
+pub(crate) fn decode_trace<'a>(
+    entries: impl Iterator<Item = (&'a str, i32, &'a BitVec)>,
+    mut read_bit: impl FnMut(AigLit) -> bool,
+) -> Vec<CexValue> {
+    let mut values = Vec::new();
+    for (signal, cycle, bv) in entries {
+        let mut value: u128 = 0;
+        for (i, &bit) in bv.bits().iter().enumerate() {
+            if read_bit(bit) {
+                value |= 1 << i;
+            }
+        }
+        values.push(CexValue {
+            signal: signal.to_string(),
+            cycle,
+            width: bv.width() as u32,
+            value,
+        });
+    }
+    sort_trace(&mut values);
+    values
+}
+
+/// Bit reader over a SAT model: resolves the bit's node through the
+/// emitter's variable map and the solver's assignment, defaulting
+/// unconstrained (never-emitted or search-untouched) bits to 0.
+pub(crate) fn solver_bit_reader<'x>(
+    em: &'x CnfEmitter,
+    solver: &'x Solver,
+) -> impl FnMut(AigLit) -> bool + 'x {
+    |bit: AigLit| {
+        em.lookup(bit.node())
+            .and_then(|var| solver.value(var))
+            .map(|b| b ^ bit.is_inverted())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_values_render_binary() {
+        let v = CexValue {
+            signal: "a".into(),
+            cycle: 0,
+            width: 1,
+            value: 1,
+        };
+        assert_eq!(v.render_value(), "1'b1");
+        let v = CexValue {
+            signal: "s".into(),
+            cycle: 0,
+            width: 4,
+            value: 0b0101,
+        };
+        assert_eq!(v.render_value(), "4'b0101");
+    }
+
+    #[test]
+    fn wide_values_render_zero_padded_hex() {
+        let v = CexValue {
+            signal: "data".into(),
+            cycle: 3,
+            width: 12,
+            value: 0xA5,
+        };
+        assert_eq!(v.render_value(), "12'h0a5");
+        assert_eq!(v.to_string(), "  cycle   3: data = 12'h0a5");
+    }
+
+    #[test]
+    fn sort_is_by_cycle_then_signal() {
+        let mut vs = vec![
+            CexValue {
+                signal: "b".into(),
+                cycle: 1,
+                width: 1,
+                value: 0,
+            },
+            CexValue {
+                signal: "a".into(),
+                cycle: 1,
+                width: 1,
+                value: 0,
+            },
+            CexValue {
+                signal: "z".into(),
+                cycle: -1,
+                width: 1,
+                value: 0,
+            },
+        ];
+        sort_trace(&mut vs);
+        let order: Vec<(i32, &str)> = vs.iter().map(|v| (v.cycle, v.signal.as_str())).collect();
+        assert_eq!(order, vec![(-1, "z"), (1, "a"), (1, "b")]);
+    }
+}

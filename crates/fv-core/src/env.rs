@@ -5,7 +5,7 @@ use crate::error::EncodeError;
 use crate::table::SignalTable;
 use fv_aig::{Aig, BitVec};
 use std::collections::HashMap;
-use sv_synth::{FrameExpander, FrameValues};
+use sv_synth::{AtomKind, FrameExpander, FrameValues};
 
 /// Supplies per-cycle signal values to the monitor encoder.
 pub trait TraceEnv {
@@ -84,6 +84,11 @@ pub struct DesignTraceEnv<'a> {
     free_initial: bool,
     /// Input allocation log per frame, for counterexample decoding.
     input_log: Vec<(String, u32, BitVec)>,
+    /// Frame-0 register bits allocated in free-initial mode, paired
+    /// with the reset value each bit would have: `(bit, init)`. BMC on
+    /// a shared free-state unrolling pins these through a solver
+    /// selector group instead of baking constants into the AIG.
+    initial_bits: Vec<(fv_aig::AigLit, bool)>,
 }
 
 impl<'a> DesignTraceEnv<'a> {
@@ -96,6 +101,7 @@ impl<'a> DesignTraceEnv<'a> {
             forced: HashMap::new(),
             free_initial: false,
             input_log: Vec::new(),
+            initial_bits: Vec::new(),
         };
         // Standard formal setup: reset deasserted throughout.
         if let Some(rst) = expander.netlist().reset_name.clone() {
@@ -124,7 +130,15 @@ impl<'a> DesignTraceEnv<'a> {
                 self.expander
                     .netlist()
                     .regs()
-                    .map(|(id, def)| (id, BitVec::input(g, def.width as usize)))
+                    .map(|(id, def)| {
+                        let bv = BitVec::input(g, def.width as usize);
+                        if let AtomKind::Reg { init, .. } = def.kind {
+                            for (i, &bit) in bv.bits().iter().enumerate() {
+                                self.initial_bits.push((bit, (init >> i) & 1 == 1));
+                            }
+                        }
+                        (id, bv)
+                    })
                     .collect()
             } else {
                 self.expander.initial_state()
@@ -155,6 +169,13 @@ impl<'a> DesignTraceEnv<'a> {
     /// The input allocation log: `(signal, frame, bits)`.
     pub fn input_log(&self) -> &[(String, u32, BitVec)] {
         &self.input_log
+    }
+
+    /// Frame-0 register bits allocated in free-initial mode, paired
+    /// with each bit's reset value. Empty until frame 0 exists (and in
+    /// reset-constant mode, always).
+    pub fn initial_state_bits(&self) -> &[(fv_aig::AigLit, bool)] {
+        &self.initial_bits
     }
 }
 

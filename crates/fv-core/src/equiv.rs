@@ -1,13 +1,32 @@
 //! Assertion-to-assertion formal equivalence — the reproduction of the
 //! paper's custom Jasper equivalence-checking function.
+//!
+//! The check is layered for speed. Both assertions are compiled over
+//! one shared symbolic trace into one structurally-hashed AIG, so the
+//! two implication directions (`ref ∧ ¬cand`, `cand ∧ ¬ref`) share
+//! every common subterm — syntactically equal assertions collapse to
+//! the *same* AIG literal and both directions fold to constant false
+//! before any solver exists. Directions that survive folding are
+//! attacked with 64-way random simulation (a witness pattern decides a
+//! direction SAT without a SAT call); only the remainder goes to the
+//! CDCL solver, and both directions reuse a single [`Solver`] via
+//! [`Solver::solve_with`] assumptions. [`ProverStats`] reports which
+//! layer decided what.
 
+use crate::cex::CexValue;
 use crate::env::FreeTraceEnv;
 use crate::error::EncodeError;
 use crate::monitor::{encode_assertion, horizon_for};
+use crate::rng::splitmix64;
+use crate::stats::ProverStats;
 use crate::table::SignalTable;
-use fv_aig::{Aig, CnfEmitter};
+use fv_aig::{Aig, AigLit, BitSim, CnfEmitter};
 use fv_sat::Solver;
 use sv_ast::Assertion;
+
+/// Random-simulation effort: rounds of 64 patterns each before falling
+/// back to SAT.
+const SIM_ROUNDS: usize = 4;
 
 /// Configuration for the bounded equivalence check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,18 +75,29 @@ impl Equivalence {
 
 /// A distinguishing trace: per-cycle signal valuations where the two
 /// assertions disagree.
+///
+/// # Trace format
+///
+/// One [`CexValue`] per `(signal, cycle)` observation, sorted by cycle
+/// then signal name; negative cycles are the sampled pre-history used
+/// by `$past`/`$rose`. `Display` renders one line per observation with
+/// values as SystemVerilog sized literals at each signal's declared
+/// width:
+///
+/// ```text
+///   cycle  -1: rd_pop = 1'b0
+///   cycle   0: wr_push = 1'b1
+///   cycle   1: fifo_cnt = 8'h03
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceCex {
-    /// `(signal, cycle, value)` triples, sorted by cycle then name.
-    pub values: Vec<(String, i32, u128)>,
+    /// The observations, sorted by `(cycle, signal)`.
+    pub values: Vec<CexValue>,
 }
 
 impl std::fmt::Display for TraceCex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for (name, cycle, v) in &self.values {
-            writeln!(f, "  cycle {cycle:>3}: {name} = {v:#x}")?;
-        }
-        Ok(())
+        crate::cex::fmt_trace(&self.values, f)
     }
 }
 
@@ -81,13 +111,24 @@ pub struct EquivOutcome {
     /// A distinguishing trace when the verdict is not `Equivalent`
     /// (a trace where exactly one assertion holds).
     pub cex: Option<TraceCex>,
+    /// How the two implication queries were discharged.
+    pub stats: ProverStats,
+}
+
+/// How one implication direction was decided.
+enum DirVerdict {
+    /// The difference is satisfiable: the implication does NOT hold.
+    Sat(TraceCex),
+    /// The difference is unsatisfiable: the implication holds.
+    Unsat,
 }
 
 /// Proves bounded-trace equivalence between a `reference` and a
 /// `candidate` assertion over free signals declared in `table`.
 ///
-/// Mirrors the paper's evaluation exactly: two SAT queries decide
-/// `ref ∧ ¬cand` and `cand ∧ ¬ref`; both UNSAT means [`Equivalence::Equivalent`],
+/// Mirrors the paper's evaluation exactly: the queries `ref ∧ ¬cand`
+/// and `cand ∧ ¬ref` are decided (by folding, simulation, or SAT —
+/// see the module docs); both UNSAT means [`Equivalence::Equivalent`],
 /// one UNSAT means one-way implication (the *partial* metric), both SAT
 /// means [`Equivalence::Inequivalent`].
 ///
@@ -96,6 +137,19 @@ pub struct EquivOutcome {
 /// [`EncodeError`] when either assertion references unknown signals or
 /// unsupported constructs — the harness scores these as tool/elaboration
 /// failures, like Jasper would.
+///
+/// # Examples
+///
+/// ```
+/// use fv_core::{check_equivalence, EquivConfig, Equivalence, SignalTable};
+/// use sv_parser::parse_assertion_str;
+///
+/// let table: SignalTable = [("a", 1u32), ("b", 1)].into_iter().collect();
+/// let r = parse_assertion_str("assert property (@(posedge clk) a |-> ##1 b);").unwrap();
+/// let c = parse_assertion_str("assert property (@(posedge clk) a |=> b);").unwrap();
+/// let out = check_equivalence(&r, &c, &table, EquivConfig::default()).unwrap();
+/// assert_eq!(out.verdict, Equivalence::Equivalent);
+/// ```
 pub fn check_equivalence(
     reference: &Assertion,
     candidate: &Assertion,
@@ -109,6 +163,7 @@ pub fn check_equivalence(
             verdict: Equivalence::Inequivalent,
             horizon: 0,
             cex: None,
+            stats: ProverStats::default(),
         });
     }
     let horizon = horizon_for(reference, Some(candidate), cfg.slack);
@@ -123,57 +178,155 @@ pub fn check_equivalence(
     let ref_holds = encode_assertion(&mut g, reference, horizon, &mut env)?;
     let cand_holds = encode_assertion(&mut g, candidate, horizon, &mut env)?;
 
-    let mut solver = Solver::new();
-    let mut em = CnfEmitter::new();
-    let lr = em.emit(&g, ref_holds, &mut solver);
-    let lc = em.emit(&g, cand_holds, &mut solver);
+    // The two difference cones, built on the shared strashed graph.
+    let d_rc = g.and(ref_holds, !cand_holds); // SAT ⇒ ref does NOT imply cand
+    let d_cr = g.and(cand_holds, !ref_holds); // SAT ⇒ cand does NOT imply ref
 
-    // ref ∧ ¬cand : SAT means ref does NOT imply cand.
-    let ref_not_cand = solver.solve_with(&[lr, !lc]).is_sat();
-    let cex1 = if ref_not_cand {
-        Some(extract_cex(&env, &em, &solver))
-    } else {
-        None
-    };
-    let cand_not_ref = solver.solve_with(&[lc, !lr]).is_sat();
-    let cex2 = if cand_not_ref {
-        Some(extract_cex(&env, &em, &solver))
-    } else {
-        None
-    };
+    let mut stats = ProverStats::default();
+    let mut rc: Option<DirVerdict> = None;
+    let mut cr: Option<DirVerdict> = None;
 
-    let verdict = match (ref_not_cand, cand_not_ref) {
-        (false, false) => Equivalence::Equivalent,
+    // Layer 1: structural hashing + constant folding. Equal encodings
+    // collapse to the same literal and both differences fold to FALSE.
+    if d_rc == AigLit::FALSE {
+        stats.ternary_kills += 1;
+        rc = Some(DirVerdict::Unsat);
+    }
+    if d_cr == AigLit::FALSE {
+        stats.ternary_kills += 1;
+        cr = Some(DirVerdict::Unsat);
+    }
+
+    // Layer 2: random simulation. A non-zero word is a concrete
+    // distinguishing trace — the direction is SAT with no solver.
+    // (The free-trace encoding is purely combinational; a latch node
+    // would make randomized latch slots a fabricated witness.)
+    debug_assert_eq!(
+        g.num_latches(),
+        0,
+        "simulation witnesses assume a latch-free monitor encoding"
+    );
+    let mut rng: u64 = 0x5EED_0F0E_D1FF ^ u64::from(horizon);
+    for _ in 0..SIM_ROUNDS {
+        if rc.is_some() && cr.is_some() {
+            break;
+        }
+        let mut sim = BitSim::new();
+        sim.extend(&g, &mut |_| splitmix64(&mut rng));
+        if rc.is_none() {
+            let w = sim.lit(d_rc);
+            if w != 0 {
+                stats.sim_kills += 1;
+                rc = Some(DirVerdict::Sat(sim_cex(&env, &sim, w.trailing_zeros())));
+            }
+        }
+        if cr.is_none() {
+            let w = sim.lit(d_cr);
+            if w != 0 {
+                stats.sim_kills += 1;
+                cr = Some(DirVerdict::Sat(sim_cex(&env, &sim, w.trailing_zeros())));
+            }
+        }
+    }
+
+    // Layer 3: SAT, one shared solver for whatever remains. The second
+    // query reuses the first query's learned clauses and activities.
+    if rc.is_none() || cr.is_none() {
+        let mut solver = Solver::new();
+        let mut em = CnfEmitter::new();
+        let lr = em.emit(&g, ref_holds, &mut solver);
+        let lc = em.emit(&g, cand_holds, &mut solver);
+        let mut solver_used = false;
+        for (slot, assumptions, diff) in [(&mut rc, [lr, !lc], d_rc), (&mut cr, [lc, !lr], d_cr)] {
+            if slot.is_some() {
+                continue;
+            }
+            stats.sat_calls += 1;
+            if solver_used {
+                stats.solver_reuse_hits += 1;
+            }
+            solver_used = true;
+            *slot = Some(if solver.solve_with(&assumptions).is_sat() {
+                let cex = sat_cex(&env, &em, &solver);
+                debug_assert!(
+                    replay_trace_cex(&g, &env, &cex, diff),
+                    "SAT model must replay to a real distinguishing trace"
+                );
+                DirVerdict::Sat(cex)
+            } else {
+                DirVerdict::Unsat
+            });
+        }
+    }
+
+    let (rc, cr) = (
+        rc.expect("direction decided"),
+        cr.expect("direction decided"),
+    );
+    let verdict = match (&rc, &cr) {
+        (DirVerdict::Unsat, DirVerdict::Unsat) => Equivalence::Equivalent,
         // UNSAT(ref ∧ ¬cand) proves ref ⇒ cand.
-        (false, true) => Equivalence::RefImpliesCand,
-        (true, false) => Equivalence::CandImpliesRef,
-        (true, true) => Equivalence::Inequivalent,
+        (DirVerdict::Unsat, DirVerdict::Sat(_)) => Equivalence::RefImpliesCand,
+        (DirVerdict::Sat(_), DirVerdict::Unsat) => Equivalence::CandImpliesRef,
+        (DirVerdict::Sat(_), DirVerdict::Sat(_)) => Equivalence::Inequivalent,
+    };
+    let cex = match (rc, cr) {
+        (DirVerdict::Sat(c), _) | (DirVerdict::Unsat, DirVerdict::Sat(c)) => Some(c),
+        _ => None,
     };
     Ok(EquivOutcome {
         verdict,
         horizon,
-        cex: cex1.or(cex2),
+        cex,
+        stats,
     })
 }
 
-fn extract_cex(env: &FreeTraceEnv, em: &CnfEmitter, solver: &Solver) -> TraceCex {
-    let mut values = Vec::new();
+fn log_entries<'e>(
+    env: &'e FreeTraceEnv<'_>,
+) -> impl Iterator<Item = (&'e str, i32, &'e fv_aig::BitVec)> + 'e {
+    env.log().iter().map(|(n, c, bv)| (n.as_str(), *c, bv))
+}
+
+/// Decodes one simulation pattern (bit position `pattern`) into a trace.
+fn sim_cex(env: &FreeTraceEnv, sim: &BitSim, pattern: u32) -> TraceCex {
+    TraceCex {
+        values: crate::cex::decode_trace(log_entries(env), |bit| sim.lit_bit(bit, pattern)),
+    }
+}
+
+/// Decodes the solver model into a trace.
+fn sat_cex(env: &FreeTraceEnv, em: &CnfEmitter, solver: &Solver) -> TraceCex {
+    TraceCex {
+        values: crate::cex::decode_trace(
+            log_entries(env),
+            crate::cex::solver_bit_reader(em, solver),
+        ),
+    }
+}
+
+/// Replays an extracted trace through the concrete AIG evaluator and
+/// confirms it really sets `diff` — the soundness check guarding the
+/// SAT-model decoding.
+fn replay_trace_cex(g: &Aig, env: &FreeTraceEnv, cex: &TraceCex, diff: AigLit) -> bool {
+    let mut inputs = vec![false; g.num_inputs()];
     for (name, cycle, bv) in env.log() {
-        let mut v: u128 = 0;
+        let Some(v) = cex
+            .values
+            .iter()
+            .find(|c| c.signal == *name && c.cycle == *cycle)
+            .map(|c| c.value)
+        else {
+            return false;
+        };
         for (i, &bit) in bv.bits().iter().enumerate() {
-            let val = em
-                .lookup(bit.node())
-                .and_then(|var| solver.value(var))
-                .map(|b| b ^ bit.is_inverted())
-                .unwrap_or(false);
-            if val {
-                v |= 1 << i;
+            if let Some(idx) = g.input_index(bit.node()) {
+                inputs[idx as usize] = ((v >> i) & 1 == 1) ^ bit.is_inverted();
             }
         }
-        values.push((name.clone(), *cycle, v));
     }
-    values.sort_by_key(|a| (a.1, a.0.clone()));
-    TraceCex { values }
+    let ev = fv_aig::AigEvaluator::combinational(g, &inputs);
+    ev.lit(diff)
 }
 
 #[cfg(test)]
@@ -217,6 +370,45 @@ mod tests {
         let src = "assert property (@(posedge clk) disable iff (tb_reset) \
                    wr_push |-> strong(##[0:$] rd_pop));";
         assert_eq!(check(src, src), Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn identical_assertions_fold_without_sat() {
+        // Structural hashing maps both encodings to the same literal;
+        // no SAT call and no simulation round is needed.
+        let src = "assert property (@(posedge clk) a |-> ##2 b);";
+        let a = parse_assertion_str(src).unwrap();
+        let out = check_equivalence(&a, &a, &table(), EquivConfig::default()).unwrap();
+        assert_eq!(out.verdict, Equivalence::Equivalent);
+        assert_eq!(out.stats.sat_calls, 0, "{:?}", out.stats);
+        assert_eq!(out.stats.ternary_kills, 2);
+    }
+
+    #[test]
+    fn inequivalent_pair_is_usually_sim_killed() {
+        // A plainly violable difference is found by random patterns
+        // without the solver.
+        let r = parse_assertion_str("assert property (@(posedge clk) a);").unwrap();
+        let c = parse_assertion_str("assert property (@(posedge clk) b);").unwrap();
+        let out = check_equivalence(&r, &c, &table(), EquivConfig::default()).unwrap();
+        assert_eq!(out.verdict, Equivalence::Inequivalent);
+        assert_eq!(out.stats.sim_kills, 2, "{:?}", out.stats);
+        assert_eq!(out.stats.sat_calls, 0);
+    }
+
+    #[test]
+    fn one_way_implication_reuses_one_solver() {
+        // The UNSAT direction must go to SAT; the SAT direction is
+        // sim-killed first, so exactly one solver call happens.
+        let out = {
+            let r = parse_assertion_str("assert property (@(posedge clk) a |-> b);").unwrap();
+            let c =
+                parse_assertion_str("assert property (@(posedge clk) a |-> (b && c));").unwrap();
+            check_equivalence(&r, &c, &table(), EquivConfig::default()).unwrap()
+        };
+        assert_eq!(out.verdict, Equivalence::CandImpliesRef);
+        assert!(out.stats.sat_calls >= 1);
+        assert!(out.stats.sim_kills >= 1, "{:?}", out.stats);
     }
 
     #[test]
@@ -290,7 +482,13 @@ mod tests {
         let c = parse_assertion_str("assert property (@(posedge clk) a |-> ##1 b);").unwrap();
         let out = check_equivalence(&r, &c, &table(), EquivConfig::default()).unwrap();
         assert_eq!(out.verdict, Equivalence::Inequivalent);
-        assert!(out.cex.is_some(), "distinguishing trace expected");
+        let cex = out.cex.expect("distinguishing trace expected");
+        // Width-aware rendering: every 1-bit signal prints as 1'b0/1'b1.
+        let rendered = cex.to_string();
+        assert!(
+            rendered.contains("1'b"),
+            "sized-literal rendering: {rendered}"
+        );
     }
 
     #[test]
@@ -340,5 +538,22 @@ mod tests {
         let c = "assert property (@(posedge clk) a |-> (b && c));";
         assert_eq!(check(r, c), Equivalence::CandImpliesRef);
         assert_eq!(check(c, r), Equivalence::RefImpliesCand);
+    }
+
+    #[test]
+    fn wide_signal_cex_renders_at_declared_width() {
+        // A 4-bit signal in the trace must render as `4'b....`.
+        let r = parse_assertion_str("assert property (@(posedge clk) sig_H == 4'd3);").unwrap();
+        let c = parse_assertion_str("assert property (@(posedge clk) sig_H == 4'd5);").unwrap();
+        let out = check_equivalence(&r, &c, &table(), EquivConfig::default()).unwrap();
+        assert_eq!(out.verdict, Equivalence::Inequivalent);
+        let cex = out.cex.unwrap();
+        let h = cex
+            .values
+            .iter()
+            .find(|v| v.signal == "sig_H")
+            .expect("sig_H observed");
+        assert_eq!(h.width, 4);
+        assert!(h.render_value().starts_with("4'b"), "{}", h.render_value());
     }
 }

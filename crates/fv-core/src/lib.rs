@@ -19,19 +19,39 @@
 //! operators treat obligations pending at the horizon as satisfied,
 //! strong ones as violated. For the bounded-delay properties that
 //! dominate the benchmark this coincides with exact SVA semantics.
+//!
+//! # Incremental solving
+//!
+//! Both provers are layered so the SAT solver is the last resort, not
+//! the first: shared structurally-hashed AIGs collapse equal subterms
+//! (often deciding a query during construction), ternary and 64-way
+//! random simulation kill constant and easily-falsified queries, and
+//! whatever remains runs on a single reused [`fv_sat::Solver`] driven
+//! by `solve_with` assumptions and selector-guarded clause groups.
+//! [`ProverStats`] reports which layer decided each query; the
+//! [`EquivOutcome::stats`] field and [`prove_with_stats`] surface it.
 
+#![deny(missing_docs)]
+
+mod cex;
 mod env;
 mod equiv;
 mod error;
 mod expr;
 mod monitor;
 mod prove;
+mod rng;
+mod stats;
 mod table;
 
+pub use cex::CexValue;
 pub use env::{DesignTraceEnv, FreeTraceEnv, TraceEnv};
 pub use equiv::{check_equivalence, EquivConfig, EquivOutcome, Equivalence, TraceCex};
 pub use error::EncodeError;
 pub use expr::compile_expr;
 pub use monitor::{encode_assertion, encode_prop, encode_seq, SeqEnc};
-pub use prove::{check_vacuity, prove, DesignCex, ProveConfig, ProveResult};
+pub use prove::{
+    check_vacuity, prove, prove_with_stats, replay_design_cex, DesignCex, ProveConfig, ProveResult,
+};
+pub use stats::ProverStats;
 pub use table::SignalTable;

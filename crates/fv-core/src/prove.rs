@@ -6,14 +6,42 @@
 //! operators are reported [`ProveResult::Undetermined`] (the bounded
 //! engine cannot conclude liveness), matching how a tool timeout is
 //! scored.
+//!
+//! # Incremental architecture
+//!
+//! One invocation builds **one** shared unrolled formula and drives
+//! every query through **one** reused [`Solver`]:
+//!
+//! - Time frames start from a *free* (symbolic) initial state; the
+//!   reset values are asserted as a selector-guarded clause group
+//!   ([`Solver::add_clause_selected`]). BMC queries assume the
+//!   selector; k-induction step queries simply omit it — no second
+//!   solver, no re-encoding.
+//! - Frames and per-anchor monitors are encoded lazily into one
+//!   structurally-hashed [`Aig`]; anchor `t`'s monitor is shared
+//!   verbatim between its BMC query and every induction query that
+//!   assumes or targets it.
+//! - Before any SAT call, each BMC anchor is attacked by ternary
+//!   simulation (reset state pinned, inputs `X` — a constant-false
+//!   violation target needs no solver) and by 64-way random simulation
+//!   (a witness pattern *is* a counterexample). Only survivors reach
+//!   the CDCL solver.
+//! - Every counterexample is replay-validated: in debug builds the
+//!   trace is re-run through the cycle-accurate [`sv_synth::Simulator`]
+//!   and the assertion is re-evaluated concretely
+//!   ([`replay_design_cex`] exposes the same check to tests).
 
-use crate::env::DesignTraceEnv;
+use crate::cex::CexValue;
+use crate::env::{DesignTraceEnv, TraceEnv};
 use crate::error::EncodeError;
 use crate::monitor::{encode_assertion_at, horizon_for};
-use fv_aig::{Aig, CnfEmitter};
-use fv_sat::Solver;
+use crate::rng::splitmix64;
+use crate::stats::ProverStats;
+use fv_aig::{Aig, AigEvaluator, AigLit, BitSim, BitVec, CnfEmitter, SimSlot, Ternary, TernarySim};
+use fv_sat::{Lit, Solver};
+use std::collections::HashMap;
 use sv_ast::Assertion;
-use sv_synth::{FrameExpander, Netlist};
+use sv_synth::{AtomId, FrameExpander, NetBinding, Netlist, Simulator};
 
 /// Configuration for the prover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,21 +65,32 @@ impl Default for ProveConfig {
 }
 
 /// A concrete counterexample trace from BMC.
+///
+/// # Trace format
+///
+/// `inputs` holds one [`CexValue`] per `(primary input, frame)` pair,
+/// sorted by frame then input name; the trace starts at the reset state
+/// (frame 0) and `anchor` names the evaluation attempt that is
+/// violated. `Display` renders values as SystemVerilog sized literals
+/// at each input's declared width:
+///
+/// ```text
+/// violation of attempt anchored at cycle 2:
+///   cycle   0: in_vld = 1'b1
+///   cycle   1: in_data = 8'h1f
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DesignCex {
     /// Anchor cycle of the violated evaluation attempt.
     pub anchor: u32,
-    /// `(input, frame, value)` triples.
-    pub inputs: Vec<(String, u32, u128)>,
+    /// The stimuli, sorted by `(frame, input)`.
+    pub inputs: Vec<CexValue>,
 }
 
 impl std::fmt::Display for DesignCex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "violation of attempt anchored at cycle {}:", self.anchor)?;
-        for (name, frame, v) in &self.inputs {
-            writeln!(f, "  cycle {frame:>3}: {name} = {v:#x}")?;
-        }
-        Ok(())
+        crate::cex::fmt_trace(&self.inputs, f)
     }
 }
 
@@ -90,86 +129,388 @@ impl ProveResult {
 /// [`EncodeError`] when the assertion references signals absent from
 /// the testbench scope (including design-internal signals the prompt
 /// forbids) — scored as an elaboration failure.
+///
+/// # Examples
+///
+/// ```
+/// use fv_core::{prove, ProveConfig};
+/// use sv_parser::{parse_assertion_str, parse_source};
+/// use sv_synth::elaborate;
+///
+/// let f = parse_source(
+///     "module m (clk, en, q);\ninput clk; input en; output q;\n\
+///      reg r;\nalways @(posedge clk) begin r <= en; end\n\
+///      assign q = r;\nendmodule\n",
+/// )
+/// .unwrap();
+/// let nl = elaborate(&f, "m").unwrap();
+/// let a = parse_assertion_str("assert property (@(posedge clk) en |-> ##1 q);").unwrap();
+/// assert!(prove(&nl, &a, &[], ProveConfig::default()).unwrap().is_proven());
+/// ```
 pub fn prove(
     netlist: &Netlist,
     assertion: &Assertion,
     consts: &[(String, u32, u128)],
     cfg: ProveConfig,
 ) -> Result<ProveResult, EncodeError> {
+    prove_with_stats(netlist, assertion, consts, cfg).map(|(r, _)| r)
+}
+
+/// [`prove`], additionally reporting how the queries were discharged.
+pub fn prove_with_stats(
+    netlist: &Netlist,
+    assertion: &Assertion,
+    consts: &[(String, u32, u128)],
+    cfg: ProveConfig,
+) -> Result<(ProveResult, ProverStats), EncodeError> {
     if assertion.body.has_unbounded() {
-        return Ok(ProveResult::Undetermined);
+        return Ok((ProveResult::Undetermined, ProverStats::default()));
     }
     let expander = FrameExpander::new(netlist)
         .map_err(|n| EncodeError::Unsupported(format!("combinational cycle through '{n}'")))?;
     let horizon = horizon_for(assertion, None, cfg.slack);
+    let mut env = DesignTraceEnv::new(&expander).with_free_initial_state();
+    for (n, w, v) in consts {
+        env.bind_const(n.clone(), *w, *v);
+    }
+    let mut solver = Solver::new();
+    let init_sel = solver.new_selector();
+    let mut engine = ProveEngine {
+        assertion,
+        horizon,
+        g: Aig::new(),
+        env,
+        solver,
+        em: CnfEmitter::new(),
+        init_sel,
+        init_pinned: false,
+        solver_used: false,
+        sim: BitSim::new(),
+        tern: TernarySim::new(),
+        rng: 0x0BAD_5EED_F00D ^ u64::from(horizon),
+        forced: HashMap::new(),
+        forced_known: 0,
+        holds: Vec::new(),
+        stats: ProverStats::default(),
+    };
 
-    // ---- BMC: search for a violated attempt anchored at t. ----
-    {
-        let mut g = Aig::new();
-        let mut env = DesignTraceEnv::new(&expander);
-        for (n, w, v) in consts {
-            env.bind_const(n.clone(), *w, *v);
-        }
-        let mut solver = Solver::new();
-        let mut em = CnfEmitter::new();
-        for t in 0..cfg.max_bmc {
-            let total = t + horizon;
-            let holds = encode_assertion_at(&mut g, assertion, t, total, &mut env)?;
-            let l = em.emit(&g, !holds, &mut solver);
-            if solver.solve_with(&[l]).is_sat() {
-                let mut inputs = Vec::new();
-                for (name, frame, bv) in env.input_log() {
-                    let mut v: u128 = 0;
-                    for (i, &bit) in bv.bits().iter().enumerate() {
-                        let val = em
-                            .lookup(bit.node())
-                            .and_then(|var| solver.value(var))
-                            .map(|b| b ^ bit.is_inverted())
-                            .unwrap_or(false);
-                        if val {
-                            v |= 1 << i;
-                        }
-                    }
-                    inputs.push((name.clone(), *frame, v));
-                }
-                inputs.sort_by_key(|a| (a.1, a.0.clone()));
-                return Ok(ProveResult::Falsified {
-                    cex: DesignCex { anchor: t, inputs },
-                });
+    // ---- Interleaved BMC + k-induction over the one shared formula:
+    //      after BMC has cleared anchors 0..k (the base case), try the
+    //      consecution query at k. A property inductive at small k is
+    //      proven after O(k) queries instead of a full BMC sweep; a
+    //      falsifiable one still meets its earliest violating anchor
+    //      first, because anchors are cleared in ascending order. ----
+    let mut bmc_done = 0u32;
+    for k in 1..=cfg.max_induction.min(cfg.max_bmc) {
+        while bmc_done < k {
+            if let Some(cex) = engine.bmc_check(bmc_done)? {
+                debug_assert_eq!(
+                    replay_design_cex(netlist, assertion, consts, cfg, &cex),
+                    Ok(true),
+                    "counterexample must replay in sv-synth::sim"
+                );
+                return Ok((ProveResult::Falsified { cex }, engine.stats));
             }
+            bmc_done += 1;
+        }
+        if engine.induction_check(k)? {
+            return Ok((ProveResult::Proven { k }, engine.stats));
         }
     }
-
-    // ---- k-induction: arbitrary start state, k good attempts imply
-    //      the next one. ----
-    for k in 1..=cfg.max_induction {
-        let mut g = Aig::new();
-        let mut env = DesignTraceEnv::new(&expander).with_free_initial_state();
-        for (n, w, v) in consts {
-            env.bind_const(n.clone(), *w, *v);
-        }
-        let total = k + horizon;
-        let mut assumptions = Vec::new();
-        let mut solver = Solver::new();
-        let mut em = CnfEmitter::new();
-        for i in 0..k {
-            let holds = encode_assertion_at(&mut g, assertion, i, total, &mut env)?;
-            assumptions.push(holds);
-        }
-        let target = encode_assertion_at(&mut g, assertion, k, total, &mut env)?;
-        let mut lits = Vec::new();
-        for h in assumptions {
-            lits.push(em.emit(&g, h, &mut solver));
-        }
-        lits.push(em.emit(&g, !target, &mut solver));
-        if solver.solve_with(&lits).is_unsat() {
-            // Base case: BMC above covered anchors 0..max_bmc >= k.
-            if k <= cfg.max_bmc {
-                return Ok(ProveResult::Proven { k });
-            }
+    // ---- Induction exhausted: finish the BMC sweep. ----
+    for t in bmc_done..cfg.max_bmc {
+        if let Some(cex) = engine.bmc_check(t)? {
+            debug_assert_eq!(
+                replay_design_cex(netlist, assertion, consts, cfg, &cex),
+                Ok(true),
+                "counterexample must replay in sv-synth::sim"
+            );
+            return Ok((ProveResult::Falsified { cex }, engine.stats));
         }
     }
-    Ok(ProveResult::Undetermined)
+    Ok((ProveResult::Undetermined, engine.stats))
+}
+
+/// All incremental state of one [`prove`] invocation: the shared
+/// unrolled AIG, the lazily-encoded per-anchor monitors, the reused
+/// solver with its selector-guarded reset-state group, and the two
+/// simulators (whose fixed patterns extend with the graph).
+struct ProveEngine<'a> {
+    assertion: &'a Assertion,
+    horizon: u32,
+    g: Aig,
+    env: DesignTraceEnv<'a>,
+    solver: Solver,
+    em: CnfEmitter,
+    /// Selector assumed by BMC queries to pin frame 0 to reset.
+    init_sel: Lit,
+    init_pinned: bool,
+    solver_used: bool,
+    sim: BitSim,
+    tern: TernarySim,
+    rng: u64,
+    /// Simulation-forced input words (frame-0 registers at reset).
+    forced: HashMap<u32, bool>,
+    forced_known: usize,
+    /// Per-anchor monitor literals, shared by BMC and induction.
+    holds: Vec<AigLit>,
+    stats: ProverStats,
+}
+
+impl ProveEngine<'_> {
+    /// Ensures monitors for anchors `0..=t` exist, registering newly
+    /// created frame-0 register inputs as simulation-forced.
+    fn ensure_anchor(&mut self, t: u32) -> Result<AigLit, EncodeError> {
+        while self.holds.len() <= t as usize {
+            let anchor = self.holds.len() as u32;
+            let h = encode_assertion_at(
+                &mut self.g,
+                self.assertion,
+                anchor,
+                anchor + self.horizon,
+                &mut self.env,
+            )?;
+            let bits = self.env.initial_state_bits();
+            for &(bit, init) in &bits[self.forced_known..] {
+                let idx = self
+                    .g
+                    .input_index(bit.node())
+                    .expect("free initial state bits are primary inputs");
+                self.forced.insert(idx, init ^ bit.is_inverted());
+            }
+            self.forced_known = self.env.initial_state_bits().len();
+            self.holds.push(h);
+        }
+        Ok(self.holds[t as usize])
+    }
+
+    fn count_sat_call(&mut self) {
+        self.stats.sat_calls += 1;
+        if self.solver_used {
+            self.stats.solver_reuse_hits += 1;
+        }
+        self.solver_used = true;
+    }
+
+    /// BMC base-case check for anchor `t`: ternary simulation, then
+    /// random simulation, then SAT under the reset-state selector.
+    /// Returns a counterexample if the attempt at `t` can be violated.
+    fn bmc_check(&mut self, t: u32) -> Result<Option<DesignCex>, EncodeError> {
+        let h = self.ensure_anchor(t)?;
+        // The unrolled formula is purely combinational; a latch node
+        // would make the zero-filled latch slots below a fabricated
+        // "witness" instead of a real one.
+        debug_assert_eq!(
+            self.g.num_latches(),
+            0,
+            "simulation witnesses assume a latch-free unrolling"
+        );
+
+        // Layer 1: ternary simulation — reset state pinned, inputs X.
+        // A constant-false violation target needs no search at all.
+        let forced = &self.forced;
+        self.tern.extend(&self.g, &mut |slot| match slot {
+            SimSlot::Input(k) => forced
+                .get(&k)
+                .map_or(Ternary::Unknown, |&b| Ternary::known(b)),
+            SimSlot::Latch(_) => Ternary::Unknown,
+        });
+        if self.tern.lit(!h) == Ternary::False {
+            self.stats.ternary_kills += 1;
+            return Ok(None);
+        }
+
+        // Layer 2: random simulation — any pattern violating the
+        // attempt is already a full counterexample.
+        let rng = &mut self.rng;
+        self.sim.extend(&self.g, &mut |slot| match slot {
+            SimSlot::Input(k) => match forced.get(&k) {
+                Some(true) => u64::MAX,
+                Some(false) => 0,
+                None => splitmix64(rng),
+            },
+            SimSlot::Latch(_) => 0,
+        });
+        let w = self.sim.lit(!h);
+        if w != 0 {
+            self.stats.sim_kills += 1;
+            return Ok(Some(sim_cex(&self.env, &self.sim, w.trailing_zeros(), t)));
+        }
+
+        // Layer 3: SAT under the reset-state selector group.
+        if !self.init_pinned {
+            for &(bit, init) in self.env.initial_state_bits() {
+                let l = self.em.emit(&self.g, bit, &mut self.solver);
+                self.solver
+                    .add_clause_selected(self.init_sel, [if init { l } else { !l }]);
+            }
+            self.init_pinned = true;
+        }
+        let l = self.em.emit(&self.g, h, &mut self.solver);
+        self.count_sat_call();
+        if self.solver.solve_with(&[self.init_sel, !l]).is_sat() {
+            return Ok(Some(sat_cex(&self.env, &self.em, &self.solver, t)));
+        }
+        Ok(None)
+    }
+
+    /// k-induction consecution at `k`: arbitrary start state (selector
+    /// group off), `k` good attempts imply the next one — same formula,
+    /// same solver, one extra anchor beyond BMC. Returns `true` if the
+    /// step case is unsatisfiable (property proven, given the BMC base
+    /// case for anchors `0..k`).
+    fn induction_check(&mut self, k: u32) -> Result<bool, EncodeError> {
+        self.ensure_anchor(k)?;
+        let mut lits: Vec<Lit> = Vec::with_capacity(k as usize + 1);
+        for i in 0..=k as usize {
+            let l = self.em.emit(&self.g, self.holds[i], &mut self.solver);
+            lits.push(if i == k as usize { !l } else { l });
+        }
+        self.count_sat_call();
+        Ok(self.solver.solve_with(&lits).is_unsat())
+    }
+}
+
+fn input_log_entries<'e>(
+    env: &'e DesignTraceEnv<'_>,
+) -> impl Iterator<Item = (&'e str, i32, &'e BitVec)> + 'e {
+    env.input_log()
+        .iter()
+        .map(|(n, f, bv)| (n.as_str(), *f as i32, bv))
+}
+
+/// Decodes one simulation pattern into a counterexample trace.
+fn sim_cex(env: &DesignTraceEnv, sim: &BitSim, pattern: u32, anchor: u32) -> DesignCex {
+    DesignCex {
+        anchor,
+        inputs: crate::cex::decode_trace(input_log_entries(env), |bit| sim.lit_bit(bit, pattern)),
+    }
+}
+
+/// Decodes the solver model into a counterexample trace.
+fn sat_cex(env: &DesignTraceEnv, em: &CnfEmitter, solver: &Solver, anchor: u32) -> DesignCex {
+    DesignCex {
+        anchor,
+        inputs: crate::cex::decode_trace(
+            input_log_entries(env),
+            crate::cex::solver_bit_reader(em, solver),
+        ),
+    }
+}
+
+/// Trace environment over a recorded concrete simulation run: every
+/// read resolves to a constant, so monitors fold to a definite verdict.
+struct ReplayEnv<'a> {
+    netlist: &'a Netlist,
+    /// Per-frame values of every atom, as produced by [`Simulator`].
+    frames: Vec<Vec<u128>>,
+    consts: HashMap<String, (u32, u128)>,
+}
+
+impl ReplayEnv<'_> {
+    fn read_binding(&self, binding: &NetBinding, frame: usize) -> u128 {
+        let mask = |v: u128, w: u32| {
+            if w >= 128 {
+                v
+            } else {
+                v & ((1u128 << w) - 1)
+            }
+        };
+        let values = &self.frames[frame];
+        let mut acc: u128 = 0;
+        let mut off = 0u32;
+        for seg in &binding.segs {
+            let v = mask(values[seg.atom.index()] >> seg.lo, seg.width);
+            acc |= v << off;
+            off += seg.width;
+        }
+        acc
+    }
+}
+
+impl TraceEnv for ReplayEnv<'_> {
+    fn read(&mut self, _g: &mut Aig, name: &str, cycle: i32) -> Result<BitVec, EncodeError> {
+        if let Some(&(w, v)) = self.consts.get(name) {
+            return Ok(BitVec::constant(w as usize, v));
+        }
+        // Pre-history clamps to the reset state, mirroring
+        // `DesignTraceEnv`.
+        let cycle = (cycle.max(0) as usize).min(self.frames.len() - 1);
+        let binding = self
+            .netlist
+            .net(name)
+            .ok_or_else(|| EncodeError::UnknownSignal(name.to_string()))?;
+        Ok(BitVec::constant(
+            binding.width as usize,
+            self.read_binding(binding, cycle),
+        ))
+    }
+
+    fn constant(&self, name: &str) -> Option<(u32, u128)> {
+        self.consts.get(name).copied()
+    }
+}
+
+/// Replays a BMC counterexample through the cycle-accurate
+/// [`sv_synth::Simulator`] and re-evaluates the assertion on the
+/// concrete trace.
+///
+/// Returns `Ok(true)` iff the trace genuinely violates the evaluation
+/// attempt anchored at `cex.anchor` — the end-to-end soundness check
+/// for the bit-blaster, the CNF encoding, and the solver: a
+/// counterexample that does not replay would mean one of them is
+/// wrong. [`prove`] asserts this in debug builds for every
+/// counterexample it returns; the property-test suite replays them
+/// through this public entry point.
+///
+/// # Errors
+///
+/// [`EncodeError`] as for [`prove`] (plus `Unsupported` if the netlist
+/// cannot be simulated).
+pub fn replay_design_cex(
+    netlist: &Netlist,
+    assertion: &Assertion,
+    consts: &[(String, u32, u128)],
+    cfg: ProveConfig,
+    cex: &DesignCex,
+) -> Result<bool, EncodeError> {
+    let horizon = horizon_for(assertion, None, cfg.slack);
+    let total = cex.anchor + horizon;
+    let mut sim = Simulator::new(netlist).map_err(|e| EncodeError::Unsupported(e.to_string()))?;
+    let stimuli: HashMap<(&str, u32), u128> = cex
+        .inputs
+        .iter()
+        .map(|v| ((v.signal.as_str(), v.cycle as u32), v.value))
+        .collect();
+    let reset = netlist.reset_name.clone();
+    let mut frames: Vec<Vec<u128>> = Vec::with_capacity(total as usize);
+    for f in 0..total {
+        sim.step(&|name: &str, _w| {
+            if reset.as_deref() == Some(name) {
+                return u128::MAX; // deasserted, as in the formal setup
+            }
+            stimuli.get(&(name, f)).copied().unwrap_or(0)
+        });
+        frames.push(
+            (0..netlist.atoms.len())
+                .map(|i| sim.atom_value(AtomId(i as u32)))
+                .collect(),
+        );
+    }
+    let mut env = ReplayEnv {
+        netlist,
+        frames,
+        consts: consts
+            .iter()
+            .map(|(n, w, v)| (n.clone(), (*w, *v)))
+            .collect(),
+    };
+    let mut g = Aig::new();
+    let holds = encode_assertion_at(&mut g, assertion, cex.anchor, total, &mut env)?;
+    // Every read was a constant, so the monitor folds; evaluate the
+    // residue (if any) with no free inputs.
+    let ev = AigEvaluator::combinational(&g, &vec![false; g.num_inputs()]);
+    Ok(!ev.lit(holds))
 }
 
 /// Checks whether a proven implication is *vacuous*: its antecedent can
@@ -253,6 +594,19 @@ mod tests {
     }
 
     #[test]
+    fn tautology_needs_one_sat_call() {
+        // The violation target folds to constant false at the base-case
+        // anchor; the interleaved schedule then closes the proof with a
+        // single k=1 consecution query.
+        let nl = counter();
+        let a = parse_assertion_str("assert property (@(posedge clk) en || !en);").unwrap();
+        let (r, stats) = prove_with_stats(&nl, &a, &[], ProveConfig::default()).unwrap();
+        assert!(r.is_proven());
+        assert_eq!(stats.ternary_kills, 1, "{stats:?}");
+        assert_eq!(stats.sat_calls, 1, "only the k=1 induction query");
+    }
+
+    #[test]
     fn true_invariant_is_proven() {
         // Counter increments by exactly one when enabled.
         let nl = counter();
@@ -261,6 +615,53 @@ mod tests {
             "assert property (@(posedge clk) (en && q == 2'd1) |-> ##1 q == 2'd2);",
         );
         assert!(r.is_proven(), "got {r:?}");
+    }
+
+    #[test]
+    fn proven_property_stops_after_small_k() {
+        // 1-inductive invariant: the interleaved schedule proves it in
+        // O(1) queries instead of a full 12-anchor BMC sweep.
+        let nl = counter();
+        let a = parse_assertion_str(
+            "assert property (@(posedge clk) (en && q == 2'd1) |-> ##1 q == 2'd2);",
+        )
+        .unwrap();
+        let (r, stats) = prove_with_stats(&nl, &a, &[], ProveConfig::default()).unwrap();
+        assert_eq!(r, ProveResult::Proven { k: 1 });
+        assert!(stats.queries() <= 3, "{stats:?}");
+    }
+
+    fn wrapping_counter() -> Netlist {
+        // Counts 0..5 then wraps, so 6 and 7 are unreachable — but not
+        // k-inductively so (6 can self-loop and step to 7).
+        let src = "module m (clk, reset_, en, q);\n\
+            input clk; input reset_; input en;\n\
+            output [2:0] q;\n\
+            reg [2:0] cnt;\n\
+            always @(posedge clk) begin\n\
+            if (!reset_) cnt <= 3'd0;\n\
+            else if (en) cnt <= (cnt == 3'd5) ? 3'd0 : cnt + 3'd1;\nend\n\
+            assign q = cnt;\nendmodule\n";
+        let f = parse_source(src).unwrap();
+        elaborate(&f, "m").unwrap()
+    }
+
+    #[test]
+    fn undetermined_path_reuses_one_solver() {
+        // `q != 7` is true (unreachable) but never inductive, so both
+        // bounds are exhausted: every SAT call after the first must run
+        // on the same warmed solver.
+        let nl = wrapping_counter();
+        let a = parse_assertion_str("assert property (@(posedge clk) q != 3'd7);").unwrap();
+        let (r, stats) = prove_with_stats(&nl, &a, &[], ProveConfig::default()).unwrap();
+        assert_eq!(r, ProveResult::Undetermined);
+        assert!(stats.sat_calls >= 2, "{stats:?}");
+        assert_eq!(
+            stats.solver_reuse_hits,
+            stats.sat_calls - 1,
+            "every SAT call after the first reuses the solver: {stats:?}"
+        );
+        assert!(stats.ternary_kills >= 1, "early anchors fold: {stats:?}");
     }
 
     #[test]
@@ -280,6 +681,50 @@ mod tests {
         match r {
             ProveResult::Falsified { cex } => {
                 assert!(!cex.inputs.is_empty());
+            }
+            other => panic!("expected falsified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn falsification_is_usually_sim_killed() {
+        // `q != 3` is violated by any run with enough enables — random
+        // stimuli find it without a SAT call.
+        let nl = counter();
+        let a = parse_assertion_str("assert property (@(posedge clk) q != 2'd3);").unwrap();
+        let (r, stats) = prove_with_stats(&nl, &a, &[], ProveConfig::default()).unwrap();
+        assert!(matches!(r, ProveResult::Falsified { .. }));
+        assert_eq!(stats.sim_kills, 1, "{stats:?}");
+        // Anchors the counter provably cannot violate yet are killed by
+        // ternary propagation; only the ambiguous middle anchors and the
+        // interleaved consecution attempts pay SAT calls.
+        assert!(stats.ternary_kills >= 1, "{stats:?}");
+        assert!(stats.sat_calls <= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn cex_replays_in_simulator() {
+        let nl = counter();
+        let a = parse_assertion_str(
+            "assert property (@(posedge clk) (en && q == 2'd1) |-> ##1 q == 2'd3);",
+        )
+        .unwrap();
+        match prove(&nl, &a, &[], ProveConfig::default()).unwrap() {
+            ProveResult::Falsified { cex } => {
+                assert_eq!(
+                    replay_design_cex(&nl, &a, &[], ProveConfig::default(), &cex),
+                    Ok(true),
+                    "returned counterexample must be a real violation"
+                );
+                // A doctored trace (all stimuli zeroed) must not replay.
+                let mut bogus = cex.clone();
+                for v in &mut bogus.inputs {
+                    v.value = 0;
+                }
+                assert_eq!(
+                    replay_design_cex(&nl, &a, &[], ProveConfig::default(), &bogus),
+                    Ok(false)
+                );
             }
             other => panic!("expected falsified, got {other:?}"),
         }

@@ -1,0 +1,83 @@
+//! Work counters describing how a formal query was discharged.
+
+/// Counters for one prover invocation (or an aggregate over many).
+///
+/// The incremental core answers each query by the cheapest applicable
+/// layer, in order:
+///
+/// 1. **constant folding / structural hashing** while the monitor is
+///    built (free — a query whose target folds to a constant is counted
+///    under `ternary_kills`, since three-valued propagation subsumes
+///    it),
+/// 2. **ternary simulation** (`ternary_kills`): the target is constant
+///    under every input assignment, so the SAT query is decided without
+///    the solver,
+/// 3. **random simulation** (`sim_kills`): 64-way bit-parallel patterns
+///    found a concrete witness, so a falsification query is SAT without
+///    the solver,
+/// 4. **SAT** (`sat_calls`): everything else goes to the CDCL solver;
+///    `solver_reuse_hits` counts the calls that were answered by a
+///    solver already warmed by a previous query of the same
+///    equivalence check / proof (learned clauses and variable
+///    activities carry over instead of being rebuilt).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProverStats {
+    /// Queries discharged by the CDCL SAT solver.
+    pub sat_calls: u64,
+    /// Falsification queries killed by random simulation (a witness
+    /// pattern was found before any SAT call).
+    pub sim_kills: u64,
+    /// Queries killed by ternary simulation / constant folding (the
+    /// target was provably constant without search).
+    pub ternary_kills: u64,
+    /// SAT calls served by a reused (already-warmed) solver instead of
+    /// a freshly built one.
+    pub solver_reuse_hits: u64,
+}
+
+impl ProverStats {
+    /// Total queries decided across all layers.
+    pub fn queries(&self) -> u64 {
+        self.sat_calls + self.sim_kills + self.ternary_kills
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &ProverStats) {
+        self.sat_calls += other.sat_calls;
+        self.sim_kills += other.sim_kills;
+        self.ternary_kills += other.ternary_kills;
+        self.solver_reuse_hits += other.solver_reuse_hits;
+    }
+}
+
+impl std::ops::AddAssign for ProverStats {
+    fn add_assign(&mut self, rhs: ProverStats) {
+        self.merge(&rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ProverStats {
+            sat_calls: 1,
+            sim_kills: 2,
+            ternary_kills: 3,
+            solver_reuse_hits: 0,
+        };
+        a += ProverStats {
+            sat_calls: 10,
+            sim_kills: 20,
+            ternary_kills: 30,
+            solver_reuse_hits: 5,
+        };
+        assert_eq!(a.sat_calls, 11);
+        assert_eq!(a.sim_kills, 22);
+        assert_eq!(a.ternary_kills, 33);
+        assert_eq!(a.solver_reuse_hits, 5);
+        assert_eq!(a.queries(), 66);
+    }
+}

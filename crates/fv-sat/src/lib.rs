@@ -24,6 +24,8 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+#![deny(missing_docs)]
+
 mod clause;
 mod dimacs;
 mod heap;

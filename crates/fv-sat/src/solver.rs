@@ -173,8 +173,13 @@ impl Solver {
     ///
     /// Duplicated literals are removed; tautological clauses (containing
     /// both `l` and `!l`) are silently dropped.
+    ///
+    /// Clauses attach at the root level: if a previous
+    /// [`Solver::solve_with`] answered SAT, its model trail is undone
+    /// first (so interleave queries and clause additions freely, but
+    /// read [`Solver::value`] before growing the formula).
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
-        debug_assert_eq!(self.decision_level(), 0);
+        self.cancel_until(0);
         if self.unsat_at_root {
             return false;
         }
@@ -216,6 +221,50 @@ impl Solver {
                 true
             }
         }
+    }
+
+    /// Creates a fresh *selector* (activation) literal for a clause
+    /// group.
+    ///
+    /// Clauses added through [`Solver::add_clause_selected`] with this
+    /// literal are enforced only while the selector is passed to
+    /// [`Solver::solve_with`] as an assumption; queries that omit it see
+    /// the group as absent. This is how the BMC engine keeps one solver
+    /// across query families that differ in a constraint block (e.g.
+    /// reset-state pinning on for bounded model checking, off for the
+    /// k-induction step case) without ever rebuilding the clause
+    /// database.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fv_sat::{Lit, Solver};
+    ///
+    /// let mut s = Solver::new();
+    /// let x = s.new_var();
+    /// let pin = s.new_selector();
+    /// s.add_clause_selected(pin, [Lit::neg(x)]); // x = 0, but only when pinned
+    /// // With the group enabled, x is forced low...
+    /// assert!(s.solve_with(&[pin, Lit::pos(x)]).is_unsat());
+    /// // ...without it, x is free again.
+    /// assert!(s.solve_with(&[Lit::pos(x)]).is_sat());
+    /// ```
+    pub fn new_selector(&mut self) -> Lit {
+        Lit::pos(self.new_var())
+    }
+
+    /// Adds a clause to the group guarded by `selector` (see
+    /// [`Solver::new_selector`]): the clause is active exactly in the
+    /// [`Solver::solve_with`] calls that assume the selector.
+    ///
+    /// Returns `false` if the solver became trivially unsatisfiable
+    /// (which a guarded clause alone can never cause).
+    pub fn add_clause_selected<I: IntoIterator<Item = Lit>>(
+        &mut self,
+        selector: Lit,
+        lits: I,
+    ) -> bool {
+        self.add_clause(lits.into_iter().chain([!selector]))
     }
 
     /// Solves the current formula with no assumptions.
@@ -747,6 +796,40 @@ mod tests {
         // Contradictory assumptions: UNSAT, but the base stays SAT.
         assert!(s.solve_with(&[Lit::pos(a), Lit::neg(b)]).is_unsat());
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn selector_groups_toggle_per_query() {
+        // Two incompatible clause groups over shared variables: each is
+        // consistent alone, both together are not, and the solver is
+        // reused across all four queries.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause([Lit::pos(x), Lit::pos(y)]); // always on
+        let g_low = s.new_selector();
+        s.add_clause_selected(g_low, [Lit::neg(x)]);
+        s.add_clause_selected(g_low, [Lit::neg(y)]);
+        let g_high = s.new_selector();
+        s.add_clause_selected(g_high, [Lit::pos(x)]);
+
+        assert!(s.solve().is_sat(), "no groups: base formula only");
+        assert!(s.solve_with(&[g_high]).is_sat());
+        assert!(s.solve_with(&[g_low]).is_unsat(), "x=y=0 contradicts x|y");
+        assert!(s.solve_with(&[g_high]).is_sat(), "disabled again");
+    }
+
+    #[test]
+    fn selected_multiliteral_clause_behaves() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let sel = s.new_selector();
+        s.add_clause_selected(sel, [Lit::pos(a), Lit::pos(b)]);
+        // Enabled: at least one of a, b.
+        assert!(s.solve_with(&[sel, Lit::neg(a), Lit::neg(b)]).is_unsat());
+        // Disabled: both may be low.
+        assert!(s.solve_with(&[Lit::neg(a), Lit::neg(b)]).is_sat());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::engine::{design_task_specs, EvalEngine};
 use crate::metrics::{CaseEvals, SampleEval};
-use fv_core::{prove, ProveConfig, ProveResult};
+use fv_core::{prove_with_stats, ProveConfig, ProveResult, ProverStats};
 use fveval_data::DesignCase;
 use fveval_llm::{Backend, InferenceConfig};
 use sv_ast::{Expr, Instance, ModuleItem, SourceFile};
@@ -108,9 +108,21 @@ impl Design2svaRunner {
     /// - otherwise `syntax = true` and `func` = "the assertion was
     ///   proven" (the paper's Design2SVA functionality metric).
     pub fn evaluate_response(&self, bound: &DesignEval, response: &str) -> SampleEval {
+        self.evaluate_response_stats(bound, response).0
+    }
+
+    /// [`Design2svaRunner::evaluate_response`], additionally reporting
+    /// how the model checker discharged its queries (zero counters when
+    /// scoring never reached the prover).
+    pub fn evaluate_response_stats(
+        &self,
+        bound: &DesignEval,
+        response: &str,
+    ) -> (SampleEval, ProverStats) {
+        let failed = (SampleEval::failed(), ProverStats::default());
         let items = match parse_snippet(response) {
             Ok(items) => items,
-            Err(_) => return SampleEval::failed(),
+            Err(_) => return failed,
         };
         let mut helpers = Vec::new();
         let mut assertion = None;
@@ -125,24 +137,27 @@ impl Design2svaRunner {
             }
         }
         let Some(assertion) = assertion else {
-            return SampleEval::failed();
+            return failed;
         };
         let netlist = match bound.netlist_with(&helpers) {
             Ok(nl) => nl,
-            Err(_) => return SampleEval::failed(),
+            Err(_) => return failed,
         };
-        match prove(&netlist, &assertion, &bound.consts, self.prove_cfg) {
+        match prove_with_stats(&netlist, &assertion, &bound.consts, self.prove_cfg) {
             // Unknown signal inside the assertion (design-internal
             // reference) is an elaboration failure.
-            Err(_) => SampleEval::failed(),
-            Ok(result) => {
+            Err(_) => failed,
+            Ok((result, stats)) => {
                 let proven = matches!(result, ProveResult::Proven { .. });
-                SampleEval {
-                    syntax: true,
-                    func: proven,
-                    partial: proven,
-                    bleu: 0.0,
-                }
+                (
+                    SampleEval {
+                        syntax: true,
+                        func: proven,
+                        partial: proven,
+                        bleu: 0.0,
+                    },
+                    stats,
+                )
             }
         }
     }

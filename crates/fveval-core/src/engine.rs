@@ -21,7 +21,7 @@
 use crate::design2sva::{bind_design, Design2svaRunner, DesignEval};
 use crate::metrics::{CaseEvals, SampleEval};
 use crate::nl2sva::Nl2svaRunner;
-use fv_core::SignalTable;
+use fv_core::{ProverStats, SignalTable};
 use fveval_data::{DesignCase, HumanCase, MachineCase};
 use fveval_llm::{Backend, InferenceConfig, Request, TaskSpec};
 use std::collections::HashMap;
@@ -121,6 +121,11 @@ pub struct EvalEngine {
     d2s: Design2svaRunner,
     verdicts: VerdictCache,
     binds: Mutex<HashMap<BindKey, SharedBind>>,
+    /// Aggregate formal-core work counters, merged under one lock per
+    /// scored sample (each of which just did parse + formal work, so
+    /// this is nowhere near the hot path). Cache hits skip scoring, so
+    /// only formal work actually performed is counted.
+    prover: Mutex<ProverStats>,
 }
 
 impl Default for EvalEngine {
@@ -148,6 +153,7 @@ impl EvalEngine {
             d2s: Design2svaRunner::new(),
             verdicts: VerdictCache::default(),
             binds: Mutex::new(HashMap::new()),
+            prover: Mutex::new(ProverStats::default()),
         }
     }
 
@@ -171,6 +177,15 @@ impl EvalEngine {
     /// Verdict-cache counters so callers can report hit rates.
     pub fn cache_stats(&self) -> CacheStats {
         self.verdicts.stats()
+    }
+
+    /// Aggregate formal-core work counters over the engine's lifetime:
+    /// how many prover queries were discharged by SAT, killed by random
+    /// simulation, killed by ternary propagation, and how often a SAT
+    /// call ran on a reused (already-warmed) solver. Verdict-cache hits
+    /// skip scoring, so cached repeats add nothing here.
+    pub fn prover_stats(&self) -> ProverStats {
+        *self.prover.lock().expect("prover counters poisoned")
     }
 
     /// Runs one backend over a task list with `n_samples` responses per
@@ -328,20 +343,25 @@ impl EvalEngine {
     /// [`EvalEngine::score`] with the content digest precomputed (the
     /// per-unit hot path hashes each task once, not once per sample).
     fn score_with_digest(&self, task: &TaskSpec, response: &str, digest: u64) -> SampleEval {
-        match task {
+        let (eval, stats) = match task {
             TaskSpec::Nl2svaHuman { case, table } => {
                 self.nl2sva
-                    .evaluate_response(&case.reference, response, table)
+                    .evaluate_response_stats(&case.reference, response, table)
             }
             TaskSpec::Nl2svaMachine { case, table } => {
                 self.nl2sva
-                    .evaluate_response(&case.reference_text, response, table)
+                    .evaluate_response_stats(&case.reference_text, response, table)
             }
             TaskSpec::Design2sva { case } => match self.bound_design(case, digest).as_ref() {
-                Ok(bound) => self.d2s.evaluate_response(bound, response),
-                Err(_) => SampleEval::failed(),
+                Ok(bound) => self.d2s.evaluate_response_stats(bound, response),
+                Err(_) => (SampleEval::failed(), ProverStats::default()),
             },
-        }
+        };
+        self.prover
+            .lock()
+            .expect("prover counters poisoned")
+            .merge(&stats);
+        eval
     }
 
     /// Parses + elaborates a design once and shares it across every
@@ -572,6 +592,26 @@ mod tests {
         assert_eq!(out[0].len(), 2);
         // One bind per case, reused by both backends.
         assert_eq!(engine.binds.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn prover_stats_accumulate_and_cached_repeats_add_nothing() {
+        let tasks = machine_tasks(8);
+        let models = profiles();
+        let engine = EvalEngine::with_jobs(2);
+        let cfg = InferenceConfig::greedy();
+        engine.run(&models[0], &tasks, &cfg, 1);
+        let first = engine.prover_stats();
+        assert!(
+            first.queries() > 0,
+            "scoring 8 cases must reach the prover: {first:?}"
+        );
+        engine.run(&models[0], &tasks, &cfg, 1); // answered from cache
+        assert_eq!(
+            engine.prover_stats(),
+            first,
+            "verdict-cache hits skip formal work"
+        );
     }
 
     #[test]

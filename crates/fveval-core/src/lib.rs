@@ -1,6 +1,6 @@
 //! The FVEval evaluation framework — the paper's primary contribution.
 //!
-//! Given a [`fveval_llm::Model`] and a dataset, the runners in this
+//! Given a [`fveval_llm::Backend`] and a dataset, the runners in this
 //! crate reproduce the paper's end-to-end flow:
 //!
 //! 1. assemble the prompt and collect the model's response(s),
@@ -28,6 +28,7 @@ mod tokenize;
 pub use bleu::bleu;
 pub use design2sva::{bind_design, Design2svaRunner, DesignEval};
 pub use engine::{design_task_specs, human_task_specs, machine_task_specs, CacheStats, EvalEngine};
+pub use fv_core::ProverStats;
 pub use metrics::{CaseEvals, MetricSummary, SampleEval};
 pub use nl2sva::{Nl2svaRunner, PromptInfo};
 pub use passk::pass_at_k;

@@ -3,7 +3,7 @@
 use crate::bleu::bleu;
 use crate::engine::{human_task_specs, machine_task_specs, EvalEngine};
 use crate::metrics::{CaseEvals, SampleEval};
-use fv_core::{check_equivalence, EquivConfig, SignalTable};
+use fv_core::{check_equivalence, EquivConfig, ProverStats, SignalTable};
 use fveval_data::{HumanCase, MachineCase};
 use fveval_llm::{Backend, InferenceConfig};
 use sv_parser::parse_assertion_str;
@@ -57,34 +57,56 @@ impl Nl2svaRunner {
         response: &str,
         table: &SignalTable,
     ) -> SampleEval {
+        self.evaluate_response_stats(reference_text, response, table)
+            .0
+    }
+
+    /// [`Nl2svaRunner::evaluate_response`], additionally reporting how
+    /// the equivalence prover discharged its queries (zero counters
+    /// when scoring never reached the prover).
+    pub fn evaluate_response_stats(
+        &self,
+        reference_text: &str,
+        response: &str,
+        table: &SignalTable,
+    ) -> (SampleEval, ProverStats) {
         let reference = match parse_assertion_str(reference_text) {
             Ok(a) => a,
-            Err(_) => return SampleEval::failed(),
+            Err(_) => return (SampleEval::failed(), ProverStats::default()),
         };
         let candidate = match parse_assertion_str(response) {
             Ok(a) => a,
             Err(_) => {
-                return SampleEval {
-                    bleu: bleu(reference_text, response),
-                    ..SampleEval::failed()
-                }
+                return (
+                    SampleEval {
+                        bleu: bleu(reference_text, response),
+                        ..SampleEval::failed()
+                    },
+                    ProverStats::default(),
+                )
             }
         };
         let b = bleu(reference_text, response);
         match check_equivalence(&reference, &candidate, table, self.equiv) {
-            Err(_) => SampleEval {
-                // Elaboration failure (unknown signal etc.).
-                syntax: false,
-                func: false,
-                partial: false,
-                bleu: b,
-            },
-            Ok(out) => SampleEval {
-                syntax: true,
-                func: out.verdict.is_equivalent(),
-                partial: out.verdict.is_partial(),
-                bleu: b,
-            },
+            Err(_) => (
+                SampleEval {
+                    // Elaboration failure (unknown signal etc.).
+                    syntax: false,
+                    func: false,
+                    partial: false,
+                    bleu: b,
+                },
+                ProverStats::default(),
+            ),
+            Ok(out) => (
+                SampleEval {
+                    syntax: true,
+                    func: out.verdict.is_equivalent(),
+                    partial: out.verdict.is_partial(),
+                    bleu: b,
+                },
+                out.stats,
+            ),
         }
     }
 

@@ -25,6 +25,12 @@
 //! and CSV. All commands of one invocation share a single `EvalEngine`,
 //! so `run-all` scores the overlap between experiments (e.g. the human
 //! set in Tables 1/2 and Figure 6) only once.
+//!
+//! After the tables, the run's formal-core work summary is written to
+//! `--out/prover_stats.{md,csv}` (and echoed to stderr): how many
+//! prover queries went to SAT versus being killed by random or ternary
+//! simulation, and how often SAT calls reused an already-warmed solver.
+//! See `ARCHITECTURE.md` for what each column means.
 
 use fveval_core::EvalEngine;
 use fveval_harness::HarnessOptions;
@@ -238,5 +244,52 @@ fn main() -> ExitCode {
             stats.entries
         );
     }
+    let prover = engine.prover_stats();
+    if prover.queries() > 0 {
+        eprintln!(
+            "[prover: {} queries | {} SAT calls ({} on a reused solver), \
+             {} sim kills, {} ternary kills]",
+            prover.queries(),
+            prover.sat_calls,
+            prover.solver_reuse_hits,
+            prover.sim_kills,
+            prover.ternary_kills,
+        );
+        let t = prover_stats_table(&prover, &stats);
+        write_out(
+            &args.out_dir,
+            "prover_stats",
+            &t.to_markdown(),
+            Some(&t.to_csv()),
+        );
+    }
     ExitCode::SUCCESS
+}
+
+/// Renders the run's formal-core work summary: one row of counters
+/// describing how verdicts were produced (see `ARCHITECTURE.md`).
+fn prover_stats_table(
+    prover: &fveval_core::ProverStats,
+    cache: &fveval_core::CacheStats,
+) -> fveval_core::Table {
+    let mut t = fveval_core::Table::new(
+        "Prover statistics (this run)",
+        &[
+            "Queries",
+            "SAT calls",
+            "Solver reuse hits",
+            "Sim kills",
+            "Ternary kills",
+            "Verdict-cache hits",
+        ],
+    );
+    t.push_row([
+        prover.queries().to_string().into(),
+        prover.sat_calls.to_string().into(),
+        prover.solver_reuse_hits.to_string().into(),
+        prover.sim_kills.to_string().into(),
+        prover.ternary_kills.to_string().into(),
+        cache.hits.to_string().into(),
+    ]);
+    t
 }

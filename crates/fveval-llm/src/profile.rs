@@ -336,7 +336,7 @@ pub struct ModelProfile {
     pub diversity: f64,
 }
 
-/// A profile bound into a usable [`Model`].
+/// A profile bound into a usable [`Backend`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulatedModel {
     profile: ModelProfile,

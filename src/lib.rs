@@ -44,7 +44,8 @@ pub use sv_synth;
 /// The most common imports in one place.
 pub mod prelude {
     pub use fv_core::{
-        check_equivalence, prove, EquivConfig, Equivalence, ProveConfig, ProveResult, SignalTable,
+        check_equivalence, prove, prove_with_stats, replay_design_cex, EquivConfig, Equivalence,
+        ProveConfig, ProveResult, ProverStats, SignalTable,
     };
     pub use fveval_core::{
         bind_design, bleu, design_task_specs, human_task_specs, machine_task_specs, pass_at_k,

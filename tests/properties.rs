@@ -191,6 +191,209 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Strashing vs. naive evaluation, and counterexample replay.
+// ---------------------------------------------------------------------
+
+/// A random boolean operation tree over four named inputs — the "naive
+/// builder" reference semantics for the strashed AIG constructor.
+#[derive(Debug, Clone)]
+enum Bx {
+    In(usize),
+    Not(Box<Bx>),
+    And(Box<Bx>, Box<Bx>),
+    Or(Box<Bx>, Box<Bx>),
+    Xor(Box<Bx>, Box<Bx>),
+    Mux(Box<Bx>, Box<Bx>, Box<Bx>),
+}
+
+impl Bx {
+    /// Builds the tree through the strashing [`fv_aig::Aig`] builder.
+    fn build(&self, g: &mut fv_aig::Aig, inputs: &[fv_aig::AigLit]) -> fv_aig::AigLit {
+        match self {
+            Bx::In(i) => inputs[*i],
+            Bx::Not(a) => !a.build(g, inputs),
+            Bx::And(a, b) => {
+                let (x, y) = (a.build(g, inputs), b.build(g, inputs));
+                g.and(x, y)
+            }
+            Bx::Or(a, b) => {
+                let (x, y) = (a.build(g, inputs), b.build(g, inputs));
+                g.or(x, y)
+            }
+            Bx::Xor(a, b) => {
+                let (x, y) = (a.build(g, inputs), b.build(g, inputs));
+                g.xor(x, y)
+            }
+            Bx::Mux(s, t, e) => {
+                let (sv, tv, ev) = (s.build(g, inputs), t.build(g, inputs), e.build(g, inputs));
+                g.mux(sv, tv, ev)
+            }
+        }
+    }
+
+    /// Naive recursive evaluation — no hashing, no folding.
+    fn eval(&self, vals: &[bool]) -> bool {
+        match self {
+            Bx::In(i) => vals[*i],
+            Bx::Not(a) => !a.eval(vals),
+            Bx::And(a, b) => a.eval(vals) && b.eval(vals),
+            Bx::Or(a, b) => a.eval(vals) || b.eval(vals),
+            Bx::Xor(a, b) => a.eval(vals) ^ b.eval(vals),
+            Bx::Mux(s, t, e) => {
+                if s.eval(vals) {
+                    t.eval(vals)
+                } else {
+                    e.eval(vals)
+                }
+            }
+        }
+    }
+}
+
+fn arb_bx() -> impl Strategy<Value = Bx> {
+    let leaf = (0usize..4).prop_map(Bx::In);
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Bx::Not(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Bx::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Bx::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Bx::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(s, t, e)| Bx::Mux(
+                Box::new(s),
+                Box::new(t),
+                Box::new(e)
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Structural hashing and constant folding never change semantics:
+    /// for every input assignment, the strashed graph agrees with naive
+    /// recursive evaluation — through the scalar evaluator, the 64-way
+    /// bit-parallel simulator, and (where it is definite) the ternary
+    /// propagator.
+    #[test]
+    fn strashing_preserves_aig_semantics(t in arb_bx()) {
+        use fv_aig::{Aig, AigEvaluator, BitSim, SimSlot, Ternary, TernarySim};
+
+        let mut g = Aig::new();
+        let inputs: Vec<fv_aig::AigLit> = (0..4).map(|_| g.input()).collect();
+        let root = t.build(&mut g, &inputs);
+
+        // One bit-parallel pass evaluates the whole 4-input truth
+        // table: input i's word is the canonical truth-table mask.
+        let masks: [u64; 4] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+        let mut sim = BitSim::new();
+        sim.extend(&g, &mut |slot| match slot {
+            SimSlot::Input(k) => masks[k as usize],
+            SimSlot::Latch(_) => 0,
+        });
+        let mut tern = TernarySim::new();
+        tern.extend(&g, &mut |_| Ternary::Unknown);
+
+        for assignment in 0..16u32 {
+            let vals: Vec<bool> = (0..4).map(|i| (assignment >> i) & 1 == 1).collect();
+            let want = t.eval(&vals);
+            let ev = AigEvaluator::combinational(&g, &vals);
+            prop_assert_eq!(ev.lit(root), want, "scalar eval, assignment {}", assignment);
+            prop_assert_eq!(
+                sim.lit_bit(root, assignment),
+                want,
+                "bit-parallel sim, assignment {}", assignment
+            );
+            // Ternary with every input unknown may only answer when the
+            // answer is assignment-independent.
+            match tern.lit(root) {
+                Ternary::Unknown => {}
+                known => prop_assert_eq!(known, Ternary::known(want)),
+            }
+        }
+    }
+
+    /// Every BMC counterexample replays to a real violation in the
+    /// cycle-accurate `sv-synth` simulator: for random generated FSMs,
+    /// drop one successor from a transition assertion, prove it false,
+    /// and re-run the returned trace end to end.
+    #[test]
+    fn bmc_counterexamples_replay_in_simulator(seed in 0u64..24) {
+        let case = generate_fsm(&FsmParams {
+            n_states: 4,
+            n_edges: 5,
+            width: 8,
+            guard_depth: 1,
+            seed,
+        });
+        let netlist = testbench_netlist(&case);
+        let consts: Vec<(String, u32, u128)> = netlist
+            .params
+            .iter()
+            .map(|(n, v)| (n.clone(), 32u32, *v))
+            .collect();
+        let transitions = match &case.kind {
+            fveval_data::DesignKind::Fsm { transitions, .. } => transitions.clone(),
+            _ => unreachable!(),
+        };
+        for (s, succs) in transitions.iter().enumerate() {
+            if succs.len() < 2 {
+                continue;
+            }
+            let disj = succs[..succs.len() - 1]
+                .iter()
+                .map(|t| format!("(fsm_out == S{t})"))
+                .collect::<Vec<_>>()
+                .join(" || ");
+            let src = format!(
+                "assert property (@(posedge clk) disable iff (tb_reset) \
+                 (fsm_out == S{s}) |-> ##1 ({disj}));"
+            );
+            let assertion = parse_assertion_str(&src).unwrap();
+            let result =
+                fv_core::prove(&netlist, &assertion, &consts, ProveConfig::default()).unwrap();
+            let ProveResult::Falsified { cex } = result else {
+                panic!("dropping a successor must falsify: {src}");
+            };
+            prop_assert_eq!(
+                fv_core::replay_design_cex(
+                    &netlist,
+                    &assertion,
+                    &consts,
+                    ProveConfig::default(),
+                    &cex
+                ),
+                Ok(true),
+                "counterexample must replay: {}\n{}", src, cex
+            );
+        }
+    }
+}
+
+/// Elaborates a design case's testbench with the DUT bound in — the
+/// same binding `bind_design` performs, but yielding the raw netlist
+/// the prover APIs take.
+fn testbench_netlist(case: &fveval_data::DesignCase) -> sv_synth::Netlist {
+    let mut src = case.design_source.clone();
+    src.push('\n');
+    src.push_str(&case.tb_source);
+    let file = parse_source(&src).unwrap();
+    let design = file.module(&case.top).unwrap();
+    let conns: Vec<(String, sv_ast::Expr)> = design
+        .port_order
+        .iter()
+        .map(|p| (p.clone(), sv_ast::Expr::ident(p.clone())))
+        .collect();
+    let inst = sv_ast::ModuleItem::Instance(sv_ast::Instance {
+        module: case.top.clone(),
+        name: "dut".into(),
+        params: vec![],
+        conns,
+    });
+    elaborate_with_extras(&file, &case.tb_top, &[inst]).unwrap()
+}
+
 /// Direct 2-state evaluation of an expression AST, mirroring the
 /// compiler's width rules. Returns `None` for cases whose width rules
 /// are context-dependent in ways this oracle does not model.
