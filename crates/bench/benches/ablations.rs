@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! Ablation benches for the formal core's main design choices:
 //!
 //! - **Horizon sensitivity** — how the equivalence-check cost grows
 //!   with the bounded-trace horizon slack.

@@ -164,7 +164,12 @@ fn bench_formal_core(c: &mut Criterion) {
     let human = human_cases();
     let parsed: Vec<(sv_ast::Assertion, &str)> = human
         .iter()
-        .map(|c| (parse_assertion_str(&c.reference).unwrap(), c.testbench))
+        .map(|c| {
+            (
+                parse_assertion_str(&c.reference).unwrap(),
+                c.testbench.as_str(),
+            )
+        })
         .collect();
     let mut pairs: Vec<(usize, usize)> = (0..parsed.len()).map(|i| (i, i)).collect();
     for i in 0..parsed.len() {
@@ -336,6 +341,58 @@ fn bench_eval_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The scenario generator subsystem at Table-2 scale: pure suite
+/// generation (no proving), the golden-verdict validation pass that
+/// pushes every generated candidate through the incremental prover
+/// (~120 properties, the same order as Table 2's 79-reference query
+/// mix), and a full `EvalEngine` pass over a generated Design2SVA
+/// work-list.
+fn bench_scenario_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_gen");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+
+    let cfg = fveval_data::SuiteConfig {
+        per_family: 4,
+        seed: 0x5CE7,
+        ..Default::default()
+    };
+    g.bench_function("generate_suite_24", |b| {
+        b.iter(|| black_box(fveval_gen::generate_suite(&cfg)))
+    });
+
+    let suite = fveval_gen::generate_suite(&cfg);
+    assert!(
+        suite.candidate_count() >= 100,
+        "Table-2-order query count ({})",
+        suite.candidate_count()
+    );
+    g.bench_function("validate_goldens_table2_scale", |b| {
+        b.iter(|| {
+            let reports =
+                fveval_gen::validate_suite(&suite, ProveConfig::default()).expect("binds");
+            for r in &reports {
+                assert!(r.is_clean(), "{}: {:?}", r.id, r.problems);
+            }
+            black_box(reports)
+        })
+    });
+
+    // One strong model over the generated Design2SVA set through the
+    // engine (bind cache + model checker; fresh engine per iteration).
+    let set = fveval_data::task_set_from_suite(suite).expect("converts");
+    let design_tasks = design_task_specs(&set.designs);
+    let models = profiles();
+    let backend = &models[0];
+    let d2s_cfg = InferenceConfig::sampling();
+    g.bench_function("engine_generated_design2sva", |b| {
+        b.iter(|| {
+            let engine = EvalEngine::with_jobs(1);
+            black_box(engine.run(backend, &design_tasks, &d2s_cfg, 3))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_sat,
@@ -343,6 +400,7 @@ criterion_group!(
     bench_equivalence,
     bench_model_checking,
     bench_formal_core,
-    bench_eval_engine
+    bench_eval_engine,
+    bench_scenario_gen
 );
 criterion_main!(benches);

@@ -218,8 +218,12 @@ impl BitVec {
     pub fn lshr_const(&self, n: usize) -> BitVec {
         let w = self.width();
         let mut bits = vec![AigLit::FALSE; w];
+        // Shifts of >= w bits clear the vector entirely; `n..n + keep`
+        // would be out of bounds for them.
         let keep = w.saturating_sub(n);
-        bits[..keep].copy_from_slice(&self.bits[n..n + keep]);
+        if keep > 0 {
+            bits[..keep].copy_from_slice(&self.bits[n..n + keep]);
+        }
         BitVec::from_bits(bits)
     }
 
@@ -229,7 +233,9 @@ impl BitVec {
         let msb = self.bits[w - 1];
         let mut bits = vec![msb; w];
         let keep = w.saturating_sub(n);
-        bits[..keep].copy_from_slice(&self.bits[n..n + keep]);
+        if keep > 0 {
+            bits[..keep].copy_from_slice(&self.bits[n..n + keep]);
+        }
         BitVec::from_bits(bits)
     }
 
@@ -516,6 +522,15 @@ mod tests {
     fn shifts_match() {
         check2(8, |_g, a, _b| a.shl_const(3), |x, _| x << 3);
         check2(8, |_g, a, _b| a.lshr_const(3), |x, _| (x & 0xff) >> 3);
+        // Overshifts (amount > width) must saturate, not panic — the
+        // barrel shifter reaches them for non-power-of-two widths.
+        check2(8, |_g, a, _b| a.shl_const(11), |_, _| 0);
+        check2(8, |_g, a, _b| a.lshr_const(11), |_, _| 0);
+        check2(
+            8,
+            |_g, a, _b| a.ashr_const(11),
+            |x, _| if x & 0x80 != 0 { 0xff } else { 0 },
+        );
         check2(
             8,
             |g, a, b| a.shl(g, &b.resize(4)),
@@ -525,6 +540,20 @@ mod tests {
                     0
                 } else {
                     x << sh
+                }
+            },
+        );
+        // Variable shift over a non-power-of-two width drives the
+        // barrel stage whose constant step exceeds the width.
+        check2(
+            12,
+            |g, a, b| a.lshr(g, &b.resize(5)),
+            |x, y| {
+                let sh = y & 0x1f;
+                if sh >= 12 {
+                    0
+                } else {
+                    (x & 0xfff) >> sh
                 }
             },
         );

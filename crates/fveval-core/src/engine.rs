@@ -191,6 +191,31 @@ impl EvalEngine {
     /// Runs one backend over a task list with `n_samples` responses per
     /// case. Results are in task order, one [`CaseEvals`] per task, and
     /// are identical for any `jobs` setting.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fveval_core::{human_task_specs, EvalEngine};
+    /// use fveval_data::{human_cases, signal_table_for, testbenches};
+    /// use fveval_llm::{profiles, InferenceConfig};
+    /// use std::collections::HashMap;
+    ///
+    /// let cases: Vec<_> = human_cases().into_iter().take(5).collect();
+    /// let tables: HashMap<&str, _> = testbenches()
+    ///     .iter()
+    ///     .map(|tb| (tb.name, signal_table_for(tb).unwrap()))
+    ///     .collect();
+    /// let engine = EvalEngine::with_jobs(1);
+    /// let models = profiles();
+    /// let evals = engine.run(
+    ///     &models[0],
+    ///     &human_task_specs(&cases, &tables),
+    ///     &InferenceConfig::greedy(),
+    ///     2,
+    /// );
+    /// assert_eq!(evals.len(), 5);
+    /// assert!(evals.iter().all(|c| c.samples.len() == 2));
+    /// ```
     pub fn run(
         &self,
         backend: &dyn Backend,
@@ -403,10 +428,63 @@ pub fn human_task_specs(
         .map(|case| {
             Arc::new(TaskSpec::Nl2svaHuman {
                 case: case.clone(),
-                table: Arc::clone(&shared[case.testbench]),
+                table: Arc::clone(&shared[case.testbench.as_str()]),
             })
         })
         .collect()
+}
+
+/// Builds the combined task list for a generated scenario suite: every
+/// candidate as an NL2SVA-Human-style and an NL2SVA-Machine-style task
+/// (scored by equivalence in the scenario's own scope) plus one
+/// Design2SVA task per scenario. Scenario ids prefix every case id, so
+/// a generated work-list can share an engine with the shipped corpora
+/// without cache collisions.
+///
+/// # Examples
+///
+/// ```
+/// use fveval_core::{generated_task_specs, EvalEngine};
+/// use fveval_data::{generated_task_set, SuiteConfig};
+/// use fveval_llm::{profiles, InferenceConfig};
+///
+/// let set = generated_task_set(&SuiteConfig {
+///     families: vec!["handshake".into()],
+///     per_family: 1,
+///     seed: 3,
+///     ..Default::default()
+/// })
+/// .unwrap();
+/// let tasks = generated_task_specs(&set);
+/// // 5 candidates twice (human- and machine-style) + 1 design task.
+/// assert_eq!(tasks.len(), 11);
+/// let engine = EvalEngine::with_jobs(1);
+/// let models = profiles();
+/// let evals = engine.run(&models[0], &tasks, &InferenceConfig::greedy(), 1);
+/// assert_eq!(evals.len(), tasks.len());
+/// ```
+pub fn generated_task_specs(set: &fveval_data::GeneratedTaskSet) -> Vec<Arc<TaskSpec>> {
+    let shared: HashMap<&str, Arc<SignalTable>> = set
+        .tables
+        .iter()
+        .map(|(name, table)| (name.as_str(), Arc::new(table.clone())))
+        .collect();
+    let mut tasks: Vec<Arc<TaskSpec>> =
+        Vec::with_capacity(set.human.len() + set.machine.len() + set.designs.len());
+    for case in &set.human {
+        tasks.push(Arc::new(TaskSpec::Nl2svaHuman {
+            case: case.clone(),
+            table: Arc::clone(&shared[case.testbench.as_str()]),
+        }));
+    }
+    for (scenario_id, case) in &set.machine {
+        tasks.push(Arc::new(TaskSpec::Nl2svaMachine {
+            case: case.clone(),
+            table: Arc::clone(&shared[scenario_id.as_str()]),
+        }));
+    }
+    tasks.extend(design_task_specs(&set.designs));
+    tasks
 }
 
 /// Builds the owned task list for the machine set (one shared scope).

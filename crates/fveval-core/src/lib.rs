@@ -12,8 +12,10 @@
 //! 5. aggregate per-model means and unbiased **pass@k**.
 //!
 //! Every table and figure of the paper maps onto these runners; see
-//! `DESIGN.md` for the experiment index and the `fveval` CLI for the
-//! regeneration entry points.
+//! `ARCHITECTURE.md` for the evaluation spine and the `fveval` CLI for
+//! the regeneration entry points.
+
+#![deny(missing_docs)]
 
 mod bleu;
 mod design2sva;
@@ -27,7 +29,10 @@ mod tokenize;
 
 pub use bleu::bleu;
 pub use design2sva::{bind_design, Design2svaRunner, DesignEval};
-pub use engine::{design_task_specs, human_task_specs, machine_task_specs, CacheStats, EvalEngine};
+pub use engine::{
+    design_task_specs, generated_task_specs, human_task_specs, machine_task_specs, CacheStats,
+    EvalEngine,
+};
 pub use fv_core::ProverStats;
 pub use metrics::{CaseEvals, MetricSummary, SampleEval};
 pub use nl2sva::{Nl2svaRunner, PromptInfo};

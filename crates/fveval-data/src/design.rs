@@ -34,6 +34,21 @@ pub enum DesignKind {
         /// Successor sets.
         transitions: Vec<Vec<u32>>,
     },
+    /// A generated scenario from the `fveval-gen` subsystem (FIFO,
+    /// arbiter, handshake, gray counter, shift register, CRC pipeline).
+    /// Provable goldens live in [`DesignCase::golden`]; this variant
+    /// carries what simulated models additionally need to reproduce the
+    /// paper's failure modes.
+    Scenario {
+        /// Family registry key (`fifo`, `arbiter`, ...).
+        family: String,
+        /// Plausible-but-falsifiable assertions (golden verdict: a
+        /// reachable counterexample exists).
+        falsifiable: Vec<String>,
+        /// A design-internal net that is not testbench-visible (the
+        /// paper's internal-signal failure mode).
+        internal_signal: String,
+    },
 }
 
 /// One generated Design2SVA test instance.

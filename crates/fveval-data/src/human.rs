@@ -24,8 +24,9 @@ pub struct Testbench {
 pub struct HumanCase {
     /// Unique id, e.g. `fifo_1r1w_3`.
     pub id: String,
-    /// Name of the owning testbench.
-    pub testbench: &'static str,
+    /// Name of the owning testbench scope (a shipped [`Testbench`]
+    /// name, or a generated scenario id for `fveval-gen` task sets).
+    pub testbench: String,
     /// The natural-language specification shown to the model.
     pub question: String,
     /// The expert-written reference assertion (concrete SVA).
@@ -145,10 +146,10 @@ pub fn signal_table_for(tb: &Testbench) -> Result<SignalTable, String> {
     Ok(table)
 }
 
-fn case(id: &str, testbench: &'static str, question: &str, reference: &str) -> HumanCase {
+fn case(id: &str, testbench: &str, question: &str, reference: &str) -> HumanCase {
     HumanCase {
         id: id.to_string(),
-        testbench,
+        testbench: testbench.to_string(),
         question: format!("Create a SVA assertion that checks: {question}"),
         reference: reference.to_string(),
     }
@@ -666,7 +667,7 @@ mod tests {
                 .collect();
             cases
                 .iter()
-                .filter(|c| names.contains(&c.testbench))
+                .filter(|c| names.contains(&c.testbench.as_str()))
                 .count()
         };
         assert_eq!(count("1R1W FIFO"), 20);
@@ -705,8 +706,13 @@ mod tests {
             .collect();
         for c in human_cases() {
             let a = parse_assertion_str(&c.reference).unwrap();
-            let out = check_equivalence(&a, &a, &tables[c.testbench], EquivConfig::default())
-                .unwrap_or_else(|e| panic!("{}: {e}", c.id));
+            let out = check_equivalence(
+                &a,
+                &a,
+                &tables[c.testbench.as_str()],
+                EquivConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", c.id));
             assert_eq!(out.verdict, Equivalence::Equivalent, "{}", c.id);
         }
     }

@@ -1,4 +1,4 @@
-//! The three FVEval datasets.
+//! The three FVEval datasets, plus loadable generated task sets.
 //!
 //! - [`human`] — NL2SVA-Human: 13 expert-style testbenches with 79
 //!   (NL specification, reference SVA) pairs, mirroring the paper's
@@ -9,12 +9,19 @@
 //! - [`design`] — Design2SVA: parameterized arithmetic-pipeline and FSM
 //!   RTL generators with accompanying testbench headers and a sweep of
 //!   96 instances per category.
+//! - [`generated`] — open-ended scenario suites from the `fveval-gen`
+//!   subsystem (FIFOs, arbiters, handshakes, gray counters, shift
+//!   registers, CRC pipelines), converted into all three task shapes
+//!   above. See `docs/TASK_AUTHORING.md` for adding families.
 //!
 //! Everything is deterministic under a seed, and every generated
 //! artifact round-trips through the repository's own parser and
 //! elaborator (tested).
 
+#![deny(missing_docs)]
+
 pub mod design;
+pub mod generated;
 pub mod human;
 pub mod machine;
 
@@ -22,5 +29,9 @@ pub use design::{
     fsm_sweep, generate_fsm, generate_pipeline, pipeline_sweep, DesignCase, DesignKind, FsmParams,
     PipelineParams,
 };
+pub use generated::{generated_task_set, task_set_from_suite, GeneratedTaskSet};
+// Re-exported so harness/engine callers configure generation without a
+// direct `fveval-gen` dependency.
+pub use fveval_gen::{GenParams, Scenario, Suite, SuiteConfig};
 pub use human::{human_cases, signal_table_for, testbench, testbenches, HumanCase, Testbench};
 pub use machine::{generate_machine_cases, machine_signal_table, MachineCase, MachineGenConfig};

@@ -1,0 +1,183 @@
+//! Golden-verdict validation: every candidate assertion is re-checked
+//! against the repository's own formal core.
+//!
+//! [`validate_scenario`] is the executable form of the golden-verdict
+//! contract in `docs/TASK_AUTHORING.md`: provable candidates must come
+//! back `Proven`, falsifiable ones `Falsified`, and every
+//! counterexample trace must replay to a concrete violation on the
+//! cycle-accurate `sv_synth::Simulator`.
+
+use crate::{GoldenVerdict, Scenario, Suite};
+use fv_core::SignalTable;
+use fv_core::{prove_with_stats, replay_design_cex, ProveConfig, ProveResult, ProverStats};
+use sv_ast::{Expr, Instance, ModuleItem};
+use sv_parser::parse_source;
+use sv_synth::{elaborate_with_extras, Netlist};
+
+/// A scenario bound for proving: the elaborated testbench netlist with
+/// the DUT instantiated, plus the assertion-visible constants and the
+/// signal scope candidate assertions are evaluated in.
+#[derive(Debug)]
+pub struct BoundScenario {
+    /// The elaborated testbench-with-DUT netlist.
+    pub netlist: Netlist,
+    /// Testbench parameter bindings for the prover.
+    pub consts: Vec<(String, u32, u128)>,
+    /// The assertion-visible signal scope (nets + constants), for the
+    /// NL2SVA task types.
+    pub table: SignalTable,
+}
+
+/// Parses and elaborates a scenario's collateral exactly the way the
+/// evaluation engine binds a Design2SVA case: design + testbench in one
+/// source, the DUT instantiated with every port tied to the same-named
+/// testbench input.
+///
+/// # Errors
+///
+/// Returns the parse/elaboration message if the generated collateral is
+/// invalid — a generator bug, covered by tests.
+pub fn bind_scenario(scenario: &Scenario) -> Result<BoundScenario, String> {
+    let mut src =
+        String::with_capacity(scenario.design_source.len() + scenario.tb_source.len() + 1);
+    src.push_str(&scenario.design_source);
+    src.push('\n');
+    src.push_str(&scenario.tb_source);
+    let file = parse_source(&src).map_err(|e| e.to_string())?;
+    let design = file
+        .module(&scenario.top)
+        .ok_or_else(|| format!("missing design module {}", scenario.top))?;
+    let conns: Vec<(String, Expr)> = design
+        .port_order
+        .iter()
+        .map(|p| (p.clone(), Expr::ident(p.clone())))
+        .collect();
+    let dut = ModuleItem::Instance(Instance {
+        module: scenario.top.clone(),
+        name: "dut".into(),
+        params: vec![],
+        conns,
+    });
+    let netlist = elaborate_with_extras(&file, &scenario.tb_top, std::slice::from_ref(&dut))
+        .map_err(|e| e.to_string())?;
+    let consts: Vec<(String, u32, u128)> = netlist
+        .params
+        .iter()
+        .map(|(n, v)| (n.clone(), 32u32, *v))
+        .collect();
+    let mut table = SignalTable::new();
+    for (name, binding) in &netlist.nets {
+        if !name.contains('[') && !name.contains('.') {
+            table.insert(name.clone(), binding.width);
+        }
+    }
+    for (name, value) in &netlist.params {
+        table.insert_const(name.clone(), 32, *value);
+    }
+    Ok(BoundScenario {
+        netlist,
+        consts,
+        table,
+    })
+}
+
+/// Validation outcome of one scenario.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Scenario id.
+    pub id: String,
+    /// Candidates whose golden verdict the prover confirmed.
+    pub confirmed: u32,
+    /// Candidates whose prover verdict *disagreed* with the golden one
+    /// (must be zero for a sound generator).
+    pub mismatches: u32,
+    /// Counterexamples that failed to replay on the simulator (must be
+    /// zero).
+    pub replay_failures: u32,
+    /// How the formal core discharged the queries.
+    pub stats: ProverStats,
+    /// One line per problem, empty when fully confirmed.
+    pub problems: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// `true` when every candidate verdict was confirmed and every
+    /// counterexample replayed.
+    pub fn is_clean(&self) -> bool {
+        self.mismatches == 0 && self.replay_failures == 0
+    }
+}
+
+/// Proves every candidate of a scenario and checks the result against
+/// its golden verdict; falsified candidates additionally replay their
+/// counterexample trace through the reference simulator.
+///
+/// # Errors
+///
+/// Returns a message if the collateral fails to bind or a candidate
+/// fails to parse — generator bugs, distinct from verdict mismatches
+/// (which are *reported*, not errors).
+pub fn validate_scenario(scenario: &Scenario, cfg: ProveConfig) -> Result<ScenarioReport, String> {
+    let bound = bind_scenario(scenario)?;
+    let mut report = ScenarioReport {
+        id: scenario.id.clone(),
+        ..ScenarioReport::default()
+    };
+    // Downstream consumers (simulated-model response pools, Design2SVA
+    // goldens) index both pools unconditionally, so an empty pool is a
+    // contract violation even when every present verdict confirms.
+    if scenario.provable().next().is_none() {
+        report.mismatches += 1;
+        report
+            .problems
+            .push("scenario has no provable candidate".into());
+    }
+    if scenario.falsifiable().next().is_none() {
+        report.mismatches += 1;
+        report
+            .problems
+            .push("scenario has no falsifiable candidate".into());
+    }
+    for cand in &scenario.candidates {
+        let assertion = sv_parser::parse_assertion_str(&cand.sva)
+            .map_err(|e| format!("{}/{}: parse: {e}", scenario.id, cand.name))?;
+        let (result, stats) = prove_with_stats(&bound.netlist, &assertion, &bound.consts, cfg)
+            .map_err(|e| format!("{}/{}: prove: {e}", scenario.id, cand.name))?;
+        report.stats.merge(&stats);
+        match (cand.verdict, &result) {
+            (GoldenVerdict::Provable, ProveResult::Proven { .. }) => report.confirmed += 1,
+            (GoldenVerdict::Falsifiable, ProveResult::Falsified { cex }) => {
+                match replay_design_cex(&bound.netlist, &assertion, &bound.consts, cfg, cex) {
+                    Ok(true) => report.confirmed += 1,
+                    other => {
+                        report.replay_failures += 1;
+                        report.problems.push(format!(
+                            "{}: counterexample does not replay ({other:?})",
+                            cand.name
+                        ));
+                    }
+                }
+            }
+            (want, got) => {
+                report.mismatches += 1;
+                report
+                    .problems
+                    .push(format!("{}: golden {want:?}, prover {got:?}", cand.name));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// [`validate_scenario`] over a whole suite, in suite order.
+///
+/// # Errors
+///
+/// Propagates the first binding/parse error (see [`validate_scenario`]).
+pub fn validate_suite(suite: &Suite, cfg: ProveConfig) -> Result<Vec<ScenarioReport>, String> {
+    suite
+        .scenarios
+        .iter()
+        .map(|s| validate_scenario(s, cfg))
+        .collect()
+}

@@ -1,0 +1,135 @@
+//! Golden-verdict soundness for every registered family: the prover
+//! must agree with every candidate's construction-time verdict, and
+//! every counterexample must replay on the reference simulator.
+
+use fveval_gen::{
+    generate_suite, generators, validate_scenario, GenParams, ProveConfig, SuiteConfig,
+};
+
+#[test]
+fn every_family_registers_and_reports() {
+    let gens = generators();
+    assert!(gens.len() >= 6, "at least six scenario families");
+    let mut names: Vec<&str> = gens.iter().map(|g| g.family()).collect();
+    let n = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), n, "family names are unique");
+    for g in &gens {
+        assert!(!g.summary().is_empty());
+    }
+}
+
+#[test]
+fn default_params_scenarios_are_fully_confirmed() {
+    for gen in generators() {
+        let scenario = gen.generate(&GenParams::default());
+        assert!(
+            scenario.provable().count() >= 2,
+            "{}: at least two provable candidates",
+            scenario.id
+        );
+        assert!(
+            scenario.falsifiable().count() >= 1,
+            "{}: at least one falsifiable candidate",
+            scenario.id
+        );
+        let report =
+            validate_scenario(&scenario, ProveConfig::default()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.is_clean(), "{}: {:?}", scenario.id, report.problems);
+        assert_eq!(report.confirmed as usize, scenario.candidates.len());
+    }
+}
+
+#[test]
+fn parameter_extremes_stay_sound() {
+    for gen in generators() {
+        for (depth, width) in [(1u32, 2u32), (12, 32), (3, 16)] {
+            let scenario = gen.generate(&GenParams {
+                depth,
+                width,
+                seed: 0xD00D,
+            });
+            let report = validate_scenario(&scenario, ProveConfig::default())
+                .unwrap_or_else(|e| panic!("{e}"));
+            assert!(
+                report.is_clean(),
+                "{} (depth {depth}, width {width}): {:?}",
+                scenario.id,
+                report.problems
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_is_deterministic_and_ids_unique() {
+    let cfg = SuiteConfig {
+        per_family: 3,
+        seed: 41,
+        ..Default::default()
+    };
+    let a = generate_suite(&cfg);
+    let b = generate_suite(&cfg);
+    assert_eq!(a, b, "byte-identical under a fixed seed");
+    let mut ids: Vec<&str> = a.scenarios.iter().map(|s| s.id.as_str()).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "unique scenario ids");
+    assert_eq!(n, 3 * generators().len());
+}
+
+#[test]
+fn internal_signals_are_out_of_scope() {
+    for gen in generators() {
+        let scenario = gen.generate(&GenParams::default());
+        let bound = fveval_gen::bind_scenario(&scenario).unwrap();
+        assert!(
+            bound.table.width(&scenario.internal_signal).is_none(),
+            "{}: '{}' must not be testbench-visible",
+            scenario.id,
+            scenario.internal_signal
+        );
+        // And every candidate's signals *are* in scope (they proved or
+        // falsified above; here we just sanity-check the scope table
+        // carries the interface nets).
+        assert!(bound.table.width("tb_reset").is_some());
+    }
+}
+
+#[test]
+fn empty_candidate_pools_are_reported() {
+    // A family that emits only one kind of verdict violates the
+    // authoring contract even if every present verdict confirms:
+    // downstream response pools index both kinds unconditionally.
+    let gens = generators();
+    let mut scenario = gens[0].generate(&GenParams::default());
+    scenario.candidates.retain(|c| c.verdict.is_provable());
+    let report = validate_scenario(&scenario, ProveConfig::default()).unwrap();
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .problems
+            .iter()
+            .any(|p| p.contains("no falsifiable candidate")),
+        "{:?}",
+        report.problems
+    );
+}
+
+#[test]
+fn suite_writes_to_disk() {
+    let dir = std::env::temp_dir().join(format!("fveval_gen_test_{}", std::process::id()));
+    let suite = generate_suite(&SuiteConfig {
+        families: vec!["fifo".into()],
+        per_family: 2,
+        seed: 9,
+        ..Default::default()
+    });
+    let files = fveval_gen::write_suite(&dir, &suite).unwrap();
+    assert_eq!(files, 2 * 2 + 2, "two files per scenario plus manifests");
+    let manifest = std::fs::read_to_string(dir.join("manifest.csv")).unwrap();
+    assert_eq!(manifest.lines().count(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! fveval <command> [--full] [--seed N] [--jobs N] [--out DIR]
+//! fveval gen [--family NAME]... [--count N] [--depth N] [--width N]
+//!            [--seed N] [--eval] [--out DIR]
 //!
 //! Commands:
 //!   table1 table2 table3 table4 table5 table6
 //!   figure2 figure3 figure4 figure6
+//!   gen             generate scenario suites (fveval-gen) with golden
+//!                   verdicts re-proven by the formal core
 //!   showcase        qualitative failure-mode examples (Figs. 7-9)
 //!   validate        end-to-end dataset self-check
 //!   list            available tables/figures with descriptions
@@ -13,12 +17,26 @@
 //!
 //! Flags:
 //!   --full          paper-scale datasets (quick mode is the default)
-//!   --seed N        dataset-generation seed (machine set and design
-//!                   sweeps; the fixed human set and the models'
-//!                   deterministic draws are unaffected)
+//!   --seed N        dataset-generation seed (machine set, design
+//!                   sweeps, and `gen` suites; the fixed human set and
+//!                   the models' deterministic draws are unaffected)
 //!   --jobs N        evaluation worker threads (default: all CPUs;
 //!                   results are byte-identical for any value)
 //!   --out DIR       output directory (default: results/)
+//!
+//! `gen`-only flags:
+//!   --family NAME   restrict to one family (repeatable; default: all
+//!                   of fifo, arbiter, handshake, gray, shift, crc)
+//!   --count N       scenarios per family (default: 4, or 16 with --full)
+//!   --depth N       pin the family-size knob instead of sweeping it
+//!   --width N       pin the data width instead of sweeping it
+//!   --eval          also run all simulated models over the generated
+//!                   task set through the shared EvalEngine
+//!
+//! `gen` writes the suite under `--out/generated/` (one `<id>.sv` and
+//! one `<id>.tasks.md` per scenario plus `manifest.{md,csv}`) and the
+//! validation report to `--out/gen.{md,csv}`. Output is byte-identical
+//! for a fixed `--seed`.
 //! ```
 //!
 //! Results are printed to stdout and written under `--out` as markdown
@@ -42,6 +60,17 @@ struct Args {
     opts: HarnessOptions,
     jobs: usize,
     out_dir: PathBuf,
+    gen: GenArgs,
+}
+
+/// Flags only the `gen` subcommand reads.
+#[derive(Default)]
+struct GenArgs {
+    families: Vec<String>,
+    count: Option<usize>,
+    depth: Option<u32>,
+    width: Option<u32>,
+    eval: bool,
 }
 
 const COMMANDS: &[(&str, &str)] = &[
@@ -58,6 +87,10 @@ const COMMANDS: &[(&str, &str)] = &[
     ("figure3", "machine-set NL/SVA token-length distributions"),
     ("figure4", "design-sweep generated-logic token lengths"),
     ("figure6", "BLEU vs functional-equivalence correlation"),
+    (
+        "gen",
+        "generate scenario suites with prover-confirmed golden verdicts",
+    ),
     ("showcase", "qualitative failure-mode examples (Figs. 7-9)"),
     ("validate", "end-to-end dataset self-check"),
     ("list", "this command list"),
@@ -70,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
     let mut opts = HarnessOptions::default();
     let mut jobs = 0usize;
     let mut out_dir = PathBuf::from("results");
+    let mut gen = GenArgs::default();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => opts.full = true,
@@ -84,7 +118,54 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
+            "--family" => {
+                let v = args.next().ok_or("--family needs a value")?;
+                if fveval_gen::generator(&v).is_none() {
+                    let known: Vec<&str> = fveval_gen::generators()
+                        .iter()
+                        .map(|g| g.family())
+                        .collect();
+                    return Err(format!(
+                        "unknown family '{v}' (known: {})",
+                        known.join(", ")
+                    ));
+                }
+                gen.families.push(v);
+            }
+            "--count" => {
+                let v = args.next().ok_or("--count needs a value")?;
+                gen.count = Some(v.parse().map_err(|_| "bad count".to_string())?);
+            }
+            "--depth" => {
+                let v = args.next().ok_or("--depth needs a value")?;
+                gen.depth = Some(v.parse().map_err(|_| "bad depth".to_string())?);
+            }
+            "--width" => {
+                let v = args.next().ok_or("--width needs a value")?;
+                gen.width = Some(v.parse().map_err(|_| "bad width".to_string())?);
+            }
+            "--eval" => gen.eval = true,
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    // The gen-only flags must not be silently dropped by other commands.
+    if command != "gen" {
+        let stray = [
+            (!gen.families.is_empty(), "--family"),
+            (gen.count.is_some(), "--count"),
+            (gen.depth.is_some(), "--depth"),
+            (gen.width.is_some(), "--width"),
+            (gen.eval, "--eval"),
+        ]
+        .into_iter()
+        .filter_map(|(set, name)| set.then_some(name))
+        .collect::<Vec<_>>();
+        if !stray.is_empty() {
+            return Err(format!(
+                "{} only applies to the 'gen' command\n{}",
+                stray.join(", "),
+                usage()
+            ));
         }
     }
     Ok(Args {
@@ -92,13 +173,52 @@ fn parse_args() -> Result<Args, String> {
         opts,
         jobs,
         out_dir,
+        gen,
     })
+}
+
+/// Runs the `gen` subcommand: generate, validate through the prover,
+/// export, optionally evaluate.
+fn run_gen(args: &Args, engine: &EvalEngine) -> Result<(), String> {
+    let started = std::time::Instant::now();
+    let cfg = fveval_data::SuiteConfig {
+        families: args.gen.families.clone(),
+        // --full scales the suite like it scales every other command.
+        per_family: args
+            .gen
+            .count
+            .unwrap_or(if args.opts.full { 16 } else { 4 }),
+        seed: args.opts.seed,
+        depth: args.gen.depth,
+        width: args.gen.width,
+    };
+    let (table, notes, suite, errors) = fveval_harness::gen_report(engine, &cfg, args.gen.eval)?;
+    println!("{}", table.to_markdown());
+    println!("{notes}");
+    let md = format!("{}\n{notes}", table.to_markdown());
+    write_out(&args.out_dir, "gen", &md, Some(&table.to_csv()));
+    let suite_dir = args.out_dir.join("generated");
+    let files = fveval_gen::write_suite(&suite_dir, &suite)
+        .map_err(|e| format!("cannot write suite under {}: {e}", suite_dir.display()))?;
+    eprintln!(
+        "[gen: {} scenarios, {} files under {} in {:.1?}]",
+        suite.scenarios.len(),
+        files,
+        suite_dir.display(),
+        started.elapsed()
+    );
+    if errors > 0 {
+        return Err(format!("{errors} golden-verdict mismatch(es)"));
+    }
+    Ok(())
 }
 
 fn usage() -> String {
     let names: Vec<&str> = COMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: fveval <{}> [--full] [--seed N] [--jobs N] [--out DIR]",
+        "usage: fveval <{}> [--full] [--seed N] [--jobs N] [--out DIR]\n\
+         \x20      fveval gen [--family NAME]... [--count N] [--depth N] \
+         [--width N] [--seed N] [--eval] [--out DIR]",
         names.join("|")
     )
 }
@@ -229,7 +349,12 @@ fn main() -> ExitCode {
         vec![args.command.as_str()]
     };
     for cmd in commands {
-        if let Err(e) = run_one(cmd, &engine, &args.opts, &args.out_dir) {
+        let outcome = if cmd == "gen" {
+            run_gen(&args, &engine)
+        } else {
+            run_one(cmd, &engine, &args.opts, &args.out_dir)
+        };
+        if let Err(e) = outcome {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }

@@ -313,7 +313,7 @@ pub fn table6() -> Table {
             .collect();
         let n_assert = cases
             .iter()
-            .filter(|c| names.contains(&c.testbench))
+            .filter(|c| names.contains(&c.testbench.as_str()))
             .count();
         total_vars += names.len();
         total_asserts += n_assert;
@@ -456,7 +456,7 @@ pub fn showcase(engine: &EvalEngine, opts: &HarnessOptions) -> String {
     ));
     let task = Arc::new(TaskSpec::Nl2svaHuman {
         case: case.clone(),
-        table: Arc::new(tables[case.testbench].clone()),
+        table: Arc::new(tables[case.testbench.as_str()].clone()),
     });
     for name in ["gpt-4o", "llama-3.1-70b", "llama-3-8b"] {
         let model = model_by_name(name);
@@ -554,7 +554,7 @@ pub fn validate(opts: &HarnessOptions) -> (String, usize) {
             .map_err(|e| e.to_string())
             .and_then(|a| {
                 tables
-                    .get(case.testbench)
+                    .get(case.testbench.as_str())
                     .ok_or_else(|| "missing table".to_string())
                     .and_then(|t| {
                         check_equivalence(&a, &a, t, EquivConfig::default())
@@ -621,11 +621,158 @@ pub fn validate(opts: &HarnessOptions) -> (String, usize) {
         }
     }
 
+    out.push_str("== generated scenarios (golden verdicts confirmed) ==\n");
+    let suite = fveval_gen::generate_suite(&fveval_data::SuiteConfig {
+        per_family: 1,
+        seed: opts.seed,
+        ..Default::default()
+    });
+    match fveval_gen::validate_suite(&suite, fv_core::ProveConfig::default()) {
+        Err(e) => check(&mut out, &mut errors, "generated suite", false, &e),
+        Ok(reports) => {
+            for (scenario, report) in suite.scenarios.iter().zip(&reports) {
+                check(
+                    &mut out,
+                    &mut errors,
+                    &scenario.id,
+                    report.is_clean(),
+                    &report.problems.join("; "),
+                );
+            }
+        }
+    }
+
     out.push_str(&format!(
         "\nvalidation {} with {errors} error(s)\n",
         if errors == 0 { "PASSED" } else { "FAILED" }
     ));
     (out, errors)
+}
+
+/// The `fveval gen` report: generates a scenario suite, re-proves every
+/// candidate's golden verdict through the incremental formal core, and
+/// (optionally) runs the full simulated-model roster over the generated
+/// task set on the shared engine.
+///
+/// Returns the per-scenario validation table, free-form notes (golden
+/// confirmation summary, any problems, and the optional evaluation
+/// table), the generated suite (for [`fveval_gen::write_suite`]), and
+/// the number of validation errors.
+///
+/// # Errors
+///
+/// Returns a message if generated collateral fails to bind or parse —
+/// generator bugs, as opposed to verdict mismatches, which are counted
+/// and reported in the table.
+pub fn gen_report(
+    engine: &EvalEngine,
+    cfg: &fveval_data::SuiteConfig,
+    run_eval: bool,
+) -> Result<(Table, String, fveval_data::Suite, usize), String> {
+    use fveval_core::generated_task_specs;
+    use fveval_data::task_set_from_suite;
+
+    let suite = fveval_gen::generate_suite(cfg);
+    let reports = fveval_gen::validate_suite(&suite, fv_core::ProveConfig::default())?;
+    let mut t = Table::new(
+        format!(
+            "Generated scenarios ({} families, seed {:#x})",
+            suite
+                .scenarios
+                .iter()
+                .map(|s| s.family)
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            cfg.seed
+        ),
+        &[
+            "Scenario",
+            "Family",
+            "Depth",
+            "Width",
+            "Provable",
+            "Falsifiable",
+            "Confirmed",
+            "Problems",
+        ],
+    );
+    let mut errors = 0usize;
+    let mut stats = fv_core::ProverStats::default();
+    let mut notes = String::new();
+    for (scenario, report) in suite.scenarios.iter().zip(&reports) {
+        stats.merge(&report.stats);
+        errors += (report.mismatches + report.replay_failures) as usize;
+        // Parameters and counts are labels, not metrics: text cells
+        // keep the renderer from float-formatting and best-bolding them.
+        t.push_row([
+            scenario.id.clone().into(),
+            scenario.family.into(),
+            scenario.params.depth.to_string().into(),
+            scenario.params.width.to_string().into(),
+            scenario.provable().count().to_string().into(),
+            scenario.falsifiable().count().to_string().into(),
+            report.confirmed.to_string().into(),
+            (report.mismatches + report.replay_failures)
+                .to_string()
+                .into(),
+        ]);
+        for p in &report.problems {
+            notes.push_str(&format!("PROBLEM {}: {p}\n", scenario.id));
+        }
+    }
+    notes.push_str(&format!(
+        "golden verdicts: {} candidates across {} scenarios confirmed by the prover \
+         ({} SAT calls, {} sim kills, {} ternary kills){}\n",
+        suite.candidate_count(),
+        suite.scenarios.len(),
+        stats.sat_calls,
+        stats.sim_kills,
+        stats.ternary_kills,
+        if errors == 0 {
+            ""
+        } else {
+            " — WITH MISMATCHES"
+        },
+    ));
+
+    if run_eval && errors > 0 {
+        notes.push_str(
+            "skipping --eval: the suite's golden verdicts did not all confirm, \
+             so model metrics against it would be meaningless\n",
+        );
+    }
+    let suite = if run_eval && errors == 0 {
+        // The conversion consumes the suite (no clone of the generated
+        // sources) and hands it back unchanged.
+        let set = task_set_from_suite(suite)?;
+        let tasks = generated_task_specs(&set);
+        let models = profiles();
+        let backends = as_backends(&models);
+        let results = engine.run_matrix(&backends, &tasks, &InferenceConfig::greedy(), 1);
+        let mut et = Table::new(
+            format!(
+                "Generated workload, zero-shot greedy ({} tasks)",
+                tasks.len()
+            ),
+            &["Model", "Syntax", "Functionality", "Partial"],
+        );
+        for (model, evals) in models.iter().zip(&results) {
+            let s = MetricSummary::from_first_samples(evals);
+            et.push_row([
+                model.name().into(),
+                s.syntax.into(),
+                s.func.into(),
+                s.partial.into(),
+            ]);
+        }
+        notes.push('\n');
+        notes.push_str(&et.to_markdown());
+        set.suite
+    } else {
+        suite
+    };
+
+    Ok((t, notes, suite, errors))
 }
 
 /// Finds a profile by display name.

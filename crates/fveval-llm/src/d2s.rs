@@ -36,6 +36,45 @@ pub(crate) fn generate_design_response(
             transitions,
             state_width,
         } => fsm_response(*n_states, *state_width, transitions, outcome, rng),
+        DesignKind::Scenario {
+            falsifiable,
+            internal_signal,
+            ..
+        } => scenario_response(case, falsifiable, internal_signal, outcome, rng),
+    }
+}
+
+/// Responses for generated `fveval-gen` scenarios: the golden and
+/// falsifiable candidate pools carried on the case stand in for a
+/// model reading the RTL correctly or plausibly-wrongly.
+fn scenario_response(
+    case: &DesignCase,
+    falsifiable: &[String],
+    internal_signal: &str,
+    outcome: DesignOutcome,
+    rng: &mut DetRng,
+) -> String {
+    let strip_label = |s: &String| s.strip_prefix("asrt:").unwrap_or(s).trim().to_string();
+    match outcome {
+        DesignOutcome::Provable => strip_label(rng.pick(&case.golden)),
+        DesignOutcome::Unprovable => strip_label(rng.pick(falsifiable)),
+        DesignOutcome::InternalSignal => format!(
+            "assert property (@(posedge clk) disable iff (tb_reset)\n  \
+             ({internal_signal} == {internal_signal})\n);"
+        ),
+        DesignOutcome::Malformed => {
+            // Break a golden the way Figure 9 models do: hallucinate an
+            // `eventually` operator or drop a closing parenthesis.
+            let base = strip_label(rng.pick(&case.golden));
+            if rng.below(2) == 0 {
+                base.replace("assert property (", "assert property (eventually ")
+            } else {
+                match base.rfind(')') {
+                    Some(i) => format!("{}{}", &base[..i], &base[i + 1..]),
+                    None => base,
+                }
+            }
+        }
     }
 }
 

@@ -419,7 +419,10 @@ impl Backend for SimulatedModel {
             TaskSpec::Design2sva { case } => {
                 let dist = match case.kind {
                     fveval_data::DesignKind::Pipeline { .. } => &p.d2s_pipeline,
-                    fveval_data::DesignKind::Fsm { .. } => &p.d2s_fsm,
+                    // Generated scenarios are control-dominated designs;
+                    // the FSM calibration is the closer fit.
+                    fveval_data::DesignKind::Fsm { .. }
+                    | fveval_data::DesignKind::Scenario { .. } => &p.d2s_fsm,
                 };
                 let mut outcome = dist.classify(x);
                 if matches!(

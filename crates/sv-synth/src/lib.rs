@@ -19,8 +19,8 @@
 //! Everything is 0/1 (no X/Z): `===` behaves as `==`, undriven bits
 //! become free inputs (cut points), and registers start from their reset
 //! values with the reset input held deasserted (the standard formal
-//! setup after a reset sequence). See `DESIGN.md` for the full deviation
-//! list.
+//! setup after a reset sequence). See the repository's `ARCHITECTURE.md`
+//! for where this crate sits in the evaluation spine.
 
 mod elaborate;
 mod frame;

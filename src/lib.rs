@@ -10,7 +10,10 @@
 //! - [`sv_ast`] / [`sv_parser`] — SystemVerilog + SVA front-end.
 //! - [`sv_synth`] — elaboration, bit-blasting, simulation.
 //! - [`fv_core`] — assertion equivalence, BMC, k-induction.
-//! - [`fveval_data`] — the three benchmark datasets.
+//! - [`fveval_gen`] — the scenario generator subsystem (open-ended
+//!   benchmark families with golden verdicts).
+//! - [`fveval_data`] — the three benchmark datasets + generated task
+//!   sets.
 //! - [`fveval_llm`] — calibrated simulated models.
 //! - [`fveval_core`] — the evaluation framework (metrics + runners).
 //!
@@ -36,6 +39,7 @@ pub use fv_core;
 pub use fv_sat;
 pub use fveval_core;
 pub use fveval_data;
+pub use fveval_gen;
 pub use fveval_llm;
 pub use sv_ast;
 pub use sv_parser;
@@ -48,13 +52,17 @@ pub mod prelude {
         ProveConfig, ProveResult, ProverStats, SignalTable,
     };
     pub use fveval_core::{
-        bind_design, bleu, design_task_specs, human_task_specs, machine_task_specs, pass_at_k,
-        CacheStats, Design2svaRunner, EvalEngine, MetricSummary, Nl2svaRunner, SampleEval,
+        bind_design, bleu, design_task_specs, generated_task_specs, human_task_specs,
+        machine_task_specs, pass_at_k, CacheStats, Design2svaRunner, EvalEngine, MetricSummary,
+        Nl2svaRunner, SampleEval,
     };
     pub use fveval_data::{
-        fsm_sweep, generate_fsm, generate_machine_cases, generate_pipeline, human_cases,
-        machine_signal_table, pipeline_sweep, signal_table_for, testbenches, FsmParams,
-        MachineGenConfig, PipelineParams,
+        fsm_sweep, generate_fsm, generate_machine_cases, generate_pipeline, generated_task_set,
+        human_cases, machine_signal_table, pipeline_sweep, signal_table_for, testbenches,
+        FsmParams, MachineGenConfig, PipelineParams, SuiteConfig,
+    };
+    pub use fveval_gen::{
+        generate_suite, generators, validate_scenario, validate_suite, GenParams, Scenario, Suite,
     };
     pub use fveval_llm::{profiles, Backend, InferenceConfig, Request, TaskSpec};
     pub use sv_parser::{parse_assertion_str, parse_snippet, parse_source};

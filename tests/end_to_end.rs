@@ -19,7 +19,7 @@ fn reference_solutions_score_perfect() {
     let runner = Nl2svaRunner::new();
     let tables = human_tables();
     for case in human_cases() {
-        let table = &tables[case.testbench];
+        let table = &tables[case.testbench.as_str()];
         let eval = runner.evaluate_response(&case.reference, &case.reference, table);
         assert!(
             eval.syntax && eval.func && eval.partial,
