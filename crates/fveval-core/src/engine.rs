@@ -31,12 +31,72 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Verdict-cache counters (monotonic over the engine's lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Samples answered from the verdict cache.
+    /// Samples answered from verdicts computed by *this* engine.
     pub hits: u64,
+    /// Samples answered from verdicts preloaded via
+    /// [`EvalEngine::load_verdicts`] (a persistent store). Disjoint
+    /// from `hits`; total cache hits are `hits + persisted_hits`.
+    pub persisted_hits: u64,
     /// Samples that required inference + scoring.
     pub misses: u64,
     /// Verdicts currently stored.
     pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from preloaded (persisted) verdicts,
+    /// in `[0, 1]`; `0` when no lookups happened.
+    pub fn persisted_hit_rate(&self) -> f64 {
+        let total = self.hits + self.persisted_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.persisted_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One verdict in portable form: the full cache key plus the scored
+/// sample. This is the unit a persistent verdict store (see the
+/// `fveval-serve` crate) loads into an engine at startup and drains
+/// back out after a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerdictRecord {
+    /// Backend name (first key component).
+    pub model: String,
+    /// Task id.
+    pub task_id: String,
+    /// [`fveval_llm::TaskSpec::content_digest`] of the task.
+    pub digest: u64,
+    /// [`InferenceConfig::fingerprint`] of the inference config.
+    pub cfg: String,
+    /// Sample index within the task.
+    pub sample: u32,
+    /// The scored sample.
+    pub eval: SampleEval,
+}
+
+impl VerdictRecord {
+    fn key(&self) -> VerdictKey {
+        (
+            self.model.clone(),
+            self.task_id.clone(),
+            self.digest,
+            self.cfg.clone(),
+            self.sample,
+        )
+    }
+
+    fn from_parts(key: &VerdictKey, eval: SampleEval) -> VerdictRecord {
+        VerdictRecord {
+            model: key.0.clone(),
+            task_id: key.1.clone(),
+            digest: key.2,
+            cfg: key.3.clone(),
+            sample: key.4,
+            eval,
+        }
+    }
 }
 
 /// Cache key: `(model, task-id, content digest, cfg fingerprint,
@@ -50,10 +110,23 @@ type VerdictKey = (String, String, u64, String, u32);
 type BindKey = (String, u64);
 type SharedBind = Arc<Result<DesignEval, String>>;
 
+/// One cached verdict plus where it came from: verdicts preloaded from
+/// a persistent store count as `persisted_hits` and are never drained
+/// back out by [`EvalEngine::take_unpersisted`].
+#[derive(Debug, Clone, Copy)]
+struct CachedVerdict {
+    eval: SampleEval,
+    persisted: bool,
+}
+
 #[derive(Debug, Default)]
 struct VerdictCache {
-    map: Mutex<HashMap<VerdictKey, SampleEval>>,
+    map: Mutex<HashMap<VerdictKey, CachedVerdict>>,
+    /// Verdicts computed since the last [`VerdictCache::take_pending`],
+    /// in insertion order — the flush queue for a persistent store.
+    pending: Mutex<Vec<VerdictRecord>>,
     hits: AtomicU64,
+    persisted_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -66,22 +139,56 @@ impl VerdictCache {
             .get(key)
             .copied();
         match found {
+            Some(c) if c.persisted => self.persisted_hits.fetch_add(1, Ordering::Relaxed),
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
-        found
+        found.map(|c| c.eval)
     }
 
     fn insert(&self, key: VerdictKey, eval: SampleEval) {
-        self.map
+        self.pending
             .lock()
-            .expect("verdict cache poisoned")
-            .insert(key, eval);
+            .expect("verdict pending queue poisoned")
+            .push(VerdictRecord::from_parts(&key, eval));
+        self.map.lock().expect("verdict cache poisoned").insert(
+            key,
+            CachedVerdict {
+                eval,
+                persisted: false,
+            },
+        );
+    }
+
+    fn preload(&self, records: impl IntoIterator<Item = VerdictRecord>) -> usize {
+        let mut map = self.map.lock().expect("verdict cache poisoned");
+        let mut loaded = 0usize;
+        for record in records {
+            map.insert(
+                record.key(),
+                CachedVerdict {
+                    eval: record.eval,
+                    persisted: true,
+                },
+            );
+            loaded += 1;
+        }
+        loaded
+    }
+
+    fn take_pending(&self) -> Vec<VerdictRecord> {
+        let mut pending =
+            std::mem::take(&mut *self.pending.lock().expect("verdict pending queue poisoned"));
+        // Parallel workers race on insertion order; sort so the drain
+        // (and therefore a store segment's contents) is deterministic.
+        pending.sort_by_key(|record| record.key());
+        pending
     }
 
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            persisted_hits: self.persisted_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.lock().expect("verdict cache poisoned").len(),
         }
@@ -177,6 +284,26 @@ impl EvalEngine {
     /// Verdict-cache counters so callers can report hit rates.
     pub fn cache_stats(&self) -> CacheStats {
         self.verdicts.stats()
+    }
+
+    /// Preloads verdicts from a persistent store into the cache.
+    /// Lookups they answer count as [`CacheStats::persisted_hits`],
+    /// and they are never handed back by
+    /// [`EvalEngine::take_unpersisted`]. Returns the number of records
+    /// loaded. A record whose key is already cached is overwritten
+    /// (last load wins), so load before running.
+    pub fn load_verdicts(&self, records: impl IntoIterator<Item = VerdictRecord>) -> usize {
+        self.verdicts.preload(records)
+    }
+
+    /// Drains every verdict computed (not preloaded) since the engine
+    /// was built or this method last ran, sorted by cache key so the
+    /// result is deterministic for any `jobs` setting. The caller —
+    /// typically the `fveval-serve` crate's `VerdictStore`, via the
+    /// server or the `fveval` CLI — appends these to disk so the next
+    /// process starts warm.
+    pub fn take_unpersisted(&self) -> Vec<VerdictRecord> {
+        self.verdicts.take_pending()
     }
 
     /// Aggregate formal-core work counters over the engine's lifetime:
@@ -703,6 +830,58 @@ mod tests {
             let single = EvalEngine::with_jobs(1).run(*backend, &tasks, &cfg, 1);
             assert_eq!(row, &single);
         }
+    }
+
+    #[test]
+    fn preloaded_verdicts_serve_as_persisted_hits() {
+        let tasks = machine_tasks(10);
+        let models = profiles();
+        let cfg = InferenceConfig::greedy();
+        // A cold engine computes every verdict and hands them all back.
+        let cold = EvalEngine::with_jobs(2);
+        let cold_out = cold.run(&models[0], &tasks, &cfg, 1);
+        let records = cold.take_unpersisted();
+        assert_eq!(records.len(), 10);
+        assert!(
+            cold.take_unpersisted().is_empty(),
+            "drain is destructive; nothing new was computed since"
+        );
+        // A warm engine preloaded with those records answers the same
+        // run entirely from persisted verdicts: no inference, no
+        // prover work, byte-identical output.
+        let warm = EvalEngine::with_jobs(2);
+        assert_eq!(warm.load_verdicts(records), 10);
+        let warm_out = warm.run(&models[0], &tasks, &cfg, 1);
+        assert_eq!(warm_out, cold_out);
+        let stats = warm.cache_stats();
+        assert_eq!(stats.persisted_hits, 10);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 0);
+        assert!((stats.persisted_hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(warm.prover_stats().queries(), 0, "no formal work");
+        assert!(
+            warm.take_unpersisted().is_empty(),
+            "preloaded verdicts are never drained back out"
+        );
+    }
+
+    #[test]
+    fn take_unpersisted_is_sorted_and_jobs_invariant() {
+        let tasks = machine_tasks(16);
+        let models = profiles();
+        let cfg = InferenceConfig::sampling();
+        let drain = |jobs| {
+            let engine = EvalEngine::with_jobs(jobs);
+            engine.run(&models[1], &tasks, &cfg, 2);
+            engine.take_unpersisted()
+        };
+        let seq = drain(1);
+        let par = drain(4);
+        assert_eq!(seq.len(), 32);
+        assert_eq!(seq, par, "drain order is deterministic");
+        let mut sorted = seq.clone();
+        sorted.sort_by_key(|record| record.key());
+        assert_eq!(seq, sorted);
     }
 
     #[test]

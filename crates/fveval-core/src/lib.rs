@@ -31,7 +31,7 @@ pub use bleu::bleu;
 pub use design2sva::{bind_design, Design2svaRunner, DesignEval};
 pub use engine::{
     design_task_specs, generated_task_specs, human_task_specs, machine_task_specs, CacheStats,
-    EvalEngine,
+    EvalEngine, VerdictRecord,
 };
 pub use fv_core::ProverStats;
 pub use metrics::{CaseEvals, MetricSummary, SampleEval};

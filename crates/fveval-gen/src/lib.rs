@@ -46,7 +46,7 @@ mod suite;
 mod validate;
 
 pub use families::{generator, generators};
-pub use suite::{generate_suite, write_suite, Suite, SuiteConfig};
+pub use suite::{generate_suite, write_atomic, write_suite, Suite, SuiteConfig};
 pub use validate::{bind_scenario, validate_scenario, validate_suite, ScenarioReport};
 
 // Re-exported so downstream callers (CLI, benches) can tune prover

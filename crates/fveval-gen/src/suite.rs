@@ -5,7 +5,6 @@
 use crate::{families, GenParams, Scenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io::Write as _;
 use std::path::Path;
 
 /// Configuration of one suite generation.
@@ -99,6 +98,21 @@ pub fn generate_suite(config: &SuiteConfig) -> Suite {
     }
 }
 
+/// Writes `content` to `path` atomically: the bytes land in a `*.tmp`
+/// sibling first and are renamed into place, so a concurrent reader
+/// (or a killed process) never observes a torn file. Used for all
+/// suite and `results/` emission.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("out");
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Stable per-family seed perturbation (FNV-1a over the name).
 fn family_tag(name: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
@@ -112,7 +126,8 @@ fn family_tag(name: &str) -> u64 {
 /// Writes a suite under `dir`: per scenario a `<id>.sv` (design +
 /// testbench) and a `<id>.tasks.md` (candidates with verdicts and NL),
 /// plus `manifest.{md,csv}` indexing everything. Returns the number of
-/// files written.
+/// files written. Every file is written to a `*.tmp` sibling and
+/// atomically renamed, so concurrent runs never observe torn output.
 ///
 /// # Errors
 ///
@@ -128,8 +143,7 @@ pub fn write_suite(dir: &Path, suite: &Suite) -> std::io::Result<usize> {
     let mut manifest_csv = String::from("scenario,family,depth,width,provable,falsifiable\n");
     for s in &suite.scenarios {
         let sv = dir.join(format!("{}.sv", s.id));
-        let mut f = std::fs::File::create(&sv)?;
-        writeln!(f, "{}\n{}", s.design_source, s.tb_source)?;
+        write_atomic(&sv, &format!("{}\n{}\n", s.design_source, s.tb_source))?;
         written += 1;
 
         let mut tasks = format!(
@@ -142,7 +156,7 @@ pub fn write_suite(dir: &Path, suite: &Suite) -> std::io::Result<usize> {
                 c.name, c.verdict, c.nl, c.sva
             ));
         }
-        std::fs::write(dir.join(format!("{}.tasks.md", s.id)), tasks)?;
+        write_atomic(&dir.join(format!("{}.tasks.md", s.id)), &tasks)?;
         written += 1;
 
         let (p, fc) = (s.provable().count(), s.falsifiable().count());
@@ -155,7 +169,7 @@ pub fn write_suite(dir: &Path, suite: &Suite) -> std::io::Result<usize> {
             s.id, s.family, s.params.depth, s.params.width, p, fc
         ));
     }
-    std::fs::write(dir.join("manifest.md"), manifest_md)?;
-    std::fs::write(dir.join("manifest.csv"), manifest_csv)?;
+    write_atomic(&dir.join("manifest.md"), &manifest_md)?;
+    write_atomic(&dir.join("manifest.csv"), &manifest_csv)?;
     Ok(written + 2)
 }

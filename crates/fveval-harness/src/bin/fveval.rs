@@ -2,14 +2,29 @@
 //!
 //! ```text
 //! fveval <command> [--full] [--seed N] [--jobs N] [--out DIR]
+//!                  [--cache-dir DIR] [--no-persist]
 //! fveval gen [--family NAME]... [--count N] [--depth N] [--width N]
 //!            [--seed N] [--eval] [--out DIR]
+//! fveval serve [--addr HOST:PORT] [--jobs N] [--serve-workers N]
+//!              [--max-jobs N] [--cache-dir DIR] [--no-persist]
+//! fveval submit [--addr HOST:PORT] [--set suite|human|machine]
+//!               [--family NAME]... [--count N] [--depth N] [--width N]
+//!               [--seed N] [--samples N] [--model NAME]... [--wait]
+//!               [--out DIR]
+//! fveval poll --job ID [--addr HOST:PORT] [--wait] [--out DIR]
+//! fveval stats [--addr HOST:PORT]
+//! fveval stop  [--addr HOST:PORT]
 //!
 //! Commands:
 //!   table1 table2 table3 table4 table5 table6
 //!   figure2 figure3 figure4 figure6
 //!   gen             generate scenario suites (fveval-gen) with golden
 //!                   verdicts re-proven by the formal core
+//!   serve           run the persistent evaluation service (fveval-serve)
+//!   submit          submit an evaluation job to a running server
+//!   poll            check (or wait for) a submitted job
+//!   stats           print a running server's /v1/stats as key=value
+//!   stop            ask a running server to drain and stop
 //!   showcase        qualitative failure-mode examples (Figs. 7-9)
 //!   validate        end-to-end dataset self-check
 //!   list            available tables/figures with descriptions
@@ -18,52 +33,79 @@
 //! Flags:
 //!   --full          paper-scale datasets (quick mode is the default)
 //!   --seed N        dataset-generation seed (machine set, design
-//!                   sweeps, and `gen` suites; the fixed human set and
-//!                   the models' deterministic draws are unaffected)
+//!                   sweeps, and `gen`/`submit` suites; the fixed human
+//!                   set and the models' deterministic draws are
+//!                   unaffected)
 //!   --jobs N        evaluation worker threads (default: all CPUs;
 //!                   results are byte-identical for any value)
 //!   --out DIR       output directory (default: results/)
+//!   --cache-dir DIR persistent verdict-store directory (default:
+//!                   `<out>/cache`, i.e. results/cache/). Every run
+//!                   preloads it and flushes newly computed verdicts
+//!                   back, so repeated runs skip settled formal
+//!                   queries across processes.
+//!   --no-persist    disable the persistent verdict store for this run
 //!
-//! `gen`-only flags:
+//! `gen`/`submit`-only flags:
 //!   --family NAME   restrict to one family (repeatable; default: all
 //!                   of fifo, arbiter, handshake, gray, shift, crc)
-//!   --count N       scenarios per family (default: 4, or 16 with --full)
+//!   --count N       scenarios per family (default: 4, or 16 with
+//!                   --full); for `submit --set machine`, the case count
 //!   --depth N       pin the family-size knob instead of sweeping it
 //!   --width N       pin the data width instead of sweeping it
-//!   --eval          also run all simulated models over the generated
-//!                   task set through the shared EvalEngine
+//!   --eval          (`gen` only) also run all simulated models over
+//!                   the generated task set through the shared engine
 //!
-//! `gen` writes the suite under `--out/generated/` (one `<id>.sv` and
-//! one `<id>.tasks.md` per scenario plus `manifest.{md,csv}`) and the
-//! validation report to `--out/gen.{md,csv}`. Output is byte-identical
-//! for a fixed `--seed`.
+//! Service flags:
+//!   --addr A        server address (default 127.0.0.1:8642)
+//!   --serve-workers N  (`serve`) job worker threads (default 2)
+//!   --max-jobs N    (`serve`) bound on in-flight jobs (default 64)
+//!   --set NAME      (`submit`) task set: suite (default, built from
+//!                   the gen flags), human, or machine
+//!   --samples N     (`submit`) samples per (model, case) (default 1)
+//!   --model NAME    (`submit`) roster entry (repeatable; default all)
+//!   --wait          (`submit`/`poll`) poll until done and render the
+//!                   evaluation summary table
+//!   --job ID        (`poll`) the job to poll
 //! ```
 //!
 //! Results are printed to stdout and written under `--out` as markdown
-//! and CSV. All commands of one invocation share a single `EvalEngine`,
+//! and CSV; every file is written to a `*.tmp` sibling and atomically
+//! renamed, so concurrent runs (or a killed process) never leave torn
+//! tables. All commands of one invocation share a single `EvalEngine`,
 //! so `run-all` scores the overlap between experiments (e.g. the human
-//! set in Tables 1/2 and Figure 6) only once.
+//! set in Tables 1/2 and Figure 6) only once — and with the persistent
+//! verdict store (see `docs/SERVICE.md`), across invocations too.
 //!
 //! After the tables, the run's formal-core work summary is written to
 //! `--out/prover_stats.{md,csv}` (and echoed to stderr): how many
 //! prover queries went to SAT versus being killed by random or ternary
-//! simulation, and how often SAT calls reused an already-warmed solver.
-//! See `ARCHITECTURE.md` for what each column means.
+//! simulation, how often SAT calls reused an already-warmed solver, and
+//! how many verdicts came from the in-memory cache versus the
+//! persistent store. See `ARCHITECTURE.md` for what each column means.
 
 use fveval_core::EvalEngine;
 use fveval_harness::HarnessOptions;
+use fveval_serve::{Client, EvalRequest, Server, ServerConfig, TaskSetRef, VerdictStore};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:8642";
+const WAIT_TIMEOUT: Duration = Duration::from_secs(3600);
 
 struct Args {
     command: String,
     opts: HarnessOptions,
     jobs: usize,
     out_dir: PathBuf,
+    cache_dir: PathBuf,
+    no_persist: bool,
     gen: GenArgs,
+    serve: ServeArgs,
 }
 
-/// Flags only the `gen` subcommand reads.
+/// Flags only the `gen` and `submit` subcommands read.
 #[derive(Default)]
 struct GenArgs {
     families: Vec<String>,
@@ -71,6 +113,19 @@ struct GenArgs {
     depth: Option<u32>,
     width: Option<u32>,
     eval: bool,
+}
+
+/// Flags only the service subcommands read.
+#[derive(Default)]
+struct ServeArgs {
+    addr: Option<String>,
+    serve_workers: Option<usize>,
+    max_jobs: Option<usize>,
+    set: Option<String>,
+    samples: Option<u32>,
+    models: Vec<String>,
+    wait: bool,
+    job: Option<u64>,
 }
 
 const COMMANDS: &[(&str, &str)] = &[
@@ -91,11 +146,18 @@ const COMMANDS: &[(&str, &str)] = &[
         "gen",
         "generate scenario suites with prover-confirmed golden verdicts",
     ),
+    ("serve", "run the persistent evaluation service"),
+    ("submit", "submit an evaluation job to a running server"),
+    ("poll", "check (or wait for) a submitted job"),
+    ("stats", "print a running server's /v1/stats as key=value"),
+    ("stop", "ask a running server to drain and stop"),
     ("showcase", "qualitative failure-mode examples (Figs. 7-9)"),
     ("validate", "end-to-end dataset self-check"),
     ("list", "this command list"),
     ("run-all", "every table and figure above"),
 ];
+
+const SERVICE_COMMANDS: &[&str] = &["serve", "submit", "poll", "stats", "stop"];
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
@@ -103,7 +165,10 @@ fn parse_args() -> Result<Args, String> {
     let mut opts = HarnessOptions::default();
     let mut jobs = 0usize;
     let mut out_dir = PathBuf::from("results");
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_persist = false;
     let mut gen = GenArgs::default();
+    let mut serve = ServeArgs::default();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => opts.full = true,
@@ -118,6 +183,12 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(
+                    args.next().ok_or("--cache-dir needs a value")?,
+                ));
+            }
+            "--no-persist" => no_persist = true,
             "--family" => {
                 let v = args.next().ok_or("--family needs a value")?;
                 if fveval_gen::generator(&v).is_none() {
@@ -145,35 +216,93 @@ fn parse_args() -> Result<Args, String> {
                 gen.width = Some(v.parse().map_err(|_| "bad width".to_string())?);
             }
             "--eval" => gen.eval = true,
+            "--addr" => serve.addr = Some(args.next().ok_or("--addr needs a value")?),
+            "--serve-workers" => {
+                let v = args.next().ok_or("--serve-workers needs a value")?;
+                serve.serve_workers = Some(v.parse().map_err(|_| "bad worker count".to_string())?);
+            }
+            "--max-jobs" => {
+                let v = args.next().ok_or("--max-jobs needs a value")?;
+                serve.max_jobs = Some(v.parse().map_err(|_| "bad job bound".to_string())?);
+            }
+            "--set" => {
+                let v = args.next().ok_or("--set needs a value")?;
+                if !["suite", "human", "machine"].contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown task set '{v}' (known: suite, human, machine)"
+                    ));
+                }
+                serve.set = Some(v);
+            }
+            "--samples" => {
+                let v = args.next().ok_or("--samples needs a value")?;
+                serve.samples = Some(v.parse().map_err(|_| "bad sample count".to_string())?);
+            }
+            "--model" => serve
+                .models
+                .push(args.next().ok_or("--model needs a value")?),
+            "--wait" => serve.wait = true,
+            "--job" => {
+                let v = args.next().ok_or("--job needs a value")?;
+                serve.job = Some(v.parse().map_err(|_| "bad job id".to_string())?);
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
-    // The gen-only flags must not be silently dropped by other commands.
-    if command != "gen" {
-        let stray = [
-            (!gen.families.is_empty(), "--family"),
-            (gen.count.is_some(), "--count"),
-            (gen.depth.is_some(), "--depth"),
-            (gen.width.is_some(), "--width"),
-            (gen.eval, "--eval"),
-        ]
-        .into_iter()
-        .filter_map(|(set, name)| set.then_some(name))
-        .collect::<Vec<_>>();
-        if !stray.is_empty() {
-            return Err(format!(
-                "{} only applies to the 'gen' command\n{}",
-                stray.join(", "),
-                usage()
-            ));
-        }
+    // Subcommand-specific flags must not be silently dropped elsewhere.
+    let cmd = command.as_str();
+    let stray = [
+        (
+            !gen.families.is_empty() && !["gen", "submit"].contains(&cmd),
+            "--family",
+        ),
+        (
+            gen.count.is_some() && !["gen", "submit"].contains(&cmd),
+            "--count",
+        ),
+        (
+            gen.depth.is_some() && !["gen", "submit"].contains(&cmd),
+            "--depth",
+        ),
+        (
+            gen.width.is_some() && !["gen", "submit"].contains(&cmd),
+            "--width",
+        ),
+        (gen.eval && cmd != "gen", "--eval"),
+        (
+            serve.addr.is_some() && !SERVICE_COMMANDS.contains(&cmd),
+            "--addr",
+        ),
+        (
+            serve.serve_workers.is_some() && cmd != "serve",
+            "--serve-workers",
+        ),
+        (serve.max_jobs.is_some() && cmd != "serve", "--max-jobs"),
+        (serve.set.is_some() && cmd != "submit", "--set"),
+        (serve.samples.is_some() && cmd != "submit", "--samples"),
+        (!serve.models.is_empty() && cmd != "submit", "--model"),
+        (serve.wait && !["submit", "poll"].contains(&cmd), "--wait"),
+        (serve.job.is_some() && cmd != "poll", "--job"),
+    ]
+    .into_iter()
+    .filter_map(|(is_stray, name)| is_stray.then_some(name))
+    .collect::<Vec<_>>();
+    if !stray.is_empty() {
+        return Err(format!(
+            "{} does not apply to the '{cmd}' command\n{}",
+            stray.join(", "),
+            usage()
+        ));
     }
     Ok(Args {
         command,
         opts,
         jobs,
-        out_dir,
+        out_dir: out_dir.clone(),
+        cache_dir: cache_dir.unwrap_or_else(|| out_dir.join("cache")),
+        no_persist,
         gen,
+        serve,
     })
 }
 
@@ -213,12 +342,165 @@ fn run_gen(args: &Args, engine: &EvalEngine) -> Result<(), String> {
     Ok(())
 }
 
+fn addr(args: &Args) -> String {
+    args.serve
+        .addr
+        .clone()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string())
+}
+
+/// Runs the persistent evaluation service (blocks until `fveval stop`
+/// or `POST /v1/shutdown`).
+fn run_serve(args: &Args) -> Result<(), String> {
+    let config = ServerConfig {
+        addr: addr(args),
+        workers: args.serve.serve_workers.unwrap_or(2),
+        max_jobs: args.serve.max_jobs.unwrap_or(64),
+        engine_jobs: args.jobs,
+        cache_dir: (!args.no_persist).then(|| args.cache_dir.clone()),
+    };
+    let server = Server::bind(config)?;
+    eprintln!(
+        "[serve] listening on {} ({} verdicts preloaded from {})",
+        server.local_addr(),
+        server.preloaded(),
+        if args.no_persist {
+            "nowhere; persistence disabled".to_string()
+        } else {
+            args.cache_dir.display().to_string()
+        }
+    );
+    server.run()?;
+    eprintln!("[serve] stopped");
+    Ok(())
+}
+
+/// Builds the `submit` request from the CLI flags.
+fn submit_request(args: &Args) -> EvalRequest {
+    let tasks = match args.serve.set.as_deref() {
+        Some("human") => TaskSetRef::Human,
+        Some("machine") => TaskSetRef::Machine {
+            count: args.gen.count.unwrap_or(120),
+            seed: args.opts.seed,
+        },
+        _ => TaskSetRef::Suite {
+            families: args.gen.families.clone(),
+            per_family: args
+                .gen
+                .count
+                .unwrap_or(if args.opts.full { 16 } else { 4 }),
+            seed: args.opts.seed,
+            depth: args.gen.depth,
+            width: args.gen.width,
+        },
+    };
+    EvalRequest {
+        tasks,
+        models: args.serve.models.clone(),
+        cfg: fveval_llm::InferenceConfig::greedy(),
+        samples: args.serve.samples.unwrap_or(1),
+    }
+}
+
+/// Renders and writes a finished job's evaluation summary.
+fn report_result(args: &Args, result: &fveval_serve::EvalResult) {
+    let n_tasks = result.models.first().map_or(0, |(_, cases)| cases.len());
+    let table = fveval_harness::eval_summary_table(&result.models, n_tasks);
+    println!("{}", table.to_markdown());
+    write_out(
+        &args.out_dir,
+        "serve_eval",
+        &table.to_markdown(),
+        Some(&table.to_csv()),
+    );
+}
+
+fn run_submit(args: &Args) -> Result<(), String> {
+    let client = Client::new(addr(args));
+    let request = submit_request(args);
+    let id = client.submit(&request)?;
+    println!("job {id}");
+    if args.serve.wait {
+        let view = client.wait(id, WAIT_TIMEOUT)?;
+        let result = view
+            .result
+            .ok_or_else(|| format!("job {id} is done but has no result"))?;
+        report_result(args, &result);
+    } else {
+        eprintln!(
+            "[submit] poll with: fveval poll --job {id} --addr {}",
+            addr(args)
+        );
+    }
+    Ok(())
+}
+
+fn run_poll(args: &Args) -> Result<(), String> {
+    let id = args.serve.job.ok_or("poll needs --job ID")?;
+    let client = Client::new(addr(args));
+    let view = if args.serve.wait {
+        client.wait(id, WAIT_TIMEOUT)?
+    } else {
+        client.job(id)?
+    };
+    match view.position {
+        Some(position) => println!("job {id}: {} (position {position})", view.state.as_str()),
+        None => println!("job {id}: {}", view.state.as_str()),
+    }
+    if let Some(error) = &view.error {
+        return Err(format!("job {id} failed: {error}"));
+    }
+    if let Some(result) = &view.result {
+        report_result(args, result);
+    }
+    Ok(())
+}
+
+/// Prints `/v1/stats` as flat `key=value` lines (greppable from CI).
+fn run_stats(args: &Args) -> Result<(), String> {
+    let stats = Client::new(addr(args)).stats()?;
+    fn flatten(prefix: &str, value: &fveval_serve::json::Json, out: &mut Vec<String>) {
+        use fveval_serve::json::Json;
+        match value {
+            Json::Obj(members) => {
+                for (key, inner) in members {
+                    let path = if prefix.is_empty() {
+                        key.clone()
+                    } else {
+                        format!("{prefix}.{key}")
+                    };
+                    flatten(&path, inner, out);
+                }
+            }
+            other => out.push(format!("{prefix}={}", other.encode())),
+        }
+    }
+    let mut lines = Vec::new();
+    flatten("", &stats, &mut lines);
+    for line in lines {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn run_stop(args: &Args) -> Result<(), String> {
+    Client::new(addr(args)).shutdown()?;
+    eprintln!("[stop] server at {} is draining", addr(args));
+    Ok(())
+}
+
 fn usage() -> String {
     let names: Vec<&str> = COMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: fveval <{}> [--full] [--seed N] [--jobs N] [--out DIR]\n\
+        "usage: fveval <{}> [--full] [--seed N] [--jobs N] [--out DIR] \
+         [--cache-dir DIR] [--no-persist]\n\
          \x20      fveval gen [--family NAME]... [--count N] [--depth N] \
-         [--width N] [--seed N] [--eval] [--out DIR]",
+         [--width N] [--seed N] [--eval] [--out DIR]\n\
+         \x20      fveval serve [--addr A] [--serve-workers N] [--max-jobs N]\n\
+         \x20      fveval submit [--addr A] [--set suite|human|machine] \
+         [--model NAME]... [--samples N] [--wait]\n\
+         \x20      fveval poll --job ID [--addr A] [--wait]\n\
+         \x20      fveval stats|stop [--addr A]",
         names.join("|")
     )
 }
@@ -237,12 +519,12 @@ fn write_out(dir: &Path, name: &str, markdown: &str, csv: Option<&str>) {
         return;
     }
     let md_path = dir.join(format!("{name}.md"));
-    if let Err(e) = std::fs::write(&md_path, markdown) {
+    if let Err(e) = fveval_gen::write_atomic(&md_path, markdown) {
         eprintln!("warning: cannot write {}: {e}", md_path.display());
     }
     if let Some(csv) = csv {
         let csv_path = dir.join(format!("{name}.csv"));
-        if let Err(e) = std::fs::write(&csv_path, csv) {
+        if let Err(e) = fveval_gen::write_atomic(&csv_path, csv) {
             eprintln!("warning: cannot write {}: {e}", csv_path.display());
         }
     }
@@ -331,6 +613,50 @@ fn run_one(
     Ok(())
 }
 
+/// Opens the persistent verdict store and preloads the engine from it;
+/// `None` when persistence is disabled or the store is unreadable
+/// (warn, don't fail — a broken cache must never break a run).
+fn open_store(args: &Args, engine: &EvalEngine) -> Option<VerdictStore> {
+    if args.no_persist {
+        return None;
+    }
+    match VerdictStore::open(&args.cache_dir) {
+        Ok(store) => {
+            let loaded = engine.load_verdicts(store.records());
+            if loaded > 0 {
+                eprintln!(
+                    "[cache: {} verdicts preloaded from {}]",
+                    loaded,
+                    args.cache_dir.display()
+                );
+            }
+            Some(store)
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: persistent cache disabled ({}: {e})",
+                args.cache_dir.display()
+            );
+            None
+        }
+    }
+}
+
+/// Flushes newly computed verdicts to the store and bounds its
+/// fragmentation.
+fn flush_store(store: &mut VerdictStore, engine: &EvalEngine) {
+    let fresh = engine.take_unpersisted();
+    if let Err(e) = store.append(&fresh) {
+        eprintln!("warning: cannot flush verdict store: {e}");
+        return;
+    }
+    if store.segment_count() > 8 {
+        if let Err(e) = store.compact() {
+            eprintln!("warning: cannot compact verdict store: {e}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -339,7 +665,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if SERVICE_COMMANDS.contains(&args.command.as_str()) {
+        let outcome = match args.command.as_str() {
+            "serve" => run_serve(&args),
+            "submit" => run_submit(&args),
+            "poll" => run_poll(&args),
+            "stats" => run_stats(&args),
+            _ => run_stop(&args),
+        };
+        return match outcome {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let engine = EvalEngine::with_jobs(args.jobs);
+    let mut store = if args.command == "list" {
+        None
+    } else {
+        open_store(&args, &engine)
+    };
     let commands: Vec<&str> = if args.command == "run-all" {
         vec![
             "table1", "table2", "table3", "table4", "table5", "table6", "figure2", "figure3",
@@ -348,6 +695,7 @@ fn main() -> ExitCode {
     } else {
         vec![args.command.as_str()]
     };
+    let mut failed = false;
     for cmd in commands {
         let outcome = if cmd == "gen" {
             run_gen(&args, &engine)
@@ -356,15 +704,26 @@ fn main() -> ExitCode {
         };
         if let Err(e) = outcome {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            failed = true;
+            break;
         }
     }
+    // Settled verdicts are persisted even when a later command failed:
+    // they are valid, and the next run should not redo the work.
+    if let Some(store) = store.as_mut() {
+        flush_store(store, &engine);
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
     let stats = engine.cache_stats();
-    if stats.hits + stats.misses > 0 {
+    if stats.hits + stats.persisted_hits + stats.misses > 0 {
         eprintln!(
-            "[engine: {} jobs | verdict cache: {} hits, {} misses, {} entries]",
+            "[engine: {} jobs | verdict cache: {} hits, {} persisted hits, \
+             {} misses, {} entries]",
             engine.jobs(),
             stats.hits,
+            stats.persisted_hits,
             stats.misses,
             stats.entries
         );
@@ -380,6 +739,8 @@ fn main() -> ExitCode {
             prover.sim_kills,
             prover.ternary_kills,
         );
+    }
+    if prover.queries() > 0 || stats.hits + stats.persisted_hits + stats.misses > 0 {
         let t = prover_stats_table(&prover, &stats);
         write_out(
             &args.out_dir,
@@ -406,6 +767,8 @@ fn prover_stats_table(
             "Sim kills",
             "Ternary kills",
             "Verdict-cache hits",
+            "Persisted hits",
+            "Cache misses",
         ],
     );
     t.push_row([
@@ -415,6 +778,8 @@ fn prover_stats_table(
         prover.sim_kills.to_string().into(),
         prover.ternary_kills.to_string().into(),
         cache.hits.to_string().into(),
+        cache.persisted_hits.to_string().into(),
+        cache.misses.to_string().into(),
     ]);
     t
 }

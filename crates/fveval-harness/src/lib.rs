@@ -749,22 +749,12 @@ pub fn gen_report(
         let models = profiles();
         let backends = as_backends(&models);
         let results = engine.run_matrix(&backends, &tasks, &InferenceConfig::greedy(), 1);
-        let mut et = Table::new(
-            format!(
-                "Generated workload, zero-shot greedy ({} tasks)",
-                tasks.len()
-            ),
-            &["Model", "Syntax", "Functionality", "Partial"],
-        );
-        for (model, evals) in models.iter().zip(&results) {
-            let s = MetricSummary::from_first_samples(evals);
-            et.push_row([
-                model.name().into(),
-                s.syntax.into(),
-                s.func.into(),
-                s.partial.into(),
-            ]);
-        }
+        let rows: Vec<(String, Vec<fveval_core::CaseEvals>)> = models
+            .iter()
+            .map(|m| m.name().to_string())
+            .zip(results)
+            .collect();
+        let et = eval_summary_table(&rows, tasks.len());
         notes.push('\n');
         notes.push_str(&et.to_markdown());
         set.suite
@@ -773,6 +763,29 @@ pub fn gen_report(
     };
 
     Ok((t, notes, suite, errors))
+}
+
+/// Renders the greedy evaluation summary over per-model case evals.
+///
+/// Shared between the direct path (`fveval gen --eval`) and the
+/// server-mediated path (`fveval submit --wait`), so a served
+/// evaluation's table is byte-identical to the local one by
+/// construction.
+pub fn eval_summary_table(rows: &[(String, Vec<fveval_core::CaseEvals>)], n_tasks: usize) -> Table {
+    let mut t = Table::new(
+        format!("Generated workload, zero-shot greedy ({n_tasks} tasks)"),
+        &["Model", "Syntax", "Functionality", "Partial"],
+    );
+    for (name, evals) in rows {
+        let s = MetricSummary::from_first_samples(evals);
+        t.push_row([
+            name.as_str().into(),
+            s.syntax.into(),
+            s.func.into(),
+            s.partial.into(),
+        ]);
+    }
+    t
 }
 
 /// Finds a profile by display name.

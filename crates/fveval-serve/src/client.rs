@@ -1,0 +1,150 @@
+//! The blocking client for the evaluation service.
+//!
+//! One [`Client`] per server address; every call opens a fresh
+//! connection (the protocol is `Connection: close`), so a client is
+//! freely shareable across threads by cloning.
+
+use crate::http;
+use crate::json::{parse, Json};
+use crate::protocol::{EvalRequest, JobState, JobView};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Client for `addr` (e.g. `127.0.0.1:8642`) with a 30 s
+    /// per-request timeout.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-request timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn call(&self, method: &str, path: &str, body: &str) -> Result<(u16, Json), String> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| format!("cannot set timeouts: {e}"))?;
+        http::write_request(&mut stream, method, path, body)
+            .map_err(|e| format!("request failed: {e}"))?;
+        let (status, text) =
+            http::read_response(&mut stream).map_err(|e| format!("response failed: {e}"))?;
+        let value = if text.is_empty() {
+            Json::Null
+        } else {
+            parse(&text).map_err(|e| format!("malformed response body: {e}"))?
+        };
+        Ok((status, value))
+    }
+
+    fn expect_ok(&self, method: &str, path: &str, body: &str) -> Result<Json, String> {
+        let (status, value) = self.call(method, path, body)?;
+        if status == 200 {
+            Ok(value)
+        } else {
+            let detail = value
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("(no detail)");
+            Err(format!("{method} {path}: HTTP {status}: {detail}"))
+        }
+    }
+
+    /// Submits an evaluation job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure, a full queue (`429`),
+    /// or a rejected request.
+    pub fn submit(&self, request: &EvalRequest) -> Result<u64, String> {
+        let body = request.encode().encode();
+        self.expect_ok("POST", "/v1/eval", &body)?
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "submit answer missing 'job'".to_string())
+    }
+
+    /// Fetches one job's current status.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure or an unknown id.
+    pub fn job(&self, id: u64) -> Result<JobView, String> {
+        let value = self.expect_ok("GET", &format!("/v1/jobs/{id}"), "")?;
+        JobView::decode(&value)
+    }
+
+    /// Polls a job until it is `done`/`failed` or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure, job failure, or
+    /// timeout.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobView, String> {
+        let started = Instant::now();
+        loop {
+            let view = self.job(id)?;
+            match view.state {
+                JobState::Done => return Ok(view),
+                JobState::Failed => {
+                    return Err(format!(
+                        "job {id} failed: {}",
+                        view.error.as_deref().unwrap_or("(no detail)")
+                    ))
+                }
+                JobState::Queued | JobState::Running => {
+                    if started.elapsed() > timeout {
+                        return Err(format!(
+                            "job {id} still {} after {timeout:?}",
+                            view.state.as_str()
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's `/v1/stats` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure.
+    pub fn stats(&self) -> Result<Json, String> {
+        self.expect_ok("GET", "/v1/stats", "")
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure.
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.expect_ok("POST", "/v1/shutdown", "").map(|_| ())
+    }
+
+    /// Whether the server currently answers `/v1/stats`.
+    pub fn is_up(&self) -> bool {
+        self.stats().is_ok()
+    }
+}

@@ -1,0 +1,164 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! Just enough of the protocol for the service: one request per
+//! connection (`Connection: close`), `Content-Length` bodies, no
+//! chunked encoding, bounded header and body sizes. Both the server
+//! and the [`crate::Client`] use these helpers, so the two ends can
+//! never disagree about framing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block.
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted body.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed request: method, path, and raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET` / `POST` / ….
+    pub method: String,
+    /// The request target, e.g. `/v1/jobs/3`.
+    pub path: String,
+    /// The raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads the head (start line + headers) up to the blank line, then
+/// any `Content-Length` body. Returns the start line, the lowercased
+/// headers, and the body.
+fn read_message(stream: &mut TcpStream) -> std::io::Result<(String, Vec<String>, Vec<u8>)> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(invalid("header block too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 if head.is_empty() => {
+                // A connection that closes without sending anything is
+                // a liveness probe or acceptor wake-up, not an error —
+                // give it a distinct kind so callers can stay quiet.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before any request",
+                ));
+            }
+            0 => return Err(invalid("connection closed mid-header")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let text = String::from_utf8(head).map_err(|_| invalid("non-UTF-8 header"))?;
+    let mut lines = text.split("\r\n");
+    let start = lines.next().unwrap_or_default().to_string();
+    let headers: Vec<String> = lines
+        .filter(|l| !l.is_empty())
+        .map(|l| l.to_ascii_lowercase())
+        .collect();
+    let length = headers
+        .iter()
+        .find_map(|h| h.strip_prefix("content-length:"))
+        .map(|v| v.trim().parse::<usize>())
+        .transpose()
+        .map_err(|_| invalid("bad content-length"))?
+        .unwrap_or(0);
+    if length > MAX_BODY {
+        return Err(invalid("body too large"));
+    }
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body)?;
+    Ok((start, headers, body))
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed framing and propagates transport
+/// errors (including read timeouts).
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let (start, _headers, body) = read_message(stream)?;
+    let mut parts = start.split_whitespace();
+    let method = parts.next().ok_or_else(|| invalid("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| invalid("missing request path"))?;
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid("unsupported HTTP version"));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Writes one `application/json` response and flushes the stream.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one request (the client side of [`read_request`]).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\n\
+         Host: fveval-serve\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one response; returns `(status, body)`.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed framing and propagates transport
+/// errors.
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let (start, _headers, body) = read_message(stream)?;
+    let status = start
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+    let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?;
+    Ok((status, body))
+}

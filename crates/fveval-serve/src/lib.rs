@@ -1,0 +1,44 @@
+//! `fveval-serve` — the persistent evaluation service.
+//!
+//! FVEval's cost model is dominated by re-running the same formal
+//! queries: every table and figure re-proves verdicts an earlier run
+//! already settled, and the in-process verdict cache dies with the
+//! process. This crate adds the serving layer that amortizes that work
+//! *across* processes, in three layers:
+//!
+//! 1. [`VerdictStore`] — a persistent, content-addressed verdict store:
+//!    append-only JSON-lines segments keyed by the engine's `(model,
+//!    task-id, content-digest, cfg, sample)` cache key, with atomic
+//!    tmp+rename writes, crash-safe torn-tail recovery, and
+//!    deterministic compaction. The `fveval` CLI flushes through it
+//!    too, so every run — not just the server — survives restarts.
+//! 2. [`Server`] — a job queue and worker pool wrapping one shared
+//!    [`fveval_core::EvalEngine`], with bounded in-flight jobs and
+//!    per-job status (`queued`/`running`/`done`/`failed`) polled over
+//!    the wire.
+//! 3. The protocol + [`Client`] — minimal HTTP/1.1 over
+//!    `std::net::TcpListener` and a hand-rolled [`json`] module (the
+//!    same offline-shim philosophy as `crates/shims/`): `POST
+//!    /v1/eval`, `GET /v1/jobs/<id>`, `GET /v1/stats`, `POST
+//!    /v1/shutdown`, surfaced as the `fveval serve` / `submit` /
+//!    `poll` / `stats` / `stop` subcommands.
+//!
+//! Determinism is the design invariant: a server-mediated evaluation is
+//! byte-identical to a direct [`fveval_core::EvalEngine`] run, and a
+//! warm restart re-serves it from the store with zero prover calls.
+//! See `docs/SERVICE.md` for the wire protocol and store format.
+
+#![deny(missing_docs)]
+
+mod client;
+pub mod http;
+pub mod json;
+mod protocol;
+mod server;
+mod store;
+pub mod testutil;
+
+pub use client::Client;
+pub use protocol::{EvalRequest, EvalResult, JobState, JobView, TaskSetRef};
+pub use server::{build_tasks, resolve_backends, Server, ServerConfig};
+pub use store::{decode_record, encode_record, VerdictStore};

@@ -1,0 +1,539 @@
+//! The wire protocol: request/response payloads and their JSON forms.
+//!
+//! Endpoints (see `docs/SERVICE.md` for the full schemas):
+//!
+//! - `POST /v1/eval` — submit an [`EvalRequest`]; answers `{"job": N}`
+//!   or `429` when the in-flight bound is reached;
+//! - `GET /v1/jobs/<id>` — a [`JobView`] (status, queue position, and
+//!   the [`EvalResult`] once done);
+//! - `GET /v1/stats` — cache hit/miss/persisted-hit counters,
+//!   `ProverStats` rollups, job counts, store state, uptime;
+//! - `POST /v1/shutdown` — drain and stop the server.
+//!
+//! Every payload round-trips through [`crate::json`] exactly, so a
+//! verdict computed on the server reconstructs bit-identically on the
+//! client.
+
+use crate::json::Json;
+use fveval_core::{CaseEvals, SampleEval};
+use fveval_llm::InferenceConfig;
+
+/// What to evaluate: a named shipped task set, or an inline generated
+/// suite (the `fveval-gen` families).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskSetRef {
+    /// The shipped NL2SVA-Human set (79 cases, fixed).
+    Human,
+    /// The seeded NL2SVA-Machine set.
+    Machine {
+        /// Number of generated cases.
+        count: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// An inline `fveval-gen` suite; mirrors
+    /// [`fveval_data::SuiteConfig`].
+    Suite {
+        /// Families to generate (empty means all).
+        families: Vec<String>,
+        /// Scenarios per family.
+        per_family: usize,
+        /// Suite seed.
+        seed: u64,
+        /// Pins the family-size knob instead of sweeping it.
+        depth: Option<u32>,
+        /// Pins the data width instead of sweeping it.
+        width: Option<u32>,
+    },
+}
+
+impl TaskSetRef {
+    fn encode(&self) -> Json {
+        match self {
+            TaskSetRef::Human => Json::obj([("kind", "human".into())]),
+            TaskSetRef::Machine { count, seed } => Json::obj([
+                ("kind", "machine".into()),
+                ("count", (*count).into()),
+                ("seed", encode_u64(*seed)),
+            ]),
+            TaskSetRef::Suite {
+                families,
+                per_family,
+                seed,
+                depth,
+                width,
+            } => Json::obj([
+                ("kind", "suite".into()),
+                (
+                    "families",
+                    Json::Arr(families.iter().map(|f| f.as_str().into()).collect()),
+                ),
+                ("per_family", (*per_family).into()),
+                ("seed", encode_u64(*seed)),
+                ("depth", opt_num(*depth)),
+                ("width", opt_num(*width)),
+            ]),
+        }
+    }
+
+    fn decode(value: &Json) -> Result<TaskSetRef, String> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("task set needs a 'kind'")?;
+        match kind {
+            "human" => Ok(TaskSetRef::Human),
+            "machine" => Ok(TaskSetRef::Machine {
+                count: value
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or("machine set needs 'count'")? as usize,
+                seed: decode_u64(value.get("seed")).ok_or("machine set needs 'seed'")?,
+            }),
+            "suite" => Ok(TaskSetRef::Suite {
+                families: value
+                    .get("families")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|f| {
+                        f.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "family names must be strings".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+                per_family: value
+                    .get("per_family")
+                    .and_then(Json::as_u64)
+                    .ok_or("suite needs 'per_family'")? as usize,
+                seed: decode_u64(value.get("seed")).ok_or("suite needs 'seed'")?,
+                depth: decode_opt_u32(value.get("depth"))?,
+                width: decode_opt_u32(value.get("width"))?,
+            }),
+            other => Err(format!("unknown task-set kind '{other}'")),
+        }
+    }
+}
+
+fn opt_num(v: Option<u32>) -> Json {
+    v.map_or(Json::Null, Json::from)
+}
+
+/// Encodes a `u64` losslessly: plain number when it fits in the f64
+/// integer range, decimal string beyond (JSON numbers are doubles, so
+/// seeds above 2^53 would otherwise be silently rounded).
+fn encode_u64(n: u64) -> Json {
+    if n <= (1u64 << 53) {
+        Json::from(n)
+    } else {
+        Json::Str(n.to_string())
+    }
+}
+
+/// Decodes either form produced by [`encode_u64`].
+fn decode_u64(v: Option<&Json>) -> Option<u64> {
+    let v = v?;
+    v.as_u64()
+        .or_else(|| v.as_str().and_then(|s| s.parse().ok()))
+}
+
+fn decode_opt_u32(v: Option<&Json>) -> Result<Option<u32>, String> {
+    match v {
+        None | Some(Json::Null) => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .map(Some)
+            .ok_or_else(|| "expected a small non-negative number".to_string()),
+    }
+}
+
+/// One evaluation job: a task set, a model roster, an inference
+/// config, and a sample count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// The tasks to evaluate.
+    pub tasks: TaskSetRef,
+    /// Backend names from [`fveval_llm::profiles`]; empty means the
+    /// full roster.
+    pub models: Vec<String>,
+    /// Inference configuration.
+    pub cfg: InferenceConfig,
+    /// Samples per `(model, case)`; clamped to at least 1.
+    pub samples: u32,
+}
+
+impl EvalRequest {
+    /// Encodes the request body for `POST /v1/eval`.
+    pub fn encode(&self) -> Json {
+        Json::obj([
+            ("tasks", self.tasks.encode()),
+            (
+                "models",
+                Json::Arr(self.models.iter().map(|m| m.as_str().into()).collect()),
+            ),
+            (
+                "cfg",
+                Json::obj([
+                    ("temperature", self.cfg.temperature.into()),
+                    ("shots", self.cfg.shots.into()),
+                    ("seed", encode_u64(self.cfg.seed)),
+                ]),
+            ),
+            ("samples", self.samples.into()),
+        ])
+    }
+
+    /// Decodes a `POST /v1/eval` body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn decode(value: &Json) -> Result<EvalRequest, String> {
+        let cfg = value.get("cfg").ok_or("request needs 'cfg'")?;
+        let mut inference = InferenceConfig::greedy();
+        inference.temperature = cfg
+            .get("temperature")
+            .and_then(Json::as_f64)
+            .ok_or("cfg needs 'temperature'")?;
+        inference.shots = cfg
+            .get("shots")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or("cfg needs 'shots'")?;
+        inference.seed = decode_u64(cfg.get("seed")).ok_or("cfg needs 'seed'")?;
+        Ok(EvalRequest {
+            tasks: TaskSetRef::decode(value.get("tasks").ok_or("request needs 'tasks'")?)?,
+            models: value
+                .get("models")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .map(|m| {
+                    m.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "model names must be strings".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            cfg: inference,
+            samples: value
+                .get("samples")
+                .and_then(Json::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or("request needs 'samples'")?,
+        })
+    }
+}
+
+/// A finished job's payload: per-model, per-case, per-sample verdicts
+/// in task order — exactly what [`fveval_core::EvalEngine::run_matrix`]
+/// returns, in portable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// `(model name, its per-case evals)` in roster order.
+    pub models: Vec<(String, Vec<CaseEvals>)>,
+}
+
+impl EvalResult {
+    /// Encodes the result for a `done` [`JobView`].
+    pub fn encode(&self) -> Json {
+        Json::obj([(
+            "models",
+            Json::Arr(
+                self.models
+                    .iter()
+                    .map(|(name, cases)| {
+                        Json::obj([
+                            ("model", name.as_str().into()),
+                            ("cases", Json::Arr(cases.iter().map(encode_case).collect())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Decodes a `done` job's result payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on any missing or mistyped field.
+    pub fn decode(value: &Json) -> Result<EvalResult, String> {
+        let models = value
+            .get("models")
+            .and_then(Json::as_arr)
+            .ok_or("result needs 'models'")?;
+        Ok(EvalResult {
+            models: models
+                .iter()
+                .map(|row| {
+                    let name = row
+                        .get("model")
+                        .and_then(Json::as_str)
+                        .ok_or("row needs 'model'")?
+                        .to_string();
+                    let cases = row
+                        .get("cases")
+                        .and_then(Json::as_arr)
+                        .ok_or("row needs 'cases'")?
+                        .iter()
+                        .map(decode_case)
+                        .collect::<Result<_, _>>()?;
+                    Ok::<_, String>((name, cases))
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+fn encode_case(case: &CaseEvals) -> Json {
+    Json::obj([
+        ("id", case.id.as_str().into()),
+        (
+            "samples",
+            Json::Arr(
+                case.samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("syntax", s.syntax.into()),
+                            ("func", s.func.into()),
+                            ("partial", s.partial.into()),
+                            ("bleu", s.bleu.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_case(value: &Json) -> Result<CaseEvals, String> {
+    Ok(CaseEvals {
+        id: value
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("case needs 'id'")?
+            .to_string(),
+        samples: value
+            .get("samples")
+            .and_then(Json::as_arr)
+            .ok_or("case needs 'samples'")?
+            .iter()
+            .map(|s| {
+                Ok::<_, String>(SampleEval {
+                    syntax: s
+                        .get("syntax")
+                        .and_then(Json::as_bool)
+                        .ok_or("sample needs 'syntax'")?,
+                    func: s
+                        .get("func")
+                        .and_then(Json::as_bool)
+                        .ok_or("sample needs 'func'")?,
+                    partial: s
+                        .get("partial")
+                        .and_then(Json::as_bool)
+                        .ok_or("sample needs 'partial'")?,
+                    bleu: s
+                        .get("bleu")
+                        .and_then(Json::as_f64)
+                        .ok_or("sample needs 'bleu'")?,
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is evaluating it.
+    Running,
+    /// Finished; the result payload is available.
+    Done,
+    /// Rejected or crashed; the error message is available.
+    Failed,
+}
+
+impl JobState {
+    /// The wire name (`queued` / `running` / `done` / `failed`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name.
+    pub fn from_wire(s: &str) -> Result<JobState, String> {
+        match s {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            other => Err(format!("unknown job state '{other}'")),
+        }
+    }
+}
+
+/// One `GET /v1/jobs/<id>` answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobView {
+    /// Job id.
+    pub id: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Queue position (0 = next), only while queued.
+    pub position: Option<u64>,
+    /// The result, once done.
+    pub result: Option<EvalResult>,
+    /// The failure message, if failed.
+    pub error: Option<String>,
+}
+
+impl JobView {
+    /// Encodes the job answer.
+    pub fn encode(&self) -> Json {
+        let mut members = vec![
+            ("id".to_string(), Json::from(self.id)),
+            ("status".to_string(), self.state.as_str().into()),
+        ];
+        if let Some(position) = self.position {
+            members.push(("position".to_string(), position.into()));
+        }
+        if let Some(result) = &self.result {
+            members.push(("result".to_string(), result.encode()));
+        }
+        if let Some(error) = &self.error {
+            members.push(("error".to_string(), error.as_str().into()));
+        }
+        Json::Obj(members)
+    }
+
+    /// Decodes a job answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on any missing or mistyped field.
+    pub fn decode(value: &Json) -> Result<JobView, String> {
+        let state = JobState::from_wire(
+            value
+                .get("status")
+                .and_then(Json::as_str)
+                .ok_or("job needs 'status'")?,
+        )?;
+        Ok(JobView {
+            id: value
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or("job needs 'id'")?,
+            state,
+            position: value.get("position").and_then(Json::as_u64),
+            result: value.get("result").map(EvalResult::decode).transpose()?,
+            error: value
+                .get("error")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn eval_request_round_trips() {
+        let req = EvalRequest {
+            tasks: TaskSetRef::Suite {
+                families: vec!["fifo".into(), "gray".into()],
+                per_family: 2,
+                seed: 42,
+                depth: Some(3),
+                width: None,
+            },
+            models: vec!["gpt-4o".into()],
+            cfg: InferenceConfig::sampling().with_shots(3),
+            samples: 5,
+        };
+        let wire = req.encode().encode();
+        let back = EvalRequest::decode(&parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, req);
+        for tasks in [
+            TaskSetRef::Human,
+            TaskSetRef::Machine { count: 12, seed: 7 },
+        ] {
+            let req = EvalRequest {
+                tasks,
+                ..req.clone()
+            };
+            let wire = req.encode().encode();
+            assert_eq!(EvalRequest::decode(&parse(&wire).unwrap()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn huge_seeds_survive_the_wire_exactly() {
+        // JSON numbers are doubles; seeds beyond 2^53 must not round.
+        for seed in [u64::MAX, (1 << 53) + 1, 0x9E3779B97F4A7C15] {
+            let mut cfg = InferenceConfig::greedy();
+            cfg.seed = seed;
+            let req = EvalRequest {
+                tasks: TaskSetRef::Machine { count: 3, seed },
+                models: vec![],
+                cfg,
+                samples: 1,
+            };
+            let back = EvalRequest::decode(&parse(&req.encode().encode()).unwrap()).unwrap();
+            assert_eq!(back, req, "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn job_view_round_trips_with_result() {
+        let view = JobView {
+            id: 3,
+            state: JobState::Done,
+            position: None,
+            result: Some(EvalResult {
+                models: vec![(
+                    "gpt-4o".into(),
+                    vec![CaseEvals {
+                        id: "case_0".into(),
+                        samples: vec![SampleEval {
+                            syntax: true,
+                            func: false,
+                            partial: true,
+                            bleu: 1.0 / 3.0,
+                        }],
+                    }],
+                )],
+            }),
+            error: None,
+        };
+        let wire = view.encode().encode();
+        let back = JobView::decode(&parse(&wire).unwrap()).unwrap();
+        assert_eq!(back, view);
+        let bleu = back.result.unwrap().models[0].1[0].samples[0].bleu;
+        assert_eq!(bleu.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_context() {
+        let missing = parse("{\"models\":[],\"samples\":1}").unwrap();
+        assert!(EvalRequest::decode(&missing).unwrap_err().contains("cfg"));
+        let bad_kind =
+            parse("{\"tasks\":{\"kind\":\"nope\"},\"cfg\":{\"temperature\":0,\"shots\":0,\"seed\":0},\"samples\":1}")
+                .unwrap();
+        assert!(EvalRequest::decode(&bad_kind).unwrap_err().contains("nope"));
+    }
+}

@@ -1,0 +1,605 @@
+//! The evaluation server: a job queue and worker pool wrapped around
+//! one shared [`EvalEngine`], fronted by the minimal HTTP layer.
+//!
+//! Lifecycle: [`Server::bind`] opens the persistent [`VerdictStore`]
+//! (when configured), preloads the engine with every stored verdict,
+//! and starts the worker threads; [`Server::run`] then accepts
+//! connections until a `POST /v1/shutdown` arrives, drains the queue,
+//! and joins the workers. After every finished job the engine's newly
+//! computed verdicts are flushed to the store — so a server killed
+//! between jobs never loses a settled verdict, and a restarted server
+//! re-serves warm work with zero prover calls.
+//!
+//! Every job is evaluated by the same deterministic engine the CLI
+//! uses, so a server-mediated run is byte-identical to a direct one.
+
+use crate::http;
+use crate::json::{parse, Json};
+use crate::protocol::{EvalRequest, EvalResult, JobState, JobView, TaskSetRef};
+use crate::store::VerdictStore;
+use fveval_core::{generated_task_specs, human_task_specs, machine_task_specs, EvalEngine};
+use fveval_data::{
+    generate_machine_cases, human_cases, machine_signal_table, signal_table_for, testbenches,
+    MachineGenConfig, SuiteConfig,
+};
+use fveval_llm::{profiles, Backend, SimulatedModel, TaskSpec};
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8642` (`:0` picks a free port).
+    pub addr: String,
+    /// Job worker threads (each runs one job at a time on the shared
+    /// engine).
+    pub workers: usize,
+    /// Bound on in-flight jobs (queued + running); submissions beyond
+    /// it are answered `429`.
+    pub max_jobs: usize,
+    /// Worker threads *inside* the engine (`--jobs`; 0 = all CPUs).
+    pub engine_jobs: usize,
+    /// Verdict-store directory; `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8642".to_string(),
+            workers: 2,
+            max_jobs: 64,
+            engine_jobs: 0,
+            cache_dir: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    request: EvalRequest,
+    state: JobState,
+    result: Option<EvalResult>,
+    error: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    /// Finished (done/failed) job ids in completion order; bounded by
+    /// [`RETAINED_FINISHED`] so a long-lived server cannot grow without
+    /// limit — the oldest results are evicted first.
+    finished: VecDeque<u64>,
+    next_id: u64,
+    running: usize,
+}
+
+/// How many finished jobs (with their full result payloads) are kept
+/// addressable; older ones answer `404`.
+const RETAINED_FINISHED: usize = 64;
+
+/// Grace period between "nothing left to do" and the accept loop
+/// exiting, so clients polling a just-finished job still collect its
+/// result (pollers cycle every 50 ms).
+const DRAIN_GRACE: Duration = Duration::from_millis(300);
+
+#[derive(Debug)]
+struct Shared {
+    engine: EvalEngine,
+    store: Mutex<Option<VerdictStore>>,
+    state: Mutex<State>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    started: Instant,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    preloaded: usize,
+    max_jobs: usize,
+    /// The bound address, used to wake the blocking accept loop.
+    addr: std::net::SocketAddr,
+}
+
+impl Shared {
+    /// Shutdown requested and nothing queued or running.
+    fn drained(&self) -> bool {
+        if !self.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let state = self.state.lock().expect("state poisoned");
+        state.queue.is_empty() && state.running == 0
+    }
+
+    /// Wakes the blocking accept loop (after `delay`) with a throwaway
+    /// connection so it can re-check the drain condition.
+    fn poke_acceptor(&self, delay: Duration) {
+        let addr = self.addr;
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+        });
+    }
+}
+
+/// The bound, not-yet-running server. Call [`Server::run`] to serve.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, opens + preloads the verdict store, and
+    /// starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the address cannot be bound or the store
+    /// cannot be opened.
+    pub fn bind(config: ServerConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let engine = EvalEngine::with_jobs(config.engine_jobs);
+        let mut preloaded = 0usize;
+        let store = match &config.cache_dir {
+            Some(dir) => {
+                let store = VerdictStore::open(dir)
+                    .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+                preloaded = engine.load_verdicts(store.records());
+                Some(store)
+            }
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            engine,
+            store: Mutex::new(store),
+            state: Mutex::new(State::default()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            preloaded,
+            max_jobs: config.max_jobs.max(1),
+            addr,
+        });
+        shared.state.lock().expect("state poisoned").next_id = 1;
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server {
+            listener,
+            shared,
+            workers,
+        })
+    }
+
+    /// The bound address (useful after binding port `0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS cannot report the local address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// Number of verdicts preloaded from the persistent store.
+    pub fn preloaded(&self) -> usize {
+        self.shared.preloaded
+    }
+
+    /// Serves until a `POST /v1/shutdown` arrives, then drains the job
+    /// queue (still answering polls so in-flight results stay
+    /// reachable), joins the workers, and compacts a fragmented store.
+    ///
+    /// Each connection is handled on its own short-lived thread, so a
+    /// slow or stalled client never blocks the other endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on an unrecoverable listener error. Broken
+    /// individual connections are logged to stderr and survived.
+    pub fn run(self) -> Result<(), String> {
+        for connection in self.listener.incoming() {
+            match connection {
+                Ok(stream) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                        if let Err(e) = handle_connection(&shared, &mut stream) {
+                            // Wake-up pokes connect and close without a
+                            // request; don't log those as errors.
+                            if e.kind() != std::io::ErrorKind::UnexpectedEof {
+                                eprintln!("[serve] connection error: {e}");
+                            }
+                        }
+                    });
+                }
+                Err(e) => return Err(format!("accept failed: {e}")),
+            }
+            if self.shared.drained() {
+                break;
+            }
+        }
+        self.shared.queue_cv.notify_all();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let mut store = self.shared.store.lock().expect("store poisoned");
+        if let Some(store) = store.as_mut() {
+            // Bound fragmentation across restarts: many short runs each
+            // append one segment; fold them once at shutdown.
+            if store.segment_count() > 4 {
+                store
+                    .compact()
+                    .map_err(|e| format!("compaction failed: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let request = match http::read_request(stream) {
+        Ok(r) => r,
+        // An empty connection (liveness probe / acceptor wake-up) has
+        // nobody listening for a response; just propagate quietly.
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(e),
+        Err(e) => {
+            let body = error_body(&format!("bad request: {e}"));
+            return http::write_response(stream, 400, "Bad Request", &body);
+        }
+    };
+    let (status, reason, body) = route(shared, &request);
+    http::write_response(stream, status, reason, &body)
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj([("error", message.into())]).encode()
+}
+
+fn route(shared: &Arc<Shared>, request: &http::Request) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/eval") => submit(shared, &request.body),
+        ("GET", "/v1/stats") => (200, "OK", stats_json(shared).encode()),
+        ("POST", "/v1/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            // Wake the acceptor once the grace window has passed so an
+            // already-drained server exits promptly but pending pollers
+            // still collect their results.
+            shared.poke_acceptor(DRAIN_GRACE);
+            (200, "OK", Json::obj([("ok", true.into())]).encode())
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            match path["/v1/jobs/".len()..].parse::<u64>() {
+                Ok(id) => job_status(shared, id),
+                Err(_) => (400, "Bad Request", error_body("job ids are integers")),
+            }
+        }
+        _ => (
+            404,
+            "Not Found",
+            error_body(&format!("no route for {} {}", request.method, request.path)),
+        ),
+    }
+}
+
+fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, &'static str, String) {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return (
+            503,
+            "Service Unavailable",
+            error_body("server is draining; submissions are closed"),
+        );
+    }
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, "Bad Request", error_body("body is not UTF-8")),
+    };
+    let request = match parse(text).and_then(|v| EvalRequest::decode(&v)) {
+        Ok(r) => r,
+        Err(e) => return (400, "Bad Request", error_body(&e)),
+    };
+    // Reject what a worker could never evaluate while the client is
+    // still connected, instead of parking a doomed job in the queue.
+    if let Err(e) = resolve_backends(&request.models) {
+        return (400, "Bad Request", error_body(&e));
+    }
+    if let TaskSetRef::Suite { families, .. } = &request.tasks {
+        for family in families {
+            if fveval_gen::generator(family).is_none() {
+                return (
+                    400,
+                    "Bad Request",
+                    error_body(&format!("unknown family '{family}'")),
+                );
+            }
+        }
+    }
+    let mut state = shared.state.lock().expect("state poisoned");
+    if state.queue.len() + state.running >= shared.max_jobs {
+        return (
+            429,
+            "Too Many Requests",
+            error_body("job queue is full; retry later"),
+        );
+    }
+    let id = state.next_id;
+    state.next_id += 1;
+    state.jobs.insert(
+        id,
+        Job {
+            request,
+            state: JobState::Queued,
+            result: None,
+            error: None,
+        },
+    );
+    state.queue.push_back(id);
+    drop(state);
+    shared.queue_cv.notify_one();
+    (200, "OK", Json::obj([("job", id.into())]).encode())
+}
+
+fn job_status(shared: &Arc<Shared>, id: u64) -> (u16, &'static str, String) {
+    let state = shared.state.lock().expect("state poisoned");
+    let Some(job) = state.jobs.get(&id) else {
+        return (404, "Not Found", error_body(&format!("no job {id}")));
+    };
+    let view = JobView {
+        id,
+        state: job.state,
+        position: state
+            .queue
+            .iter()
+            .position(|&queued| queued == id)
+            .map(|p| p as u64),
+        result: job.result.clone(),
+        error: job.error.clone(),
+    };
+    (200, "OK", view.encode().encode())
+}
+
+fn stats_json(shared: &Arc<Shared>) -> Json {
+    let cache = shared.engine.cache_stats();
+    let prover = shared.engine.prover_stats();
+    let state = shared.state.lock().expect("state poisoned");
+    let queued = state.queue.len();
+    let running = state.running;
+    let submitted = state.next_id.saturating_sub(1);
+    drop(state);
+    let store = shared.store.lock().expect("store poisoned");
+    let store_json = match store.as_ref() {
+        Some(store) => Json::obj([
+            ("entries", store.len().into()),
+            ("segments", store.segment_count().into()),
+            ("torn_lines", store.torn_lines().into()),
+            ("preloaded", shared.preloaded.into()),
+        ]),
+        None => Json::Null,
+    };
+    drop(store);
+    Json::obj([
+        ("uptime_secs", shared.started.elapsed().as_secs_f64().into()),
+        (
+            "jobs",
+            Json::obj([
+                ("submitted", submitted.into()),
+                ("queued", queued.into()),
+                ("running", running.into()),
+                ("done", shared.jobs_done.load(Ordering::Relaxed).into()),
+                ("failed", shared.jobs_failed.load(Ordering::Relaxed).into()),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hits", cache.hits.into()),
+                ("persisted_hits", cache.persisted_hits.into()),
+                ("misses", cache.misses.into()),
+                ("entries", cache.entries.into()),
+                ("persisted_hit_rate", cache.persisted_hit_rate().into()),
+            ]),
+        ),
+        (
+            "prover",
+            Json::obj([
+                ("queries", prover.queries().into()),
+                ("sat_calls", prover.sat_calls.into()),
+                ("sim_kills", prover.sim_kills.into()),
+                ("ternary_kills", prover.ternary_kills.into()),
+                ("solver_reuse_hits", prover.solver_reuse_hits.into()),
+            ]),
+        ),
+        ("store", store_json),
+    ])
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let claimed = {
+            let mut state = shared.state.lock().expect("state poisoned");
+            loop {
+                if let Some(id) = state.queue.pop_front() {
+                    state.running += 1;
+                    if let Some(job) = state.jobs.get_mut(&id) {
+                        job.state = JobState::Running;
+                    }
+                    break Some(id);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                state = shared
+                    .queue_cv
+                    .wait_timeout(state, Duration::from_millis(200))
+                    .expect("state poisoned")
+                    .0;
+            }
+        };
+        let Some(id) = claimed else {
+            return;
+        };
+        let request = shared
+            .state
+            .lock()
+            .expect("state poisoned")
+            .jobs
+            .get(&id)
+            .map(|j| j.request.clone())
+            .expect("claimed job exists");
+        let outcome = run_job(shared, &request);
+        // Persist what this job settled before reporting it done, so a
+        // client that sees `done` can rely on the verdicts surviving a
+        // kill -9 right after.
+        let fresh = shared.engine.take_unpersisted();
+        if let Some(store) = shared.store.lock().expect("store poisoned").as_mut() {
+            if let Err(e) = store.append(&fresh) {
+                eprintln!("[serve] store flush failed: {e}");
+            }
+        }
+        let mut state = shared.state.lock().expect("state poisoned");
+        state.running -= 1;
+        if let Some(job) = state.jobs.get_mut(&id) {
+            match outcome {
+                Ok(result) => {
+                    job.state = JobState::Done;
+                    job.result = Some(result);
+                    shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(error) => {
+                    job.state = JobState::Failed;
+                    job.error = Some(error);
+                    shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Bound memory: retain only the most recent finished results.
+        state.finished.push_back(id);
+        while state.finished.len() > RETAINED_FINISHED {
+            if let Some(evicted) = state.finished.pop_front() {
+                state.jobs.remove(&evicted);
+            }
+        }
+        drop(state);
+        if shared.drained() {
+            // Last job under shutdown: give pending pollers the grace
+            // window, then let the accept loop exit.
+            shared.poke_acceptor(DRAIN_GRACE);
+        }
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, request: &EvalRequest) -> Result<EvalResult, String> {
+    let tasks = build_tasks(&request.tasks)?;
+    let models = resolve_backends(&request.models)?;
+    let backends: Vec<&dyn Backend> = models.iter().map(|m| m as &dyn Backend).collect();
+    let rows = shared
+        .engine
+        .run_matrix(&backends, &tasks, &request.cfg, request.samples.max(1));
+    Ok(EvalResult {
+        models: models
+            .iter()
+            .map(|m| m.name().to_string())
+            .zip(rows)
+            .collect(),
+    })
+}
+
+/// Materializes a task-set reference into an engine work-list. Public
+/// so the direct-path CLI and the integration tests evaluate *the
+/// same* task list a server would, making byte-identical comparisons
+/// meaningful.
+///
+/// # Errors
+///
+/// Returns a message when generated collateral fails to bind (a
+/// generator bug) or a family name is unknown.
+pub fn build_tasks(tasks: &TaskSetRef) -> Result<Vec<Arc<TaskSpec>>, String> {
+    match tasks {
+        TaskSetRef::Human => {
+            let tables: HashMap<&str, _> = testbenches()
+                .into_iter()
+                .map(|tb| {
+                    let table = signal_table_for(&tb)?;
+                    Ok((tb.name, table))
+                })
+                .collect::<Result<_, String>>()?;
+            Ok(human_task_specs(&human_cases(), &tables))
+        }
+        TaskSetRef::Machine { count, seed } => {
+            let cases = generate_machine_cases(MachineGenConfig {
+                count: *count,
+                seed: *seed,
+                ..Default::default()
+            });
+            Ok(machine_task_specs(&cases, &machine_signal_table()))
+        }
+        TaskSetRef::Suite {
+            families,
+            per_family,
+            seed,
+            depth,
+            width,
+        } => {
+            for family in families {
+                if fveval_gen::generator(family).is_none() {
+                    return Err(format!("unknown family '{family}'"));
+                }
+            }
+            let set = fveval_data::generated_task_set(&SuiteConfig {
+                families: families.clone(),
+                per_family: *per_family,
+                seed: *seed,
+                depth: *depth,
+                width: *width,
+            })?;
+            Ok(generated_task_specs(&set))
+        }
+    }
+}
+
+/// Resolves a model roster by name (empty = the full profile roster).
+///
+/// # Errors
+///
+/// Returns a message naming the first unknown model.
+pub fn resolve_backends(names: &[String]) -> Result<Vec<SimulatedModel>, String> {
+    let roster = profiles();
+    if names.is_empty() {
+        return Ok(roster);
+    }
+    names
+        .iter()
+        .map(|name| {
+            roster
+                .iter()
+                .find(|m| m.name() == name)
+                .cloned()
+                .ok_or_else(|| {
+                    format!(
+                        "unknown model '{name}' (known: {})",
+                        roster
+                            .iter()
+                            .map(|m| m.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+        })
+        .collect()
+}

@@ -1,0 +1,45 @@
+//! Small self-cleaning filesystem helpers for tests and benchmarks.
+//!
+//! The workspace has no `tempfile` dependency (offline builds), so the
+//! serve crate's tests, the workspace integration tests, and the
+//! `serve` bench group share this instead.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `fveval-serve-<label>-<pid>-<n>` under the system temp
+    /// directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn new(label: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "fveval-serve-{label}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the serving substrate: the JSON encoder/decoder
+//! round-trips arbitrary values, and the verdict store round-trips
+//! arbitrary record batches — including recovery from a truncated
+//! (torn) segment tail.
+
+use fveval_core::{SampleEval, VerdictRecord};
+use fveval_serve::json::{parse, Json};
+use fveval_serve::testutil::TempDir;
+use fveval_serve::VerdictStore;
+use proptest::prelude::*;
+
+/// Small deterministic generator so structured values (strings,
+/// vectors, floats) can be derived from plain integer strategies,
+/// which is all the offline proptest shim provides.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn string(&mut self) -> String {
+        let alphabet = [
+            "a", "Z", "0", "_", " ", "\"", "\\", "\n", "\t", "é", "→", "🙂", "\u{1}",
+        ];
+        let len = self.below(8) as usize;
+        (0..len)
+            .map(|_| alphabet[self.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn arbitrary_json(mix: &mut Mix, depth: u32) -> Json {
+    let pick = if depth == 0 {
+        mix.below(5)
+    } else {
+        mix.below(7)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(mix.below(2) == 0),
+        2 => {
+            // Mix of integers, fractions, negatives, and extremes.
+            let base = match mix.below(4) {
+                0 => mix.below(1 << 30) as f64,
+                1 => mix.unit(),
+                2 => -(mix.unit() * 1e17),
+                _ => mix.unit() * 1e-300,
+            };
+            Json::Num(base)
+        }
+        3 | 4 => Json::Str(mix.string()),
+        5 => Json::Arr(
+            (0..mix.below(4))
+                .map(|_| arbitrary_json(mix, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..mix.below(4))
+                .map(|i| {
+                    (
+                        format!("k{i}_{}", mix.string()),
+                        arbitrary_json(mix, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn arbitrary_records(mix: &mut Mix, count: usize) -> Vec<VerdictRecord> {
+    (0..count)
+        .map(|i| VerdictRecord {
+            model: format!("model-{}", mix.below(4)),
+            // Unique per record so batches never collide on key.
+            task_id: format!("task_{i}_{}", mix.string().replace(['\n', '"'], "x")),
+            digest: mix.next(),
+            cfg: format!("t{:016x}_n{}_s{}", mix.next(), mix.below(4), mix.below(9)),
+            sample: mix.below(6) as u32,
+            eval: SampleEval {
+                syntax: mix.below(2) == 0,
+                func: mix.below(2) == 0,
+                partial: mix.below(2) == 0,
+                bleu: mix.unit(),
+            },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_encode_decode_round_trips(seed in 0u64..u64::MAX) {
+        let mut mix = Mix(seed);
+        let value = arbitrary_json(&mut mix, 3);
+        let text = value.encode();
+        let back = parse(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&back, &value, "decode(encode(v)) == v for {}", text);
+        // Encoding is a fixpoint: encode(decode(encode(v))) == encode(v).
+        prop_assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn store_round_trips_arbitrary_batches(seed in 0u64..u64::MAX, n in 1usize..40) {
+        let mut mix = Mix(seed);
+        let records = arbitrary_records(&mut mix, n);
+        let tmp = TempDir::new("prop-roundtrip");
+        let mut store = VerdictStore::open(tmp.path()).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        // Split into up to three batches (segments).
+        let cut_a = (mix.below(n as u64 + 1)) as usize;
+        let cut_b = cut_a + (mix.below((n - cut_a) as u64 + 1)) as usize;
+        for batch in [&records[..cut_a], &records[cut_a..cut_b], &records[cut_b..]] {
+            store.append(batch).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        }
+        let reopened = VerdictStore::open(tmp.path()).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(reopened.torn_lines(), 0);
+        prop_assert_eq!(reopened.records(), store.records());
+        // BLEU survives bit-exactly through text and back.
+        let by_task = |rs: &[VerdictRecord]| -> Vec<(String, u64)> {
+            let mut v: Vec<(String, u64)> = rs
+                .iter()
+                .map(|r| (format!("{}/{}/{}", r.task_id, r.sample, r.cfg), r.eval.bleu.to_bits()))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(by_task(&reopened.records()), by_task(&records));
+        // Compaction preserves exactly the live set.
+        let mut compacted = reopened;
+        compacted.compact().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(compacted.segment_count(), 1);
+        prop_assert_eq!(compacted.records(), store.records());
+    }
+
+    #[test]
+    fn store_recovers_from_truncated_tail(seed in 0u64..u64::MAX, n in 2usize..20) {
+        let mut mix = Mix(seed);
+        let records = arbitrary_records(&mut mix, n);
+        let tmp = TempDir::new("prop-torn");
+        let mut store = VerdictStore::open(tmp.path()).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        store.append(&records).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        // Tear the single segment somewhere inside its final line.
+        let segment = std::fs::read_dir(tmp.path())
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .expect("one segment exists");
+        let text = std::fs::read_to_string(&segment).unwrap();
+        let without_nl = &text[..text.len() - 1];
+        let last_line_start = without_nl.rfind('\n').map_or(0, |p| p + 1);
+        // Cut strictly inside the final line's JSON object (before its
+        // closing brace) so that line cannot decode — even when the cut
+        // lands mid-UTF-8-sequence.
+        let content_len = (text.len() - 1 - last_line_start) as u64;
+        let cut = last_line_start + 1 + mix.below(content_len - 1) as usize;
+        std::fs::write(&segment, &text.as_bytes()[..cut]).unwrap();
+        let recovered = VerdictStore::open(tmp.path()).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(recovered.torn_lines(), 1, "exactly the torn tail is skipped");
+        prop_assert_eq!(recovered.len(), n - 1, "every intact line survives");
+        // The surviving records are a prefix of the original batch.
+        let expected: Vec<VerdictRecord> = {
+            let mut keep = records[..n - 1].to_vec();
+            keep.sort_by_key(|r| (r.model.clone(), r.task_id.clone(), r.digest, r.cfg.clone(), r.sample));
+            keep
+        };
+        prop_assert_eq!(recovered.records(), expected);
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end service tests: concurrent clients against a live server
+//! are answered byte-identically to a direct `EvalEngine` run, and a
+//! killed + restarted server re-serves warm work entirely from the
+//! persistent verdict store with zero prover calls.
+
+use fveval_core::{CaseEvals, EvalEngine};
+use fveval_llm::{Backend, InferenceConfig};
+use fveval_serve::testutil::TempDir;
+use fveval_serve::{
+    build_tasks, resolve_backends, Client, EvalRequest, Server, ServerConfig, TaskSetRef,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn start(cache_dir: Option<PathBuf>) -> (Client, std::thread::JoinHandle<Result<(), String>>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        max_jobs: 16,
+        engine_jobs: 2,
+        cache_dir,
+    })
+    .expect("server binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (Client::new(addr), handle)
+}
+
+fn suite_request() -> EvalRequest {
+    EvalRequest {
+        tasks: TaskSetRef::Suite {
+            families: vec!["fifo".to_string(), "gray".to_string()],
+            per_family: 1,
+            seed: 11,
+            depth: None,
+            width: None,
+        },
+        models: vec!["gpt-4o".to_string(), "llama-3.1-70b".to_string()],
+        cfg: InferenceConfig::greedy(),
+        samples: 2,
+    }
+}
+
+/// What a direct (no server) engine run produces for a request.
+fn direct_rows(request: &EvalRequest) -> Vec<(String, Vec<CaseEvals>)> {
+    let tasks = build_tasks(&request.tasks).expect("tasks build");
+    let models = resolve_backends(&request.models).expect("models resolve");
+    let backends: Vec<&dyn Backend> = models.iter().map(|m| m as &dyn Backend).collect();
+    let rows =
+        EvalEngine::with_jobs(2).run_matrix(&backends, &tasks, &request.cfg, request.samples);
+    models
+        .iter()
+        .map(|m| m.name().to_string())
+        .zip(rows)
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_direct_engine_results() {
+    let (client, server) = start(None);
+    let suite = suite_request();
+    let machine = EvalRequest {
+        tasks: TaskSetRef::Machine { count: 8, seed: 5 },
+        models: vec!["gpt-4o".to_string()],
+        cfg: InferenceConfig::sampling().with_shots(3),
+        samples: 3,
+    };
+    // Three clients race: two submit the same suite eval, one submits
+    // a different machine eval, all poll concurrently.
+    let requests = [suite.clone(), suite.clone(), machine.clone()];
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| {
+                let client = client.clone();
+                scope.spawn(move || {
+                    let id = client.submit(&request.clone())?;
+                    let view = client.wait(id, WAIT)?;
+                    view.result.ok_or_else(|| "done without result".to_string())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    client.shutdown().expect("shutdown accepted");
+    server.join().unwrap().expect("clean server exit");
+
+    let suite_expected = direct_rows(&suite);
+    let machine_expected = direct_rows(&machine);
+    for (i, result) in results.iter().enumerate() {
+        let result = result.as_ref().expect("job succeeded");
+        let expected = if i < 2 {
+            &suite_expected
+        } else {
+            &machine_expected
+        };
+        assert_eq!(&result.models, expected, "client {i} matches a direct run");
+    }
+}
+
+#[test]
+fn restart_serves_warm_work_from_store_with_zero_prover_calls() {
+    let tmp = TempDir::new("restart");
+    let request = suite_request();
+
+    // Cold server: compute, persist, stop.
+    let (client, server) = start(Some(tmp.path().to_path_buf()));
+    let id = client.submit(&request).expect("submit");
+    let cold = client.wait(id, WAIT).expect("cold job").result.unwrap();
+    let stats = client.stats().expect("stats");
+    let prover_queries = stats
+        .get("prover")
+        .and_then(|p| p.get("queries"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(prover_queries > 0, "cold run reaches the prover");
+    assert_eq!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("persisted_hits"))
+            .and_then(|v| v.as_u64()),
+        Some(0),
+        "nothing was persisted before the cold run"
+    );
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("clean exit");
+
+    // Warm server on the same store: identical verdicts, all lookups
+    // answered from persisted entries, zero prover calls.
+    let (client, server) = start(Some(tmp.path().to_path_buf()));
+    let id = client.submit(&request).expect("warm submit");
+    let warm = client.wait(id, WAIT).expect("warm job").result.unwrap();
+    assert_eq!(warm, cold, "restart changes nothing");
+    let stats = client.stats().expect("warm stats");
+    let cache = stats.get("cache").unwrap();
+    let rate = cache
+        .get("persisted_hit_rate")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(rate >= 0.9, "warm run is served from the store ({rate})");
+    assert_eq!(
+        cache.get("misses").and_then(|v| v.as_u64()),
+        Some(0),
+        "nothing is recomputed"
+    );
+    assert_eq!(
+        stats
+            .get("prover")
+            .and_then(|p| p.get("queries"))
+            .and_then(|v| v.as_u64()),
+        Some(0),
+        "zero SAT/sim/ternary work on the warm path"
+    );
+    let store = stats.get("store").unwrap();
+    assert!(store.get("preloaded").and_then(|v| v.as_u64()).unwrap() > 0);
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs_and_their_results_stay_reachable() {
+    let (client, server) = start(None);
+    let id = client.submit(&suite_request()).expect("submit");
+    // Stop while the job is still in flight.
+    client.shutdown().expect("shutdown accepted");
+    // New submissions are rejected during the drain…
+    let err = client.submit(&suite_request()).unwrap_err();
+    assert!(
+        err.contains("503") || err.contains("draining"),
+        "drain rejects new work: {err}"
+    );
+    // …but polls keep being served until the queue empties, so the
+    // in-flight job's result is still collectable.
+    let view = client.wait(id, WAIT).expect("drained job completes");
+    assert!(view.result.is_some());
+    server.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn bad_requests_are_rejected_and_jobs_are_addressable() {
+    let (client, server) = start(None);
+    // Unknown model and unknown family are rejected at submit time.
+    let mut bad_model = suite_request();
+    bad_model.models = vec!["gpt-17".to_string()];
+    let err = client.submit(&bad_model).unwrap_err();
+    assert!(err.contains("unknown model"), "{err}");
+    let bad_family = EvalRequest {
+        tasks: TaskSetRef::Suite {
+            families: vec!["nonexistent".to_string()],
+            per_family: 1,
+            seed: 1,
+            depth: None,
+            width: None,
+        },
+        ..suite_request()
+    };
+    let err = client.submit(&bad_family).unwrap_err();
+    assert!(err.contains("unknown family"), "{err}");
+    // Unknown job ids are a 404, not a hang.
+    let err = client.job(123456).unwrap_err();
+    assert!(err.contains("404"), "{err}");
+    // A tiny real job still runs to completion on the same server.
+    let small = EvalRequest {
+        tasks: TaskSetRef::Machine { count: 2, seed: 1 },
+        models: vec!["gpt-4o".to_string()],
+        cfg: InferenceConfig::greedy(),
+        samples: 1,
+    };
+    let id = client.submit(&small).expect("submit");
+    let view = client.wait(id, WAIT).expect("completes");
+    assert_eq!(view.result.unwrap().models[0].1.len(), 2);
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("clean exit");
+}
