@@ -57,7 +57,7 @@ fn bench_induction_depth(c: &mut Criterion) {
         guard_depth: 2,
         seed: 51,
     });
-    let bound = fveval_core::bind_design(&case).unwrap();
+    let bound = fveval_core::compile_design(&case).unwrap();
     for k in [2u32, 4, 8] {
         let runner = fveval_core::Design2svaRunner::new().with_prove_config(fv_core::ProveConfig {
             max_bmc: 12,

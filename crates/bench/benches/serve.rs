@@ -105,6 +105,7 @@ fn bench_round_trip(c: &mut Criterion) {
         max_jobs: 16,
         engine_jobs: 1,
         cache_dir: None,
+        ..ServerConfig::default()
     })
     .expect("server binds");
     let addr = server.local_addr().to_string();

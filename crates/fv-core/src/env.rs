@@ -27,12 +27,22 @@ pub trait TraceEnv {
 /// Free-trace environment: every `(signal, cycle)` pair is a fresh
 /// vector of AIG inputs. This is the assertion-equivalence setting —
 /// testbench signals are unconstrained.
+///
+/// When shared across an [`crate::EquivSession`]'s candidates, the
+/// environment additionally tracks which slots the *current* check
+/// read ([`FreeTraceEnv::reset_touched`]), so counterexample traces
+/// report only the signals that check depends on — matching what a
+/// fresh single-check environment would contain.
 #[derive(Debug)]
 pub struct FreeTraceEnv<'a> {
     table: &'a SignalTable,
-    slots: HashMap<(String, i32), BitVec>,
+    /// `(signal, cycle)` to `(bits, index into the log)`.
+    slots: HashMap<(String, i32), (BitVec, usize)>,
     /// Allocation log for counterexample decoding.
     log: Vec<(String, i32, BitVec)>,
+    /// Per-log-entry flag: read since the last
+    /// [`FreeTraceEnv::reset_touched`].
+    touched: Vec<bool>,
 }
 
 impl<'a> FreeTraceEnv<'a> {
@@ -42,6 +52,7 @@ impl<'a> FreeTraceEnv<'a> {
             table,
             slots: HashMap::new(),
             log: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
@@ -49,11 +60,48 @@ impl<'a> FreeTraceEnv<'a> {
     pub fn log(&self) -> &[(String, i32, BitVec)] {
         &self.log
     }
+
+    /// Clears the per-check touched marks; subsequent reads mark their
+    /// slots again. A session calls this before each candidate.
+    pub fn reset_touched(&mut self) {
+        self.touched.iter_mut().for_each(|t| *t = false);
+    }
+
+    /// The log entries read since the last
+    /// [`FreeTraceEnv::reset_touched`] — the slots the current check's
+    /// monitors actually depend on.
+    pub fn touched_log(&self) -> impl Iterator<Item = &(String, i32, BitVec)> {
+        self.log
+            .iter()
+            .zip(&self.touched)
+            .filter_map(|(entry, &touched)| touched.then_some(entry))
+    }
+
+    /// Log indices currently marked touched. A session snapshots these
+    /// after compiling a reference so a later cache hit can restore
+    /// them via [`FreeTraceEnv::mark_touched`].
+    pub fn touched_indices(&self) -> Vec<usize> {
+        self.touched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| t.then_some(i))
+            .collect()
+    }
+
+    /// Re-marks previously snapshotted slots as touched (a cached
+    /// encoding performs no reads, but its trace slots are still part
+    /// of any counterexample built on it).
+    pub fn mark_touched(&mut self, indices: &[usize]) {
+        for &i in indices {
+            self.touched[i] = true;
+        }
+    }
 }
 
 impl TraceEnv for FreeTraceEnv<'_> {
     fn read(&mut self, g: &mut Aig, name: &str, cycle: i32) -> Result<BitVec, EncodeError> {
-        if let Some(bv) = self.slots.get(&(name.to_string(), cycle)) {
+        if let Some((bv, idx)) = self.slots.get(&(name.to_string(), cycle)) {
+            self.touched[*idx] = true;
             return Ok(bv.clone());
         }
         let width = self
@@ -61,8 +109,10 @@ impl TraceEnv for FreeTraceEnv<'_> {
             .width(name)
             .ok_or_else(|| EncodeError::UnknownSignal(name.to_string()))?;
         let bv = BitVec::input(g, width as usize);
-        self.slots.insert((name.to_string(), cycle), bv.clone());
+        self.slots
+            .insert((name.to_string(), cycle), (bv.clone(), self.log.len()));
         self.log.push((name.to_string(), cycle, bv.clone()));
+        self.touched.push(true);
         Ok(bv)
     }
 
@@ -72,9 +122,11 @@ impl TraceEnv for FreeTraceEnv<'_> {
 }
 
 /// Design-trace environment: signals resolve against unrolled time
-/// frames of an elaborated netlist. Used by the Design2SVA prover.
+/// frames of an elaborated netlist. Used by the Design2SVA prover; a
+/// [`crate::ProofSession`] keeps one alive per design so the frames
+/// amortize across every candidate assertion.
 pub struct DesignTraceEnv<'a> {
-    expander: &'a FrameExpander<'a>,
+    expander: FrameExpander<'a>,
     frames: Vec<FrameValues>,
     /// Extra constant bindings (testbench parameters such as `S0`).
     consts: HashMap<String, (u32, u128)>,
@@ -84,6 +136,12 @@ pub struct DesignTraceEnv<'a> {
     free_initial: bool,
     /// Input allocation log per frame, for counterexample decoding.
     input_log: Vec<(String, u32, BitVec)>,
+    /// Frames read since the last
+    /// [`DesignTraceEnv::reset_touched_frames`] (count, i.e. highest
+    /// frame index read + 1). Lets a session report how much of the
+    /// shared unrolling each candidate actually revisited, and trim its
+    /// counterexamples to the frames that candidate uses.
+    touched_frames: u32,
     /// Frame-0 register bits allocated in free-initial mode, paired
     /// with the reset value each bit would have: `(bit, init)`. BMC on
     /// a shared free-state unrolling pins these through a solver
@@ -92,8 +150,12 @@ pub struct DesignTraceEnv<'a> {
 }
 
 impl<'a> DesignTraceEnv<'a> {
-    /// Creates an environment over `expander`'s netlist.
-    pub fn new(expander: &'a FrameExpander<'a>) -> DesignTraceEnv<'a> {
+    /// Creates an environment over `expander`'s netlist, taking
+    /// ownership of the expander (its topological order is computed
+    /// once per design and reused for every frame).
+    pub fn new(expander: FrameExpander<'a>) -> DesignTraceEnv<'a> {
+        // Standard formal setup: reset deasserted throughout.
+        let reset = expander.netlist().reset_name.clone();
         let mut env = DesignTraceEnv {
             expander,
             frames: Vec::new(),
@@ -101,10 +163,10 @@ impl<'a> DesignTraceEnv<'a> {
             forced: HashMap::new(),
             free_initial: false,
             input_log: Vec::new(),
+            touched_frames: 0,
             initial_bits: Vec::new(),
         };
-        // Standard formal setup: reset deasserted throughout.
-        if let Some(rst) = expander.netlist().reset_name.clone() {
+        if let Some(rst) = reset {
             env.forced.insert(rst, u128::MAX);
         }
         env
@@ -171,6 +233,19 @@ impl<'a> DesignTraceEnv<'a> {
         &self.input_log
     }
 
+    /// Clears the per-check frame high-water mark; subsequent reads
+    /// raise it again. A session calls this before each candidate.
+    pub fn reset_touched_frames(&mut self) {
+        self.touched_frames = 0;
+    }
+
+    /// Frames read since the last
+    /// [`DesignTraceEnv::reset_touched_frames`] (highest frame index
+    /// read + 1; `0` if none).
+    pub fn touched_frames(&self) -> u32 {
+        self.touched_frames
+    }
+
     /// Frame-0 register bits allocated in free-initial mode, paired
     /// with each bit's reset value. Empty until frame 0 exists (and in
     /// reset-constant mode, always).
@@ -186,6 +261,7 @@ impl TraceEnv for DesignTraceEnv<'_> {
         }
         // Pre-history clamps to the reset state (documented).
         let cycle = cycle.max(0) as u32;
+        self.touched_frames = self.touched_frames.max(cycle + 1);
         let binding = self
             .expander
             .netlist()

@@ -156,136 +156,270 @@ pub fn check_equivalence(
     table: &SignalTable,
     cfg: EquivConfig,
 ) -> Result<EquivOutcome, EncodeError> {
-    // Different clocking events cannot be reconciled by the bounded
-    // single-clock encoding; treat as inequivalent outright.
-    if reference.clock != candidate.clock {
-        return Ok(EquivOutcome {
-            verdict: Equivalence::Inequivalent,
-            horizon: 0,
-            cex: None,
-            stats: ProverStats::default(),
-        });
-    }
-    let horizon = horizon_for(reference, Some(candidate), cfg.slack);
-    if horizon > cfg.max_horizon {
-        return Err(EncodeError::HorizonExceeded {
-            needed: horizon,
-            max: cfg.max_horizon,
-        });
-    }
-    let mut g = Aig::new();
-    let mut env = FreeTraceEnv::new(table);
-    let ref_holds = encode_assertion(&mut g, reference, horizon, &mut env)?;
-    let cand_holds = encode_assertion(&mut g, candidate, horizon, &mut env)?;
-
-    // The two difference cones, built on the shared strashed graph.
-    let d_rc = g.and(ref_holds, !cand_holds); // SAT ⇒ ref does NOT imply cand
-    let d_cr = g.and(cand_holds, !ref_holds); // SAT ⇒ cand does NOT imply ref
-
-    let mut stats = ProverStats::default();
-    let mut rc: Option<DirVerdict> = None;
-    let mut cr: Option<DirVerdict> = None;
-
-    // Layer 1: structural hashing + constant folding. Equal encodings
-    // collapse to the same literal and both differences fold to FALSE.
-    if d_rc == AigLit::FALSE {
-        stats.ternary_kills += 1;
-        rc = Some(DirVerdict::Unsat);
-    }
-    if d_cr == AigLit::FALSE {
-        stats.ternary_kills += 1;
-        cr = Some(DirVerdict::Unsat);
-    }
-
-    // Layer 2: random simulation. A non-zero word is a concrete
-    // distinguishing trace — the direction is SAT with no solver.
-    // (The free-trace encoding is purely combinational; a latch node
-    // would make randomized latch slots a fabricated witness.)
-    debug_assert_eq!(
-        g.num_latches(),
-        0,
-        "simulation witnesses assume a latch-free monitor encoding"
-    );
-    let mut rng: u64 = 0x5EED_0F0E_D1FF ^ u64::from(horizon);
-    for _ in 0..SIM_ROUNDS {
-        if rc.is_some() && cr.is_some() {
-            break;
-        }
-        let mut sim = BitSim::new();
-        sim.extend(&g, &mut |_| splitmix64(&mut rng));
-        if rc.is_none() {
-            let w = sim.lit(d_rc);
-            if w != 0 {
-                stats.sim_kills += 1;
-                rc = Some(DirVerdict::Sat(sim_cex(&env, &sim, w.trailing_zeros())));
-            }
-        }
-        if cr.is_none() {
-            let w = sim.lit(d_cr);
-            if w != 0 {
-                stats.sim_kills += 1;
-                cr = Some(DirVerdict::Sat(sim_cex(&env, &sim, w.trailing_zeros())));
-            }
-        }
-    }
-
-    // Layer 3: SAT, one shared solver for whatever remains. The second
-    // query reuses the first query's learned clauses and activities.
-    if rc.is_none() || cr.is_none() {
-        let mut solver = Solver::new();
-        let mut em = CnfEmitter::new();
-        let lr = em.emit(&g, ref_holds, &mut solver);
-        let lc = em.emit(&g, cand_holds, &mut solver);
-        let mut solver_used = false;
-        for (slot, assumptions, diff) in [(&mut rc, [lr, !lc], d_rc), (&mut cr, [lc, !lr], d_cr)] {
-            if slot.is_some() {
-                continue;
-            }
-            stats.sat_calls += 1;
-            if solver_used {
-                stats.solver_reuse_hits += 1;
-            }
-            solver_used = true;
-            *slot = Some(if solver.solve_with(&assumptions).is_sat() {
-                let cex = sat_cex(&env, &em, &solver);
-                debug_assert!(
-                    replay_trace_cex(&g, &env, &cex, diff),
-                    "SAT model must replay to a real distinguishing trace"
-                );
-                DirVerdict::Sat(cex)
-            } else {
-                DirVerdict::Unsat
-            });
-        }
-    }
-
-    let (rc, cr) = (
-        rc.expect("direction decided"),
-        cr.expect("direction decided"),
-    );
-    let verdict = match (&rc, &cr) {
-        (DirVerdict::Unsat, DirVerdict::Unsat) => Equivalence::Equivalent,
-        // UNSAT(ref ∧ ¬cand) proves ref ⇒ cand.
-        (DirVerdict::Unsat, DirVerdict::Sat(_)) => Equivalence::RefImpliesCand,
-        (DirVerdict::Sat(_), DirVerdict::Unsat) => Equivalence::CandImpliesRef,
-        (DirVerdict::Sat(_), DirVerdict::Sat(_)) => Equivalence::Inequivalent,
-    };
-    let cex = match (rc, cr) {
-        (DirVerdict::Sat(c), _) | (DirVerdict::Unsat, DirVerdict::Sat(c)) => Some(c),
-        _ => None,
-    };
-    Ok(EquivOutcome {
-        verdict,
-        horizon,
-        cex,
-        stats,
-    })
+    EquivSession::open(reference.clone(), table, cfg).check(candidate)
 }
 
+/// A long-lived equivalence context for one reference assertion: the
+/// reference is compiled *once* onto a shared symbolic trace, and a
+/// stream of candidate assertions is checked against it on the same
+/// structurally-hashed graph, simulators, and SAT solver.
+///
+/// This is the NL2SVA counterpart of [`crate::ProofSession`]: when many
+/// samples and models answer the same case, the reference encoding,
+/// the trace slots it allocated, and the solver's learned clauses all
+/// amortize across every candidate. Identical candidate texts (greedy
+/// decoding across models often repeats them) strash to the same
+/// literal, so their difference cones fold to constant false with zero
+/// solver work.
+///
+/// Because the monitor horizon depends on the candidate, reference
+/// encodings are cached *per horizon*; serving a cached one counts as a
+/// [`ProverStats::unroll_reuse_hits`]. Verdicts are path-independent:
+/// a session returns the same [`Equivalence`] for a candidate as a
+/// fresh [`check_equivalence`] call.
+///
+/// # Examples
+///
+/// ```
+/// use fv_core::{EquivConfig, EquivSession, Equivalence, SignalTable};
+/// use sv_parser::parse_assertion_str;
+///
+/// let table: SignalTable = [("a", 1u32), ("b", 1)].into_iter().collect();
+/// let r = parse_assertion_str("assert property (@(posedge clk) a |-> ##1 b);").unwrap();
+/// let mut session = EquivSession::open(r, &table, EquivConfig::default());
+/// let c = parse_assertion_str("assert property (@(posedge clk) a |=> b);").unwrap();
+/// assert_eq!(
+///     session.check(&c).unwrap().verdict,
+///     Equivalence::Equivalent
+/// );
+/// let stats = session.stats();
+/// assert_eq!((stats.sessions_opened, stats.session_checks), (1, 1));
+/// ```
+pub struct EquivSession<'a> {
+    reference: Assertion,
+    cfg: EquivConfig,
+    g: Aig,
+    env: FreeTraceEnv<'a>,
+    /// Reference encodings by horizon (candidates set the horizon),
+    /// each with the trace slots the encoding read — restored as
+    /// "touched" on a cache hit so counterexamples still carry the
+    /// reference's signals.
+    ref_holds: std::collections::HashMap<u32, (AigLit, Vec<usize>)>,
+    solver: Solver,
+    em: CnfEmitter,
+    solver_used: bool,
+    /// `SIM_ROUNDS` persistent 64-way simulators, each with its own
+    /// stream state; they extend lazily over nodes new since their
+    /// last use.
+    sims: Vec<(BitSim, u64)>,
+    /// Cumulative counters (seeded with `sessions_opened = 1`).
+    stats: ProverStats,
+}
+
+impl<'a> EquivSession<'a> {
+    /// Opens an equivalence context for `reference` over the signal
+    /// scope `table`. The reference is *not* validated here — its first
+    /// encoding happens on the first [`EquivSession::check`], so an
+    /// unknown signal in the reference surfaces there, exactly as in
+    /// [`check_equivalence`].
+    pub fn open(
+        reference: Assertion,
+        table: &'a SignalTable,
+        cfg: EquivConfig,
+    ) -> EquivSession<'a> {
+        let mut seed = 0x5EED_0F0E_D1FF_u64;
+        let sims = (0..SIM_ROUNDS)
+            .map(|_| (BitSim::new(), splitmix64(&mut seed)))
+            .collect();
+        EquivSession {
+            reference,
+            cfg,
+            g: Aig::new(),
+            env: FreeTraceEnv::new(table),
+            ref_holds: std::collections::HashMap::new(),
+            solver: Solver::new(),
+            em: CnfEmitter::new(),
+            solver_used: false,
+            sims,
+            // `sessions_opened` is charged to the first check.
+            stats: ProverStats::default(),
+        }
+    }
+
+    /// The reference assertion this session checks candidates against.
+    pub fn reference(&self) -> &Assertion {
+        &self.reference
+    }
+
+    /// Cumulative counters over the session's lifetime. A session that
+    /// checked at least one candidate reports `sessions_opened = 1`
+    /// (the open is charged to the first check, so aggregating
+    /// per-check deltas yields the same totals).
+    pub fn stats(&self) -> ProverStats {
+        self.stats
+    }
+
+    /// Checks one candidate against the reference on the shared trace.
+    /// The outcome's [`EquivOutcome::stats`] holds the counter *delta*
+    /// this check added (the first check's delta carries the session's
+    /// `sessions_opened`).
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] as for [`check_equivalence`]; the session stays
+    /// usable for further candidates.
+    pub fn check(&mut self, candidate: &Assertion) -> Result<EquivOutcome, EncodeError> {
+        let before = self.stats;
+        // The open is charged to the first check so that summing
+        // per-check deltas reproduces the cumulative counters.
+        self.stats.sessions_opened = 1;
+        self.stats.session_checks += 1;
+        // Different clocking events cannot be reconciled by the bounded
+        // single-clock encoding; treat as inequivalent outright.
+        if self.reference.clock != candidate.clock {
+            return Ok(EquivOutcome {
+                verdict: Equivalence::Inequivalent,
+                horizon: 0,
+                cex: None,
+                stats: self.stats.delta_since(&before),
+            });
+        }
+        let horizon = horizon_for(&self.reference, Some(candidate), self.cfg.slack);
+        if horizon > self.cfg.max_horizon {
+            return Err(EncodeError::HorizonExceeded {
+                needed: horizon,
+                max: self.cfg.max_horizon,
+            });
+        }
+        self.env.reset_touched();
+        let ref_holds = match self.ref_holds.get(&horizon) {
+            Some((h, slots)) => {
+                // The reference monitor at this horizon is already on
+                // the graph: compile-once pays off. Its trace slots
+                // still belong to this check's counterexamples.
+                self.stats.unroll_reuse_hits += 1;
+                self.env.mark_touched(slots);
+                *h
+            }
+            None => {
+                let h = encode_assertion(&mut self.g, &self.reference, horizon, &mut self.env)?;
+                self.ref_holds
+                    .insert(horizon, (h, self.env.touched_indices()));
+                h
+            }
+        };
+        let cand_holds = encode_assertion(&mut self.g, candidate, horizon, &mut self.env)?;
+
+        // The two difference cones, built on the shared strashed graph.
+        let d_rc = self.g.and(ref_holds, !cand_holds); // SAT ⇒ ref does NOT imply cand
+        let d_cr = self.g.and(cand_holds, !ref_holds); // SAT ⇒ cand does NOT imply ref
+
+        let mut rc: Option<DirVerdict> = None;
+        let mut cr: Option<DirVerdict> = None;
+
+        // Layer 1: structural hashing + constant folding. Equal
+        // encodings collapse to the same literal and both differences
+        // fold to FALSE.
+        if d_rc == AigLit::FALSE {
+            self.stats.ternary_kills += 1;
+            rc = Some(DirVerdict::Unsat);
+        }
+        if d_cr == AigLit::FALSE {
+            self.stats.ternary_kills += 1;
+            cr = Some(DirVerdict::Unsat);
+        }
+
+        // Layer 2: random simulation. A non-zero word is a concrete
+        // distinguishing trace — the direction is SAT with no solver.
+        // (The free-trace encoding is purely combinational; a latch
+        // node would make randomized latch slots a fabricated witness.)
+        debug_assert_eq!(
+            self.g.num_latches(),
+            0,
+            "simulation witnesses assume a latch-free monitor encoding"
+        );
+        for (sim, rng) in &mut self.sims {
+            if rc.is_some() && cr.is_some() {
+                break;
+            }
+            sim.extend(&self.g, &mut |_| splitmix64(rng));
+            if rc.is_none() {
+                let w = sim.lit(d_rc);
+                if w != 0 {
+                    self.stats.sim_kills += 1;
+                    rc = Some(DirVerdict::Sat(sim_cex(&self.env, sim, w.trailing_zeros())));
+                }
+            }
+            if cr.is_none() {
+                let w = sim.lit(d_cr);
+                if w != 0 {
+                    self.stats.sim_kills += 1;
+                    cr = Some(DirVerdict::Sat(sim_cex(&self.env, sim, w.trailing_zeros())));
+                }
+            }
+        }
+
+        // Layer 3: SAT, one shared solver for whatever remains across
+        // the whole session. Later candidates reuse everything earlier
+        // queries taught the solver.
+        if rc.is_none() || cr.is_none() {
+            let lr = self.em.emit(&self.g, ref_holds, &mut self.solver);
+            let lc = self.em.emit(&self.g, cand_holds, &mut self.solver);
+            for (slot, assumptions, diff) in
+                [(&mut rc, [lr, !lc], d_rc), (&mut cr, [lc, !lr], d_cr)]
+            {
+                if slot.is_some() {
+                    continue;
+                }
+                self.stats.sat_calls += 1;
+                if self.solver_used {
+                    self.stats.solver_reuse_hits += 1;
+                }
+                self.solver_used = true;
+                *slot = Some(if self.solver.solve_with(&assumptions).is_sat() {
+                    let cex = sat_cex(&self.env, &self.em, &self.solver);
+                    debug_assert!(
+                        replay_trace_cex(&self.g, &self.env, &cex, diff),
+                        "SAT model must replay to a real distinguishing trace"
+                    );
+                    DirVerdict::Sat(cex)
+                } else {
+                    DirVerdict::Unsat
+                });
+            }
+        }
+
+        let (rc, cr) = (
+            rc.expect("direction decided"),
+            cr.expect("direction decided"),
+        );
+        let verdict = match (&rc, &cr) {
+            (DirVerdict::Unsat, DirVerdict::Unsat) => Equivalence::Equivalent,
+            // UNSAT(ref ∧ ¬cand) proves ref ⇒ cand.
+            (DirVerdict::Unsat, DirVerdict::Sat(_)) => Equivalence::RefImpliesCand,
+            (DirVerdict::Sat(_), DirVerdict::Unsat) => Equivalence::CandImpliesRef,
+            (DirVerdict::Sat(_), DirVerdict::Sat(_)) => Equivalence::Inequivalent,
+        };
+        let cex = match (rc, cr) {
+            (DirVerdict::Sat(c), _) | (DirVerdict::Unsat, DirVerdict::Sat(c)) => Some(c),
+            _ => None,
+        };
+        Ok(EquivOutcome {
+            verdict,
+            horizon,
+            cex,
+            stats: self.stats.delta_since(&before),
+        })
+    }
+}
+
+/// Trace slots of the *current* check — on a shared session this trims
+/// a counterexample to the signals the reference + candidate pair
+/// actually reads (a fresh single-check environment has no others).
 fn log_entries<'e>(
     env: &'e FreeTraceEnv<'_>,
 ) -> impl Iterator<Item = (&'e str, i32, &'e fv_aig::BitVec)> + 'e {
-    env.log().iter().map(|(n, c, bv)| (n.as_str(), *c, bv))
+    env.touched_log().map(|(n, c, bv)| (n.as_str(), *c, bv))
 }
 
 /// Decodes one simulation pattern (bit position `pattern`) into a trace.
@@ -310,7 +444,7 @@ fn sat_cex(env: &FreeTraceEnv, em: &CnfEmitter, solver: &Solver) -> TraceCex {
 /// SAT-model decoding.
 fn replay_trace_cex(g: &Aig, env: &FreeTraceEnv, cex: &TraceCex, diff: AigLit) -> bool {
     let mut inputs = vec![false; g.num_inputs()];
-    for (name, cycle, bv) in env.log() {
+    for (name, cycle, bv) in env.touched_log() {
         let Some(v) = cex
             .values
             .iter()
@@ -538,6 +672,79 @@ mod tests {
         let c = "assert property (@(posedge clk) a |-> (b && c));";
         assert_eq!(check(r, c), Equivalence::CandImpliesRef);
         assert_eq!(check(c, r), Equivalence::RefImpliesCand);
+    }
+
+    #[test]
+    fn session_stream_matches_fresh_checks() {
+        // One reference, many candidates: the session must return the
+        // same verdict as a fresh check_equivalence per candidate.
+        let reference =
+            parse_assertion_str("assert property (@(posedge clk) a |-> ##1 b);").unwrap();
+        let candidates = [
+            "assert property (@(posedge clk) a |=> b);",
+            "assert property (@(posedge clk) a |-> ##2 b);",
+            "assert property (@(posedge clk) a |-> (b && c));",
+            "assert property (@(posedge clk) c);",
+            "assert property (@(posedge clk) a |-> ##1 b);",
+        ];
+        let t = table();
+        let mut session = EquivSession::open(reference.clone(), &t, EquivConfig::default());
+        for src in candidates {
+            let c = parse_assertion_str(src).unwrap();
+            let fresh = check_equivalence(&reference, &c, &t, EquivConfig::default()).unwrap();
+            let via = session.check(&c).unwrap();
+            assert_eq!(fresh.verdict, via.verdict, "{src}");
+            assert_eq!(fresh.horizon, via.horizon, "{src}");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.session_checks, candidates.len() as u64);
+    }
+
+    #[test]
+    fn session_reuses_reference_encoding_per_horizon() {
+        let reference =
+            parse_assertion_str("assert property (@(posedge clk) a |-> ##1 b);").unwrap();
+        let t = table();
+        let mut session = EquivSession::open(reference, &t, EquivConfig::default());
+        // Three same-depth candidates share one horizon: the reference
+        // compiles once and is served from cache twice.
+        for src in [
+            "assert property (@(posedge clk) a |=> b);",
+            "assert property (@(posedge clk) a |-> ##1 c);",
+            "assert property (@(posedge clk) b |-> ##1 a);",
+        ] {
+            let c = parse_assertion_str(src).unwrap();
+            session.check(&c).unwrap();
+        }
+        let stats = session.stats();
+        assert_eq!(
+            stats.unroll_reuse_hits, 2,
+            "reference encoding served from cache: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn session_survives_encode_error_and_clock_mismatch() {
+        let reference = parse_assertion_str("assert property (@(posedge clk) a);").unwrap();
+        let t = table();
+        let mut session = EquivSession::open(reference, &t, EquivConfig::default());
+        let ghost = parse_assertion_str("assert property (@(posedge clk) ghost);").unwrap();
+        assert_eq!(
+            session.check(&ghost).unwrap_err(),
+            EncodeError::UnknownSignal("ghost".into())
+        );
+        let negedge = parse_assertion_str("assert property (@(negedge clk) a);").unwrap();
+        assert_eq!(
+            session.check(&negedge).unwrap().verdict,
+            Equivalence::Inequivalent
+        );
+        let same = parse_assertion_str("assert property (@(posedge clk) a);").unwrap();
+        assert_eq!(
+            session.check(&same).unwrap().verdict,
+            Equivalence::Equivalent
+        );
+        assert_eq!(session.stats().session_checks, 3);
     }
 
     #[test]

@@ -30,6 +30,18 @@
 //! by `solve_with` assumptions and selector-guarded clause groups.
 //! [`ProverStats`] reports which layer decided each query; the
 //! [`EquivOutcome::stats`] field and [`prove_with_stats`] surface it.
+//!
+//! # Proof sessions
+//!
+//! Benchmarks score *many* candidate assertions against *one* design
+//! or reference (up to 10 samples × 8 models per case). The session
+//! APIs keep the shared half of that work alive across the stream:
+//! [`ProofSession`] owns one unrolled design formula + solver and
+//! checks candidate assertions against it; [`EquivSession`] encodes
+//! the reference assertion once and checks candidates against it on a
+//! shared trace and solver. The one-shot entry points ([`prove`],
+//! [`check_equivalence`]) are thin wrappers that open a session per
+//! call, so there is exactly one proving code path.
 
 #![deny(missing_docs)]
 
@@ -46,12 +58,15 @@ mod table;
 
 pub use cex::CexValue;
 pub use env::{DesignTraceEnv, FreeTraceEnv, TraceEnv};
-pub use equiv::{check_equivalence, EquivConfig, EquivOutcome, Equivalence, TraceCex};
+pub use equiv::{
+    check_equivalence, EquivConfig, EquivOutcome, EquivSession, Equivalence, TraceCex,
+};
 pub use error::EncodeError;
 pub use expr::compile_expr;
 pub use monitor::{encode_assertion, encode_prop, encode_seq, SeqEnc};
 pub use prove::{
-    check_vacuity, prove, prove_with_stats, replay_design_cex, DesignCex, ProveConfig, ProveResult,
+    check_vacuity, prove, prove_with_stats, replay_design_cex, DesignCex, ProofSession,
+    ProveConfig, ProveResult,
 };
 pub use stats::ProverStats;
 pub use table::SignalTable;

@@ -157,6 +157,11 @@ pub fn prove(
 }
 
 /// [`prove`], additionally reporting how the queries were discharged.
+///
+/// One-shot convenience over [`ProofSession`]: opens a session, checks
+/// the single assertion, and returns the session's counters (so
+/// `sessions_opened == session_checks == 1`). Scoring many candidate
+/// assertions against the same design should open one session instead.
 pub fn prove_with_stats(
     netlist: &Netlist,
     assertion: &Assertion,
@@ -166,85 +171,80 @@ pub fn prove_with_stats(
     if assertion.body.has_unbounded() {
         return Ok((ProveResult::Undetermined, ProverStats::default()));
     }
-    let expander = FrameExpander::new(netlist)
-        .map_err(|n| EncodeError::Unsupported(format!("combinational cycle through '{n}'")))?;
-    let horizon = horizon_for(assertion, None, cfg.slack);
-    let mut env = DesignTraceEnv::new(&expander).with_free_initial_state();
-    for (n, w, v) in consts {
-        env.bind_const(n.clone(), *w, *v);
-    }
-    let mut solver = Solver::new();
-    let init_sel = solver.new_selector();
-    let mut engine = ProveEngine {
-        assertion,
-        horizon,
-        g: Aig::new(),
-        env,
-        solver,
-        em: CnfEmitter::new(),
-        init_sel,
-        init_pinned: false,
-        solver_used: false,
-        sim: BitSim::new(),
-        tern: TernarySim::new(),
-        rng: 0x0BAD_5EED_F00D ^ u64::from(horizon),
-        forced: HashMap::new(),
-        forced_known: 0,
-        holds: Vec::new(),
-        stats: ProverStats::default(),
-    };
-
-    // ---- Interleaved BMC + k-induction over the one shared formula:
-    //      after BMC has cleared anchors 0..k (the base case), try the
-    //      consecution query at k. A property inductive at small k is
-    //      proven after O(k) queries instead of a full BMC sweep; a
-    //      falsifiable one still meets its earliest violating anchor
-    //      first, because anchors are cleared in ascending order. ----
-    let mut bmc_done = 0u32;
-    for k in 1..=cfg.max_induction.min(cfg.max_bmc) {
-        while bmc_done < k {
-            if let Some(cex) = engine.bmc_check(bmc_done)? {
-                debug_assert_eq!(
-                    replay_design_cex(netlist, assertion, consts, cfg, &cex),
-                    Ok(true),
-                    "counterexample must replay in sv-synth::sim"
-                );
-                return Ok((ProveResult::Falsified { cex }, engine.stats));
-            }
-            bmc_done += 1;
-        }
-        if engine.induction_check(k)? {
-            return Ok((ProveResult::Proven { k }, engine.stats));
-        }
-    }
-    // ---- Induction exhausted: finish the BMC sweep. ----
-    for t in bmc_done..cfg.max_bmc {
-        if let Some(cex) = engine.bmc_check(t)? {
-            debug_assert_eq!(
-                replay_design_cex(netlist, assertion, consts, cfg, &cex),
-                Ok(true),
-                "counterexample must replay in sv-synth::sim"
-            );
-            return Ok((ProveResult::Falsified { cex }, engine.stats));
-        }
-    }
-    Ok((ProveResult::Undetermined, engine.stats))
+    let mut session = ProofSession::open(netlist, consts, cfg)?;
+    let (result, _) = session.check(assertion)?;
+    Ok((result, session.stats()))
 }
 
-/// All incremental state of one [`prove`] invocation: the shared
-/// unrolled AIG, the lazily-encoded per-anchor monitors, the reused
-/// solver with its selector-guarded reset-state group, and the two
-/// simulators (whose fixed patterns extend with the graph).
-struct ProveEngine<'a> {
-    assertion: &'a Assertion,
-    horizon: u32,
+/// A long-lived proof context for one design: one shared unrolled
+/// formula, one reused solver, one set of simulators — checking a
+/// *stream* of candidate assertions against the same elaborated
+/// netlist.
+///
+/// This is the score-many half of the compile-once / score-many
+/// Design2SVA flow. Everything a fresh [`prove`] call would rebuild per
+/// candidate amortizes across the whole stream:
+///
+/// - **Time frames**: the free-initial-state unrolling lives in the
+///   session's [`DesignTraceEnv`]; a candidate needing `k` frames
+///   reuses every frame an earlier candidate already expanded
+///   ([`ProverStats::unroll_reuse_hits`] counts the frames served this
+///   way).
+/// - **Monitors**: candidate monitors are appended to the shared
+///   structurally-hashed [`Aig`], so identical assertions (the same
+///   response text from different models or samples) fold to the same
+///   literal and their CNF is emitted once.
+/// - **Solver state**: one [`Solver`] answers every query. Reset
+///   pinning is a selector-guarded clause group installed once; each
+///   query activates exactly the monitor cone and reset group it needs
+///   through `solve_with` assumption literals, so learned clauses and
+///   variable activities carry across candidates
+///   ([`ProverStats::solver_reuse_hits`]).
+///
+/// Verdicts are *path-independent*: a session returns the same
+/// [`ProveResult`] kind for a candidate as a fresh [`prove`] call
+/// (counterexample traces may differ in their concrete stimuli, but
+/// every trace replays on the reference simulator — debug builds assert
+/// it).
+///
+/// # Examples
+///
+/// ```
+/// use fv_core::{ProofSession, ProveConfig};
+/// use sv_parser::{parse_assertion_str, parse_source};
+/// use sv_synth::elaborate;
+///
+/// let f = parse_source(
+///     "module m (clk, en, q);\ninput clk; input en; output q;\n\
+///      reg r;\nalways @(posedge clk) begin r <= en; end\n\
+///      assign q = r;\nendmodule\n",
+/// )
+/// .unwrap();
+/// let nl = elaborate(&f, "m").unwrap();
+/// let mut session = ProofSession::open(&nl, &[], ProveConfig::default()).unwrap();
+/// for text in [
+///     "assert property (@(posedge clk) en |-> ##1 q);",
+///     "assert property (@(posedge clk) en |-> ##1 !q);",
+/// ] {
+///     let a = parse_assertion_str(text).unwrap();
+///     let (_result, _check_stats) = session.check(&a).unwrap();
+/// }
+/// let stats = session.stats();
+/// assert_eq!(stats.sessions_opened, 1);
+/// assert_eq!(stats.session_checks, 2);
+/// ```
+pub struct ProofSession<'n> {
+    netlist: &'n Netlist,
+    consts: Vec<(String, u32, u128)>,
+    cfg: ProveConfig,
     g: Aig,
-    env: DesignTraceEnv<'a>,
+    env: DesignTraceEnv<'n>,
     solver: Solver,
     em: CnfEmitter,
     /// Selector assumed by BMC queries to pin frame 0 to reset.
     init_sel: Lit,
-    init_pinned: bool,
+    /// Initial-state bits already pinned into the selector group.
+    init_pinned: usize,
     solver_used: bool,
     sim: BitSim,
     tern: TernarySim,
@@ -252,22 +252,163 @@ struct ProveEngine<'a> {
     /// Simulation-forced input words (frame-0 registers at reset).
     forced: HashMap<u32, bool>,
     forced_known: usize,
-    /// Per-anchor monitor literals, shared by BMC and induction.
-    holds: Vec<AigLit>,
+    /// Cumulative counters; `sessions_opened` is charged to the first
+    /// check (see [`ProofSession::stats`]).
     stats: ProverStats,
 }
 
-impl ProveEngine<'_> {
-    /// Ensures monitors for anchors `0..=t` exist, registering newly
-    /// created frame-0 register inputs as simulation-forced.
-    fn ensure_anchor(&mut self, t: u32) -> Result<AigLit, EncodeError> {
-        while self.holds.len() <= t as usize {
-            let anchor = self.holds.len() as u32;
+impl<'n> ProofSession<'n> {
+    /// Opens a proof context over an elaborated design. `consts`
+    /// provides testbench parameter bindings (state encodings such as
+    /// `S0`) visible to every candidate assertion.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::Unsupported`] if the netlist has a combinational
+    /// cycle (already rejected by elaboration, so unexpected for
+    /// netlists produced by `sv_synth::elaborate`).
+    pub fn open(
+        netlist: &'n Netlist,
+        consts: &[(String, u32, u128)],
+        cfg: ProveConfig,
+    ) -> Result<ProofSession<'n>, EncodeError> {
+        let expander = FrameExpander::new(netlist)
+            .map_err(|n| EncodeError::Unsupported(format!("combinational cycle through '{n}'")))?;
+        let mut env = DesignTraceEnv::new(expander).with_free_initial_state();
+        for (n, w, v) in consts {
+            env.bind_const(n.clone(), *w, *v);
+        }
+        let mut solver = Solver::new();
+        let init_sel = solver.new_selector();
+        Ok(ProofSession {
+            netlist,
+            consts: consts.to_vec(),
+            cfg,
+            g: Aig::new(),
+            env,
+            solver,
+            em: CnfEmitter::new(),
+            init_sel,
+            init_pinned: 0,
+            solver_used: false,
+            sim: BitSim::new(),
+            tern: TernarySim::new(),
+            rng: 0x0BAD_5EED_F00D,
+            forced: HashMap::new(),
+            forced_known: 0,
+            stats: ProverStats::default(),
+        })
+    }
+
+    /// The prover bounds this session was opened with.
+    pub fn config(&self) -> ProveConfig {
+        self.cfg
+    }
+
+    /// Cumulative counters over the session's lifetime. A session that
+    /// checked at least one candidate reports `sessions_opened = 1`
+    /// (the open is charged to the first check, so aggregating
+    /// per-check deltas yields the same totals).
+    pub fn stats(&self) -> ProverStats {
+        self.stats
+    }
+
+    /// Checks one candidate assertion against the shared proof context,
+    /// running the interleaved BMC + k-induction schedule on the shared
+    /// unrolling. Returns the verdict plus the counter *delta* this
+    /// check added (the first check's delta carries the session's
+    /// `sessions_opened`).
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] when the assertion references signals absent
+    /// from the design scope — scored as an elaboration failure, like
+    /// [`prove`]. The session stays usable for further candidates.
+    pub fn check(
+        &mut self,
+        assertion: &Assertion,
+    ) -> Result<(ProveResult, ProverStats), EncodeError> {
+        let before = self.stats;
+        // The open is charged to the first check so that summing
+        // per-check deltas reproduces the cumulative counters.
+        self.stats.sessions_opened = 1;
+        self.stats.session_checks += 1;
+        if assertion.body.has_unbounded() {
+            return Ok((ProveResult::Undetermined, self.stats.delta_since(&before)));
+        }
+        let horizon = horizon_for(assertion, None, self.cfg.slack);
+        let frames_before = self.env.num_frames() as u64;
+        self.env.reset_touched_frames();
+        let outcome = self.run_schedule(assertion, horizon);
+        // Frames this check actually revisited that were already
+        // unrolled by earlier candidates — counted even when the check
+        // errors mid-encode, since the work served was real.
+        let frames_used = u64::from(self.env.touched_frames());
+        self.stats.unroll_reuse_hits += frames_before.min(frames_used);
+        Ok((outcome?, self.stats.delta_since(&before)))
+    }
+
+    /// The interleaved BMC + k-induction schedule over the one shared
+    /// formula: after BMC has cleared anchors `0..k` (the base case),
+    /// try the consecution query at `k`. A property inductive at small
+    /// k is proven after O(k) queries instead of a full BMC sweep; a
+    /// falsifiable one still meets its earliest violating anchor first,
+    /// because anchors are cleared in ascending order.
+    fn run_schedule(
+        &mut self,
+        assertion: &Assertion,
+        horizon: u32,
+    ) -> Result<ProveResult, EncodeError> {
+        let cfg = self.cfg;
+        let mut holds: Vec<AigLit> = Vec::new();
+        let mut bmc_done = 0u32;
+        for k in 1..=cfg.max_induction.min(cfg.max_bmc) {
+            while bmc_done < k {
+                if let Some(cex) = self.bmc_check(assertion, horizon, &mut holds, bmc_done)? {
+                    self.debug_replay(assertion, &cex);
+                    return Ok(ProveResult::Falsified { cex });
+                }
+                bmc_done += 1;
+            }
+            if self.induction_check(assertion, horizon, &mut holds, k)? {
+                return Ok(ProveResult::Proven { k });
+            }
+        }
+        // ---- Induction exhausted: finish the BMC sweep. ----
+        for t in bmc_done..cfg.max_bmc {
+            if let Some(cex) = self.bmc_check(assertion, horizon, &mut holds, t)? {
+                self.debug_replay(assertion, &cex);
+                return Ok(ProveResult::Falsified { cex });
+            }
+        }
+        Ok(ProveResult::Undetermined)
+    }
+
+    fn debug_replay(&self, assertion: &Assertion, cex: &DesignCex) {
+        debug_assert_eq!(
+            replay_design_cex(self.netlist, assertion, &self.consts, self.cfg, cex),
+            Ok(true),
+            "counterexample must replay in sv-synth::sim"
+        );
+    }
+
+    /// Ensures monitors for anchors `0..=t` of this candidate exist on
+    /// the shared graph, registering newly created frame-0 register
+    /// inputs as simulation-forced.
+    fn ensure_anchor(
+        &mut self,
+        assertion: &Assertion,
+        horizon: u32,
+        holds: &mut Vec<AigLit>,
+        t: u32,
+    ) -> Result<AigLit, EncodeError> {
+        while holds.len() <= t as usize {
+            let anchor = holds.len() as u32;
             let h = encode_assertion_at(
                 &mut self.g,
-                self.assertion,
+                assertion,
                 anchor,
-                anchor + self.horizon,
+                anchor + horizon,
                 &mut self.env,
             )?;
             let bits = self.env.initial_state_bits();
@@ -279,9 +420,9 @@ impl ProveEngine<'_> {
                 self.forced.insert(idx, init ^ bit.is_inverted());
             }
             self.forced_known = self.env.initial_state_bits().len();
-            self.holds.push(h);
+            holds.push(h);
         }
-        Ok(self.holds[t as usize])
+        Ok(holds[t as usize])
     }
 
     fn count_sat_call(&mut self) {
@@ -295,8 +436,14 @@ impl ProveEngine<'_> {
     /// BMC base-case check for anchor `t`: ternary simulation, then
     /// random simulation, then SAT under the reset-state selector.
     /// Returns a counterexample if the attempt at `t` can be violated.
-    fn bmc_check(&mut self, t: u32) -> Result<Option<DesignCex>, EncodeError> {
-        let h = self.ensure_anchor(t)?;
+    fn bmc_check(
+        &mut self,
+        assertion: &Assertion,
+        horizon: u32,
+        holds: &mut Vec<AigLit>,
+        t: u32,
+    ) -> Result<Option<DesignCex>, EncodeError> {
+        let h = self.ensure_anchor(assertion, horizon, holds, t)?;
         // The unrolled formula is purely combinational; a latch node
         // would make the zero-filled latch slots below a fabricated
         // "witness" instead of a real one.
@@ -337,15 +484,16 @@ impl ProveEngine<'_> {
             return Ok(Some(sim_cex(&self.env, &self.sim, w.trailing_zeros(), t)));
         }
 
-        // Layer 3: SAT under the reset-state selector group.
-        if !self.init_pinned {
-            for &(bit, init) in self.env.initial_state_bits() {
-                let l = self.em.emit(&self.g, bit, &mut self.solver);
-                self.solver
-                    .add_clause_selected(self.init_sel, [if init { l } else { !l }]);
-            }
-            self.init_pinned = true;
+        // Layer 3: SAT under the reset-state selector group. New
+        // initial-state bits only appear when frame 0 is first built,
+        // so across a whole session this pins each bit exactly once.
+        let bits = self.env.initial_state_bits();
+        for &(bit, init) in &bits[self.init_pinned..] {
+            let l = self.em.emit(&self.g, bit, &mut self.solver);
+            self.solver
+                .add_clause_selected(self.init_sel, [if init { l } else { !l }]);
         }
+        self.init_pinned = self.env.initial_state_bits().len();
         let l = self.em.emit(&self.g, h, &mut self.solver);
         self.count_sat_call();
         if self.solver.solve_with(&[self.init_sel, !l]).is_sat() {
@@ -359,11 +507,17 @@ impl ProveEngine<'_> {
     /// same solver, one extra anchor beyond BMC. Returns `true` if the
     /// step case is unsatisfiable (property proven, given the BMC base
     /// case for anchors `0..k`).
-    fn induction_check(&mut self, k: u32) -> Result<bool, EncodeError> {
-        self.ensure_anchor(k)?;
+    fn induction_check(
+        &mut self,
+        assertion: &Assertion,
+        horizon: u32,
+        holds: &mut Vec<AigLit>,
+        k: u32,
+    ) -> Result<bool, EncodeError> {
+        self.ensure_anchor(assertion, horizon, holds, k)?;
         let mut lits: Vec<Lit> = Vec::with_capacity(k as usize + 1);
-        for i in 0..=k as usize {
-            let l = self.em.emit(&self.g, self.holds[i], &mut self.solver);
+        for (i, &hold) in holds.iter().enumerate().take(k as usize + 1) {
+            let l = self.em.emit(&self.g, hold, &mut self.solver);
             lits.push(if i == k as usize { !l } else { l });
         }
         self.count_sat_call();
@@ -371,11 +525,16 @@ impl ProveEngine<'_> {
     }
 }
 
+/// Input-log entries for the frames the *current* check has read —
+/// on a shared session this trims a counterexample to the frames its
+/// candidate uses (a fresh single-check environment has no others).
 fn input_log_entries<'e>(
     env: &'e DesignTraceEnv<'_>,
 ) -> impl Iterator<Item = (&'e str, i32, &'e BitVec)> + 'e {
+    let frames = env.touched_frames();
     env.input_log()
         .iter()
+        .filter(move |(_, f, _)| *f < frames)
         .map(|(n, f, bv)| (n.as_str(), *f as i32, bv))
 }
 
@@ -543,7 +702,7 @@ pub fn check_vacuity(
         .map_err(|n| EncodeError::Unsupported(format!("combinational cycle through '{n}'")))?;
     let horizon = horizon_for(assertion, None, cfg.slack);
     let mut g = Aig::new();
-    let mut env = DesignTraceEnv::new(&expander);
+    let mut env = DesignTraceEnv::new(expander);
     for (n, w, v) in consts {
         env.bind_const(n.clone(), *w, *v);
     }
@@ -801,6 +960,88 @@ mod tests {
             check_vacuity(&nl, &plain, &[], ProveConfig::default()).unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn session_stream_matches_fresh_prove() {
+        // One long-lived session must return the same verdict (and the
+        // same proof depth / earliest violating anchor — both are
+        // semantic) as a fresh per-candidate prove call, for a stream
+        // mixing proven, falsified, and undetermined candidates.
+        let nl = wrapping_counter();
+        let candidates = [
+            "assert property (@(posedge clk) en || !en);",
+            "assert property (@(posedge clk) q != 3'd7);",
+            "assert property (@(posedge clk) q != 3'd2);",
+            "assert property (@(posedge clk) (en && q == 3'd1) |-> ##1 q == 3'd2);",
+            "assert property (@(posedge clk) (en && q == 3'd1) |-> ##1 q == 3'd4);",
+            "assert property (@(posedge clk) en |-> strong(##[0:$] q == 3'd5));",
+            "assert property (@(posedge clk) q != 3'd6);",
+        ];
+        let mut session = ProofSession::open(&nl, &[], ProveConfig::default()).unwrap();
+        for src in candidates {
+            let a = parse_assertion_str(src).unwrap();
+            let fresh = prove(&nl, &a, &[], ProveConfig::default()).unwrap();
+            let (via_session, _) = session.check(&a).unwrap();
+            match (&fresh, &via_session) {
+                (ProveResult::Proven { k: k1 }, ProveResult::Proven { k: k2 }) => {
+                    assert_eq!(k1, k2, "{src}");
+                }
+                (ProveResult::Falsified { cex: c1 }, ProveResult::Falsified { cex: c2 }) => {
+                    assert_eq!(c1.anchor, c2.anchor, "{src}");
+                }
+                (ProveResult::Undetermined, ProveResult::Undetermined) => {}
+                (fresh, via) => panic!("{src}: fresh {fresh:?} != session {via:?}"),
+            }
+        }
+        let stats = session.stats();
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.session_checks, candidates.len() as u64);
+        assert!(
+            stats.unroll_reuse_hits > 0,
+            "later candidates reuse the shared unrolling: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn session_unknown_signal_leaves_session_usable() {
+        let nl = counter();
+        let mut session = ProofSession::open(&nl, &[], ProveConfig::default()).unwrap();
+        let bad = parse_assertion_str("assert property (@(posedge clk) hidden == 1'b0);").unwrap();
+        assert!(matches!(
+            session.check(&bad),
+            Err(EncodeError::UnknownSignal(_))
+        ));
+        let good = parse_assertion_str("assert property (@(posedge clk) en || !en);").unwrap();
+        let (r, _) = session.check(&good).unwrap();
+        assert!(r.is_proven());
+        assert_eq!(session.stats().session_checks, 2);
+    }
+
+    #[test]
+    fn repeated_candidate_strashes_to_warm_queries() {
+        // The same candidate text checked twice: the second check's
+        // monitors fold onto the existing nodes, so every SAT call it
+        // makes runs on the already-warmed solver and no new frames
+        // are unrolled.
+        let nl = wrapping_counter();
+        let a = parse_assertion_str("assert property (@(posedge clk) q != 3'd7);").unwrap();
+        let mut session = ProofSession::open(&nl, &[], ProveConfig::default()).unwrap();
+        let (r1, first) = session.check(&a).unwrap();
+        let frames_after_first = session.env.num_frames();
+        let (r2, second) = session.check(&a).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(
+            session.env.num_frames(),
+            frames_after_first,
+            "no new frames for a repeated candidate"
+        );
+        assert_eq!(
+            second.solver_reuse_hits, second.sat_calls,
+            "every repeat SAT call reuses the warmed solver: {second:?}"
+        );
+        assert_eq!(first.sessions_opened, 1, "first delta carries the open");
+        assert_eq!(second.sessions_opened, 0);
     }
 
     #[test]

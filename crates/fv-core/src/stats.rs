@@ -20,6 +20,18 @@
 ///    solver already warmed by a previous query of the same
 ///    equivalence check / proof (learned clauses and variable
 ///    activities carry over instead of being rebuilt).
+///
+/// The session counters describe *proof-context reuse* across
+/// candidate assertions (see [`crate::ProofSession`] and
+/// [`crate::EquivSession`]): `sessions_opened` counts how many shared
+/// contexts (unrolled AIG + solver, or reference encoding + solver)
+/// were built, `session_checks` how many candidate assertions streamed
+/// through them, and `unroll_reuse_hits` how much already-built
+/// encoding state (unrolled time frames, cached reference monitors)
+/// was served to a check instead of being rebuilt. A compile-once /
+/// score-many workload shows `sessions_opened` far below
+/// `session_checks`; the legacy one-shot entry points open one session
+/// per check, so there the two are equal.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProverStats {
     /// Queries discharged by the CDCL SAT solver.
@@ -33,6 +45,14 @@ pub struct ProverStats {
     /// SAT calls served by a reused (already-warmed) solver instead of
     /// a freshly built one.
     pub solver_reuse_hits: u64,
+    /// Proof contexts (shared unrolling/solver sessions) built.
+    pub sessions_opened: u64,
+    /// Candidate assertions checked through a session.
+    pub session_checks: u64,
+    /// Already-built session state (unrolled time frames, cached
+    /// reference-assertion encodings) served to a check instead of
+    /// being re-encoded from scratch.
+    pub unroll_reuse_hits: u64,
 }
 
 impl ProverStats {
@@ -47,6 +67,33 @@ impl ProverStats {
         self.sim_kills += other.sim_kills;
         self.ternary_kills += other.ternary_kills;
         self.solver_reuse_hits += other.solver_reuse_hits;
+        self.sessions_opened += other.sessions_opened;
+        self.session_checks += other.session_checks;
+        self.unroll_reuse_hits += other.unroll_reuse_hits;
+    }
+
+    /// The counter delta `self - earlier`, where `earlier` is a prior
+    /// snapshot of the same monotonically growing counter set. Sessions
+    /// use this to report per-check work on top of cumulative totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds the
+    /// corresponding counter of `self` (not a prior snapshot).
+    pub fn delta_since(&self, earlier: &ProverStats) -> ProverStats {
+        let sub = |a: u64, b: u64| {
+            debug_assert!(a >= b, "delta_since needs a prior snapshot");
+            a - b
+        };
+        ProverStats {
+            sat_calls: sub(self.sat_calls, earlier.sat_calls),
+            sim_kills: sub(self.sim_kills, earlier.sim_kills),
+            ternary_kills: sub(self.ternary_kills, earlier.ternary_kills),
+            solver_reuse_hits: sub(self.solver_reuse_hits, earlier.solver_reuse_hits),
+            sessions_opened: sub(self.sessions_opened, earlier.sessions_opened),
+            session_checks: sub(self.session_checks, earlier.session_checks),
+            unroll_reuse_hits: sub(self.unroll_reuse_hits, earlier.unroll_reuse_hits),
+        }
     }
 }
 
@@ -67,17 +114,51 @@ mod tests {
             sim_kills: 2,
             ternary_kills: 3,
             solver_reuse_hits: 0,
+            sessions_opened: 1,
+            session_checks: 2,
+            unroll_reuse_hits: 3,
         };
         a += ProverStats {
             sat_calls: 10,
             sim_kills: 20,
             ternary_kills: 30,
             solver_reuse_hits: 5,
+            sessions_opened: 1,
+            session_checks: 4,
+            unroll_reuse_hits: 7,
         };
         assert_eq!(a.sat_calls, 11);
         assert_eq!(a.sim_kills, 22);
         assert_eq!(a.ternary_kills, 33);
         assert_eq!(a.solver_reuse_hits, 5);
-        assert_eq!(a.queries(), 66);
+        assert_eq!(a.sessions_opened, 2);
+        assert_eq!(a.session_checks, 6);
+        assert_eq!(a.unroll_reuse_hits, 10);
+        assert_eq!(a.queries(), 66, "session counters are not queries");
+    }
+
+    #[test]
+    fn delta_since_subtracts_per_counter() {
+        let earlier = ProverStats {
+            sat_calls: 1,
+            sim_kills: 2,
+            ternary_kills: 3,
+            solver_reuse_hits: 0,
+            sessions_opened: 1,
+            session_checks: 1,
+            unroll_reuse_hits: 0,
+        };
+        let mut later = earlier;
+        later += ProverStats {
+            sat_calls: 4,
+            session_checks: 1,
+            unroll_reuse_hits: 6,
+            ..ProverStats::default()
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.sat_calls, 4);
+        assert_eq!(delta.sessions_opened, 0);
+        assert_eq!(delta.session_checks, 1);
+        assert_eq!(delta.unroll_reuse_hits, 6);
     }
 }

@@ -1,34 +1,46 @@
 //! Runner for the Design2SVA sub-benchmark: responses are grafted onto
 //! the testbench, elaborated with the design bound in, and checked with
 //! the model-checking engine (BMC + k-induction).
+//!
+//! The flow is compile-once / score-many: [`compile_design`] performs
+//! the whole-file elaboration (design + testbench + DUT instantiation)
+//! exactly once per case, and [`Design2svaRunner::open_session`] wraps
+//! a [`fv_core::ProofSession`] over the compiled base netlist so that
+//! every helper-free candidate assertion shares one unrolled formula
+//! and one solver. Responses that bring their own helper items change
+//! the netlist, so they pay a (cheap, split-elaboration) bind plus a
+//! one-shot proof of their own.
 
 use crate::engine::{design_task_specs, EvalEngine};
 use crate::metrics::{CaseEvals, SampleEval};
-use fv_core::{prove_with_stats, ProveConfig, ProveResult, ProverStats};
+use fv_core::{ProofSession, ProveConfig, ProveResult, ProverStats};
 use fveval_data::DesignCase;
 use fveval_llm::{Backend, InferenceConfig};
-use sv_ast::{Expr, Instance, ModuleItem, SourceFile};
+use sv_ast::{Expr, Instance, ModuleItem};
 use sv_parser::{parse_snippet, parse_source};
-use sv_synth::{elaborate_with_extras, Netlist};
+use sv_synth::{elaborate_design, ElaboratedDesign, Netlist};
 
-/// Pre-parsed context for evaluating responses against one design.
-#[derive(Debug)]
-pub struct DesignEval {
-    file: SourceFile,
-    tb_top: String,
-    dut_instance: ModuleItem,
+/// A Design2SVA case compiled into reusable form: the split-elaborated
+/// design (testbench with the DUT bound in) plus the assertion-visible
+/// testbench constants. One `CompiledDesign` is shared — via the
+/// engine's content-addressed cache — by every backend and sample that
+/// scores against the case.
+#[derive(Debug, Clone)]
+pub struct CompiledDesign {
+    design: ElaboratedDesign,
     /// Parameter constants visible to assertions (state encodings).
     consts: Vec<(String, u32, u128)>,
 }
 
-/// Parses the design + testbench and builds the DUT binding — the
-/// formal tool's elaboration step for a Design2SVA case.
+/// Parses the design + testbench, builds the DUT binding, and runs the
+/// whole-file elaboration — the formal tool's compile step for a
+/// Design2SVA case, paid once per design.
 ///
 /// # Errors
 ///
 /// Returns a message if the (generated) collateral itself fails to
 /// parse or elaborate — covered by dataset tests, so unexpected here.
-pub fn bind_design(case: &DesignCase) -> Result<DesignEval, String> {
+pub fn compile_design(case: &DesignCase) -> Result<CompiledDesign, String> {
     let mut src = String::with_capacity(case.design_source.len() + case.tb_source.len() + 1);
     src.push_str(&case.design_source);
     src.push('\n');
@@ -48,30 +60,58 @@ pub fn bind_design(case: &DesignCase) -> Result<DesignEval, String> {
         params: vec![],
         conns,
     });
-    // Elaborate once without a response to validate the collateral and
-    // harvest testbench parameters.
-    let base = elaborate_with_extras(&file, &case.tb_top, std::slice::from_ref(&dut_instance))
+    // One whole-file elaboration validates the collateral, harvests
+    // the testbench parameters, and caches the helper-free netlist.
+    let design = elaborate_design(&file, &case.tb_top, std::slice::from_ref(&dut_instance))
         .map_err(|e| e.to_string())?;
-    let consts = base
-        .params
+    let consts = design
+        .params()
         .iter()
         .map(|(n, v)| (n.clone(), 32u32, *v))
         .collect();
-    Ok(DesignEval {
-        file,
-        tb_top: case.tb_top.clone(),
-        dut_instance,
-        consts,
-    })
+    Ok(CompiledDesign { design, consts })
 }
 
-impl DesignEval {
-    /// Elaborates the testbench with the response's helper items.
+impl CompiledDesign {
+    /// The helper-free base netlist (testbench with the DUT bound in).
+    pub fn netlist(&self) -> &Netlist {
+        self.design.netlist()
+    }
+
+    /// Testbench parameter bindings visible to candidate assertions.
+    pub fn consts(&self) -> &[(String, u32, u128)] {
+        &self.consts
+    }
+
+    /// Splices a response's helper items into the compiled design —
+    /// only the helpers are flattened; the design itself is not
+    /// re-elaborated.
     fn netlist_with(&self, helpers: &[ModuleItem]) -> Result<Netlist, String> {
-        let mut extras = Vec::with_capacity(helpers.len() + 1);
-        extras.push(self.dut_instance.clone());
-        extras.extend_from_slice(helpers);
-        elaborate_with_extras(&self.file, &self.tb_top, &extras).map_err(|e| e.to_string())
+        self.design.bind_extras(helpers).map_err(|e| e.to_string())
+    }
+}
+
+/// A per-design scoring session: one [`ProofSession`] over the compiled
+/// base netlist, opened lazily on the first helper-free candidate and
+/// shared by every later one. Obtain via
+/// [`Design2svaRunner::open_session`], feed it through
+/// [`Design2svaRunner::evaluate_in_session`].
+pub struct DesignSession<'c> {
+    compiled: &'c CompiledDesign,
+    cfg: ProveConfig,
+    /// Boxed: the proof context (graph + solver + simulators) is large
+    /// and the session struct travels by value inside group scorers.
+    session: Option<Box<ProofSession<'c>>>,
+}
+
+impl DesignSession<'_> {
+    /// Cumulative prover counters for the shared session (zero until a
+    /// helper-free candidate opened it; one-shot helper proofs are
+    /// reported per sample, not here).
+    pub fn stats(&self) -> ProverStats {
+        self.session
+            .as_ref()
+            .map_or_else(ProverStats::default, |s| s.stats())
     }
 }
 
@@ -101,22 +141,50 @@ impl Design2svaRunner {
         self
     }
 
-    /// Scores one response snippet against a bound design.
+    /// Opens a scoring session for a compiled design: all helper-free
+    /// responses evaluated through it share one proof context (one
+    /// unrolled formula, one solver) across every sample and model.
+    pub fn open_session<'c>(&self, compiled: &'c CompiledDesign) -> DesignSession<'c> {
+        DesignSession {
+            compiled,
+            cfg: self.prove_cfg,
+            session: None,
+        }
+    }
+
+    /// Scores one response snippet against a compiled design.
     ///
     /// - parse failure, elaboration failure, missing assertion, or a
     ///   reference to an out-of-scope signal → `syntax = false`;
     /// - otherwise `syntax = true` and `func` = "the assertion was
     ///   proven" (the paper's Design2SVA functionality metric).
-    pub fn evaluate_response(&self, bound: &DesignEval, response: &str) -> SampleEval {
+    pub fn evaluate_response(&self, bound: &CompiledDesign, response: &str) -> SampleEval {
         self.evaluate_response_stats(bound, response).0
     }
 
     /// [`Design2svaRunner::evaluate_response`], additionally reporting
     /// how the model checker discharged its queries (zero counters when
-    /// scoring never reached the prover).
+    /// scoring never reached the prover). One-shot: opens a throwaway
+    /// session per call; batch scoring should hold a
+    /// [`Design2svaRunner::open_session`] session instead.
     pub fn evaluate_response_stats(
         &self,
-        bound: &DesignEval,
+        bound: &CompiledDesign,
+        response: &str,
+    ) -> (SampleEval, ProverStats) {
+        let mut session = self.open_session(bound);
+        self.evaluate_in_session(&mut session, response)
+    }
+
+    /// Scores one response through a shared per-design session. The
+    /// verdict is identical to [`Design2svaRunner::evaluate_response`]
+    /// — sessions only change *how much work* the proof costs, never
+    /// its outcome. Responses carrying helper items get their own
+    /// netlist (the helpers change the design), bound via the cheap
+    /// split-elaboration path and proven one-shot.
+    pub fn evaluate_in_session(
+        &self,
+        session: &mut DesignSession<'_>,
         response: &str,
     ) -> (SampleEval, ProverStats) {
         let failed = (SampleEval::failed(), ProverStats::default());
@@ -139,25 +207,52 @@ impl Design2svaRunner {
         let Some(assertion) = assertion else {
             return failed;
         };
-        let netlist = match bound.netlist_with(&helpers) {
-            Ok(nl) => nl,
-            Err(_) => return failed,
+        let sample = |result: &ProveResult| {
+            let proven = matches!(result, ProveResult::Proven { .. });
+            SampleEval {
+                syntax: true,
+                func: proven,
+                partial: proven,
+                bleu: 0.0,
+            }
         };
-        match prove_with_stats(&netlist, &assertion, &bound.consts, self.prove_cfg) {
-            // Unknown signal inside the assertion (design-internal
-            // reference) is an elaboration failure.
-            Err(_) => failed,
-            Ok((result, stats)) => {
-                let proven = matches!(result, ProveResult::Proven { .. });
-                (
-                    SampleEval {
-                        syntax: true,
-                        func: proven,
-                        partial: proven,
-                        bleu: 0.0,
-                    },
-                    stats,
-                )
+        // An Err from a check — an unknown signal in the assertion
+        // (design-internal reference) — is an elaboration failure; the
+        // work the session did before erroring (its open, the check
+        // count) still happened, so the counter delta is reported.
+        if helpers.is_empty() {
+            // The shared base netlist: stream through the session.
+            if session.session.is_none() {
+                let compiled = session.compiled;
+                match ProofSession::open(compiled.netlist(), &compiled.consts, session.cfg) {
+                    Ok(open) => session.session = Some(Box::new(open)),
+                    // Unreachable for elaborated netlists (cycles are
+                    // rejected at elaboration); fail the sample rather
+                    // than poison the run.
+                    Err(_) => return failed,
+                }
+            }
+            let proof = session.session.as_mut().expect("session opened above");
+            let before = proof.stats();
+            match proof.check(&assertion) {
+                Err(_) => (SampleEval::failed(), proof.stats().delta_since(&before)),
+                Ok((result, stats)) => (sample(&result), stats),
+            }
+        } else {
+            // Helper items change the design: a private netlist via the
+            // cheap split-elaboration bind, proven one-shot.
+            let netlist = match session.compiled.netlist_with(&helpers) {
+                Ok(nl) => nl,
+                Err(_) => return failed,
+            };
+            let mut one_shot =
+                match ProofSession::open(&netlist, &session.compiled.consts, session.cfg) {
+                    Ok(open) => open,
+                    Err(_) => return failed,
+                };
+            match one_shot.check(&assertion) {
+                Err(_) => (SampleEval::failed(), one_shot.stats()),
+                Ok((result, _)) => (sample(&result), one_shot.stats()),
             }
         }
     }
@@ -199,7 +294,7 @@ mod tests {
     #[test]
     fn golden_assertions_score_func() {
         let case = fsm_case();
-        let bound = bind_design(&case).unwrap();
+        let bound = compile_design(&case).unwrap();
         let runner = Design2svaRunner::new();
         for g in &case.golden {
             let e = runner.evaluate_response(&bound, g);
@@ -216,7 +311,7 @@ mod tests {
             expr_ops: 2,
             seed: 3,
         });
-        let bound = bind_design(&case).unwrap();
+        let bound = compile_design(&case).unwrap();
         let runner = Design2svaRunner::new();
         let e = runner.evaluate_response(&bound, &case.golden[0]);
         assert!(e.syntax && e.func);
@@ -225,7 +320,7 @@ mod tests {
     #[test]
     fn malformed_scores_syntax_fail() {
         let case = fsm_case();
-        let bound = bind_design(&case).unwrap();
+        let bound = compile_design(&case).unwrap();
         let runner = Design2svaRunner::new();
         let e = runner.evaluate_response(&bound, "assert property (@(posedge clk) (fsm_out");
         assert!(!e.syntax);
@@ -234,7 +329,7 @@ mod tests {
     #[test]
     fn internal_signal_scores_syntax_fail() {
         let case = fsm_case();
-        let bound = bind_design(&case).unwrap();
+        let bound = compile_design(&case).unwrap();
         let runner = Design2svaRunner::new();
         let e = runner.evaluate_response(
             &bound,
@@ -246,7 +341,7 @@ mod tests {
     #[test]
     fn wrong_transition_scores_syntax_but_not_func() {
         let case = fsm_case();
-        let bound = bind_design(&case).unwrap();
+        let bound = compile_design(&case).unwrap();
         // Claim S0 -> S0 which the ring backbone makes false unless the
         // graph happens to contain the self-loop; pick a definitely-wrong
         // one by asserting a transition to a state outside the real set.
@@ -271,9 +366,52 @@ mod tests {
     }
 
     #[test]
+    fn session_scoring_matches_one_shot() {
+        // A stream of mixed-quality responses through one shared
+        // session must score identically to per-response one-shot
+        // evaluation — including the helper-carrying response that
+        // takes the private-netlist path.
+        let case = fsm_case();
+        let bound = compile_design(&case).unwrap();
+        let runner = Design2svaRunner::new();
+        let succs = match &case.kind {
+            fveval_data::DesignKind::Fsm { transitions, .. } => transitions[1].clone(),
+            _ => unreachable!(),
+        };
+        let disj = succs
+            .iter()
+            .map(|t| format!("(mirror == S{t})"))
+            .collect::<Vec<_>>()
+            .join(" || ");
+        let helper_resp = format!(
+            "logic [FSM_WIDTH-1:0] mirror;\nassign mirror = fsm_out;\n\
+             assert property (@(posedge clk) disable iff (tb_reset) \
+             (mirror == S1) |-> ##1 ({disj}));"
+        );
+        let mut responses: Vec<String> = case.golden.clone();
+        responses.push("assert property (@(posedge clk) (fsm_out".into());
+        responses.push("assert property (@(posedge clk) state == S0);".into());
+        responses.push(helper_resp);
+        responses.push(case.golden[0].clone()); // repeat: strash reuse
+        let mut session = runner.open_session(&bound);
+        for resp in &responses {
+            let via_session = runner.evaluate_in_session(&mut session, resp).0;
+            let one_shot = runner.evaluate_response(&bound, resp);
+            assert_eq!(via_session, one_shot, "{resp}");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.sessions_opened, 1, "{stats:?}");
+        assert!(
+            stats.session_checks > case.golden.len() as u64,
+            "helper-free responses stream through the shared session: {stats:?}"
+        );
+        assert!(stats.unroll_reuse_hits > 0, "{stats:?}");
+    }
+
+    #[test]
     fn helper_code_elaborates_into_scope() {
         let case = fsm_case();
-        let bound = bind_design(&case).unwrap();
+        let bound = compile_design(&case).unwrap();
         let succs = match &case.kind {
             fveval_data::DesignKind::Fsm { transitions, .. } => transitions[1].clone(),
             _ => unreachable!(),

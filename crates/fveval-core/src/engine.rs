@@ -2,12 +2,17 @@
 //! worker pool, and verdict caching over one enumerable work-list.
 //!
 //! [`EvalEngine`] executes the `model × case × sample` product behind a
-//! single API. Work is flattened into `(backend, case)` units (each
-//! unit batches its samples through [`Backend::generate_batch`]) and
-//! drained by `jobs` scoped worker threads. Because every [`Request`]
-//! is answered independently and deterministically, and every unit
-//! writes to its own pre-assigned output slot, a parallel run produces
-//! byte-identical results to a sequential one.
+//! single API. Work is partitioned **case-major**: one group = one
+//! case across every backend and sample, executed end to end by a
+//! single worker thread. Within a group, all candidates stream through
+//! one shared *proof session* (a [`fv_core::ProofSession`] over the
+//! compiled design for Design2SVA, an [`fv_core::EquivSession`] over
+//! the compiled reference for NL2SVA), so unrollings, monitor
+//! encodings, and solver state amortize across samples *and* models —
+//! and because a session never migrates across threads and candidate
+//! order within a group is fixed, a parallel run produces
+//! byte-identical results (and jobs-invariant prover counters) to a
+//! sequential one.
 //!
 //! Two caches amortize repeated work across tables:
 //!
@@ -15,12 +20,14 @@
 //!   cfg, sample)`, skips inference *and* formal scoring for cases
 //!   shared between experiments (Tables 1/2 and Figure 6 all reuse
 //!   the human set);
-//! - the **bind cache** reuses each Design2SVA case's parsed +
-//!   elaborated [`DesignEval`] across all backends and samples.
+//! - the **compiled-design cache**, content-addressed by `(id, source
+//!   digest)`, reuses each Design2SVA case's [`CompiledDesign`]
+//!   (whole-file elaboration + DUT binding) across all backends,
+//!   samples, and — when one engine serves many jobs — runs.
 
-use crate::design2sva::{bind_design, Design2svaRunner, DesignEval};
+use crate::design2sva::{compile_design, CompiledDesign, Design2svaRunner, DesignSession};
 use crate::metrics::{CaseEvals, SampleEval};
-use crate::nl2sva::Nl2svaRunner;
+use crate::nl2sva::{Nl2svaRunner, NlSession};
 use fv_core::{ProverStats, SignalTable};
 use fveval_data::{DesignCase, HumanCase, MachineCase};
 use fveval_llm::{Backend, InferenceConfig, Request, TaskSpec};
@@ -105,10 +112,11 @@ impl VerdictRecord {
 /// `nl2sva_machine_0000..` regardless of the generator seed).
 type VerdictKey = (String, String, u64, String, u32);
 
-/// Bind-cache key and value: `(design id, source digest)` to the
-/// shared parse+elaboration outcome.
-type BindKey = (String, u64);
-type SharedBind = Arc<Result<DesignEval, String>>;
+/// Compiled-design cache key and value: `(design id, source digest)`
+/// to the shared compile outcome. Content-addressing by digest keeps
+/// same-id cases from differently-seeded generations apart.
+type CompiledKey = (String, u64);
+type SharedCompiled = Arc<Result<CompiledDesign, String>>;
 
 /// One cached verdict plus where it came from: verdicts preloaded from
 /// a persistent store count as `persisted_hits` and are never drained
@@ -227,7 +235,7 @@ pub struct EvalEngine {
     nl2sva: Nl2svaRunner,
     d2s: Design2svaRunner,
     verdicts: VerdictCache,
-    binds: Mutex<HashMap<BindKey, SharedBind>>,
+    compiled: Mutex<HashMap<CompiledKey, SharedCompiled>>,
     /// Aggregate formal-core work counters, merged under one lock per
     /// scored sample (each of which just did parse + formal work, so
     /// this is nowhere near the hot path). Cache hits skip scoring, so
@@ -259,7 +267,7 @@ impl EvalEngine {
             nl2sva: Nl2svaRunner::new(),
             d2s: Design2svaRunner::new(),
             verdicts: VerdictCache::default(),
-            binds: Mutex::new(HashMap::new()),
+            compiled: Mutex::new(HashMap::new()),
             prover: Mutex::new(ProverStats::default()),
         }
     }
@@ -358,6 +366,17 @@ impl EvalEngine {
     /// Runs the full `backends × tasks × samples` work-list through the
     /// worker pool. Returns one `Vec<CaseEvals>` per backend, in input
     /// order; `result[b][t]` holds backend `b`'s samples for task `t`.
+    ///
+    /// Work is partitioned case-major: one group per task, covering
+    /// every backend and sample, executed by a single worker — so the
+    /// per-case proof session never migrates across threads and the
+    /// candidate stream order (backends in input order, samples
+    /// ascending) is fixed for any `jobs` setting. Results *and*
+    /// prover counters are therefore jobs-invariant. The tradeoff:
+    /// effective parallelism is `min(jobs, tasks)`, so a work-list
+    /// with fewer cases than workers leaves some idle — benchmark
+    /// tables have dozens-to-hundreds of cases, where this never
+    /// binds.
     pub fn run_matrix(
         &self,
         backends: &[&dyn Backend],
@@ -371,27 +390,28 @@ impl EvalEngine {
             return backends.iter().map(|_| Vec::new()).collect();
         }
         let slots: Vec<OnceLock<CaseEvals>> = (0..total).map(|_| OnceLock::new()).collect();
-        let run_unit = |unit: usize| {
-            let backend = backends[unit / tasks.len()];
-            let task = &tasks[unit % tasks.len()];
-            let evals = self.eval_unit(backend, task, cfg, n_samples);
-            slots[unit]
-                .set(evals)
-                .expect("each work unit is claimed exactly once");
+        let run_group = |t: usize| {
+            let task = &tasks[t];
+            let results = self.eval_group(backends, task, cfg, n_samples);
+            for (b, evals) in results.into_iter().enumerate() {
+                slots[b * tasks.len() + t]
+                    .set(evals)
+                    .expect("each work unit is claimed exactly once");
+            }
         };
-        let workers = self.jobs.min(total);
+        let workers = self.jobs.min(tasks.len());
         if workers <= 1 {
-            (0..total).for_each(run_unit);
+            (0..tasks.len()).for_each(run_group);
         } else {
             let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
-                        let unit = next.fetch_add(1, Ordering::Relaxed);
-                        if unit >= total {
+                        let group = next.fetch_add(1, Ordering::Relaxed);
+                        if group >= tasks.len() {
                             break;
                         }
-                        run_unit(unit);
+                        run_group(group);
                     });
                 }
             });
@@ -408,19 +428,21 @@ impl EvalEngine {
             .collect()
     }
 
-    /// Evaluates one `(backend, task)` unit: consult the verdict cache
-    /// per sample, batch the misses through the backend, score, and
-    /// fill the cache.
-    fn eval_unit(
+    /// Evaluates one case group — every backend's samples for `task` —
+    /// in two phases: (1) per backend, consult the verdict cache and
+    /// batch the misses through [`Backend::generate_batch`]; (2) score
+    /// every miss, in backend order then sample order, through one
+    /// shared per-case session.
+    fn eval_group(
         &self,
-        backend: &dyn Backend,
+        backends: &[&dyn Backend],
         task: &Arc<TaskSpec>,
         cfg: &InferenceConfig,
         n_samples: u32,
-    ) -> CaseEvals {
+    ) -> Vec<CaseEvals> {
         let fingerprint = cfg.fingerprint();
         let digest = task.content_digest();
-        let key = |sample_idx: u32| -> VerdictKey {
+        let key = |backend: &dyn Backend, sample_idx: u32| -> VerdictKey {
             (
                 backend.name().to_string(),
                 task.id().to_string(),
@@ -429,72 +451,134 @@ impl EvalEngine {
                 sample_idx,
             )
         };
-        let mut samples: Vec<Option<SampleEval>> =
-            (0..n_samples).map(|i| self.verdicts.get(&key(i))).collect();
-        let missing: Vec<u32> = (0..n_samples)
-            .filter(|&i| samples[i as usize].is_none())
-            .collect();
-        if !missing.is_empty() {
-            // A design that fails to parse/elaborate scores every
-            // sample as failed — resolve that before inference so no
-            // (potentially paid, rate-limited) backend calls are spent
-            // on responses that cannot be evaluated.
-            if let TaskSpec::Design2sva { case } = task.as_ref() {
-                if self.bound_design(case, digest).is_err() {
-                    for &sample_idx in &missing {
+        // ---- Phase 1: cache lookups + inference for the misses. ----
+        struct PreparedUnit {
+            samples: Vec<Option<SampleEval>>,
+            /// `(sample index, response)` pairs awaiting scoring.
+            missing: Vec<(u32, String)>,
+        }
+        let mut prepared: Vec<PreparedUnit> = Vec::with_capacity(backends.len());
+        for backend in backends {
+            let mut samples: Vec<Option<SampleEval>> = (0..n_samples)
+                .map(|i| self.verdicts.get(&key(*backend, i)))
+                .collect();
+            let missing_idx: Vec<u32> = (0..n_samples)
+                .filter(|&i| samples[i as usize].is_none())
+                .collect();
+            let mut missing = Vec::new();
+            if !missing_idx.is_empty() {
+                // A design that fails to parse/elaborate scores every
+                // sample as failed — resolve that before inference so
+                // no (potentially paid, rate-limited) backend calls
+                // are spent on responses that cannot be evaluated.
+                let broken_design = match task.as_ref() {
+                    TaskSpec::Design2sva { case } => self.compiled_design(case, digest).is_err(),
+                    _ => false,
+                };
+                if broken_design {
+                    for &sample_idx in &missing_idx {
                         let eval = SampleEval::failed();
-                        self.verdicts.insert(key(sample_idx), eval);
+                        self.verdicts.insert(key(*backend, sample_idx), eval);
                         samples[sample_idx as usize] = Some(eval);
                     }
-                    return CaseEvals {
-                        id: task.id().to_string(),
-                        samples: samples
-                            .into_iter()
-                            .map(|s| s.expect("every sample resolved"))
-                            .collect(),
-                    };
+                } else {
+                    let reqs: Vec<Request> = missing_idx
+                        .iter()
+                        .map(|&sample_idx| Request {
+                            task: Arc::clone(task),
+                            cfg: *cfg,
+                            sample_idx,
+                        })
+                        .collect();
+                    let responses = backend.generate_batch(&reqs);
+                    assert_eq!(
+                        responses.len(),
+                        reqs.len(),
+                        "backend '{}' returned {} responses for {} requests",
+                        backend.name(),
+                        responses.len(),
+                        reqs.len()
+                    );
+                    missing = missing_idx.into_iter().zip(responses).collect();
                 }
             }
-            let reqs: Vec<Request> = missing
-                .iter()
-                .map(|&sample_idx| Request {
-                    task: Arc::clone(task),
-                    cfg: *cfg,
-                    sample_idx,
-                })
-                .collect();
-            let responses = backend.generate_batch(&reqs);
-            assert_eq!(
-                responses.len(),
-                reqs.len(),
-                "backend '{}' returned {} responses for {} requests",
-                backend.name(),
-                responses.len(),
-                reqs.len()
-            );
-            for (&sample_idx, response) in missing.iter().zip(&responses) {
-                let eval = self.score_with_digest(task, response, digest);
-                self.verdicts.insert(key(sample_idx), eval);
-                samples[sample_idx as usize] = Some(eval);
+            prepared.push(PreparedUnit { samples, missing });
+        }
+
+        // ---- Phase 2: score the misses through one shared session. --
+        if prepared.iter().any(|p| !p.missing.is_empty()) {
+            // The compiled design (resolved from the content-addressed
+            // cache) must outlive the session borrowing it.
+            let compiled: Option<SharedCompiled> = match task.as_ref() {
+                TaskSpec::Design2sva { case } => Some(self.compiled_design(case, digest)),
+                _ => None,
+            };
+            let mut scorer = match task.as_ref() {
+                TaskSpec::Design2sva { .. } => {
+                    match compiled
+                        .as_ref()
+                        .expect("resolved for design tasks")
+                        .as_ref()
+                    {
+                        Ok(design) => GroupScorer::Design(self.d2s.open_session(design)),
+                        // Unreachable: phase 1 short-circuits broken
+                        // designs, so nothing is missing here.
+                        Err(_) => GroupScorer::Broken,
+                    }
+                }
+                TaskSpec::Nl2svaHuman { case, table } => GroupScorer::Nl(
+                    self.nl2sva.open_session(&case.reference, table),
+                    &case.reference,
+                ),
+                TaskSpec::Nl2svaMachine { case, table } => GroupScorer::Nl(
+                    self.nl2sva.open_session(&case.reference_text, table),
+                    &case.reference_text,
+                ),
+            };
+            for (backend, unit) in backends.iter().zip(&mut prepared) {
+                for (sample_idx, response) in &unit.missing {
+                    let eval = self.score_in_group(response, &mut scorer);
+                    self.verdicts.insert(key(*backend, *sample_idx), eval);
+                    unit.samples[*sample_idx as usize] = Some(eval);
+                }
             }
         }
-        CaseEvals {
-            id: task.id().to_string(),
-            samples: samples
-                .into_iter()
-                .map(|s| s.expect("every sample resolved"))
-                .collect(),
-        }
+        prepared
+            .into_iter()
+            .map(|unit| CaseEvals {
+                id: task.id().to_string(),
+                samples: unit
+                    .samples
+                    .into_iter()
+                    .map(|s| s.expect("every sample resolved"))
+                    .collect(),
+            })
+            .collect()
     }
 
-    /// Scores one response with the real evaluation pipeline.
+    /// Scores one response through the group's shared session and
+    /// merges the formal-work delta into the engine counters.
+    fn score_in_group(&self, response: &str, scorer: &mut GroupScorer<'_>) -> SampleEval {
+        let (eval, stats) = match scorer {
+            GroupScorer::Design(session) => self.d2s.evaluate_in_session(session, response),
+            GroupScorer::Nl(session, reference_text) => {
+                self.nl2sva
+                    .evaluate_in_session(session, reference_text, response)
+            }
+            GroupScorer::Broken => (SampleEval::failed(), ProverStats::default()),
+        };
+        self.prover
+            .lock()
+            .expect("prover counters poisoned")
+            .merge(&stats);
+        eval
+    }
+
+    /// Scores one response with the real evaluation pipeline (one-shot:
+    /// a fresh session per call — the verdict is identical to the
+    /// session-streamed path the engine runs use).
     pub fn score(&self, task: &TaskSpec, response: &str) -> SampleEval {
-        self.score_with_digest(task, response, task.content_digest())
-    }
-
-    /// [`EvalEngine::score`] with the content digest precomputed (the
-    /// per-unit hot path hashes each task once, not once per sample).
-    fn score_with_digest(&self, task: &TaskSpec, response: &str, digest: u64) -> SampleEval {
+        let digest = task.content_digest();
         let (eval, stats) = match task {
             TaskSpec::Nl2svaHuman { case, table } => {
                 self.nl2sva
@@ -504,7 +588,7 @@ impl EvalEngine {
                 self.nl2sva
                     .evaluate_response_stats(&case.reference_text, response, table)
             }
-            TaskSpec::Design2sva { case } => match self.bound_design(case, digest).as_ref() {
+            TaskSpec::Design2sva { case } => match self.compiled_design(case, digest).as_ref() {
                 Ok(bound) => self.d2s.evaluate_response_stats(bound, response),
                 Err(_) => (SampleEval::failed(), ProverStats::default()),
             },
@@ -516,27 +600,46 @@ impl EvalEngine {
         eval
     }
 
-    /// Parses + elaborates a design once and shares it across every
-    /// backend and sample that scores against it. Keyed by `(id,
-    /// source digest)` so same-id cases with different RTL never share
-    /// a binding.
-    fn bound_design(&self, case: &DesignCase, digest: u64) -> SharedBind {
+    /// Compiles a design once (whole-file elaboration + DUT binding)
+    /// and shares it across every backend, sample, and job that scores
+    /// against it. Content-addressed by `(id, source digest)` so
+    /// same-id cases with different RTL never share a compile.
+    fn compiled_design(&self, case: &DesignCase, digest: u64) -> SharedCompiled {
         let key = (case.id.clone(), digest);
-        if let Some(bound) = self.binds.lock().expect("bind cache poisoned").get(&key) {
+        if let Some(bound) = self
+            .compiled
+            .lock()
+            .expect("compiled-design cache poisoned")
+            .get(&key)
+        {
             return Arc::clone(bound);
         }
-        // Bind outside the lock: elaboration is the expensive part. A
-        // racing worker may duplicate the work, but both produce the
+        // Compile outside the lock: elaboration is the expensive part.
+        // A racing worker may duplicate the work, but both produce the
         // same value and the first insert wins.
-        let bound = Arc::new(bind_design(case));
+        let bound = Arc::new(compile_design(case));
         Arc::clone(
-            self.binds
+            self.compiled
                 .lock()
-                .expect("bind cache poisoned")
+                .expect("compiled-design cache poisoned")
                 .entry(key)
                 .or_insert(bound),
         )
     }
+}
+
+/// The shared scoring state of one case group: every miss in the group
+/// streams through the same session, in a deterministic order.
+enum GroupScorer<'s> {
+    /// Design2SVA: a shared [`fv_core::ProofSession`] over the
+    /// compiled base netlist.
+    Design(DesignSession<'s>),
+    /// NL2SVA: a shared [`fv_core::EquivSession`] plus the reference
+    /// text (for BLEU).
+    Nl(NlSession<'s>, &'s str),
+    /// Design collateral failed to compile (defensive; phase 1 fails
+    /// such samples before scoring).
+    Broken,
 }
 
 /// Builds the owned task list for the human set. `tables` maps
@@ -796,7 +899,7 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].len(), 2);
         // One bind per case, reused by both backends.
-        assert_eq!(engine.binds.lock().unwrap().len(), 2);
+        assert_eq!(engine.compiled.lock().unwrap().len(), 2);
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! Runner for the NL2SVA-Human and NL2SVA-Machine sub-benchmarks.
+//!
+//! Like the Design2SVA side, scoring is compile-once / score-many:
+//! [`Nl2svaRunner::open_session`] parses and compiles the reference
+//! assertion once per case into an [`fv_core::EquivSession`], and every
+//! candidate sample (across all models) is checked against it on the
+//! shared trace and solver.
 
 use crate::bleu::bleu;
 use crate::engine::{human_task_specs, machine_task_specs, EvalEngine};
 use crate::metrics::{CaseEvals, SampleEval};
-use fv_core::{check_equivalence, EquivConfig, ProverStats, SignalTable};
+use fv_core::{EquivConfig, EquivSession, ProverStats, SignalTable};
 use fveval_data::{HumanCase, MachineCase};
 use fveval_llm::{Backend, InferenceConfig};
 use sv_parser::parse_assertion_str;
@@ -27,6 +33,33 @@ pub struct Nl2svaRunner {
     equiv: EquivConfig,
 }
 
+/// A per-case scoring session: the reference assertion compiled once
+/// into a shared [`EquivSession`], reused by every candidate sample.
+/// Obtain via [`Nl2svaRunner::open_session`], feed it through
+/// [`Nl2svaRunner::evaluate_in_session`].
+pub struct NlSession<'t> {
+    state: NlSessionState<'t>,
+}
+
+enum NlSessionState<'t> {
+    /// The reference text failed to parse: every sample is a tool
+    /// failure (as in the one-shot path).
+    BadReference,
+    /// Boxed: the session (graph + solver + simulators) dwarfs the
+    /// empty variant, and one box per case is noise.
+    Open(Box<EquivSession<'t>>),
+}
+
+impl NlSession<'_> {
+    /// Cumulative prover counters for the shared session.
+    pub fn stats(&self) -> ProverStats {
+        match &self.state {
+            NlSessionState::BadReference => ProverStats::default(),
+            NlSessionState::Open(equiv) => equiv.stats(),
+        }
+    }
+}
+
 impl Default for Nl2svaRunner {
     fn default() -> Nl2svaRunner {
         Nl2svaRunner::new()
@@ -47,6 +80,22 @@ impl Nl2svaRunner {
         self
     }
 
+    /// Opens a scoring session for one case: the reference assertion is
+    /// parsed (and later compiled) once, and every candidate checked
+    /// through the session shares its trace, strashed graph, and
+    /// solver. An unparseable reference yields a session that scores
+    /// every sample as a tool failure, matching the one-shot path.
+    pub fn open_session<'t>(&self, reference_text: &str, table: &'t SignalTable) -> NlSession<'t> {
+        NlSession {
+            state: match parse_assertion_str(reference_text) {
+                Ok(reference) => {
+                    NlSessionState::Open(Box::new(EquivSession::open(reference, table, self.equiv)))
+                }
+                Err(_) => NlSessionState::BadReference,
+            },
+        }
+    }
+
     /// Scores one response against a reference in a signal scope.
     ///
     /// A parse failure, an unknown signal, or an engine limit all score
@@ -63,16 +112,33 @@ impl Nl2svaRunner {
 
     /// [`Nl2svaRunner::evaluate_response`], additionally reporting how
     /// the equivalence prover discharged its queries (zero counters
-    /// when scoring never reached the prover).
+    /// when scoring never reached the prover). One-shot: opens a
+    /// throwaway session per call; batch scoring should hold a
+    /// [`Nl2svaRunner::open_session`] session instead.
     pub fn evaluate_response_stats(
         &self,
         reference_text: &str,
         response: &str,
         table: &SignalTable,
     ) -> (SampleEval, ProverStats) {
-        let reference = match parse_assertion_str(reference_text) {
-            Ok(a) => a,
-            Err(_) => return (SampleEval::failed(), ProverStats::default()),
+        let mut session = self.open_session(reference_text, table);
+        self.evaluate_in_session(&mut session, reference_text, response)
+    }
+
+    /// Scores one response through a shared per-case session. The
+    /// verdict is identical to [`Nl2svaRunner::evaluate_response`] —
+    /// sessions only change *how much work* the equivalence check
+    /// costs, never its outcome. `reference_text` must be the text the
+    /// session was opened with (used for BLEU).
+    pub fn evaluate_in_session(
+        &self,
+        session: &mut NlSession<'_>,
+        reference_text: &str,
+        response: &str,
+    ) -> (SampleEval, ProverStats) {
+        let equiv = match &mut session.state {
+            NlSessionState::BadReference => return (SampleEval::failed(), ProverStats::default()),
+            NlSessionState::Open(equiv) => equiv,
         };
         let candidate = match parse_assertion_str(response) {
             Ok(a) => a,
@@ -87,7 +153,8 @@ impl Nl2svaRunner {
             }
         };
         let b = bleu(reference_text, response);
-        match check_equivalence(&reference, &candidate, table, self.equiv) {
+        let before = equiv.stats();
+        match equiv.check(&candidate) {
             Err(_) => (
                 SampleEval {
                     // Elaboration failure (unknown signal etc.).
@@ -96,7 +163,10 @@ impl Nl2svaRunner {
                     partial: false,
                     bleu: b,
                 },
-                ProverStats::default(),
+                // The session still opened and counted the check before
+                // erroring; report that delta so aggregated counters
+                // stay exact.
+                equiv.stats().delta_since(&before),
             ),
             Ok(out) => (
                 SampleEval {
@@ -208,6 +278,53 @@ mod tests {
             &table(),
         );
         assert!(!e.syntax);
+    }
+
+    #[test]
+    fn session_scoring_matches_one_shot() {
+        let r = Nl2svaRunner::new();
+        let t = table();
+        let reference = "assert property (@(posedge clk) a |-> ##1 b);";
+        let responses = [
+            reference,
+            "assert property (@(posedge clk) a |=> b);",
+            "assert property (@(posedge clk) a |-> ghost);",
+            "assert property (@(posedge clk) (a",
+            "assert property (@(posedge clk) b);",
+            "assert property (@(posedge clk) a |-> (b && tb_reset));",
+        ];
+        let mut session = r.open_session(reference, &t);
+        for resp in responses {
+            assert_eq!(
+                r.evaluate_in_session(&mut session, reference, resp).0,
+                r.evaluate_response(reference, resp, &t),
+                "{resp}"
+            );
+        }
+        let stats = session.stats();
+        assert_eq!(stats.sessions_opened, 1, "{stats:?}");
+        assert!(
+            stats.unroll_reuse_hits > 0,
+            "reference compiled once, served from cache after: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn bad_reference_session_fails_every_sample() {
+        let r = Nl2svaRunner::new();
+        let t = table();
+        let reference = "assert property (@(posedge clk) (a";
+        let mut session = r.open_session(reference, &t);
+        let e = r.evaluate_in_session(
+            &mut session,
+            reference,
+            "assert property (@(posedge clk) a);",
+        );
+        assert_eq!(
+            e.0,
+            r.evaluate_response(reference, "assert property (@(posedge clk) a);", &t)
+        );
+        assert!(!e.0.syntax);
     }
 
     #[test]

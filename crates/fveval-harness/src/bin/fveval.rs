@@ -6,7 +6,8 @@
 //! fveval gen [--family NAME]... [--count N] [--depth N] [--width N]
 //!            [--seed N] [--eval] [--out DIR]
 //! fveval serve [--addr HOST:PORT] [--jobs N] [--serve-workers N]
-//!              [--max-jobs N] [--cache-dir DIR] [--no-persist]
+//!              [--max-jobs N] [--retain N] [--cache-dir DIR]
+//!              [--no-persist]
 //! fveval submit [--addr HOST:PORT] [--set suite|human|machine]
 //!               [--family NAME]... [--count N] [--depth N] [--width N]
 //!               [--seed N] [--samples N] [--model NAME]... [--wait]
@@ -60,6 +61,8 @@
 //!   --addr A        server address (default 127.0.0.1:8642)
 //!   --serve-workers N  (`serve`) job worker threads (default 2)
 //!   --max-jobs N    (`serve`) bound on in-flight jobs (default 64)
+//!   --retain N      (`serve`) finished-job results kept addressable
+//!                   (default 64; older results answer 404; 0 rejected)
 //!   --set NAME      (`submit`) task set: suite (default, built from
 //!                   the gen flags), human, or machine
 //!   --samples N     (`submit`) samples per (model, case) (default 1)
@@ -80,9 +83,11 @@
 //! After the tables, the run's formal-core work summary is written to
 //! `--out/prover_stats.{md,csv}` (and echoed to stderr): how many
 //! prover queries went to SAT versus being killed by random or ternary
-//! simulation, how often SAT calls reused an already-warmed solver, and
-//! how many verdicts came from the in-memory cache versus the
-//! persistent store. See `ARCHITECTURE.md` for what each column means.
+//! simulation, how often SAT calls reused an already-warmed solver,
+//! how many proof sessions were opened versus candidate assertions
+//! streamed through them (compile-once / score-many reuse), and how
+//! many verdicts came from the in-memory cache versus the persistent
+//! store. See `ARCHITECTURE.md` for what each column means.
 
 use fveval_core::EvalEngine;
 use fveval_harness::HarnessOptions;
@@ -121,6 +126,7 @@ struct ServeArgs {
     addr: Option<String>,
     serve_workers: Option<usize>,
     max_jobs: Option<usize>,
+    retain: Option<usize>,
     set: Option<String>,
     samples: Option<u32>,
     models: Vec<String>,
@@ -225,6 +231,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--max-jobs needs a value")?;
                 serve.max_jobs = Some(v.parse().map_err(|_| "bad job bound".to_string())?);
             }
+            "--retain" => {
+                let v = args.next().ok_or("--retain needs a value")?;
+                let n: usize = v.parse().map_err(|_| "bad retention bound".to_string())?;
+                if n == 0 {
+                    return Err("--retain must be at least 1 (a server retaining no \
+                                finished jobs could never deliver a result)"
+                        .to_string());
+                }
+                serve.retain = Some(n);
+            }
             "--set" => {
                 let v = args.next().ok_or("--set needs a value")?;
                 if !["suite", "human", "machine"].contains(&v.as_str()) {
@@ -278,6 +294,7 @@ fn parse_args() -> Result<Args, String> {
             "--serve-workers",
         ),
         (serve.max_jobs.is_some() && cmd != "serve", "--max-jobs"),
+        (serve.retain.is_some() && cmd != "serve", "--retain"),
         (serve.set.is_some() && cmd != "submit", "--set"),
         (serve.samples.is_some() && cmd != "submit", "--samples"),
         (!serve.models.is_empty() && cmd != "submit", "--model"),
@@ -358,6 +375,10 @@ fn run_serve(args: &Args) -> Result<(), String> {
         max_jobs: args.serve.max_jobs.unwrap_or(64),
         engine_jobs: args.jobs,
         cache_dir: (!args.no_persist).then(|| args.cache_dir.clone()),
+        retain_finished: args
+            .serve
+            .retain
+            .unwrap_or(fveval_serve::DEFAULT_RETAINED_FINISHED),
     };
     let server = Server::bind(config)?;
     eprintln!(
@@ -496,7 +517,8 @@ fn usage() -> String {
          [--cache-dir DIR] [--no-persist]\n\
          \x20      fveval gen [--family NAME]... [--count N] [--depth N] \
          [--width N] [--seed N] [--eval] [--out DIR]\n\
-         \x20      fveval serve [--addr A] [--serve-workers N] [--max-jobs N]\n\
+         \x20      fveval serve [--addr A] [--serve-workers N] [--max-jobs N] \
+         [--retain N]\n\
          \x20      fveval submit [--addr A] [--set suite|human|machine] \
          [--model NAME]... [--samples N] [--wait]\n\
          \x20      fveval poll --job ID [--addr A] [--wait]\n\
@@ -739,6 +761,10 @@ fn main() -> ExitCode {
             prover.sim_kills,
             prover.ternary_kills,
         );
+        eprintln!(
+            "[sessions: {} opened, {} assertions checked, {} unrollings reused]",
+            prover.sessions_opened, prover.session_checks, prover.unroll_reuse_hits,
+        );
     }
     if prover.queries() > 0 || stats.hits + stats.persisted_hits + stats.misses > 0 {
         let t = prover_stats_table(&prover, &stats);
@@ -766,6 +792,9 @@ fn prover_stats_table(
             "Solver reuse hits",
             "Sim kills",
             "Ternary kills",
+            "Sessions opened",
+            "Assertions checked",
+            "Unroll reuse hits",
             "Verdict-cache hits",
             "Persisted hits",
             "Cache misses",
@@ -777,6 +806,9 @@ fn prover_stats_table(
         prover.solver_reuse_hits.to_string().into(),
         prover.sim_kills.to_string().into(),
         prover.ternary_kills.to_string().into(),
+        prover.sessions_opened.to_string().into(),
+        prover.session_checks.to_string().into(),
+        prover.unroll_reuse_hits.to_string().into(),
         cache.hits.to_string().into(),
         cache.persisted_hits.to_string().into(),
         cache.misses.to_string().into(),

@@ -21,7 +21,7 @@
 
 use fv_core::SignalTable;
 use fveval_core::{
-    bind_design, design_task_specs, histogram, human_task_specs, machine_task_specs, pearson,
+    compile_design, design_task_specs, histogram, human_task_specs, machine_task_specs, pearson,
     token_count, Design2svaRunner, EvalEngine, MetricSummary, Table,
 };
 use fveval_data::{
@@ -603,7 +603,7 @@ pub fn validate(opts: &HarnessOptions) -> (String, usize) {
         .into_iter()
         .chain(fsm_sweep(n, opts.seed + 1))
     {
-        match bind_design(&case) {
+        match compile_design(&case) {
             Err(e) => check(&mut out, &mut errors, &case.id, false, &e),
             Ok(bound) => {
                 let all_proven = case

@@ -40,5 +40,5 @@ pub mod testutil;
 
 pub use client::Client;
 pub use protocol::{EvalRequest, EvalResult, JobState, JobView, TaskSetRef};
-pub use server::{build_tasks, resolve_backends, Server, ServerConfig};
+pub use server::{build_tasks, resolve_backends, Server, ServerConfig, DEFAULT_RETAINED_FINISHED};
 pub use store::{decode_record, encode_record, VerdictStore};

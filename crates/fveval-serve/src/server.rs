@@ -45,6 +45,11 @@ pub struct ServerConfig {
     pub engine_jobs: usize,
     /// Verdict-store directory; `None` disables persistence.
     pub cache_dir: Option<PathBuf>,
+    /// How many finished jobs (with their full result payloads) stay
+    /// addressable; older ones answer `404`. Must be at least 1 —
+    /// [`Server::bind`] rejects `0`, which would evict every result
+    /// before its poller could read it.
+    pub retain_finished: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +60,7 @@ impl Default for ServerConfig {
             max_jobs: 64,
             engine_jobs: 0,
             cache_dir: None,
+            retain_finished: DEFAULT_RETAINED_FINISHED,
         }
     }
 }
@@ -72,16 +78,15 @@ struct State {
     jobs: HashMap<u64, Job>,
     queue: VecDeque<u64>,
     /// Finished (done/failed) job ids in completion order; bounded by
-    /// [`RETAINED_FINISHED`] so a long-lived server cannot grow without
-    /// limit — the oldest results are evicted first.
+    /// [`ServerConfig::retain_finished`] so a long-lived server cannot
+    /// grow without limit — the oldest results are evicted first.
     finished: VecDeque<u64>,
     next_id: u64,
     running: usize,
 }
 
-/// How many finished jobs (with their full result payloads) are kept
-/// addressable; older ones answer `404`.
-const RETAINED_FINISHED: usize = 64;
+/// Default for [`ServerConfig::retain_finished`] (the `--retain` flag).
+pub const DEFAULT_RETAINED_FINISHED: usize = 64;
 
 /// Grace period between "nothing left to do" and the accept loop
 /// exiting, so clients polling a just-finished job still collect its
@@ -100,6 +105,7 @@ struct Shared {
     jobs_failed: AtomicU64,
     preloaded: usize,
     max_jobs: usize,
+    retain_finished: usize,
     /// The bound address, used to wake the blocking accept loop.
     addr: std::net::SocketAddr,
 }
@@ -139,9 +145,16 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns a message if the address cannot be bound or the store
-    /// cannot be opened.
+    /// Returns a message if the address cannot be bound, the store
+    /// cannot be opened, or `retain_finished` is `0`.
     pub fn bind(config: ServerConfig) -> Result<Server, String> {
+        if config.retain_finished == 0 {
+            return Err(
+                "retain_finished must be at least 1 (a server that retains no finished \
+                 jobs could never deliver a result)"
+                    .to_string(),
+            );
+        }
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
         let addr = listener
@@ -169,6 +182,7 @@ impl Server {
             jobs_failed: AtomicU64::new(0),
             preloaded,
             max_jobs: config.max_jobs.max(1),
+            retain_finished: config.retain_finished,
             addr,
         });
         shared.state.lock().expect("state poisoned").next_id = 1;
@@ -423,6 +437,9 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
                 ("sim_kills", prover.sim_kills.into()),
                 ("ternary_kills", prover.ternary_kills.into()),
                 ("solver_reuse_hits", prover.solver_reuse_hits.into()),
+                ("sessions_opened", prover.sessions_opened.into()),
+                ("session_checks", prover.session_checks.into()),
+                ("unroll_reuse_hits", prover.unroll_reuse_hits.into()),
             ]),
         ),
         ("store", store_json),
@@ -490,7 +507,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         // Bound memory: retain only the most recent finished results.
         state.finished.push_back(id);
-        while state.finished.len() > RETAINED_FINISHED {
+        while state.finished.len() > shared.retain_finished {
             if let Some(evicted) = state.finished.pop_front() {
                 state.jobs.remove(&evicted);
             }

@@ -21,6 +21,7 @@ fn start(cache_dir: Option<PathBuf>) -> (Client, std::thread::JoinHandle<Result<
         max_jobs: 16,
         engine_jobs: 2,
         cache_dir,
+        ..ServerConfig::default()
     })
     .expect("server binds");
     let addr = server.local_addr().to_string();
@@ -213,4 +214,47 @@ fn bad_requests_are_rejected_and_jobs_are_addressable() {
     assert_eq!(view.result.unwrap().models[0].1.len(), 2);
     client.shutdown().expect("shutdown");
     server.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn retention_bound_is_configurable_and_rejects_zero() {
+    // `retain_finished: 0` is a configuration error, not a silent
+    // result-eating server.
+    let err = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        retain_finished: 0,
+        ..ServerConfig::default()
+    })
+    .unwrap_err();
+    assert!(err.contains("retain"), "{err}");
+
+    // With `retain_finished: 1`, finishing a second job evicts the
+    // first result (404) while the newest stays addressable.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        max_jobs: 16,
+        engine_jobs: 1,
+        cache_dir: None,
+        retain_finished: 1,
+    })
+    .expect("server binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    let client = Client::new(addr);
+    let small = |seed| EvalRequest {
+        tasks: TaskSetRef::Machine { count: 2, seed },
+        models: vec!["gpt-4o".to_string()],
+        cfg: InferenceConfig::greedy(),
+        samples: 1,
+    };
+    let first = client.submit(&small(1)).expect("submit");
+    client.wait(first, WAIT).expect("first completes");
+    let second = client.submit(&small(2)).expect("submit");
+    client.wait(second, WAIT).expect("second completes");
+    let err = client.job(first).unwrap_err();
+    assert!(err.contains("404"), "evicted result answers 404: {err}");
+    assert!(client.job(second).expect("retained").result.is_some());
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().expect("clean exit");
 }

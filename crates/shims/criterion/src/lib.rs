@@ -62,13 +62,22 @@ pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
     budget: Duration,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `routine`, once per sample, until the sample count or the
     /// group's measurement-time budget is reached (always at least one
-    /// sample).
+    /// sample). In `--test` mode (mirroring criterion), the routine
+    /// runs exactly once with no warm-up: a compile-and-run smoke, not
+    /// a measurement.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+            return;
+        }
         // One untimed warm-up to populate caches and lazy statics.
         std::hint::black_box(routine());
         let started = Instant::now();
@@ -118,6 +127,7 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
             sample_size: self.sample_size,
             budget: self.measurement_time,
+            test_mode: self.criterion.test_mode,
         };
         f(&mut b);
         report(&full, &b.samples);
@@ -171,10 +181,12 @@ fn fmt_dur(d: Duration) -> String {
     }
 }
 
-/// The benchmark manager: holds the optional name filter taken from the
-/// command line (`cargo bench -- <filter>`).
+/// The benchmark manager: holds the optional name filter and the
+/// `--test` smoke-mode flag taken from the command line
+/// (`cargo bench -- <filter> [--test]`).
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -182,10 +194,12 @@ impl Default for Criterion {
         // cargo passes `--bench`; anything that is not a flag or a
         // flag value is treated as a substring filter.
         let mut filter = None;
+        let mut test_mode = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--bench" | "--test" | "--exact" | "--nocapture" | "-q" | "--quiet" => {}
+                "--test" => test_mode = true,
+                "--bench" | "--exact" | "--nocapture" | "-q" | "--quiet" => {}
                 "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size" => {
                     let _ = args.next();
                 }
@@ -193,7 +207,7 @@ impl Default for Criterion {
                 _ => {}
             }
         }
-        Criterion { filter }
+        Criterion { filter, test_mode }
     }
 }
 
@@ -256,7 +270,10 @@ mod tests {
 
     #[test]
     fn group_runs_and_reports() {
-        let mut c = Criterion { filter: None };
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
         let mut g = c.benchmark_group("shim");
         let mut runs = 0u32;
         g.sample_size(3)
@@ -268,9 +285,23 @@ mod tests {
     }
 
     #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut g = c.benchmark_group("shim");
+        let mut runs = 0u32;
+        g.sample_size(50)
+            .bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "--test smoke mode skips warm-up and sampling");
+    }
+
+    #[test]
     fn filter_skips_mismatches() {
         let mut c = Criterion {
             filter: Some("only_this".into()),
+            test_mode: false,
         };
         let mut g = c.benchmark_group("shim");
         let mut runs = 0u32;

@@ -741,6 +741,12 @@ pub fn elaborate(file: &SourceFile, top: &str) -> Result<Netlist> {
 /// the Design2SVA evaluation flow, where the model's response snippet
 /// (wires, assigns, processes) is grafted onto the testbench module.
 ///
+/// When the same design is bound against *many* extra-item sets (one
+/// per model response), prefer [`elaborate_design`] +
+/// [`ElaboratedDesign::bind_extras`]: the whole-file walk (instance
+/// inlining, generate unrolling, parameter resolution) runs once and
+/// each binding only flattens its own few items.
+///
 /// # Errors
 ///
 /// See [`elaborate`]; additionally errors if the extra items reference
@@ -756,7 +762,164 @@ pub fn elaborate_with_extras(
         .ok_or_else(|| ElabError::new(format!("unknown top module '{top}'")))?;
     let mut fl = Flattener::default();
     fl.flatten_module(file, module, "", &HashMap::new(), extras)?;
+    build_netlist(
+        &fl.items,
+        &[],
+        &fl.clock_name,
+        &fl.reset_name,
+        &fl.warnings,
+        &fl.top_params,
+    )
+}
 
+/// A design elaborated once into reusable flattened form: the result of
+/// the expensive whole-file walk (module inlining, generate unrolling,
+/// parameter and genvar resolution) plus the top module's name scope,
+/// ready to have per-response extra items spliced in cheaply.
+///
+/// This is the compile-once half of the compile-once / score-many
+/// Design2SVA flow: [`elaborate_design`] pays the full elaboration once
+/// per design, and every candidate response only pays
+/// [`ElaboratedDesign::bind_extras`] for its own handful of helper
+/// items.
+///
+/// # Examples
+///
+/// ```
+/// use sv_parser::parse_source;
+/// use sv_synth::elaborate_design;
+///
+/// let f = parse_source(
+///     "module tb (clk, a, q);\ninput clk; input a; output q;\n\
+///      assign q = a;\nendmodule\n",
+/// )
+/// .unwrap();
+/// let design = elaborate_design(&f, "tb", &[]).unwrap();
+/// // The helper-free binding is the cached base netlist.
+/// assert!(design.netlist().net("q").is_some());
+/// // A response's helper items splice in without re-walking the file.
+/// let extras = sv_parser::parse_snippet("logic mirror;\nassign mirror = a;").unwrap();
+/// let bound = design.bind_extras(&extras).unwrap();
+/// assert!(bound.net("mirror").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElaboratedDesign {
+    file: SourceFile,
+    items: Vec<FlatItem>,
+    scope: HashMap<String, ScopeEntry>,
+    clock_name: Option<String>,
+    reset_name: Option<String>,
+    warnings: Vec<String>,
+    top_params: Vec<(String, u128)>,
+    base: Netlist,
+}
+
+/// Elaborates `top` (with `extras` already part of the design, e.g. the
+/// DUT instantiation of a Design2SVA testbench) into a reusable
+/// [`ElaboratedDesign`]. The base netlist is built and validated
+/// eagerly, so a successful return means the helper-free binding is
+/// known-good.
+///
+/// # Errors
+///
+/// See [`elaborate_with_extras`].
+pub fn elaborate_design(
+    file: &SourceFile,
+    top: &str,
+    extras: &[ModuleItem],
+) -> Result<ElaboratedDesign> {
+    let module = file
+        .module(top)
+        .ok_or_else(|| ElabError::new(format!("unknown top module '{top}'")))?;
+    let mut fl = Flattener::default();
+    let scope = fl.flatten_module(file, module, "", &HashMap::new(), extras)?;
+    let base = build_netlist(
+        &fl.items,
+        &[],
+        &fl.clock_name,
+        &fl.reset_name,
+        &fl.warnings,
+        &fl.top_params,
+    )?;
+    Ok(ElaboratedDesign {
+        file: file.clone(),
+        items: fl.items,
+        scope,
+        clock_name: fl.clock_name,
+        reset_name: fl.reset_name,
+        warnings: fl.warnings,
+        top_params: fl.top_params,
+        base,
+    })
+}
+
+impl ElaboratedDesign {
+    /// The cached base netlist (no extra items beyond those the design
+    /// was elaborated with). Identical to what
+    /// [`ElaboratedDesign::bind_extras`] returns for an empty slice,
+    /// without the clone.
+    pub fn netlist(&self) -> &Netlist {
+        &self.base
+    }
+
+    /// Top-module parameter values, in declaration order (the
+    /// testbench constants visible to assertions).
+    pub fn params(&self) -> &[(String, u128)] {
+        &self.top_params
+    }
+
+    /// Splices `extras` into the already-flattened design and builds
+    /// the bound netlist. Only the extra items are flattened — they are
+    /// resolved in the saved top-module scope exactly as if they had
+    /// been appended to the module body, so the result is identical to
+    /// [`elaborate_with_extras`] with the concatenated extras, at a
+    /// fraction of the cost.
+    ///
+    /// # Errors
+    ///
+    /// See [`elaborate_with_extras`].
+    pub fn bind_extras(&self, extras: &[ModuleItem]) -> Result<Netlist> {
+        if extras.is_empty() {
+            return Ok(self.base.clone());
+        }
+        // Resume flattening where the base elaboration stopped: same
+        // scope, same clock/reset detection state, fresh item list.
+        let mut fl = Flattener {
+            items: Vec::new(),
+            clock_name: self.clock_name.clone(),
+            reset_name: self.reset_name.clone(),
+            warnings: Vec::new(),
+            top_params: Vec::new(),
+        };
+        let mut scope = self.scope.clone();
+        let refs: Vec<&ModuleItem> = extras.iter().collect();
+        fl.flatten_items(&self.file, &refs, "", &mut scope)?;
+        let mut warnings = self.warnings.clone();
+        warnings.extend(fl.warnings);
+        let mut top_params = self.top_params.clone();
+        top_params.extend(fl.top_params);
+        build_netlist(
+            &self.items,
+            &fl.items,
+            &fl.clock_name,
+            &fl.reset_name,
+            &warnings,
+            &top_params,
+        )
+    }
+}
+
+/// Passes A and B over the flattened items (base followed by
+/// per-binding extras), producing the final netlist.
+fn build_netlist(
+    base: &[FlatItem],
+    extra: &[FlatItem],
+    clock_name: &Option<String>,
+    reset_name: &Option<String>,
+    warnings: &[String],
+    top_params: &[(String, u128)],
+) -> Result<Netlist> {
+    let items = || base.iter().chain(extra.iter());
     let mut b = Builder {
         netlist: Netlist::default(),
         atom_of_range: HashMap::new(),
@@ -764,13 +927,13 @@ pub fn elaborate_with_extras(
         decl_order: Vec::new(),
         drivers: HashMap::new(),
     };
-    b.netlist.clock_name = fl.clock_name.clone();
-    b.netlist.reset_name = fl.reset_name.clone();
-    b.netlist.warnings = fl.warnings.clone();
-    b.netlist.params = fl.top_params.clone();
+    b.netlist.clock_name = clock_name.clone();
+    b.netlist.reset_name = reset_name.clone();
+    b.netlist.warnings = warnings.to_vec();
+    b.netlist.params = top_params.to_vec();
 
     // Pass A: declarations.
-    for item in &fl.items {
+    for item in items() {
         if let FlatItem::Decl(info) = item {
             match info.elems {
                 None => b.declare(info.flat.clone(), info.clone()),
@@ -787,7 +950,7 @@ pub fn elaborate_with_extras(
         }
     }
     // Pass A: drivers.
-    for (tag, item) in fl.items.iter().enumerate() {
+    for (tag, item) in items().enumerate() {
         match item {
             FlatItem::Decl(_) => {}
             FlatItem::Assign { target, .. } => {
@@ -830,7 +993,7 @@ pub fn elaborate_with_extras(
     });
 
     // Pass B: expressions.
-    for item in &fl.items {
+    for item in items() {
         match item {
             FlatItem::Decl(_) => {}
             FlatItem::Assign { target, rhs } => {
@@ -1694,6 +1857,71 @@ mod tests {
         let extras = sv_parser::parse_snippet("assign foo = hidden_state;\n").unwrap();
         // `foo` undeclared -> error either way.
         assert!(elaborate_with_extras(&f, "tb", &extras).is_err());
+    }
+
+    /// Canonical rendering of a netlist for equality checks (the
+    /// `nets`/`arrays` maps have no stable iteration order).
+    fn fingerprint(nl: &Netlist) -> String {
+        let mut nets: Vec<String> = nl.nets.iter().map(|(n, b)| format!("{n}:{b:?}")).collect();
+        nets.sort();
+        let mut arrays: Vec<String> = nl.arrays.iter().map(|(n, c)| format!("{n}:{c}")).collect();
+        arrays.sort();
+        format!(
+            "{:?}|{nets:?}|{arrays:?}|{:?}|{:?}|{:?}|{:?}",
+            nl.atoms, nl.reset_name, nl.clock_name, nl.warnings, nl.params
+        )
+    }
+
+    #[test]
+    fn split_elaboration_matches_combined() {
+        // A testbench instantiating a sequential DUT, with response
+        // helper items spliced in: the split path (elaborate the design
+        // once, bind the helpers later) must produce the exact netlist
+        // the one-pass path builds.
+        let src = "module inner (clk, reset_, a, y);\n\
+                   input clk; input reset_; input a; output y;\n\
+                   reg r;\n\
+                   always @(posedge clk) begin\n\
+                   if (!reset_) r <= 1'b0; else r <= a;\nend\n\
+                   assign y = r;\nendmodule\n\
+                   module tb (clk, reset_, a, q);\n\
+                   parameter GOLD = 3;\n\
+                   input clk; input reset_; input a; input q;\nendmodule\n";
+        let f = parse_source(src).unwrap();
+        let dut = sv_ast::ModuleItem::Instance(sv_ast::Instance {
+            module: "inner".into(),
+            name: "dut".into(),
+            params: vec![],
+            conns: [("clk", "clk"), ("reset_", "reset_"), ("a", "a"), ("y", "q")]
+                .into_iter()
+                .map(|(p, n)| (p.to_string(), sv_ast::Expr::ident(n)))
+                .collect(),
+        });
+        let helpers = sv_parser::parse_snippet(
+            "logic mirror;\nassign mirror = q;\n\
+             logic seen;\nalways @(posedge clk) begin seen <= mirror; end\n",
+        )
+        .unwrap();
+        let mut combined = vec![dut.clone()];
+        combined.extend(helpers.iter().cloned());
+        let one_pass = elaborate_with_extras(&f, "tb", &combined).unwrap();
+        let design = elaborate_design(&f, "tb", std::slice::from_ref(&dut)).unwrap();
+        let split = design.bind_extras(&helpers).unwrap();
+        assert_eq!(fingerprint(&one_pass), fingerprint(&split));
+        // The helper-free binding equals the eager base netlist and the
+        // one-pass elaboration without helpers.
+        let base_one_pass = elaborate_with_extras(&f, "tb", std::slice::from_ref(&dut)).unwrap();
+        assert_eq!(fingerprint(&base_one_pass), fingerprint(design.netlist()));
+        assert_eq!(
+            fingerprint(&design.bind_extras(&[]).unwrap()),
+            fingerprint(design.netlist())
+        );
+        // Parameters harvested once at design elaboration.
+        assert_eq!(design.params(), &[("GOLD".to_string(), 3u128)]);
+        // Bad helpers fail the binding without poisoning the design.
+        let bad = sv_parser::parse_snippet("assign ghost_target = 1'b1;").unwrap();
+        assert!(design.bind_extras(&bad).is_err());
+        assert!(design.bind_extras(&helpers).is_ok());
     }
 
     #[test]

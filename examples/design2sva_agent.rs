@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== design RTL ({}) ===\n{}", case.id, case.design_source);
     println!("=== testbench header ===\n{}", case.tb_source);
 
-    let bound = bind_design(&case).map_err(std::io::Error::other)?;
+    let bound = compile_design(&case).map_err(std::io::Error::other)?;
     let runner = Design2svaRunner::new();
     let cfg = InferenceConfig::sampling();
     let task = std::sync::Arc::new(TaskSpec::Design2sva { case: case.clone() });

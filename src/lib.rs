@@ -48,13 +48,13 @@ pub use sv_synth;
 /// The most common imports in one place.
 pub mod prelude {
     pub use fv_core::{
-        check_equivalence, prove, prove_with_stats, replay_design_cex, EquivConfig, Equivalence,
-        ProveConfig, ProveResult, ProverStats, SignalTable,
+        check_equivalence, prove, prove_with_stats, replay_design_cex, EquivConfig, EquivSession,
+        Equivalence, ProofSession, ProveConfig, ProveResult, ProverStats, SignalTable,
     };
     pub use fveval_core::{
-        bind_design, bleu, design_task_specs, generated_task_specs, human_task_specs,
-        machine_task_specs, pass_at_k, CacheStats, Design2svaRunner, EvalEngine, MetricSummary,
-        Nl2svaRunner, SampleEval,
+        bleu, compile_design, design_task_specs, generated_task_specs, human_task_specs,
+        machine_task_specs, pass_at_k, CacheStats, CompiledDesign, Design2svaRunner, EvalEngine,
+        MetricSummary, Nl2svaRunner, SampleEval,
     };
     pub use fveval_data::{
         fsm_sweep, generate_fsm, generate_machine_cases, generate_pipeline, generated_task_set,
@@ -62,9 +62,10 @@ pub mod prelude {
         FsmParams, MachineGenConfig, PipelineParams, SuiteConfig,
     };
     pub use fveval_gen::{
-        generate_suite, generators, validate_scenario, validate_suite, GenParams, Scenario, Suite,
+        bind_scenario, generate_suite, generators, validate_scenario, validate_suite, GenParams,
+        Scenario, Suite,
     };
     pub use fveval_llm::{profiles, Backend, InferenceConfig, Request, TaskSpec};
     pub use sv_parser::{parse_assertion_str, parse_snippet, parse_source};
-    pub use sv_synth::{elaborate, elaborate_with_extras, Simulator};
+    pub use sv_synth::{elaborate, elaborate_design, elaborate_with_extras, Simulator};
 }

@@ -9,7 +9,7 @@ fn sweep_golden_assertions_prove() {
     // A slice of both sweeps, full pipeline: bind design, prove golden.
     let runner = Design2svaRunner::new();
     for case in pipeline_sweep(4, 11).into_iter().chain(fsm_sweep(4, 12)) {
-        let bound = bind_design(&case).unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        let bound = compile_design(&case).unwrap_or_else(|e| panic!("{}: {e}", case.id));
         for golden in &case.golden {
             let eval = runner.evaluate_response(&bound, golden);
             assert!(
@@ -105,7 +105,7 @@ fn fsm_transition_structure_matches_model_checker() {
         guard_depth: 1,
         seed: 33,
     });
-    let bound = bind_design(&case).unwrap();
+    let bound = compile_design(&case).unwrap();
     let runner = Design2svaRunner::new();
     let transitions = match &case.kind {
         fveval_data::DesignKind::Fsm { transitions, .. } => transitions.clone(),

@@ -54,6 +54,9 @@ fn table() -> SignalTable {
         .collect()
 }
 
+/// The fveval-gen family registry, indexed by the proptest sweeps.
+const GEN_FAMILIES: [&str; 6] = ["fifo", "arbiter", "handshake", "gray", "shift", "crc"];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -369,10 +372,105 @@ proptest! {
             );
         }
     }
+
+    /// The `sv_ast::printer` round-trips every module of a generated
+    /// fveval-gen suite: parse → print → re-parse yields a structurally
+    /// equal module. This guards the split-elaboration path, whose
+    /// collateral (designs, testbenches, helper snippets) flows through
+    /// the printer when suites are written to disk and re-read.
+    #[test]
+    fn printer_roundtrips_generated_suite_modules(
+        family_idx in 0usize..6,
+        seed in 0u64..32,
+    ) {
+        let family = GEN_FAMILIES[family_idx];
+        let suite = generate_suite(&SuiteConfig {
+            families: vec![family.to_string()],
+            per_family: 1,
+            seed,
+            ..Default::default()
+        });
+        for scenario in &suite.scenarios {
+            let src = format!("{}\n{}", scenario.design_source, scenario.tb_source);
+            let file = parse_source(&src).unwrap();
+            for module in &file.modules {
+                let printed = sv_ast::print_module(module);
+                let reparsed = parse_source(&printed)
+                    .unwrap_or_else(|e| panic!("{}: printed module must re-parse: {e}\n{printed}",
+                                               module.name));
+                let module2 = reparsed
+                    .module(&module.name)
+                    .unwrap_or_else(|| panic!("printed module keeps its name: {printed}"));
+                prop_assert_eq!(
+                    module, module2,
+                    "parse → print → re-parse must be structurally equal for {} ({} seed {})",
+                    &module.name, family, seed
+                );
+            }
+        }
+    }
+
+    /// Session determinism: a design evaluated through one long-lived
+    /// `ProofSession` produces verdicts identical to fresh per-sample
+    /// `prove_with_stats` calls, swept over (seed, family, depth) of
+    /// generated scenarios. Proof depth and earliest violating anchor
+    /// are semantic, so they must match too.
+    #[test]
+    fn proof_session_verdicts_match_fresh_prover(
+        family_idx in 0usize..6,
+        seed in 0u64..16,
+        depth in 2u32..5,
+    ) {
+        let family = GEN_FAMILIES[family_idx];
+        let suite = generate_suite(&SuiteConfig {
+            families: vec![family.to_string()],
+            per_family: 1,
+            seed,
+            depth: Some(depth),
+            ..Default::default()
+        });
+        for scenario in &suite.scenarios {
+            let bound = bind_scenario(scenario).unwrap();
+            let mut session =
+                ProofSession::open(&bound.netlist, &bound.consts, ProveConfig::default())
+                    .unwrap();
+            for candidate in &scenario.candidates {
+                let assertion = parse_assertion_str(&candidate.sva).unwrap();
+                let (fresh, _) = prove_with_stats(
+                    &bound.netlist,
+                    &assertion,
+                    &bound.consts,
+                    ProveConfig::default(),
+                )
+                .unwrap();
+                let (via_session, _) = session.check(&assertion).unwrap();
+                match (&fresh, &via_session) {
+                    (ProveResult::Proven { k: k1 }, ProveResult::Proven { k: k2 }) => {
+                        prop_assert_eq!(k1, k2, "{}", &candidate.sva);
+                    }
+                    (
+                        ProveResult::Falsified { cex: c1 },
+                        ProveResult::Falsified { cex: c2 },
+                    ) => {
+                        prop_assert_eq!(c1.anchor, c2.anchor, "{}", &candidate.sva);
+                    }
+                    (ProveResult::Undetermined, ProveResult::Undetermined) => {}
+                    (fresh, via) => prop_assert!(
+                        false,
+                        "{} ({} seed {} depth {}): fresh {:?} != session {:?}",
+                        &candidate.sva, family, seed, depth, fresh, via
+                    ),
+                }
+            }
+            let stats = session.stats();
+            prop_assert_eq!(stats.sessions_opened, 1);
+            prop_assert_eq!(stats.session_checks, scenario.candidates.len() as u64);
+        }
+    }
 }
 
 /// Elaborates a design case's testbench with the DUT bound in — the
-/// same binding `bind_design` performs, but yielding the raw netlist
+/// same binding `compile_design` performs, but yielding the raw netlist
 /// the prover APIs take.
 fn testbench_netlist(case: &fveval_data::DesignCase) -> sv_synth::Netlist {
     let mut src = case.design_source.clone();
