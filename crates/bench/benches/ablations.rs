@@ -63,6 +63,7 @@ fn bench_induction_depth(c: &mut Criterion) {
             max_bmc: 12,
             max_induction: k,
             slack: 4,
+            ..fv_core::ProveConfig::default()
         });
         let golden = case.golden[0].clone();
         g.bench_with_input(BenchmarkId::new("max_k", k), &k, |b, _| {

@@ -147,6 +147,8 @@ pub struct DesignTraceEnv<'a> {
     /// a shared free-state unrolling pins these through a solver
     /// selector group instead of baking constants into the AIG.
     initial_bits: Vec<(fv_aig::AigLit, bool)>,
+    /// Whether any read referenced a negative (pre-anchor) cycle.
+    negative_read: bool,
 }
 
 impl<'a> DesignTraceEnv<'a> {
@@ -165,6 +167,7 @@ impl<'a> DesignTraceEnv<'a> {
             input_log: Vec::new(),
             touched_frames: 0,
             initial_bits: Vec::new(),
+            negative_read: false,
         };
         if let Some(rst) = reset {
             env.forced.insert(rst, u128::MAX);
@@ -252,6 +255,28 @@ impl<'a> DesignTraceEnv<'a> {
     pub fn initial_state_bits(&self) -> &[(fv_aig::AigLit, bool)] {
         &self.initial_bits
     }
+
+    /// Whether any read so far referenced a negative (pre-anchor)
+    /// cycle. Such reads clamp to frame 0, which is only sound for
+    /// monitors anchored at the initial state — engines that anchor a
+    /// check at arbitrary reachable states (PDR) must refuse designs
+    /// where this fired.
+    pub fn saw_negative_read(&self) -> bool {
+        self.negative_read
+    }
+
+    /// The next-state bits computed by frame `frame`, flattened in the
+    /// same deterministic order as [`DesignTraceEnv::initial_state_bits`]
+    /// (netlist register order, LSB first). Panics if the frame does
+    /// not exist yet.
+    pub fn reg_next_bits(&self, frame: usize) -> Vec<fv_aig::AigLit> {
+        let fv = &self.frames[frame];
+        let mut out = Vec::new();
+        for (id, _) in self.expander.netlist().regs() {
+            out.extend(fv.reg_next[&id].bits().iter().copied());
+        }
+        out
+    }
 }
 
 impl TraceEnv for DesignTraceEnv<'_> {
@@ -260,6 +285,9 @@ impl TraceEnv for DesignTraceEnv<'_> {
             return Ok(BitVec::constant(w as usize, v));
         }
         // Pre-history clamps to the reset state (documented).
+        if cycle < 0 {
+            self.negative_read = true;
+        }
         let cycle = cycle.max(0) as u32;
         self.touched_frames = self.touched_frames.max(cycle + 1);
         let binding = self

@@ -51,6 +51,8 @@ mod equiv;
 mod error;
 mod expr;
 mod monitor;
+mod pdr;
+mod portfolio;
 mod prove;
 mod rng;
 mod stats;
@@ -64,9 +66,10 @@ pub use equiv::{
 pub use error::EncodeError;
 pub use expr::compile_expr;
 pub use monitor::{encode_assertion, encode_prop, encode_seq, SeqEnc};
+pub use pdr::prove_pdr;
 pub use prove::{
     check_vacuity, prove, prove_with_stats, replay_design_cex, DesignCex, ProofSession,
-    ProveConfig, ProveResult,
+    ProveConfig, ProveEngine, ProveResult,
 };
 pub use stats::ProverStats;
 pub use table::SignalTable;

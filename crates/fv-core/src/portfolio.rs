@@ -1,0 +1,271 @@
+//! First-answer-wins racing of the bounded schedule against PDR.
+//!
+//! One portfolio check uses two engines on two threads:
+//!
+//! - the **bounded** BMC + k-induction schedule runs on the calling
+//!   thread, against the session's shared unrolling and warmed solver
+//!   (all its incremental reuse is preserved);
+//! - **PDR** runs on a scoped thread with its own solver and
+//!   single-step encoding.
+//!
+//! Cancellation is cooperative: both solvers poll one shared
+//! [`AtomicBool`] from their search loops ([`fv_sat::Solver`]'s
+//! interrupt token), so the loser stops within one conflict of the
+//! winner's claim.
+//!
+//! # Deterministic arbitration
+//!
+//! Raw racing would make the reported result depend on thread timing.
+//! The claim protocol removes that:
+//!
+//! - PDR claims the race **only for `Proven`** — the one verdict the
+//!   bounded schedule may be structurally unable to reach. A PDR
+//!   falsification never interrupts the bounded engine.
+//! - If the bounded schedule concludes (`Proven` or `Falsified`), its
+//!   result is reported verbatim; in particular every reported
+//!   counterexample trace is the bounded engine's canonical trace.
+//! - If the bounded schedule is `Undetermined` (bounds exhausted), the
+//!   fully-joined PDR result is used: a deep proof, or a
+//!   replay-validated deep counterexample.
+//!
+//! Both engines are sound and the bounded engine is never interrupted
+//! unless PDR has *proven* the property, so the reported verdict kind —
+//! and any reported trace — is independent of which thread runs faster.
+//! Racing-dependent details (who won, how often engines were cut)
+//! surface only through the [`ProverStats`] attribution counters.
+
+use crate::error::EncodeError;
+use crate::prove::{ProofSession, ProveEngine, ProveResult};
+use crate::stats::ProverStats;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use sv_ast::Assertion;
+
+/// Nobody has claimed the race yet.
+const OPEN: u8 = 0;
+/// The bounded schedule concluded first.
+const BASE: u8 = 1;
+/// PDR proved the property first.
+const PDR: u8 = 2;
+
+/// Runs one portfolio check on `session`. Called from
+/// [`ProofSession::check`] when [`ProveEngine::Portfolio`] is selected;
+/// the unbounded-operator early-out has already happened.
+pub(crate) fn race(
+    session: &mut ProofSession<'_>,
+    assertion: &Assertion,
+    horizon: u32,
+) -> Result<ProveResult, EncodeError> {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let winner = Arc::new(AtomicU8::new(OPEN));
+    let netlist = session.netlist;
+    let consts = session.consts.clone();
+    let pdr_cfg = crate::prove::ProveConfig {
+        engine: ProveEngine::Pdr,
+        ..session.cfg
+    };
+
+    let (base, pdr) = std::thread::scope(|scope| {
+        let pdr_handle = {
+            let cancel = Arc::clone(&cancel);
+            let winner = Arc::clone(&winner);
+            let consts = &consts;
+            scope.spawn(move || {
+                let mut stats = ProverStats::default();
+                let out = crate::pdr::run_pdr(
+                    netlist,
+                    assertion,
+                    consts,
+                    pdr_cfg,
+                    Some(&cancel),
+                    &mut stats,
+                );
+                if matches!(&out, Ok(o) if o.result.is_proven())
+                    && winner
+                        .compare_exchange(OPEN, PDR, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    cancel.store(true, Ordering::SeqCst);
+                }
+                (out, stats)
+            })
+        };
+
+        session.solver.set_interrupt(Some(Arc::clone(&cancel)));
+        let base = session.check_bounded(assertion, horizon);
+        session.solver.set_interrupt(None);
+        let base_definite = matches!(
+            &base,
+            Ok(ProveResult::Proven { .. } | ProveResult::Falsified { .. })
+        );
+        if (base_definite || base.is_err())
+            && winner
+                .compare_exchange(OPEN, BASE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            cancel.store(true, Ordering::SeqCst);
+        }
+        let pdr = pdr_handle.join().expect("PDR engine thread panicked");
+        (base, pdr)
+    });
+
+    let (pdr_out, pdr_stats) = pdr;
+    session.stats.merge(&pdr_stats);
+    match winner.load(Ordering::SeqCst) {
+        PDR => {
+            // PDR proved it and interrupted the bounded schedule (whose
+            // interrupted run can only have fallen through to
+            // Undetermined or an encode error PDR did not hit).
+            session.stats.pdr_wins += 1;
+            session.stats.engine_cancellations += 1;
+            Ok(pdr_out?.result)
+        }
+        BASE => {
+            if matches!(&pdr_out, Ok(o) if o.interrupted) {
+                session.stats.engine_cancellations += 1;
+            }
+            if base.is_ok() {
+                session.stats.bounded_wins += 1;
+            }
+            base
+        }
+        _ => {
+            // Bounded schedule exhausted its bounds without a claim;
+            // fall back to whatever PDR concluded on its own. A PDR
+            // error here is demoted to Undetermined — the bounded
+            // engine already encoded the same monitor successfully, so
+            // the check itself is well-formed.
+            debug_assert!(matches!(&base, Ok(ProveResult::Undetermined)));
+            match pdr_out {
+                Ok(out) => {
+                    if out.interrupted {
+                        session.stats.engine_cancellations += 1;
+                    }
+                    if !matches!(out.result, ProveResult::Undetermined) {
+                        session.stats.pdr_wins += 1;
+                    }
+                    Ok(out.result)
+                }
+                Err(_) => base,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prove::{prove, replay_design_cex, ProofSession, ProveConfig, ProveResult};
+    use crate::prove_with_stats;
+    use crate::ProveEngine;
+    use sv_parser::{parse_assertion_str, parse_source};
+    use sv_synth::{elaborate, Netlist};
+
+    fn wrapping_counter() -> Netlist {
+        let src = "module m (clk, reset_, en, q);\n\
+            input clk; input reset_; input en;\n\
+            output [2:0] q;\n\
+            reg [2:0] cnt;\n\
+            always @(posedge clk) begin\n\
+            if (!reset_) cnt <= 3'd0;\n\
+            else if (en) cnt <= (cnt == 3'd5) ? 3'd0 : cnt + 3'd1;\nend\n\
+            assign q = cnt;\nendmodule\n";
+        let f = parse_source(src).unwrap();
+        elaborate(&f, "m").unwrap()
+    }
+
+    fn portfolio_cfg() -> ProveConfig {
+        ProveConfig {
+            engine: ProveEngine::Portfolio,
+            ..ProveConfig::default()
+        }
+    }
+
+    #[test]
+    fn portfolio_rescues_deep_proof() {
+        // Bounded alone gives up on `q != 7`; the portfolio proves it
+        // via PDR and attributes the win.
+        let nl = wrapping_counter();
+        let a = parse_assertion_str("assert property (@(posedge clk) q != 3'd7);").unwrap();
+        assert_eq!(
+            prove(&nl, &a, &[], ProveConfig::default()).unwrap(),
+            ProveResult::Undetermined
+        );
+        let (r, stats) = prove_with_stats(&nl, &a, &[], portfolio_cfg()).unwrap();
+        assert!(r.is_proven(), "got {r:?}");
+        assert_eq!(stats.pdr_wins, 1, "{stats:?}");
+        assert!(stats.pdr_clauses_learned >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn portfolio_verdicts_and_traces_match_bounded() {
+        // For every candidate the bounded engine can decide, the
+        // portfolio must report the same verdict kind — and for
+        // falsified candidates the *identical* trace (the bounded
+        // engine's canonical one), rendered byte-for-byte the same.
+        let nl = wrapping_counter();
+        let candidates = [
+            "assert property (@(posedge clk) en || !en);",
+            "assert property (@(posedge clk) q != 3'd2);",
+            "assert property (@(posedge clk) (en && q == 3'd1) |-> ##1 q == 3'd2);",
+            "assert property (@(posedge clk) (en && q == 3'd1) |-> ##1 q == 3'd4);",
+            "assert property (@(posedge clk) en |-> strong(##[0:$] q == 3'd5));",
+        ];
+        let mut bounded = ProofSession::open(&nl, &[], ProveConfig::default()).unwrap();
+        let mut racing = ProofSession::open(&nl, &[], portfolio_cfg()).unwrap();
+        for src in candidates {
+            let a = parse_assertion_str(src).unwrap();
+            let (b, _) = bounded.check(&a).unwrap();
+            let (p, _) = racing.check(&a).unwrap();
+            match (&b, &p) {
+                (ProveResult::Falsified { cex: c1 }, ProveResult::Falsified { cex: c2 }) => {
+                    assert_eq!(c1.to_string(), c2.to_string(), "{src}");
+                }
+                (ProveResult::Proven { .. }, ProveResult::Proven { .. }) => {}
+                (ProveResult::Undetermined, ProveResult::Undetermined) => {}
+                (b, p) => panic!("{src}: bounded {b:?} vs portfolio {p:?}"),
+            }
+        }
+        assert!(racing.stats().bounded_wins >= 1, "{:?}", racing.stats());
+    }
+
+    #[test]
+    fn portfolio_deep_falsification_replays() {
+        // A violation beyond max_bmc anchors: bounded is undetermined,
+        // PDR finds the deep counterexample and it replays.
+        let nl = wrapping_counter();
+        let cfg = ProveConfig {
+            max_bmc: 2,
+            max_induction: 2,
+            ..portfolio_cfg()
+        };
+        let a = parse_assertion_str("assert property (@(posedge clk) q != 3'd4);").unwrap();
+        let bounded_cfg = ProveConfig {
+            engine: ProveEngine::Bounded,
+            ..cfg
+        };
+        assert_eq!(
+            prove(&nl, &a, &[], bounded_cfg).unwrap(),
+            ProveResult::Undetermined
+        );
+        let (r, stats) = prove_with_stats(&nl, &a, &[], cfg).unwrap();
+        match r {
+            ProveResult::Falsified { cex } => {
+                assert!(cex.anchor >= 4);
+                assert_eq!(replay_design_cex(&nl, &a, &[], cfg, &cex), Ok(true));
+            }
+            other => panic!("expected falsified, got {other:?}"),
+        }
+        assert_eq!(stats.pdr_wins, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn portfolio_session_stays_usable_after_errors() {
+        let nl = wrapping_counter();
+        let mut session = ProofSession::open(&nl, &[], portfolio_cfg()).unwrap();
+        let bad = parse_assertion_str("assert property (@(posedge clk) ghost == 1'b0);").unwrap();
+        assert!(session.check(&bad).is_err());
+        let good = parse_assertion_str("assert property (@(posedge clk) q != 3'd7);").unwrap();
+        let (r, _) = session.check(&good).unwrap();
+        assert!(r.is_proven(), "got {r:?}");
+    }
+}

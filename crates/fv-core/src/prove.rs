@@ -43,6 +43,28 @@ use std::collections::HashMap;
 use sv_ast::Assertion;
 use sv_synth::{AtomId, FrameExpander, NetBinding, Netlist, Simulator};
 
+/// Which proof engine(s) answer a check (see [`ProveConfig::engine`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ProveEngine {
+    /// The interleaved BMC + k-induction schedule (the default). Fully
+    /// deterministic, but bounded: properties whose inductive depth
+    /// exceeds `max_induction` come back
+    /// [`ProveResult::Undetermined`].
+    #[default]
+    Bounded,
+    /// The IC3/PDR engine alone (see [`crate::prove_pdr`]). Unbounded
+    /// in depth, budgeted in work.
+    Pdr,
+    /// Race the bounded schedule against PDR on scoped threads with
+    /// first-answer-wins cancellation. Verdicts are engine-agnostic
+    /// (the engines agree whenever both conclude) and counterexample
+    /// traces always come from the deterministic bounded schedule when
+    /// it falsifies, so reported results match `Bounded` byte-for-byte
+    /// except that deep proofs the bounded schedule cannot close are
+    /// rescued by PDR.
+    Portfolio,
+}
+
 /// Configuration for the prover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProveConfig {
@@ -52,6 +74,14 @@ pub struct ProveConfig {
     pub max_induction: u32,
     /// Horizon slack (see [`crate::EquivConfig::slack`]).
     pub slack: u32,
+    /// Which engine(s) answer each check.
+    pub engine: ProveEngine,
+    /// Wall-clock budget per check for the PDR engine, in milliseconds
+    /// (`0` disables the wall clock; PDR's deterministic conflict
+    /// budget still bounds its work). Only hard instances ever reach
+    /// the budget — reported verdicts for suite scenarios are decided
+    /// long before it.
+    pub prove_budget_ms: u64,
 }
 
 impl Default for ProveConfig {
@@ -60,6 +90,8 @@ impl Default for ProveConfig {
             max_bmc: 12,
             max_induction: 6,
             slack: 4,
+            engine: ProveEngine::Bounded,
+            prove_budget_ms: 10_000,
         }
     }
 }
@@ -234,12 +266,12 @@ pub fn prove_with_stats(
 /// assert_eq!(stats.session_checks, 2);
 /// ```
 pub struct ProofSession<'n> {
-    netlist: &'n Netlist,
-    consts: Vec<(String, u32, u128)>,
-    cfg: ProveConfig,
+    pub(crate) netlist: &'n Netlist,
+    pub(crate) consts: Vec<(String, u32, u128)>,
+    pub(crate) cfg: ProveConfig,
     g: Aig,
     env: DesignTraceEnv<'n>,
-    solver: Solver,
+    pub(crate) solver: Solver,
     em: CnfEmitter,
     /// Selector assumed by BMC queries to pin frame 0 to reset.
     init_sel: Lit,
@@ -254,7 +286,7 @@ pub struct ProofSession<'n> {
     forced_known: usize,
     /// Cumulative counters; `sessions_opened` is charged to the first
     /// check (see [`ProofSession::stats`]).
-    stats: ProverStats,
+    pub(crate) stats: ProverStats,
 }
 
 impl<'n> ProofSession<'n> {
@@ -337,6 +369,21 @@ impl<'n> ProofSession<'n> {
             return Ok((ProveResult::Undetermined, self.stats.delta_since(&before)));
         }
         let horizon = horizon_for(assertion, None, self.cfg.slack);
+        let outcome = match self.cfg.engine {
+            ProveEngine::Bounded => self.check_bounded(assertion, horizon),
+            ProveEngine::Pdr => self.check_pdr(assertion),
+            ProveEngine::Portfolio => crate::portfolio::race(self, assertion, horizon),
+        };
+        Ok((outcome?, self.stats.delta_since(&before)))
+    }
+
+    /// The bounded BMC + k-induction check on the shared unrolling,
+    /// with the session's frame-reuse accounting.
+    pub(crate) fn check_bounded(
+        &mut self,
+        assertion: &Assertion,
+        horizon: u32,
+    ) -> Result<ProveResult, EncodeError> {
         let frames_before = self.env.num_frames() as u64;
         self.env.reset_touched_frames();
         let outcome = self.run_schedule(assertion, horizon);
@@ -345,7 +392,26 @@ impl<'n> ProofSession<'n> {
         // errors mid-encode, since the work served was real.
         let frames_used = u64::from(self.env.touched_frames());
         self.stats.unroll_reuse_hits += frames_before.min(frames_used);
-        Ok((outcome?, self.stats.delta_since(&before)))
+        outcome
+    }
+
+    /// Discharges one check through the PDR engine alone. PDR builds
+    /// its own single-step encoding (its frames are clause groups, not
+    /// unrolled time frames), so the session's shared unrolling is
+    /// untouched.
+    fn check_pdr(&mut self, assertion: &Assertion) -> Result<ProveResult, EncodeError> {
+        let out = crate::pdr::run_pdr(
+            self.netlist,
+            assertion,
+            &self.consts,
+            self.cfg,
+            None,
+            &mut self.stats,
+        )?;
+        if !matches!(out.result, ProveResult::Undetermined) {
+            self.stats.pdr_wins += 1;
+        }
+        Ok(out.result)
     }
 
     /// The interleaved BMC + k-induction schedule over the one shared

@@ -53,6 +53,21 @@ pub struct ProverStats {
     /// reference-assertion encodings) served to a check instead of
     /// being re-encoded from scratch.
     pub unroll_reuse_hits: u64,
+    /// Frames opened by the IC3/PDR engine (summed across checks).
+    pub pdr_frames: u64,
+    /// Blocked-cube clauses the PDR engine learned after
+    /// relative-induction generalization.
+    pub pdr_clauses_learned: u64,
+    /// Checks whose reported verdict came from the PDR engine (PDR ran
+    /// alone, or answered first / rescued an undetermined base schedule
+    /// in a portfolio race).
+    pub pdr_wins: u64,
+    /// Portfolio checks whose reported verdict came from the bounded
+    /// BMC + k-induction schedule.
+    pub bounded_wins: u64,
+    /// Engines cancelled mid-run because the other side of a portfolio
+    /// race answered first (or a budget expired).
+    pub engine_cancellations: u64,
 }
 
 impl ProverStats {
@@ -70,6 +85,11 @@ impl ProverStats {
         self.sessions_opened += other.sessions_opened;
         self.session_checks += other.session_checks;
         self.unroll_reuse_hits += other.unroll_reuse_hits;
+        self.pdr_frames += other.pdr_frames;
+        self.pdr_clauses_learned += other.pdr_clauses_learned;
+        self.pdr_wins += other.pdr_wins;
+        self.bounded_wins += other.bounded_wins;
+        self.engine_cancellations += other.engine_cancellations;
     }
 
     /// The counter delta `self - earlier`, where `earlier` is a prior
@@ -93,6 +113,11 @@ impl ProverStats {
             sessions_opened: sub(self.sessions_opened, earlier.sessions_opened),
             session_checks: sub(self.session_checks, earlier.session_checks),
             unroll_reuse_hits: sub(self.unroll_reuse_hits, earlier.unroll_reuse_hits),
+            pdr_frames: sub(self.pdr_frames, earlier.pdr_frames),
+            pdr_clauses_learned: sub(self.pdr_clauses_learned, earlier.pdr_clauses_learned),
+            pdr_wins: sub(self.pdr_wins, earlier.pdr_wins),
+            bounded_wins: sub(self.bounded_wins, earlier.bounded_wins),
+            engine_cancellations: sub(self.engine_cancellations, earlier.engine_cancellations),
         }
     }
 }
@@ -117,6 +142,7 @@ mod tests {
             sessions_opened: 1,
             session_checks: 2,
             unroll_reuse_hits: 3,
+            ..ProverStats::default()
         };
         a += ProverStats {
             sat_calls: 10,
@@ -126,6 +152,11 @@ mod tests {
             sessions_opened: 1,
             session_checks: 4,
             unroll_reuse_hits: 7,
+            pdr_frames: 2,
+            pdr_clauses_learned: 9,
+            pdr_wins: 1,
+            bounded_wins: 3,
+            engine_cancellations: 1,
         };
         assert_eq!(a.sat_calls, 11);
         assert_eq!(a.sim_kills, 22);
@@ -134,6 +165,11 @@ mod tests {
         assert_eq!(a.sessions_opened, 2);
         assert_eq!(a.session_checks, 6);
         assert_eq!(a.unroll_reuse_hits, 10);
+        assert_eq!(a.pdr_frames, 2);
+        assert_eq!(a.pdr_clauses_learned, 9);
+        assert_eq!(a.pdr_wins, 1);
+        assert_eq!(a.bounded_wins, 3);
+        assert_eq!(a.engine_cancellations, 1);
         assert_eq!(a.queries(), 66, "session counters are not queries");
     }
 
@@ -147,12 +183,15 @@ mod tests {
             sessions_opened: 1,
             session_checks: 1,
             unroll_reuse_hits: 0,
+            ..ProverStats::default()
         };
         let mut later = earlier;
         later += ProverStats {
             sat_calls: 4,
             session_checks: 1,
             unroll_reuse_hits: 6,
+            pdr_frames: 3,
+            pdr_wins: 1,
             ..ProverStats::default()
         };
         let delta = later.delta_since(&earlier);
@@ -160,5 +199,7 @@ mod tests {
         assert_eq!(delta.sessions_opened, 0);
         assert_eq!(delta.session_checks, 1);
         assert_eq!(delta.unroll_reuse_hits, 6);
+        assert_eq!(delta.pdr_frames, 3);
+        assert_eq!(delta.pdr_wins, 1);
     }
 }

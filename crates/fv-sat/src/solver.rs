@@ -4,6 +4,8 @@ use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::luby::luby;
 use crate::{LBool, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,6 +14,14 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The solve was abandoned before reaching an answer: either the
+    /// cooperative interrupt token ([`Solver::set_interrupt`]) was
+    /// raised, or the per-call conflict budget
+    /// ([`Solver::set_conflict_budget`]) ran out. The solver backtracks
+    /// to the root level and stays fully usable — clause database and
+    /// trail are intact, and the next query behaves as if this one had
+    /// never been issued.
+    Interrupted,
 }
 
 impl SolveResult {
@@ -25,6 +35,12 @@ impl SolveResult {
     #[inline]
     pub fn is_unsat(self) -> bool {
         self == SolveResult::Unsat
+    }
+
+    /// `true` for [`SolveResult::Interrupted`].
+    #[inline]
+    pub fn is_interrupted(self) -> bool {
+        self == SolveResult::Interrupted
     }
 }
 
@@ -100,6 +116,10 @@ pub struct Solver {
     unsat_at_root: bool,
     stats: SolverStats,
     max_learnt: f64,
+    /// Cooperative cancellation token, polled once per conflict.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Per-call conflict budget (conflicts allowed within one solve).
+    conflict_budget: Option<u64>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -132,7 +152,31 @@ impl Solver {
             unsat_at_root: false,
             stats: SolverStats::default(),
             max_learnt: 1000.0,
+            interrupt: None,
+            conflict_budget: None,
         }
+    }
+
+    /// Installs (or clears) a cooperative cancellation token.
+    ///
+    /// The search loop polls the token once per conflict; when it reads
+    /// `true`, the current [`Solver::solve_with`] call backtracks to the
+    /// root level and returns [`SolveResult::Interrupted`]. The token is
+    /// *not* cleared by the solver — the installer owns its lifecycle —
+    /// so every subsequent solve also returns `Interrupted` until the
+    /// token is lowered or removed.
+    pub fn set_interrupt(&mut self, token: Option<Arc<AtomicBool>>) {
+        self.interrupt = token;
+    }
+
+    /// Installs (or clears) a per-call conflict budget.
+    ///
+    /// Each [`Solver::solve_with`] call that analyzes more than `budget`
+    /// conflicts abandons the query and returns
+    /// [`SolveResult::Interrupted`]. The budget applies per call, not
+    /// cumulatively, and stays installed for later calls.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
     }
 
     /// Creates a fresh variable.
@@ -277,17 +321,28 @@ impl Solver {
     /// Assumptions are treated as temporary unit decisions: the result is
     /// relative to them and they are undone afterwards, so the solver can
     /// be reused incrementally.
+    ///
+    /// Returns [`SolveResult::Interrupted`] (leaving the solver fully
+    /// reusable) when an installed interrupt token is raised or the
+    /// per-call conflict budget runs out; see [`Solver::set_interrupt`]
+    /// and [`Solver::set_conflict_budget`].
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         if self.unsat_at_root {
             return SolveResult::Unsat;
         }
+        if self.interrupted() {
+            return SolveResult::Interrupted;
+        }
         self.cancel_until(0);
+        let conflict_limit = self
+            .conflict_budget
+            .map(|b| self.stats.conflicts.saturating_add(b));
         let mut restarts: u64 = 0;
         loop {
             let budget = 100 * luby(restarts);
-            match self.search(budget, assumptions) {
+            match self.search(budget, assumptions, conflict_limit) {
                 Some(res) => {
-                    if res == SolveResult::Unsat {
+                    if res != SolveResult::Sat {
                         self.cancel_until(0);
                     }
                     return res;
@@ -299,6 +354,14 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// Whether the installed interrupt token (if any) is raised.
+    #[inline]
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|t| t.load(Ordering::Relaxed))
     }
 
     /// The model value of `v` after a [`SolveResult::Sat`] answer.
@@ -622,15 +685,23 @@ impl Solver {
         self.lit_value(l0) == LBool::True && self.var_data[l0.var().index()].reason == cref
     }
 
-    /// Runs CDCL until SAT, UNSAT, or `budget` conflicts (restart signal:
-    /// `None`).
-    fn search(&mut self, budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
+    /// Runs CDCL until SAT, UNSAT, interruption, or `budget` conflicts
+    /// (restart signal: `None`).
+    fn search(
+        &mut self,
+        budget: u64,
+        assumptions: &[Lit],
+        conflict_limit: Option<u64>,
+    ) -> Option<SolveResult> {
         let mut conflicts_here: u64 = 0;
         loop {
             let conflict = self.propagate();
             if conflict.is_defined() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                if self.interrupted() || conflict_limit.is_some_and(|l| self.stats.conflicts > l) {
+                    return Some(SolveResult::Interrupted);
+                }
                 if self.decision_level() == 0 {
                     self.unsat_at_root = true;
                     return Some(SolveResult::Unsat);
@@ -910,5 +981,112 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Pigeonhole formula (`n` pigeons, `m` holes) guarded by a fresh
+    /// selector, so the hard UNSAT core is active only under assumption.
+    /// UNSAT when `n > m`, and resolution-hard enough to need many
+    /// conflicts.
+    fn pigeonhole_selected(s: &mut Solver, n: usize, m: usize) -> Lit {
+        let sel = s.new_selector();
+        let mut p = vec![vec![Lit::pos(Var(0)); m]; n];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = Lit::pos(s.new_var());
+            }
+        }
+        for row in &p {
+            s.add_clause_selected(sel, row.iter().copied());
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in p.iter().skip(i1 + 1) {
+                for (a, b) in row1.iter().zip(row2) {
+                    s.add_clause_selected(sel, [!*a, !*b]);
+                }
+            }
+        }
+        sel
+    }
+
+    #[test]
+    fn conflict_budget_interrupts_hard_query() {
+        let mut s = Solver::new();
+        let sel = pigeonhole_selected(&mut s, 7, 6);
+        s.set_conflict_budget(Some(20));
+        assert!(
+            s.solve_with(&[sel]).is_interrupted(),
+            "budget must cut the search"
+        );
+        // The same solver, budget lifted, still reaches the real answer:
+        // clause database and trail survived the interruption.
+        s.set_conflict_budget(None);
+        assert!(s.solve_with(&[sel]).is_unsat());
+    }
+
+    #[test]
+    fn interrupted_solver_answers_next_query() {
+        let mut s = Solver::new();
+        let sel = pigeonhole_selected(&mut s, 7, 6);
+        s.set_conflict_budget(Some(10));
+        assert!(s.solve_with(&[sel]).is_interrupted());
+        // A fresh easy query over new variables must come back correct.
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        s.set_conflict_budget(None);
+        assert!(s.solve_with(&[Lit::neg(a)]).is_sat());
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn interrupt_token_cuts_and_clears() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let token = Arc::new(AtomicBool::new(true));
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        s.set_interrupt(Some(token.clone()));
+        // A raised token short-circuits even trivial queries.
+        assert!(s.solve().is_interrupted());
+        token.store(false, Ordering::Relaxed);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v), Some(true));
+        s.set_interrupt(None);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn interrupt_token_cuts_inflight_search() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let token = Arc::new(AtomicBool::new(false));
+        let mut s = Solver::new();
+        // Large enough that the search cannot finish before the
+        // watchdog fires (PHP(11,10) needs far more than 50ms).
+        let sel = pigeonhole_selected(&mut s, 11, 10);
+        s.set_interrupt(Some(token.clone()));
+        let clauses_before = s.num_clauses();
+        let watchdog = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                token.store(true, Ordering::Relaxed);
+            })
+        };
+        assert!(s.solve_with(&[sel]).is_interrupted());
+        watchdog.join().unwrap();
+        token.store(false, Ordering::Relaxed);
+        // Original clauses are all still present (learned clauses may
+        // have been added on top) and an easy query concludes normally.
+        // The hard group must be deselected: the interrupted search
+        // left `sel` with a saved phase and top activity, so a free
+        // search would decide it first and re-enter the exponential
+        // pigeonhole refutation.
+        assert!(s.num_clauses() >= clauses_before);
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        assert!(s.solve_with(&[!sel]).is_sat());
+        assert_eq!(s.value(v), Some(true));
     }
 }

@@ -323,6 +323,18 @@ impl EvalEngine {
         *self.prover.lock().expect("prover counters poisoned")
     }
 
+    /// Folds formal-core work done *outside* the engine's own scoring
+    /// into [`EvalEngine::prover_stats`] — e.g. a golden-verdict
+    /// validation pass run next to an evaluation — so a command's
+    /// stats surface accounts for every prover query the process
+    /// actually discharged.
+    pub fn record_prover_work(&self, stats: &ProverStats) {
+        self.prover
+            .lock()
+            .expect("prover counters poisoned")
+            .merge(stats);
+    }
+
     /// Runs one backend over a task list with `n_samples` responses per
     /// case. Results are in task order, one [`CaseEvals`] per task, and
     /// are identical for any `jobs` setting.

@@ -21,6 +21,13 @@
 //! (`full = count >= DEPTH`) so *unreachable* register states still
 //! behave consistently — a plain `==` encoding breaks the induction
 //! step when the free initial state lies outside the reachable range.
+//!
+//! The one deliberate exception is the `deepcnt` family, whose wrap
+//! comparison is a plain `==` **on purpose**: its headline invariant is
+//! true but not k-inductive for *any* k, so it needs a
+//! reachability-aware engine (the portfolio's IC3/PDR) to close. It is
+//! therefore registered but excluded from default suites — see
+//! [`ScenarioGenerator::in_default_suite`].
 
 use crate::{Candidate, GenParams, GoldenVerdict, Scenario, ScenarioGenerator};
 use rand::rngs::StdRng;
@@ -35,6 +42,7 @@ pub fn generators() -> Vec<Box<dyn ScenarioGenerator>> {
         Box::new(GrayGen),
         Box::new(ShiftGen),
         Box::new(CrcGen),
+        Box::new(DeepCntGen),
     ]
 }
 
@@ -920,6 +928,162 @@ impl ScenarioGenerator for CrcGen {
             top: "gen_crc".into(),
             tb_top: "gen_crc_tb".into(),
             internal_signal: "data_0".into(),
+            candidates,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 7: deep-inductive wrap counter (PDR-only headline invariant)
+// ---------------------------------------------------------------------
+
+/// Size of the unreachable top band. Must exceed the default
+/// `max_induction` (6): a band state `MAX - BAND + 1 + i` needs
+/// `BAND - 1 - i` ticks to climb to `MAX`, so the induction step has
+/// counterexamples-to-induction at every k up to the band size — and
+/// because `tick = 0` self-loops stretch any such path arbitrarily, at
+/// every k beyond it too.
+const DEEP_BAND: u128 = 8;
+
+struct DeepCntGen;
+
+impl ScenarioGenerator for DeepCntGen {
+    fn family(&self) -> &'static str {
+        "deepcnt"
+    }
+
+    fn summary(&self) -> &'static str {
+        "wrap-at-limit counter with an unreachable top band; depth = counter bits (5..=10), \
+         width = lap counter bits (2..=8); headline invariant needs the PDR engine"
+    }
+
+    fn in_default_suite(&self) -> bool {
+        // The headline candidate is undecidable for the bounded
+        // schedule, so default (bounded-engine) suites exclude the
+        // family; select it explicitly to exercise the portfolio.
+        false
+    }
+
+    fn generate(&self, params: &GenParams) -> Scenario {
+        let w = params.depth.clamp(5, 10);
+        let lw = params.width.clamp(2, 8);
+        let params = GenParams {
+            depth: w,
+            width: lw,
+            seed: params.seed,
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0xDEE9);
+        let max = (1u128 << w) - 1;
+        let limit = max - DEEP_BAND; // wrap point; band = limit+1 ..= max
+        let lap_max = (1u128 << lw) - 1;
+        let lap_sat = lap_max - 1; // lap counter saturates below all-ones
+        let ports: Vec<Port> = vec![
+            ("clk", 1, false),
+            ("reset_", 1, false),
+            ("tick", 1, false),
+            ("q", w, true),
+            ("lap", lw, true),
+            ("wrapped", 1, true),
+        ];
+        // The `==` wrap comparison is the point of this family (see the
+        // module docs): from an *unreachable* band state the counter
+        // climbs straight to all-ones, so `q != MAX` has
+        // counterexamples-to-induction at every k even though every
+        // *reachable* state satisfies it. Only a reachability-aware
+        // engine (IC3/PDR) closes the proof.
+        let wrap = format!("(cnt == {})", lit(w, limit));
+        let mut design = String::from(
+            "// Generated scenario: wrap-at-limit counter. The wrap compare is\n\
+             // an exact equality, leaving an unreachable top band from which\n\
+             // the counter would climb to all-ones — the headline invariant\n\
+             // is true but not k-inductive for any k.\n",
+        );
+        design.push_str(&header("gen_deepcnt", &ports, false));
+        design.push_str(&format!(
+            "  reg [{cmsb}:0] cnt;\n\
+             \x20 reg [{lmsb}:0] laps;\n\
+             \x20 assign q = cnt;\n\
+             \x20 assign lap = laps;\n\
+             \x20 assign wrapped = {wrap};\n\
+             \x20 always_ff @(posedge clk or negedge reset_) begin\n\
+             \x20   if (!reset_) begin\n\
+             \x20     cnt <= {czero};\n\
+             \x20     laps <= {lzero};\n\
+             \x20   end else begin\n\
+             \x20     if (tick) begin\n\
+             \x20       if ({wrap}) begin\n\
+             \x20         cnt <= {czero};\n\
+             \x20         if (laps < {lsat}) laps <= laps + {lone};\n\
+             \x20       end else begin\n\
+             \x20         cnt <= cnt + {cone};\n\
+             \x20       end\n\
+             \x20     end\n\
+             \x20   end\n\
+             \x20 end\n\
+             endmodule\n",
+            cmsb = w - 1,
+            lmsb = lw - 1,
+            czero = lit(w, 0),
+            lzero = lit(lw, 0),
+            cone = lit(w, 1),
+            lone = lit(lw, 1),
+            lsat = lit(lw, lap_sat),
+        ));
+
+        let candidates = vec![
+            provable(
+                "top_band_unreachable",
+                asrt(&format!("(q != {})", lit(w, max))),
+                format!(
+                    "that the counter {} its all-ones value {max}. \
+                     Use the signal 'q'.",
+                    vary(&mut rng, &["never reaches", "can never attain"])
+                ),
+            ),
+            provable(
+                "wrap_flag_definition",
+                asrt(&format!("(wrapped == (q == {}))", lit(w, limit))),
+                format!(
+                    "that the wrap flag is asserted exactly while the count sits at \
+                     its wrap limit {limit}. Use the signals 'wrapped' and 'q'."
+                ),
+            ),
+            provable(
+                "lap_never_overflows",
+                asrt(&format!("(lap != {})", lit(lw, lap_max))),
+                format!(
+                    "that the saturating lap counter {} its all-ones value {lap_max}. \
+                     Use the signal 'lap'.",
+                    vary(&mut rng, &["never reaches", "stops short of"])
+                ),
+            ),
+            falsifiable(
+                "small_count_unreachable",
+                asrt(&format!("(q != {})", lit(w, 3))),
+                "that the count never equals 3. Use the signal 'q'.".into(),
+            ),
+            falsifiable(
+                "tick_keeps_count",
+                asrt(&format!(
+                    "(tick && (q == {z})) |-> ##1 (q == {z})",
+                    z = lit(w, 0)
+                )),
+                "that the count stays at zero across a ticked cycle. \
+                 Use the signals 'tick' and 'q'."
+                    .into(),
+            ),
+        ];
+
+        Scenario {
+            id: scenario_id("deepcnt", &params),
+            family: "deepcnt",
+            params,
+            logic_excerpt: wrap,
+            design_source: design,
+            tb_source: testbench_for("gen_deepcnt", &ports),
+            top: "gen_deepcnt".into(),
+            tb_top: "gen_deepcnt_tb".into(),
+            internal_signal: "cnt".into(),
             candidates,
         }
     }

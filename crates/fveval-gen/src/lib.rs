@@ -4,8 +4,9 @@
 //! families. This crate turns the benchmark into an *open-ended*
 //! workload source: a deterministic, seedable generator of synthetic
 //! scenario families — parameterized FIFOs, round-robin arbiters,
-//! valid/ready handshakes, gray-code counters, shift registers, and
-//! parity/CRC pipelines — each emitting
+//! valid/ready handshakes, gray-code counters, shift registers,
+//! parity/CRC pipelines, and (opt-in) deep-inductive wrap counters
+//! whose headline invariant only the PDR engine closes — each emitting
 //!
 //! - a SystemVerilog **design** plus a formal **testbench** following
 //!   the Design2SVA collateral contract (all design ports re-exposed as
@@ -47,7 +48,9 @@ mod validate;
 
 pub use families::{generator, generators};
 pub use suite::{generate_suite, write_atomic, write_suite, Suite, SuiteConfig};
-pub use validate::{bind_scenario, validate_scenario, validate_suite, ScenarioReport};
+pub use validate::{
+    bind_scenario, validate_scenario, validate_suite, BoundScenario, ScenarioReport,
+};
 
 // Re-exported so downstream callers (CLI, benches) can tune prover
 // bounds without depending on `fv-core` directly.
@@ -181,6 +184,16 @@ pub trait ScenarioGenerator: Sync + Send {
     /// One-line description, including how `depth`/`width` are
     /// interpreted and clamped.
     fn summary(&self) -> &'static str;
+
+    /// Whether the family belongs in suites that did not name their
+    /// families explicitly (`true` for all but special-purpose
+    /// families). The `deepcnt` family returns `false`: its headline
+    /// candidate is only decidable by the PDR engine, so including it
+    /// by default would make bounded-engine suite results depend on
+    /// the engine selection.
+    fn in_default_suite(&self) -> bool {
+        true
+    }
 
     /// Generates one scenario. Must be deterministic in `params`.
     fn generate(&self, params: &GenParams) -> Scenario;

@@ -76,7 +76,15 @@ pub fn generate_suite(config: &SuiteConfig) -> Suite {
     let width_options = [4u32, 8, 16, 32];
     let mut scenarios = Vec::new();
     for gen in families::generators() {
-        if !config.families.is_empty() && !config.families.iter().any(|f| f == gen.family()) {
+        // An empty family list means "every default family"; families
+        // opting out of default suites (see
+        // `ScenarioGenerator::in_default_suite`) must be named
+        // explicitly.
+        if config.families.is_empty() {
+            if !gen.in_default_suite() {
+                continue;
+            }
+        } else if !config.families.iter().any(|f| f == gen.family()) {
             continue;
         }
         // Per-family stream: adding a family never reshuffles another.

@@ -6,10 +6,18 @@
 //! back `Proven`, falsifiable ones `Falsified`, and every
 //! counterexample trace must replay to a concrete violation on the
 //! cycle-accurate `sv_synth::Simulator`.
+//!
+//! When a bounded-engine check comes back `Undetermined`, the
+//! candidate is retried once through the IC3/PDR engine before a
+//! mismatch is declared — this is what lets the deep-inductive
+//! `deepcnt` family carry golden verdicts the BMC + k-induction
+//! schedule cannot close at its default depth.
 
 use crate::{GoldenVerdict, Scenario, Suite};
 use fv_core::SignalTable;
-use fv_core::{prove_with_stats, replay_design_cex, ProveConfig, ProveResult, ProverStats};
+use fv_core::{
+    prove_with_stats, replay_design_cex, ProveConfig, ProveEngine, ProveResult, ProverStats,
+};
 use sv_ast::{Expr, Instance, ModuleItem};
 use sv_parser::parse_source;
 use sv_synth::{elaborate_with_extras, Netlist};
@@ -141,9 +149,26 @@ pub fn validate_scenario(scenario: &Scenario, cfg: ProveConfig) -> Result<Scenar
     for cand in &scenario.candidates {
         let assertion = sv_parser::parse_assertion_str(&cand.sva)
             .map_err(|e| format!("{}/{}: parse: {e}", scenario.id, cand.name))?;
-        let (result, stats) = prove_with_stats(&bound.netlist, &assertion, &bound.consts, cfg)
+        let (mut result, stats) = prove_with_stats(&bound.netlist, &assertion, &bound.consts, cfg)
             .map_err(|e| format!("{}/{}: prove: {e}", scenario.id, cand.name))?;
         report.stats.merge(&stats);
+        // Deep-inductive families (e.g. `deepcnt`) carry golden
+        // verdicts the bounded schedule cannot decide within its
+        // depth. Before declaring a mismatch on an Undetermined,
+        // retry once with the reachability-aware PDR engine — its
+        // verdicts are replay-gated like any other, so a wrong golden
+        // verdict is still caught.
+        if matches!(result, ProveResult::Undetermined) && cfg.engine == ProveEngine::Bounded {
+            let pdr_cfg = ProveConfig {
+                engine: ProveEngine::Pdr,
+                ..cfg
+            };
+            let (retry, retry_stats) =
+                prove_with_stats(&bound.netlist, &assertion, &bound.consts, pdr_cfg)
+                    .map_err(|e| format!("{}/{}: prove (pdr): {e}", scenario.id, cand.name))?;
+            report.stats.merge(&retry_stats);
+            result = retry;
+        }
         match (cand.verdict, &result) {
             (GoldenVerdict::Provable, ProveResult::Proven { .. }) => report.confirmed += 1,
             (GoldenVerdict::Falsifiable, ProveResult::Falsified { cex }) => {

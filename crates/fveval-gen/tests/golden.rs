@@ -77,7 +77,28 @@ fn generation_is_deterministic_and_ids_unique() {
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), n, "unique scenario ids");
-    assert_eq!(n, 3 * generators().len());
+    let default_families = generators().iter().filter(|g| g.in_default_suite()).count();
+    assert_eq!(n, 3 * default_families);
+}
+
+#[test]
+fn opt_in_families_stay_out_of_default_suites_but_generate_when_named() {
+    let default_suite = generate_suite(&SuiteConfig::default());
+    assert!(
+        !default_suite
+            .scenarios
+            .iter()
+            .any(|s| s.family == "deepcnt"),
+        "deepcnt is opt-in: its headline verdict needs the PDR engine"
+    );
+    let named = generate_suite(&SuiteConfig {
+        families: vec!["deepcnt".into()],
+        per_family: 2,
+        seed: 11,
+        ..Default::default()
+    });
+    assert_eq!(named.scenarios.len(), 2);
+    assert!(named.scenarios.iter().all(|s| s.family == "deepcnt"));
 }
 
 #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! fveval <command> [--full] [--seed N] [--jobs N] [--out DIR]
 //!                  [--cache-dir DIR] [--no-persist]
+//!                  [--engine bounded|pdr|portfolio] [--prove-budget-ms N]
 //! fveval gen [--family NAME]... [--count N] [--depth N] [--width N]
 //!            [--seed N] [--eval] [--out DIR]
 //! fveval serve [--addr HOST:PORT] [--jobs N] [--serve-workers N]
@@ -46,6 +47,16 @@
 //!                   back, so repeated runs skip settled formal
 //!                   queries across processes.
 //!   --no-persist    disable the persistent verdict store for this run
+//!   --engine E      Design2SVA proving engine: bounded (BMC +
+//!                   k-induction, the default), pdr (IC3/PDR), or
+//!                   portfolio (both raced, first answer wins; verdicts
+//!                   and traces stay byte-identical to bounded — only
+//!                   otherwise-Undetermined checks can improve). Also
+//!                   accepted by `serve` for its shared engine.
+//!   --prove-budget-ms N
+//!                   wall-clock budget per PDR proof attempt in
+//!                   milliseconds (default 10000; 0 disables the
+//!                   deadline). Only the engines above consult it.
 //!
 //! `gen`/`submit`-only flags:
 //!   --family NAME   restrict to one family (repeatable; default: all
@@ -106,8 +117,25 @@ struct Args {
     out_dir: PathBuf,
     cache_dir: PathBuf,
     no_persist: bool,
+    engine: Option<fv_core::ProveEngine>,
+    prove_budget_ms: Option<u64>,
     gen: GenArgs,
     serve: ServeArgs,
+}
+
+impl Args {
+    /// The Design2SVA proving configuration the `--engine` /
+    /// `--prove-budget-ms` flags select (defaults when absent).
+    fn prove_config(&self) -> fv_core::ProveConfig {
+        let mut cfg = fv_core::ProveConfig::default();
+        if let Some(engine) = self.engine {
+            cfg.engine = engine;
+        }
+        if let Some(budget) = self.prove_budget_ms {
+            cfg.prove_budget_ms = budget;
+        }
+        cfg
+    }
 }
 
 /// Flags only the `gen` and `submit` subcommands read.
@@ -173,11 +201,30 @@ fn parse_args() -> Result<Args, String> {
     let mut out_dir = PathBuf::from("results");
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_persist = false;
+    let mut engine: Option<fv_core::ProveEngine> = None;
+    let mut prove_budget_ms: Option<u64> = None;
     let mut gen = GenArgs::default();
     let mut serve = ServeArgs::default();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => opts.full = true,
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs a value")?;
+                engine = Some(match v.as_str() {
+                    "bounded" => fv_core::ProveEngine::Bounded,
+                    "pdr" => fv_core::ProveEngine::Pdr,
+                    "portfolio" => fv_core::ProveEngine::Portfolio,
+                    other => {
+                        return Err(format!(
+                            "unknown engine '{other}' (known: bounded, pdr, portfolio)"
+                        ))
+                    }
+                });
+            }
+            "--prove-budget-ms" => {
+                let v = args.next().ok_or("--prove-budget-ms needs a value")?;
+                prove_budget_ms = Some(v.parse().map_err(|_| "bad budget".to_string())?);
+            }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| "bad seed".to_string())?;
@@ -300,6 +347,17 @@ fn parse_args() -> Result<Args, String> {
         (!serve.models.is_empty() && cmd != "submit", "--model"),
         (serve.wait && !["submit", "poll"].contains(&cmd), "--wait"),
         (serve.job.is_some() && cmd != "poll", "--job"),
+        // Engine selection configures a *local* engine: every
+        // evaluation command plus `serve`; the thin service clients
+        // never prove anything themselves.
+        (
+            engine.is_some() && SERVICE_COMMANDS.contains(&cmd) && cmd != "serve",
+            "--engine",
+        ),
+        (
+            prove_budget_ms.is_some() && SERVICE_COMMANDS.contains(&cmd) && cmd != "serve",
+            "--prove-budget-ms",
+        ),
     ]
     .into_iter()
     .filter_map(|(is_stray, name)| is_stray.then_some(name))
@@ -318,6 +376,8 @@ fn parse_args() -> Result<Args, String> {
         out_dir: out_dir.clone(),
         cache_dir: cache_dir.unwrap_or_else(|| out_dir.join("cache")),
         no_persist,
+        engine,
+        prove_budget_ms,
         gen,
         serve,
     })
@@ -379,6 +439,7 @@ fn run_serve(args: &Args) -> Result<(), String> {
             .serve
             .retain
             .unwrap_or(fveval_serve::DEFAULT_RETAINED_FINISHED),
+        prove_cfg: args.prove_config(),
     };
     let server = Server::bind(config)?;
     eprintln!(
@@ -514,7 +575,8 @@ fn usage() -> String {
     let names: Vec<&str> = COMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: fveval <{}> [--full] [--seed N] [--jobs N] [--out DIR] \
-         [--cache-dir DIR] [--no-persist]\n\
+         [--cache-dir DIR] [--no-persist] [--engine bounded|pdr|portfolio] \
+         [--prove-budget-ms N]\n\
          \x20      fveval gen [--family NAME]... [--count N] [--depth N] \
          [--width N] [--seed N] [--eval] [--out DIR]\n\
          \x20      fveval serve [--addr A] [--serve-workers N] [--max-jobs N] \
@@ -703,7 +765,9 @@ fn main() -> ExitCode {
             }
         };
     }
-    let engine = EvalEngine::with_jobs(args.jobs);
+    let engine = EvalEngine::with_jobs(args.jobs).with_d2s_runner(
+        fveval_core::Design2svaRunner::new().with_prove_config(args.prove_config()),
+    );
     let mut store = if args.command == "list" {
         None
     } else {
@@ -765,6 +829,22 @@ fn main() -> ExitCode {
             "[sessions: {} opened, {} assertions checked, {} unrollings reused]",
             prover.sessions_opened, prover.session_checks, prover.unroll_reuse_hits,
         );
+        let engine_work = prover.pdr_wins
+            + prover.bounded_wins
+            + prover.engine_cancellations
+            + prover.pdr_frames
+            + prover.pdr_clauses_learned;
+        if engine_work > 0 {
+            eprintln!(
+                "[engines: {} pdr wins, {} bounded wins, {} cancellations | \
+                 pdr: {} frames opened, {} clauses learned]",
+                prover.pdr_wins,
+                prover.bounded_wins,
+                prover.engine_cancellations,
+                prover.pdr_frames,
+                prover.pdr_clauses_learned,
+            );
+        }
     }
     if prover.queries() > 0 || stats.hits + stats.persisted_hits + stats.misses > 0 {
         let t = prover_stats_table(&prover, &stats);
@@ -798,6 +878,11 @@ fn prover_stats_table(
             "Verdict-cache hits",
             "Persisted hits",
             "Cache misses",
+            "PDR frames",
+            "PDR clauses",
+            "PDR wins",
+            "Bounded wins",
+            "Engine cancellations",
         ],
     );
     t.push_row([
@@ -812,6 +897,11 @@ fn prover_stats_table(
         cache.hits.to_string().into(),
         cache.persisted_hits.to_string().into(),
         cache.misses.to_string().into(),
+        prover.pdr_frames.to_string().into(),
+        prover.pdr_clauses_learned.to_string().into(),
+        prover.pdr_wins.to_string().into(),
+        prover.bounded_wins.to_string().into(),
+        prover.engine_cancellations.to_string().into(),
     ]);
     t
 }

@@ -720,6 +720,11 @@ pub fn gen_report(
             notes.push_str(&format!("PROBLEM {}: {p}\n", scenario.id));
         }
     }
+    // Validation is prover work this command performed: fold it into
+    // the engine's counters so `prover_stats.{md,csv}` and the stderr
+    // summary account for it (deep-inductive families surface here as
+    // `pdr_wins` even when no scored response needs PDR).
+    engine.record_prover_work(&stats);
     notes.push_str(&format!(
         "golden verdicts: {} candidates across {} scenarios confirmed by the prover \
          ({} SAT calls, {} sim kills, {} ternary kills){}\n",

@@ -50,6 +50,10 @@ pub struct ServerConfig {
     /// [`Server::bind`] rejects `0`, which would evict every result
     /// before its poller could read it.
     pub retain_finished: usize,
+    /// Design2SVA proving configuration for the shared engine (the
+    /// CLI's `--engine` / `--prove-budget-ms` flags); the default is
+    /// the plain bounded schedule.
+    pub prove_cfg: fv_core::ProveConfig,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +65,7 @@ impl Default for ServerConfig {
             engine_jobs: 0,
             cache_dir: None,
             retain_finished: DEFAULT_RETAINED_FINISHED,
+            prove_cfg: fv_core::ProveConfig::default(),
         }
     }
 }
@@ -160,7 +165,9 @@ impl Server {
         let addr = listener
             .local_addr()
             .map_err(|e| format!("cannot read bound address: {e}"))?;
-        let engine = EvalEngine::with_jobs(config.engine_jobs);
+        let engine = EvalEngine::with_jobs(config.engine_jobs).with_d2s_runner(
+            fveval_core::Design2svaRunner::new().with_prove_config(config.prove_cfg),
+        );
         let mut preloaded = 0usize;
         let store = match &config.cache_dir {
             Some(dir) => {
@@ -440,6 +447,11 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
                 ("sessions_opened", prover.sessions_opened.into()),
                 ("session_checks", prover.session_checks.into()),
                 ("unroll_reuse_hits", prover.unroll_reuse_hits.into()),
+                ("pdr_frames", prover.pdr_frames.into()),
+                ("pdr_clauses_learned", prover.pdr_clauses_learned.into()),
+                ("pdr_wins", prover.pdr_wins.into()),
+                ("bounded_wins", prover.bounded_wins.into()),
+                ("engine_cancellations", prover.engine_cancellations.into()),
             ]),
         ),
         ("store", store_json),

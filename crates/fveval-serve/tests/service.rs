@@ -237,6 +237,7 @@ fn retention_bound_is_configurable_and_rejects_zero() {
         engine_jobs: 1,
         cache_dir: None,
         retain_finished: 1,
+        prove_cfg: fv_core::ProveConfig::default(),
     })
     .expect("server binds");
     let addr = server.local_addr().to_string();
