@@ -377,6 +377,24 @@ fn bench_scenario_gen(c: &mut Criterion) {
         })
     });
 
+    // The mutation path: OP-Tree derivation is prove-gated (every
+    // tentative mutant is proven falsifiable and its counterexample
+    // replayed before acceptance), so this measures derivation-time
+    // prover throughput on a mutation-rich family.
+    let fifo = fveval_gen::generator("fifo").expect("registered");
+    let scenario = fifo.generate(&fveval_gen::GenParams {
+        depth: 4,
+        width: 8,
+        seed: 0x5CE7,
+    });
+    g.bench_function("derive_mutants_fifo_8", |b| {
+        b.iter(|| {
+            let mutants = fveval_gen::derive_mutants(&scenario, 8);
+            assert!(!mutants.is_empty(), "fifo yields mutants");
+            black_box(mutants)
+        })
+    });
+
     // One strong model over the generated Design2SVA set through the
     // engine (bind cache + model checker; fresh engine per iteration).
     let set = fveval_data::task_set_from_suite(suite).expect("converts");

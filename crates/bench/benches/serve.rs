@@ -125,6 +125,7 @@ fn bench_round_trip(c: &mut Criterion) {
             seed: 3,
             depth: None,
             width: None,
+            mutations: 0,
         },
         models: vec!["gpt-4o".to_string()],
         cfg: InferenceConfig::greedy(),

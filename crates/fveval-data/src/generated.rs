@@ -63,11 +63,13 @@ pub fn task_set_from_suite(suite: Suite) -> Result<GeneratedTaskSet, String> {
         tables.insert(scenario.id.clone(), bound.table);
         for cand in &scenario.candidates {
             let id = format!("{}_{}", scenario.id, cand.name);
+            let mutation = cand.mutation.map(|op| op.tag().to_string());
             human.push(HumanCase {
                 id: id.clone(),
                 testbench: scenario.id.clone(),
                 question: format!("Create a SVA assertion that checks: {}", cand.nl),
                 reference: cand.sva.clone(),
+                mutation: mutation.clone(),
             });
             let reference =
                 sv_parser::parse_assertion_str(&cand.sva).map_err(|e| format!("{id}: {e}"))?;
@@ -82,6 +84,7 @@ pub fn task_set_from_suite(suite: Suite) -> Result<GeneratedTaskSet, String> {
                     reference,
                     reference_text,
                     retries: 0,
+                    mutation,
                 },
             ));
         }

@@ -31,6 +31,10 @@ pub struct HumanCase {
     pub question: String,
     /// The expert-written reference assertion (concrete SVA).
     pub reference: String,
+    /// The OP-Tree mutation operator tag (`opswap`, `offbyone`, ...)
+    /// when the case's reference was derived by the `fveval-gen`
+    /// mutation layer; `None` for shipped and family-authored cases.
+    pub mutation: Option<String>,
 }
 
 /// All 13 testbench variants.
@@ -152,6 +156,7 @@ fn case(id: &str, testbench: &str, question: &str, reference: &str) -> HumanCase
         testbench: testbench.to_string(),
         question: format!("Create a SVA assertion that checks: {question}"),
         reference: reference.to_string(),
+        mutation: None,
     }
 }
 

@@ -28,6 +28,10 @@ pub struct MachineCase {
     pub reference_text: String,
     /// Number of critic-rejected description drafts before acceptance.
     pub retries: u32,
+    /// The OP-Tree mutation operator tag when the reference was derived
+    /// by the `fveval-gen` mutation layer; `None` for generated-corpus
+    /// and family-authored cases.
+    pub mutation: Option<String>,
 }
 
 /// Generator configuration.
@@ -557,6 +561,7 @@ pub fn generate_machine_cases(cfg: MachineGenConfig) -> Vec<MachineCase> {
             reference_text: print_assertion(&spec.assertion),
             reference: spec.assertion,
             retries,
+            mutation: None,
         });
     }
     cases

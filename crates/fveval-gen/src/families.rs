@@ -1,4 +1,6 @@
-//! The six built-in scenario families.
+//! The built-in scenario families (twelve: seven from the original
+//! seed plus the register-file, pipeline, AXI-lite, hierarchy, and
+//! token-ring families).
 //!
 //! Every generator follows the same recipe: build concrete
 //! SystemVerilog for a small parameterized design whose interesting
@@ -43,6 +45,11 @@ pub fn generators() -> Vec<Box<dyn ScenarioGenerator>> {
         Box::new(ShiftGen),
         Box::new(CrcGen),
         Box::new(DeepCntGen),
+        Box::new(RegfileGen),
+        Box::new(PipelineGen),
+        Box::new(AxiGen),
+        Box::new(HierGen),
+        Box::new(RingGen),
     ]
 }
 
@@ -125,6 +132,7 @@ fn provable(name: &str, sva: String, nl: String) -> Candidate {
         sva,
         nl,
         verdict: GoldenVerdict::Provable,
+        mutation: None,
     }
 }
 
@@ -134,6 +142,7 @@ fn falsifiable(name: &str, sva: String, nl: String) -> Candidate {
         sva,
         nl,
         verdict: GoldenVerdict::Falsifiable,
+        mutation: None,
     }
 }
 
@@ -1084,6 +1093,676 @@ impl ScenarioGenerator for DeepCntGen {
             top: "gen_deepcnt".into(),
             tb_top: "gen_deepcnt_tb".into(),
             internal_signal: "cnt".into(),
+            candidates,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 8: register file with write-forwarding
+// ---------------------------------------------------------------------
+
+struct RegfileGen;
+
+impl ScenarioGenerator for RegfileGen {
+    fn family(&self) -> &'static str {
+        "regfile"
+    }
+
+    fn summary(&self) -> &'static str {
+        "write-forwarding register file; depth = address bits (1..=3), width = data width (2..=32)"
+    }
+
+    fn generate(&self, params: &GenParams) -> Scenario {
+        let aw = params.depth.clamp(1, 3);
+        let width = params.width.clamp(2, 32);
+        let params = GenParams {
+            depth: aw,
+            width,
+            seed: params.seed,
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x12F1);
+        // Exactly 2^aw registers: every read address maps to a
+        // register, so the read mux is total and `write_persists`
+        // stays 1-inductive from any starting state.
+        let n = 1u32 << aw;
+        let ports: Vec<Port> = vec![
+            ("clk", 1, false),
+            ("reset_", 1, false),
+            ("wr_en", 1, false),
+            ("wr_addr", aw, false),
+            ("wr_data", width, false),
+            ("rd_addr", aw, false),
+            ("rd_data", width, true),
+            ("fwd", 1, true),
+        ];
+        let mut read_mux = String::new();
+        for i in 0..n - 1 {
+            read_mux.push_str(&format!(
+                "(rd_addr == {}) ? r{} : ",
+                lit(aw, u128::from(i)),
+                i
+            ));
+        }
+        read_mux.push_str(&format!("r{}", n - 1));
+        let mut design = String::from(
+            "// Generated scenario: register file with same-cycle write\n\
+             // forwarding. A read of the address being written observes the\n\
+             // incoming data, not the stale register contents.\n",
+        );
+        design.push_str(&header("gen_regfile", &ports, false));
+        for i in 0..n {
+            design.push_str(&format!("  reg [{}:0] r{};\n", width - 1, i));
+        }
+        design.push_str(&format!(
+            "  wire [{msb}:0] raw;\n\
+             \x20 assign raw = {read_mux};\n\
+             \x20 assign fwd = wr_en && (wr_addr == rd_addr);\n\
+             \x20 assign rd_data = fwd ? wr_data : raw;\n\
+             \x20 always_ff @(posedge clk or negedge reset_) begin\n\
+             \x20   if (!reset_) begin\n",
+            msb = width - 1,
+        ));
+        for i in 0..n {
+            design.push_str(&format!("      r{} <= {};\n", i, lit(width, 0)));
+        }
+        design.push_str("    end else begin\n");
+        for i in 0..n {
+            design.push_str(&format!(
+                "      if (wr_en && (wr_addr == {})) r{} <= wr_data;\n",
+                lit(aw, u128::from(i)),
+                i
+            ));
+        }
+        design.push_str("    end\n  end\nendmodule\n");
+
+        let candidates = vec![
+            provable(
+                "forward_wins",
+                asrt("(wr_en && (wr_addr == rd_addr)) |-> (rd_data == wr_data)"),
+                format!(
+                    "that {} the read port returns the data being written. \
+                     Use the signals 'wr_en', 'wr_addr', 'rd_addr', 'rd_data', and 'wr_data'.",
+                    vary(
+                        &mut rng,
+                        &[
+                            "when a write hits the address being read,",
+                            "whenever the read and write addresses collide on an active write,",
+                        ]
+                    )
+                ),
+            ),
+            provable(
+                "fwd_definition",
+                asrt("(fwd == (wr_en && (wr_addr == rd_addr)))"),
+                "that the forwarding indicator is asserted exactly on a same-address \
+                 active write. Use the signals 'fwd', 'wr_en', 'wr_addr', and 'rd_addr'."
+                    .into(),
+            ),
+            provable(
+                "write_persists",
+                asrt(
+                    "(wr_en ##1 (!wr_en && (rd_addr == $past(wr_addr)))) |-> \
+                     (rd_data == $past(wr_data))",
+                ),
+                "that data written one cycle earlier is read back unchanged when the \
+                 written address is read with no new write in flight. Use the signals \
+                 'wr_en', 'rd_addr', 'wr_addr', 'rd_data', and 'wr_data'."
+                    .into(),
+            ),
+            falsifiable(
+                "always_forwards",
+                asrt("(rd_data == wr_data)"),
+                "that the read port always returns the write-port data. \
+                 Use the signals 'rd_data' and 'wr_data'."
+                    .into(),
+            ),
+            falsifiable(
+                "forward_sticks",
+                asrt("fwd |-> ##1 fwd"),
+                "that once forwarding kicks in it stays active on the next cycle. \
+                 Use the signal 'fwd'."
+                    .into(),
+            ),
+        ];
+
+        Scenario {
+            id: scenario_id("regfile", &params),
+            family: "regfile",
+            params,
+            logic_excerpt: read_mux,
+            design_source: design,
+            tb_source: testbench_for("gen_regfile", &ports),
+            top: "gen_regfile".into(),
+            tb_top: "gen_regfile_tb".into(),
+            internal_signal: "raw".into(),
+            candidates,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 9: pipelined datapath with hazard stalls
+// ---------------------------------------------------------------------
+
+struct PipelineGen;
+
+impl ScenarioGenerator for PipelineGen {
+    fn family(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn summary(&self) -> &'static str {
+        "stallable valid/data pipeline; depth = stages (2..=4), width = data width (2..=32)"
+    }
+
+    fn generate(&self, params: &GenParams) -> Scenario {
+        let stages = params.depth.clamp(2, 4);
+        let width = params.width.clamp(2, 32);
+        let params = GenParams {
+            depth: stages,
+            width,
+            seed: params.seed,
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x3147);
+        let ports: Vec<Port> = vec![
+            ("clk", 1, false),
+            ("reset_", 1, false),
+            ("in_vld", 1, false),
+            ("in_data", width, false),
+            ("stall", 1, false),
+            ("out_vld", 1, true),
+            ("out_data", width, true),
+        ];
+        let mut design = String::from(
+            "// Generated scenario: in-order pipeline with a hazard stall.\n\
+             // While the stall input is asserted every stage register holds its\n\
+             // value; otherwise valid bits and data advance one stage per\n\
+             // cycle.\n",
+        );
+        design.push_str(&header("gen_pipeline", &ports, false));
+        for i in 0..stages {
+            design.push_str(&format!("  reg v{i};\n  reg [{}:0] d{i};\n", width - 1));
+        }
+        design.push_str(&format!(
+            "  assign out_vld = v{last};\n\
+             \x20 assign out_data = d{last};\n\
+             \x20 always_ff @(posedge clk or negedge reset_) begin\n\
+             \x20   if (!reset_) begin\n",
+            last = stages - 1,
+        ));
+        for i in 0..stages {
+            design.push_str(&format!(
+                "      v{i} <= 1'b0;\n      d{i} <= {};\n",
+                lit(width, 0)
+            ));
+        }
+        design.push_str(
+            "    end else begin\n\
+             \x20     if (!stall) begin\n\
+             \x20       v0 <= in_vld;\n\
+             \x20       d0 <= in_data;\n",
+        );
+        for i in 1..stages {
+            design.push_str(&format!(
+                "        v{i} <= v{};\n        d{i} <= d{};\n",
+                i - 1,
+                i - 1
+            ));
+        }
+        design.push_str("      end\n    end\n  end\nendmodule\n");
+
+        // `(in_vld && !stall) ##1 !stall ##1 ... |-> ##1 out_vld`:
+        // the launch plus `stages - 1` stall-free cycles walk the entry
+        // to the last stage.
+        let free_run = |head: &str| {
+            let mut s = String::from(head);
+            for _ in 1..stages {
+                s.push_str(" ##1 (!stall)");
+            }
+            s
+        };
+
+        let candidates = vec![
+            provable(
+                "stall_freezes",
+                asrt("stall |-> ##1 ($stable(out_vld) && $stable(out_data))"),
+                format!(
+                    "that {} both output valid and output data hold their values into \
+                     the next cycle. Use the signals 'stall', 'out_vld', and 'out_data'.",
+                    vary(
+                        &mut rng,
+                        &[
+                            "while the pipeline is stalled,",
+                            "whenever the hazard stall is asserted,",
+                        ]
+                    )
+                ),
+            ),
+            provable(
+                "flow_latency",
+                asrt(&format!(
+                    "({}) |-> ##1 out_vld",
+                    free_run("(in_vld && !stall)")
+                )),
+                format!(
+                    "that an entry accepted into a stall-free pipeline emerges valid \
+                     after exactly {stages} cycles. Use the signals 'in_vld', 'stall', \
+                     and 'out_vld'."
+                ),
+            ),
+            provable(
+                "bubble_flushes",
+                asrt(&format!(
+                    "({}) |-> ##1 (!out_vld)",
+                    free_run("(!in_vld && !stall)")
+                )),
+                format!(
+                    "that a bubble inserted into a stall-free pipeline reaches the \
+                     output as an invalid cycle after {stages} cycles. Use the signals \
+                     'in_vld', 'stall', and 'out_vld'."
+                ),
+            ),
+            falsifiable(
+                "no_stall_needed",
+                asrt(&format!("in_vld |-> ##{stages} out_vld")),
+                format!(
+                    "that any accepted input reaches the output valid after {stages} \
+                     cycles regardless of stalls. Use the signals 'in_vld' and 'out_vld'."
+                ),
+            ),
+            falsifiable(
+                "stall_passes",
+                asrt("stall |-> ##1 out_vld"),
+                "that the output is valid on the cycle after any stall. \
+                 Use the signals 'stall' and 'out_vld'."
+                    .into(),
+            ),
+        ];
+
+        Scenario {
+            id: scenario_id("pipeline", &params),
+            family: "pipeline",
+            params,
+            logic_excerpt: format!("v0 <= in_vld; ...; v{} <= v{}", stages - 1, stages - 2),
+            design_source: design,
+            tb_source: testbench_for("gen_pipeline", &ports),
+            top: "gen_pipeline".into(),
+            tb_top: "gen_pipeline_tb".into(),
+            internal_signal: "v0".into(),
+            candidates,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 10: AXI-lite-style request/response protocol checker
+// ---------------------------------------------------------------------
+
+struct AxiGen;
+
+impl ScenarioGenerator for AxiGen {
+    fn family(&self) -> &'static str {
+        "axi"
+    }
+
+    fn summary(&self) -> &'static str {
+        "AXI-lite-style single-outstanding request/response channel; width = data width (2..=32), depth unused"
+    }
+
+    fn generate(&self, params: &GenParams) -> Scenario {
+        let width = params.width.clamp(2, 32);
+        let params = GenParams {
+            depth: params.depth,
+            width,
+            seed: params.seed,
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x0A71);
+        let ports: Vec<Port> = vec![
+            ("clk", 1, false),
+            ("reset_", 1, false),
+            ("req_vld", 1, false),
+            ("req_data", width, false),
+            ("resp_rdy", 1, false),
+            ("req_rdy", 1, true),
+            ("resp_vld", 1, true),
+            ("resp_data", width, true),
+        ];
+        let mut design = String::from(
+            "// Generated scenario: single-outstanding request/response\n\
+             // channel in the AXI-lite style. A request is accepted only\n\
+             // while idle; the response stays valid, with stable payload,\n\
+             // until the master takes it.\n",
+        );
+        design.push_str(&header("gen_axi", &ports, false));
+        design.push_str(&format!(
+            "  reg busy;\n\
+             \x20 reg [{msb}:0] held;\n\
+             \x20 assign req_rdy = !busy;\n\
+             \x20 assign resp_vld = busy;\n\
+             \x20 assign resp_data = held;\n\
+             \x20 always_ff @(posedge clk or negedge reset_) begin\n\
+             \x20   if (!reset_) begin\n\
+             \x20     busy <= 1'b0;\n\
+             \x20     held <= {zero};\n\
+             \x20   end else begin\n\
+             \x20     if (req_vld && !busy) begin\n\
+             \x20       busy <= 1'b1;\n\
+             \x20       held <= req_data;\n\
+             \x20     end else if (busy && resp_rdy) begin\n\
+             \x20       busy <= 1'b0;\n\
+             \x20     end\n\
+             \x20   end\n\
+             \x20 end\n\
+             endmodule\n",
+            msb = width - 1,
+            zero = lit(width, 0),
+        ));
+
+        let candidates = vec![
+            provable(
+                "resp_excludes_ready",
+                asrt("resp_vld |-> (!req_rdy)"),
+                format!(
+                    "that {} the channel never advertises request readiness. \
+                     Use the signals 'resp_vld' and 'req_rdy'.",
+                    vary(
+                        &mut rng,
+                        &[
+                            "while a response is pending,",
+                            "whenever the response channel is occupied,",
+                        ]
+                    )
+                ),
+            ),
+            provable(
+                "accept_brings_resp",
+                asrt("(req_vld && req_rdy) |-> ##1 resp_vld"),
+                "that an accepted request produces a valid response on the next \
+                 cycle. Use the signals 'req_vld', 'req_rdy', and 'resp_vld'."
+                    .into(),
+            ),
+            provable(
+                "resp_held_until_taken",
+                asrt("(resp_vld && !resp_rdy) |-> ##1 (resp_vld && $stable(resp_data))"),
+                "that a response the master is not yet accepting stays valid with \
+                 unchanged payload. Use the signals 'resp_vld', 'resp_rdy', and \
+                 'resp_data'."
+                    .into(),
+            ),
+            provable(
+                "echo_data",
+                asrt("(req_vld && req_rdy) |-> ##1 (resp_data == $past(req_data))"),
+                "that the response payload equals the request payload captured at \
+                 acceptance. Use the signals 'req_vld', 'req_rdy', 'resp_data', and \
+                 'req_data'."
+                    .into(),
+            ),
+            falsifiable(
+                "always_ready",
+                asrt("req_rdy"),
+                "that the channel accepts a new request on every cycle. \
+                 Use the signal 'req_rdy'."
+                    .into(),
+            ),
+            falsifiable(
+                "instant_resp",
+                asrt("req_vld |-> resp_vld"),
+                "that a response is valid in the same cycle the request is offered. \
+                 Use the signals 'req_vld' and 'resp_vld'."
+                    .into(),
+            ),
+        ];
+
+        Scenario {
+            id: scenario_id("axi", &params),
+            family: "axi",
+            params,
+            logic_excerpt: "req_rdy = !busy; resp_vld = busy".into(),
+            design_source: design,
+            tb_source: testbench_for("gen_axi", &ports),
+            top: "gen_axi".into(),
+            tb_top: "gen_axi_tb".into(),
+            internal_signal: "busy".into(),
+            candidates,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 11: cross-module property over an instantiated hierarchy
+// ---------------------------------------------------------------------
+
+struct HierGen;
+
+impl ScenarioGenerator for HierGen {
+    fn family(&self) -> &'static str {
+        "hier"
+    }
+
+    fn summary(&self) -> &'static str {
+        "two instantiated counter cells with cross-module properties; depth = counter bits (2..=10), width unused"
+    }
+
+    fn generate(&self, params: &GenParams) -> Scenario {
+        let b = params.depth.clamp(2, 10);
+        let params = GenParams {
+            depth: b,
+            width: params.width,
+            seed: params.seed,
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x417E);
+        let ports: Vec<Port> = vec![
+            ("clk", 1, false),
+            ("reset_", 1, false),
+            ("en", 1, false),
+            ("q0", b, true),
+            ("q1", b, true),
+            ("total", b, true),
+            ("agree", 1, true),
+        ];
+        let cell_ports: Vec<Port> = vec![
+            ("clk", 1, false),
+            ("reset_", 1, false),
+            ("en", 1, false),
+            ("q", b, true),
+        ];
+        let mut design = String::from(
+            "// Generated scenario: instantiated hierarchy. Two copies of\n\
+             // the same counter cell run in lockstep off a shared enable;\n\
+             // the top level exposes cross-module sums and comparisons, so\n\
+             // every property here spans instance boundaries after\n\
+             // elaboration inlines the cell0/cell1 instances.\n",
+        );
+        design.push_str(&header("gen_hier_cell", &cell_ports, false));
+        design.push_str(&format!(
+            "  reg [{msb}:0] cnt;\n\
+             \x20 assign q = cnt;\n\
+             \x20 always_ff @(posedge clk or negedge reset_) begin\n\
+             \x20   if (!reset_) begin\n\
+             \x20     cnt <= {zero};\n\
+             \x20   end else begin\n\
+             \x20     if (en) cnt <= cnt + {one};\n\
+             \x20   end\n\
+             \x20 end\n\
+             endmodule\n\n",
+            msb = b - 1,
+            zero = lit(b, 0),
+            one = lit(b, 1),
+        ));
+        design.push_str(&header("gen_hier", &ports, false));
+        design.push_str(&format!(
+            "  wire [{msb}:0] q0_w;\n\
+             \x20 wire [{msb}:0] q1_w;\n\
+             \x20 gen_hier_cell cell0 (.clk(clk), .reset_(reset_), .en(en), .q(q0_w));\n\
+             \x20 gen_hier_cell cell1 (.clk(clk), .reset_(reset_), .en(en), .q(q1_w));\n\
+             \x20 assign q0 = q0_w;\n\
+             \x20 assign q1 = q1_w;\n\
+             \x20 assign total = q0_w + q1_w;\n\
+             \x20 assign agree = (q0_w == q1_w);\n\
+             endmodule\n",
+            msb = b - 1,
+        ));
+
+        let candidates = vec![
+            provable(
+                "lockstep",
+                asrt("(q0 == q1)"),
+                format!(
+                    "that the two counter instances {}. Use the signals 'q0' and 'q1'.",
+                    vary(
+                        &mut rng,
+                        &[
+                            "always hold identical counts",
+                            "never diverge from one another",
+                        ]
+                    )
+                ),
+            ),
+            provable(
+                "agree_definition",
+                asrt("(agree == (q0 == q1))"),
+                "that the agreement flag is asserted exactly while both instance \
+                 counts match. Use the signals 'agree', 'q0', and 'q1'."
+                    .into(),
+            ),
+            provable(
+                "total_definition",
+                asrt("(total == (q0 + q1))"),
+                "that the exported total equals the wrapping sum of both instance \
+                 counts. Use the signals 'total', 'q0', and 'q1'."
+                    .into(),
+            ),
+            falsifiable(
+                "diverged",
+                asrt("(q0 != q1)"),
+                "that the two instance counts always differ. \
+                 Use the signals 'q0' and 'q1'."
+                    .into(),
+            ),
+            falsifiable(
+                "frozen",
+                asrt("en |-> ##1 $stable(q0)"),
+                "that the first instance count never changes across an enabled \
+                 cycle. Use the signals 'en' and 'q0'."
+                    .into(),
+            ),
+        ];
+
+        Scenario {
+            id: scenario_id("hier", &params),
+            family: "hier",
+            params,
+            logic_excerpt: "total = q0_w + q1_w".into(),
+            design_source: design,
+            tb_source: testbench_for("gen_hier", &ports),
+            top: "gen_hier".into(),
+            tb_top: "gen_hier_tb".into(),
+            internal_signal: "q0_w".into(),
+            candidates,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family 12: one-hot token ring
+// ---------------------------------------------------------------------
+
+struct RingGen;
+
+impl ScenarioGenerator for RingGen {
+    fn family(&self) -> &'static str {
+        "ring"
+    }
+
+    fn summary(&self) -> &'static str {
+        "one-hot rotating token ring; depth = ring positions (2..=8), width unused"
+    }
+
+    fn generate(&self, params: &GenParams) -> Scenario {
+        let n = params.depth.clamp(2, 8);
+        let params = GenParams {
+            depth: n,
+            width: params.width,
+            seed: params.seed,
+        };
+        let mut rng = StdRng::seed_from_u64(params.seed ^ 0x1216);
+        let ports: Vec<Port> = vec![
+            ("clk", 1, false),
+            ("reset_", 1, false),
+            ("adv", 1, false),
+            ("pos", n, true),
+        ];
+        let rotate = format!("{{tok[{}:0], tok[{}]}}", n - 2, n - 1);
+        let mut design = String::from(
+            "// Generated scenario: one-hot token ring. Exactly one position\n\
+             // holds the token; an advance rotates it one slot left, with\n\
+             // wrap-around from the top slot back to slot 0.\n",
+        );
+        design.push_str(&header("gen_ring", &ports, false));
+        design.push_str(&format!(
+            "  reg [{msb}:0] tok;\n\
+             \x20 assign pos = tok;\n\
+             \x20 always_ff @(posedge clk or negedge reset_) begin\n\
+             \x20   if (!reset_) begin\n\
+             \x20     tok <= {one};\n\
+             \x20   end else begin\n\
+             \x20     if (adv) tok <= {rotate};\n\
+             \x20   end\n\
+             \x20 end\n\
+             endmodule\n",
+            msb = n - 1,
+            one = lit(n, 1),
+        ));
+
+        let candidates = vec![
+            provable(
+                "one_hot_token",
+                asrt("$onehot(pos)"),
+                format!(
+                    "that {} exactly one ring position holds the token. \
+                     Use the signal 'pos'.",
+                    vary(&mut rng, &["on every cycle", "at all times"])
+                ),
+            ),
+            provable(
+                "hold_when_idle",
+                asrt("(!adv) |-> ##1 $stable(pos)"),
+                "that the token does not move across a cycle without an advance \
+                 request. Use the signals 'adv' and 'pos'."
+                    .into(),
+            ),
+            provable(
+                "token_advances",
+                asrt("(adv && pos[0]) |-> ##1 pos[1]"),
+                "that advancing the token out of slot 0 lands it in slot 1 on the \
+                 next cycle. Use the signals 'adv' and 'pos'."
+                    .into(),
+            ),
+            falsifiable(
+                "head_stays",
+                asrt("pos[0] |-> ##1 pos[0]"),
+                "that the token, once in slot 0, remains there on the next cycle. \
+                 Use the signal 'pos'."
+                    .into(),
+            ),
+            falsifiable(
+                "all_idle",
+                asrt(&format!("(pos == {})", lit(n, 1))),
+                "that the token never leaves its reset slot. Use the signal 'pos'.".into(),
+            ),
+        ];
+
+        Scenario {
+            id: scenario_id("ring", &params),
+            family: "ring",
+            params,
+            logic_excerpt: rotate,
+            design_source: design,
+            tb_source: testbench_for("gen_ring", &ports),
+            top: "gen_ring".into(),
+            tb_top: "gen_ring_tb".into(),
+            internal_signal: "tok".into(),
             candidates,
         }
     }

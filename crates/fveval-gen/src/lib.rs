@@ -19,6 +19,13 @@
 //!   three FVEval task types (NL2SVA-Human, NL2SVA-Machine,
 //!   Design2SVA).
 //!
+//! On top of the family-authored candidates, the mutation layer (see
+//! [`MutationOp`]) derives *near-miss falsifiable* assertions from the
+//! provable ones by perturbing the parsed OP-Tree — operator swap,
+//! off-by-one bound, wrong guard polarity, dropped antecedent — giving
+//! golden-verdict hard negatives at any volume
+//! (`SuiteConfig::mutations`).
+//!
 //! Everything is byte-identical under a fixed seed: generators never
 //! consult ambient randomness, only the [`GenParams`] they are handed.
 //!
@@ -43,10 +50,12 @@
 #![deny(missing_docs)]
 
 mod families;
+mod mutate;
 mod suite;
 mod validate;
 
 pub use families::{generator, generators};
+pub use mutate::{derive_mutants, derive_mutants_with_ops, mutate_scenario, MutationOp};
 pub use suite::{generate_suite, write_atomic, write_suite, Suite, SuiteConfig};
 pub use validate::{
     bind_scenario, validate_scenario, validate_suite, BoundScenario, ScenarioReport,
@@ -114,6 +123,12 @@ pub struct Candidate {
     pub nl: String,
     /// The verdict the design guarantees for this assertion.
     pub verdict: GoldenVerdict,
+    /// The OP-Tree mutation operator this candidate was derived by,
+    /// `None` for family-authored candidates. Mutants always carry
+    /// [`GoldenVerdict::Falsifiable`], and [`validate_scenario`] turns
+    /// any other prover outcome on them into a *hard error* (naming
+    /// the operator and seed) instead of a counted mismatch.
+    pub mutation: Option<MutationOp>,
 }
 
 /// One generated benchmark scenario: a design, its formal testbench,

@@ -20,6 +20,11 @@ pub struct SuiteConfig {
     pub depth: Option<u32>,
     /// Pins every scenario's `width` instead of sweeping it.
     pub width: Option<u32>,
+    /// OP-Tree mutants derived per scenario (see
+    /// [`crate::derive_mutants`]); `0` — the default — leaves every
+    /// scenario exactly as its family authored it, keeping historical
+    /// suite output byte-identical.
+    pub mutations: usize,
 }
 
 impl Default for SuiteConfig {
@@ -30,6 +35,7 @@ impl Default for SuiteConfig {
             seed: 0x9E4,
             depth: None,
             width: None,
+            mutations: 0,
         }
     }
 }
@@ -97,7 +103,11 @@ pub fn generate_suite(config: &SuiteConfig) -> Suite {
                     .unwrap_or_else(|| width_options[rng.gen_range(0..width_options.len())]),
                 seed: rng.gen(),
             };
-            scenarios.push(gen.generate(&params));
+            let mut scenario = gen.generate(&params);
+            if config.mutations > 0 {
+                crate::mutate::mutate_scenario(&mut scenario, config.mutations);
+            }
+            scenarios.push(scenario);
         }
     }
     Suite {
@@ -122,7 +132,7 @@ pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
 }
 
 /// Stable per-family seed perturbation (FNV-1a over the name).
-fn family_tag(name: &str) -> u64 {
+pub(crate) fn family_tag(name: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in name.as_bytes() {
         h ^= u64::from(b);
@@ -145,10 +155,11 @@ pub fn write_suite(dir: &Path, suite: &Suite) -> std::io::Result<usize> {
     let mut written = 0usize;
     let mut manifest_md = String::from(
         "# Generated scenario suite\n\n\
-         | Scenario | Family | Depth | Width | Provable | Falsifiable |\n\
-         |---|---|---|---|---|---|\n",
+         | Scenario | Family | Depth | Width | Provable | Falsifiable | Mutants |\n\
+         |---|---|---|---|---|---|---|\n",
     );
-    let mut manifest_csv = String::from("scenario,family,depth,width,provable,falsifiable\n");
+    let mut manifest_csv =
+        String::from("scenario,family,depth,width,provable,falsifiable,mutants\n");
     for s in &suite.scenarios {
         let sv = dir.join(format!("{}.sv", s.id));
         write_atomic(&sv, &format!("{}\n{}\n", s.design_source, s.tb_source))?;
@@ -159,22 +170,27 @@ pub fn write_suite(dir: &Path, suite: &Suite) -> std::io::Result<usize> {
             s.id, s.family, s.params.depth, s.params.width, s.params.seed
         );
         for c in &s.candidates {
+            let origin = match c.mutation {
+                Some(op) => format!(", mutant: {}", op.tag()),
+                None => String::new(),
+            };
             tasks.push_str(&format!(
-                "## {} ({:?})\n\nNL: Create a SVA assertion that checks: {}\n\n```systemverilog\n{}\n```\n\n",
-                c.name, c.verdict, c.nl, c.sva
+                "## {} ({:?}{})\n\nNL: Create a SVA assertion that checks: {}\n\n```systemverilog\n{}\n```\n\n",
+                c.name, c.verdict, origin, c.nl, c.sva
             ));
         }
         write_atomic(&dir.join(format!("{}.tasks.md", s.id)), &tasks)?;
         written += 1;
 
         let (p, fc) = (s.provable().count(), s.falsifiable().count());
+        let mc = s.candidates.iter().filter(|c| c.mutation.is_some()).count();
         manifest_md.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} |\n",
-            s.id, s.family, s.params.depth, s.params.width, p, fc
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            s.id, s.family, s.params.depth, s.params.width, p, fc, mc
         ));
         manifest_csv.push_str(&format!(
-            "{},{},{},{},{},{}\n",
-            s.id, s.family, s.params.depth, s.params.width, p, fc
+            "{},{},{},{},{},{},{}\n",
+            s.id, s.family, s.params.depth, s.params.width, p, fc, mc
         ));
     }
     write_atomic(&dir.join("manifest.md"), &manifest_md)?;

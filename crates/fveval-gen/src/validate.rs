@@ -174,6 +174,19 @@ pub fn validate_scenario(scenario: &Scenario, cfg: ProveConfig) -> Result<Scenar
             (GoldenVerdict::Falsifiable, ProveResult::Falsified { cex }) => {
                 match replay_design_cex(&bound.netlist, &assertion, &bound.consts, cfg, cex) {
                     Ok(true) => report.confirmed += 1,
+                    other if cand.mutation.is_some() => {
+                        // A mutant whose counterexample does not replay
+                        // is as much a mutation-layer bug as one that
+                        // stays provable: fail hard, never skip.
+                        return Err(format!(
+                            "{}/{}: mutation '{}' (seed {:#x}) produced a counterexample \
+                             that does not replay ({other:?})",
+                            scenario.id,
+                            cand.name,
+                            cand.mutation.unwrap().tag(),
+                            scenario.params.seed
+                        ));
+                    }
                     other => {
                         report.replay_failures += 1;
                         report.problems.push(format!(
@@ -184,6 +197,23 @@ pub fn validate_scenario(scenario: &Scenario, cfg: ProveConfig) -> Result<Scenar
                 }
             }
             (want, got) => {
+                // A derived mutant carries `Falsifiable` by
+                // construction; any other prover outcome means the
+                // mutation operator broke its near-miss contract. That
+                // is a generator bug, not a benchmark finding — make it
+                // a hard error naming the operator and seed so the
+                // offending derivation is reproducible, instead of a
+                // silently counted mismatch.
+                if let Some(op) = cand.mutation {
+                    return Err(format!(
+                        "{}/{}: mutation '{}' (seed {:#x}) failed to stay falsifiable: \
+                         golden {want:?}, prover {got:?}",
+                        scenario.id,
+                        cand.name,
+                        op.tag(),
+                        scenario.params.seed
+                    ));
+                }
                 report.mismatches += 1;
                 report
                     .problems

@@ -158,3 +158,39 @@ fn deepcnt_needs_pdr_and_portfolio_confirms_goldens() {
     assert!(report.stats.pdr_wins >= 1, "{:?}", report.stats);
     assert!(report.stats.bounded_wins >= 1, "{:?}", report.stats);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Mutated goldens keep the cross-engine contract: every OP-Tree
+    /// mutant derived from a family's provable candidates must be
+    /// falsifiable under *both* engines' rules — the bounded schedule
+    /// confirmed it at derivation time, and PDR, where it concludes,
+    /// must also falsify it with a replaying counterexample, never
+    /// prove it.
+    #[test]
+    fn engines_agree_on_mutated_goldens(
+        family_pick in 0usize..usize::MAX,
+        seed in 0u64..2000,
+        op_idx in 0usize..fveval_gen::MutationOp::ALL.len(),
+    ) {
+        let op = fveval_gen::MutationOp::ALL[op_idx];
+        let gens = generators();
+        let scenario = gens[family_pick % gens.len()].generate(&GenParams {
+            depth: 4,
+            width: 8,
+            seed,
+        });
+        let mutants = fveval_gen::derive_mutants_with_ops(&scenario, 4, &[op]);
+        if mutants.is_empty() {
+            // Not every (family, op) pair has an eligible site; the
+            // round-robin sweep in `mutation.rs` covers yield.
+            return Ok(());
+        }
+        let bound = fveval_gen::bind_scenario(&scenario).map_err(TestCaseError::fail)?;
+        for mutant in &mutants {
+            prop_assert_eq!(mutant.verdict, GoldenVerdict::Falsifiable);
+            check_candidate(&scenario.id, &bound, mutant)?;
+        }
+    }
+}

@@ -3,13 +3,13 @@
 //! every counterexample must replay on the reference simulator.
 
 use fveval_gen::{
-    generate_suite, generators, validate_scenario, GenParams, ProveConfig, SuiteConfig,
+    generate_suite, generator, generators, validate_scenario, GenParams, ProveConfig, SuiteConfig,
 };
 
 #[test]
 fn every_family_registers_and_reports() {
     let gens = generators();
-    assert!(gens.len() >= 6, "at least six scenario families");
+    assert!(gens.len() >= 12, "at least twelve scenario families");
     let mut names: Vec<&str> = gens.iter().map(|g| g.family()).collect();
     let n = names.len();
     names.sort_unstable();
@@ -153,4 +153,91 @@ fn suite_writes_to_disk() {
     let manifest = std::fs::read_to_string(dir.join("manifest.csv")).unwrap();
     assert_eq!(manifest.lines().count(), 3);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn new_family_scenarios_carry_their_signature_properties() {
+    // The five scenario families added with the mutation layer, each
+    // with a qualitatively different proof structure. Beyond the
+    // generic loops above, pin each family's signature candidate and
+    // structural trait so a refactor cannot quietly hollow one out.
+    let cases = [
+        (
+            "regfile",
+            "forward_wins",
+            "assign rd_data = fwd ? wr_data : raw;",
+        ),
+        ("pipeline", "stall_freezes", "if (!stall) begin"),
+        ("axi", "resp_held_until_taken", "assign req_rdy = !busy;"),
+        ("hier", "lockstep", "gen_hier_cell cell1"),
+        ("ring", "one_hot_token", "assign pos = tok;"),
+    ];
+    for (family, signature, structural) in cases {
+        let gen = generator(family).unwrap_or_else(|| panic!("{family} registered"));
+        assert!(gen.in_default_suite(), "{family} belongs to default suites");
+        let scenario = gen.generate(&GenParams::default());
+        assert!(
+            scenario.candidates.iter().any(|c| c.name == signature),
+            "{family} carries its signature candidate {signature}"
+        );
+        assert!(
+            scenario.design_source.contains(structural),
+            "{family} design keeps its structural trait: {structural}"
+        );
+        let report =
+            validate_scenario(&scenario, ProveConfig::default()).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.is_clean(), "{family}: {:?}", report.problems);
+    }
+}
+
+#[test]
+fn hierarchy_scenarios_inline_their_instances() {
+    // The hier family is the only one whose design source holds two
+    // modules; elaboration must inline both counter cells, exposing
+    // their registers under hierarchical names while the cross-module
+    // outputs stay flat.
+    let scenario = generator("hier").unwrap().generate(&GenParams::default());
+    let bound = fveval_gen::bind_scenario(&scenario).unwrap();
+    for cell in ["cell0", "cell1"] {
+        assert!(
+            bound
+                .netlist
+                .nets
+                .keys()
+                .any(|n| n.contains(&format!("{cell}.cnt"))),
+            "{cell}'s counter register is inlined into the flat netlist"
+        );
+    }
+    assert!(
+        bound.table.width("total").is_some(),
+        "cross-module sum in scope"
+    );
+    assert!(
+        bound.table.width("agree").is_some(),
+        "cross-module compare in scope"
+    );
+}
+
+#[test]
+fn nonzero_reset_values_survive_instantiation() {
+    // Regression for the elaborator init-extraction fix: the ring's
+    // token register resets to one-hot slot 0, and that value must
+    // survive the DUT-inside-testbench instantiation (the reset
+    // expression reaches the top-level reset through an instance-port
+    // alias). Before the fix this init silently collapsed to zero and
+    // the one-hot invariant was falsified at cycle 0.
+    let scenario = generator("ring").unwrap().generate(&GenParams::default());
+    let bound = fveval_gen::bind_scenario(&scenario).unwrap();
+    let tok = bound
+        .netlist
+        .atoms
+        .iter()
+        .find(|a| a.name.ends_with(".tok"))
+        .expect("inlined token register");
+    match &tok.kind {
+        sv_synth::AtomKind::Reg { init, .. } => {
+            assert_eq!(*init, 1, "reset value extracted through the instance alias")
+        }
+        other => panic!("tok must elaborate to a register, got {other:?}"),
+    }
 }

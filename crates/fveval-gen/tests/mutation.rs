@@ -1,0 +1,127 @@
+//! Mutation-layer contract coverage: every OP-Tree mutant derived from
+//! any family, at any (seed, depth, width), under any single operator,
+//! must come back golden `Falsified` with a counterexample that replays
+//! on the reference simulator — and derivation must be byte-identical
+//! across runs.
+
+use fveval_gen::{
+    derive_mutants, derive_mutants_with_ops, generate_suite, generators, validate_scenario,
+    GenParams, GoldenVerdict, MutationOp, ProveConfig, SuiteConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sweeps (family, seed, depth, width, op): mutants keep their
+    /// golden `Falsified` verdict under the prover and their
+    /// counterexamples replay. `validate_scenario` turns any mutant
+    /// that stays provable (or whose cex fails to replay) into a hard
+    /// error naming the operator and seed, so a rule violation fails
+    /// loudly here.
+    #[test]
+    fn every_mutant_is_falsified_with_replaying_cex(
+        seed in 0u64..2000,
+        depth in 1u32..10,
+        width in 2u32..20,
+        op_idx in 0usize..MutationOp::ALL.len(),
+    ) {
+        let op = MutationOp::ALL[op_idx];
+        for gen in generators() {
+            let mut scenario = gen.generate(&GenParams { depth, width, seed });
+            let mutants = derive_mutants_with_ops(&scenario, 4, &[op]);
+            if mutants.is_empty() {
+                continue;
+            }
+            for m in &mutants {
+                prop_assert_eq!(m.verdict, GoldenVerdict::Falsifiable);
+                prop_assert_eq!(m.mutation, Some(op));
+            }
+            scenario.candidates.extend(mutants);
+            let report = validate_scenario(&scenario, ProveConfig::default())
+                .unwrap_or_else(|e| panic!("{e}"));
+            prop_assert!(
+                report.is_clean(),
+                "{} + {}: {:?}",
+                scenario.id,
+                op.tag(),
+                report.problems
+            );
+        }
+    }
+
+    /// Same (seed, family, op) → byte-identical mutated assertion text,
+    /// independent of how often derivation runs.
+    #[test]
+    fn mutation_is_deterministic_per_seed_family_op(
+        seed in 0u64..5000,
+        op_idx in 0usize..MutationOp::ALL.len(),
+    ) {
+        let op = MutationOp::ALL[op_idx];
+        for gen in generators() {
+            let params = GenParams { depth: 4, width: 8, seed };
+            let a = derive_mutants_with_ops(&gen.generate(&params), 8, &[op]);
+            let b = derive_mutants_with_ops(&gen.generate(&params), 8, &[op]);
+            prop_assert_eq!(a, b, "{} + {}", gen.family(), op.tag());
+        }
+    }
+}
+
+#[test]
+fn suite_level_mutation_is_deterministic_and_tagged() {
+    let cfg = SuiteConfig {
+        per_family: 2,
+        seed: 0xD1F,
+        mutations: 3,
+        ..Default::default()
+    };
+    let a = generate_suite(&cfg);
+    let b = generate_suite(&cfg);
+    assert_eq!(a, b, "byte-identical under a fixed seed and mutation count");
+    let mutants: Vec<_> = a
+        .scenarios
+        .iter()
+        .flat_map(|s| s.candidates.iter())
+        .filter(|c| c.mutation.is_some())
+        .collect();
+    assert!(
+        !mutants.is_empty(),
+        "a mutated suite must actually contain mutants"
+    );
+    for m in &mutants {
+        assert_eq!(m.verdict, GoldenVerdict::Falsifiable);
+        let tag = m.mutation.unwrap().tag();
+        assert!(m.name.ends_with(tag), "{} carries its operator tag", m.name);
+    }
+}
+
+#[test]
+fn zero_mutations_leaves_the_default_suite_untouched() {
+    let base = generate_suite(&SuiteConfig::default());
+    let explicit = generate_suite(&SuiteConfig {
+        mutations: 0,
+        ..Default::default()
+    });
+    assert_eq!(base, explicit);
+    assert!(base
+        .scenarios
+        .iter()
+        .all(|s| s.candidates.iter().all(|c| c.mutation.is_none())));
+}
+
+#[test]
+fn round_robin_covers_all_operators_on_a_mutation_rich_family() {
+    let scenario = fveval_gen::generator("fifo").unwrap().generate(&GenParams {
+        depth: 4,
+        width: 8,
+        seed: 42,
+    });
+    let mutants = derive_mutants(&scenario, 8);
+    for op in MutationOp::ALL {
+        assert!(
+            mutants.iter().any(|m| m.mutation == Some(op)),
+            "round-robin must reach {}",
+            op.tag()
+        );
+    }
+}

@@ -145,6 +145,8 @@ struct GenArgs {
     count: Option<usize>,
     depth: Option<u32>,
     width: Option<u32>,
+    mutations: Option<usize>,
+    stratify: bool,
     eval: bool,
 }
 
@@ -268,6 +270,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = args.next().ok_or("--width needs a value")?;
                 gen.width = Some(v.parse().map_err(|_| "bad width".to_string())?);
             }
+            "--mutations" => {
+                let v = args.next().ok_or("--mutations needs a value")?;
+                gen.mutations = Some(v.parse().map_err(|_| "bad mutation count".to_string())?);
+            }
+            "--stratify" => gen.stratify = true,
             "--eval" => gen.eval = true,
             "--addr" => serve.addr = Some(args.next().ok_or("--addr needs a value")?),
             "--serve-workers" => {
@@ -331,6 +338,11 @@ fn parse_args() -> Result<Args, String> {
             gen.width.is_some() && !["gen", "submit"].contains(&cmd),
             "--width",
         ),
+        (
+            gen.mutations.is_some() && !["gen", "submit"].contains(&cmd),
+            "--mutations",
+        ),
+        (gen.stratify && cmd != "gen", "--stratify"),
         (gen.eval && cmd != "gen", "--eval"),
         (
             serve.addr.is_some() && !SERVICE_COMMANDS.contains(&cmd),
@@ -397,12 +409,23 @@ fn run_gen(args: &Args, engine: &EvalEngine) -> Result<(), String> {
         seed: args.opts.seed,
         depth: args.gen.depth,
         width: args.gen.width,
+        mutations: args.gen.mutations.unwrap_or(0),
     };
     let (table, notes, suite, errors) = fveval_harness::gen_report(engine, &cfg, args.gen.eval)?;
     println!("{}", table.to_markdown());
     println!("{notes}");
     let md = format!("{}\n{notes}", table.to_markdown());
     write_out(&args.out_dir, "gen", &md, Some(&table.to_csv()));
+    if args.gen.stratify || cfg.mutations > 0 {
+        let strata = fveval_harness::difficulty_table(&suite);
+        println!("{}", strata.to_markdown());
+        write_out(
+            &args.out_dir,
+            "gen_difficulty",
+            &strata.to_markdown(),
+            Some(&strata.to_csv()),
+        );
+    }
     let suite_dir = args.out_dir.join("generated");
     let files = fveval_gen::write_suite(&suite_dir, &suite)
         .map_err(|e| format!("cannot write suite under {}: {e}", suite_dir.display()))?;
@@ -474,6 +497,7 @@ fn submit_request(args: &Args) -> EvalRequest {
             seed: args.opts.seed,
             depth: args.gen.depth,
             width: args.gen.width,
+            mutations: args.gen.mutations.unwrap_or(0),
         },
     };
     EvalRequest {
@@ -578,7 +602,8 @@ fn usage() -> String {
          [--cache-dir DIR] [--no-persist] [--engine bounded|pdr|portfolio] \
          [--prove-budget-ms N]\n\
          \x20      fveval gen [--family NAME]... [--count N] [--depth N] \
-         [--width N] [--seed N] [--eval] [--out DIR]\n\
+         [--width N] [--seed N] [--mutations N] [--stratify] [--eval] \
+         [--out DIR]\n\
          \x20      fveval serve [--addr A] [--serve-workers N] [--max-jobs N] \
          [--retain N]\n\
          \x20      fveval submit [--addr A] [--set suite|human|machine] \

@@ -22,7 +22,7 @@
 use fv_core::SignalTable;
 use fveval_core::{
     compile_design, design_task_specs, histogram, human_task_specs, machine_task_specs, pearson,
-    token_count, Design2svaRunner, EvalEngine, MetricSummary, Table,
+    token_count, Design2svaRunner, EvalEngine, MetricSummary, Table, TableCell,
 };
 use fveval_data::{
     fsm_sweep, human_cases, machine_signal_table, pipeline_sweep, signal_table_for, testbenches,
@@ -768,6 +768,89 @@ pub fn gen_report(
     };
 
     Ok((t, notes, suite, errors))
+}
+
+/// The difficulty-stratified generation table: per-family counts of
+/// family-authored candidates and of derived mutants split by mutation
+/// operator. Operator columns order follows
+/// [`fveval_gen::MutationOp::ALL`]; a trailing `total` row sums every
+/// column. Written as `results/gen_difficulty.md` by
+/// `fveval gen --stratify` (and whenever `--mutations` is nonzero).
+pub fn difficulty_table(suite: &fveval_data::Suite) -> Table {
+    use fveval_gen::MutationOp;
+
+    let mut columns: Vec<&str> = vec!["Family", "Scenarios", "Provable", "Falsifiable"];
+    let op_names: Vec<String> = MutationOp::ALL
+        .iter()
+        .map(|op| op.tag().to_string())
+        .collect();
+    columns.extend(op_names.iter().map(String::as_str));
+    columns.push("Mutants");
+    let mut t = Table::new(
+        format!(
+            "Generated-suite difficulty strata (seed {:#x}, {} mutants/scenario requested)",
+            suite.config.seed, suite.config.mutations
+        ),
+        &columns,
+    );
+
+    // (scenarios, provable, falsifiable, per-op counts, mutant total)
+    type Row = (usize, usize, usize, Vec<usize>, usize);
+    let mut families: Vec<&str> = Vec::new();
+    let mut rows: std::collections::HashMap<&str, Row> = std::collections::HashMap::new();
+    for scenario in &suite.scenarios {
+        if !rows.contains_key(scenario.family) {
+            families.push(scenario.family);
+            rows.insert(
+                scenario.family,
+                (0, 0, 0, vec![0; MutationOp::ALL.len()], 0),
+            );
+        }
+        let row = rows.get_mut(scenario.family).expect("inserted above");
+        row.0 += 1;
+        for c in &scenario.candidates {
+            match c.mutation {
+                Some(op) => {
+                    let idx = MutationOp::ALL
+                        .iter()
+                        .position(|o| *o == op)
+                        .expect("ALL is exhaustive");
+                    row.3[idx] += 1;
+                    row.4 += 1;
+                }
+                None if c.verdict.is_provable() => row.1 += 1,
+                None => row.2 += 1,
+            }
+        }
+    }
+    let mut total: Row = (0, 0, 0, vec![0; MutationOp::ALL.len()], 0);
+    for family in &families {
+        let row = &rows[family];
+        total.0 += row.0;
+        total.1 += row.1;
+        total.2 += row.2;
+        for (acc, n) in total.3.iter_mut().zip(&row.3) {
+            *acc += n;
+        }
+        total.4 += row.4;
+    }
+    for family in families.iter().map(|f| *f as &str).chain(["total"]) {
+        let row = if family == "total" {
+            &total
+        } else {
+            &rows[family]
+        };
+        let mut cells: Vec<TableCell> = vec![
+            family.into(),
+            row.0.to_string().into(),
+            row.1.to_string().into(),
+            row.2.to_string().into(),
+        ];
+        cells.extend(row.3.iter().map(|n| TableCell::from(n.to_string())));
+        cells.push(row.4.to_string().into());
+        t.push_row(cells);
+    }
+    t
 }
 
 /// Renders the greedy evaluation summary over per-model case evals.

@@ -44,6 +44,9 @@ pub enum TaskSetRef {
         depth: Option<u32>,
         /// Pins the data width instead of sweeping it.
         width: Option<u32>,
+        /// OP-Tree mutants derived per scenario (0 = none, the
+        /// historical wire default).
+        mutations: usize,
     },
 }
 
@@ -62,6 +65,7 @@ impl TaskSetRef {
                 seed,
                 depth,
                 width,
+                mutations,
             } => Json::obj([
                 ("kind", "suite".into()),
                 (
@@ -72,6 +76,7 @@ impl TaskSetRef {
                 ("seed", encode_u64(*seed)),
                 ("depth", opt_num(*depth)),
                 ("width", opt_num(*width)),
+                ("mutations", (*mutations).into()),
             ]),
         }
     }
@@ -109,6 +114,8 @@ impl TaskSetRef {
                 seed: decode_u64(value.get("seed")).ok_or("suite needs 'seed'")?,
                 depth: decode_opt_u32(value.get("depth"))?,
                 width: decode_opt_u32(value.get("width"))?,
+                // Absent on pre-mutation clients: default to none.
+                mutations: value.get("mutations").and_then(Json::as_u64).unwrap_or(0) as usize,
             }),
             other => Err(format!("unknown task-set kind '{other}'")),
         }
@@ -460,6 +467,7 @@ mod tests {
                 seed: 42,
                 depth: Some(3),
                 width: None,
+                mutations: 2,
             },
             models: vec!["gpt-4o".into()],
             cfg: InferenceConfig::sampling().with_shots(3),

@@ -584,6 +584,7 @@ pub fn build_tasks(tasks: &TaskSetRef) -> Result<Vec<Arc<TaskSpec>>, String> {
             seed,
             depth,
             width,
+            mutations,
         } => {
             for family in families {
                 if fveval_gen::generator(family).is_none() {
@@ -596,6 +597,7 @@ pub fn build_tasks(tasks: &TaskSetRef) -> Result<Vec<Arc<TaskSpec>>, String> {
                 seed: *seed,
                 depth: *depth,
                 width: *width,
+                mutations: *mutations,
             })?;
             Ok(generated_task_specs(&set))
         }

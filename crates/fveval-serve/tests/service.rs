@@ -37,6 +37,7 @@ fn suite_request() -> EvalRequest {
             seed: 11,
             depth: None,
             width: None,
+            mutations: 1,
         },
         models: vec!["gpt-4o".to_string(), "llama-3.1-70b".to_string()],
         cfg: InferenceConfig::greedy(),
@@ -194,6 +195,7 @@ fn bad_requests_are_rejected_and_jobs_are_addressable() {
             seed: 1,
             depth: None,
             width: None,
+            mutations: 0,
         },
         ..suite_request()
     };

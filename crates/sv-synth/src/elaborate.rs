@@ -1592,31 +1592,45 @@ pub(crate) fn to_bool(nx: Nx, nl: &Netlist) -> Nx {
 /// Partial constant evaluation of a next-state expression with the reset
 /// atom pinned to 0 (asserted active-low reset). Returns the register's
 /// reset value when it is a constant.
+///
+/// Atom references are chased through combinational aliases so a reset
+/// expression that reaches the reset input via an inlined instance port
+/// (`dut.reset_` bound to the top-level `reset_`) still pins correctly;
+/// without this, registers of instantiated modules silently lose
+/// nonzero reset values. Recursion is depth-bounded because this runs
+/// before the combinational-cycle check.
 fn init_eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist) -> Option<u128> {
-    fn eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist) -> Option<u128> {
+    const MAX_DEPTH: u32 = 256;
+    fn eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist, depth: u32) -> Option<u128> {
+        if depth >= MAX_DEPTH {
+            return None;
+        }
+        let eval = |nx: &Nx| eval(nx, reset, nl, depth + 1);
         match nx {
             Nx::Const { value, .. } => Some(*value),
             Nx::Atom(a) => {
                 if Some(*a) == reset {
                     Some(0)
+                } else if let AtomKind::Comb(inner) = &nl.atom(*a).kind {
+                    eval(inner)
                 } else {
                     None
                 }
             }
             Nx::Slice { inner, lo, width } => {
-                let v = eval(inner, reset, nl)?;
+                let v = eval(inner)?;
                 Some(mask(v >> lo, *width))
             }
             Nx::Not(i) => {
                 let w = i.width(&|a| nl.atom_width(a));
-                Some(mask(!eval(i, reset, nl)?, w))
+                Some(mask(!eval(i)?, w))
             }
             Nx::Neg(i) => {
                 let w = i.width(&|a| nl.atom_width(a));
-                Some(mask(eval(i, reset, nl)?.wrapping_neg(), w))
+                Some(mask(eval(i)?.wrapping_neg(), w))
             }
             Nx::Reduce { op, inner } => {
-                let v = eval(inner, reset, nl)?;
+                let v = eval(inner)?;
                 let w = inner.width(&|a| nl.atom_width(a));
                 Some(match op {
                     NxRed::Or => u128::from(v != 0),
@@ -1624,18 +1638,18 @@ fn init_eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist) -> Option<u128> {
                     NxRed::Xor => u128::from(v.count_ones() % 2 == 1),
                 })
             }
-            Nx::Mux { sel, t, e } => match eval(sel, reset, nl) {
+            Nx::Mux { sel, t, e } => match eval(sel) {
                 Some(s) => {
                     if s != 0 {
-                        eval(t, reset, nl)
+                        eval(t)
                     } else {
-                        eval(e, reset, nl)
+                        eval(e)
                     }
                 }
                 None => {
                     // Both branches agreeing is still constant.
-                    let vt = eval(t, reset, nl)?;
-                    let ve = eval(e, reset, nl)?;
+                    let vt = eval(t)?;
+                    let ve = eval(e)?;
                     if vt == ve {
                         Some(vt)
                     } else {
@@ -1643,12 +1657,12 @@ fn init_eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist) -> Option<u128> {
                     }
                 }
             },
-            Nx::Resize { inner, width } => Some(mask(eval(inner, reset, nl)?, *width)),
+            Nx::Resize { inner, width } => Some(mask(eval(inner)?, *width)),
             Nx::Concat(parts) => {
                 let mut acc: u128 = 0;
                 let mut off = 0u32;
                 for p in parts {
-                    let v = eval(p, reset, nl)?;
+                    let v = eval(p)?;
                     acc |= v << off;
                     off += p.width(&|a| nl.atom_width(a));
                 }
@@ -1656,8 +1670,8 @@ fn init_eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist) -> Option<u128> {
             }
             Nx::Bin { op, a, b } => {
                 let w = a.width(&|x| nl.atom_width(x));
-                let x = eval(a, reset, nl)?;
-                let y = eval(b, reset, nl)?;
+                let x = eval(a)?;
+                let y = eval(b)?;
                 Some(match op {
                     NxBin::Add => mask(x.wrapping_add(y), w),
                     NxBin::Sub => mask(x.wrapping_sub(y), w),
@@ -1673,7 +1687,7 @@ fn init_eval(nx: &Nx, reset: Option<AtomId>, nl: &Netlist) -> Option<u128> {
             _ => None,
         }
     }
-    eval(nx, reset, nl)
+    eval(nx, reset, nl, 0)
 }
 
 #[cfg(test)]

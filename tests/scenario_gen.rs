@@ -149,3 +149,96 @@ proptest! {
         prop_assert_eq!(ids.len(), n, "unique ids");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Session determinism on the structurally new families: a
+    /// hierarchy scenario (instance inlining) and a protocol scenario
+    /// (request/response handshake) evaluated through one long-lived
+    /// `ProofSession` must produce verdicts identical to fresh
+    /// one-shot `prove_with_stats` calls — proof depth and earliest
+    /// violating anchor included.
+    #[test]
+    fn proof_sessions_match_one_shot_on_hierarchy_and_protocol(
+        family_idx in 0usize..2,
+        seed in 0u64..64,
+    ) {
+        let family = ["hier", "axi"][family_idx];
+        let suite = generate_suite(&SuiteConfig {
+            families: vec![family.to_string()],
+            per_family: 1,
+            seed,
+            ..Default::default()
+        });
+        for scenario in &suite.scenarios {
+            let bound = bind_scenario(scenario).unwrap();
+            let mut session =
+                ProofSession::open(&bound.netlist, &bound.consts, ProveConfig::default())
+                    .unwrap();
+            for candidate in &scenario.candidates {
+                let assertion = parse_assertion_str(&candidate.sva).unwrap();
+                let (fresh, _) = prove_with_stats(
+                    &bound.netlist,
+                    &assertion,
+                    &bound.consts,
+                    ProveConfig::default(),
+                )
+                .unwrap();
+                let (via_session, _) = session.check(&assertion).unwrap();
+                match (&fresh, &via_session) {
+                    (ProveResult::Proven { k: k1 }, ProveResult::Proven { k: k2 }) => {
+                        prop_assert_eq!(k1, k2, "{}", &candidate.sva);
+                    }
+                    (ProveResult::Falsified { cex: c1 }, ProveResult::Falsified { cex: c2 }) => {
+                        prop_assert_eq!(c1.anchor, c2.anchor, "{}", &candidate.sva);
+                    }
+                    (ProveResult::Undetermined, ProveResult::Undetermined) => {}
+                    (fresh, via) => prop_assert!(
+                        false,
+                        "{} ({} seed {}): fresh {:?} != session {:?}",
+                        &candidate.sva, family, seed, fresh, via
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_suites_flow_through_the_engine_and_oracle_passes() {
+    // Mutants ride the same three task-set views as family-authored
+    // candidates; an oracle answering every NL task with its reference
+    // must pass on mutant-derived cases too (the reference *is* the
+    // mutant), and the mutation tag must survive into the case.
+    let set = generated_task_set(&SuiteConfig {
+        families: vec!["fifo".into(), "regfile".into()],
+        per_family: 1,
+        seed: 0x5EED,
+        mutations: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let tagged = set.human.iter().filter(|c| c.mutation.is_some()).count();
+    assert!(tagged > 0, "mutants reach the human-style view");
+    assert_eq!(
+        set.machine
+            .iter()
+            .filter(|(_, c)| c.mutation.is_some())
+            .count(),
+        tagged,
+        "machine-style view carries the same mutation tags"
+    );
+    let tasks = generated_task_specs(&set);
+    let engine = EvalEngine::with_jobs(2);
+    let evals = engine.run(&Oracle, &tasks, &InferenceConfig::greedy(), 1);
+    for (task, eval) in tasks.iter().zip(&evals) {
+        for sample in &eval.samples {
+            assert!(
+                sample.syntax && sample.func,
+                "{}: oracle must pass, got {sample:?}",
+                task.id()
+            );
+        }
+    }
+}
