@@ -61,6 +61,17 @@ impl CacheStats {
             self.persisted_hits as f64 / total as f64
         }
     }
+
+    /// Folds another engine's counters into this one. A sharded server
+    /// runs one engine per shard; the aggregate view (and derived
+    /// rates like [`CacheStats::persisted_hit_rate`]) is the merge of
+    /// every shard's counters.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.persisted_hits += other.persisted_hits;
+        self.misses += other.misses;
+        self.entries += other.entries;
+    }
 }
 
 /// One verdict in portable form: the full cache key plus the scored
@@ -396,12 +407,32 @@ impl EvalEngine {
         cfg: &InferenceConfig,
         n_samples: u32,
     ) -> Vec<Vec<CaseEvals>> {
+        self.run_matrix_with_progress(backends, tasks, cfg, n_samples, &|_, _| {})
+    }
+
+    /// [`EvalEngine::run_matrix`] with a completion callback: after
+    /// each case group (one task across every backend and sample)
+    /// finishes, `progress(done, total)` is invoked with the number of
+    /// groups settled so far and the group total. The callback runs on
+    /// worker threads and must be cheap and `Sync`; `done` is strictly
+    /// increasing across calls (the counter is claimed atomically),
+    /// though call *order* across threads is unspecified. Results are
+    /// identical to `run_matrix` for any callback.
+    pub fn run_matrix_with_progress(
+        &self,
+        backends: &[&dyn Backend],
+        tasks: &[Arc<TaskSpec>],
+        cfg: &InferenceConfig,
+        n_samples: u32,
+        progress: &(dyn Fn(usize, usize) + Sync),
+    ) -> Vec<Vec<CaseEvals>> {
         let n_samples = n_samples.max(1);
         let total = backends.len() * tasks.len();
         if total == 0 {
             return backends.iter().map(|_| Vec::new()).collect();
         }
         let slots: Vec<OnceLock<CaseEvals>> = (0..total).map(|_| OnceLock::new()).collect();
+        let done = AtomicUsize::new(0);
         let run_group = |t: usize| {
             let task = &tasks[t];
             let results = self.eval_group(backends, task, cfg, n_samples);
@@ -410,6 +441,8 @@ impl EvalEngine {
                     .set(evals)
                     .expect("each work unit is claimed exactly once");
             }
+            let settled = done.fetch_add(1, Ordering::AcqRel) + 1;
+            progress(settled, tasks.len());
         };
         let workers = self.jobs.min(tasks.len());
         if workers <= 1 {

@@ -6,8 +6,8 @@
 //!                  [--engine bounded|pdr|portfolio] [--prove-budget-ms N]
 //! fveval gen [--family NAME]... [--count N] [--depth N] [--width N]
 //!            [--seed N] [--eval] [--out DIR]
-//! fveval serve [--addr HOST:PORT] [--jobs N] [--serve-workers N]
-//!              [--max-jobs N] [--retain N] [--cache-dir DIR]
+//! fveval serve [--addr HOST:PORT] [--jobs N] [--shards N]
+//!              [--queue-depth N] [--retain N] [--cache-dir DIR]
 //!              [--no-persist]
 //! fveval submit [--addr HOST:PORT] [--set suite|human|machine]
 //!               [--family NAME]... [--count N] [--depth N] [--width N]
@@ -70,8 +70,11 @@
 //!
 //! Service flags:
 //!   --addr A        server address (default 127.0.0.1:8642)
-//!   --serve-workers N  (`serve`) job worker threads (default 2)
-//!   --max-jobs N    (`serve`) bound on in-flight jobs (default 64)
+//!   --shards N      (`serve`) engine shards, one worker thread each;
+//!                   jobs route by task-content digest (default 2)
+//!   --queue-depth N (`serve`) per-shard bound on queued + in-flight
+//!                   jobs; beyond it submits answer 429 with a
+//!                   Retry-After hint (default 32)
 //!   --retain N      (`serve`) finished-job results kept addressable
 //!                   (default 64; older results answer 404; 0 rejected)
 //!   --set NAME      (`submit`) task set: suite (default, built from
@@ -154,8 +157,8 @@ struct GenArgs {
 #[derive(Default)]
 struct ServeArgs {
     addr: Option<String>,
-    serve_workers: Option<usize>,
-    max_jobs: Option<usize>,
+    shards: Option<usize>,
+    queue_depth: Option<usize>,
     retain: Option<usize>,
     set: Option<String>,
     samples: Option<u32>,
@@ -277,13 +280,23 @@ fn parse_args() -> Result<Args, String> {
             "--stratify" => gen.stratify = true,
             "--eval" => gen.eval = true,
             "--addr" => serve.addr = Some(args.next().ok_or("--addr needs a value")?),
-            "--serve-workers" => {
-                let v = args.next().ok_or("--serve-workers needs a value")?;
-                serve.serve_workers = Some(v.parse().map_err(|_| "bad worker count".to_string())?);
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                let n: usize = v.parse().map_err(|_| "bad shard count".to_string())?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                serve.shards = Some(n);
             }
-            "--max-jobs" => {
-                let v = args.next().ok_or("--max-jobs needs a value")?;
-                serve.max_jobs = Some(v.parse().map_err(|_| "bad job bound".to_string())?);
+            "--queue-depth" => {
+                let v = args.next().ok_or("--queue-depth needs a value")?;
+                let n: usize = v.parse().map_err(|_| "bad queue depth".to_string())?;
+                if n == 0 {
+                    return Err("--queue-depth must be at least 1 (a server that can \
+                                accept no jobs serves nothing)"
+                        .to_string());
+                }
+                serve.queue_depth = Some(n);
             }
             "--retain" => {
                 let v = args.next().ok_or("--retain needs a value")?;
@@ -348,11 +361,11 @@ fn parse_args() -> Result<Args, String> {
             serve.addr.is_some() && !SERVICE_COMMANDS.contains(&cmd),
             "--addr",
         ),
+        (serve.shards.is_some() && cmd != "serve", "--shards"),
         (
-            serve.serve_workers.is_some() && cmd != "serve",
-            "--serve-workers",
+            serve.queue_depth.is_some() && cmd != "serve",
+            "--queue-depth",
         ),
-        (serve.max_jobs.is_some() && cmd != "serve", "--max-jobs"),
         (serve.retain.is_some() && cmd != "serve", "--retain"),
         (serve.set.is_some() && cmd != "submit", "--set"),
         (serve.samples.is_some() && cmd != "submit", "--samples"),
@@ -454,8 +467,8 @@ fn addr(args: &Args) -> String {
 fn run_serve(args: &Args) -> Result<(), String> {
     let config = ServerConfig {
         addr: addr(args),
-        workers: args.serve.serve_workers.unwrap_or(2),
-        max_jobs: args.serve.max_jobs.unwrap_or(64),
+        shards: args.serve.shards.unwrap_or(2),
+        queue_depth: args.serve.queue_depth.unwrap_or(32),
         engine_jobs: args.jobs,
         cache_dir: (!args.no_persist).then(|| args.cache_dir.clone()),
         retain_finished: args
@@ -464,9 +477,10 @@ fn run_serve(args: &Args) -> Result<(), String> {
             .unwrap_or(fveval_serve::DEFAULT_RETAINED_FINISHED),
         prove_cfg: args.prove_config(),
     };
+    let shards = config.shards;
     let server = Server::bind(config)?;
     eprintln!(
-        "[serve] listening on {} ({} verdicts preloaded from {})",
+        "[serve] listening on {} ({shards} shard(s), {} verdicts preloaded from {})",
         server.local_addr(),
         server.preloaded(),
         if args.no_persist {
@@ -604,7 +618,7 @@ fn usage() -> String {
          \x20      fveval gen [--family NAME]... [--count N] [--depth N] \
          [--width N] [--seed N] [--mutations N] [--stratify] [--eval] \
          [--out DIR]\n\
-         \x20      fveval serve [--addr A] [--serve-workers N] [--max-jobs N] \
+         \x20      fveval serve [--addr A] [--shards N] [--queue-depth N] \
          [--retain N]\n\
          \x20      fveval submit [--addr A] [--set suite|human|machine] \
          [--model NAME]... [--samples N] [--wait]\n\

@@ -10,6 +10,23 @@ use crate::protocol::{EvalRequest, JobState, JobView};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
+/// What a submit attempt came back with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job was queued.
+    Accepted {
+        /// The job id to poll.
+        job: u64,
+        /// The shard it routed to (absent on pre-shard servers).
+        shard: Option<u64>,
+    },
+    /// The shard queue was full (`429`); retry after the hint.
+    Busy {
+        /// The server's suggested backoff, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
 /// A client bound to one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
@@ -77,11 +94,71 @@ impl Client {
     /// Returns a message on transport failure, a full queue (`429`),
     /// or a rejected request.
     pub fn submit(&self, request: &EvalRequest) -> Result<u64, String> {
+        match self.try_submit(request)? {
+            SubmitOutcome::Accepted { job, .. } => Ok(job),
+            SubmitOutcome::Busy { retry_after_ms } => Err(format!(
+                "POST /v1/eval: HTTP 429: shard queue is full (retry in {retry_after_ms} ms)"
+            )),
+        }
+    }
+
+    /// Submits an evaluation job, surfacing backpressure as a value
+    /// instead of an error: a `429` answer becomes
+    /// [`SubmitOutcome::Busy`] carrying the server's `retry_after_ms`
+    /// hint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure or a rejected (non-429)
+    /// request.
+    pub fn try_submit(&self, request: &EvalRequest) -> Result<SubmitOutcome, String> {
         let body = request.encode().encode();
-        self.expect_ok("POST", "/v1/eval", &body)?
-            .get("job")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| "submit answer missing 'job'".to_string())
+        let (status, value) = self.call("POST", "/v1/eval", &body)?;
+        match status {
+            200 => Ok(SubmitOutcome::Accepted {
+                job: value
+                    .get("job")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "submit answer missing 'job'".to_string())?,
+                shard: value.get("shard").and_then(Json::as_u64),
+            }),
+            429 => Ok(SubmitOutcome::Busy {
+                retry_after_ms: value
+                    .get("retry_after_ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(100),
+            }),
+            _ => {
+                let detail = value
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("(no detail)");
+                Err(format!("POST /v1/eval: HTTP {status}: {detail}"))
+            }
+        }
+    }
+
+    /// Submits with automatic backpressure retries: a `429` sleeps for
+    /// the server's `retry_after_ms` hint (capped at 1 s per round)
+    /// and tries again until `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure, a rejected request, or
+    /// a queue that never drained within `timeout`.
+    pub fn submit_retrying(&self, request: &EvalRequest, timeout: Duration) -> Result<u64, String> {
+        let started = Instant::now();
+        loop {
+            match self.try_submit(request)? {
+                SubmitOutcome::Accepted { job, .. } => return Ok(job),
+                SubmitOutcome::Busy { retry_after_ms } => {
+                    if started.elapsed() > timeout {
+                        return Err(format!("queue still full after {timeout:?}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(10, 1000)));
+                }
+            }
+        }
     }
 
     /// Fetches one job's current status.
@@ -94,7 +171,22 @@ impl Client {
         JobView::decode(&value)
     }
 
-    /// Polls a job until it is `done`/`failed` or `timeout` elapses.
+    /// Long-polls one job: the server parks the request until the
+    /// job's observable state changes (a case group completes, the job
+    /// finishes) or `wait_ms` elapses, then answers with the current
+    /// progress frame. `wait_ms = 0` degenerates to [`Client::job`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure or an unknown id.
+    pub fn job_wait(&self, id: u64, wait_ms: u64) -> Result<JobView, String> {
+        let value = self.expect_ok("GET", &format!("/v1/jobs/{id}?wait_ms={wait_ms}"), "")?;
+        JobView::decode(&value)
+    }
+
+    /// Waits for a job to finish via long-polling (each round parks on
+    /// the server for up to 2 s instead of busy-polling), until
+    /// `timeout` elapses.
     ///
     /// # Errors
     ///
@@ -103,7 +195,7 @@ impl Client {
     pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobView, String> {
         let started = Instant::now();
         loop {
-            let view = self.job(id)?;
+            let view = self.job_wait(id, 2_000)?;
             match view.state {
                 JobState::Done => return Ok(view),
                 JobState::Failed => {
@@ -119,7 +211,6 @@ impl Client {
                             view.state.as_str()
                         ));
                     }
-                    std::thread::sleep(Duration::from_millis(50));
                 }
             }
         }

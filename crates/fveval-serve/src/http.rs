@@ -14,15 +14,28 @@ const MAX_HEAD: usize = 16 * 1024;
 /// Largest accepted body.
 const MAX_BODY: usize = 4 * 1024 * 1024;
 
-/// One parsed request: method, path, and raw body.
+/// One parsed request: method, path, query string, and raw body.
 #[derive(Debug)]
 pub struct Request {
     /// `GET` / `POST` / ….
     pub method: String,
-    /// The request target, e.g. `/v1/jobs/3`.
+    /// The request target without its query, e.g. `/v1/jobs/3`.
     pub path: String,
+    /// The query string after `?` (without the `?`), empty when none —
+    /// e.g. `wait_ms=500` for `/v1/jobs/3?wait_ms=500`.
+    pub query: String,
     /// The raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up one query parameter (`k=v` pairs joined by `&`).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
 }
 
 fn invalid(msg: &str) -> std::io::Error {
@@ -83,20 +96,105 @@ fn read_message(stream: &mut TcpStream) -> std::io::Result<(String, Vec<String>,
 /// errors (including read timeouts).
 pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     let (start, _headers, body) = read_message(stream)?;
+    parse_request_line(&start, body)
+}
+
+fn parse_request_line(start: &str, body: Vec<u8>) -> std::io::Result<Request> {
     let mut parts = start.split_whitespace();
     let method = parts.next().ok_or_else(|| invalid("empty request line"))?;
-    let path = parts
+    let target = parts
         .next()
         .ok_or_else(|| invalid("missing request path"))?;
     let version = parts.next().unwrap_or_default();
     if !version.starts_with("HTTP/1.") {
         return Err(invalid("unsupported HTTP version"));
     }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
+        query: query.to_string(),
         body,
     })
+}
+
+/// Attempts to parse one complete request from the front of `buf` —
+/// the non-blocking half of [`read_request`], for an event loop that
+/// accumulates bytes as they arrive. Returns `None` while the request
+/// is still incomplete, or `Some((request, consumed))` where
+/// `consumed` is how many bytes of `buf` the request occupied.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed framing or a head/body beyond
+/// the size bounds — the connection should be answered `400` and
+/// closed.
+pub fn try_parse_request(buf: &[u8]) -> std::io::Result<Option<(Request, usize)>> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        if buf.len() >= MAX_HEAD {
+            return Err(invalid("header block too large"));
+        }
+        return Ok(None);
+    };
+    if head_end + 4 > MAX_HEAD {
+        return Err(invalid("header block too large"));
+    }
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| invalid("non-UTF-8 header"))?;
+    let mut lines = head.split("\r\n");
+    let start = lines.next().unwrap_or_default().to_string();
+    let length = lines
+        .filter_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then_some(value)
+        })
+        .last()
+        .map(|v| v.trim().parse::<usize>())
+        .transpose()
+        .map_err(|_| invalid("bad content-length"))?
+        .unwrap_or(0);
+    if length > MAX_BODY {
+        return Err(invalid("body too large"));
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + length {
+        return Ok(None);
+    }
+    let body = buf[body_start..body_start + length].to_vec();
+    Ok(Some((
+        parse_request_line(&start, body)?,
+        body_start + length,
+    )))
+}
+
+/// Renders one `application/json` response as wire bytes, with
+/// optional extra headers (e.g. `("Retry-After", "1")` on a `429`) —
+/// the event loop's counterpart to [`write_response`].
+pub fn response_bytes(
+    status: u16,
+    reason: &str,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
 }
 
 /// Writes one `application/json` response and flushes the stream.
@@ -161,4 +259,69 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
         .ok_or_else(|| invalid("bad status line"))?;
     let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?;
     Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_parse_waits_for_the_full_request() {
+        let wire = b"POST /v1/eval HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        // Every strict prefix is incomplete, never an error.
+        for cut in 0..wire.len() {
+            assert!(try_parse_request(&wire[..cut]).unwrap().is_none(), "{cut}");
+        }
+        let (request, consumed) = try_parse_request(wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/eval");
+        assert_eq!(request.body, b"hello");
+        // Trailing bytes beyond the request are not consumed.
+        let mut padded = wire.to_vec();
+        padded.extend_from_slice(b"EXTRA");
+        let (_, consumed) = try_parse_request(&padded).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn query_strings_split_off_the_path() {
+        let wire = b"GET /v1/jobs/3?wait_ms=500&x=1 HTTP/1.1\r\n\r\n";
+        let (request, _) = try_parse_request(wire).unwrap().unwrap();
+        assert_eq!(request.path, "/v1/jobs/3");
+        assert_eq!(request.query, "wait_ms=500&x=1");
+        assert_eq!(request.query_param("wait_ms"), Some("500"));
+        assert_eq!(request.query_param("x"), Some("1"));
+        assert_eq!(request.query_param("absent"), None);
+        let bare = try_parse_request(b"GET /v1/stats HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap()
+            .0;
+        assert_eq!(bare.path, "/v1/stats");
+        assert_eq!(bare.query, "");
+    }
+
+    #[test]
+    fn oversized_and_malformed_heads_are_errors() {
+        let oversized = vec![b'A'; MAX_HEAD + 1];
+        assert!(try_parse_request(&oversized).is_err());
+        let bad_version = b"GET / SPDY/9\r\n\r\n";
+        assert!(try_parse_request(bad_version).is_err());
+        let bad_length = b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert!(try_parse_request(bad_length).is_err());
+    }
+
+    #[test]
+    fn response_bytes_carry_extra_headers() {
+        let bytes = response_bytes(
+            429,
+            "Too Many Requests",
+            "{}",
+            &[("Retry-After", "1".to_string())],
+        );
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
 }

@@ -12,10 +12,14 @@
 //!    tmp+rename writes, crash-safe torn-tail recovery, and
 //!    deterministic compaction. The `fveval` CLI flushes through it
 //!    too, so every run — not just the server — survives restarts.
-//! 2. [`Server`] — a job queue and worker pool wrapping one shared
-//!    [`fveval_core::EvalEngine`], with bounded in-flight jobs and
-//!    per-job status (`queued`/`running`/`done`/`failed`) polled over
-//!    the wire.
+//! 2. [`Server`] — a non-blocking readiness-driven event loop ([`poll`]
+//!    wraps `epoll` with no new dependencies) in front of N engine
+//!    shards ([`shard`]): each shard owns a private
+//!    [`fveval_core::EvalEngine`] and a bounded queue, jobs route by
+//!    task-content digest so per-design caches stay shard-local,
+//!    full queues answer `429` with a `Retry-After` hint, long-poll
+//!    `GET /v1/jobs/<id>?wait_ms=` streams per-case progress, and a
+//!    maintenance thread compacts the store while serving.
 //! 3. The protocol + [`Client`] — minimal HTTP/1.1 over
 //!    `std::net::TcpListener` and a hand-rolled [`json`] module (the
 //!    same offline-shim philosophy as `crates/shims/`): `POST
@@ -24,21 +28,25 @@
 //!    `poll` / `stats` / `stop` subcommands.
 //!
 //! Determinism is the design invariant: a server-mediated evaluation is
-//! byte-identical to a direct [`fveval_core::EvalEngine`] run, and a
-//! warm restart re-serves it from the store with zero prover calls.
-//! See `docs/SERVICE.md` for the wire protocol and store format.
+//! byte-identical to a direct [`fveval_core::EvalEngine`] run — for any
+//! shard count — and a warm restart re-serves it from the store with
+//! zero prover calls. See `docs/SERVICE.md` for the wire protocol,
+//! sharding/backpressure semantics, and store format.
 
 #![deny(missing_docs)]
 
 mod client;
 pub mod http;
 pub mod json;
+pub mod poll;
 mod protocol;
 mod server;
+pub mod shard;
 mod store;
 pub mod testutil;
 
-pub use client::Client;
+pub use client::{Client, SubmitOutcome};
 pub use protocol::{EvalRequest, EvalResult, JobState, JobView, TaskSetRef};
 pub use server::{build_tasks, resolve_backends, Server, ServerConfig, DEFAULT_RETAINED_FINISHED};
+pub use shard::{shard_of, Shard};
 pub use store::{decode_record, encode_record, VerdictStore};

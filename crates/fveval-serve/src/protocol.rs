@@ -51,6 +51,24 @@ pub enum TaskSetRef {
 }
 
 impl TaskSetRef {
+    /// The shard-routing digest: FNV-1a over the canonical JSON
+    /// encoding of the task set (tasks only — models, inference
+    /// config, and sample count do not participate). Two requests for
+    /// the same task content therefore always carry the same digest,
+    /// so a sharded server lands them on the same shard and its
+    /// `CompiledDesign`/`ProofSession` caches stay hot. Pure function
+    /// of `self`: stable across processes, restarts, and shard counts.
+    pub fn route_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        for byte in self.encode().encode().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
+    }
+
     fn encode(&self) -> Json {
         match self {
             TaskSetRef::Human => Json::obj([("kind", "human".into())]),
@@ -391,7 +409,9 @@ impl JobState {
     }
 }
 
-/// One `GET /v1/jobs/<id>` answer.
+/// One `GET /v1/jobs/<id>` answer (a *progress frame* when the job is
+/// still in flight: `cases_done` advances as case groups settle, and a
+/// long-poll `?wait_ms=` request parks until it does).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobView {
     /// Job id.
@@ -400,6 +420,15 @@ pub struct JobView {
     pub state: JobState,
     /// Queue position (0 = next), only while queued.
     pub position: Option<u64>,
+    /// Case groups settled so far (monotonic; `cases_total` once
+    /// done). `0` while queued.
+    pub cases_done: u64,
+    /// Case groups this job evaluates; `0` until the shard has
+    /// materialized the task list.
+    pub cases_total: u64,
+    /// The shard evaluating this job (routing is a pure function of
+    /// the request's task digest). Absent on pre-shard servers.
+    pub shard: Option<u64>,
     /// The result, once done.
     pub result: Option<EvalResult>,
     /// The failure message, if failed.
@@ -410,11 +439,16 @@ impl JobView {
     /// Encodes the job answer.
     pub fn encode(&self) -> Json {
         let mut members = vec![
-            ("id".to_string(), Json::from(self.id)),
+            ("id".to_string(), encode_u64(self.id)),
             ("status".to_string(), self.state.as_str().into()),
+            ("cases_done".to_string(), self.cases_done.into()),
+            ("cases_total".to_string(), self.cases_total.into()),
         ];
         if let Some(position) = self.position {
             members.push(("position".to_string(), position.into()));
+        }
+        if let Some(shard) = self.shard {
+            members.push(("shard".to_string(), shard.into()));
         }
         if let Some(result) = &self.result {
             members.push(("result".to_string(), result.encode()));
@@ -425,7 +459,8 @@ impl JobView {
         Json::Obj(members)
     }
 
-    /// Decodes a job answer.
+    /// Decodes a job answer. The progress fields default to zero/absent
+    /// when missing, so pre-shard server answers still decode.
     ///
     /// # Errors
     ///
@@ -438,12 +473,12 @@ impl JobView {
                 .ok_or("job needs 'status'")?,
         )?;
         Ok(JobView {
-            id: value
-                .get("id")
-                .and_then(Json::as_u64)
-                .ok_or("job needs 'id'")?,
+            id: decode_u64(value.get("id")).ok_or("job needs 'id'")?,
             state,
             position: value.get("position").and_then(Json::as_u64),
+            cases_done: value.get("cases_done").and_then(Json::as_u64).unwrap_or(0),
+            cases_total: value.get("cases_total").and_then(Json::as_u64).unwrap_or(0),
+            shard: value.get("shard").and_then(Json::as_u64),
             result: value.get("result").map(EvalResult::decode).transpose()?,
             error: value
                 .get("error")
@@ -512,6 +547,9 @@ mod tests {
             id: 3,
             state: JobState::Done,
             position: None,
+            cases_done: 1,
+            cases_total: 1,
+            shard: Some(2),
             result: Some(EvalResult {
                 models: vec![(
                     "gpt-4o".into(),
@@ -533,6 +571,45 @@ mod tests {
         assert_eq!(back, view);
         let bleu = back.result.unwrap().models[0].1[0].samples[0].bleu;
         assert_eq!(bleu.to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn job_view_without_progress_fields_still_decodes() {
+        // A pre-shard server omits the progress fields entirely; the
+        // decoder must default them, not reject the frame.
+        let old_wire = "{\"id\":7,\"status\":\"running\",\"position\":2}";
+        let view = JobView::decode(&parse(old_wire).unwrap()).unwrap();
+        assert_eq!(view.id, 7);
+        assert_eq!(view.state, JobState::Running);
+        assert_eq!(view.position, Some(2));
+        assert_eq!((view.cases_done, view.cases_total), (0, 0));
+        assert_eq!(view.shard, None);
+    }
+
+    #[test]
+    fn route_digest_depends_on_tasks_only_and_is_stable() {
+        let suite = TaskSetRef::Suite {
+            families: vec!["fifo".into()],
+            per_family: 2,
+            seed: 42,
+            depth: None,
+            width: None,
+            mutations: 1,
+        };
+        // Stable across calls and across equal values.
+        assert_eq!(suite.route_digest(), suite.route_digest());
+        assert_eq!(suite.route_digest(), suite.clone().route_digest());
+        // Different task content gets (overwhelmingly) different
+        // digests.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            seen.insert(TaskSetRef::Machine { count: 8, seed }.route_digest());
+        }
+        assert_eq!(seen.len(), 64, "64 distinct seeds, 64 distinct digests");
+        assert_ne!(
+            TaskSetRef::Human.route_digest(),
+            TaskSetRef::Machine { count: 8, seed: 0 }.route_digest()
+        );
     }
 
     #[test]

@@ -1,33 +1,57 @@
-//! The evaluation server: a job queue and worker pool wrapped around
-//! one shared [`EvalEngine`], fronted by the minimal HTTP layer.
+//! The evaluation server: a non-blocking readiness-driven event loop
+//! (epoll via [`crate::poll`]) in front of N engine shards.
 //!
-//! Lifecycle: [`Server::bind`] opens the persistent [`VerdictStore`]
-//! (when configured), preloads the engine with every stored verdict,
-//! and starts the worker threads; [`Server::run`] then accepts
-//! connections until a `POST /v1/shutdown` arrives, drains the queue,
-//! and joins the workers. After every finished job the engine's newly
-//! computed verdicts are flushed to the store — so a server killed
-//! between jobs never loses a settled verdict, and a restarted server
-//! re-serves warm work with zero prover calls.
+//! Connection model: one single-threaded event loop owns every socket.
+//! Requests are parsed incrementally as bytes arrive and responses are
+//! written as the socket accepts them, so a stalled or slow client
+//! occupies nothing but its own buffer — it can never block another
+//! connection. Long-poll job watches (`GET /v1/jobs/<id>?wait_ms=`)
+//! park their connection inside the loop and are answered the moment
+//! the job's observable state changes (a case group completes, the job
+//! finishes) or the wait deadline passes.
 //!
-//! Every job is evaluated by the same deterministic engine the CLI
-//! uses, so a server-mediated run is byte-identical to a direct one.
+//! Evaluation model: [`ServerConfig::shards`] engine shards, each a
+//! [`Shard`] owning a private [`fveval_core::EvalEngine`] drained by
+//! one worker thread. Jobs route by the request's task-content digest
+//! ([`TaskSetRef::route_digest`] mod shard count), so a design's
+//! `CompiledDesign`/`ProofSession` state always lands on the same
+//! shard. Every shard queue is bounded ([`ServerConfig::queue_depth`]);
+//! a submit that finds its shard full is answered `429 Too Many
+//! Requests` with a `Retry-After` header and a `retry_after_ms` body
+//! hint. A maintenance thread compacts a fragmented [`VerdictStore`]
+//! in the background whenever every shard is idle, instead of only at
+//! shutdown.
+//!
+//! Determinism is unchanged from the single-engine server: shards
+//! partition *jobs*, not cases, and every engine computes the same
+//! verdicts — so a served table is byte-identical across `--shards 1`
+//! and `--shards 4`, and a restarted server re-serves warm work from
+//! the store with zero prover calls. After every finished job the
+//! shard's newly computed verdicts are flushed to the store *before*
+//! the job is reported done.
 
 use crate::http;
 use crate::json::{parse, Json};
+use crate::poll::{Interest, Poller};
 use crate::protocol::{EvalRequest, EvalResult, JobState, JobView, TaskSetRef};
+use crate::shard::{shard_of, Shard};
 use crate::store::VerdictStore;
-use fveval_core::{generated_task_specs, human_task_specs, machine_task_specs, EvalEngine};
+use fv_core::ProverStats;
+use fveval_core::{
+    generated_task_specs, human_task_specs, machine_task_specs, CacheStats, EvalEngine,
+};
 use fveval_data::{
     generate_machine_cases, human_cases, machine_signal_table, signal_table_for, testbenches,
     MachineGenConfig, SuiteConfig,
 };
 use fveval_llm::{profiles, Backend, SimulatedModel, TaskSpec};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server construction knobs.
@@ -35,13 +59,13 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:8642` (`:0` picks a free port).
     pub addr: String,
-    /// Job worker threads (each runs one job at a time on the shared
-    /// engine).
-    pub workers: usize,
-    /// Bound on in-flight jobs (queued + running); submissions beyond
-    /// it are answered `429`.
-    pub max_jobs: usize,
-    /// Worker threads *inside* the engine (`--jobs`; 0 = all CPUs).
+    /// Engine shards. Each owns a private engine and one worker
+    /// thread; jobs route by task-content digest. Clamped to ≥ 1.
+    pub shards: usize,
+    /// Per-shard bound on `queued + in-flight` jobs; submissions
+    /// beyond it are answered `429` with a retry hint. Clamped to ≥ 1.
+    pub queue_depth: usize,
+    /// Worker threads *inside* each engine (`--jobs`; 0 = all CPUs).
     pub engine_jobs: usize,
     /// Verdict-store directory; `None` disables persistence.
     pub cache_dir: Option<PathBuf>,
@@ -50,7 +74,7 @@ pub struct ServerConfig {
     /// [`Server::bind`] rejects `0`, which would evict every result
     /// before its poller could read it.
     pub retain_finished: usize,
-    /// Design2SVA proving configuration for the shared engine (the
+    /// Design2SVA proving configuration for every shard engine (the
     /// CLI's `--engine` / `--prove-budget-ms` flags); the default is
     /// the plain bounded schedule.
     pub prove_cfg: fv_core::ProveConfig,
@@ -60,8 +84,8 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:8642".to_string(),
-            workers: 2,
-            max_jobs: 64,
+            shards: 2,
+            queue_depth: 32,
             engine_jobs: 0,
             cache_dir: None,
             retain_finished: DEFAULT_RETAINED_FINISHED,
@@ -70,10 +94,39 @@ impl Default for ServerConfig {
     }
 }
 
+/// Default for [`ServerConfig::retain_finished`] (the `--retain` flag).
+pub const DEFAULT_RETAINED_FINISHED: usize = 64;
+
+/// Grace period between "drained" (shutdown requested, every shard
+/// idle) and the event loop exiting, so clients polling a
+/// just-finished job still collect its result.
+const DRAIN_GRACE: Duration = Duration::from_millis(300);
+
+/// Idle connections (no complete request, no pending response) are
+/// dropped after this long.
+const CONN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Event-loop tick: the upper bound on how long parked long-polls and
+/// timeouts wait beyond their trigger.
+const TICK_MS: i32 = 25;
+
+/// Longest honored `?wait_ms=` long-poll window.
+const MAX_WAIT_MS: u64 = 30_000;
+
+/// A fragmented store (more segments than this) is compacted by the
+/// maintenance thread at the next idle moment, and at shutdown.
+const COMPACT_SEGMENT_THRESHOLD: usize = 4;
+
 #[derive(Debug)]
 struct Job {
     request: EvalRequest,
     state: JobState,
+    shard: usize,
+    cases_done: u64,
+    cases_total: u64,
+    /// Bumped on every observable change; parked long-polls answer
+    /// when it moves past the version they last saw.
+    version: u64,
     result: Option<EvalResult>,
     error: Option<String>,
 }
@@ -81,59 +134,90 @@ struct Job {
 #[derive(Debug, Default)]
 struct State {
     jobs: HashMap<u64, Job>,
-    queue: VecDeque<u64>,
     /// Finished (done/failed) job ids in completion order; bounded by
     /// [`ServerConfig::retain_finished`] so a long-lived server cannot
     /// grow without limit — the oldest results are evicted first.
-    finished: VecDeque<u64>,
+    finished: std::collections::VecDeque<u64>,
     next_id: u64,
-    running: usize,
 }
-
-/// Default for [`ServerConfig::retain_finished`] (the `--retain` flag).
-pub const DEFAULT_RETAINED_FINISHED: usize = 64;
-
-/// Grace period between "nothing left to do" and the accept loop
-/// exiting, so clients polling a just-finished job still collect its
-/// result (pollers cycle every 50 ms).
-const DRAIN_GRACE: Duration = Duration::from_millis(300);
 
 #[derive(Debug)]
 struct Shared {
-    engine: EvalEngine,
+    shards: Vec<Shard>,
     store: Mutex<Option<VerdictStore>>,
     state: Mutex<State>,
-    queue_cv: Condvar,
     shutdown: AtomicBool,
     started: Instant,
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
+    compactions: AtomicU64,
     preloaded: usize,
-    max_jobs: usize,
     retain_finished: usize,
-    /// The bound address, used to wake the blocking accept loop.
-    addr: std::net::SocketAddr,
 }
 
 impl Shared {
-    /// Shutdown requested and nothing queued or running.
+    /// Shutdown requested and every shard is idle.
     fn drained(&self) -> bool {
-        if !self.shutdown.load(Ordering::SeqCst) {
-            return false;
-        }
-        let state = self.state.lock().expect("state poisoned");
-        state.queue.is_empty() && state.running == 0
+        self.shutdown.load(Ordering::SeqCst) && self.shards.iter().all(Shard::idle)
     }
 
-    /// Wakes the blocking accept loop (after `delay`) with a throwaway
-    /// connection so it can re-check the drain condition.
-    fn poke_acceptor(&self, delay: Duration) {
-        let addr = self.addr;
-        std::thread::spawn(move || {
-            std::thread::sleep(delay);
-            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
-        });
+    fn bump(job: &mut Job) {
+        job.version += 1;
     }
+
+    fn view_of(&self, id: u64, job: &Job) -> JobView {
+        JobView {
+            id,
+            state: job.state,
+            position: match job.state {
+                JobState::Queued => self.shards[job.shard].position_of(id),
+                _ => None,
+            },
+            cases_done: job.cases_done,
+            cases_total: job.cases_total,
+            shard: Some(job.shard as u64),
+            result: job.result.clone(),
+            error: job.error.clone(),
+        }
+    }
+}
+
+/// What a routed request does to its connection.
+enum Action {
+    /// Write these bytes, then close.
+    Respond(Vec<u8>),
+    /// Hold the connection until the job changes or the deadline hits.
+    Park {
+        job: u64,
+        deadline: Instant,
+        version: u64,
+    },
+}
+
+fn respond(status: u16, reason: &'static str, body: String) -> Action {
+    Action::Respond(http::response_bytes(status, reason, &body, &[]))
+}
+
+/// One live connection in the event loop.
+#[derive(Debug)]
+enum ConnState {
+    /// Accumulating request bytes.
+    Reading(Vec<u8>),
+    /// Draining a response.
+    Writing { buf: Vec<u8>, pos: usize },
+    /// A long-poll watcher waiting for job movement.
+    Parked {
+        job: u64,
+        deadline: Instant,
+        version: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    since: Instant,
 }
 
 /// The bound, not-yet-running server. Call [`Server::run`] to serve.
@@ -142,11 +226,13 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    maintenance: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener, opens + preloads the verdict store, and
-    /// starts the worker pool.
+    /// Binds the listener, opens the verdict store, preloads every
+    /// shard engine with the stored verdicts, and starts one worker
+    /// thread per shard plus the store-maintenance thread.
     ///
     /// # Errors
     ///
@@ -162,47 +248,59 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
-        let addr = listener
-            .local_addr()
-            .map_err(|e| format!("cannot read bound address: {e}"))?;
-        let engine = EvalEngine::with_jobs(config.engine_jobs).with_d2s_runner(
-            fveval_core::Design2svaRunner::new().with_prove_config(config.prove_cfg),
-        );
         let mut preloaded = 0usize;
-        let store = match &config.cache_dir {
+        let (store, records) = match &config.cache_dir {
             Some(dir) => {
                 let store = VerdictStore::open(dir)
                     .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
-                preloaded = engine.load_verdicts(store.records());
-                Some(store)
+                let records = store.records();
+                preloaded = records.len();
+                (Some(store), records)
             }
-            None => None,
+            None => (None, Vec::new()),
         };
+        let shards: Vec<Shard> = (0..config.shards.max(1))
+            .map(|index| {
+                let engine = EvalEngine::with_jobs(config.engine_jobs).with_d2s_runner(
+                    fveval_core::Design2svaRunner::new().with_prove_config(config.prove_cfg),
+                );
+                // Every shard preloads the full store: routing decides
+                // who serves a design, but warm restarts must answer
+                // from disk no matter how the shard count changed.
+                engine.load_verdicts(records.iter().cloned());
+                Shard::new(index, engine, config.queue_depth)
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            engine,
+            shards,
             store: Mutex::new(store),
-            state: Mutex::new(State::default()),
-            queue_cv: Condvar::new(),
+            state: Mutex::new(State {
+                next_id: 1,
+                ..State::default()
+            }),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             jobs_done: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
             preloaded,
-            max_jobs: config.max_jobs.max(1),
             retain_finished: config.retain_finished,
-            addr,
         });
-        shared.state.lock().expect("state poisoned").next_id = 1;
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
+        let workers = (0..shared.shards.len())
+            .map(|index| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, index))
             })
             .collect();
+        let maintenance = {
+            let shared = Arc::clone(&shared);
+            Some(std::thread::spawn(move || maintenance_loop(&shared)))
+        };
         Ok(Server {
             listener,
             shared,
             workers,
+            maintenance,
         })
     }
 
@@ -215,103 +313,344 @@ impl Server {
         self.listener.local_addr().expect("listener has an address")
     }
 
-    /// Number of verdicts preloaded from the persistent store.
+    /// Number of verdicts preloaded into each shard from the
+    /// persistent store.
     pub fn preloaded(&self) -> usize {
         self.shared.preloaded
     }
 
-    /// Serves until a `POST /v1/shutdown` arrives, then drains the job
-    /// queue (still answering polls so in-flight results stay
-    /// reachable), joins the workers, and compacts a fragmented store.
-    ///
-    /// Each connection is handled on its own short-lived thread, so a
-    /// slow or stalled client never blocks the other endpoints.
+    /// Runs the event loop until a `POST /v1/shutdown` arrives and the
+    /// shards drain (polls keep being answered through the drain so
+    /// in-flight results stay reachable), then joins the workers and
+    /// compacts a fragmented store.
     ///
     /// # Errors
     ///
-    /// Returns a message on an unrecoverable listener error. Broken
-    /// individual connections are logged to stderr and survived.
+    /// Returns a message on an unrecoverable listener or poller error.
+    /// Broken individual connections are dropped and survived.
     pub fn run(self) -> Result<(), String> {
-        for connection in self.listener.incoming() {
-            match connection {
-                Ok(stream) => {
-                    let shared = Arc::clone(&self.shared);
-                    std::thread::spawn(move || {
-                        let mut stream = stream;
-                        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-                        if let Err(e) = handle_connection(&shared, &mut stream) {
-                            // Wake-up pokes connect and close without a
-                            // request; don't log those as errors.
-                            if e.kind() != std::io::ErrorKind::UnexpectedEof {
-                                eprintln!("[serve] connection error: {e}");
-                            }
-                        }
-                    });
-                }
-                Err(e) => return Err(format!("accept failed: {e}")),
-            }
-            if self.shared.drained() {
-                break;
-            }
+        let result = self.event_loop();
+        // Wind down: wake every shard worker so it observes shutdown.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.shared.shards {
+            shard.wake();
         }
-        self.shared.queue_cv.notify_all();
         for worker in self.workers {
             let _ = worker.join();
+        }
+        if let Some(maintenance) = self.maintenance {
+            let _ = maintenance.join();
         }
         let mut store = self.shared.store.lock().expect("store poisoned");
         if let Some(store) = store.as_mut() {
             // Bound fragmentation across restarts: many short runs each
             // append one segment; fold them once at shutdown.
-            if store.segment_count() > 4 {
+            if store.segment_count() > COMPACT_SEGMENT_THRESHOLD {
                 store
                     .compact()
                     .map_err(|e| format!("compaction failed: {e}"))?;
             }
         }
-        Ok(())
+        result
+    }
+
+    fn event_loop(&self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot unblock listener: {e}"))?;
+        let poller = Poller::new().map_err(|e| format!("cannot create poller: {e}"))?;
+        const LISTENER: u64 = 0;
+        poller
+            .register(self.listener.as_raw_fd(), LISTENER, Interest::Read)
+            .map_err(|e| format!("cannot register listener: {e}"))?;
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_token: u64 = 1;
+        let mut events = Vec::new();
+        let mut drained_at: Option<Instant> = None;
+        loop {
+            poller
+                .wait(&mut events, TICK_MS)
+                .map_err(|e| format!("poll failed: {e}"))?;
+            for event in events.clone() {
+                if event.token == LISTENER {
+                    self.accept_ready(&poller, &mut conns, &mut next_token);
+                    continue;
+                }
+                let Some(conn) = conns.get_mut(&event.token) else {
+                    continue;
+                };
+                let keep = if event.closed {
+                    false
+                } else {
+                    step_conn(&self.shared, &poller, event.token, conn, event.writable)
+                };
+                if !keep {
+                    drop_conn(&poller, &mut conns, event.token);
+                }
+            }
+            self.tick(&poller, &mut conns);
+            // Drain: once shutdown is requested and every shard is
+            // idle, give pollers a grace window to collect results,
+            // then exit (flushing any response still in the pipe).
+            if self.shared.drained() {
+                let since = *drained_at.get_or_insert_with(Instant::now);
+                let writing = conns
+                    .values()
+                    .any(|c| matches!(c.state, ConnState::Writing { .. }));
+                if since.elapsed() >= DRAIN_GRACE && !writing {
+                    return Ok(());
+                }
+            } else {
+                drained_at = None;
+            }
+        }
+    }
+
+    fn accept_ready(&self, poller: &Poller, conns: &mut HashMap<u64, Conn>, next_token: &mut u64) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = *next_token;
+                    *next_token += 1;
+                    if poller
+                        .register(stream.as_raw_fd(), token, Interest::Read)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            state: ConnState::Reading(Vec::new()),
+                            since: Instant::now(),
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("[serve] accept failed: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Timer pass: answer parked long-polls whose job moved or whose
+    /// deadline passed, and drop idle connections.
+    fn tick(&self, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
+        let now = Instant::now();
+        let mut dead = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            match &conn.state {
+                ConnState::Parked {
+                    job,
+                    deadline,
+                    version,
+                } => {
+                    let (job, deadline, version) = (*job, *deadline, *version);
+                    let answer = {
+                        let state = self.shared.state.lock().expect("state poisoned");
+                        match state.jobs.get(&job) {
+                            None => Some(Action::Respond(http::response_bytes(
+                                404,
+                                "Not Found",
+                                &error_body(&format!("no job {job}")),
+                                &[],
+                            ))),
+                            Some(entry) => {
+                                let finished =
+                                    matches!(entry.state, JobState::Done | JobState::Failed);
+                                if finished || entry.version != version || now >= deadline {
+                                    Some(respond(
+                                        200,
+                                        "OK",
+                                        self.shared.view_of(job, entry).encode().encode(),
+                                    ))
+                                } else {
+                                    None
+                                }
+                            }
+                        }
+                    };
+                    if let Some(Action::Respond(bytes)) = answer {
+                        if !start_writing(&self.shared, poller, token, conn, bytes) {
+                            dead.push(token);
+                        }
+                    }
+                }
+                ConnState::Reading(_) | ConnState::Writing { .. } => {
+                    if now.duration_since(conn.since) > CONN_TIMEOUT {
+                        dead.push(token);
+                    }
+                }
+            }
+        }
+        for token in dead {
+            drop_conn(poller, conns, token);
+        }
     }
 }
 
-fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) -> std::io::Result<()> {
-    let request = match http::read_request(stream) {
-        Ok(r) => r,
-        // An empty connection (liveness probe / acceptor wake-up) has
-        // nobody listening for a response; just propagate quietly.
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(e),
-        Err(e) => {
-            let body = error_body(&format!("bad request: {e}"));
-            return http::write_response(stream, 400, "Bad Request", &body);
+fn drop_conn(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        poller.deregister(conn.stream.as_raw_fd());
+    }
+}
+
+/// Advances one connection on readiness. Returns `false` when the
+/// connection should be dropped.
+fn step_conn(
+    shared: &Arc<Shared>,
+    poller: &Poller,
+    token: u64,
+    conn: &mut Conn,
+    writable: bool,
+) -> bool {
+    match &mut conn.state {
+        ConnState::Reading(buf) => {
+            let mut chunk = [0u8; 4096];
+            let mut saw_eof = false;
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        saw_eof = true;
+                        break;
+                    }
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+            match http::try_parse_request(buf) {
+                Ok(Some((request, _consumed))) => {
+                    let action = route(shared, &request);
+                    apply_action(shared, poller, token, conn, action)
+                }
+                Ok(None) => {
+                    // Liveness probes connect and close without a
+                    // request; a mid-request close is unanswerable.
+                    !saw_eof
+                }
+                Err(e) => {
+                    let bytes = http::response_bytes(
+                        400,
+                        "Bad Request",
+                        &error_body(&format!("bad request: {e}")),
+                        &[],
+                    );
+                    start_writing(shared, poller, token, conn, bytes)
+                }
+            }
         }
-    };
-    let (status, reason, body) = route(shared, &request);
-    http::write_response(stream, status, reason, &body)
+        ConnState::Writing { buf, pos } => {
+            if !writable {
+                return true;
+            }
+            loop {
+                match conn.stream.write(&buf[*pos..]) {
+                    Ok(0) => return false,
+                    Ok(n) => {
+                        *pos += n;
+                        if *pos >= buf.len() {
+                            // Connection: close — response delivered.
+                            let _ = conn.stream.flush();
+                            return false;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return false,
+                }
+            }
+        }
+        ConnState::Parked { .. } => {
+            // The only read event a parked watcher produces is its
+            // peer hanging up; probe and drop if so. (Answers come
+            // from the tick pass, not from readiness.)
+            let mut probe = [0u8; 64];
+            match conn.stream.read(&mut probe) {
+                Ok(0) => false,
+                Ok(_) => true,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+                Err(_) => false,
+            }
+        }
+    }
+}
+
+fn apply_action(
+    shared: &Arc<Shared>,
+    poller: &Poller,
+    token: u64,
+    conn: &mut Conn,
+    action: Action,
+) -> bool {
+    match action {
+        Action::Respond(bytes) => start_writing(shared, poller, token, conn, bytes),
+        Action::Park {
+            job,
+            deadline,
+            version,
+        } => {
+            conn.state = ConnState::Parked {
+                job,
+                deadline,
+                version,
+            };
+            true
+        }
+    }
+}
+
+/// Switches a connection to response-writing mode, attempting the
+/// first write eagerly (most responses fit the socket buffer whole).
+fn start_writing(
+    shared: &Arc<Shared>,
+    poller: &Poller,
+    token: u64,
+    conn: &mut Conn,
+    bytes: Vec<u8>,
+) -> bool {
+    conn.state = ConnState::Writing { buf: bytes, pos: 0 };
+    conn.since = Instant::now();
+    if poller
+        .rearm(conn.stream.as_raw_fd(), token, Interest::Write)
+        .is_err()
+    {
+        return false;
+    }
+    // Eager first write: if it completes, the connection is done.
+    step_conn(shared, poller, token, conn, true)
 }
 
 fn error_body(message: &str) -> String {
     Json::obj([("error", message.into())]).encode()
 }
 
-fn route(shared: &Arc<Shared>, request: &http::Request) -> (u16, &'static str, String) {
+fn route(shared: &Arc<Shared>, request: &http::Request) -> Action {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/eval") => submit(shared, &request.body),
-        ("GET", "/v1/stats") => (200, "OK", stats_json(shared).encode()),
+        ("GET", "/v1/stats") => respond(200, "OK", stats_json(shared).encode()),
         ("POST", "/v1/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            shared.queue_cv.notify_all();
-            // Wake the acceptor once the grace window has passed so an
-            // already-drained server exits promptly but pending pollers
-            // still collect their results.
-            shared.poke_acceptor(DRAIN_GRACE);
-            (200, "OK", Json::obj([("ok", true.into())]).encode())
+            for shard in &shared.shards {
+                shard.wake();
+            }
+            respond(200, "OK", Json::obj([("ok", true.into())]).encode())
         }
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             match path["/v1/jobs/".len()..].parse::<u64>() {
-                Ok(id) => job_status(shared, id),
-                Err(_) => (400, "Bad Request", error_body("job ids are integers")),
+                Ok(id) => job_status(shared, id, request.query_param("wait_ms")),
+                Err(_) => respond(400, "Bad Request", error_body("job ids are integers")),
             }
         }
-        _ => (
+        _ => respond(
             404,
             "Not Found",
             error_body(&format!("no route for {} {}", request.method, request.path)),
@@ -319,9 +658,9 @@ fn route(shared: &Arc<Shared>, request: &http::Request) -> (u16, &'static str, S
     }
 }
 
-fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, &'static str, String) {
+fn submit(shared: &Arc<Shared>, body: &[u8]) -> Action {
     if shared.shutdown.load(Ordering::SeqCst) {
-        return (
+        return respond(
             503,
             "Service Unavailable",
             error_body("server is draining; submissions are closed"),
@@ -329,21 +668,21 @@ fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, &'static str, String) {
     }
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
-        Err(_) => return (400, "Bad Request", error_body("body is not UTF-8")),
+        Err(_) => return respond(400, "Bad Request", error_body("body is not UTF-8")),
     };
     let request = match parse(text).and_then(|v| EvalRequest::decode(&v)) {
         Ok(r) => r,
-        Err(e) => return (400, "Bad Request", error_body(&e)),
+        Err(e) => return respond(400, "Bad Request", error_body(&e)),
     };
     // Reject what a worker could never evaluate while the client is
     // still connected, instead of parking a doomed job in the queue.
     if let Err(e) = resolve_backends(&request.models) {
-        return (400, "Bad Request", error_body(&e));
+        return respond(400, "Bad Request", error_body(&e));
     }
     if let TaskSetRef::Suite { families, .. } = &request.tasks {
         for family in families {
             if fveval_gen::generator(family).is_none() {
-                return (
+                return respond(
                     400,
                     "Bad Request",
                     error_body(&format!("unknown family '{family}'")),
@@ -351,58 +690,80 @@ fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, &'static str, String) {
             }
         }
     }
+    let shard_idx = shard_of(request.tasks.route_digest(), shared.shards.len());
+    let shard = &shared.shards[shard_idx];
     let mut state = shared.state.lock().expect("state poisoned");
-    if state.queue.len() + state.running >= shared.max_jobs {
-        return (
+    let id = state.next_id;
+    if !shard.try_enqueue(id) {
+        drop(state);
+        let hint = shard.retry_after_ms();
+        let body = Json::obj([
+            ("error", "shard queue is full; retry later".into()),
+            ("shard", shard_idx.into()),
+            ("retry_after_ms", hint.into()),
+        ])
+        .encode();
+        return Action::Respond(http::response_bytes(
             429,
             "Too Many Requests",
-            error_body("job queue is full; retry later"),
-        );
+            &body,
+            &[("Retry-After", hint.div_ceil(1000).max(1).to_string())],
+        ));
     }
-    let id = state.next_id;
     state.next_id += 1;
     state.jobs.insert(
         id,
         Job {
             request,
             state: JobState::Queued,
+            shard: shard_idx,
+            cases_done: 0,
+            cases_total: 0,
+            version: 0,
             result: None,
             error: None,
         },
     );
-    state.queue.push_back(id);
     drop(state);
-    shared.queue_cv.notify_one();
-    (200, "OK", Json::obj([("job", id.into())]).encode())
+    respond(
+        200,
+        "OK",
+        Json::obj([("job", id.into()), ("shard", shard_idx.into())]).encode(),
+    )
 }
 
-fn job_status(shared: &Arc<Shared>, id: u64) -> (u16, &'static str, String) {
+fn job_status(shared: &Arc<Shared>, id: u64, wait_ms: Option<&str>) -> Action {
     let state = shared.state.lock().expect("state poisoned");
     let Some(job) = state.jobs.get(&id) else {
-        return (404, "Not Found", error_body(&format!("no job {id}")));
+        return respond(404, "Not Found", error_body(&format!("no job {id}")));
     };
-    let view = JobView {
-        id,
-        state: job.state,
-        position: state
-            .queue
-            .iter()
-            .position(|&queued| queued == id)
-            .map(|p| p as u64),
-        result: job.result.clone(),
-        error: job.error.clone(),
-    };
-    (200, "OK", view.encode().encode())
+    let wait_ms = wait_ms.and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    let finished = matches!(job.state, JobState::Done | JobState::Failed);
+    if wait_ms == 0 || finished {
+        return respond(200, "OK", shared.view_of(id, job).encode().encode());
+    }
+    Action::Park {
+        job: id,
+        deadline: Instant::now() + Duration::from_millis(wait_ms.min(MAX_WAIT_MS)),
+        version: job.version,
+    }
 }
 
 fn stats_json(shared: &Arc<Shared>) -> Json {
-    let cache = shared.engine.cache_stats();
-    let prover = shared.engine.prover_stats();
-    let state = shared.state.lock().expect("state poisoned");
-    let queued = state.queue.len();
-    let running = state.running;
-    let submitted = state.next_id.saturating_sub(1);
-    drop(state);
+    // Aggregate across shards: the cache/prover blocks keep their
+    // pre-shard key paths, computed as the merge of every shard.
+    let mut cache = CacheStats::default();
+    let mut prover = ProverStats::default();
+    for shard in &shared.shards {
+        cache.merge(&shard.engine.cache_stats());
+        prover.merge(&shard.engine.prover_stats());
+    }
+    let (queued, running): (usize, usize) = shared
+        .shards
+        .iter()
+        .fold((0, 0), |(q, r), s| (q + s.depth(), r + s.in_flight()));
+    let submitted: u64 = shared.shards.iter().map(Shard::accepted).sum();
+    let rejected: u64 = shared.shards.iter().map(Shard::rejected).sum();
     let store = shared.store.lock().expect("store poisoned");
     let store_json = match store.as_ref() {
         Some(store) => Json::obj([
@@ -410,12 +771,56 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
             ("segments", store.segment_count().into()),
             ("torn_lines", store.torn_lines().into()),
             ("preloaded", shared.preloaded.into()),
+            (
+                "compactions",
+                shared.compactions.load(Ordering::Relaxed).into(),
+            ),
         ]),
         None => Json::Null,
     };
     drop(store);
+    let shard_rows: Vec<(String, Json)> = shared
+        .shards
+        .iter()
+        .map(|shard| {
+            let shard_cache = shard.engine.cache_stats();
+            (
+                shard.index.to_string(),
+                Json::obj([
+                    ("depth", shard.depth().into()),
+                    ("in_flight", shard.in_flight().into()),
+                    ("accepted", shard.accepted().into()),
+                    ("served", shard.served().into()),
+                    ("failed", shard.failed().into()),
+                    ("rejected", shard.rejected().into()),
+                    ("retry_after_ms", shard.retry_after_ms().into()),
+                    (
+                        "cache",
+                        Json::obj([
+                            ("hits", shard_cache.hits.into()),
+                            ("persisted_hits", shard_cache.persisted_hits.into()),
+                            ("misses", shard_cache.misses.into()),
+                            ("entries", shard_cache.entries.into()),
+                        ]),
+                    ),
+                    (
+                        "prover_queries",
+                        shard.engine.prover_stats().queries().into(),
+                    ),
+                ]),
+            )
+        })
+        .collect();
     Json::obj([
         ("uptime_secs", shared.started.elapsed().as_secs_f64().into()),
+        (
+            "serve",
+            Json::obj([
+                ("shards", shared.shards.len().into()),
+                ("queue_depth", shared.shards[0].queue_depth().into()),
+                ("retain_finished", shared.retain_finished.into()),
+            ]),
+        ),
         (
             "jobs",
             Json::obj([
@@ -424,6 +829,7 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
                 ("running", running.into()),
                 ("done", shared.jobs_done.load(Ordering::Relaxed).into()),
                 ("failed", shared.jobs_failed.load(Ordering::Relaxed).into()),
+                ("rejected", rejected.into()),
             ]),
         ),
         (
@@ -455,58 +861,48 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
             ]),
         ),
         ("store", store_json),
+        ("shards", Json::Obj(shard_rows)),
     ])
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+/// One shard's worker: pops queued job ids, evaluates them on the
+/// shard-private engine with per-case progress reporting, and flushes
+/// freshly computed verdicts to the store *before* marking the job
+/// done — so a client that sees `done` can rely on the verdicts
+/// surviving a `kill -9` right after.
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let shard = &shared.shards[index];
     loop {
-        let claimed = {
-            let mut state = shared.state.lock().expect("state poisoned");
-            loop {
-                if let Some(id) = state.queue.pop_front() {
-                    state.running += 1;
-                    if let Some(job) = state.jobs.get_mut(&id) {
-                        job.state = JobState::Running;
-                    }
-                    break Some(id);
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                state = shared
-                    .queue_cv
-                    .wait_timeout(state, Duration::from_millis(200))
-                    .expect("state poisoned")
-                    .0;
-            }
-        };
-        let Some(id) = claimed else {
+        let Some(id) = shard.pop(&shared.shutdown) else {
             return;
         };
-        let request = shared
-            .state
-            .lock()
-            .expect("state poisoned")
-            .jobs
-            .get(&id)
-            .map(|j| j.request.clone())
-            .expect("claimed job exists");
-        let outcome = run_job(shared, &request);
-        // Persist what this job settled before reporting it done, so a
-        // client that sees `done` can rely on the verdicts surviving a
-        // kill -9 right after.
-        let fresh = shared.engine.take_unpersisted();
+        let started = Instant::now();
+        let request = {
+            let mut state = shared.state.lock().expect("state poisoned");
+            state.jobs.get_mut(&id).map(|job| {
+                job.state = JobState::Running;
+                Shared::bump(job);
+                job.request.clone()
+            })
+        };
+        let outcome = match request {
+            Some(request) => run_job(shared, shard, id, &request),
+            // Evicted before it ran (tiny retain bound): nothing to do.
+            None => Err("job evicted before it ran".to_string()),
+        };
+        let fresh = shard.engine.take_unpersisted();
         if let Some(store) = shared.store.lock().expect("store poisoned").as_mut() {
             if let Err(e) = store.append(&fresh) {
                 eprintln!("[serve] store flush failed: {e}");
             }
         }
+        let ok = outcome.is_ok();
         let mut state = shared.state.lock().expect("state poisoned");
-        state.running -= 1;
         if let Some(job) = state.jobs.get_mut(&id) {
             match outcome {
                 Ok(result) => {
                     job.state = JobState::Done;
+                    job.cases_done = job.cases_total;
                     job.result = Some(result);
                     shared.jobs_done.fetch_add(1, Ordering::Relaxed);
                 }
@@ -516,6 +912,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            Shared::bump(job);
         }
         // Bound memory: retain only the most recent finished results.
         state.finished.push_back(id);
@@ -525,21 +922,44 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         }
         drop(state);
-        if shared.drained() {
-            // Last job under shutdown: give pending pollers the grace
-            // window, then let the accept loop exit.
-            shared.poke_acceptor(DRAIN_GRACE);
-        }
+        shard.note_finished(ok, started.elapsed());
     }
 }
 
-fn run_job(shared: &Arc<Shared>, request: &EvalRequest) -> Result<EvalResult, String> {
+fn run_job(
+    shared: &Arc<Shared>,
+    shard: &Shard,
+    id: u64,
+    request: &EvalRequest,
+) -> Result<EvalResult, String> {
     let tasks = build_tasks(&request.tasks)?;
     let models = resolve_backends(&request.models)?;
+    {
+        let mut state = shared.state.lock().expect("state poisoned");
+        if let Some(job) = state.jobs.get_mut(&id) {
+            job.cases_total = tasks.len() as u64;
+            Shared::bump(job);
+        }
+    }
     let backends: Vec<&dyn Backend> = models.iter().map(|m| m as &dyn Backend).collect();
-    let rows = shared
-        .engine
-        .run_matrix(&backends, &tasks, &request.cfg, request.samples.max(1));
+    let progress = |done: usize, _total: usize| {
+        let mut state = shared.state.lock().expect("state poisoned");
+        if let Some(job) = state.jobs.get_mut(&id) {
+            // Progress may race across engine workers; cases_done only
+            // moves forward.
+            if done as u64 > job.cases_done {
+                job.cases_done = done as u64;
+                Shared::bump(job);
+            }
+        }
+    };
+    let rows = shard.engine.run_matrix_with_progress(
+        &backends,
+        &tasks,
+        &request.cfg,
+        request.samples.max(1),
+        &progress,
+    );
     Ok(EvalResult {
         models: models
             .iter()
@@ -547,6 +967,32 @@ fn run_job(shared: &Arc<Shared>, request: &EvalRequest) -> Result<EvalResult, St
             .zip(rows)
             .collect(),
     })
+}
+
+/// The background store maintainer: whenever the store has fragmented
+/// past [`COMPACT_SEGMENT_THRESHOLD`] segments and every shard is
+/// idle, fold it into one segment — while the server keeps serving.
+/// Compaction refreshes from disk first (see
+/// [`VerdictStore::compact`]), so a flush racing the fold can never be
+/// shadowed.
+fn maintenance_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+        if !shared.shards.iter().all(Shard::idle) {
+            continue;
+        }
+        let mut store = shared.store.lock().expect("store poisoned");
+        if let Some(store) = store.as_mut() {
+            if store.segment_count() > COMPACT_SEGMENT_THRESHOLD {
+                match store.compact() {
+                    Ok(()) => {
+                        shared.compactions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => eprintln!("[serve] background compaction failed: {e}"),
+                }
+            }
+        }
+    }
 }
 
 /// Materializes a task-set reference into an engine work-list. Public

@@ -1,0 +1,256 @@
+//! Engine shards: the unit of parallelism and cache affinity in the
+//! sharded server.
+//!
+//! Each [`Shard`] owns a private [`EvalEngine`] fed by one bounded
+//! queue and drained by one worker thread. Jobs route to shards by
+//! [`shard_of`] over the request's task-content digest
+//! ([`crate::TaskSetRef::route_digest`]), so repeated evaluations of
+//! the same design always land on the same shard — its
+//! `CompiledDesign`/`ProofSession` caches stay hot, and no design
+//! state ever migrates across engines. The queue bound is the
+//! backpressure surface: a submit that finds `queued + in-flight` at
+//! the bound is rejected (`429`) with a [`Shard::retry_after_ms`]
+//! hint derived from an EWMA of recent job durations on that shard.
+
+use fveval_core::EvalEngine;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Routes a task-content digest to a shard: `digest mod shards`.
+/// A pure function — the same digest maps to the same shard for any
+/// fixed shard count, across processes and restarts. `shards` is
+/// clamped to at least 1.
+pub fn shard_of(digest: u64, shards: usize) -> usize {
+    (digest % shards.max(1) as u64) as usize
+}
+
+/// One engine shard: a private engine, a bounded job-id queue, its
+/// worker's wake signal, and the shard-local traffic counters that
+/// `GET /v1/stats` reports per shard.
+#[derive(Debug)]
+pub struct Shard {
+    /// This shard's index (the value [`shard_of`] routes to).
+    pub index: usize,
+    /// The shard-private engine; only this shard's worker evaluates
+    /// on it, so per-design sessions never cross shards.
+    pub engine: EvalEngine,
+    /// Queued job ids awaiting this shard's worker.
+    queue: Mutex<VecDeque<u64>>,
+    /// Wakes the worker when work arrives or shutdown begins.
+    cv: Condvar,
+    /// Bound on `queued + in-flight`; submissions beyond it get `429`.
+    queue_depth: usize,
+    in_flight: AtomicUsize,
+    accepted: AtomicU64,
+    served: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    /// EWMA of job wall-clock durations, in milliseconds.
+    ewma_job_ms: AtomicU64,
+}
+
+impl Shard {
+    /// Builds a shard around its own engine.
+    pub fn new(index: usize, engine: EvalEngine, queue_depth: usize) -> Shard {
+        Shard {
+            index,
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            queue_depth: queue_depth.max(1),
+            in_flight: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            ewma_job_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues a job id unless the shard is at its bound. Returns
+    /// `false` (counting the rejection) when `queued + in-flight` is
+    /// at the bound — the caller answers `429`.
+    pub fn try_enqueue(&self, id: u64) -> bool {
+        let mut queue = self.queue.lock().expect("shard queue poisoned");
+        if queue.len() + self.in_flight.load(Ordering::Acquire) >= self.queue_depth {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        queue.push_back(id);
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        drop(queue);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Blocks the shard worker until a job id is available (marking it
+    /// in-flight) or `shutdown` is set with an empty queue (`None`:
+    /// the worker exits).
+    pub fn pop(&self, shutdown: &AtomicBool) -> Option<u64> {
+        let mut queue = self.queue.lock().expect("shard queue poisoned");
+        loop {
+            if let Some(id) = queue.pop_front() {
+                self.in_flight.fetch_add(1, Ordering::AcqRel);
+                return Some(id);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self
+                .cv
+                .wait_timeout(queue, Duration::from_millis(200))
+                .expect("shard queue poisoned")
+                .0;
+        }
+    }
+
+    /// Wakes the worker so it can observe a shutdown request.
+    pub fn wake(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Records a finished job: outcome counter, in-flight release, and
+    /// the duration EWMA behind [`Shard::retry_after_ms`].
+    pub fn note_finished(&self, ok: bool, elapsed: Duration) {
+        let ms = elapsed.as_millis().min(u128::from(u64::MAX)) as u64;
+        let old = self.ewma_job_ms.load(Ordering::Relaxed);
+        let next = if old == 0 { ms } else { (3 * old + ms) / 4 };
+        self.ewma_job_ms.store(next.max(1), Ordering::Relaxed);
+        if ok {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// How long a rejected client should wait before retrying, in
+    /// milliseconds: one EWMA job duration per occupied slot, floored
+    /// at 50 ms (a fresh shard has no history yet).
+    pub fn retry_after_ms(&self) -> u64 {
+        let ewma = self.ewma_job_ms.load(Ordering::Relaxed).max(50);
+        let occupied = self.depth() + self.in_flight();
+        ewma.saturating_mul(occupied.max(1) as u64).min(60_000)
+    }
+
+    /// Queue position of `id` (0 = next), if it is still queued.
+    pub fn position_of(&self, id: u64) -> Option<u64> {
+        self.queue
+            .lock()
+            .expect("shard queue poisoned")
+            .iter()
+            .position(|&queued| queued == id)
+            .map(|p| p as u64)
+    }
+
+    /// Currently queued job count.
+    pub fn depth(&self) -> usize {
+        self.queue.lock().expect("shard queue poisoned").len()
+    }
+
+    /// Jobs currently being evaluated (0 or 1: one worker per shard).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Nothing queued and nothing in flight.
+    pub fn idle(&self) -> bool {
+        self.in_flight() == 0 && self.depth() == 0
+    }
+
+    /// Jobs this shard accepted (queued successfully).
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs this shard finished successfully.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Jobs this shard finished with an error.
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Submissions bounced off the full queue.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// The configured `queued + in-flight` bound.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_digest_mod_shards_and_total() {
+        for digest in [0u64, 1, 7, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            for shards in 1..=8 {
+                let shard = shard_of(digest, shards);
+                assert!(shard < shards);
+                assert_eq!(shard, (digest % shards as u64) as usize);
+                // Pure: recomputing never moves the job.
+                assert_eq!(shard, shard_of(digest, shards));
+            }
+            // Degenerate configs still route somewhere valid.
+            assert_eq!(shard_of(digest, 0), 0);
+            assert_eq!(shard_of(digest, 1), 0);
+        }
+    }
+
+    #[test]
+    fn queue_bound_rejects_and_recovers() {
+        let shard = Shard::new(0, EvalEngine::with_jobs(1), 2);
+        assert!(shard.try_enqueue(1));
+        assert!(shard.try_enqueue(2));
+        assert!(!shard.try_enqueue(3), "bound of 2 rejects the 3rd");
+        assert_eq!(shard.rejected(), 1);
+        assert_eq!(shard.accepted(), 2);
+        // Draining one makes room — but an in-flight job still counts
+        // against the bound until it finishes.
+        let shutdown = AtomicBool::new(false);
+        assert_eq!(shard.pop(&shutdown), Some(1));
+        assert_eq!(shard.in_flight(), 1);
+        assert!(!shard.try_enqueue(3), "in-flight occupies a slot");
+        shard.note_finished(true, Duration::from_millis(8));
+        assert!(shard.try_enqueue(3));
+        assert_eq!(shard.served(), 1);
+        assert_eq!(shard.position_of(2), Some(0));
+        assert_eq!(shard.position_of(3), Some(1));
+        assert_eq!(shard.position_of(99), None);
+        // Shutdown with a drained queue exits the pop loop.
+        shutdown.store(true, Ordering::SeqCst);
+        assert_eq!(shard.pop(&shutdown), Some(2));
+        shard.note_finished(true, Duration::from_millis(8));
+        assert_eq!(shard.pop(&shutdown), Some(3));
+        shard.note_finished(false, Duration::from_millis(8));
+        assert_eq!(shard.pop(&shutdown), None);
+        assert!(shard.idle());
+        assert_eq!(shard.failed(), 1);
+    }
+
+    #[test]
+    fn retry_hint_tracks_job_durations() {
+        let shard = Shard::new(0, EvalEngine::with_jobs(1), 4);
+        // No history: the floor applies.
+        assert_eq!(shard.retry_after_ms(), 50);
+        let shutdown = AtomicBool::new(false);
+        assert!(shard.try_enqueue(1));
+        shard.pop(&shutdown);
+        shard.note_finished(true, Duration::from_millis(400));
+        // One recorded duration, empty shard: hint is one EWMA step.
+        assert_eq!(shard.retry_after_ms(), 400);
+        // A backlog multiplies the hint by occupied slots.
+        assert!(shard.try_enqueue(2));
+        assert!(shard.try_enqueue(3));
+        assert_eq!(shard.retry_after_ms(), 800);
+    }
+}

@@ -169,9 +169,33 @@ impl VerdictStore {
         Ok(())
     }
 
+    /// Re-reads the directory, replaying every on-disk segment in name
+    /// order — picking up segments published by *other* handles or
+    /// processes since this one opened. The next-segment index only
+    /// moves forward, so a refreshed handle never reuses a name it
+    /// already advanced past.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error from re-reading the directory.
+    pub fn refresh(&mut self) -> std::io::Result<()> {
+        let fresh = VerdictStore::open(&self.dir)?;
+        self.next_segment = self.next_segment.max(fresh.next_segment);
+        self.entries = fresh.entries;
+        self.segments = fresh.segments;
+        self.torn_lines = fresh.torn_lines;
+        Ok(())
+    }
+
     /// Rewrites every live entry into a single sorted segment and
     /// deletes the old segments. Idempotent; a store compacted twice
     /// is byte-identical to one compacted once.
+    ///
+    /// The entry set is [`VerdictStore::refresh`]ed from disk first:
+    /// the compacted segment gets the highest index and would shadow
+    /// anything older on replay, so compacting a stale in-memory view
+    /// would otherwise resurrect old values over segments another
+    /// handle published concurrently.
     ///
     /// # Errors
     ///
@@ -180,6 +204,7 @@ impl VerdictStore {
     /// compaction only leaves redundant (shadowed) segments behind,
     /// never data loss.
     pub fn compact(&mut self) -> std::io::Result<()> {
+        self.refresh()?;
         let live = self.records();
         let old = std::mem::take(&mut self.segments);
         if live.is_empty() {
@@ -396,6 +421,77 @@ mod tests {
         assert_eq!(merged.len(), 2, "no batch was lost");
         assert_eq!(merged.segment_count(), 2);
         assert_eq!(merged.torn_lines(), 0);
+    }
+
+    #[test]
+    fn compaction_on_a_stale_handle_cannot_shadow_newer_segments() {
+        let tmp = TempDir::new("store-stale-compact");
+        let key1_old = record(1, 0.1);
+        let mut key1_new = record(1, 0.9);
+        key1_new.eval.func = !key1_old.eval.func;
+        // Handle A sees only the old value for key 1.
+        let mut a = VerdictStore::open(tmp.path()).unwrap();
+        a.append(std::slice::from_ref(&key1_old)).unwrap();
+        // Handle B (a concurrent process) publishes a newer value.
+        let mut b = VerdictStore::open(tmp.path()).unwrap();
+        b.append(&[key1_new.clone(), record(2, 0.2)]).unwrap();
+        // A compacts with its stale in-memory view. The compacted
+        // segment has the highest index, so without the refresh
+        // pre-pass the stale 0.1 would win replay over B's 0.9.
+        a.compact().unwrap();
+        let merged = VerdictStore::open(tmp.path()).unwrap();
+        let kept = merged
+            .records()
+            .into_iter()
+            .find(|r| r.task_id == key1_new.task_id && r.sample == key1_new.sample)
+            .unwrap();
+        assert_eq!(kept.eval, key1_new.eval, "the concurrent write survives");
+        assert_eq!(merged.len(), 2, "no record lost");
+    }
+
+    #[test]
+    fn threaded_flush_and_compact_preserve_every_verdict() {
+        let tmp = TempDir::new("store-flush-compact");
+        // The server's live-compaction shape: worker threads flush
+        // batches through the shared mutex while a maintenance thread
+        // compacts between them.
+        let store = std::sync::Mutex::new(VerdictStore::open(tmp.path()).unwrap());
+        let batches: Vec<Vec<VerdictRecord>> = (0..8)
+            .map(|b| {
+                (0..16)
+                    .map(|i| record(b * 16 + i, f64::from(b) / 8.0))
+                    .collect()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for batch in &batches {
+                    store.lock().unwrap().append(batch).unwrap();
+                }
+            });
+            scope.spawn(|| {
+                for _ in 0..12 {
+                    store.lock().unwrap().compact().unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let reopened = VerdictStore::open(tmp.path()).unwrap();
+        assert_eq!(reopened.torn_lines(), 0);
+        let keys: std::collections::HashSet<String> = reopened
+            .records()
+            .into_iter()
+            .map(|r| format!("{}|{}|{}", r.model, r.task_id, r.sample))
+            .collect();
+        for batch in &batches {
+            for r in batch {
+                assert!(
+                    keys.contains(&format!("{}|{}|{}", r.model, r.task_id, r.sample)),
+                    "verdict {} survived flush+compact",
+                    r.task_id
+                );
+            }
+        }
     }
 
     #[test]

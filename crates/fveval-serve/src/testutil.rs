@@ -1,11 +1,24 @@
-//! Small self-cleaning filesystem helpers for tests and benchmarks.
+//! Test and benchmark support: self-cleaning temp dirs and the
+//! deterministic load generator.
 //!
-//! The workspace has no `tempfile` dependency (offline builds), so the
-//! serve crate's tests, the workspace integration tests, and the
-//! `serve` bench group share this instead.
+//! The workspace has no `tempfile`/`rand`/load-testing dependency
+//! (offline builds), so the serve crate's tests, the workspace
+//! integration tests, and the `serve` bench group share this instead.
+//!
+//! [`run_load`] is the many-concurrent-clients driver behind both the
+//! saturation bench family and the integration tests: a seeded arrival
+//! schedule fans mixed submit/long-poll/stats traffic over N client
+//! threads, retries backpressure (`429`) using the server's hint,
+//! records p50/p99 job latency and throughput, and collects each
+//! request template's result bytes so two servers (e.g. `--shards 1`
+//! vs `--shards 4`) can be byte-compared.
 
+use crate::client::{Client, SubmitOutcome};
+use crate::protocol::{EvalRequest, JobState};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -42,4 +55,277 @@ impl Drop for TempDir {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.path);
     }
+}
+
+/// SplitMix64: the deterministic PRNG behind the load generator's
+/// arrival schedule and traffic mix (the same generator the data and
+/// scenario crates use for seeding).
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `[0, bound)`; `0` when `bound` is `0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Load-generator knobs. The whole run is a pure function of these:
+/// the same config against byte-identical servers produces the same
+/// submit schedule, traffic mix, and collected result bytes (timing
+/// metrics, of course, vary).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Schedule seed.
+    pub seed: u64,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Jobs each client submits.
+    pub submits_per_client: usize,
+    /// Request templates; each submit draws one by seeded schedule.
+    pub templates: Vec<EvalRequest>,
+    /// Upper bound on the seeded inter-arrival delay per client, in
+    /// milliseconds (0 = submit as fast as possible: saturation mode).
+    pub max_think_ms: u64,
+    /// Long-poll window per progress request, in milliseconds.
+    pub poll_wait_ms: u64,
+    /// Per-job completion deadline.
+    pub job_timeout: Duration,
+}
+
+impl LoadConfig {
+    /// A saturation-mode config (no think time) over `templates`.
+    pub fn saturating(
+        seed: u64,
+        clients: usize,
+        submits_per_client: usize,
+        templates: Vec<EvalRequest>,
+    ) -> LoadConfig {
+        LoadConfig {
+            seed,
+            clients,
+            submits_per_client,
+            templates,
+            max_think_ms: 0,
+            poll_wait_ms: 500,
+            job_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Jobs accepted by the server.
+    pub submitted: u64,
+    /// Jobs that reached `done`.
+    pub completed: u64,
+    /// `429` answers encountered (each was retried with the server's
+    /// `retry_after_ms` hint until accepted).
+    pub backpressure_hits: u64,
+    /// `GET /v1/stats` calls mixed into the traffic.
+    pub stats_calls: u64,
+    /// Long-poll progress frames observed before completion.
+    pub progress_frames: u64,
+    /// Completed jobs per wall-clock second over the whole run.
+    pub throughput_jobs_per_sec: f64,
+    /// Median submit→done latency, in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile submit→done latency, in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Per-template canonical result JSON (indexed like
+    /// [`LoadConfig::templates`]); `None` when the schedule never drew
+    /// that template. Every client that ran a template got exactly
+    /// these bytes — [`run_load`] fails on any divergence.
+    pub results: Vec<Option<String>>,
+}
+
+impl LoadReport {
+    /// All collected template results joined into one string — the
+    /// byte-compare handle for cross-server determinism checks.
+    pub fn results_digest(&self) -> String {
+        let mut out = String::new();
+        for (i, result) in self.results.iter().enumerate() {
+            out.push_str(&format!("template {i}: "));
+            out.push_str(result.as_deref().unwrap_or("(not drawn)"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn percentile(sorted_ms: &[u64], pct: u64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as u64 * pct).div_ceil(100) as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)] as f64
+}
+
+/// Drives a live server at `addr` with [`LoadConfig`] traffic: each
+/// client thread follows its own seeded schedule of think time and
+/// template choice, submits with backpressure retries, long-polls the
+/// job to completion (mixing in stats calls), and verifies that every
+/// observation of a template's result is byte-identical.
+///
+/// # Errors
+///
+/// Returns a message when any client hits a transport error, a job
+/// fails or times out, or two clients observe different result bytes
+/// for the same template.
+pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
+    if cfg.templates.is_empty() {
+        return Err("load config needs at least one template".to_string());
+    }
+    let client = Client::new(addr.to_string());
+    let started = Instant::now();
+    let submitted = AtomicU64::new(0);
+    let backpressure = AtomicU64::new(0);
+    let stats_calls = AtomicU64::new(0);
+    let progress_frames = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; cfg.templates.len()]);
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for c in 0..cfg.clients.max(1) {
+            let client = client.clone();
+            let (submitted, backpressure, stats_calls, progress_frames) =
+                (&submitted, &backpressure, &stats_calls, &progress_frames);
+            let (latencies, results, errors) = (&latencies, &results, &errors);
+            scope.spawn(move || {
+                let mut rng =
+                    SplitMix64::new(cfg.seed ^ (c as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+                for _ in 0..cfg.submits_per_client {
+                    if let Err(e) = drive_one_job(
+                        &client,
+                        cfg,
+                        &mut rng,
+                        submitted,
+                        backpressure,
+                        stats_calls,
+                        progress_frames,
+                        latencies,
+                        results,
+                    ) {
+                        errors.lock().expect("errors poisoned").push(e);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    let errors = errors.into_inner().expect("errors poisoned");
+    if let Some(first) = errors.first() {
+        return Err(format!("{} client error(s); first: {first}", errors.len()));
+    }
+    let mut latencies = latencies.into_inner().expect("latencies poisoned");
+    latencies.sort_unstable();
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    Ok(LoadReport {
+        submitted: submitted.load(Ordering::Relaxed),
+        completed: latencies.len() as u64,
+        backpressure_hits: backpressure.load(Ordering::Relaxed),
+        stats_calls: stats_calls.load(Ordering::Relaxed),
+        progress_frames: progress_frames.load(Ordering::Relaxed),
+        throughput_jobs_per_sec: latencies.len() as f64 / elapsed,
+        p50_latency_ms: percentile(&latencies, 50),
+        p99_latency_ms: percentile(&latencies, 99),
+        results: results.into_inner().expect("results poisoned"),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_one_job(
+    client: &Client,
+    cfg: &LoadConfig,
+    rng: &mut SplitMix64,
+    submitted: &AtomicU64,
+    backpressure: &AtomicU64,
+    stats_calls: &AtomicU64,
+    progress_frames: &AtomicU64,
+    latencies: &Mutex<Vec<u64>>,
+    results: &Mutex<Vec<Option<String>>>,
+) -> Result<(), String> {
+    let think = rng.below(cfg.max_think_ms.saturating_add(1));
+    if think > 0 {
+        std::thread::sleep(Duration::from_millis(think));
+    }
+    let template_idx = rng.below(cfg.templates.len() as u64) as usize;
+    let mix_in_stats = rng.below(4) == 0;
+    let t0 = Instant::now();
+    // Submit, honoring backpressure hints until accepted.
+    let id = loop {
+        match client.try_submit(&cfg.templates[template_idx])? {
+            SubmitOutcome::Accepted { job, .. } => break job,
+            SubmitOutcome::Busy { retry_after_ms } => {
+                backpressure.fetch_add(1, Ordering::Relaxed);
+                if t0.elapsed() > cfg.job_timeout {
+                    return Err("queue never drained within the job timeout".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(5, 500)));
+            }
+        }
+    };
+    submitted.fetch_add(1, Ordering::Relaxed);
+    // Long-poll to completion, mixing stats traffic per the schedule.
+    let view = loop {
+        let view = client.job_wait(id, cfg.poll_wait_ms)?;
+        match view.state {
+            JobState::Done => break view,
+            JobState::Failed => {
+                return Err(format!(
+                    "job {id} failed: {}",
+                    view.error.as_deref().unwrap_or("(no detail)")
+                ))
+            }
+            JobState::Queued | JobState::Running => {
+                progress_frames.fetch_add(1, Ordering::Relaxed);
+                if mix_in_stats {
+                    client.stats()?;
+                    stats_calls.fetch_add(1, Ordering::Relaxed);
+                }
+                if t0.elapsed() > cfg.job_timeout {
+                    return Err(format!("job {id} exceeded {:?}", cfg.job_timeout));
+                }
+            }
+        }
+    };
+    let latency_ms = t0.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+    latencies
+        .lock()
+        .expect("latencies poisoned")
+        .push(latency_ms);
+    let result = view
+        .result
+        .ok_or_else(|| format!("job {id} done without a result"))?;
+    let bytes = result.encode().encode();
+    let mut results = results.lock().expect("results poisoned");
+    match &results[template_idx] {
+        None => results[template_idx] = Some(bytes),
+        Some(seen) if *seen == bytes => {}
+        Some(_) => {
+            return Err(format!(
+                "template {template_idx}: two clients observed different result bytes"
+            ))
+        }
+    }
+    Ok(())
 }

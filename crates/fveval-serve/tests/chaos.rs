@@ -1,0 +1,193 @@
+//! Chaos tests: the event loop survives hostile clients, and the
+//! persistent store survives a SIGKILLed server.
+//!
+//! The SIGKILL test re-executes this very test binary as the victim
+//! server process (`chaos_server_role` below becomes a server when the
+//! chaos env var is set), kills it with no warning mid-job, restarts
+//! on the same store directory, and requires the warm re-submit to be
+//! byte-identical and entirely store-served.
+
+use fveval_llm::InferenceConfig;
+use fveval_serve::testutil::TempDir;
+use fveval_serve::{Client, EvalRequest, Server, ServerConfig, TaskSetRef};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+/// The env var that turns a re-exec of this binary into a server.
+const CHAOS_DIR_VAR: &str = "FVEVAL_CHAOS_DIR";
+
+fn small_request(seed: u64) -> EvalRequest {
+    EvalRequest {
+        tasks: TaskSetRef::Machine { count: 3, seed },
+        models: vec!["gpt-4o".to_string()],
+        cfg: InferenceConfig::greedy(),
+        samples: 1,
+    }
+}
+
+#[test]
+fn stalled_readers_cannot_block_other_clients() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        queue_depth: 8,
+        engine_jobs: 1,
+        cache_dir: None,
+        ..ServerConfig::default()
+    })
+    .expect("server binds");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    // Several connections send a partial request and then stall with
+    // the socket held open. A blocking accept loop would be wedged; the
+    // readiness-driven loop must keep serving everyone else.
+    let stalled: Vec<TcpStream> = (0..4)
+        .map(|_| {
+            let mut s = TcpStream::connect(&addr).expect("connect");
+            s.write_all(b"POST /v1/eval HTTP/1.1\r\nContent-Length: 100000\r\n\r\n{\"partial")
+                .expect("partial write");
+            s.flush().expect("flush");
+            s
+        })
+        .collect();
+    let client = Client::new(addr);
+    let id = client
+        .submit(&small_request(1))
+        .expect("submit succeeds past stallers");
+    let view = client.wait(id, WAIT).expect("job completes past stallers");
+    assert!(view.result.is_some());
+    drop(stalled);
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().expect("clean exit");
+}
+
+/// Kills (SIGKILL) and reaps the child when dropped, so a failing
+/// assertion never leaks a server process.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Re-executes this test binary as a victim server on `dir` (see
+/// [`chaos_server_role`]) and waits for it to publish its address.
+fn spawn_server_process(dir: &Path) -> (KillOnDrop, Client) {
+    let addr_file = dir.join("addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let child = Command::new(std::env::current_exe().expect("own path"))
+        .args(["--exact", "chaos_server_role", "--nocapture"])
+        .env(CHAOS_DIR_VAR, dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim server");
+    let mut child = KillOnDrop(child);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            let client = Client::new(addr.trim().to_string());
+            if client.is_up() {
+                return (child, client);
+            }
+        }
+        if let Ok(Some(status)) = child.0.try_wait() {
+            panic!("victim server exited before coming up: {status}");
+        }
+        assert!(Instant::now() < deadline, "victim server never came up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Not an assertion-bearing test: when re-executed with the chaos env
+/// var set, this binary becomes the victim server process for
+/// [`sigkill_mid_job_is_recovered_by_a_restart`]. Without the env var
+/// (a normal `cargo test` run) it does nothing.
+#[test]
+fn chaos_server_role() {
+    let Some(dir) = std::env::var_os(CHAOS_DIR_VAR) else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        queue_depth: 8,
+        engine_jobs: 1,
+        cache_dir: Some(dir.join("store")),
+        ..ServerConfig::default()
+    })
+    .expect("victim server binds");
+    let addr = server.local_addr().to_string();
+    // Publish the ephemeral address atomically so the parent never
+    // reads a half-written file.
+    let tmp = dir.join("addr.tmp");
+    std::fs::write(&tmp, &addr).expect("write addr");
+    std::fs::rename(&tmp, dir.join("addr")).expect("publish addr");
+    // Runs until the parent SIGKILLs this process.
+    let _ = server.run();
+}
+
+#[test]
+fn sigkill_mid_job_is_recovered_by_a_restart() {
+    let tmp = TempDir::new("chaos-kill");
+    let request = small_request(7);
+
+    // Round 1: finish one job (its verdicts flush to the store), then
+    // SIGKILL the server with a second job still in flight — no drain,
+    // no flush, no goodbye.
+    let (mut victim, client) = spawn_server_process(tmp.path());
+    let id = client.submit(&request).expect("submit");
+    let cold = client.wait(id, WAIT).expect("cold job").result.unwrap();
+    client.submit(&small_request(8)).expect("second submit");
+    victim.0.kill().expect("SIGKILL delivered");
+    victim.0.wait().expect("victim reaped");
+    drop(victim);
+
+    // Round 2: a fresh server on the same store directory must come
+    // up (recovering any torn segment tail), preload the flushed
+    // verdicts, and serve the warm re-submit byte-identically with
+    // zero recomputation.
+    let (victim, client) = spawn_server_process(tmp.path());
+    let id = client.submit(&request).expect("warm submit");
+    let warm = client.wait(id, WAIT).expect("warm job").result.unwrap();
+    assert_eq!(warm, cold, "SIGKILL + restart changes no served bytes");
+    let stats = client.stats().expect("stats");
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(
+        cache.get("misses").and_then(|v| v.as_u64()),
+        Some(0),
+        "nothing is recomputed after the crash"
+    );
+    let rate = cache
+        .get("persisted_hit_rate")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(
+        rate >= 0.999,
+        "warm run is served entirely from the recovered store ({rate})"
+    );
+    assert_eq!(
+        stats
+            .get("prover")
+            .and_then(|p| p.get("queries"))
+            .and_then(|v| v.as_u64()),
+        Some(0),
+        "zero prover work on the recovered warm path"
+    );
+    let preloaded = stats
+        .get("store")
+        .and_then(|s| s.get("preloaded"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(preloaded > 0, "the restart preloaded the flushed verdicts");
+    client.shutdown().expect("shutdown");
+    drop(victim);
+}

@@ -1,12 +1,14 @@
 //! Property tests for the serving substrate: the JSON encoder/decoder
-//! round-trips arbitrary values, and the verdict store round-trips
+//! round-trips arbitrary values, the verdict store round-trips
 //! arbitrary record batches — including recovery from a truncated
-//! (torn) segment tail.
+//! (torn) segment tail — long-poll progress frames survive the wire
+//! codec, shard routing is a pure total function of the task digest,
+//! and per-shard cache stats merge to the aggregate.
 
-use fveval_core::{SampleEval, VerdictRecord};
+use fveval_core::{CacheStats, SampleEval, VerdictRecord};
 use fveval_serve::json::{parse, Json};
 use fveval_serve::testutil::TempDir;
-use fveval_serve::VerdictStore;
+use fveval_serve::{shard_of, JobState, JobView, VerdictStore};
 use proptest::prelude::*;
 
 /// Small deterministic generator so structured values (strings,
@@ -177,5 +179,74 @@ proptest! {
             keep
         };
         prop_assert_eq!(recovered.records(), expected);
+    }
+
+    #[test]
+    fn progress_frames_round_trip_the_wire_codec(seed in 0u64..u64::MAX) {
+        let mut mix = Mix(seed);
+        // Arbitrary long-poll progress frames: any state short of done,
+        // any (done, total) pair, shard/position/error present or not.
+        let state = match mix.below(3) {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            _ => JobState::Failed,
+        };
+        let cases_total = mix.below(1 << 20);
+        let frame = JobView {
+            id: mix.next(),
+            state,
+            position: (mix.below(2) == 0).then(|| mix.below(64)),
+            cases_done: if cases_total == 0 { 0 } else { mix.below(cases_total + 1) },
+            cases_total,
+            shard: (mix.below(2) == 0).then(|| mix.below(16)),
+            result: None,
+            error: (state == JobState::Failed).then(|| mix.string()),
+        };
+        let wire = frame.encode().encode();
+        let parsed = parse(&wire).map_err(TestCaseError::fail)?;
+        let back = JobView::decode(&parsed).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, frame, "decode(encode(frame)) == frame for {}", wire);
+    }
+
+    #[test]
+    fn shard_routing_is_a_pure_total_function_of_the_digest(
+        digest in 0u64..u64::MAX,
+        shards in 0usize..64,
+    ) {
+        let shard = shard_of(digest, shards);
+        // Total: every digest lands on a valid shard even for the
+        // degenerate zero-shard config (clamped to one shard).
+        prop_assert!(shard < shards.max(1));
+        prop_assert_eq!(shard, (digest % shards.max(1) as u64) as usize);
+        // Pure: recomputation never migrates a design's state.
+        prop_assert_eq!(shard, shard_of(digest, shards));
+        // One shard degenerates to the unsharded server.
+        prop_assert_eq!(shard_of(digest, 1), 0);
+    }
+
+    #[test]
+    fn per_shard_cache_stats_merge_to_the_aggregate(seed in 0u64..u64::MAX, n in 1usize..9) {
+        let mut mix = Mix(seed);
+        let per_shard: Vec<CacheStats> = (0..n)
+            .map(|_| CacheStats {
+                hits: mix.below(1 << 30),
+                persisted_hits: mix.below(1 << 30),
+                misses: mix.below(1 << 30),
+                entries: mix.below(1 << 20) as usize,
+            })
+            .collect();
+        let mut merged = CacheStats::default();
+        for stats in &per_shard {
+            merged.merge(stats);
+        }
+        // The aggregate `/v1/stats` cache block is exactly the field-wise
+        // sum of the shard blocks — nothing dropped, nothing counted twice.
+        prop_assert_eq!(merged.hits, per_shard.iter().map(|s| s.hits).sum::<u64>());
+        prop_assert_eq!(
+            merged.persisted_hits,
+            per_shard.iter().map(|s| s.persisted_hits).sum::<u64>()
+        );
+        prop_assert_eq!(merged.misses, per_shard.iter().map(|s| s.misses).sum::<u64>());
+        prop_assert_eq!(merged.entries, per_shard.iter().map(|s| s.entries).sum::<usize>());
     }
 }

@@ -1,13 +1,16 @@
-//! End-to-end service tests: concurrent clients against a live server
-//! are answered byte-identically to a direct `EvalEngine` run, and a
-//! killed + restarted server re-serves warm work entirely from the
-//! persistent verdict store with zero prover calls.
+//! End-to-end service tests: concurrent clients against a live sharded
+//! server are answered byte-identically to a direct `EvalEngine` run
+//! (and identically across shard counts), a killed + restarted server
+//! re-serves warm work entirely from the persistent verdict store with
+//! zero prover calls, full shard queues push back with `429` +
+//! `Retry-After`, and long-polls stream per-case progress.
 
 use fveval_core::{CaseEvals, EvalEngine};
 use fveval_llm::{Backend, InferenceConfig};
-use fveval_serve::testutil::TempDir;
+use fveval_serve::testutil::{run_load, LoadConfig, TempDir};
 use fveval_serve::{
-    build_tasks, resolve_backends, Client, EvalRequest, Server, ServerConfig, TaskSetRef,
+    build_tasks, resolve_backends, Client, EvalRequest, Server, ServerConfig, SubmitOutcome,
+    TaskSetRef,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -15,10 +18,18 @@ use std::time::Duration;
 const WAIT: Duration = Duration::from_secs(120);
 
 fn start(cache_dir: Option<PathBuf>) -> (Client, std::thread::JoinHandle<Result<(), String>>) {
+    start_sharded(2, 16, cache_dir)
+}
+
+fn start_sharded(
+    shards: usize,
+    queue_depth: usize,
+    cache_dir: Option<PathBuf>,
+) -> (Client, std::thread::JoinHandle<Result<(), String>>) {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: 2,
-        max_jobs: 16,
+        shards,
+        queue_depth,
         engine_jobs: 2,
         cache_dir,
         ..ServerConfig::default()
@@ -234,8 +245,8 @@ fn retention_bound_is_configurable_and_rejects_zero() {
     // first result (404) while the newest stays addressable.
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
-        workers: 1,
-        max_jobs: 16,
+        shards: 1,
+        queue_depth: 16,
         engine_jobs: 1,
         cache_dir: None,
         retain_finished: 1,
@@ -260,4 +271,185 @@ fn retention_bound_is_configurable_and_rejects_zero() {
     assert!(client.job(second).expect("retained").result.is_some());
     client.shutdown().expect("shutdown");
     handle.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn full_shard_queue_answers_429_and_recovers_after_drain() {
+    // One shard, bound 1: the first job occupies the only slot, so the
+    // second submit must bounce with a retry hint — deterministically.
+    let (client, server) = start_sharded(1, 1, None);
+    let first = match client.try_submit(&suite_request()).expect("first submit") {
+        SubmitOutcome::Accepted { job, shard } => {
+            assert_eq!(shard, Some(0), "one shard routes everything to 0");
+            job
+        }
+        SubmitOutcome::Busy { .. } => panic!("an empty shard accepted nothing"),
+    };
+    let small = EvalRequest {
+        tasks: TaskSetRef::Machine { count: 2, seed: 3 },
+        models: vec!["gpt-4o".to_string()],
+        cfg: InferenceConfig::greedy(),
+        samples: 1,
+    };
+    match client.try_submit(&small).expect("second submit") {
+        SubmitOutcome::Busy { retry_after_ms } => {
+            assert!(
+                retry_after_ms >= 50,
+                "hint honors its floor: {retry_after_ms}"
+            )
+        }
+        SubmitOutcome::Accepted { .. } => panic!("a full shard queue accepted a job"),
+    }
+    // A plain submit surfaces the same rejection as an HTTP 429 error.
+    let err = client.submit(&small).unwrap_err();
+    assert!(err.contains("429"), "{err}");
+    // Once the occupying job drains, the retried submit is accepted.
+    client.wait(first, WAIT).expect("first job completes");
+    let id = client
+        .submit_retrying(&small, WAIT)
+        .expect("accepted after drain");
+    client.wait(id, WAIT).expect("second job completes");
+    let stats = client.stats().expect("stats");
+    let rejected = stats
+        .get("jobs")
+        .and_then(|j| j.get("rejected"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert!(rejected >= 2, "both bounces are counted: {rejected}");
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn long_polls_stream_progress_and_finish_with_full_counts() {
+    let (client, server) = start(None);
+    let request = suite_request();
+    let id = client.submit(&request).expect("submit");
+    // Long-poll to completion, recording every progress frame. Each
+    // frame must be monotone in cases_done and bounded by cases_total.
+    let mut frames: Vec<(u64, u64)> = Vec::new();
+    let view = loop {
+        let view = client.job_wait(id, 2_000).expect("long-poll");
+        frames.push((view.cases_done, view.cases_total));
+        match view.state {
+            fveval_serve::JobState::Done => break view,
+            fveval_serve::JobState::Failed => panic!("job failed: {:?}", view.error),
+            _ => assert!(frames.len() < 10_000, "long-poll never settles"),
+        }
+    };
+    for pair in frames.windows(2) {
+        assert!(pair[0].0 <= pair[1].0, "progress is monotone: {frames:?}");
+    }
+    for &(done, total) in &frames {
+        assert!(total == 0 || done <= total, "done within total: {frames:?}");
+    }
+    let total = view.cases_total;
+    assert!(total > 0, "a finished job knows its case count");
+    assert_eq!(view.cases_done, total, "finished jobs report full progress");
+    assert!(view.shard.is_some(), "finished frames name their shard");
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("clean exit");
+}
+
+#[test]
+fn shard_counts_do_not_change_served_bytes() {
+    // The same request set against 1-shard and 4-shard servers must
+    // produce byte-identical result tables (routing is an affinity
+    // optimization, never a semantic one).
+    let templates = vec![
+        suite_request(),
+        EvalRequest {
+            tasks: TaskSetRef::Machine { count: 4, seed: 9 },
+            models: vec!["gpt-4o".to_string(), "gemini-1.5-flash".to_string()],
+            cfg: InferenceConfig::greedy(),
+            samples: 1,
+        },
+    ];
+    let mut digests = Vec::new();
+    for shards in [1usize, 4] {
+        let (client, server) = start_sharded(shards, 16, None);
+        let cfg = LoadConfig::saturating(42, 3, 2, templates.clone());
+        let report = run_load(client.addr(), &cfg).expect("load run");
+        assert_eq!(report.completed, 6, "every submitted job completed");
+        assert!(
+            report.results.iter().all(Option::is_some),
+            "the seeded schedule drew every template"
+        );
+        digests.push(report.results_digest());
+        client.shutdown().expect("shutdown");
+        server.join().unwrap().expect("clean exit");
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "shards 1 vs 4 serve identical bytes"
+    );
+}
+
+#[test]
+fn per_shard_stats_sum_to_the_aggregate_totals() {
+    let (client, server) = start_sharded(4, 16, None);
+    let templates = vec![
+        EvalRequest {
+            tasks: TaskSetRef::Machine { count: 2, seed: 1 },
+            models: vec!["gpt-4o".to_string()],
+            cfg: InferenceConfig::greedy(),
+            samples: 1,
+        },
+        EvalRequest {
+            tasks: TaskSetRef::Machine { count: 2, seed: 2 },
+            models: vec!["gpt-4o".to_string()],
+            cfg: InferenceConfig::greedy(),
+            samples: 1,
+        },
+        EvalRequest {
+            tasks: TaskSetRef::Machine { count: 3, seed: 3 },
+            models: vec!["gemini-1.5-flash".to_string()],
+            cfg: InferenceConfig::greedy(),
+            samples: 1,
+        },
+    ];
+    let cfg = LoadConfig::saturating(7, 2, 3, templates);
+    run_load(client.addr(), &cfg).expect("load run");
+    let stats = client.stats().expect("stats");
+    let shards = match stats.get("shards").unwrap() {
+        fveval_serve::json::Json::Obj(members) => members,
+        other => panic!("per-shard stats must be an object, got {}", other.encode()),
+    };
+    assert_eq!(shards.len(), 4, "one row per shard");
+    let sum = |field: &str| -> u64 {
+        shards
+            .iter()
+            .map(|(_, row)| row.get(field).and_then(|v| v.as_u64()).unwrap())
+            .sum()
+    };
+    let jobs = stats.get("jobs").unwrap();
+    let aggregate = |field: &str| jobs.get(field).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!(sum("accepted"), aggregate("submitted"));
+    assert_eq!(sum("served"), aggregate("done"));
+    assert_eq!(sum("failed"), aggregate("failed"));
+    assert_eq!(sum("rejected"), aggregate("rejected"));
+    assert_eq!(sum("depth"), aggregate("queued"));
+    assert_eq!(sum("in_flight"), aggregate("running"));
+    // The aggregate cache block is the merge of the per-shard blocks.
+    let cache_sum = |field: &str| -> u64 {
+        shards
+            .iter()
+            .map(|(_, row)| {
+                row.get("cache")
+                    .and_then(|c| c.get(field))
+                    .and_then(|v| v.as_u64())
+                    .unwrap()
+            })
+            .sum()
+    };
+    let cache = stats.get("cache").unwrap();
+    for field in ["hits", "persisted_hits", "misses", "entries"] {
+        assert_eq!(
+            cache_sum(field),
+            cache.get(field).and_then(|v| v.as_u64()).unwrap(),
+            "cache.{field} is the shard merge"
+        );
+    }
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("clean exit");
 }
