@@ -270,6 +270,84 @@ fn bench_formal_core(c: &mut Criterion) {
             }
         })
     });
+
+    // Observability overhead (fv-trace). The span sites are always
+    // compiled in (the workspace carries no feature flags), so the
+    // compile-time-off and runtime-off cost are the same quantity: the
+    // price of crossing a `span!` site whose enable flags are false —
+    // one relaxed atomic load. Three arms bound it:
+    //   trace_overhead/span_site_disabled  1000 disabled sites/iter
+    //   trace_overhead/span_site_baseline  the same loop, no site
+    //   trace_overhead/prove_fsm_goldens_timing_on
+    //       the suite above with timing histograms recording
+    // and the derivation below multiplies the measured per-site cost
+    // by the sites a real prove pass crosses, asserting the disabled
+    // overhead stays under 1% of the pass.
+    g.bench_function("trace_overhead/span_site_disabled", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                let _g = fv_trace::span!("bench.site");
+                black_box(i);
+            }
+        })
+    });
+    g.bench_function("trace_overhead/span_site_baseline", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                black_box(i);
+            }
+        })
+    });
+    g.bench_function("trace_overhead/prove_fsm_goldens_timing_on", |b| {
+        fv_trace::set_timing_enabled(true);
+        b.iter(|| {
+            for (netlist, assertions, consts) in &proven_suite {
+                for a in assertions {
+                    let _ = black_box(prove(netlist, a, consts, ProveConfig::default()));
+                }
+            }
+        });
+        fv_trace::set_timing_enabled(false);
+    });
+
+    // Derived bound: disabled per-site nanoseconds × sites per pass,
+    // as a fraction of the pass itself.
+    let one_pass = || {
+        for (netlist, assertions, consts) in &proven_suite {
+            for a in assertions {
+                let _ = black_box(prove(netlist, a, consts, ProveConfig::default()));
+            }
+        }
+    };
+    const SITES: u64 = 2_000_000;
+    let t0 = std::time::Instant::now();
+    for i in 0..SITES {
+        let _g = fv_trace::span!("bench.site");
+        black_box(i);
+    }
+    let with_site = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    for i in 0..SITES {
+        black_box(i);
+    }
+    let per_site_ns = with_site.saturating_sub(t0.elapsed()).as_nanos() as f64 / SITES as f64;
+    fv_trace::set_spans_enabled(true);
+    let _ = fv_trace::take_spans();
+    one_pass();
+    let sites_per_pass = fv_trace::take_spans().len();
+    fv_trace::set_spans_enabled(false);
+    let t0 = std::time::Instant::now();
+    one_pass();
+    let pass_ns = t0.elapsed().as_nanos() as f64;
+    let overhead_pct = 100.0 * per_site_ns * sites_per_pass as f64 / pass_ns;
+    println!(
+        "formal_core/trace_overhead: {per_site_ns:.2} ns/site disabled × \
+         {sites_per_pass} sites = {overhead_pct:.4}% of a prove_fsm_goldens pass"
+    );
+    assert!(
+        overhead_pct <= 1.0,
+        "disabled tracing must cost <=1% of prove_fsm_goldens, got {overhead_pct:.4}%"
+    );
     g.finish();
 }
 

@@ -227,6 +227,7 @@ impl<'a> EquivSession<'a> {
         table: &'a SignalTable,
         cfg: EquivConfig,
     ) -> EquivSession<'a> {
+        let _span = fv_trace::span!("equiv.open");
         let mut seed = 0x5EED_0F0E_D1FF_u64;
         let sims = (0..SIM_ROUNDS)
             .map(|_| (BitSim::new(), splitmix64(&mut seed)))
@@ -269,6 +270,7 @@ impl<'a> EquivSession<'a> {
     /// [`EncodeError`] as for [`check_equivalence`]; the session stays
     /// usable for further candidates.
     pub fn check(&mut self, candidate: &Assertion) -> Result<EquivOutcome, EncodeError> {
+        let _span = fv_trace::span!("equiv.check");
         let before = self.stats;
         // The open is charged to the first check so that summing
         // per-check deltas reproduces the cumulative counters.

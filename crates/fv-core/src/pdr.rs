@@ -162,7 +162,14 @@ pub(crate) fn run_pdr(
         });
     }
     let mut engine = Pdr::build(netlist, assertion, consts, cfg, cancel)?;
+    let mut span = fv_trace::span!("pdr.run");
     let result = engine.run();
+    if span.is_active() {
+        span.attr("frames", engine.act.len().saturating_sub(1));
+        span.attr("clauses", engine.clauses_learned);
+        span.attr("interrupted", engine.interrupted);
+    }
+    drop(span);
     stats.sat_calls += engine.sat_calls;
     stats.solver_reuse_hits += engine.sat_calls.saturating_sub(1);
     stats.pdr_frames += engine.act.len().saturating_sub(1) as u64;
@@ -482,6 +489,7 @@ impl<'n, 'c> Pdr<'n, 'c> {
     /// Opens the next frame level: a fresh selector and an empty cube
     /// list.
     fn open_level(&mut self) {
+        let _span = fv_trace::span!("pdr.frame_push", level = self.act.len());
         let sel = self.solver.new_selector();
         self.act.push(sel);
         self.frames.push(Vec::new());

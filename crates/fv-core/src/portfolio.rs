@@ -56,6 +56,7 @@ pub(crate) fn race(
     assertion: &Assertion,
     horizon: u32,
 ) -> Result<ProveResult, EncodeError> {
+    let mut span = fv_trace::span!("portfolio.race");
     let cancel = Arc::new(AtomicBool::new(false));
     let winner = Arc::new(AtomicU8::new(OPEN));
     let netlist = session.netlist;
@@ -111,6 +112,16 @@ pub(crate) fn race(
 
     let (pdr_out, pdr_stats) = pdr;
     session.stats.merge(&pdr_stats);
+    if span.is_active() {
+        span.attr(
+            "winner",
+            match winner.load(Ordering::SeqCst) {
+                PDR => "pdr",
+                BASE => "bounded",
+                _ => "fallback",
+            },
+        );
+    }
     match winner.load(Ordering::SeqCst) {
         PDR => {
             // PDR proved it and interrupted the bounded schedule (whose

@@ -304,6 +304,7 @@ impl<'n> ProofSession<'n> {
         consts: &[(String, u32, u128)],
         cfg: ProveConfig,
     ) -> Result<ProofSession<'n>, EncodeError> {
+        let _span = fv_trace::span!("session.open", atoms = netlist.atoms.len());
         let expander = FrameExpander::new(netlist)
             .map_err(|n| EncodeError::Unsupported(format!("combinational cycle through '{n}'")))?;
         let mut env = DesignTraceEnv::new(expander).with_free_initial_state();
@@ -360,12 +361,24 @@ impl<'n> ProofSession<'n> {
         &mut self,
         assertion: &Assertion,
     ) -> Result<(ProveResult, ProverStats), EncodeError> {
+        let mut span = fv_trace::span!("prove.check");
+        if span.is_active() {
+            span.attr(
+                "engine",
+                match self.cfg.engine {
+                    ProveEngine::Bounded => "bounded",
+                    ProveEngine::Pdr => "pdr",
+                    ProveEngine::Portfolio => "portfolio",
+                },
+            );
+        }
         let before = self.stats;
         // The open is charged to the first check so that summing
         // per-check deltas reproduces the cumulative counters.
         self.stats.sessions_opened = 1;
         self.stats.session_checks += 1;
         if assertion.body.has_unbounded() {
+            span.attr("result", "undetermined");
             return Ok((ProveResult::Undetermined, self.stats.delta_since(&before)));
         }
         let horizon = horizon_for(assertion, None, self.cfg.slack);
@@ -374,7 +387,19 @@ impl<'n> ProofSession<'n> {
             ProveEngine::Pdr => self.check_pdr(assertion),
             ProveEngine::Portfolio => crate::portfolio::race(self, assertion, horizon),
         };
-        Ok((outcome?, self.stats.delta_since(&before)))
+        let outcome = outcome?;
+        if span.is_active() {
+            span.attr(
+                "result",
+                match &outcome {
+                    ProveResult::Proven { .. } => "proven",
+                    ProveResult::Falsified { .. } => "falsified",
+                    ProveResult::Undetermined => "undetermined",
+                },
+            );
+            span.attr("sat_calls", self.stats.sat_calls - before.sat_calls);
+        }
+        Ok((outcome, self.stats.delta_since(&before)))
     }
 
     /// The bounded BMC + k-induction check on the shared unrolling,
@@ -699,6 +724,7 @@ pub fn replay_design_cex(
     cfg: ProveConfig,
     cex: &DesignCex,
 ) -> Result<bool, EncodeError> {
+    let _span = fv_trace::span!("cex.replay", anchor = cex.anchor);
     let horizon = horizon_for(assertion, None, cfg.slack);
     let total = cex.anchor + horizon;
     let mut sim = Simulator::new(netlist).map_err(|e| EncodeError::Unsupported(e.to_string()))?;

@@ -327,6 +327,24 @@ impl Solver {
     /// per-call conflict budget runs out; see [`Solver::set_interrupt`]
     /// and [`Solver::set_conflict_budget`].
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let mut span = fv_trace::span!("sat.solve");
+        if span.is_active() {
+            span.attr("vars", self.num_vars());
+            span.attr("assumptions", assumptions.len());
+        }
+        let result = self.solve_with_inner(assumptions);
+        span.attr(
+            "result",
+            match result {
+                SolveResult::Sat => "sat",
+                SolveResult::Unsat => "unsat",
+                SolveResult::Interrupted => "interrupted",
+            },
+        );
+        result
+    }
+
+    fn solve_with_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         if self.unsat_at_root {
             return SolveResult::Unsat;
         }

@@ -1,0 +1,115 @@
+//! Chrome-trace (`about://tracing` / Perfetto) export of collected
+//! spans.
+//!
+//! Spans render as complete events (`"ph":"X"`) with microsecond
+//! timestamps. Nesting is implicit from timing on each `tid`, as the
+//! Chrome format expects; the explicit `span_id`/`parent` pair is
+//! also carried in `args` so tools (and the CI smoke test) can
+//! reconstruct the tree without timestamp heuristics.
+
+use crate::span::{AttrValue, SpanRecord};
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn attr_json(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::I64(v) => v.to_string(),
+        AttrValue::Bool(v) => v.to_string(),
+        AttrValue::Str(v) => format!("\"{}\"", escape_json(v)),
+    }
+}
+
+/// Renders spans as one Chrome-trace JSON document (object form, with
+/// a `traceEvents` array). The output is valid JSON; load it in
+/// `about://tracing` or `ui.perfetto.dev`.
+pub fn render(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"fveval\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"span_id\":{}",
+            escape_json(span.name),
+            span.start_us,
+            span.dur_us,
+            span.tid,
+            span.id,
+        ));
+        if let Some(parent) = span.parent {
+            out.push_str(&format!(",\"parent\":{parent}"));
+        }
+        for (key, value) in &span.attrs {
+            out.push_str(&format!(",\"{}\":{}", escape_json(key), attr_json(value)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_timing_parents_and_attrs() {
+        let spans = vec![
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "sat.solve",
+                tid: 3,
+                start_us: 10,
+                dur_us: 5,
+                attrs: vec![
+                    ("vars", AttrValue::U64(42)),
+                    ("kind", AttrValue::Str("q\"x".into())),
+                ],
+            },
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "prove.check",
+                tid: 3,
+                start_us: 8,
+                dur_us: 20,
+                attrs: vec![],
+            },
+        ];
+        let out = render(&spans);
+        assert!(out.contains("\"name\":\"sat.solve\""));
+        assert!(out.contains("\"ts\":10,\"dur\":5"));
+        assert!(out.contains("\"span_id\":2,\"parent\":1"));
+        assert!(out.contains("\"vars\":42"));
+        assert!(out.contains("\"kind\":\"q\\\"x\""));
+        // The root span has no parent key.
+        assert!(out.contains("\"args\":{\"span_id\":1}"));
+        assert!(out.starts_with("{\"displayTimeUnit\""));
+        assert!(out.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        assert_eq!(
+            render(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n"
+        );
+    }
+}

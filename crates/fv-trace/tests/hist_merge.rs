@@ -1,0 +1,114 @@
+//! Property tests for histogram shard merge semantics.
+//!
+//! The metrics registry accumulates latency observations in
+//! per-thread shards and merges them on drain. Correctness of every
+//! exported total rests on merge being associative and commutative,
+//! and on bucket counts conserving the observation count — no matter
+//! how observations were split across `(jobs, shards)`.
+
+use fv_trace::metrics::{bucket_of, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+/// Builds one histogram from a slice of observations.
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Deterministically partitions observations across `parts` shards
+/// (round-robin offset by `salt`, mimicking work distribution across
+/// worker threads).
+fn partition(values: &[u64], parts: usize, salt: usize) -> Vec<Vec<u64>> {
+    let mut shards = vec![Vec::new(); parts.max(1)];
+    for (i, &v) in values.iter().enumerate() {
+        shards[(i + salt) % parts.max(1)].push(v);
+    }
+    shards
+}
+
+/// Observation values spanning every interesting bucket: zero, small,
+/// bucket-boundary, and huge.
+fn obs() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..16,
+        (0u32..64).prop_map(|b| 1u64 << b),
+        (0u32..63).prop_map(|b| (1u64 << b) + 1),
+        0u64..=u64::MAX,
+    ]
+}
+
+fn obs_vec() -> impl Strategy<Value = Vec<u64>> {
+    (0usize..200, obs(), obs(), obs()).prop_map(|(n, a, b, c)| {
+        // Cycle three independently-drawn values to length n: cheap
+        // variable-length vectors without a dedicated vec strategy.
+        [a, b, c].iter().copied().cycle().take(n).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Splitting observations across any (jobs, shards) grid and
+    /// merging in any grouping reproduces the single-histogram truth.
+    #[test]
+    fn sharded_merge_matches_direct_recording(
+        values in obs_vec(),
+        jobs in 1usize..6,
+        shards in 1usize..5,
+        salt in 0usize..8,
+    ) {
+        let direct = hist_of(&values);
+
+        // jobs × shards two-level split, merged bottom-up.
+        let mut two_level = Histogram::default();
+        for (j, per_job) in partition(&values, jobs, salt).iter().enumerate() {
+            let mut job_hist = Histogram::default();
+            for shard in partition(per_job, shards, j) {
+                job_hist.merge(&hist_of(&shard));
+            }
+            two_level.merge(&job_hist);
+        }
+        prop_assert_eq!(&two_level, &direct);
+
+        // Same shards merged flat, in reverse order (commutativity +
+        // associativity across groupings).
+        let mut flat = Histogram::default();
+        let mut all_shards = Vec::new();
+        for (j, per_job) in partition(&values, jobs, salt).iter().enumerate() {
+            all_shards.extend(partition(per_job, shards, j));
+        }
+        for shard in all_shards.iter().rev() {
+            flat.merge(&hist_of(shard));
+        }
+        prop_assert_eq!(&flat, &direct);
+    }
+
+    /// Bucket counts always sum to the observation count, and every
+    /// observation lands in the bucket whose bounds contain it.
+    #[test]
+    fn bucket_counts_conserve_observations(values in obs_vec()) {
+        let hist = hist_of(&values);
+        prop_assert_eq!(hist.count, values.len() as u64);
+        prop_assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+        let mut expected = [0u64; BUCKETS];
+        for &v in &values {
+            expected[bucket_of(v)] += 1;
+        }
+        prop_assert_eq!(hist.buckets, expected);
+    }
+
+    /// merge() commutes pairwise for arbitrary histogram pairs.
+    #[test]
+    fn merge_commutes(a in obs_vec(), b in obs_vec()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -35,6 +35,27 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// How many timed checks the engine retains for the slow-check
+/// report (the top N by wall time).
+const SLOW_CHECKS_CAP: usize = 32;
+
+/// One timed prover check (a scored cache-miss sample), retained for
+/// the `results/slow_checks.md` side-channel report. Wall time is
+/// nondeterministic, so these records never feed a byte-compared
+/// table.
+#[derive(Debug, Clone)]
+pub struct SlowCheck {
+    /// Case id the sample was scored against.
+    pub id: String,
+    /// Task shape: `nl2sva-human`, `nl2sva-machine`, or `design2sva`.
+    pub kind: &'static str,
+    /// OP-Tree mutation operator tag when the case is a derived
+    /// mutant (PR 7's mutation layer); `None` otherwise.
+    pub mutation: Option<String>,
+    /// Scoring wall time in microseconds (parse + formal check).
+    pub micros: u64,
+}
+
 /// Verdict-cache counters (monotonic over the engine's lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -252,6 +273,9 @@ pub struct EvalEngine {
     /// this is nowhere near the hot path). Cache hits skip scoring, so
     /// only formal work actually performed is counted.
     prover: Mutex<ProverStats>,
+    /// The slowest scored checks seen so far (bounded, sorted by wall
+    /// time descending). Purely observational — see [`SlowCheck`].
+    slow: Mutex<Vec<SlowCheck>>,
 }
 
 impl Default for EvalEngine {
@@ -280,6 +304,7 @@ impl EvalEngine {
             verdicts: VerdictCache::default(),
             compiled: Mutex::new(HashMap::new()),
             prover: Mutex::new(ProverStats::default()),
+            slow: Mutex::new(Vec::new()),
         }
     }
 
@@ -344,6 +369,37 @@ impl EvalEngine {
             .lock()
             .expect("prover counters poisoned")
             .merge(stats);
+    }
+
+    /// The slowest scored checks so far (wall time descending, at most
+    /// 32 entries). Cache hits skip scoring and never
+    /// appear. Timing is nondeterministic: this feeds the
+    /// `slow_checks.md` side-channel report only, never a
+    /// byte-compared table.
+    pub fn slow_checks(&self) -> Vec<SlowCheck> {
+        self.slow.lock().expect("slow-check list poisoned").clone()
+    }
+
+    /// Records one scored sample's wall time into the bounded
+    /// slowest-checks list.
+    fn note_check_time(&self, task: &TaskSpec, micros: u64) {
+        let mut slow = self.slow.lock().expect("slow-check list poisoned");
+        if slow.len() >= SLOW_CHECKS_CAP && slow.last().is_some_and(|l| l.micros >= micros) {
+            return;
+        }
+        let (kind, mutation) = match task {
+            TaskSpec::Nl2svaHuman { case, .. } => ("nl2sva-human", case.mutation.clone()),
+            TaskSpec::Nl2svaMachine { case, .. } => ("nl2sva-machine", case.mutation.clone()),
+            TaskSpec::Design2sva { .. } => ("design2sva", None),
+        };
+        slow.push(SlowCheck {
+            id: task.id().to_string(),
+            kind,
+            mutation,
+            micros,
+        });
+        slow.sort_by(|a, b| b.micros.cmp(&a.micros).then_with(|| a.id.cmp(&b.id)));
+        slow.truncate(SLOW_CHECKS_CAP);
     }
 
     /// Runs one backend over a task list with `n_samples` responses per
@@ -485,6 +541,12 @@ impl EvalEngine {
         cfg: &InferenceConfig,
         n_samples: u32,
     ) -> Vec<CaseEvals> {
+        let _span = fv_trace::span!(
+            "engine.case",
+            task = task.id(),
+            backends = backends.len(),
+            samples = n_samples
+        );
         let fingerprint = cfg.fingerprint();
         let digest = task.content_digest();
         let key = |backend: &dyn Backend, sample_idx: u32| -> VerdictKey {
@@ -582,7 +644,9 @@ impl EvalEngine {
             };
             for (backend, unit) in backends.iter().zip(&mut prepared) {
                 for (sample_idx, response) in &unit.missing {
+                    let started = std::time::Instant::now();
                     let eval = self.score_in_group(response, &mut scorer);
+                    self.note_check_time(task, started.elapsed().as_micros() as u64);
                     self.verdicts.insert(key(*backend, *sample_idx), eval);
                     unit.samples[*sample_idx as usize] = Some(eval);
                 }
@@ -604,6 +668,7 @@ impl EvalEngine {
     /// Scores one response through the group's shared session and
     /// merges the formal-work delta into the engine counters.
     fn score_in_group(&self, response: &str, scorer: &mut GroupScorer<'_>) -> SampleEval {
+        let _span = fv_trace::span!("engine.score");
         let (eval, stats) = match scorer {
             GroupScorer::Design(session) => self.d2s.evaluate_in_session(session, response),
             GroupScorer::Nl(session, reference_text) => {
@@ -662,7 +727,9 @@ impl EvalEngine {
         // Compile outside the lock: elaboration is the expensive part.
         // A racing worker may duplicate the work, but both produce the
         // same value and the first insert wins.
+        let span = fv_trace::span!("engine.compile", design = case.id.as_str());
         let bound = Arc::new(compile_design(case));
+        drop(span);
         Arc::clone(
             self.compiled
                 .lock()

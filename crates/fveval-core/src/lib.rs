@@ -31,7 +31,7 @@ pub use bleu::bleu;
 pub use design2sva::{compile_design, CompiledDesign, Design2svaRunner, DesignSession};
 pub use engine::{
     design_task_specs, generated_task_specs, human_task_specs, machine_task_specs, CacheStats,
-    EvalEngine, VerdictRecord,
+    EvalEngine, SlowCheck, VerdictRecord,
 };
 pub use fv_core::ProverStats;
 pub use metrics::{CaseEvals, MetricSummary, SampleEval};

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fveval <command> [--full] [--seed N] [--jobs N] [--out DIR]
-//!                  [--cache-dir DIR] [--no-persist]
+//!                  [--cache-dir DIR] [--no-persist] [--trace-out FILE]
 //!                  [--engine bounded|pdr|portfolio] [--prove-budget-ms N]
 //! fveval gen [--family NAME]... [--count N] [--depth N] [--width N]
 //!            [--seed N] [--eval] [--out DIR]
@@ -47,6 +47,13 @@
 //!                   back, so repeated runs skip settled formal
 //!                   queries across processes.
 //!   --no-persist    disable the persistent verdict store for this run
+//!   --trace-out FILE
+//!                   record hierarchical spans for the whole run and
+//!                   write them as a Chrome-trace JSON file (open in
+//!                   chrome://tracing or Perfetto). Tracing is a side
+//!                   channel: every results/ table stays byte-identical
+//!                   with or without it. Also writes the run's slowest
+//!                   prover checks to `--out/slow_checks.md`.
 //!   --engine E      Design2SVA proving engine: bounded (BMC +
 //!                   k-induction, the default), pdr (IC3/PDR), or
 //!                   portfolio (both raced, first answer wins; verdicts
@@ -122,6 +129,7 @@ struct Args {
     no_persist: bool,
     engine: Option<fv_core::ProveEngine>,
     prove_budget_ms: Option<u64>,
+    trace_out: Option<PathBuf>,
     gen: GenArgs,
     serve: ServeArgs,
 }
@@ -208,6 +216,7 @@ fn parse_args() -> Result<Args, String> {
     let mut no_persist = false;
     let mut engine: Option<fv_core::ProveEngine> = None;
     let mut prove_budget_ms: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut gen = GenArgs::default();
     let mut serve = ServeArgs::default();
     while let Some(a) = args.next() {
@@ -247,6 +256,11 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--no-persist" => no_persist = true,
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next().ok_or("--trace-out needs a value")?,
+                ));
+            }
             "--family" => {
                 let v = args.next().ok_or("--family needs a value")?;
                 if fveval_gen::generator(&v).is_none() {
@@ -383,6 +397,13 @@ fn parse_args() -> Result<Args, String> {
             prove_budget_ms.is_some() && SERVICE_COMMANDS.contains(&cmd) && cmd != "serve",
             "--prove-budget-ms",
         ),
+        // Tracing instruments the *local* process: every evaluation
+        // command, but not the thin service clients (the server has
+        // its own `/metrics` surface).
+        (
+            trace_out.is_some() && SERVICE_COMMANDS.contains(&cmd),
+            "--trace-out",
+        ),
     ]
     .into_iter()
     .filter_map(|(is_stray, name)| is_stray.then_some(name))
@@ -403,6 +424,7 @@ fn parse_args() -> Result<Args, String> {
         no_persist,
         engine,
         prove_budget_ms,
+        trace_out,
         gen,
         serve,
     })
@@ -576,28 +598,12 @@ fn run_poll(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Prints `/v1/stats` as flat `key=value` lines (greppable from CI).
+/// Prints `/v1/stats` as flat `key=value` lines, sorted by key — the
+/// output is greppable *and* diffable from CI regardless of how the
+/// server happens to order its JSON members.
 fn run_stats(args: &Args) -> Result<(), String> {
     let stats = Client::new(addr(args)).stats()?;
-    fn flatten(prefix: &str, value: &fveval_serve::json::Json, out: &mut Vec<String>) {
-        use fveval_serve::json::Json;
-        match value {
-            Json::Obj(members) => {
-                for (key, inner) in members {
-                    let path = if prefix.is_empty() {
-                        key.clone()
-                    } else {
-                        format!("{prefix}.{key}")
-                    };
-                    flatten(&path, inner, out);
-                }
-            }
-            other => out.push(format!("{prefix}={}", other.encode())),
-        }
-    }
-    let mut lines = Vec::new();
-    flatten("", &stats, &mut lines);
-    for line in lines {
+    for line in stats.flatten_sorted() {
         println!("{line}");
     }
     Ok(())
@@ -613,8 +619,8 @@ fn usage() -> String {
     let names: Vec<&str> = COMMANDS.iter().map(|(n, _)| *n).collect();
     format!(
         "usage: fveval <{}> [--full] [--seed N] [--jobs N] [--out DIR] \
-         [--cache-dir DIR] [--no-persist] [--engine bounded|pdr|portfolio] \
-         [--prove-budget-ms N]\n\
+         [--cache-dir DIR] [--no-persist] [--trace-out FILE] \
+         [--engine bounded|pdr|portfolio] [--prove-budget-ms N]\n\
          \x20      fveval gen [--family NAME]... [--count N] [--depth N] \
          [--width N] [--seed N] [--mutations N] [--stratify] [--eval] \
          [--out DIR]\n\
@@ -769,6 +775,7 @@ fn open_store(args: &Args, engine: &EvalEngine) -> Option<VerdictStore> {
 /// fragmentation.
 fn flush_store(store: &mut VerdictStore, engine: &EvalEngine) {
     let fresh = engine.take_unpersisted();
+    let _span = fv_trace::span!("store.flush", records = fresh.len());
     if let Err(e) = store.append(&fresh) {
         eprintln!("warning: cannot flush verdict store: {e}");
         return;
@@ -788,6 +795,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.trace_out.is_some() {
+        // Spans (for the Chrome export) and timing histograms are pure
+        // side channels: enabling them must never change a byte of any
+        // results/ table — only add the trace artifact.
+        fv_trace::set_spans_enabled(true);
+        fv_trace::set_timing_enabled(true);
+    }
     if SERVICE_COMMANDS.contains(&args.command.as_str()) {
         let outcome = match args.command.as_str() {
             "serve" => run_serve(&args),
@@ -838,9 +852,15 @@ fn main() -> ExitCode {
     if let Some(store) = store.as_mut() {
         flush_store(store, &engine);
     }
+    // The trace is written even for failed runs — that is when the
+    // span tree is most useful.
+    if let Some(path) = &args.trace_out {
+        write_trace(path);
+    }
     if failed {
         return ExitCode::FAILURE;
     }
+    write_slow_checks(&args.out_dir, &engine);
     let stats = engine.cache_stats();
     if stats.hits + stats.persisted_hits + stats.misses > 0 {
         eprintln!(
@@ -895,6 +915,55 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Writes the collected span tree as a Chrome-trace JSON file (loads
+/// in `chrome://tracing` and Perfetto) — the `--trace-out` artifact.
+fn write_trace(path: &Path) {
+    let spans = fv_trace::take_spans();
+    let json = fv_trace::chrome::render(&spans);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match fveval_gen::write_atomic(path, &json) {
+        Ok(()) => eprintln!(
+            "[trace: {} spans written to {}]",
+            spans.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: cannot write trace {}: {e}", path.display()),
+    }
+}
+
+/// Writes `slow_checks.md`: the run's slowest prover-backed checks
+/// with task-kind and mutation-tag attribution. This is a timing side
+/// channel — ranks and milliseconds vary run to run, so the file is
+/// never part of the byte-compared result tables.
+fn write_slow_checks(dir: &Path, engine: &EvalEngine) {
+    let slow = engine.slow_checks();
+    if slow.is_empty() {
+        return;
+    }
+    let mut md = String::from(
+        "# Slowest prover checks (this run)\n\n\
+         Timing attribution for the scored cache-miss checks; see the\n\
+         Observability section of ARCHITECTURE.md. Not byte-stable.\n\n\
+         | Rank | Case | Task | Mutation | ms |\n\
+         |---:|---|---|---|---:|\n",
+    );
+    for (rank, check) in slow.iter().enumerate() {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1} |\n",
+            rank + 1,
+            check.id,
+            check.kind,
+            check.mutation.as_deref().unwrap_or("—"),
+            check.micros as f64 / 1000.0
+        ));
+    }
+    write_out(dir, "slow_checks", &md, None);
 }
 
 /// Renders the run's formal-core work summary: one row of counters

@@ -225,6 +225,30 @@ impl Client {
         self.expect_ok("GET", "/v1/stats", "")
     }
 
+    /// Fetches the Prometheus text exposition from `GET /metrics`
+    /// verbatim (it is not JSON, unlike every other endpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure or a non-200 answer.
+    pub fn metrics(&self) -> Result<String, String> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| format!("cannot set timeouts: {e}"))?;
+        http::write_request(&mut stream, "GET", "/metrics", "")
+            .map_err(|e| format!("request failed: {e}"))?;
+        let (status, text) =
+            http::read_response(&mut stream).map_err(|e| format!("response failed: {e}"))?;
+        if status == 200 {
+            Ok(text)
+        } else {
+            Err(format!("GET /metrics: HTTP {status}"))
+        }
+    }
+
     /// Asks the server to drain and stop.
     ///
     /// # Errors

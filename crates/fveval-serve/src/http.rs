@@ -178,9 +178,21 @@ pub fn response_bytes(
     body: &str,
     extra_headers: &[(&str, String)],
 ) -> Vec<u8> {
+    response_bytes_typed(status, reason, "application/json", body, extra_headers)
+}
+
+/// [`response_bytes`] with an explicit `Content-Type` — for the few
+/// non-JSON surfaces (the Prometheus `/metrics` text exposition).
+pub fn response_bytes_typed(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: application/json\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n",
         body.len()

@@ -99,6 +99,33 @@ impl Json {
         out
     }
 
+    /// Flattens the value into `dotted.path=value` lines, sorted
+    /// lexicographically by the full line. Non-object leaves (numbers,
+    /// strings, booleans, arrays, null) encode compactly on one line.
+    /// Used by `fveval stats`, whose output must be deterministic and
+    /// greppable regardless of how any stats block was assembled.
+    pub fn flatten_sorted(&self) -> Vec<String> {
+        fn walk(prefix: &str, value: &Json, out: &mut Vec<String>) {
+            match value {
+                Json::Obj(members) => {
+                    for (key, inner) in members {
+                        let path = if prefix.is_empty() {
+                            key.clone()
+                        } else {
+                            format!("{prefix}.{key}")
+                        };
+                        walk(&path, inner, out);
+                    }
+                }
+                other => out.push(format!("{prefix}={}", other.encode())),
+            }
+        }
+        let mut out = Vec::new();
+        walk("", self, &mut out);
+        out.sort();
+        out
+    }
+
     fn encode_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -492,6 +519,30 @@ mod tests {
         assert_eq!(v.encode(), "{\"b\":[1,{\"c\":null}],\"a\":true}");
         assert_eq!(v.get("a"), Some(&Json::Bool(true)));
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn flatten_sorted_is_deterministic_and_ordered() {
+        // Keys deliberately out of order, including a histogram-style
+        // block with array leaves — flattening must sort regardless of
+        // member insertion order.
+        let text = "{\"z\":{\"b\":2,\"a\":1},\"hist\":{\"span.solve.us\":{\"count\":3,\
+                    \"buckets\":[[1,2],[3,1]]}},\"a\":true}";
+        let v = parse(text).unwrap();
+        let lines = v.flatten_sorted();
+        assert_eq!(
+            lines,
+            vec![
+                "a=true".to_string(),
+                "hist.span.solve.us.buckets=[[1,2],[3,1]]".to_string(),
+                "hist.span.solve.us.count=3".to_string(),
+                "z.a=1".to_string(),
+                "z.b=2".to_string(),
+            ]
+        );
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "output is already sorted");
     }
 
     #[test]

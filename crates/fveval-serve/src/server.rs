@@ -248,6 +248,10 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        // The service always records span-duration histograms so
+        // `/metrics` has latency data from the first request. Timing
+        // is a side channel: results and counters are unaffected.
+        fv_trace::set_timing_enabled(true);
         let mut preloaded = 0usize;
         let (store, records) = match &config.cache_dir {
             Some(dir) => {
@@ -634,9 +638,17 @@ fn error_body(message: &str) -> String {
 }
 
 fn route(shared: &Arc<Shared>, request: &http::Request) -> Action {
+    let _span = fv_trace::span!("serve.request", path = request.path.as_str());
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/eval") => submit(shared, &request.body),
         ("GET", "/v1/stats") => respond(200, "OK", stats_json(shared).encode()),
+        ("GET", "/metrics") => Action::Respond(http::response_bytes_typed(
+            200,
+            "OK",
+            fv_trace::prometheus::CONTENT_TYPE,
+            &metrics_text(shared),
+            &[],
+        )),
         ("POST", "/v1/shutdown") => {
             shared.shutdown.store(true, Ordering::SeqCst);
             for shard in &shared.shards {
@@ -862,7 +874,140 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
         ),
         ("store", store_json),
         ("shards", Json::Obj(shard_rows)),
+        ("hist", hist_json()),
     ])
+}
+
+/// The fv-trace registry's histograms as JSON for `/v1/stats`:
+/// `name → {count, sum, buckets: [[le, n], …]}` with only nonzero
+/// buckets listed, ordered by ascending `le`. Names come from a
+/// `BTreeMap`, so the block is always sorted.
+fn hist_json() -> Json {
+    let snap = fv_trace::metrics::snapshot();
+    let rows: Vec<(String, Json)> = snap
+        .histograms
+        .iter()
+        .map(|(name, hist)| {
+            let buckets: Vec<Json> = hist
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n != 0)
+                .map(|(i, &n)| Json::Arr(vec![fv_trace::metrics::bucket_le(i).into(), n.into()]))
+                .collect();
+            (
+                name.clone(),
+                Json::obj([
+                    ("count", hist.count.into()),
+                    ("sum", hist.sum.into()),
+                    ("buckets", Json::Arr(buckets)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(rows)
+}
+
+/// Renders the Prometheus `/metrics` exposition. Prover and cache
+/// totals are computed from the *same* merged shard-engine counters as
+/// [`stats_json`], so `/metrics`, `/v1/stats`, and a direct run's
+/// `prover_stats.csv` for the same work reconcile exactly. Per-shard
+/// series carry a `shard` label; the trailing registry snapshot adds
+/// the span-duration histograms.
+fn metrics_text(shared: &Arc<Shared>) -> String {
+    let mut cache = CacheStats::default();
+    let mut prover = ProverStats::default();
+    for shard in &shared.shards {
+        cache.merge(&shard.engine.cache_stats());
+        prover.merge(&shard.engine.prover_stats());
+    }
+    let mut prom = fv_trace::prometheus::PromText::new();
+    prom.counter("prover.queries", &[], prover.queries());
+    prom.counter("prover.sat_calls", &[], prover.sat_calls);
+    prom.counter("prover.sim_kills", &[], prover.sim_kills);
+    prom.counter("prover.ternary_kills", &[], prover.ternary_kills);
+    prom.counter("prover.solver_reuse_hits", &[], prover.solver_reuse_hits);
+    prom.counter("prover.sessions_opened", &[], prover.sessions_opened);
+    prom.counter("prover.session_checks", &[], prover.session_checks);
+    prom.counter("prover.unroll_reuse_hits", &[], prover.unroll_reuse_hits);
+    prom.counter("prover.pdr_frames", &[], prover.pdr_frames);
+    prom.counter(
+        "prover.pdr_clauses_learned",
+        &[],
+        prover.pdr_clauses_learned,
+    );
+    prom.counter("prover.pdr_wins", &[], prover.pdr_wins);
+    prom.counter("prover.bounded_wins", &[], prover.bounded_wins);
+    prom.counter(
+        "prover.engine_cancellations",
+        &[],
+        prover.engine_cancellations,
+    );
+    prom.counter("cache.hits", &[], cache.hits);
+    prom.counter("cache.persisted_hits", &[], cache.persisted_hits);
+    prom.counter("cache.misses", &[], cache.misses);
+    prom.gauge("cache.entries", &[], cache.entries as i64);
+    let (queued, running): (usize, usize) = shared
+        .shards
+        .iter()
+        .fold((0, 0), |(q, r), s| (q + s.depth(), r + s.in_flight()));
+    prom.counter(
+        "jobs.submitted",
+        &[],
+        shared.shards.iter().map(Shard::accepted).sum::<u64>(),
+    );
+    prom.counter("jobs.done", &[], shared.jobs_done.load(Ordering::Relaxed));
+    prom.counter(
+        "jobs.failed",
+        &[],
+        shared.jobs_failed.load(Ordering::Relaxed),
+    );
+    prom.counter(
+        "jobs.rejected",
+        &[],
+        shared.shards.iter().map(Shard::rejected).sum::<u64>(),
+    );
+    prom.gauge("jobs.queued", &[], queued as i64);
+    prom.gauge("jobs.running", &[], running as i64);
+    prom.gauge(
+        "uptime.seconds",
+        &[],
+        shared.started.elapsed().as_secs() as i64,
+    );
+    if let Some(store) = shared.store.lock().expect("store poisoned").as_ref() {
+        prom.gauge("store.entries", &[], store.len() as i64);
+        prom.gauge("store.segments", &[], store.segment_count() as i64);
+        prom.counter(
+            "store.compactions",
+            &[],
+            shared.compactions.load(Ordering::Relaxed),
+        );
+    }
+    for shard in &shared.shards {
+        let label = shard.index.to_string();
+        let labels: [(&str, &str); 1] = [("shard", label.as_str())];
+        let shard_prover = shard.engine.prover_stats();
+        let shard_cache = shard.engine.cache_stats();
+        prom.counter("shard.accepted", &labels, shard.accepted());
+        prom.counter("shard.served", &labels, shard.served());
+        prom.counter("shard.failed", &labels, shard.failed());
+        prom.counter("shard.rejected", &labels, shard.rejected());
+        prom.gauge("shard.depth", &labels, shard.depth() as i64);
+        prom.gauge("shard.in_flight", &labels, shard.in_flight() as i64);
+        prom.counter("shard.prover_queries", &labels, shard_prover.queries());
+        prom.counter("shard.prover_sat_calls", &labels, shard_prover.sat_calls);
+        prom.counter(
+            "shard.cache_hits",
+            &labels,
+            shard_cache.hits + shard_cache.persisted_hits,
+        );
+        prom.counter("shard.cache_misses", &labels, shard_cache.misses);
+    }
+    // Everything the fv-trace registry collected: span-duration
+    // histograms (serve.job, store.flush, prove.check, sat.solve, …)
+    // and any trace-layer counters.
+    prom.snapshot(&fv_trace::metrics::snapshot());
+    prom.finish()
 }
 
 /// One shard's worker: pops queued job ids, evaluates them on the
@@ -885,13 +1030,18 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 job.request.clone()
             })
         };
-        let outcome = match request {
-            Some(request) => run_job(shared, shard, id, &request),
-            // Evicted before it ran (tiny retain bound): nothing to do.
-            None => Err("job evicted before it ran".to_string()),
+        let outcome = {
+            let _span = fv_trace::span!("serve.job", shard = index, job = id);
+            match request {
+                Some(request) => run_job(shared, shard, id, &request),
+                // Evicted before it ran (tiny retain bound): nothing to do.
+                None => Err("job evicted before it ran".to_string()),
+            }
         };
         let fresh = shard.engine.take_unpersisted();
         if let Some(store) = shared.store.lock().expect("store poisoned").as_mut() {
+            let _span = fv_trace::span!("store.flush", shard = index, records = fresh.len());
+            fv_trace::metrics::counter_add("serve.flushes", 1);
             if let Err(e) = store.append(&fresh) {
                 eprintln!("[serve] store flush failed: {e}");
             }

@@ -453,3 +453,97 @@ fn per_shard_stats_sum_to_the_aggregate_totals() {
     client.shutdown().expect("shutdown");
     server.join().unwrap().expect("clean exit");
 }
+
+/// The value of an unlabeled series in a Prometheus text exposition.
+fn prom_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter_map(|line| {
+            let (series, value) = line.split_once(' ')?;
+            (series == name).then(|| value.trim().parse::<u64>().expect("integer sample"))
+        })
+        .next()
+        .unwrap_or_else(|| panic!("metric {name} missing from exposition"))
+}
+
+/// Sums every sample of a labeled series family (e.g. the per-shard
+/// `fveval_shard_prover_sat_calls{shard="0"} 12` rows).
+fn prom_labeled_sum(text: &str, family: &str) -> u64 {
+    text.lines()
+        .filter_map(|line| {
+            let (series, value) = line.split_once(' ')?;
+            let base = series.split_once('{')?.0;
+            (base == family).then(|| value.trim().parse::<u64>().expect("integer sample"))
+        })
+        .sum()
+}
+
+#[test]
+fn metrics_exposition_reconciles_with_stats_json() {
+    let (client, server) = start_sharded(2, 16, None);
+    let id = client.submit(&suite_request()).expect("submit");
+    client.wait(id, WAIT).expect("job finishes");
+    let stats = client.stats().expect("stats");
+    let text = client.metrics().expect("metrics exposition");
+
+    // Every prover counter in /metrics equals the /v1/stats value —
+    // both are rendered from the same merged shard-engine stats, so
+    // this must be exact, not approximate.
+    let prover = stats.get("prover").expect("prover block");
+    for (json_field, series) in [
+        ("queries", "fveval_prover_queries_total"),
+        ("sat_calls", "fveval_prover_sat_calls_total"),
+        ("sim_kills", "fveval_prover_sim_kills_total"),
+        ("ternary_kills", "fveval_prover_ternary_kills_total"),
+        ("sessions_opened", "fveval_prover_sessions_opened_total"),
+        ("session_checks", "fveval_prover_session_checks_total"),
+        ("pdr_frames", "fveval_prover_pdr_frames_total"),
+    ] {
+        let expected = prover.get(json_field).and_then(|v| v.as_u64()).unwrap();
+        assert_eq!(
+            prom_value(&text, series),
+            expected,
+            "{series} reconciles with stats.prover.{json_field}"
+        );
+    }
+    assert!(
+        prom_value(&text, "fveval_prover_sat_calls_total") > 0,
+        "the suite run performed SAT work"
+    );
+
+    // Per-shard labeled series sum to the aggregate.
+    assert_eq!(
+        prom_labeled_sum(&text, "fveval_shard_prover_sat_calls_total"),
+        prom_value(&text, "fveval_prover_sat_calls_total"),
+        "shard-labeled sat calls sum to the total"
+    );
+    let done = stats
+        .get("jobs")
+        .and_then(|j| j.get("done"))
+        .and_then(|v| v.as_u64())
+        .unwrap();
+    assert_eq!(prom_value(&text, "fveval_jobs_done_total"), done);
+
+    // Exposition hygiene: one TYPE line per family, and the serve
+    // worker's span histogram shows up once timing is enabled at bind.
+    assert_eq!(
+        text.matches("# TYPE fveval_prover_sat_calls_total counter")
+            .count(),
+        1
+    );
+    assert!(
+        text.contains("# TYPE fveval_span_serve_job_us histogram"),
+        "serve.job span durations are exported as a histogram"
+    );
+    assert!(
+        prom_value(&text, "fveval_span_serve_job_us_count") >= 1,
+        "at least one serve.job observation"
+    );
+
+    // The same registry surfaces through /v1/stats as a sorted block.
+    let hist = stats.get("hist").expect("hist block");
+    let job_hist = hist.get("span.serve.job.us").expect("serve.job histogram");
+    assert!(job_hist.get("count").and_then(|v| v.as_u64()).unwrap() >= 1);
+
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("clean exit");
+}

@@ -828,6 +828,7 @@ pub fn elaborate_design(
     top: &str,
     extras: &[ModuleItem],
 ) -> Result<ElaboratedDesign> {
+    let _span = fv_trace::span!("elaborate", top = top, extras = extras.len());
     let module = file
         .module(top)
         .ok_or_else(|| ElabError::new(format!("unknown top module '{top}'")))?;
@@ -882,6 +883,7 @@ impl ElaboratedDesign {
         if extras.is_empty() {
             return Ok(self.base.clone());
         }
+        let _span = fv_trace::span!("bind_extras", extras = extras.len());
         // Resume flattening where the base elaboration stopped: same
         // scope, same clock/reset detection state, fresh item list.
         let mut fl = Flattener {
