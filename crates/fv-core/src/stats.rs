@@ -68,6 +68,10 @@ pub struct ProverStats {
     /// Engines cancelled mid-run because the other side of a portfolio
     /// race answered first (or a budget expired).
     pub engine_cancellations: u64,
+    /// Compiled designs served from a content-digest cache instead of
+    /// being re-elaborated (the compile-once half of compile-once /
+    /// score-many observed across identical design sources).
+    pub digest_reuse: u64,
 }
 
 impl ProverStats {
@@ -90,6 +94,7 @@ impl ProverStats {
         self.pdr_wins += other.pdr_wins;
         self.bounded_wins += other.bounded_wins;
         self.engine_cancellations += other.engine_cancellations;
+        self.digest_reuse += other.digest_reuse;
     }
 
     /// The counter delta `self - earlier`, where `earlier` is a prior
@@ -118,6 +123,7 @@ impl ProverStats {
             pdr_wins: sub(self.pdr_wins, earlier.pdr_wins),
             bounded_wins: sub(self.bounded_wins, earlier.bounded_wins),
             engine_cancellations: sub(self.engine_cancellations, earlier.engine_cancellations),
+            digest_reuse: sub(self.digest_reuse, earlier.digest_reuse),
         }
     }
 }
@@ -157,6 +163,7 @@ mod tests {
             pdr_wins: 1,
             bounded_wins: 3,
             engine_cancellations: 1,
+            digest_reuse: 2,
         };
         assert_eq!(a.sat_calls, 11);
         assert_eq!(a.sim_kills, 22);
@@ -170,6 +177,7 @@ mod tests {
         assert_eq!(a.pdr_wins, 1);
         assert_eq!(a.bounded_wins, 3);
         assert_eq!(a.engine_cancellations, 1);
+        assert_eq!(a.digest_reuse, 2);
         assert_eq!(a.queries(), 66, "session counters are not queries");
     }
 
@@ -192,6 +200,7 @@ mod tests {
             unroll_reuse_hits: 6,
             pdr_frames: 3,
             pdr_wins: 1,
+            digest_reuse: 4,
             ..ProverStats::default()
         };
         let delta = later.delta_since(&earlier);
@@ -201,5 +210,6 @@ mod tests {
         assert_eq!(delta.unroll_reuse_hits, 6);
         assert_eq!(delta.pdr_frames, 3);
         assert_eq!(delta.pdr_wins, 1);
+        assert_eq!(delta.digest_reuse, 4);
     }
 }

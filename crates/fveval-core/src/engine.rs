@@ -716,13 +716,20 @@ impl EvalEngine {
     /// same-id cases with different RTL never share a compile.
     fn compiled_design(&self, case: &DesignCase, digest: u64) -> SharedCompiled {
         let key = (case.id.clone(), digest);
-        if let Some(bound) = self
+        let cached = self
             .compiled
             .lock()
             .expect("compiled-design cache poisoned")
             .get(&key)
-        {
-            return Arc::clone(bound);
+            .map(Arc::clone);
+        if let Some(bound) = cached {
+            // Compile-once observed: the digest-keyed cache served this
+            // design without re-elaborating.
+            self.prover
+                .lock()
+                .expect("prover counters poisoned")
+                .digest_reuse += 1;
+            return bound;
         }
         // Compile outside the lock: elaboration is the expensive part.
         // A racing worker may duplicate the work, but both produce the

@@ -138,10 +138,10 @@ pub fn signal_table_for(tb: &Testbench) -> Result<SignalTable, String> {
     let file = parse_source(tb.source).map_err(|e| e.to_string())?;
     let netlist = elaborate(&file, tb.top).map_err(|e| e.to_string())?;
     let mut table = SignalTable::new();
-    for (name, binding) in &netlist.nets {
+    for (name, binding) in netlist.net_names() {
         // Array elements (`mem[0]`) are not directly nameable in SVA.
         if !name.contains('[') && !name.contains('.') {
-            table.insert(name.clone(), binding.width);
+            table.insert(name.to_string(), binding.width);
         }
     }
     for (name, value) in &netlist.params {

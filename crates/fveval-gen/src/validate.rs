@@ -74,9 +74,9 @@ pub fn bind_scenario(scenario: &Scenario) -> Result<BoundScenario, String> {
         .map(|(n, v)| (n.clone(), 32u32, *v))
         .collect();
     let mut table = SignalTable::new();
-    for (name, binding) in &netlist.nets {
+    for (name, binding) in netlist.net_names() {
         if !name.contains('[') && !name.contains('.') {
-            table.insert(name.clone(), binding.width);
+            table.insert(name.to_string(), binding.width);
         }
     }
     for (name, value) in &netlist.params {

@@ -202,9 +202,8 @@ fn hierarchy_scenarios_inline_their_instances() {
         assert!(
             bound
                 .netlist
-                .nets
-                .keys()
-                .any(|n| n.contains(&format!("{cell}.cnt"))),
+                .net_names()
+                .any(|(n, _)| n.contains(&format!("{cell}.cnt"))),
             "{cell}'s counter register is inlined into the flat netlist"
         );
     }

@@ -885,8 +885,12 @@ fn main() -> ExitCode {
             prover.ternary_kills,
         );
         eprintln!(
-            "[sessions: {} opened, {} assertions checked, {} unrollings reused]",
-            prover.sessions_opened, prover.session_checks, prover.unroll_reuse_hits,
+            "[sessions: {} opened, {} assertions checked, {} unrollings reused, \
+             {} compiles served by digest]",
+            prover.sessions_opened,
+            prover.session_checks,
+            prover.unroll_reuse_hits,
+            prover.digest_reuse,
         );
         let engine_work = prover.pdr_wins
             + prover.bounded_wins
@@ -983,6 +987,7 @@ fn prover_stats_table(
             "Sessions opened",
             "Assertions checked",
             "Unroll reuse hits",
+            "Digest reuse",
             "Verdict-cache hits",
             "Persisted hits",
             "Cache misses",
@@ -1002,6 +1007,7 @@ fn prover_stats_table(
         prover.sessions_opened.to_string().into(),
         prover.session_checks.to_string().into(),
         prover.unroll_reuse_hits.to_string().into(),
+        prover.digest_reuse.to_string().into(),
         cache.hits.to_string().into(),
         cache.persisted_hits.to_string().into(),
         cache.misses.to_string().into(),

@@ -813,6 +813,10 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
                             ("persisted_hits", shard_cache.persisted_hits.into()),
                             ("misses", shard_cache.misses.into()),
                             ("entries", shard_cache.entries.into()),
+                            (
+                                "digest_reuse",
+                                shard.engine.prover_stats().digest_reuse.into(),
+                            ),
                         ]),
                     ),
                     (
@@ -852,6 +856,7 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
                 ("misses", cache.misses.into()),
                 ("entries", cache.entries.into()),
                 ("persisted_hit_rate", cache.persisted_hit_rate().into()),
+                ("digest_reuse", prover.digest_reuse.into()),
             ]),
         ),
         (
@@ -943,6 +948,7 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         &[],
         prover.engine_cancellations,
     );
+    prom.counter("cache.digest_reuse", &[], prover.digest_reuse);
     prom.counter("cache.hits", &[], cache.hits);
     prom.counter("cache.persisted_hits", &[], cache.persisted_hits);
     prom.counter("cache.misses", &[], cache.misses);

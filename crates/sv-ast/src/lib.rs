@@ -9,11 +9,13 @@
 //! tests in `sv-parser`).
 
 mod expr;
+mod intern;
 mod module;
 mod printer;
 mod property;
 
 pub use expr::{BinaryOp, Expr, Literal, SysFunc, UnaryOp};
+pub use intern::{fnv1a, Interner, Symbol, SymbolHasher, SymbolMap, FNV1A_SEED};
 pub use module::{
     Assign, EdgeKind, EventExpr, Instance, LValue, Module, ModuleItem, NetDecl, NetKind, ParamDecl,
     PortDecl, PortDir, Range, SourceFile, Stmt,

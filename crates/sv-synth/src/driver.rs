@@ -1,0 +1,1044 @@
+//! Frontend-agnostic elaboration driver.
+//!
+//! The driver decouples *what elaborates a module* from *how the design
+//! is stitched together*. Each [`Frontend`] turns one module name (plus
+//! parameter overrides) into a standalone [`Fragment`] — a prefix-free
+//! flattening with its own private string arena. The driver routes
+//! every module instantiation the top-level walk encounters to the
+//! first frontend that provides it, splicing the resulting fragment
+//! into the design under the instance prefix.
+//!
+//! Two frontends ship in-tree:
+//!
+//! * [`SvFrontend`] — elaborates modules from the parsed SystemVerilog
+//!   source file (the same flattening the classic sequential path
+//!   runs, just module-at-a-time).
+//! * [`JsonFrontend`] — a toy netlist-JSON format (combinational
+//!   assigns over declared ports and nets), demonstrating that a
+//!   non-SV module description can splice into the same netlist build.
+//!
+//! Because fragments carry private arenas, independent modules can
+//! flatten **in parallel**: [`elaborate_design_driver`] prescans the
+//! top module for instantiation sites with constant parameter
+//! bindings, pre-builds those fragments across threads, and then runs
+//! the ordinary sequential walk against the warm cache. The walk —
+//! not the threads — performs every splice, so the produced netlist is
+//! byte-identical to the sequential path regardless of thread count or
+//! scheduling.
+
+use crate::elaborate::{
+    elaborate_design_routed, DeclInfo, ElabError, ElaboratedDesign, FlatItem, FlatTarget,
+    Flattener, Fragment, Fx, InstanceRouter, Scope, ScopeEntry,
+};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+use sv_ast::{BinaryOp, Expr, Interner, Literal, ModuleItem, PortDir, SourceFile, UnaryOp};
+
+type Result<T> = std::result::Result<T, ElabError>;
+
+// ---------------------------------------------------------------------
+// Frontend trait and the SV frontend
+// ---------------------------------------------------------------------
+
+/// A module elaborator pluggable into the elaboration driver.
+///
+/// `Sync` is required so the driver can pre-build fragments for
+/// independent modules on worker threads.
+pub trait Frontend: Sync {
+    /// Frontend name, recorded on `elaborate.module` trace spans.
+    fn name(&self) -> &'static str;
+
+    /// Whether this frontend can elaborate `module`.
+    fn provides(&self, module: &str) -> bool;
+
+    /// Elaborates `module` with the given parameter overrides into a
+    /// standalone fragment.
+    ///
+    /// # Errors
+    ///
+    /// Frontend-specific; the driver surfaces the error at the
+    /// instantiation site that requested the module.
+    fn elaborate_module(&self, module: &str, overrides: &HashMap<String, u128>)
+        -> Result<Fragment>;
+}
+
+/// The SystemVerilog frontend: elaborates modules from a parsed source
+/// file via the crate's own flattener. Nested in-file instances are
+/// inlined into the fragment.
+pub struct SvFrontend<'f> {
+    file: &'f SourceFile,
+}
+
+impl<'f> SvFrontend<'f> {
+    /// A frontend serving every module of `file`.
+    pub fn new(file: &'f SourceFile) -> SvFrontend<'f> {
+        SvFrontend { file }
+    }
+}
+
+impl Frontend for SvFrontend<'_> {
+    fn name(&self) -> &'static str {
+        "sv"
+    }
+
+    fn provides(&self, module: &str) -> bool {
+        self.file.module(module).is_some()
+    }
+
+    fn elaborate_module(
+        &self,
+        module: &str,
+        overrides: &HashMap<String, u128>,
+    ) -> Result<Fragment> {
+        Fragment::from_sv(self.file, module, overrides)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Netlist-JSON frontend
+// ---------------------------------------------------------------------
+
+/// Expression in the netlist-JSON format: a net reference, an integer
+/// literal, or an operator application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonExpr {
+    Net(String),
+    Lit(u128),
+    Op(String, Vec<JsonExpr>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct JsonPort {
+    name: String,
+    dir: PortDir,
+    width: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct JsonModule {
+    name: String,
+    ports: Vec<JsonPort>,
+    nets: Vec<(String, u32)>,
+    assigns: Vec<(String, JsonExpr)>,
+}
+
+/// A toy non-SV frontend: combinational modules described as JSON.
+///
+/// The format is one top-level object mapping module names to module
+/// objects with three (optional) keys:
+///
+/// ```json
+/// {
+///   "adder": {
+///     "ports": [["a", "input", 4], ["b", "input", 4], ["q", "output", 4]],
+///     "nets": [["t", 4]],
+///     "assigns": [["t", ["xor", "a", "b"]], ["q", "t"]]
+///   }
+/// }
+/// ```
+///
+/// Assign right-hand sides are s-expressions: a string is a net
+/// reference, a number is a literal, and an array applies an operator
+/// (`not`; `and`, `or`, `xor`, `add`, `sub`, `eq`; `mux`). Modules are
+/// purely combinational and take no parameters; widths come from the
+/// declarations.
+pub struct JsonFrontend {
+    modules: Vec<JsonModule>,
+}
+
+impl JsonFrontend {
+    /// Parses a netlist-JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a module/port/expression shape the
+    /// format does not define.
+    pub fn from_json(src: &str) -> Result<JsonFrontend> {
+        let v = JsonParser {
+            s: src.as_bytes(),
+            i: 0,
+        }
+        .parse_document()?;
+        let Jv::Obj(mods) = v else {
+            return Err(ElabError::new("netlist JSON: top level must be an object"));
+        };
+        let mut modules = Vec::with_capacity(mods.len());
+        for (name, body) in mods {
+            modules.push(parse_module(&name, &body)?);
+        }
+        Ok(JsonFrontend { modules })
+    }
+
+    /// Serializes back to canonical netlist JSON (the fixpoint of
+    /// `from_json` ∘ `to_json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, m) in self.modules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_str(&mut out, &m.name);
+            out.push_str(":{\"ports\":[");
+            for (j, p) in m.ports.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json_str(&mut out, &p.name);
+                out.push(',');
+                json_str(&mut out, dir_str(p.dir));
+                out.push_str(&format!(",{}]", p.width));
+            }
+            out.push_str("],\"nets\":[");
+            for (j, (n, w)) in m.nets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json_str(&mut out, n);
+                out.push_str(&format!(",{w}]"));
+            }
+            out.push_str("],\"assigns\":[");
+            for (j, (t, e)) in m.assigns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json_str(&mut out, t);
+                out.push(',');
+                json_expr(&mut out, e);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn dir_str(d: PortDir) -> &'static str {
+    match d {
+        PortDir::Input => "input",
+        PortDir::Output => "output",
+        PortDir::Inout => "inout",
+    }
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_expr(out: &mut String, e: &JsonExpr) {
+    match e {
+        JsonExpr::Net(n) => json_str(out, n),
+        JsonExpr::Lit(v) => out.push_str(&v.to_string()),
+        JsonExpr::Op(op, args) => {
+            out.push('[');
+            json_str(out, op);
+            for a in args {
+                out.push(',');
+                json_expr(out, a);
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// Minimal JSON value for the netlist format: strings, non-negative
+/// integers, arrays, objects (order-preserving).
+enum Jv {
+    Num(u128),
+    Str(String),
+    Arr(Vec<Jv>),
+    Obj(Vec<(String, Jv)>),
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn err(&self, msg: &str) -> ElabError {
+        ElabError::new(format!("netlist JSON at byte {}: {msg}", self.i))
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Jv> {
+        let v = self.value()?;
+        self.ws();
+        if self.i != self.s.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Jv> {
+        match self.peek() {
+            Some(b'"') => Ok(Jv::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.s.get(self.i) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.s.get(self.i) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            out.push(hex);
+                        }
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Jv> {
+        let start = self.i;
+        while self.s.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("digits are utf8");
+        text.parse()
+            .map(Jv::Num)
+            .map_err(|_| self.err("integer out of range"))
+    }
+
+    fn array(&mut self) -> Result<Jv> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Jv::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Jv::Arr(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Jv> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Jv::Obj(out));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected an object key"));
+            }
+            let k = self.string()?;
+            self.eat(b':')?;
+            out.push((k, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Jv::Obj(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_module(name: &str, body: &Jv) -> Result<JsonModule> {
+    let Jv::Obj(fields) = body else {
+        return Err(ElabError::new(format!(
+            "netlist JSON: module '{name}' must be an object"
+        )));
+    };
+    let mut m = JsonModule {
+        name: name.to_string(),
+        ports: Vec::new(),
+        nets: Vec::new(),
+        assigns: Vec::new(),
+    };
+    for (key, value) in fields {
+        let Jv::Arr(entries) = value else {
+            return Err(ElabError::new(format!(
+                "netlist JSON: '{name}.{key}' must be an array"
+            )));
+        };
+        match key.as_str() {
+            "ports" => {
+                for e in entries {
+                    let Jv::Arr(t) = e else {
+                        return Err(ElabError::new("netlist JSON: port must be a triple"));
+                    };
+                    match t.as_slice() {
+                        [Jv::Str(n), Jv::Str(d), Jv::Num(w)] => m.ports.push(JsonPort {
+                            name: n.clone(),
+                            dir: match d.as_str() {
+                                "input" => PortDir::Input,
+                                "output" => PortDir::Output,
+                                _ => {
+                                    return Err(ElabError::new(format!(
+                                        "netlist JSON: unsupported port direction '{d}'"
+                                    )))
+                                }
+                            },
+                            width: u32::try_from(*w).map_err(|_| {
+                                ElabError::new("netlist JSON: port width out of range")
+                            })?,
+                        }),
+                        _ => {
+                            return Err(ElabError::new(
+                                "netlist JSON: port must be [name, dir, width]",
+                            ))
+                        }
+                    }
+                }
+            }
+            "nets" => {
+                for e in entries {
+                    let Jv::Arr(t) = e else {
+                        return Err(ElabError::new("netlist JSON: net must be a pair"));
+                    };
+                    match t.as_slice() {
+                        [Jv::Str(n), Jv::Num(w)] => m.nets.push((
+                            n.clone(),
+                            u32::try_from(*w).map_err(|_| {
+                                ElabError::new("netlist JSON: net width out of range")
+                            })?,
+                        )),
+                        _ => return Err(ElabError::new("netlist JSON: net must be [name, width]")),
+                    }
+                }
+            }
+            "assigns" => {
+                for e in entries {
+                    let Jv::Arr(t) = e else {
+                        return Err(ElabError::new("netlist JSON: assign must be a pair"));
+                    };
+                    match t.as_slice() {
+                        [Jv::Str(target), rhs] => {
+                            m.assigns.push((target.clone(), parse_expr(rhs)?))
+                        }
+                        _ => {
+                            return Err(ElabError::new(
+                                "netlist JSON: assign must be [target, expr]",
+                            ))
+                        }
+                    }
+                }
+            }
+            other => {
+                return Err(ElabError::new(format!(
+                    "netlist JSON: unknown module key '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(m)
+}
+
+fn parse_expr(v: &Jv) -> Result<JsonExpr> {
+    Ok(match v {
+        Jv::Str(n) => JsonExpr::Net(n.clone()),
+        Jv::Num(n) => JsonExpr::Lit(*n),
+        Jv::Arr(items) => match items.as_slice() {
+            [Jv::Str(op), args @ ..] if !args.is_empty() => {
+                let arity = match op.as_str() {
+                    "not" => 1,
+                    "and" | "or" | "xor" | "add" | "sub" | "eq" => 2,
+                    "mux" => 3,
+                    other => {
+                        return Err(ElabError::new(format!(
+                            "netlist JSON: unknown operator '{other}'"
+                        )))
+                    }
+                };
+                if args.len() != arity {
+                    return Err(ElabError::new(format!(
+                        "netlist JSON: '{op}' takes {arity} operand(s), got {}",
+                        args.len()
+                    )));
+                }
+                JsonExpr::Op(
+                    op.clone(),
+                    args.iter().map(parse_expr).collect::<Result<_>>()?,
+                )
+            }
+            _ => {
+                return Err(ElabError::new(
+                    "netlist JSON: operator application must be [op, args...]",
+                ))
+            }
+        },
+        Jv::Obj(_) => return Err(ElabError::new("netlist JSON: objects are not expressions")),
+    })
+}
+
+impl Frontend for JsonFrontend {
+    fn name(&self) -> &'static str {
+        "netlist-json"
+    }
+
+    fn provides(&self, module: &str) -> bool {
+        self.modules.iter().any(|m| m.name == module)
+    }
+
+    fn elaborate_module(
+        &self,
+        module: &str,
+        overrides: &HashMap<String, u128>,
+    ) -> Result<Fragment> {
+        let m = self
+            .modules
+            .iter()
+            .find(|m| m.name == module)
+            .ok_or_else(|| ElabError::new(format!("unknown module '{module}'")))?;
+        if !overrides.is_empty() {
+            return Err(ElabError::new(format!(
+                "netlist JSON module '{module}' takes no parameters"
+            )));
+        }
+        let mut itn = Interner::new();
+        let mut items = Vec::new();
+        let mut scope = Scope::default();
+        let declare = |itn: &mut Interner,
+                       items: &mut Vec<FlatItem>,
+                       scope: &mut Scope,
+                       name: &str,
+                       width: u32,
+                       is_input: bool| {
+            // Prefix-free fragment: the flat name IS the source name,
+            // so one symbol serves as both scope key and flat net.
+            let flat = itn.intern(name);
+            let info = DeclInfo {
+                flat,
+                width,
+                elem_width: 1,
+                lsb: 0,
+                elems: None,
+                is_top_input: is_input,
+            };
+            scope.insert(flat, ScopeEntry::Net(info));
+            items.push(FlatItem::Decl(info));
+        };
+        for p in &m.ports {
+            declare(
+                &mut itn,
+                &mut items,
+                &mut scope,
+                &p.name,
+                p.width,
+                p.dir == PortDir::Input,
+            );
+        }
+        for (n, w) in &m.nets {
+            declare(&mut itn, &mut items, &mut scope, n, *w, false);
+        }
+        for (target, rhs) in &m.assigns {
+            let info = match itn.lookup(target).and_then(|s| scope.get(&s)) {
+                Some(ScopeEntry::Net(info)) => *info,
+                _ => {
+                    return Err(ElabError::new(format!(
+                        "netlist JSON: assignment to undeclared net '{target}' in '{module}'"
+                    )))
+                }
+            };
+            let rhs = build_fx(rhs, &mut itn, &scope);
+            items.push(FlatItem::Assign {
+                target: FlatTarget {
+                    net: info.flat,
+                    lo: 0,
+                    width: info.width,
+                },
+                rhs,
+            });
+        }
+        Ok(Fragment {
+            itn,
+            items,
+            scope,
+            ports: m.ports.iter().map(|p| (p.name.clone(), p.dir)).collect(),
+            clock_name: None,
+            reset_name: None,
+        })
+    }
+}
+
+/// Lowers a JSON expression to the flattener's [`Fx`] form. Unknown net
+/// names are interned as written; pass B reports them with their text,
+/// matching the SV frontend's behavior.
+fn build_fx(e: &JsonExpr, itn: &mut Interner, scope: &Scope) -> Fx {
+    match e {
+        JsonExpr::Net(n) => match itn.lookup(n).and_then(|s| scope.get(&s)) {
+            Some(ScopeEntry::Net(info)) => Fx::Net(info.flat),
+            _ => Fx::Net(itn.intern(n)),
+        },
+        JsonExpr::Lit(v) => Fx::Lit {
+            width: None,
+            value: *v,
+        },
+        JsonExpr::Op(op, args) => {
+            let mut fx = args.iter().map(|a| build_fx(a, itn, scope));
+            let mut next = || Box::new(fx.next().expect("arity checked at parse"));
+            match op.as_str() {
+                "not" => Fx::Unary(UnaryOp::BitNot, next()),
+                "and" => Fx::Binary(BinaryOp::BitAnd, next(), next()),
+                "or" => Fx::Binary(BinaryOp::BitOr, next(), next()),
+                "xor" => Fx::Binary(BinaryOp::BitXor, next(), next()),
+                "add" => Fx::Binary(BinaryOp::Add, next(), next()),
+                "sub" => Fx::Binary(BinaryOp::Sub, next(), next()),
+                "eq" => Fx::Binary(BinaryOp::Eq, next(), next()),
+                "mux" => Fx::Ternary(next(), next(), next()),
+                other => unreachable!("operator '{other}' rejected at parse"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The router: fragment cache + splice
+// ---------------------------------------------------------------------
+
+/// Cache key: module name plus sorted, deduplicated parameter
+/// overrides.
+type FragKey = (String, Vec<(String, u128)>);
+
+fn frag_key(module: &str, overrides: &HashMap<String, u128>) -> FragKey {
+    let mut ov: Vec<(String, u128)> = overrides.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    ov.sort();
+    (module.to_string(), ov)
+}
+
+/// The driver's [`InstanceRouter`]: routes claimed instantiations to
+/// frontends, caching fragments per `(module, overrides)` so repeated
+/// instantiations flatten once and splice many times.
+struct DriverRouter<'a> {
+    frontends: &'a [&'a dyn Frontend],
+    cache: RefCell<HashMap<FragKey, Rc<Fragment>>>,
+}
+
+impl DriverRouter<'_> {
+    fn fragment(&self, module: &str, overrides: &HashMap<String, u128>) -> Result<Rc<Fragment>> {
+        let key = frag_key(module, overrides);
+        let cached = self.cache.borrow().get(&key).cloned();
+        if let Some(frag) = cached {
+            return Ok(frag);
+        }
+        let fe = self
+            .frontends
+            .iter()
+            .find(|f| f.provides(module))
+            .ok_or_else(|| ElabError::new(format!("unknown module '{module}'")))?;
+        let frag = Rc::new(build_fragment(*fe, module, overrides)?);
+        self.cache.borrow_mut().insert(key, frag.clone());
+        Ok(frag)
+    }
+}
+
+/// One traced fragment build (shared by the parallel pre-build and the
+/// on-demand path).
+fn build_fragment(
+    fe: &dyn Frontend,
+    module: &str,
+    overrides: &HashMap<String, u128>,
+) -> Result<Fragment> {
+    let _span = fv_trace::span!("elaborate.module", module = module, frontend = fe.name());
+    fe.elaborate_module(module, overrides)
+}
+
+impl InstanceRouter for DriverRouter<'_> {
+    fn claims(&self, module: &str, _prefix: &str) -> bool {
+        self.frontends.iter().any(|f| f.provides(module))
+    }
+
+    fn flatten_external(
+        &self,
+        fl: &mut Flattener<'_>,
+        module: &str,
+        prefix: &str,
+        overrides: &HashMap<String, u128>,
+    ) -> Result<(Scope, Vec<(String, PortDir)>)> {
+        let frag = self.fragment(module, overrides)?;
+        let _span = fv_trace::span!("frontend.route", module = module, prefix = prefix);
+        Ok(fl.splice_fragment(&frag, prefix))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel pre-build + driver entry points
+// ---------------------------------------------------------------------
+
+/// Collects `(module, overrides)` instantiation sites of the top walk
+/// that can be pre-built before elaboration starts: instances of
+/// claimed modules whose parameter bindings are all integer literals
+/// (anything scope-dependent is left to the on-demand path). Recurses
+/// into generate bodies; instances nested in *other modules* are
+/// inlined by their module's own fragment build, so only the top level
+/// is scanned.
+fn prescan_instances(
+    file: &SourceFile,
+    top: &str,
+    extras: &[ModuleItem],
+    frontends: &[&dyn Frontend],
+) -> Vec<FragKey> {
+    fn walk(items: &[ModuleItem], out: &mut Vec<(String, BTreeMap<String, u128>)>) {
+        for item in items {
+            match item {
+                ModuleItem::Instance(inst) => {
+                    let mut ov = BTreeMap::new();
+                    let all_literal = inst.params.iter().all(|(name, e)| match e {
+                        Expr::Literal(Literal::Int { value, .. }) => {
+                            ov.insert(name.clone(), *value);
+                            true
+                        }
+                        _ => false,
+                    });
+                    if all_literal {
+                        out.push((inst.module.clone(), ov));
+                    }
+                }
+                ModuleItem::GenerateFor { body, .. } => walk(body, out),
+                _ => {}
+            }
+        }
+    }
+    let mut sites = Vec::new();
+    if let Some(m) = file.module(top) {
+        walk(&m.items, &mut sites);
+    }
+    walk(extras, &mut sites);
+    let mut seen = HashSet::new();
+    sites
+        .into_iter()
+        .filter(|(module, _)| frontends.iter().any(|f| f.provides(module)))
+        .map(|(module, ov)| (module, ov.into_iter().collect::<Vec<_>>()))
+        .filter(|key| seen.insert(key.clone()))
+        .collect()
+}
+
+/// Builds the prescanned fragments across worker threads. A build
+/// failure is dropped silently: the sequential walk rebuilds the
+/// fragment on demand and reports the error deterministically at the
+/// instantiation site that needs it.
+fn prebuild_parallel(
+    keys: &[FragKey],
+    frontends: &[&dyn Frontend],
+) -> HashMap<FragKey, Rc<Fragment>> {
+    let mut cache = HashMap::new();
+    if keys.is_empty() {
+        return cache;
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(keys.len());
+    let built: Vec<Option<Fragment>> = if threads <= 1 {
+        keys.iter()
+            .map(|(module, ov)| {
+                let overrides: HashMap<String, u128> = ov.iter().cloned().collect();
+                frontends
+                    .iter()
+                    .find(|f| f.provides(module))
+                    .and_then(|fe| build_fragment(*fe, module, &overrides).ok())
+            })
+            .collect()
+    } else {
+        let chunk = keys.len().div_ceil(threads);
+        let mut built: Vec<Option<Fragment>> = Vec::with_capacity(keys.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        part.iter()
+                            .map(|(module, ov)| {
+                                let overrides: HashMap<String, u128> = ov.iter().cloned().collect();
+                                frontends
+                                    .iter()
+                                    .find(|f| f.provides(module))
+                                    .and_then(|fe| build_fragment(*fe, module, &overrides).ok())
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                built.extend(h.join().expect("fragment builder panicked"));
+            }
+        });
+        built
+    };
+    for (key, frag) in keys.iter().zip(built) {
+        if let Some(f) = frag {
+            cache.insert(key.clone(), Rc::new(f));
+        }
+    }
+    cache
+}
+
+/// [`elaborate_design`] routed through the elaboration driver with the
+/// given frontends (first `provides` wins; in-file SV inlining is the
+/// fallback when no frontend claims a module).
+///
+/// Fragments for the top module's constant-parameter instantiation
+/// sites are pre-built in parallel; the sequential walk then splices
+/// them (and builds any stragglers on demand), so the resulting
+/// [`ElaboratedDesign`] is byte-identical to the sequential path.
+///
+/// # Errors
+///
+/// See [`elaborate_design`].
+///
+/// [`elaborate_design`]: crate::elaborate_design
+pub fn elaborate_design_with_frontends(
+    file: &SourceFile,
+    top: &str,
+    extras: &[ModuleItem],
+    frontends: &[&dyn Frontend],
+) -> Result<ElaboratedDesign> {
+    let keys = prescan_instances(file, top, extras, frontends);
+    let cache = prebuild_parallel(&keys, frontends);
+    let router = DriverRouter {
+        frontends,
+        cache: RefCell::new(cache),
+    };
+    elaborate_design_routed(file, top, extras, Some(&router))
+}
+
+/// The driver with its default frontend set: SystemVerilog only. Every
+/// module of `file` elaborates as an independent fragment (in parallel
+/// where the prescan allows), producing a design byte-identical to
+/// [`elaborate_design`].
+///
+/// # Errors
+///
+/// See [`elaborate_design`].
+///
+/// [`elaborate_design`]: crate::elaborate_design
+pub fn elaborate_design_driver(
+    file: &SourceFile,
+    top: &str,
+    extras: &[ModuleItem],
+) -> Result<ElaboratedDesign> {
+    let sv = SvFrontend::new(file);
+    let frontends: [&dyn Frontend; 1] = [&sv];
+    elaborate_design_with_frontends(file, top, extras, &frontends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv_parser::{parse_snippet, parse_source};
+
+    /// Structural fingerprint of a netlist for path-equality checks:
+    /// the content digest plus the bits it summarizes, so a mismatch
+    /// points at what diverged.
+    type Fingerprint = (u64, usize, Vec<(String, u32)>, Vec<(String, u128)>);
+
+    fn fingerprint(nl: &crate::Netlist) -> Fingerprint {
+        let mut names: Vec<(String, u32)> = nl
+            .net_names()
+            .map(|(n, b)| (n.to_string(), b.width))
+            .collect();
+        names.sort();
+        (
+            nl.content_digest(),
+            nl.atoms.len(),
+            names,
+            nl.params.clone(),
+        )
+    }
+
+    const HIER_SRC: &str = "\
+module adder (a, b, s);
+parameter W = 4;
+input [W-1:0] a; input [W-1:0] b; output [W:0] s;
+assign s = a + b;
+endmodule
+module cell (clk, rst_n, d, q);
+input clk; input rst_n; input [3:0] d; output reg [3:0] q;
+logic [3:0] mem [1:0];
+assign mem[0] = d;
+assign mem[1] = mem[0] ^ d;
+always @(posedge clk or negedge rst_n) begin
+if (!rst_n) q <= 4'd0; else q <= mem[1];
+end
+endmodule
+module top (clk, rst_n, x, y, out);
+input clk; input rst_n; input [3:0] x; input [3:0] y; output [4:0] out;
+wire [3:0] q0; wire [3:0] q1;
+cell c0 (.clk(clk), .rst_n(rst_n), .d(x), .q(q0));
+cell c1 (.clk(clk), .rst_n(rst_n), .d(y), .q(q1));
+adder #(.W(4)) a0 (.a(q0), .b(q1), .s(out));
+endmodule
+";
+
+    #[test]
+    fn driver_matches_sequential_on_hierarchical_design() {
+        let f = parse_source(HIER_SRC).unwrap();
+        let seq = crate::elaborate_design(&f, "top", &[]).unwrap();
+        let drv = elaborate_design_driver(&f, "top", &[]).unwrap();
+        assert_eq!(fingerprint(seq.netlist()), fingerprint(drv.netlist()));
+        assert_eq!(seq.netlist().clock_name, drv.netlist().clock_name);
+        assert_eq!(seq.netlist().reset_name, drv.netlist().reset_name);
+        // The cached-fragment path kept per-instance names distinct.
+        assert!(drv.netlist().net("c0.mem[1]").is_some());
+        assert!(drv.netlist().net("c1.mem[1]").is_some());
+    }
+
+    #[test]
+    fn driver_matches_sequential_with_instance_extras() {
+        // The Design2SVA shape: the DUT instantiation arrives as extra
+        // items, exercising the prescan-over-extras path.
+        let f = parse_source(HIER_SRC).unwrap();
+        let extras = parse_snippet(
+            "logic [3:0] w0;\nlogic [4:0] w1;\n\
+             cell dut (.clk(tb_clk), .rst_n(tb_rst), .d(w0), .q(w0));\n\
+             adder #(.W(4)) acc (.a(w0), .b(w0), .s(w1));\n\
+             input tb_clk; input tb_rst;\n",
+        )
+        .unwrap();
+        let seq = crate::elaborate_design(&f, "top", &extras).unwrap();
+        let drv = elaborate_design_driver(&f, "top", &extras).unwrap();
+        assert_eq!(fingerprint(seq.netlist()), fingerprint(drv.netlist()));
+        // bind_extras still works on the driver-produced design.
+        let more = parse_snippet("logic [4:0] probe;\nassign probe = out;\n").unwrap();
+        assert_eq!(
+            seq.bind_extras(&more).unwrap().content_digest(),
+            drv.bind_extras(&more).unwrap().content_digest(),
+        );
+    }
+
+    #[test]
+    fn driver_and_sequential_report_the_same_unknown_module() {
+        let src = "module top (y);\noutput y;\nnope u0 (.p(y));\nendmodule\n";
+        let f = parse_source(src).unwrap();
+        let seq = crate::elaborate_design(&f, "top", &[]).unwrap_err();
+        let drv = elaborate_design_driver(&f, "top", &[]).unwrap_err();
+        assert_eq!(seq, drv);
+        assert!(seq.message.contains("unknown module 'nope'"));
+    }
+
+    const ALU_JSON: &str = r#"{
+      "alu": {
+        "ports": [["a", "input", 4], ["b", "input", 4], ["sel", "input", 1],
+                  ["q", "output", 4]],
+        "nets": [["t", 4]],
+        "assigns": [["t", ["xor", "a", "b"]],
+                    ["q", ["mux", "sel", "t", ["and", "a", "b"]]]]
+      }
+    }"#;
+
+    #[test]
+    fn json_frontend_matches_equivalent_sv() {
+        // The same module written in netlist JSON and in SV must splice
+        // to identical netlists under the same instantiation.
+        let top = "module top (a, b, sel, q);\n\
+                   input [3:0] a; input [3:0] b; input sel; output [3:0] q;\n\
+                   alu u0 (.a(a), .b(b), .sel(sel), .q(q));\nendmodule\n";
+        let sv_equiv = "module alu (a, b, sel, q);\n\
+                        input [3:0] a; input [3:0] b; input sel; output [3:0] q;\n\
+                        wire [3:0] t;\nassign t = a ^ b;\n\
+                        assign q = sel ? t : (a & b);\nendmodule\n";
+        let f_json = parse_source(top).unwrap();
+        let json = JsonFrontend::from_json(ALU_JSON).unwrap();
+        let sv = SvFrontend::new(&f_json);
+        let frontends: [&dyn Frontend; 2] = [&json, &sv];
+        let via_json = elaborate_design_with_frontends(&f_json, "top", &[], &frontends).unwrap();
+
+        let f_sv = parse_source(&format!("{sv_equiv}{top}")).unwrap();
+        let via_sv = crate::elaborate_design(&f_sv, "top", &[]).unwrap();
+        assert_eq!(
+            fingerprint(via_sv.netlist()),
+            fingerprint(via_json.netlist())
+        );
+        assert!(via_json.netlist().net("u0.t").is_some());
+    }
+
+    #[test]
+    fn json_round_trip_is_a_fixpoint() {
+        let fe = JsonFrontend::from_json(ALU_JSON).unwrap();
+        let canon = fe.to_json();
+        let fe2 = JsonFrontend::from_json(&canon).unwrap();
+        assert_eq!(fe.modules, fe2.modules);
+        assert_eq!(canon, fe2.to_json());
+    }
+
+    #[test]
+    fn json_frontend_rejects_bad_input() {
+        assert!(JsonFrontend::from_json("[1, 2]").is_err());
+        assert!(JsonFrontend::from_json(r#"{"m": {"wires": []}}"#).is_err());
+        assert!(
+            JsonFrontend::from_json(r#"{"m": {"assigns": [["q", ["nand", "a", "b"]]]}}"#).is_err()
+        );
+        let fe = JsonFrontend::from_json(ALU_JSON).unwrap();
+        let with_params = HashMap::from([("W".to_string(), 8u128)]);
+        let err = fe.elaborate_module("alu", &with_params).unwrap_err();
+        assert!(err.message.contains("takes no parameters"));
+    }
+}

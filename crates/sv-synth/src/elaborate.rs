@@ -5,7 +5,11 @@
 //! 1. **Flatten** — resolve parameters and genvars to constants, unroll
 //!    generate loops, inline module instances with hierarchical names,
 //!    desugar `case` into `if` chains, and resolve every assignment
-//!    target to a `(net, bit-range)` pair.
+//!    target to a `(net, bit-range)` pair. Every name the walk touches
+//!    is interned into a per-design [`Interner`] arena: scopes, targets,
+//!    and flattened expressions ([`Fx`]) carry `Copy` [`Symbol`]s
+//!    instead of cloned `String`s, so scope lookups and net-map probes
+//!    are integer compares.
 //! 2. **Pass A** — discover every driven range of every net and create
 //!    one *atom* per driver (input / combinational / register).
 //!    Undriven ranges become free inputs (cut points).
@@ -13,15 +17,22 @@
 //!    execute processes (if/else merging via muxes) to produce each
 //!    atom's definition; extract register reset values by partial
 //!    evaluation under the asserted reset.
+//!
+//! Module instantiations can be intercepted by an [`InstanceRouter`]
+//! (the frontend-agnostic elaboration driver): a router that claims a
+//! module name supplies the child's flattened scope and port directions
+//! itself, letting non-SV frontends (or pre-flattened fragments) splice
+//! into the same netlist build.
 
 use crate::netexpr::{mask, Nx, NxBin, NxRed};
 use crate::netlist::{AtomDef, AtomId, AtomKind, NetBinding, Netlist, Seg};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use sv_ast::{
-    BinaryOp, EdgeKind, Expr, LValue, Literal, Module, ModuleItem, PortDir, SourceFile, Stmt,
-    SysFunc, UnaryOp,
+    BinaryOp, EdgeKind, Expr, Interner, LValue, Literal, Module, ModuleItem, PortDir, SourceFile,
+    Stmt, Symbol, SymbolMap, SysFunc, UnaryOp,
 };
 
 /// Elaboration failure (semantic error after a successful parse).
@@ -32,7 +43,7 @@ pub struct ElabError {
 }
 
 impl ElabError {
-    fn new(message: impl Into<String>) -> ElabError {
+    pub(crate) fn new(message: impl Into<String>) -> ElabError {
         ElabError {
             message: message.into(),
         }
@@ -56,98 +67,203 @@ const MAX_GENERATE_ITERS: u32 = 10_000;
 // Flattening
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-struct DeclInfo {
-    flat: String,
-    width: u32,
-    elem_width: u32,
-    lsb: u32,
-    /// Unpacked element count (arrays), if any.
-    elems: Option<u32>,
-    is_top_input: bool,
+/// A name scope: interned source name to its resolved meaning.
+pub(crate) type Scope = SymbolMap<Symbol, ScopeEntry>;
+
+/// An unpacked array's shape: element count plus the symbol of element
+/// zero. Elements are interned consecutively at declaration, so element
+/// `i` is `elem0.offset(i)` — array selects never re-hash a name.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ArrayInfo {
+    pub(crate) count: u32,
+    pub(crate) elem0: Symbol,
 }
 
-#[derive(Debug, Clone)]
-enum ScopeEntry {
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeclInfo {
+    /// Interned flat hierarchical name.
+    pub(crate) flat: Symbol,
+    pub(crate) width: u32,
+    pub(crate) elem_width: u32,
+    pub(crate) lsb: u32,
+    /// Unpacked array shape, if any.
+    pub(crate) elems: Option<ArrayInfo>,
+    pub(crate) is_top_input: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ScopeEntry {
     Const(u128),
     Net(DeclInfo),
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FlatTarget {
+    pub(crate) net: Symbol,
+    pub(crate) lo: u32,
+    pub(crate) width: u32,
+}
+
+/// A flattened expression: the source [`Expr`] with parameters and
+/// genvars folded to literals and every identifier resolved to an
+/// interned symbol (the flat net name, or the unresolved source name —
+/// both are probed against the net map in pass B, so unknown names
+/// fail there with the text they were written with).
+///
+/// Replacing the post-substitution `Expr` tree (which deep-cloned a
+/// `String` per identifier) with this `Symbol`-carrying form is the
+/// single biggest win of the interned elaboration path.
 #[derive(Debug, Clone)]
-struct FlatTarget {
-    net: String,
-    lo: u32,
-    width: u32,
+pub(crate) enum Fx {
+    Net(Symbol),
+    Lit { width: Option<u32>, value: u128 },
+    Fill(bool),
+    Unary(UnaryOp, Box<Fx>),
+    Binary(BinaryOp, Box<Fx>, Box<Fx>),
+    Ternary(Box<Fx>, Box<Fx>, Box<Fx>),
+    Concat(Vec<Fx>),
+    Replicate(Box<Fx>, Box<Fx>),
+    Index(Box<Fx>, Box<Fx>),
+    Slice(Box<Fx>, Box<Fx>, Box<Fx>),
+    SysCall(SysFunc, Vec<Fx>),
 }
 
 #[derive(Debug, Clone)]
-enum FlatStmt {
+pub(crate) enum FlatStmt {
     Block(Vec<FlatStmt>),
     If {
-        cond: Expr,
+        cond: Fx,
         then: Box<FlatStmt>,
         alt: Option<Box<FlatStmt>>,
     },
     Assign {
         target: FlatTarget,
-        rhs: Expr,
+        rhs: Fx,
     },
     Empty,
 }
 
 #[derive(Debug, Clone)]
-enum FlatItem {
+pub(crate) enum FlatItem {
     Decl(DeclInfo),
-    Assign { target: FlatTarget, rhs: Expr },
+    Assign { target: FlatTarget, rhs: Fx },
     Proc { clocked: bool, body: FlatStmt },
 }
 
-#[derive(Debug, Default)]
-struct Flattener {
-    items: Vec<FlatItem>,
-    clock_name: Option<String>,
-    reset_name: Option<String>,
-    warnings: Vec<String>,
-    /// Parameter values of the top module (prefix empty), in order.
-    top_params: Vec<(String, u128)>,
+/// Hook for the frontend-agnostic elaboration driver: intercepts module
+/// instantiations during flattening. A router that [`claims`] an
+/// instantiation supplies the child's flattened scope and port
+/// directions itself (typically by splicing a pre-flattened fragment
+/// into the [`Flattener`]); unclaimed instantiations fall back to
+/// in-file SV inlining.
+///
+/// [`claims`]: InstanceRouter::claims
+pub(crate) trait InstanceRouter {
+    /// Whether this router elaborates `module` (checked before the
+    /// in-file module table, so routed fragments win).
+    fn claims(&self, module: &str, prefix: &str) -> bool;
+
+    /// Flattens the claimed module under `prefix` into `fl`, returning
+    /// the child scope and the `(port name, direction)` list used to
+    /// wire the instantiation's connections.
+    fn flatten_external(
+        &self,
+        fl: &mut Flattener<'_>,
+        module: &str,
+        prefix: &str,
+        overrides: &HashMap<String, u128>,
+    ) -> Result<(Scope, Vec<(String, PortDir)>)>;
 }
 
-impl Flattener {
-    fn flatten_module(
+/// Port-direction source for an instantiation: the in-file child module,
+/// or the list a router handed back for an externally elaborated child.
+enum PortDirs<'m> {
+    InFile(&'m Module),
+    External(Vec<(String, PortDir)>),
+}
+
+impl PortDirs<'_> {
+    fn dir(&self, pname: &str) -> Option<PortDir> {
+        match self {
+            PortDirs::InFile(m) => m.port(pname).map(|p| p.dir),
+            PortDirs::External(v) => v.iter().find(|(n, _)| n == pname).map(|(_, d)| *d),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Flattener<'r> {
+    /// The design's string arena; moved into the built netlist.
+    pub(crate) itn: Interner,
+    pub(crate) items: Vec<FlatItem>,
+    pub(crate) clock_name: Option<String>,
+    pub(crate) reset_name: Option<String>,
+    pub(crate) warnings: Vec<String>,
+    /// Parameter values of the top module (prefix empty), in order.
+    pub(crate) top_params: Vec<(String, u128)>,
+    pub(crate) router: Option<&'r dyn InstanceRouter>,
+}
+
+impl fmt::Debug for dyn InstanceRouter + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("InstanceRouter")
+    }
+}
+
+impl<'r> Flattener<'r> {
+    pub(crate) fn new(router: Option<&'r dyn InstanceRouter>) -> Flattener<'r> {
+        Flattener {
+            itn: Interner::new(),
+            items: Vec::new(),
+            clock_name: None,
+            reset_name: None,
+            warnings: Vec::new(),
+            top_params: Vec::new(),
+            router,
+        }
+    }
+
+    fn scope_get<'s>(&self, scope: &'s Scope, name: &str) -> Option<&'s ScopeEntry> {
+        scope.get(&self.itn.lookup(name)?)
+    }
+
+    pub(crate) fn flatten_module(
         &mut self,
         file: &SourceFile,
         module: &Module,
         prefix: &str,
         param_overrides: &HashMap<String, u128>,
         extra_items: &[ModuleItem],
-    ) -> Result<HashMap<String, ScopeEntry>> {
-        let mut scope: HashMap<String, ScopeEntry> = HashMap::new();
+    ) -> Result<Scope> {
+        let mut scope: Scope = Scope::default();
         // Parameters (defaults overridden by instance bindings).
         for p in &module.params {
             let v = match param_overrides.get(&p.name) {
                 Some(&v) if !p.local => v,
-                _ => const_eval_scoped(&p.value, &scope)?,
+                _ => const_eval_scoped(&p.value, &scope, &self.itn)?,
             };
             if prefix.is_empty() {
                 self.top_params.push((p.name.clone(), v));
             }
-            scope.insert(p.name.clone(), ScopeEntry::Const(v));
+            let key = self.itn.intern(&p.name);
+            scope.insert(key, ScopeEntry::Const(v));
         }
         // Port declarations.
         for port in &module.ports {
             let (width, lsb) = match &port.range {
-                Some(r) => range_width(r, &scope)?,
+                Some(r) => range_width(r, &scope, &self.itn)?,
                 None => (1, 0),
             };
             let info = DeclInfo {
-                flat: format!("{prefix}{}", port.name),
+                flat: self.itn.intern_parts(&[prefix, &port.name]),
                 width,
                 elem_width: 1,
                 lsb,
                 elems: None,
                 is_top_input: prefix.is_empty() && port.dir == PortDir::Input,
             };
-            scope.insert(port.name.clone(), ScopeEntry::Net(info.clone()));
+            let key = self.itn.intern(&port.name);
+            scope.insert(key, ScopeEntry::Net(info));
             self.items.push(FlatItem::Decl(info));
         }
         let items: Vec<&ModuleItem> = module.items.iter().chain(extra_items.iter()).collect();
@@ -155,12 +271,12 @@ impl Flattener {
         Ok(scope)
     }
 
-    fn flatten_items(
+    pub(crate) fn flatten_items(
         &mut self,
         file: &SourceFile,
         items: &[&ModuleItem],
         prefix: &str,
-        scope: &mut HashMap<String, ScopeEntry>,
+        scope: &mut Scope,
     ) -> Result<()> {
         for item in items {
             self.flatten_item(file, item, prefix, scope)?;
@@ -173,31 +289,33 @@ impl Flattener {
         file: &SourceFile,
         item: &ModuleItem,
         prefix: &str,
-        scope: &mut HashMap<String, ScopeEntry>,
+        scope: &mut Scope,
     ) -> Result<()> {
         match item {
             ModuleItem::Param(p) => {
-                let v = const_eval_scoped(&p.value, scope)?;
+                let v = const_eval_scoped(&p.value, scope, &self.itn)?;
                 if prefix.is_empty() {
                     self.top_params.push((p.name.clone(), v));
                 }
-                scope.insert(p.name.clone(), ScopeEntry::Const(v));
+                let key = self.itn.intern(&p.name);
+                scope.insert(key, ScopeEntry::Const(v));
             }
             ModuleItem::Port(p) => {
                 // In-body port decl inside an instantiated module.
                 let (width, lsb) = match &p.range {
-                    Some(r) => range_width(r, scope)?,
+                    Some(r) => range_width(r, scope, &self.itn)?,
                     None => (1, 0),
                 };
                 let info = DeclInfo {
-                    flat: format!("{prefix}{}", p.name),
+                    flat: self.itn.intern_parts(&[prefix, &p.name]),
                     width,
                     elem_width: 1,
                     lsb,
                     elems: None,
                     is_top_input: prefix.is_empty() && p.dir == PortDir::Input,
                 };
-                scope.insert(p.name.clone(), ScopeEntry::Net(info.clone()));
+                let key = self.itn.intern(&p.name);
+                scope.insert(key, ScopeEntry::Net(info));
                 self.items.push(FlatItem::Decl(info));
             }
             ModuleItem::Net(n) => {
@@ -209,11 +327,11 @@ impl Flattener {
                 let mut elem_width = 1u32;
                 let mut lsb = 0u32;
                 if !n.packed.is_empty() {
-                    let (w0, l0) = range_width(&n.packed[0], scope)?;
+                    let (w0, l0) = range_width(&n.packed[0], scope, &self.itn)?;
                     lsb = l0;
                     let mut inner = 1u32;
                     for r in &n.packed[1..] {
-                        let (w, _) = range_width(r, scope)?;
+                        let (w, _) = range_width(r, scope, &self.itn)?;
                         inner = inner
                             .checked_mul(w)
                             .ok_or_else(|| ElabError::new("packed dimensions overflow"))?;
@@ -229,30 +347,52 @@ impl Flattener {
                         n.name
                     )));
                 }
+                let flat = self.itn.intern_parts(&[prefix, &n.name]);
                 let elems = if n.unpacked.is_empty() {
                     None
                 } else {
                     let mut count = 1u32;
                     for r in &n.unpacked {
-                        let (w, _) = range_width(r, scope)?;
+                        let (w, _) = range_width(r, scope, &self.itn)?;
                         count = count
                             .checked_mul(w)
                             .ok_or_else(|| ElabError::new("unpacked dimensions overflow"))?;
                     }
-                    Some(count)
+                    // Intern every element name back-to-back so selects
+                    // can address element `i` as `elem0.offset(i)`
+                    // without re-hashing. Element names are produced
+                    // only here, so the run is truly consecutive.
+                    let base = self.itn.resolve(flat).to_string();
+                    let mut name = String::with_capacity(base.len() + 8);
+                    let mut elem0 = None;
+                    for i in 0..count {
+                        name.clear();
+                        use std::fmt::Write as _;
+                        let _ = write!(name, "{base}[{i}]");
+                        let s = self.itn.intern(&name);
+                        let e0 = *elem0.get_or_insert(s);
+                        debug_assert_eq!(s, e0.offset(i), "array elements interned consecutively");
+                    }
+                    Some(ArrayInfo {
+                        count,
+                        // A zero-element array has no element symbols;
+                        // bounds checks keep `elem0` unused then.
+                        elem0: elem0.unwrap_or(flat),
+                    })
                 };
                 let info = DeclInfo {
-                    flat: format!("{prefix}{}", n.name),
+                    flat,
                     width,
                     elem_width,
                     lsb,
                     elems,
                     is_top_input: false,
                 };
-                scope.insert(n.name.clone(), ScopeEntry::Net(info.clone()));
-                self.items.push(FlatItem::Decl(info.clone()));
+                let key = self.itn.intern(&n.name);
+                scope.insert(key, ScopeEntry::Net(info));
+                self.items.push(FlatItem::Decl(info));
                 if let Some(init) = &n.init {
-                    let rhs = subst_expr(init, scope);
+                    let rhs = self.flatten_expr(init, scope);
                     self.items.push(FlatItem::Assign {
                         target: FlatTarget {
                             net: info.flat,
@@ -265,7 +405,7 @@ impl Flattener {
             }
             ModuleItem::ContAssign(a) => {
                 let target = self.resolve_lvalue(&a.lhs, scope)?;
-                let rhs = subst_expr(&a.rhs, scope);
+                let rhs = self.flatten_expr(&a.rhs, scope);
                 self.items.push(FlatItem::Assign { target, rhs });
             }
             ModuleItem::AlwaysComb(body) => {
@@ -312,20 +452,40 @@ impl Flattener {
                 body,
                 ..
             } => {
-                let mut value = const_eval_scoped(init, scope)?;
+                let mut value = const_eval_scoped(init, scope, &self.itn)?;
+                let var_key = self.itn.intern(var);
+                let body_refs: Vec<&ModuleItem> = body.iter().collect();
+                // Only top-level declarations in the body can touch the
+                // iteration scope (instances and nested generates work
+                // on their own clones), so a declaration-free body —
+                // the common shape — reuses one scope across
+                // iterations instead of cloning per iteration.
+                let body_declares = body.iter().any(|it| {
+                    matches!(
+                        it,
+                        ModuleItem::Param(_) | ModuleItem::Port(_) | ModuleItem::Net(_)
+                    )
+                });
+                let mut shared = (!body_declares).then(|| scope.clone());
                 let mut iters = 0u32;
                 loop {
-                    let mut inner = scope.clone();
-                    inner.insert(var.clone(), ScopeEntry::Const(value));
-                    if const_eval_scoped(cond, &inner)? == 0 {
+                    let mut per_iter;
+                    let inner = match &mut shared {
+                        Some(s) => s,
+                        None => {
+                            per_iter = scope.clone();
+                            &mut per_iter
+                        }
+                    };
+                    inner.insert(var_key, ScopeEntry::Const(value));
+                    if const_eval_scoped(cond, inner, &self.itn)? == 0 {
                         break;
                     }
-                    let body_refs: Vec<&ModuleItem> = body.iter().collect();
-                    self.flatten_items(file, &body_refs, prefix, &mut inner)?;
-                    // Copy back any nets declared at outer scope? Generate
-                    // bodies declare per-iteration nets which stay local;
-                    // drivers of outer nets were already recorded.
-                    value = const_eval_scoped(step, &inner)?;
+                    self.flatten_items(file, &body_refs, prefix, inner)?;
+                    // Per-iteration declarations stay local to their
+                    // clone; drivers of outer nets were already
+                    // recorded.
+                    value = const_eval_scoped(step, inner, &self.itn)?;
                     iters += 1;
                     if iters > MAX_GENERATE_ITERS {
                         return Err(ElabError::new("generate loop exceeds iteration limit"));
@@ -333,35 +493,47 @@ impl Flattener {
                 }
             }
             ModuleItem::Instance(inst) => {
-                let child = file
-                    .module(&inst.module)
-                    .ok_or_else(|| ElabError::new(format!("unknown module '{}'", inst.module)))?;
                 let mut overrides = HashMap::new();
                 for (name, e) in &inst.params {
-                    overrides.insert(
-                        name.clone(),
-                        const_eval_scoped(&subst_expr(e, scope), &HashMap::new())?,
-                    );
+                    let fx = self.flatten_expr(e, scope);
+                    overrides.insert(name.clone(), fx_const_eval(&fx, &self.itn)?);
                 }
                 let child_prefix = format!("{prefix}{}.", inst.name);
-                let child_scope =
-                    self.flatten_module(file, child, &child_prefix, &overrides, &[])?;
+                // The router (elaboration driver) gets first claim on the
+                // module name; unclaimed instances inline from the file.
+                let router = self.router;
+                let routed = router.is_some_and(|r| r.claims(&inst.module, &child_prefix));
+                let (child_scope, ports) = if routed {
+                    let (s, p) = router.expect("claimed").flatten_external(
+                        self,
+                        &inst.module,
+                        &child_prefix,
+                        &overrides,
+                    )?;
+                    (s, PortDirs::External(p))
+                } else {
+                    let child = file.module(&inst.module).ok_or_else(|| {
+                        ElabError::new(format!("unknown module '{}'", inst.module))
+                    })?;
+                    let s = self.flatten_module(file, child, &child_prefix, &overrides, &[])?;
+                    (s, PortDirs::InFile(child))
+                };
                 // Port connections become assigns in the right direction.
                 for (pname, conn) in &inst.conns {
-                    let port = child.port(pname).ok_or_else(|| {
+                    let dir = ports.dir(pname).ok_or_else(|| {
                         ElabError::new(format!("module '{}' has no port '{pname}'", inst.module))
                     })?;
-                    let child_info = match child_scope.get(pname) {
-                        Some(ScopeEntry::Net(i)) => i.clone(),
+                    let child_info = match self.scope_get(&child_scope, pname) {
+                        Some(ScopeEntry::Net(i)) => *i,
                         _ => {
                             return Err(ElabError::new(format!(
                                 "port '{pname}' did not elaborate to a net"
                             )))
                         }
                     };
-                    match port.dir {
+                    match dir {
                         PortDir::Input => {
-                            let rhs = subst_expr(conn, scope);
+                            let rhs = self.flatten_expr(conn, scope);
                             self.items.push(FlatItem::Assign {
                                 target: FlatTarget {
                                     net: child_info.flat,
@@ -381,7 +553,7 @@ impl Flattener {
                             let target = self.resolve_lvalue(&lv, scope)?;
                             self.items.push(FlatItem::Assign {
                                 target,
-                                rhs: Expr::Ident(child_info.flat),
+                                rhs: Fx::Net(child_info.flat),
                             });
                         }
                         PortDir::Inout => {
@@ -398,11 +570,7 @@ impl Flattener {
         Ok(())
     }
 
-    fn flatten_stmt(
-        &mut self,
-        stmt: &Stmt,
-        scope: &HashMap<String, ScopeEntry>,
-    ) -> Result<FlatStmt> {
+    fn flatten_stmt(&mut self, stmt: &Stmt, scope: &Scope) -> Result<FlatStmt> {
         Ok(match stmt {
             Stmt::Block(stmts) => FlatStmt::Block(
                 stmts
@@ -411,7 +579,7 @@ impl Flattener {
                     .collect::<Result<_>>()?,
             ),
             Stmt::If { cond, then, alt } => FlatStmt::If {
-                cond: subst_expr(cond, scope),
+                cond: self.flatten_expr(cond, scope),
                 then: Box::new(self.flatten_stmt(then, scope)?),
                 alt: match alt {
                     Some(a) => Some(Box::new(self.flatten_stmt(a, scope)?)),
@@ -423,24 +591,26 @@ impl Flattener {
                 arms,
                 default,
             } => {
-                // Desugar to an if/else chain.
+                // Desugar to an if/else chain. The subject flattens once
+                // and is shared (cloned) per label — substitution
+                // distributes over the comparison, so this matches
+                // flattening each `subject == label` separately.
+                let subj = self.flatten_expr(subject, scope);
                 let mut acc = match default {
                     Some(d) => self.flatten_stmt(d, scope)?,
                     None => FlatStmt::Empty,
                 };
                 for (labels, body) in arms.iter().rev() {
-                    let mut cond: Option<Expr> = None;
+                    let mut cond: Option<Fx> = None;
                     for l in labels {
-                        let eq = Expr::bin(BinaryOp::Eq, subject.clone(), l.clone());
+                        let lf = self.flatten_expr(l, scope);
+                        let eq = Fx::Binary(BinaryOp::Eq, Box::new(subj.clone()), Box::new(lf));
                         cond = Some(match cond {
                             None => eq,
-                            Some(c) => c.lor(eq),
+                            Some(c) => Fx::Binary(BinaryOp::LogOr, Box::new(c), Box::new(eq)),
                         });
                     }
-                    let cond = subst_expr(
-                        &cond.ok_or_else(|| ElabError::new("case arm without labels"))?,
-                        scope,
-                    );
+                    let cond = cond.ok_or_else(|| ElabError::new("case arm without labels"))?;
                     acc = FlatStmt::If {
                         cond,
                         then: Box::new(self.flatten_stmt(body, scope)?),
@@ -451,38 +621,42 @@ impl Flattener {
             }
             Stmt::NonBlocking(lv, rhs) | Stmt::Blocking(lv, rhs) => FlatStmt::Assign {
                 target: self.resolve_lvalue(lv, scope)?,
-                rhs: subst_expr(rhs, scope),
+                rhs: self.flatten_expr(rhs, scope),
             },
             Stmt::Empty => FlatStmt::Empty,
         })
     }
 
-    fn resolve_lvalue(
-        &mut self,
-        lv: &LValue,
-        scope: &HashMap<String, ScopeEntry>,
-    ) -> Result<FlatTarget> {
+    fn resolve_lvalue(&mut self, lv: &LValue, scope: &Scope) -> Result<FlatTarget> {
         match lv {
             LValue::Ident(name) => {
-                let info = lookup_net(scope, name)?;
+                let info = self.lookup_net(scope, name)?;
                 Ok(FlatTarget {
-                    net: info.flat.clone(),
+                    net: info.flat,
                     lo: 0,
                     width: info.width,
                 })
             }
             LValue::Index(name, idx) => {
-                let info = lookup_net(scope, name)?;
-                let i =
-                    const_eval_scoped(&subst_expr(idx, scope), &HashMap::new()).map_err(|_| {
-                        ElabError::new(format!(
-                            "assignment index into '{name}' must be an elaboration-time constant"
-                        ))
-                    })?;
-                if info.elems.is_some() {
-                    // Array element: its own net.
+                let info = self.lookup_net(scope, name)?;
+                let i = const_eval_scoped(idx, scope, &self.itn).map_err(|_| {
+                    ElabError::new(format!(
+                        "assignment index into '{name}' must be an elaboration-time constant"
+                    ))
+                })?;
+                if let Some(arr) = info.elems {
+                    // Array element: its own net. In-range indices hit
+                    // the consecutive element symbols; out-of-range
+                    // ones intern the written name so the later
+                    // "undeclared driver" diagnostics keep their text.
+                    let net = if i < u128::from(arr.count) {
+                        arr.elem0.offset(i as u32)
+                    } else {
+                        let elem = format!("{}[{i}]", self.itn.resolve(info.flat));
+                        self.itn.intern(&elem)
+                    };
                     Ok(FlatTarget {
-                        net: format!("{}[{i}]", info.flat),
+                        net,
                         lo: 0,
                         width: info.width,
                     })
@@ -496,16 +670,18 @@ impl Flattener {
                         return Err(ElabError::new(format!("index out of range for '{name}'")));
                     }
                     Ok(FlatTarget {
-                        net: info.flat.clone(),
+                        net: info.flat,
                         lo,
                         width: info.elem_width,
                     })
                 }
             }
             LValue::Slice(name, hi, lo) => {
-                let info = lookup_net(scope, name)?;
-                let hi = const_eval_scoped(&subst_expr(hi, scope), &HashMap::new())?;
-                let lo = const_eval_scoped(&subst_expr(lo, scope), &HashMap::new())?;
+                let info = self.lookup_net(scope, name)?;
+                let hi_fx = self.flatten_expr(hi, scope);
+                let lo_fx = self.flatten_expr(lo, scope);
+                let hi = fx_const_eval(&hi_fx, &self.itn)?;
+                let lo = fx_const_eval(&lo_fx, &self.itn)?;
                 let (hi, lo) = (
                     u32::try_from(hi).map_err(|_| ElabError::new("slice bound too large"))?,
                     u32::try_from(lo).map_err(|_| ElabError::new("slice bound too large"))?,
@@ -514,7 +690,7 @@ impl Flattener {
                     return Err(ElabError::new(format!("slice out of range for '{name}'")));
                 }
                 Ok(FlatTarget {
-                    net: info.flat.clone(),
+                    net: info.flat,
                     lo: lo - info.lsb,
                     width: hi - lo + 1,
                 })
@@ -524,17 +700,69 @@ impl Flattener {
             )),
         }
     }
-}
 
-fn lookup_net<'a>(scope: &'a HashMap<String, ScopeEntry>, name: &str) -> Result<&'a DeclInfo> {
-    match scope.get(name) {
-        Some(ScopeEntry::Net(info)) => Ok(info),
-        Some(ScopeEntry::Const(_)) => Err(ElabError::new(format!(
-            "'{name}' is a parameter, not an assignable net"
-        ))),
-        None => Err(ElabError::new(format!(
-            "assignment to undeclared net '{name}'"
-        ))),
+    fn lookup_net(&self, scope: &Scope, name: &str) -> Result<DeclInfo> {
+        match self.scope_get(scope, name) {
+            Some(ScopeEntry::Net(info)) => Ok(*info),
+            Some(ScopeEntry::Const(_)) => Err(ElabError::new(format!(
+                "'{name}' is a parameter, not an assignable net"
+            ))),
+            None => Err(ElabError::new(format!(
+                "assignment to undeclared net '{name}'"
+            ))),
+        }
+    }
+
+    /// Flattens an expression: parameters/genvars fold to literals, nets
+    /// resolve to their interned flat names. Unknown identifiers are
+    /// interned as written (reported later).
+    fn flatten_expr(&mut self, e: &Expr, scope: &Scope) -> Fx {
+        match e {
+            Expr::Ident(name) => match self.scope_get(scope, name) {
+                Some(ScopeEntry::Const(v)) => Fx::Lit {
+                    width: None,
+                    value: *v,
+                },
+                Some(ScopeEntry::Net(info)) => Fx::Net(info.flat),
+                None => Fx::Net(self.itn.intern(name)),
+            },
+            Expr::Literal(Literal::Int { width, value, .. }) => Fx::Lit {
+                width: *width,
+                value: *value,
+            },
+            Expr::Literal(Literal::Fill(b)) => Fx::Fill(*b),
+            Expr::Unary(op, i) => Fx::Unary(*op, Box::new(self.flatten_expr(i, scope))),
+            Expr::Binary(op, a, b) => Fx::Binary(
+                *op,
+                Box::new(self.flatten_expr(a, scope)),
+                Box::new(self.flatten_expr(b, scope)),
+            ),
+            Expr::Ternary(c, t, f) => Fx::Ternary(
+                Box::new(self.flatten_expr(c, scope)),
+                Box::new(self.flatten_expr(t, scope)),
+                Box::new(self.flatten_expr(f, scope)),
+            ),
+            Expr::Concat(es) => {
+                Fx::Concat(es.iter().map(|x| self.flatten_expr(x, scope)).collect())
+            }
+            Expr::Replicate(n, x) => Fx::Replicate(
+                Box::new(self.flatten_expr(n, scope)),
+                Box::new(self.flatten_expr(x, scope)),
+            ),
+            Expr::Index(b, i) => Fx::Index(
+                Box::new(self.flatten_expr(b, scope)),
+                Box::new(self.flatten_expr(i, scope)),
+            ),
+            Expr::Slice(b, h, l) => Fx::Slice(
+                Box::new(self.flatten_expr(b, scope)),
+                Box::new(self.flatten_expr(h, scope)),
+                Box::new(self.flatten_expr(l, scope)),
+            ),
+            Expr::SysCall(f, args) => Fx::SysCall(
+                *f,
+                args.iter().map(|x| self.flatten_expr(x, scope)).collect(),
+            ),
+        }
     }
 }
 
@@ -553,50 +781,9 @@ fn expr_as_lvalue(e: &Expr) -> Option<LValue> {
     }
 }
 
-/// Substitutes parameters/genvars with literal values and nets with their
-/// flat names. Unknown identifiers pass through (reported later).
-fn subst_expr(e: &Expr, scope: &HashMap<String, ScopeEntry>) -> Expr {
-    match e {
-        Expr::Ident(name) => match scope.get(name) {
-            Some(ScopeEntry::Const(v)) => Expr::Literal(Literal::dec(*v)),
-            Some(ScopeEntry::Net(info)) => Expr::Ident(info.flat.clone()),
-            None => e.clone(),
-        },
-        Expr::Literal(_) => e.clone(),
-        Expr::Unary(op, i) => Expr::Unary(*op, Box::new(subst_expr(i, scope))),
-        Expr::Binary(op, a, b) => Expr::Binary(
-            *op,
-            Box::new(subst_expr(a, scope)),
-            Box::new(subst_expr(b, scope)),
-        ),
-        Expr::Ternary(c, t, f) => Expr::Ternary(
-            Box::new(subst_expr(c, scope)),
-            Box::new(subst_expr(t, scope)),
-            Box::new(subst_expr(f, scope)),
-        ),
-        Expr::Concat(es) => Expr::Concat(es.iter().map(|x| subst_expr(x, scope)).collect()),
-        Expr::Replicate(n, x) => Expr::Replicate(
-            Box::new(subst_expr(n, scope)),
-            Box::new(subst_expr(x, scope)),
-        ),
-        Expr::Index(b, i) => Expr::Index(
-            Box::new(subst_expr(b, scope)),
-            Box::new(subst_expr(i, scope)),
-        ),
-        Expr::Slice(b, h, l) => Expr::Slice(
-            Box::new(subst_expr(b, scope)),
-            Box::new(subst_expr(h, scope)),
-            Box::new(subst_expr(l, scope)),
-        ),
-        Expr::SysCall(f, args) => {
-            Expr::SysCall(*f, args.iter().map(|x| subst_expr(x, scope)).collect())
-        }
-    }
-}
-
-fn range_width(r: &sv_ast::Range, scope: &HashMap<String, ScopeEntry>) -> Result<(u32, u32)> {
-    let msb = const_eval_scoped(&r.msb, scope)?;
-    let lsb = const_eval_scoped(&r.lsb, scope)?;
+fn range_width(r: &sv_ast::Range, scope: &Scope, itn: &Interner) -> Result<(u32, u32)> {
+    let msb = const_eval_scoped(&r.msb, scope, itn)?;
+    let lsb = const_eval_scoped(&r.lsb, scope, itn)?;
     if lsb > msb {
         return Err(ElabError::new("descending ranges must have msb >= lsb"));
     }
@@ -610,11 +797,63 @@ fn range_width(r: &sv_ast::Range, scope: &HashMap<String, ScopeEntry>) -> Result
     ))
 }
 
-/// Elaboration-time constant evaluation (parameters, genvar bounds,
-/// indices). Identifiers must resolve to constants in `scope`.
-fn const_eval_scoped(e: &Expr, scope: &HashMap<String, ScopeEntry>) -> Result<u128> {
+fn const_unary(op: UnaryOp, v: u128) -> Result<u128> {
+    Ok(match op {
+        UnaryOp::LogNot => u128::from(v == 0),
+        UnaryOp::BitNot => !v,
+        UnaryOp::Neg => v.wrapping_neg(),
+        UnaryOp::Pos => v,
+        UnaryOp::RedOr => u128::from(v != 0),
+        UnaryOp::RedAnd => {
+            return Err(ElabError::new(
+                "reduction-and needs a width; not allowed in constants",
+            ))
+        }
+        UnaryOp::RedXor => u128::from(v.count_ones() % 2 == 1),
+        _ => return Err(ElabError::new("unsupported unary op in constant")),
+    })
+}
+
+fn const_binary(op: BinaryOp, x: u128, y: u128) -> Result<u128> {
+    Ok(match op {
+        BinaryOp::Add => x.wrapping_add(y),
+        BinaryOp::Sub => x.wrapping_sub(y),
+        BinaryOp::Mul => x.wrapping_mul(y),
+        BinaryOp::Div => {
+            if y == 0 {
+                return Err(ElabError::new("division by zero in constant"));
+            }
+            x / y
+        }
+        BinaryOp::Mod => {
+            if y == 0 {
+                return Err(ElabError::new("modulo by zero in constant"));
+            }
+            x % y
+        }
+        BinaryOp::Shl | BinaryOp::AShl => x.checked_shl(y as u32).unwrap_or(0),
+        BinaryOp::Shr | BinaryOp::AShr => x.checked_shr(y as u32).unwrap_or(0),
+        BinaryOp::BitAnd => x & y,
+        BinaryOp::BitOr => x | y,
+        BinaryOp::BitXor => x ^ y,
+        BinaryOp::BitXnor => !(x ^ y),
+        BinaryOp::Eq | BinaryOp::CaseEq => u128::from(x == y),
+        BinaryOp::Neq | BinaryOp::CaseNeq => u128::from(x != y),
+        BinaryOp::Lt => u128::from(x < y),
+        BinaryOp::Le => u128::from(x <= y),
+        BinaryOp::Gt => u128::from(x > y),
+        BinaryOp::Ge => u128::from(x >= y),
+        BinaryOp::LogAnd => u128::from(x != 0 && y != 0),
+        BinaryOp::LogOr => u128::from(x != 0 || y != 0),
+    })
+}
+
+/// Elaboration-time constant evaluation over source expressions
+/// (parameters, genvar bounds, range bounds). Identifiers must resolve
+/// to constants in `scope`.
+fn const_eval_scoped(e: &Expr, scope: &Scope, itn: &Interner) -> Result<u128> {
     Ok(match e {
-        Expr::Ident(name) => match scope.get(name) {
+        Expr::Ident(name) => match itn.lookup(name).and_then(|s| scope.get(&s)) {
             Some(ScopeEntry::Const(v)) => *v,
             _ => {
                 return Err(ElabError::new(format!(
@@ -626,68 +865,56 @@ fn const_eval_scoped(e: &Expr, scope: &HashMap<String, ScopeEntry>) -> Result<u1
         Expr::Literal(Literal::Fill(_)) => {
             return Err(ElabError::new("fill literal in constant context"))
         }
-        Expr::Unary(op, i) => {
-            let v = const_eval_scoped(i, scope)?;
-            match op {
-                UnaryOp::LogNot => u128::from(v == 0),
-                UnaryOp::BitNot => !v,
-                UnaryOp::Neg => v.wrapping_neg(),
-                UnaryOp::Pos => v,
-                UnaryOp::RedOr => u128::from(v != 0),
-                UnaryOp::RedAnd => {
-                    return Err(ElabError::new(
-                        "reduction-and needs a width; not allowed in constants",
-                    ))
-                }
-                UnaryOp::RedXor => u128::from(v.count_ones() % 2 == 1),
-                _ => return Err(ElabError::new("unsupported unary op in constant")),
-            }
-        }
-        Expr::Binary(op, a, b) => {
-            let x = const_eval_scoped(a, scope)?;
-            let y = const_eval_scoped(b, scope)?;
-            match op {
-                BinaryOp::Add => x.wrapping_add(y),
-                BinaryOp::Sub => x.wrapping_sub(y),
-                BinaryOp::Mul => x.wrapping_mul(y),
-                BinaryOp::Div => {
-                    if y == 0 {
-                        return Err(ElabError::new("division by zero in constant"));
-                    }
-                    x / y
-                }
-                BinaryOp::Mod => {
-                    if y == 0 {
-                        return Err(ElabError::new("modulo by zero in constant"));
-                    }
-                    x % y
-                }
-                BinaryOp::Shl | BinaryOp::AShl => x.checked_shl(y as u32).unwrap_or(0),
-                BinaryOp::Shr | BinaryOp::AShr => x.checked_shr(y as u32).unwrap_or(0),
-                BinaryOp::BitAnd => x & y,
-                BinaryOp::BitOr => x | y,
-                BinaryOp::BitXor => x ^ y,
-                BinaryOp::BitXnor => !(x ^ y),
-                BinaryOp::Eq | BinaryOp::CaseEq => u128::from(x == y),
-                BinaryOp::Neq | BinaryOp::CaseNeq => u128::from(x != y),
-                BinaryOp::Lt => u128::from(x < y),
-                BinaryOp::Le => u128::from(x <= y),
-                BinaryOp::Gt => u128::from(x > y),
-                BinaryOp::Ge => u128::from(x >= y),
-                BinaryOp::LogAnd => u128::from(x != 0 && y != 0),
-                BinaryOp::LogOr => u128::from(x != 0 || y != 0),
-            }
-        }
+        Expr::Unary(op, i) => const_unary(*op, const_eval_scoped(i, scope, itn)?)?,
+        Expr::Binary(op, a, b) => const_binary(
+            *op,
+            const_eval_scoped(a, scope, itn)?,
+            const_eval_scoped(b, scope, itn)?,
+        )?,
         Expr::Ternary(c, t, f) => {
-            if const_eval_scoped(c, scope)? != 0 {
-                const_eval_scoped(t, scope)?
+            if const_eval_scoped(c, scope, itn)? != 0 {
+                const_eval_scoped(t, scope, itn)?
             } else {
-                const_eval_scoped(f, scope)?
+                const_eval_scoped(f, scope, itn)?
             }
         }
         Expr::SysCall(SysFunc::Clog2, args) if args.len() == 1 => {
-            let v = const_eval_scoped(&args[0], scope)?;
+            let v = const_eval_scoped(&args[0], scope, itn)?;
             u128::from(clog2(v))
+        }
+        _ => {
+            return Err(ElabError::new(
+                "expression is not an elaboration-time constant",
+            ))
+        }
+    })
+}
+
+/// Constant evaluation over flattened expressions (indices, slice and
+/// replication bounds — everything that was scope-resolved already).
+/// Net references are non-constant; the error carries the name they
+/// resolved to, matching what substitution used to report.
+fn fx_const_eval(e: &Fx, itn: &Interner) -> Result<u128> {
+    Ok(match e {
+        Fx::Net(sym) => {
+            return Err(ElabError::new(format!(
+                "'{}' is not an elaboration-time constant",
+                itn.resolve(*sym)
+            )))
+        }
+        Fx::Lit { value, .. } => *value,
+        Fx::Fill(_) => return Err(ElabError::new("fill literal in constant context")),
+        Fx::Unary(op, i) => const_unary(*op, fx_const_eval(i, itn)?)?,
+        Fx::Binary(op, a, b) => const_binary(*op, fx_const_eval(a, itn)?, fx_const_eval(b, itn)?)?,
+        Fx::Ternary(c, t, f) => {
+            if fx_const_eval(c, itn)? != 0 {
+                fx_const_eval(t, itn)?
+            } else {
+                fx_const_eval(f, itn)?
+            }
+        }
+        Fx::SysCall(SysFunc::Clog2, args) if args.len() == 1 => {
+            u128::from(clog2(fx_const_eval(&args[0], itn)?))
         }
         _ => {
             return Err(ElabError::new(
@@ -717,13 +944,18 @@ enum DriverKind {
 
 #[derive(Debug)]
 struct Builder {
+    /// Arena continued from the flattener; frozen into the netlist.
+    itn: Interner,
     netlist: Netlist,
     /// (net, lo, width) -> atom
-    atom_of_range: HashMap<(String, u32, u32), AtomId>,
+    atom_of_range: SymbolMap<(Symbol, u32, u32), AtomId>,
     /// Declared nets pending binding construction.
-    decls: HashMap<String, DeclInfo>,
-    decl_order: Vec<String>,
-    drivers: HashMap<String, Vec<(u32, u32, DriverKind, usize)>>,
+    decls: SymbolMap<Symbol, DeclInfo>,
+    decl_order: Vec<Symbol>,
+    drivers: SymbolMap<Symbol, Vec<(u32, u32, DriverKind, usize)>>,
+    /// Per array, the symbol of element 0 (elements are interned
+    /// consecutively, so element `i` is `elem0.offset(i)`).
+    array_elem0: SymbolMap<Symbol, Symbol>,
 }
 
 /// Elaborates `top` from `file` into a flat netlist.
@@ -760,15 +992,25 @@ pub fn elaborate_with_extras(
     let module = file
         .module(top)
         .ok_or_else(|| ElabError::new(format!("unknown top module '{top}'")))?;
-    let mut fl = Flattener::default();
+    let mut fl = Flattener::new(None);
     fl.flatten_module(file, module, "", &HashMap::new(), extras)?;
+    let Flattener {
+        itn,
+        items,
+        clock_name,
+        reset_name,
+        warnings,
+        top_params,
+        ..
+    } = fl;
     build_netlist(
-        &fl.items,
+        &items,
         &[],
-        &fl.clock_name,
-        &fl.reset_name,
-        &fl.warnings,
-        &fl.top_params,
+        itn,
+        &clock_name,
+        &reset_name,
+        &warnings,
+        &top_params,
     )
 }
 
@@ -806,12 +1048,15 @@ pub fn elaborate_with_extras(
 pub struct ElaboratedDesign {
     file: SourceFile,
     items: Vec<FlatItem>,
-    scope: HashMap<String, ScopeEntry>,
+    scope: Scope,
     clock_name: Option<String>,
     reset_name: Option<String>,
     warnings: Vec<String>,
     top_params: Vec<(String, u128)>,
     base: Netlist,
+    /// Lazily computed content digest of the base netlist (see
+    /// [`ElaboratedDesign::content_digest`]).
+    digest: std::sync::OnceLock<u64>,
 }
 
 /// Elaborates `top` (with `extras` already part of the design, e.g. the
@@ -828,29 +1073,52 @@ pub fn elaborate_design(
     top: &str,
     extras: &[ModuleItem],
 ) -> Result<ElaboratedDesign> {
+    elaborate_design_routed(file, top, extras, None)
+}
+
+/// [`elaborate_design`] with an optional [`InstanceRouter`] — the entry
+/// point the elaboration driver uses to splice externally elaborated
+/// module fragments into the flattening walk.
+pub(crate) fn elaborate_design_routed(
+    file: &SourceFile,
+    top: &str,
+    extras: &[ModuleItem],
+    router: Option<&dyn InstanceRouter>,
+) -> Result<ElaboratedDesign> {
     let _span = fv_trace::span!("elaborate", top = top, extras = extras.len());
     let module = file
         .module(top)
         .ok_or_else(|| ElabError::new(format!("unknown top module '{top}'")))?;
-    let mut fl = Flattener::default();
+    let mut fl = Flattener::new(router);
     let scope = fl.flatten_module(file, module, "", &HashMap::new(), extras)?;
+    let Flattener {
+        itn,
+        items,
+        clock_name,
+        reset_name,
+        warnings,
+        top_params,
+        ..
+    } = fl;
     let base = build_netlist(
-        &fl.items,
+        &items,
         &[],
-        &fl.clock_name,
-        &fl.reset_name,
-        &fl.warnings,
-        &fl.top_params,
+        itn,
+        &clock_name,
+        &reset_name,
+        &warnings,
+        &top_params,
     )?;
     Ok(ElaboratedDesign {
         file: file.clone(),
-        items: fl.items,
+        items,
         scope,
-        clock_name: fl.clock_name,
-        reset_name: fl.reset_name,
-        warnings: fl.warnings,
-        top_params: fl.top_params,
+        clock_name,
+        reset_name,
+        warnings,
+        top_params,
         base,
+        digest: std::sync::OnceLock::new(),
     })
 }
 
@@ -869,6 +1137,14 @@ impl ElaboratedDesign {
         &self.top_params
     }
 
+    /// Content digest of the base netlist, computed on first use and
+    /// cached (see [`Netlist::content_digest`]). Cache keys built
+    /// from this digest dedupe recompilation of identical designs
+    /// without rehashing the netlist per probe.
+    pub fn content_digest(&self) -> u64 {
+        *self.digest.get_or_init(|| self.base.content_digest())
+    }
+
     /// Splices `extras` into the already-flattened design and builds
     /// the bound netlist. Only the extra items are flattened — they are
     /// resolved in the saved top-module scope exactly as if they had
@@ -885,13 +1161,17 @@ impl ElaboratedDesign {
         }
         let _span = fv_trace::span!("bind_extras", extras = extras.len());
         // Resume flattening where the base elaboration stopped: same
-        // scope, same clock/reset detection state, fresh item list.
+        // scope, same clock/reset detection state, fresh item list. The
+        // arena resumes from the frozen base interner (append-only, so
+        // every saved symbol stays valid).
         let mut fl = Flattener {
+            itn: (*self.base.syms).clone(),
             items: Vec::new(),
             clock_name: self.clock_name.clone(),
             reset_name: self.reset_name.clone(),
             warnings: Vec::new(),
             top_params: Vec::new(),
+            router: None,
         };
         let mut scope = self.scope.clone();
         let refs: Vec<&ModuleItem> = extras.iter().collect();
@@ -903,6 +1183,7 @@ impl ElaboratedDesign {
         build_netlist(
             &self.items,
             &fl.items,
+            fl.itn,
             &fl.clock_name,
             &fl.reset_name,
             &warnings,
@@ -911,11 +1192,242 @@ impl ElaboratedDesign {
     }
 }
 
+// ---------------------------------------------------------------------
+// Module fragments (elaboration driver)
+// ---------------------------------------------------------------------
+
+/// A module flattened in isolation (prefix-free), ready to be spliced
+/// into a design under an instance prefix (`Flattener::splice_fragment`).
+/// Fragments are what the elaboration driver's frontends produce: each
+/// carries its own private interner, so independent modules can flatten
+/// on separate threads and merge into the design's arena
+/// deterministically at splice time.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// The fragment's private arena; symbols below index into this.
+    pub(crate) itn: Interner,
+    pub(crate) items: Vec<FlatItem>,
+    /// The module's own name scope (keys are unprefixed source names).
+    pub(crate) scope: Scope,
+    /// Port names and directions, in declaration order.
+    pub(crate) ports: Vec<(String, PortDir)>,
+    /// First posedge signal seen, by source name (unprefixed, matching
+    /// what in-file inlining records).
+    pub(crate) clock_name: Option<String>,
+    /// First negedge signal seen, by source name.
+    pub(crate) reset_name: Option<String>,
+}
+
+impl Fragment {
+    /// Flattens `module` from `file` with the given parameter overrides
+    /// into a standalone fragment. Nested in-file instances are inlined
+    /// into the fragment.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the module is unknown or any contained item fails to
+    /// elaborate (see [`elaborate_with_extras`]).
+    pub fn from_sv(
+        file: &SourceFile,
+        module: &str,
+        overrides: &HashMap<String, u128>,
+    ) -> Result<Fragment> {
+        let m = file
+            .module(module)
+            .ok_or_else(|| ElabError::new(format!("unknown module '{module}'")))?;
+        let mut fl = Flattener::new(None);
+        let scope = fl.flatten_module(file, m, "", overrides, &[])?;
+        // Flattening emits no warnings today; if that changes, splice
+        // must learn to re-prefix their text.
+        debug_assert!(
+            fl.warnings.is_empty(),
+            "flatten-time warnings: {:?}",
+            fl.warnings
+        );
+        Ok(Fragment {
+            itn: fl.itn,
+            items: fl.items,
+            scope,
+            ports: m.ports.iter().map(|p| (p.name.clone(), p.dir)).collect(),
+            clock_name: fl.clock_name,
+            reset_name: fl.reset_name,
+        })
+    }
+}
+
+/// Splice state: rewrites fragment-arena symbols into the design arena,
+/// prefixing flat names with the instance path.
+struct Splicer<'a> {
+    itn: &'a mut Interner,
+    frag: &'a Fragment,
+    prefix: &'a str,
+    /// Fragment symbol index → design-arena symbol, filled lazily.
+    map: Vec<Option<Symbol>>,
+}
+
+impl Splicer<'_> {
+    fn map_sym(&mut self, s: Symbol) -> Symbol {
+        if let Some(m) = self.map[s.index()] {
+            return m;
+        }
+        let m = self
+            .itn
+            .intern_parts(&[self.prefix, self.frag.itn.resolve(s)]);
+        self.map[s.index()] = Some(m);
+        m
+    }
+
+    /// Remaps a declaration. Array element symbols are re-interned
+    /// eagerly and in order here so the consecutive-run invariant
+    /// (`elem0.offset(i)` addresses element `i`) holds in the design
+    /// arena; a lazy per-use remap would scatter them.
+    fn map_decl(&mut self, info: DeclInfo) -> DeclInfo {
+        let flat = self.map_sym(info.flat);
+        let elems = info.elems.map(|arr| {
+            let mut elem0 = None;
+            for i in 0..arr.count {
+                let s = self.map_sym(arr.elem0.offset(i));
+                let e0 = *elem0.get_or_insert(s);
+                debug_assert_eq!(s, e0.offset(i), "spliced array elements stay consecutive");
+            }
+            ArrayInfo {
+                count: arr.count,
+                elem0: elem0.unwrap_or(flat),
+            }
+        });
+        DeclInfo {
+            flat,
+            width: info.width,
+            elem_width: info.elem_width,
+            lsb: info.lsb,
+            elems,
+            // The fragment flattened as its own top; under a prefix its
+            // inputs are instance ports, not free top-level inputs.
+            is_top_input: false,
+        }
+    }
+
+    fn map_fx(&mut self, e: &Fx) -> Fx {
+        match e {
+            Fx::Net(s) => Fx::Net(self.map_sym(*s)),
+            Fx::Lit { width, value } => Fx::Lit {
+                width: *width,
+                value: *value,
+            },
+            Fx::Fill(b) => Fx::Fill(*b),
+            Fx::Unary(op, i) => Fx::Unary(*op, Box::new(self.map_fx(i))),
+            Fx::Binary(op, a, b) => {
+                Fx::Binary(*op, Box::new(self.map_fx(a)), Box::new(self.map_fx(b)))
+            }
+            Fx::Ternary(c, t, f) => Fx::Ternary(
+                Box::new(self.map_fx(c)),
+                Box::new(self.map_fx(t)),
+                Box::new(self.map_fx(f)),
+            ),
+            Fx::Concat(es) => Fx::Concat(es.iter().map(|x| self.map_fx(x)).collect()),
+            Fx::Replicate(n, x) => {
+                Fx::Replicate(Box::new(self.map_fx(n)), Box::new(self.map_fx(x)))
+            }
+            Fx::Index(b, i) => Fx::Index(Box::new(self.map_fx(b)), Box::new(self.map_fx(i))),
+            Fx::Slice(b, h, l) => Fx::Slice(
+                Box::new(self.map_fx(b)),
+                Box::new(self.map_fx(h)),
+                Box::new(self.map_fx(l)),
+            ),
+            Fx::SysCall(f, args) => Fx::SysCall(*f, args.iter().map(|x| self.map_fx(x)).collect()),
+        }
+    }
+
+    fn map_target(&mut self, t: FlatTarget) -> FlatTarget {
+        FlatTarget {
+            net: self.map_sym(t.net),
+            lo: t.lo,
+            width: t.width,
+        }
+    }
+
+    fn map_stmt(&mut self, s: &FlatStmt) -> FlatStmt {
+        match s {
+            FlatStmt::Block(ss) => FlatStmt::Block(ss.iter().map(|x| self.map_stmt(x)).collect()),
+            FlatStmt::If { cond, then, alt } => FlatStmt::If {
+                cond: self.map_fx(cond),
+                then: Box::new(self.map_stmt(then)),
+                alt: alt.as_ref().map(|a| Box::new(self.map_stmt(a))),
+            },
+            FlatStmt::Assign { target, rhs } => FlatStmt::Assign {
+                target: self.map_target(*target),
+                rhs: self.map_fx(rhs),
+            },
+            FlatStmt::Empty => FlatStmt::Empty,
+        }
+    }
+}
+
+impl Flattener<'_> {
+    /// Splices a pre-flattened module fragment into this flattening
+    /// under `prefix`, returning the child scope and port directions in
+    /// the shape [`InstanceRouter::flatten_external`] hands back.
+    ///
+    /// Every fragment symbol is re-interned into the design arena with
+    /// the prefix applied, so the resulting items are exactly what
+    /// in-file inlining of the same module under the same prefix would
+    /// have produced (clock/reset adoption included).
+    pub(crate) fn splice_fragment(
+        &mut self,
+        frag: &Fragment,
+        prefix: &str,
+    ) -> (Scope, Vec<(String, PortDir)>) {
+        let mut sp = Splicer {
+            itn: &mut self.itn,
+            frag,
+            prefix,
+            map: vec![None; frag.itn.len()],
+        };
+        for item in &frag.items {
+            let mapped = match item {
+                FlatItem::Decl(info) => FlatItem::Decl(sp.map_decl(*info)),
+                FlatItem::Assign { target, rhs } => FlatItem::Assign {
+                    target: sp.map_target(*target),
+                    rhs: sp.map_fx(rhs),
+                },
+                FlatItem::Proc { clocked, body } => FlatItem::Proc {
+                    clocked: *clocked,
+                    body: sp.map_stmt(body),
+                },
+            };
+            self.items.push(mapped);
+        }
+        // The child scope the instantiation wires ports through: keys
+        // stay unprefixed (looked up by source port name), entries move
+        // to the design arena.
+        let mut scope = Scope::default();
+        for (&k, entry) in &frag.scope {
+            let mapped = match entry {
+                ScopeEntry::Const(v) => ScopeEntry::Const(*v),
+                ScopeEntry::Net(info) => ScopeEntry::Net(sp.map_decl(*info)),
+            };
+            let key = sp.itn.intern(frag.itn.resolve(k));
+            scope.insert(key, mapped);
+        }
+        // First-of-kind clock/reset adoption, matching the in-file walk
+        // (which records the first posedge/negedge signal it meets).
+        if self.clock_name.is_none() {
+            self.clock_name = frag.clock_name.clone();
+        }
+        if self.reset_name.is_none() {
+            self.reset_name = frag.reset_name.clone();
+        }
+        (scope, frag.ports.clone())
+    }
+}
+
 /// Passes A and B over the flattened items (base followed by
-/// per-binding extras), producing the final netlist.
+/// per-binding extras), producing the final netlist. Takes the
+/// flattener's arena by value; it is frozen into the returned netlist.
 fn build_netlist(
     base: &[FlatItem],
     extra: &[FlatItem],
+    itn: Interner,
     clock_name: &Option<String>,
     reset_name: &Option<String>,
     warnings: &[String],
@@ -923,29 +1435,46 @@ fn build_netlist(
 ) -> Result<Netlist> {
     let items = || base.iter().chain(extra.iter());
     let mut b = Builder {
+        itn,
         netlist: Netlist::default(),
-        atom_of_range: HashMap::new(),
-        decls: HashMap::new(),
+        atom_of_range: SymbolMap::default(),
+        decls: SymbolMap::default(),
         decl_order: Vec::new(),
-        drivers: HashMap::new(),
+        drivers: SymbolMap::default(),
+        array_elem0: SymbolMap::default(),
     };
     b.netlist.clock_name = clock_name.clone();
     b.netlist.reset_name = reset_name.clone();
     b.netlist.warnings = warnings.to_vec();
     b.netlist.params = top_params.to_vec();
 
+    // Reserve the maps up front: one entry per declaration (arrays
+    // expand to their elements), so the hot inserts never rehash.
+    let decl_estimate: usize = items()
+        .map(|it| match it {
+            FlatItem::Decl(info) => match info.elems {
+                Some(arr) => arr.count as usize,
+                None => 1,
+            },
+            _ => 0,
+        })
+        .sum();
+    b.decls.reserve(decl_estimate);
+    b.decl_order.reserve(decl_estimate);
+    b.drivers.reserve(decl_estimate);
     // Pass A: declarations.
     for item in items() {
         if let FlatItem::Decl(info) = item {
             match info.elems {
-                None => b.declare(info.flat.clone(), info.clone()),
-                Some(n) => {
-                    b.netlist.arrays.insert(info.flat.clone(), n);
-                    for i in 0..n {
-                        let mut e = info.clone();
-                        e.flat = format!("{}[{i}]", info.flat);
+                None => b.declare(info.flat, *info),
+                Some(arr) => {
+                    b.netlist.arrays.insert(info.flat, arr.count);
+                    b.array_elem0.insert(info.flat, arr.elem0);
+                    for i in 0..arr.count {
+                        let mut e = *info;
+                        e.flat = arr.elem0.offset(i);
                         e.elems = None;
-                        b.declare(e.flat.clone(), e);
+                        b.declare(e.flat, e);
                     }
                 }
             }
@@ -966,8 +1495,16 @@ fn build_netlist(
                 };
                 let mut targets = Vec::new();
                 collect_targets(body, &mut targets);
-                targets.sort_by_key(|a| (a.net.clone(), a.lo));
-                targets.dedup_by(|a, b| a.net == b.net && a.lo == b.lo && a.width == b.width);
+                // Sort by resolved name (not symbol index) so driver
+                // registration order — and therefore which conflict is
+                // reported first — matches the string-keyed behaviour.
+                targets.sort_by(|x, y| {
+                    b.itn
+                        .resolve(x.net)
+                        .cmp(b.itn.resolve(y.net))
+                        .then(x.lo.cmp(&y.lo))
+                });
+                targets.dedup_by(|x, y| x.net == y.net && x.lo == y.lo && x.width == y.width);
                 for t in &targets {
                     b.add_driver(t, kind, tag)?;
                 }
@@ -980,12 +1517,17 @@ fn build_netlist(
     let reset_name = b.netlist.reset_name.clone().or_else(|| {
         ["reset_", "rst_n", "resetn", "reset_n"]
             .iter()
-            .find(|n| b.netlist.nets.contains_key(**n))
+            .find(|n| {
+                b.itn
+                    .lookup(n)
+                    .is_some_and(|s| b.netlist.nets.contains_key(&s))
+            })
             .map(|n| n.to_string())
     });
     b.netlist.reset_name = reset_name.clone();
     let reset_atom: Option<AtomId> = reset_name.as_deref().and_then(|n| {
-        b.netlist.net(n).and_then(|bind| {
+        let s = b.itn.lookup(n)?;
+        b.netlist.nets.get(&s).and_then(|bind| {
             if bind.segs.len() == 1 && bind.segs[0].lo == 0 {
                 Some(bind.segs[0].atom)
             } else {
@@ -1009,7 +1551,7 @@ fn build_netlist(
                 }
             }
             FlatItem::Proc { clocked, body } => {
-                let mut env: HashMap<AtomId, Nx> = HashMap::new();
+                let mut env: SymbolMap<AtomId, Nx> = SymbolMap::default();
                 b.exec(body, &mut env)?;
                 for (atom, nx) in env {
                     let width = b.netlist.atom_width(atom);
@@ -1032,6 +1574,9 @@ fn build_netlist(
     b.netlist
         .comb_topo_order()
         .map_err(|n| ElabError::new(format!("combinational cycle through '{n}'")))?;
+    // Freeze the arena into the netlist: every symbol in the net and
+    // array maps resolves against it from here on.
+    b.netlist.syms = Arc::new(b.itn);
     Ok(b.netlist)
 }
 
@@ -1048,19 +1593,19 @@ fn collect_targets(s: &FlatStmt, out: &mut Vec<FlatTarget>) {
                 collect_targets(a, out);
             }
         }
-        FlatStmt::Assign { target, .. } => out.push(target.clone()),
+        FlatStmt::Assign { target, .. } => out.push(*target),
         FlatStmt::Empty => {}
     }
 }
 
 impl Builder {
-    fn declare(&mut self, name: String, info: DeclInfo) {
+    fn declare(&mut self, name: Symbol, info: DeclInfo) {
         if self.decls.contains_key(&name) {
             // Re-declaration: keep the first (ports declared in both the
             // header and body).
             return;
         }
-        self.decl_order.push(name.clone());
+        self.decl_order.push(name);
         self.decls.insert(name, info);
     }
 
@@ -1068,10 +1613,10 @@ impl Builder {
         if !self.decls.contains_key(&t.net) {
             return Err(ElabError::new(format!(
                 "assignment to undeclared net '{}'",
-                t.net
+                self.itn.resolve(t.net)
             )));
         }
-        let entry = self.drivers.entry(t.net.clone()).or_default();
+        let entry = self.drivers.entry(t.net).or_default();
         for &(lo, w, k, existing_tag) in entry.iter() {
             let overlap = t.lo < lo + w && lo < t.lo + t.width;
             if overlap {
@@ -1083,7 +1628,7 @@ impl Builder {
                 }
                 return Err(ElabError::new(format!(
                     "conflicting drivers for '{}' bits [{}, {})",
-                    t.net,
+                    self.itn.resolve(t.net),
                     t.lo,
                     t.lo + t.width
                 )));
@@ -1094,39 +1639,68 @@ impl Builder {
     }
 
     fn finalize_bindings(&mut self) -> Result<()> {
-        for name in self.decl_order.clone() {
-            let info = self.decls[&name].clone();
-            let mut drivers = self.drivers.remove(&name).unwrap_or_default();
-            drivers.sort_by_key(|d| d.0);
-            let drivers: Vec<(u32, u32, DriverKind)> = drivers
-                .into_iter()
-                .map(|(lo, w, k, _)| (lo, w, k))
-                .collect();
+        // Split borrows: atom names resolve straight out of the arena
+        // (no per-net String) while the netlist and range map mutate.
+        let decl_order = std::mem::take(&mut self.decl_order);
+        let Builder {
+            itn,
+            netlist,
+            atom_of_range,
+            decls,
+            drivers,
+            ..
+        } = self;
+        #[allow(clippy::too_many_arguments)]
+        fn add_atom(
+            netlist: &mut Netlist,
+            atom_of_range: &mut SymbolMap<(Symbol, u32, u32), AtomId>,
+            name: Symbol,
+            name_s: &str,
+            full_width: u32,
+            lo: u32,
+            w: u32,
+            kind: AtomKind,
+        ) -> AtomId {
+            let id = AtomId(netlist.atoms.len() as u32);
+            let atom_name = if lo == 0 && w == full_width {
+                name_s.to_string()
+            } else {
+                format!("{name_s}[{}:{}]", lo + w - 1, lo)
+            };
+            netlist.atoms.push(AtomDef {
+                name: atom_name,
+                width: w,
+                kind,
+            });
+            atom_of_range.insert((name, lo, w), id);
+            id
+        }
+        netlist.nets.reserve(decl_order.len());
+        atom_of_range.reserve(decl_order.len());
+        for name in decl_order {
+            let info = decls[&name];
+            let name_s = itn.resolve(name);
+            let mut ranges = drivers.remove(&name).unwrap_or_default();
+            ranges.sort_by_key(|d| d.0);
             let mut segs = Vec::new();
             let mut cursor = 0u32;
-            let add_atom = |b: &mut Builder, lo: u32, w: u32, kind: AtomKind| -> AtomId {
-                let id = AtomId(b.netlist.atoms.len() as u32);
-                let suffix = if lo == 0 && w == info.width {
-                    String::new()
-                } else {
-                    format!("[{}:{}]", lo + w - 1, lo)
-                };
-                b.netlist.atoms.push(AtomDef {
-                    name: format!("{name}{suffix}"),
-                    width: w,
-                    kind,
-                });
-                b.atom_of_range.insert((name.clone(), lo, w), id);
-                id
-            };
-            for (lo, w, kind) in drivers {
+            for (lo, w, kind, _) in ranges {
                 if lo > cursor {
                     // Undriven gap -> free input.
-                    let gap_atom = add_atom(self, cursor, lo - cursor, AtomKind::Input);
+                    let gap_atom = add_atom(
+                        netlist,
+                        atom_of_range,
+                        name,
+                        name_s,
+                        info.width,
+                        cursor,
+                        lo - cursor,
+                        AtomKind::Input,
+                    );
                     if !info.is_top_input {
-                        self.netlist
+                        netlist
                             .warnings
-                            .push(format!("undriven bits of '{name}' become free inputs"));
+                            .push(format!("undriven bits of '{name_s}' become free inputs"));
                     }
                     segs.push(Seg {
                         atom: gap_atom,
@@ -1141,7 +1715,16 @@ impl Builder {
                         init: 0,
                     },
                 };
-                let id = add_atom(self, lo, w, placeholder);
+                let id = add_atom(
+                    netlist,
+                    atom_of_range,
+                    name,
+                    name_s,
+                    info.width,
+                    lo,
+                    w,
+                    placeholder,
+                );
                 segs.push(Seg {
                     atom: id,
                     lo: 0,
@@ -1150,11 +1733,20 @@ impl Builder {
                 cursor = lo + w;
             }
             if cursor < info.width {
-                let gap_atom = add_atom(self, cursor, info.width - cursor, AtomKind::Input);
+                let gap_atom = add_atom(
+                    netlist,
+                    atom_of_range,
+                    name,
+                    name_s,
+                    info.width,
+                    cursor,
+                    info.width - cursor,
+                    AtomKind::Input,
+                );
                 if !info.is_top_input && cursor != 0 {
-                    self.netlist
+                    netlist
                         .warnings
-                        .push(format!("undriven bits of '{name}' become free inputs"));
+                        .push(format!("undriven bits of '{name_s}' become free inputs"));
                 }
                 segs.push(Seg {
                     atom: gap_atom,
@@ -1162,8 +1754,8 @@ impl Builder {
                     width: info.width - cursor,
                 });
             }
-            self.netlist.nets.insert(
-                name.clone(),
+            netlist.nets.insert(
+                name,
                 NetBinding {
                     width: info.width,
                     elem_width: info.elem_width,
@@ -1176,19 +1768,19 @@ impl Builder {
 
     fn atom_of(&self, t: &FlatTarget) -> Result<AtomId> {
         self.atom_of_range
-            .get(&(t.net.clone(), t.lo, t.width))
+            .get(&(t.net, t.lo, t.width))
             .copied()
             .ok_or_else(|| {
                 ElabError::new(format!(
                     "internal: no atom for '{}' [{}, {})",
-                    t.net,
+                    self.itn.resolve(t.net),
                     t.lo,
                     t.lo + t.width
                 ))
             })
     }
 
-    fn exec(&mut self, s: &FlatStmt, env: &mut HashMap<AtomId, Nx>) -> Result<()> {
+    fn exec(&mut self, s: &FlatStmt, env: &mut SymbolMap<AtomId, Nx>) -> Result<()> {
         match s {
             FlatStmt::Block(ss) => {
                 for x in ss {
@@ -1199,17 +1791,29 @@ impl Builder {
                 let sel = self.elab_bool(cond)?;
                 let mut env_t = env.clone();
                 self.exec(then, &mut env_t)?;
-                let mut env_e = env.clone();
-                if let Some(a) = alt {
-                    self.exec(a, &mut env_e)?;
-                }
-                let mut keys: Vec<AtomId> = env_t.keys().chain(env_e.keys()).copied().collect();
+                // Without an else branch the fall-through environment is
+                // `env` itself; no clone needed.
+                let env_e: Option<SymbolMap<AtomId, Nx>> = match alt {
+                    Some(a) => {
+                        let mut e = env.clone();
+                        self.exec(a, &mut e)?;
+                        Some(e)
+                    }
+                    None => None,
+                };
+                let else_keys = env_e.as_ref().unwrap_or(env).keys();
+                let mut keys: Vec<AtomId> = env_t.keys().chain(else_keys).copied().collect();
                 keys.sort();
                 keys.dedup();
                 for k in keys {
                     let orig = || self.orig_value(k);
                     let vt = env_t.get(&k).cloned().unwrap_or_else(orig);
-                    let ve = env_e.get(&k).cloned().unwrap_or_else(orig);
+                    let ve = env_e
+                        .as_ref()
+                        .unwrap_or(env)
+                        .get(&k)
+                        .cloned()
+                        .unwrap_or_else(orig);
                     if vt == ve {
                         env.insert(k, vt);
                     } else {
@@ -1246,7 +1850,7 @@ impl Builder {
         }
     }
 
-    fn elab_bool(&mut self, e: &Expr) -> Result<Nx> {
+    fn elab_bool(&mut self, e: &Fx) -> Result<Nx> {
         let nx = self.elab_expr(e, None)?;
         Ok(to_bool(nx, &self.netlist))
     }
@@ -1256,29 +1860,31 @@ impl Builder {
         nx.width(&|a| nl.atom_width(a))
     }
 
-    fn elab_expr(&mut self, e: &Expr, ctx: Option<u32>) -> Result<Nx> {
+    fn elab_expr(&mut self, e: &Fx, ctx: Option<u32>) -> Result<Nx> {
         Ok(match e {
-            Expr::Ident(name) => {
-                let binding = self
-                    .netlist
-                    .net(name)
-                    .ok_or_else(|| ElabError::new(format!("unknown signal '{name}'")))?;
-                binding.read()
-            }
-            Expr::Literal(Literal::Int { width, value, .. }) => {
+            Fx::Net(sym) => match self.netlist.nets.get(sym) {
+                Some(binding) => binding.read(),
+                None => {
+                    return Err(ElabError::new(format!(
+                        "unknown signal '{}'",
+                        self.itn.resolve(*sym)
+                    )))
+                }
+            },
+            Fx::Lit { width, value } => {
                 let w = width.unwrap_or_else(|| {
                     let needed = 128 - value.leading_zeros();
                     32u32.max(needed).min(MAX_WIDTH)
                 });
                 Nx::constant(w, *value)
             }
-            Expr::Literal(Literal::Fill(b)) => {
+            Fx::Fill(b) => {
                 let w = ctx.ok_or_else(|| {
                     ElabError::new("cannot determine width of '0/'1 fill literal here")
                 })?;
                 Nx::constant(w, if *b { u128::MAX } else { 0 })
             }
-            Expr::Unary(op, inner) => {
+            Fx::Unary(op, inner) => {
                 let i = self.elab_expr(inner, None)?;
                 match op {
                     UnaryOp::LogNot => Nx::Not(Box::new(to_bool(i, &self.netlist))),
@@ -1311,8 +1917,8 @@ impl Builder {
                     })),
                 }
             }
-            Expr::Binary(op, a, b) => self.elab_binary(*op, a, b, ctx)?,
-            Expr::Ternary(c, t, f) => {
+            Fx::Binary(op, a, b) => self.elab_binary(*op, a, b, ctx)?,
+            Fx::Ternary(c, t, f) => {
                 let sel = self.elab_bool(c)?;
                 let tv = self.elab_expr(t, ctx)?;
                 let ev = self.elab_expr(f, ctx)?;
@@ -1326,7 +1932,7 @@ impl Builder {
                     e: Box::new(resize(ev, w, &self.netlist)),
                 }
             }
-            Expr::Concat(parts) => {
+            Fx::Concat(parts) => {
                 // Source order is MSB-first; Nx concat is LSB-first.
                 let mut vec = Vec::with_capacity(parts.len());
                 for p in parts.iter().rev() {
@@ -1334,8 +1940,8 @@ impl Builder {
                 }
                 Nx::Concat(vec)
             }
-            Expr::Replicate(n, inner) => {
-                let count = const_eval_scoped(n, &HashMap::new())?;
+            Fx::Replicate(n, inner) => {
+                let count = fx_const_eval(n, &self.itn)?;
                 let count = u32::try_from(count)
                     .map_err(|_| ElabError::new("replication count too large"))?;
                 if count == 0 {
@@ -1347,33 +1953,39 @@ impl Builder {
                 }
                 Nx::Concat(vec![v; count as usize])
             }
-            Expr::Index(base, idx) => self.elab_index(base, idx)?,
-            Expr::Slice(base, hi, lo) => {
-                let name = match base.as_ref() {
-                    Expr::Ident(n) => n.clone(),
+            Fx::Index(base, idx) => self.elab_index(base, idx)?,
+            Fx::Slice(base, hi, lo) => {
+                let sym = match base.as_ref() {
+                    Fx::Net(n) => *n,
                     _ => return Err(ElabError::new("part-select base must be a signal")),
                 };
                 let binding = self
                     .netlist
-                    .net(&name)
-                    .ok_or_else(|| ElabError::new(format!("unknown signal '{name}'")))?
+                    .nets
+                    .get(&sym)
+                    .ok_or_else(|| {
+                        ElabError::new(format!("unknown signal '{}'", self.itn.resolve(sym)))
+                    })?
                     .clone();
-                let hi = const_eval_scoped(hi, &HashMap::new())?;
-                let lo = const_eval_scoped(lo, &HashMap::new())?;
+                let hi = fx_const_eval(hi, &self.itn)?;
+                let lo = fx_const_eval(lo, &self.itn)?;
                 let (hi, lo) = (
                     u32::try_from(hi).map_err(|_| ElabError::new("slice bound too large"))?,
                     u32::try_from(lo).map_err(|_| ElabError::new("slice bound too large"))?,
                 );
                 if lo > hi || hi >= binding.width {
-                    return Err(ElabError::new(format!("slice out of range on '{name}'")));
+                    return Err(ElabError::new(format!(
+                        "slice out of range on '{}'",
+                        self.itn.resolve(sym)
+                    )));
                 }
                 binding.read_range(lo, hi - lo + 1)
             }
-            Expr::SysCall(f, args) => self.elab_syscall(*f, args)?,
+            Fx::SysCall(f, args) => self.elab_syscall(*f, args)?,
         })
     }
 
-    fn elab_binary(&mut self, op: BinaryOp, a: &Expr, b: &Expr, ctx: Option<u32>) -> Result<Nx> {
+    fn elab_binary(&mut self, op: BinaryOp, a: &Fx, b: &Fx, ctx: Option<u32>) -> Result<Nx> {
         use BinaryOp as B;
         // Logical connectives work on booleans.
         if matches!(op, B::LogAnd | B::LogOr) {
@@ -1408,11 +2020,11 @@ impl Builder {
             });
         }
         // Fill literals take the width of the opposite operand.
-        let (x, y) = if matches!(a, Expr::Literal(Literal::Fill(_))) {
+        let (x, y) = if matches!(a, Fx::Fill(_)) {
             let y = self.elab_expr(b, None)?;
             let w = self.width_of(&y);
             (self.elab_expr(a, Some(w))?, y)
-        } else if matches!(b, Expr::Literal(Literal::Fill(_))) {
+        } else if matches!(b, Fx::Fill(_)) {
             let x = self.elab_expr(a, None)?;
             let w = self.width_of(&x);
             let y = self.elab_expr(b, Some(w))?;
@@ -1455,35 +2067,39 @@ impl Builder {
         })
     }
 
-    fn elab_index(&mut self, base: &Expr, idx: &Expr) -> Result<Nx> {
-        let name = match base {
-            Expr::Ident(n) => n.clone(),
+    fn elab_index(&mut self, base: &Fx, idx: &Fx) -> Result<Nx> {
+        let sym = match base {
+            Fx::Net(n) => *n,
             _ => return Err(ElabError::new("bit-select base must be a signal")),
         };
         // Unpacked array element?
-        if let Some(&count) = self.netlist.arrays.get(&name) {
-            if let Ok(i) = const_eval_scoped(idx, &HashMap::new()) {
+        if let Some(&count) = self.netlist.arrays.get(&sym) {
+            let elem0 = self.array_elem0.get(&sym).copied();
+            let elem_binding = |b: &Builder, i: u32| {
+                elem0
+                    .and_then(|e0| b.netlist.nets.get(&e0.offset(i)))
+                    .ok_or_else(|| {
+                        ElabError::new(format!(
+                            "unknown array element '{}[{i}]'",
+                            b.itn.resolve(sym)
+                        ))
+                    })
+                    .map(|binding| binding.read())
+            };
+            if let Ok(i) = fx_const_eval(idx, &self.itn) {
                 if i >= u128::from(count) {
                     return Err(ElabError::new(format!(
-                        "array index out of range on '{name}'"
+                        "array index out of range on '{}'",
+                        self.itn.resolve(sym)
                     )));
                 }
-                let elem = format!("{name}[{i}]");
-                return Ok(self
-                    .netlist
-                    .net(&elem)
-                    .ok_or_else(|| ElabError::new(format!("unknown array element '{elem}'")))?
-                    .read());
+                return elem_binding(self, i as u32);
             }
             // Dynamic array read: mux chain over elements.
             let sel = self.elab_expr(idx, None)?;
             let mut acc: Option<Nx> = None;
             for i in 0..count {
-                let elem = self
-                    .netlist
-                    .net(&format!("{name}[{i}]"))
-                    .ok_or_else(|| ElabError::new(format!("unknown array element '{name}[{i}]'")))?
-                    .read();
+                let elem = elem_binding(self, i)?;
                 acc = Some(match acc {
                     None => elem,
                     Some(prev) => {
@@ -1500,20 +2116,25 @@ impl Builder {
                     }
                 });
             }
-            return acc.ok_or_else(|| ElabError::new(format!("empty array '{name}'")));
+            return acc
+                .ok_or_else(|| ElabError::new(format!("empty array '{}'", self.itn.resolve(sym))));
         }
         let binding = self
             .netlist
-            .net(&name)
-            .ok_or_else(|| ElabError::new(format!("unknown signal '{name}'")))?
+            .nets
+            .get(&sym)
+            .ok_or_else(|| ElabError::new(format!("unknown signal '{}'", self.itn.resolve(sym))))?
             .clone();
         let ew = binding.elem_width;
-        match const_eval_scoped(idx, &HashMap::new()) {
+        match fx_const_eval(idx, &self.itn) {
             Ok(i) => {
                 let i = u32::try_from(i).map_err(|_| ElabError::new("index too large"))?;
                 let lo = i * ew;
                 if lo + ew > binding.width {
-                    return Err(ElabError::new(format!("index out of range on '{name}'")));
+                    return Err(ElabError::new(format!(
+                        "index out of range on '{}'",
+                        self.itn.resolve(sym)
+                    )));
                 }
                 Ok(binding.read_range(lo, ew))
             }
@@ -1528,8 +2149,8 @@ impl Builder {
         }
     }
 
-    fn elab_syscall(&mut self, f: SysFunc, args: &[Expr]) -> Result<Nx> {
-        let one_arg = || -> Result<&Expr> {
+    fn elab_syscall(&mut self, f: SysFunc, args: &[Fx]) -> Result<Nx> {
+        let one_arg = || -> Result<&Fx> {
             if args.len() == 1 {
                 Ok(&args[0])
             } else {
@@ -1554,7 +2175,7 @@ impl Builder {
                 Nx::constant(32, u128::from(self.width_of(&v)))
             }
             SysFunc::Clog2 => {
-                let v = const_eval_scoped(one_arg()?, &HashMap::new())?;
+                let v = fx_const_eval(one_arg()?, &self.itn)?;
                 Nx::constant(32, u128::from(clog2(v)))
             }
             SysFunc::Past | SysFunc::Rose | SysFunc::Fell | SysFunc::Stable | SysFunc::Changed => {
@@ -1566,7 +2187,6 @@ impl Builder {
         })
     }
 }
-
 /// Zero-extends or truncates to `width`.
 pub(crate) fn resize(nx: Nx, width: u32, nl: &Netlist) -> Nx {
     if nx.width(&|a| nl.atom_width(a)) == width {
@@ -1810,7 +2430,7 @@ mod tests {
         );
         assert!(nl.net("mem[0]").is_some());
         assert!(nl.net("mem[3]").is_some());
-        assert_eq!(nl.arrays.get("mem"), Some(&4));
+        assert_eq!(nl.array("mem"), Some(4));
     }
 
     #[test]
@@ -1878,9 +2498,9 @@ mod tests {
     /// Canonical rendering of a netlist for equality checks (the
     /// `nets`/`arrays` maps have no stable iteration order).
     fn fingerprint(nl: &Netlist) -> String {
-        let mut nets: Vec<String> = nl.nets.iter().map(|(n, b)| format!("{n}:{b:?}")).collect();
+        let mut nets: Vec<String> = nl.net_names().map(|(n, b)| format!("{n}:{b:?}")).collect();
         nets.sort();
-        let mut arrays: Vec<String> = nl.arrays.iter().map(|(n, c)| format!("{n}:{c}")).collect();
+        let mut arrays: Vec<String> = nl.array_names().map(|(n, c)| format!("{n}:{c}")).collect();
         arrays.sort();
         format!(
             "{:?}|{nets:?}|{arrays:?}|{:?}|{:?}|{:?}|{:?}",

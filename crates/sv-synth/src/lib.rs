@@ -22,14 +22,18 @@
 //! setup after a reset sequence). See the repository's `ARCHITECTURE.md`
 //! for where this crate sits in the evaluation spine.
 
+mod driver;
 mod elaborate;
 mod frame;
 mod netexpr;
 mod netlist;
 mod sim;
 
+pub use driver::{
+    elaborate_design_driver, elaborate_design_with_frontends, Frontend, JsonFrontend, SvFrontend,
+};
 pub use elaborate::{
-    elaborate, elaborate_design, elaborate_with_extras, ElabError, ElaboratedDesign,
+    elaborate, elaborate_design, elaborate_with_extras, ElabError, ElaboratedDesign, Fragment,
 };
 pub use frame::{FrameExpander, FrameValues};
 pub use netexpr::{Nx, NxBin, NxRed};
